@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reproduces Figure 11: energy efficiency (NTM time steps per joule)
+ * of Manna relative to the GPU baselines.
+ *
+ * Paper headline: 58x-301x (average 122x) improvement over the
+ * 1080-Ti and an average of 86x over the 2080-Ti, driven by both the
+ * speedup and Manna's order-of-magnitude lower power.
+ */
+
+#include <cstdio>
+
+#include "common/config.hh"
+#include "common/strutil.hh"
+#include "common/table.hh"
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+
+using namespace manna;
+
+int
+main(int argc, char **argv)
+{
+    const Config cfg = Config::fromArgs(argc, argv);
+    const std::size_t steps = static_cast<std::size_t>(
+        cfg.getInt("steps", static_cast<std::int64_t>(
+                                harness::defaultSteps())));
+
+    harness::printBanner("Figure 11",
+                         "Energy efficiency compared to GPU baselines "
+                         "(steps/J)");
+
+    const arch::MannaConfig manna = arch::MannaConfig::baseline16();
+    Table table({"Benchmark", "Manna steps/J", "Manna W",
+                 "1080Ti steps/J", "2080Ti steps/J", "Improv v1080",
+                 "Improv v2080"});
+    std::vector<double> f1080, f2080;
+
+    for (const auto &bench : workloads::table2Suite()) {
+        const auto mannaRes =
+            harness::simulateManna(bench, manna, steps);
+        const auto p1080 =
+            harness::evaluateBaseline(bench, harness::gpu1080Ti());
+        const auto p2080 =
+            harness::evaluateBaseline(bench, harness::gpu2080Ti());
+
+        const double mannaSpj = 1.0 / mannaRes.joulesPerStep;
+        const double g1080Spj = 1.0 / p1080.joulesPerStep;
+        const double g2080Spj = 1.0 / p2080.joulesPerStep;
+        const double i1080 = mannaSpj / g1080Spj;
+        const double i2080 = mannaSpj / g2080Spj;
+        f1080.push_back(i1080);
+        f2080.push_back(i2080);
+
+        table.addRow(
+            {bench.name, strformat("%.3g", mannaSpj),
+             strformat("%.1f",
+                       mannaRes.joulesPerStep / mannaRes.secondsPerStep),
+             strformat("%.3g", g1080Spj), strformat("%.3g", g2080Spj),
+             formatFactor(i1080), formatFactor(i2080)});
+    }
+    harness::printTable(table);
+    std::printf(
+        "%s\n",
+        harness::summarizeFactors("energy improvement vs 1080-Ti",
+                                  f1080)
+            .c_str());
+    std::printf(
+        "%s\n",
+        harness::summarizeFactors("energy improvement vs 2080-Ti",
+                                  f2080)
+            .c_str());
+    harness::printPaperReference(
+        "Figure 11: 58x-301x (average 122x) over the 1080-Ti; average "
+        "86x over the 2080-Ti.");
+    return 0;
+}

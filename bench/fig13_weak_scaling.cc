@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reproduces Figure 13: weak scaling — tiles and problem size grow
+ * together (both memory dimensions scale with sqrt(tiles/4)), so
+ * ideal scaling is a flat line at 1.0.
+ *
+ * Paper headline: Manna exhibits near-ideal weak scaling because the
+ * MANN kernels are embarrassingly parallel across tiles and inter-
+ * tile communication is trivial next to per-tile work.
+ */
+
+#include <cstdio>
+
+#include "common/config.hh"
+#include "common/strutil.hh"
+#include "common/table.hh"
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+
+using namespace manna;
+
+int
+main(int argc, char **argv)
+{
+    const Config cfg = Config::fromArgs(argc, argv);
+    const std::size_t steps = static_cast<std::size_t>(
+        cfg.getInt("steps", 4)); // scaled problems are large
+
+    harness::printBanner(
+        "Figure 13",
+        "Manna performance trends with weak scaling "
+        "(time per step, normalized to 4 tiles; 1.0 = ideal)");
+
+    const std::size_t tileCounts[] = {4, 8, 16, 32, 64};
+    Table table({"Benchmark", "4", "8", "16", "32", "64"});
+
+    for (const auto &bench : workloads::table2Suite()) {
+        std::vector<std::string> row{bench.name};
+        double baseline = 0.0;
+        for (std::size_t tiles : tileCounts) {
+            const workloads::Benchmark scaled =
+                workloads::weakScaled(bench, tiles, 4);
+            const auto result = harness::simulateManna(
+                scaled, arch::MannaConfig::withTiles(tiles), steps);
+            if (tiles == 4) {
+                baseline = result.secondsPerStep;
+                row.push_back("1.00");
+            } else {
+                row.push_back(strformat(
+                    "%.2f", result.secondsPerStep / baseline));
+            }
+        }
+        table.addRow(std::move(row));
+    }
+    harness::printTable(table);
+    harness::printPaperReference(
+        "Figure 13: near-ideal weak scaling with very little "
+        "variability as tiles and problem size grow together.");
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the reproduction's hot paths:
+ * tensor primitives (the golden model's inner loops) and the
+ * simulator's instruction interpreter. These measure *host*
+ * performance of the simulator itself, not the modeled accelerator.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compiler/compiler.hh"
+#include "mann/ntm.hh"
+#include "sim/chip.hh"
+#include "tensor/matrix.hh"
+#include "tensor/vector_ops.hh"
+#include "workloads/benchmarks.hh"
+
+using namespace manna;
+
+namespace
+{
+
+tensor::FVec
+randomVec(std::size_t n, Rng &rng)
+{
+    tensor::FVec v(n);
+    for (auto &x : v)
+        x = static_cast<float>(rng.gaussian(0.0, 1.0));
+    return v;
+}
+
+void
+BM_Dot(benchmark::State &state)
+{
+    Rng rng(1);
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const tensor::FVec a = randomVec(n, rng);
+    const tensor::FVec b = randomVec(n, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tensor::dot(a, b));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Dot)->Arg(256)->Arg(4096);
+
+void
+BM_Softmax(benchmark::State &state)
+{
+    Rng rng(2);
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const tensor::FVec a = randomVec(n, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tensor::softmax(a, 2.0f));
+}
+BENCHMARK(BM_Softmax)->Arg(1024)->Arg(4096);
+
+void
+BM_RowCosineSimilarity(benchmark::State &state)
+{
+    Rng rng(3);
+    const auto rows = static_cast<std::size_t>(state.range(0));
+    tensor::FMat mem(rows, 128, randomVec(rows * 128, rng));
+    const tensor::FVec key = randomVec(128, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            tensor::rowCosineSimilarity(mem, key));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(rows * 128));
+}
+BENCHMARK(BM_RowCosineSimilarity)->Arg(512)->Arg(4096);
+
+void
+BM_GoldenNtmStep(benchmark::State &state)
+{
+    mann::MannConfig cfg;
+    cfg.memN = static_cast<std::size_t>(state.range(0));
+    cfg.memM = 64;
+    cfg.controllerWidth = 64;
+    cfg.inputDim = 8;
+    cfg.outputDim = 8;
+    mann::Ntm ntm(cfg, 1);
+    const tensor::FVec x(cfg.inputDim, 0.1f);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ntm.step(x).output);
+}
+BENCHMARK(BM_GoldenNtmStep)->Arg(256)->Arg(1024);
+
+void
+BM_CompileModel(benchmark::State &state)
+{
+    const auto bench = workloads::tinyBenchmark();
+    const arch::MannaConfig ac = arch::MannaConfig::withTiles(4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            compiler::compile(bench.config, ac));
+}
+BENCHMARK(BM_CompileModel);
+
+void
+BM_SimulatedChipStep(benchmark::State &state)
+{
+    const auto bench = workloads::tinyBenchmark();
+    const arch::MannaConfig ac = arch::MannaConfig::withTiles(4);
+    const auto model = compiler::compile(bench.config, ac);
+    sim::Chip chip(model, 1);
+    const tensor::FVec x(bench.config.inputDim, 0.1f);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(chip.step(x));
+}
+BENCHMARK(BM_SimulatedChipStep);
+
+} // namespace
+
+BENCHMARK_MAIN();

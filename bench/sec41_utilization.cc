@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Evidence for the Section 4.1 provisioning claim: Manna dedicates
+ * most die area to banked memories and gives each tile "just enough
+ * processing elements to match that on-chip memory bandwidth",
+ * maintaining high utilization of the compute it does have.
+ *
+ * Reports, per benchmark, the fraction of cycles each tile resource
+ * class is busy on the 16-tile baseline, and contrasts a
+ * compute-heavy variant (4x the eMACs at the same bandwidth) whose
+ * extra lanes mostly idle.
+ */
+
+#include <cstdio>
+
+#include "common/config.hh"
+#include "common/strutil.hh"
+#include "common/table.hh"
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+
+using namespace manna;
+
+namespace
+{
+
+struct UtilRow
+{
+    std::map<std::string, double> util;
+    double secondsPerStep;
+};
+
+UtilRow
+utilizationFor(const workloads::Benchmark &bench,
+               const arch::MannaConfig &hw, std::size_t steps)
+{
+    const auto result = harness::simulateManna(bench, hw, steps);
+    return {result.report.resourceUtilization,
+            result.secondsPerStep};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Config cfg = Config::fromArgs(argc, argv);
+    const std::size_t steps = static_cast<std::size_t>(
+        cfg.getInt("steps", static_cast<std::int64_t>(
+                                harness::defaultSteps())));
+
+    harness::printBanner(
+        "Section 4.1",
+        "Compute/bandwidth balance: tile resource utilization");
+
+    const arch::MannaConfig baseline = arch::MannaConfig::baseline16();
+    arch::MannaConfig computeHeavy = baseline;
+    computeHeavy.emacsPerTile = 128; // 4x lanes, same buffer width
+
+    Table table({"Benchmark", "eMAC util", "matrix-DMA util",
+                 "SFU util", "Speedup @4x lanes"});
+    std::vector<double> emacUtils, extraLaneGains;
+    for (const auto &bench : workloads::table2Suite()) {
+        const auto base = utilizationFor(bench, baseline, steps);
+        const auto heavy = utilizationFor(bench, computeHeavy, steps);
+        emacUtils.push_back(base.util.at("emac"));
+        const double gain = base.secondsPerStep / heavy.secondsPerStep;
+        extraLaneGains.push_back(gain);
+        table.addRow({bench.name,
+                      formatPercent(base.util.at("emac")),
+                      formatPercent(base.util.at("mat_dma")),
+                      formatPercent(base.util.at("sfu")),
+                      formatFactor(gain)});
+    }
+    harness::printTable(table);
+    std::printf("\nmean eMAC utilization at the baseline balance: %s. "
+                "Quadrupling the compute lanes (with the same memory "
+                "bandwidth) buys only %.2fx on average -- far from the "
+                "4x more silicon spent -- confirming the provisioning "
+                "argument.\n",
+                formatPercent(mean(emacUtils)).c_str(),
+                mean(extraLaneGains));
+    harness::printPaperReference(
+        "Section 4.1: \"the DiffMem tiles are then provisioned with "
+        "just enough processing elements to match that on-chip memory "
+        "bandwidth\", maintaining high utilization instead of high "
+        "theoretical throughput.");
+    return 0;
+}

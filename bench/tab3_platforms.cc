@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces Table 3: platform summary — the two GPU baselines from
+ * their public specifications, and Manna from the analytic area/power
+ * models (calibrated per DESIGN.md).
+ */
+
+#include <cstdio>
+
+#include "arch/area_model.hh"
+#include "arch/energy_model.hh"
+#include "baselines/platform_model.hh"
+#include "common/strutil.hh"
+#include "common/table.hh"
+#include "harness/report.hh"
+
+using namespace manna;
+
+int
+main()
+{
+    harness::printBanner("Table 3", "Summary of platforms");
+
+    Table table({"Platform", "Area (mm^2)", "Node (nm)", "Freq (MHz)",
+                 "TDP (W)", "On-Chip (MiB)", "Bandwidth (GB/s)"});
+    for (const auto &spec :
+         {baselines::pascal1080Ti(), baselines::turing2080Ti()}) {
+        table.addRow({spec.name, strformat("%.0f", spec.areaMm2),
+                      strformat("%.0f", spec.technologyNm),
+                      strformat("%.0f", spec.frequencyMhz),
+                      strformat("%.0f", spec.tdpWatts),
+                      strformat("%.1f", spec.onChipMiB),
+                      strformat("%.0f", spec.memBandwidthGBs)});
+    }
+
+    const arch::MannaConfig manna = arch::MannaConfig::baseline16();
+    const arch::AreaBreakdown area = arch::areaOf(manna);
+    const double mib =
+        static_cast<double>(manna.totalOnChipBytes()) / (1024.0 * 1024);
+    table.addRow({"Manna", strformat("%.0f", area.total()), "15",
+                  strformat("%.0f", manna.clockMhz),
+                  strformat("%.0f", arch::tdpWatts(manna)),
+                  strformat("%.1f", mib),
+                  strformat("%.0f (on-chip)",
+                            manna.aggregateMatrixBandwidthGBs())});
+    harness::printTable(table);
+
+    std::printf("\nManna area breakdown:\n%s",
+                arch::renderArea(area).c_str());
+    std::printf("\n%s", manna.describe().c_str());
+    harness::printPaperReference(
+        "Table 3 reports Manna at 40 mm^2, 15 nm, 500 MHz, 16 W TDP, "
+        "38 MiB on-chip; 1080-Ti and 2080-Ti rows match their public "
+        "specs.");
+    return 0;
+}

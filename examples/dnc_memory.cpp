@@ -1,0 +1,123 @@
+/**
+ * @file
+ * DNC extension demo: run the Differentiable Neural Computer's
+ * addressing machinery (dynamic allocation + temporal links), show
+ * how usage/allocation evolve as the memory fills, compile the SAME
+ * DNC onto Manna and validate the cycle-level simulation against the
+ * golden model, and show where a DNC stresses an accelerator
+ * differently from an NTM — its link-matrix kernels are O(N^2).
+ *
+ *   ./build/examples/dnc_memory
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "compiler/dnc_codegen.hh"
+#include "mann/dnc.hh"
+#include "mann/op_counter.hh"
+#include "sim/dnc_chip.hh"
+#include "tensor/vector_ops.hh"
+
+using namespace manna;
+
+int
+main()
+{
+    mann::DncConfig cfg;
+    cfg.memN = 64;
+    cfg.memM = 32;
+    cfg.numReadHeads = 2;
+    cfg.controllerWidth = 64;
+    cfg.inputDim = 8;
+    cfg.outputDim = 8;
+
+    mann::Dnc dnc(cfg, 7);
+    std::printf("DNC: memory %zux%zu, %zu read heads, interface "
+                "width %zu\n\n",
+                cfg.memN, cfg.memM, cfg.numReadHeads,
+                cfg.interfaceDim());
+
+    std::printf("%-5s %-12s %-12s %-14s %-12s\n", "step",
+                "total usage", "max usage", "alloc entropy",
+                "link mass");
+    Rng rng(3);
+    for (int t = 0; t < 16; ++t) {
+        tensor::FVec x(cfg.inputDim);
+        for (auto &v : x)
+            v = static_cast<float>(rng.uniform(-1.0, 1.0));
+        const auto trace = dnc.step(x);
+
+        // Allocation entropy: how spread out the next-write slot is.
+        double entropy = 0.0;
+        for (float a : trace.allocation)
+            if (a > 1e-9f)
+                entropy -= a * std::log2(a);
+        float linkMass = 0.0f;
+        for (float v : dnc.linkMatrix().data())
+            linkMass += v;
+
+        if (t % 2 == 0)
+            std::printf("%-5d %-12.3f %-12.3f %-14.3f %-12.3f\n", t,
+                        tensor::sum(trace.usage),
+                        tensor::maxElement(trace.usage), entropy,
+                        linkMass);
+    }
+
+    // --- DNC on Manna: compile and validate against the golden ---
+    const auto model =
+        compiler::compileDnc(cfg, arch::MannaConfig::withTiles(8));
+    sim::DncChip chip(model, 7);
+    mann::Dnc goldenTwin(cfg, 7);
+    Rng rng2(3);
+    float worst = 0.0f;
+    for (int t = 0; t < 8; ++t) {
+        tensor::FVec x(cfg.inputDim);
+        for (auto &v : x)
+            v = static_cast<float>(rng2.uniform(-1.0, 1.0));
+        const auto g = goldenTwin.step(x);
+        const auto out = chip.step(x);
+        worst = std::max(worst, tensor::maxAbsDiff(out, g.output));
+        worst = std::max(worst, chip.gatherLink().maxAbsDiff(
+                                    goldenTwin.linkMatrix()));
+    }
+    const auto rep = chip.report();
+    std::printf("\nDNC on Manna (8 tiles): %zu segments/step, "
+                "%.1f us/step, worst deviation vs golden %.3g (%s)\n",
+                model.stepSegments.size(),
+                rep.secondsPerStep() * 1e6, worst,
+                worst < 1e-3f ? "PASS" : "FAIL");
+    for (const auto &[group, gs] : rep.groups)
+        std::printf("  %-16s %8llu cycles\n", mann::toString(group),
+                    static_cast<unsigned long long>(gs.cycles));
+
+    const auto work = dnc.stepWork();
+    std::printf("\nDNC-specific per-step work (beyond NTM kernels):\n");
+    std::printf("  usage update        %10llu ops  (O(N))\n",
+                static_cast<unsigned long long>(work.usageOps));
+    std::printf("  allocation sort     %10llu ops  (O(N log N))\n",
+                static_cast<unsigned long long>(work.allocationOps));
+    std::printf("  link matrix update  %10llu ops  (O(N^2))\n",
+                static_cast<unsigned long long>(work.linkUpdateOps));
+    std::printf("  link-vector reads   %10llu ops  (O(N^2) x heads)\n",
+                static_cast<unsigned long long>(work.linkReadOps));
+
+    const mann::MannConfig ntmShape = [] {
+        mann::MannConfig m;
+        m.memN = 64;
+        m.memM = 32;
+        m.controllerWidth = 64;
+        return m;
+    }();
+    const mann::OpCounter ntm(ntmShape);
+    std::printf("\nequivalent NTM access-kernel work: %llu MACs "
+                "(O(N*M))\n",
+                static_cast<unsigned long long>(
+                    ntm.nonControllerWork().macOps));
+    std::printf("\nTakeaway: for memN >> memM, the DNC's temporal-"
+                "link kernels dominate and are element-wise over an "
+                "N x N matrix -- the same low-FLOPs/Byte profile "
+                "Manna's eMAC tiles target, but with a quadratically "
+                "larger streaming footprint.\n");
+    return 0;
+}

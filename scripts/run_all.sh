@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every reproduced table/figure.
+#
+#   scripts/run_all.sh [build-dir]
+#
+# Writes test_output.txt and bench_output.txt at the repository root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+
+ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in "$BUILD"/bench/*; do
+    { [ -f "$b" ] && [ -x "$b" ]; } || continue
+    echo "### $(basename "$b")" | tee -a bench_output.txt
+    "$b" 2>&1 | tee -a bench_output.txt
+done
+
+echo "done: see test_output.txt and bench_output.txt"

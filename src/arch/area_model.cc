@@ -1,0 +1,83 @@
+#include "area_model.hh"
+
+#include "arch/energy_model.hh"
+#include "common/strutil.hh"
+
+namespace manna::arch
+{
+
+namespace
+{
+
+// 15 nm-class densities/cost constants, calibrated so that the
+// baseline configuration (38 MiB SRAM, 512 eMACs, 16 tiles) totals
+// ~40 mm^2 as reported in Table 3.
+constexpr double kSramMm2PerMiB = 0.90;
+constexpr double kEmacMm2 = 0.0016;       // per eMAC incl. RF
+constexpr double kSfuMm2 = 0.02;          // per SFU
+constexpr double kNocMm2PerRouter = 0.03;
+constexpr double kSystolicMacMm2 = 0.0016;
+constexpr double kDmatMm2PerTile = 0.03;
+constexpr double kMiscMm2PerTile = 0.05;
+constexpr double kMiscMm2Fixed = 0.5;
+
+} // namespace
+
+AreaBreakdown
+areaOf(const MannaConfig &cfg)
+{
+    AreaBreakdown a;
+    const double mib =
+        static_cast<double>(cfg.totalOnChipBytes()) / (1024.0 * 1024.0);
+    a.sram = kSramMm2PerMiB * mib;
+    a.emacs = kEmacMm2 *
+              static_cast<double>(cfg.numTiles * cfg.emacsPerTile);
+    a.sfu = kSfuMm2 * static_cast<double>(cfg.numTiles * cfg.sfusPerTile);
+    // One router per tile plus the internal H-tree nodes (~numTiles).
+    a.noc = kNocMm2PerRouter * static_cast<double>(2 * cfg.numTiles);
+    a.controller = kSystolicMacMm2 *
+                   static_cast<double>(cfg.systolicRows *
+                                       cfg.systolicCols) +
+                   0.1;
+    a.dmat = kDmatMm2PerTile * static_cast<double>(cfg.numTiles) *
+             (cfg.hasDmat ? 1.0 : 0.5);
+    a.misc = kMiscMm2Fixed +
+             kMiscMm2PerTile * static_cast<double>(cfg.numTiles);
+    if (cfg.hasHbm)
+        a.hbmPhy = cfg.hbmAreaMm2PerController *
+                   static_cast<double>(cfg.hbmModules);
+    return a;
+}
+
+double
+tdpWatts(const MannaConfig &cfg)
+{
+    // TDP is the thermal design envelope: typical busy power plus a
+    // conventional ~40% margin for worst-case activity.
+    constexpr double kThermalMargin = 1.4;
+    const EnergyModel energy(cfg);
+    double watts = energy.busyPowerWatts() * kThermalMargin;
+    if (cfg.hasHbm)
+        watts += cfg.hbmWattsPerModule *
+                 static_cast<double>(cfg.hbmModules);
+    return watts;
+}
+
+std::string
+renderArea(const AreaBreakdown &a)
+{
+    std::string out;
+    out += strformat("  SRAM            %7.2f mm^2\n", a.sram);
+    out += strformat("  eMAC arrays     %7.2f mm^2\n", a.emacs);
+    out += strformat("  SFUs            %7.2f mm^2\n", a.sfu);
+    out += strformat("  NoC             %7.2f mm^2\n", a.noc);
+    out += strformat("  controller tile %7.2f mm^2\n", a.controller);
+    out += strformat("  DMA/DMAT        %7.2f mm^2\n", a.dmat);
+    out += strformat("  misc            %7.2f mm^2\n", a.misc);
+    if (a.hbmPhy > 0.0)
+        out += strformat("  HBM PHYs        %7.2f mm^2\n", a.hbmPhy);
+    out += strformat("  total           %7.2f mm^2\n", a.total());
+    return out;
+}
+
+} // namespace manna::arch

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Analytic die-area model for Manna configurations.
+ *
+ * Substitutes the paper's synthesis-based area numbers with a
+ * component-level analytic model calibrated so the 16-tile baseline
+ * lands near the reported ~40 mm^2 at 15 nm (most of which is SRAM).
+ * Also provides the HBM scale-out accounting of Section 7.3
+ * (each HBM2 controller adds ~35 mm^2; each module adds ~25 W TDP).
+ */
+
+#ifndef MANNA_ARCH_AREA_MODEL_HH
+#define MANNA_ARCH_AREA_MODEL_HH
+
+#include <string>
+
+#include "arch/manna_config.hh"
+
+namespace manna::arch
+{
+
+/** Per-component area breakdown in mm^2. */
+struct AreaBreakdown
+{
+    double sram = 0.0;       ///< all on-chip SRAMs
+    double emacs = 0.0;      ///< eMAC arrays + RFs + lateral links
+    double sfu = 0.0;        ///< special function units
+    double noc = 0.0;        ///< H-tree routers and links
+    double controller = 0.0; ///< systolic array and its control
+    double dmat = 0.0;       ///< DMA / DMAT engines
+    double misc = 0.0;       ///< instruction memories, control, pads
+    double hbmPhy = 0.0;     ///< HBM controllers/PHYs if enabled
+
+    double total() const
+    {
+        return sram + emacs + sfu + noc + controller + dmat + misc +
+               hbmPhy;
+    }
+};
+
+/** Compute the area breakdown of a configuration. */
+AreaBreakdown areaOf(const MannaConfig &cfg);
+
+/** TDP estimate in watts (busy power plus HBM modules if enabled). */
+double tdpWatts(const MannaConfig &cfg);
+
+/** Render the breakdown as a short report. */
+std::string renderArea(const AreaBreakdown &area);
+
+} // namespace manna::arch
+
+#endif // MANNA_ARCH_AREA_MODEL_HH

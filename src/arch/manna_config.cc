@@ -1,0 +1,142 @@
+#include "manna_config.hh"
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace manna::arch
+{
+
+Bytes
+MannaConfig::totalOnChipBytes() const
+{
+    const Bytes perTile = matrixBufferBytes + matrixScratchpadBytes +
+                          vectorBufferBytes + vectorScratchpadBytes +
+                          emacsPerTile * rfWordsPerEmac * kWordBytes;
+    return numTiles * perTile + controllerBufferBytes;
+}
+
+double
+MannaConfig::aggregateMatrixBandwidthGBs() const
+{
+    return static_cast<double>(numTiles * matrixBufferWidthWords *
+                               kWordBytes) *
+           clockMhz * 1e6 / 1e9;
+}
+
+void
+MannaConfig::validate() const
+{
+    if (numTiles == 0 || !isPowerOfTwo(numTiles))
+        fatal("numTiles must be a nonzero power of two (got %zu); the "
+              "H-tree NoC requires it",
+              numTiles);
+    if (emacsPerTile == 0 || !isPowerOfTwo(emacsPerTile))
+        fatal("emacsPerTile must be a nonzero power of two (got %zu)",
+              emacsPerTile);
+    if (matrixBufferWidthWords == 0 ||
+        matrixBufferWidthWords > emacsPerTile)
+        fatal("matrixBufferWidthWords (%zu) must be in [1, emacsPerTile "
+              "= %zu]",
+              matrixBufferWidthWords, emacsPerTile);
+    if (matrixScratchpadBytes % (2 * kWordBytes) != 0 ||
+        matrixScratchpadBytes == 0)
+        fatal("matrixScratchpadBytes must be a nonzero multiple of two "
+              "words (double buffered)");
+    if (matrixScratchpadHalfWords() < matrixBufferWidthWords + 1)
+        fatal("Matrix-Scratchpad half (%zu words) cannot hold even one "
+              "padded row of %zu words",
+              matrixScratchpadHalfWords(), matrixBufferWidthWords + 1);
+    if (vectorScratchpadBytes == 0 || vectorBufferBytes == 0 ||
+        matrixBufferBytes == 0)
+        fatal("buffer capacities must be nonzero");
+    if (clockMhz <= 0.0)
+        fatal("clockMhz must be positive");
+    if (sfusPerTile == 0)
+        fatal("sfusPerTile must be nonzero");
+    if (nocLinkWordsPerCycle == 0)
+        fatal("nocLinkWordsPerCycle must be nonzero");
+    if (systolicRows == 0 || systolicCols == 0)
+        fatal("systolic array dimensions must be nonzero");
+    if (!hasEmac && elwisePenaltyNoEmac == 0)
+        fatal("elwisePenaltyNoEmac must be nonzero when hasEmac=false");
+}
+
+std::string
+MannaConfig::describe() const
+{
+    std::string out;
+    out += strformat("Manna configuration:\n");
+    out += strformat("  DiffMem tiles          : %zu\n", numTiles);
+    out += strformat("  clock                  : %.0f MHz\n", clockMhz);
+    out += strformat("  eMACs / tile           : %zu%s\n", emacsPerTile,
+                     hasEmac ? "" : " (MAC-only, no eMAC)");
+    out += strformat("  Matrix-Buffer / tile   : %s (width %zu words)\n",
+                     formatBytes(matrixBufferBytes).c_str(),
+                     matrixBufferWidthWords);
+    out += strformat("  Matrix-Scratchpad      : %s (double buffered, "
+                     "%zu banks)\n",
+                     formatBytes(matrixScratchpadBytes).c_str(),
+                     matrixScratchpadBanks());
+    out += strformat("  Vector-Buffer / tile   : %s\n",
+                     formatBytes(vectorBufferBytes).c_str());
+    out += strformat("  Vector-Scratchpad      : %s (double buffered)\n",
+                     formatBytes(vectorScratchpadBytes).c_str());
+    out += strformat("  hardware transpose     : %s\n",
+                     hasDmat ? "yes (DMAT + lateral links)" : "no");
+    out += strformat("  controller tile        : %zux%zu systolic, %s\n",
+                     systolicRows, systolicCols,
+                     formatBytes(controllerBufferBytes).c_str());
+    out += strformat("  total on-chip SRAM     : %s\n",
+                     formatBytes(totalOnChipBytes()).c_str());
+    out += strformat("  aggregate matrix BW    : %.2f GB/s\n",
+                     aggregateMatrixBandwidthGBs());
+    if (hasHbm) {
+        out += strformat("  HBM                    : %zu modules x %.0f "
+                         "GB/s\n",
+                         hbmModules, hbmBandwidthGBsPerModule);
+    }
+    return out;
+}
+
+MannaConfig
+MannaConfig::baseline16()
+{
+    return MannaConfig{};
+}
+
+MannaConfig
+MannaConfig::withTiles(std::size_t tiles)
+{
+    MannaConfig cfg;
+    cfg.numTiles = tiles;
+    return cfg;
+}
+
+MannaConfig
+MannaConfig::memHeavy()
+{
+    MannaConfig cfg;
+    cfg.hasDmat = false;
+    cfg.hasEmac = false;
+    return cfg;
+}
+
+MannaConfig
+MannaConfig::memHeavyTranspose()
+{
+    MannaConfig cfg;
+    cfg.hasDmat = true;
+    cfg.hasEmac = false;
+    return cfg;
+}
+
+MannaConfig
+MannaConfig::memHeavyEmac()
+{
+    MannaConfig cfg;
+    cfg.hasDmat = false;
+    cfg.hasEmac = true;
+    return cfg;
+}
+
+} // namespace manna::arch

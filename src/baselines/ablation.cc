@@ -1,0 +1,17 @@
+#include "ablation.hh"
+
+namespace manna::baselines
+{
+
+std::vector<AblationVariant>
+figure14Variants()
+{
+    return {
+        {"MemHeavy", arch::MannaConfig::memHeavy()},
+        {"MemHeavy-Transpose", arch::MannaConfig::memHeavyTranspose()},
+        {"MemHeavy-eMAC", arch::MannaConfig::memHeavyEmac()},
+        {"Manna", arch::MannaConfig::baseline16()},
+    };
+}
+
+} // namespace manna::baselines

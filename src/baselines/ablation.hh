@@ -1,0 +1,34 @@
+/**
+ * @file
+ * The Figure 14 ablation variants: Manna against three designs that
+ * strip its architectural features.
+ *
+ *  - MemHeavy: big banked memories, but no hardware transpose and no
+ *    element-wise support (plain MAC units);
+ *  - MemHeavy-Transpose: adds the DMAT + lateral links only;
+ *  - MemHeavy-eMAC: adds the eMAC units only.
+ */
+
+#ifndef MANNA_BASELINES_ABLATION_HH
+#define MANNA_BASELINES_ABLATION_HH
+
+#include <string>
+#include <vector>
+
+#include "arch/manna_config.hh"
+
+namespace manna::baselines
+{
+
+struct AblationVariant
+{
+    std::string name;
+    arch::MannaConfig config;
+};
+
+/** All four designs of Figure 14, Manna last. */
+std::vector<AblationVariant> figure14Variants();
+
+} // namespace manna::baselines
+
+#endif // MANNA_BASELINES_ABLATION_HH

@@ -1,0 +1,271 @@
+#include "platform_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace manna::baselines
+{
+
+namespace
+{
+
+/**
+ * Number of device-kernel launches one NTM kernel costs per time
+ * step on a framework-driven platform (PyTorch 1.0 eager mode, as
+ * the paper used): every unfused tensor op is a separate launch.
+ */
+double
+launchesPerStep(mann::Kernel k, const mann::MannConfig &cfg)
+{
+    const double heads =
+        static_cast<double>(cfg.numReadHeads + cfg.numWriteHeads);
+    switch (k) {
+      case mann::Kernel::Controller:
+        // Per layer: matmul + bias + activation, plus the output
+        // projection.
+        return 3.0 * static_cast<double>(cfg.controllerLayers) *
+                   (cfg.controllerKind == mann::ControllerKind::LSTM
+                        ? 4.0
+                        : 1.0) +
+               2.0;
+      case mann::Kernel::Heads:
+        // Projection matmul plus the parameter squashing ops.
+        return heads * 6.0;
+      case mann::Kernel::KeySimilarity:
+        // Matvec + norm + divide per head.
+        return heads * 3.0;
+      case mann::Kernel::ContentWeighting:
+        // scale, exp, sum, divide.
+        return heads * 4.0;
+      case mann::Kernel::Interpolation:
+        return heads * 3.0;
+      case mann::Kernel::ShiftWeighting:
+        return heads * 2.0;
+      case mann::Kernel::Sharpening:
+        return heads * 4.0;
+      case mann::Kernel::SoftRead:
+        return static_cast<double>(cfg.numReadHeads);
+      case mann::Kernel::SoftWrite:
+        // erase product, 1-x, multiply, add product, add, write.
+        return static_cast<double>(cfg.numWriteHeads) * 6.0;
+    }
+    return 1.0;
+}
+
+/**
+ * Effective DRAM traffic of one kernel. Matrix kernels run as fused
+ * BLAS calls (traffic = the streamed operands); element-wise and
+ * normalization kernels run unfused, materializing an intermediate
+ * tensor per op (~2 reads + 1 write per element-wise/special op).
+ */
+double
+effectiveBytes(mann::Kernel k, const mann::KernelWork &work)
+{
+    switch (k) {
+      case mann::Kernel::Controller:
+      case mann::Kernel::Heads:
+      case mann::Kernel::KeySimilarity:
+      case mann::Kernel::SoftRead:
+        return static_cast<double>(work.bytesTouched());
+      default: {
+        const double unfusedOps = static_cast<double>(
+            work.elwiseOps + work.specialOps + work.macOps);
+        return std::max(static_cast<double>(work.bytesTouched()),
+                        12.0 * unfusedOps);
+      }
+    }
+}
+
+} // namespace
+
+PlatformModel::PlatformModel(PlatformSpec spec, bool perKernelLaunch)
+    : spec_(std::move(spec)), perKernelLaunch_(perKernelLaunch)
+{
+    MANNA_ASSERT(spec_.peakGflops > 0 && spec_.memBandwidthGBs > 0,
+                 "platform spec incomplete");
+}
+
+KernelCost
+PlatformModel::kernelCost(const mann::KernelWork &work) const
+{
+    KernelCost cost;
+    const double util = std::min(
+        1.0, static_cast<double>(work.parallelism) /
+                 spec_.fullUtilizationLanes);
+    cost.utilization = util;
+
+    const double effectiveGflops =
+        spec_.peakGflops * std::max(util, 1e-4);
+    const double specialPenalty =
+        work.specialOps > 0
+            ? 1.0 + static_cast<double>(work.specialOps) /
+                        std::max<double>(
+                            static_cast<double>(work.flops()), 1.0) *
+                        (spec_.specialOpDerate - 1.0)
+            : 1.0;
+    const double computeSeconds =
+        static_cast<double>(work.flops()) * specialPenalty /
+        (effectiveGflops * 1e9);
+    const double memorySeconds =
+        static_cast<double>(work.bytesTouched()) /
+        (spec_.memBandwidthGBs * 1e9 * spec_.bandwidthEfficiency);
+    cost.seconds = std::max(computeSeconds, memorySeconds);
+
+    const double busyPower =
+        spec_.idleWatts + (spec_.tdpWatts - spec_.idleWatts) * util;
+    cost.joules = cost.seconds * busyPower;
+    return cost;
+}
+
+PlatformStepCost
+PlatformModel::stepCost(const mann::OpCounter &counter) const
+{
+    return stepCostBatched(counter, 1);
+}
+
+PlatformStepCost
+PlatformModel::stepCostBatched(const mann::OpCounter &counter,
+                               std::size_t batch) const
+{
+    MANNA_ASSERT(batch >= 1, "batch must be >= 1");
+    const double b = static_cast<double>(batch);
+    PlatformStepCost total;
+    for (mann::Kernel k : mann::allKernels()) {
+        mann::KernelWork work = counter.kernelWork(k);
+        const bool weightShared = k == mann::Kernel::Controller ||
+                                  k == mann::Kernel::Heads;
+
+        // Scale the work to the batch. Compute always scales; memory
+        // traffic scales except for shared weights (one weight word
+        // per MAC in the dense kernels, fetched once per batch).
+        double scaledBytes;
+        if (weightShared) {
+            const double weightBytes =
+                4.0 * static_cast<double>(work.macOps);
+            const double stateBytes = std::max(
+                static_cast<double>(work.bytesTouched()) - weightBytes,
+                0.0);
+            scaledBytes = weightBytes + stateBytes * b;
+        } else {
+            scaledBytes = static_cast<double>(work.bytesTouched()) * b;
+        }
+        work.macOps = static_cast<std::uint64_t>(
+            static_cast<double>(work.macOps) * b);
+        work.elwiseOps = static_cast<std::uint64_t>(
+            static_cast<double>(work.elwiseOps) * b);
+        work.specialOps = static_cast<std::uint64_t>(
+            static_cast<double>(work.specialOps) * b);
+        work.memReads = static_cast<std::uint64_t>(scaledBytes / 4.0);
+        work.memWrites = 0;
+        work.parallelism = static_cast<std::uint64_t>(
+            static_cast<double>(work.parallelism) * b);
+
+        KernelCost cost;
+        const double util = std::min(
+            1.0, static_cast<double>(work.parallelism) /
+                     spec_.fullUtilizationLanes);
+        cost.utilization = util;
+
+        // Compute/memory roofline with the unfused-traffic model.
+        const double effectiveGflops =
+            spec_.peakGflops * std::max(util, 1e-4);
+        const double specialPenalty =
+            work.specialOps > 0 ? spec_.specialOpDerate : 1.0;
+        const double computeSeconds =
+            static_cast<double>(work.flops()) *
+            (work.specialOps * 2 > work.flops() ? specialPenalty
+                                                : 1.0) /
+            (effectiveGflops * 1e9);
+        const double memorySeconds =
+            effectiveBytes(k, work) /
+            (spec_.memBandwidthGBs * 1e9 * spec_.bandwidthEfficiency);
+        double seconds = std::max(computeSeconds, memorySeconds);
+
+        if (perKernelLaunch_)
+            seconds += launchesPerStep(k, counter.config()) *
+                       spec_.kernelLaunchSeconds;
+        else
+            seconds += spec_.kernelLaunchSeconds; // one dispatch
+
+        const double busyPower =
+            spec_.idleWatts +
+            (spec_.tdpWatts - spec_.idleWatts) * util;
+        cost.seconds = seconds;
+        // Launch/dispatch gaps burn near-idle power; active time
+        // burns utilization-scaled power.
+        const double activeSeconds =
+            std::max(computeSeconds, memorySeconds);
+        cost.joules = activeSeconds * busyPower +
+                      (seconds - activeSeconds) * spec_.idleWatts;
+
+        auto &slot = total.groups[mann::groupOf(k)];
+        slot.seconds += cost.seconds;
+        slot.joules += cost.joules;
+        slot.utilization = std::max(slot.utilization, util);
+        total.seconds += cost.seconds;
+        total.joules += cost.joules;
+    }
+    return total;
+}
+
+PlatformSpec
+pascal1080Ti()
+{
+    PlatformSpec spec;
+    spec.name = "Pascal GTX 1080-Ti";
+    spec.areaMm2 = 470.0;
+    spec.technologyNm = 16.0;
+    spec.frequencyMhz = 1480.0;
+    spec.tdpWatts = 250.0;
+    spec.idleWatts = 55.0;
+    spec.onChipMiB = 11.9;
+    spec.memBandwidthGBs = 484.0;
+    spec.peakGflops = 11340.0;
+    // PyTorch 1.0 eager-mode dispatch plus CUDA launch, per op.
+    spec.kernelLaunchSeconds = 24e-6;
+    // 28 SMs x 2048 resident threads for full occupancy.
+    spec.fullUtilizationLanes = 28.0 * 2048.0;
+    return spec;
+}
+
+PlatformSpec
+turing2080Ti()
+{
+    PlatformSpec spec;
+    spec.name = "Turing RTX 2080-Ti";
+    spec.areaMm2 = 750.0;
+    spec.technologyNm = 12.0;
+    spec.frequencyMhz = 1500.0;
+    spec.tdpWatts = 250.0;
+    spec.idleWatts = 55.0;
+    spec.onChipMiB = 29.5;
+    spec.memBandwidthGBs = 616.0;
+    spec.peakGflops = 13450.0;
+    // Lower per-op overhead than Pascal (improved driver stack and
+    // scheduling in the Turing-era software).
+    spec.kernelLaunchSeconds = 16e-6;
+    spec.fullUtilizationLanes = 68.0 * 1024.0;
+    return spec;
+}
+
+PlatformSpec
+skylakeXeon()
+{
+    PlatformSpec spec;
+    spec.name = "Skylake Xeon";
+    spec.areaMm2 = 325.0;
+    spec.technologyNm = 14.0;
+    spec.frequencyMhz = 2100.0;
+    spec.tdpWatts = 140.0;
+    spec.idleWatts = 45.0;
+    spec.onChipMiB = 38.5;
+    spec.memBandwidthGBs = 115.0;
+    spec.peakGflops = 1900.0; // 28 cores x AVX-512 FMA
+    spec.kernelLaunchSeconds = 2e-6; // framework op dispatch only
+    spec.fullUtilizationLanes = 28.0 * 32.0;
+    spec.specialOpDerate = 6.0;
+    return spec;
+}
+
+} // namespace manna::baselines

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Analytic baseline platform models (the paper's comparison points:
+ * GTX 1080-Ti, RTX 2080-Ti, and the Skylake CPU used in Figure 2).
+ *
+ * Substitution note (DESIGN.md): we cannot run PyTorch+cuDNN on the
+ * authors' GPUs offline, so baseline per-kernel times come from a
+ * roofline model with two effects the paper identifies as dominant:
+ *
+ *  1. streaming access kernels run at (utilization-scaled) memory
+ *     bandwidth;
+ *  2. the narrow addressing kernels cannot fill the machine, so they
+ *     pay a fixed per-kernel launch overhead and run at the
+ *     utilization their limited parallelism allows (the "narrow
+ *     task" effect of Section 3, citing Pagoda [40]).
+ *
+ * Energy integrates a utilization-dependent power between idle and
+ * TDP. The constants are each platform's public specifications.
+ */
+
+#ifndef MANNA_BASELINES_PLATFORM_MODEL_HH
+#define MANNA_BASELINES_PLATFORM_MODEL_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mann/op_counter.hh"
+
+namespace manna::baselines
+{
+
+/** Specification of a baseline platform. */
+struct PlatformSpec
+{
+    std::string name;
+    double areaMm2 = 0.0;
+    double technologyNm = 0.0;
+    double frequencyMhz = 0.0;
+    double tdpWatts = 0.0;
+    double idleWatts = 0.0;
+    double onChipMiB = 0.0;
+    double memBandwidthGBs = 0.0;
+
+    /** Peak FP32 throughput in GFLOP/s. */
+    double peakGflops = 0.0;
+
+    /** Fixed overhead charged per kernel invocation (seconds). */
+    double kernelLaunchSeconds = 0.0;
+
+    /** Parallel lanes needed for full utilization (threads the
+     * machine wants resident to saturate). */
+    double fullUtilizationLanes = 1.0;
+
+    /** Fraction of peak bandwidth streaming kernels achieve. */
+    double bandwidthEfficiency = 0.85;
+
+    /** Throughput derate for special functions (exp/pow/div). */
+    double specialOpDerate = 4.0;
+};
+
+/** Per-kernel timing/energy on a baseline platform. */
+struct KernelCost
+{
+    double seconds = 0.0;
+    double joules = 0.0;
+    double utilization = 0.0;
+};
+
+/** Whole-step cost report. */
+struct PlatformStepCost
+{
+    double seconds = 0.0;
+    double joules = 0.0;
+    std::map<mann::KernelGroup, KernelCost> groups;
+
+    double stepsPerJoule() const
+    {
+        return joules > 0.0 ? 1.0 / joules : 0.0;
+    }
+};
+
+/**
+ * Roofline + narrow-task model evaluating NTM kernels on a platform.
+ */
+class PlatformModel
+{
+  public:
+    PlatformModel(PlatformSpec spec, bool perKernelLaunch);
+
+    const PlatformSpec &spec() const { return spec_; }
+
+    /** Time/energy of one kernel execution for one time step. */
+    KernelCost kernelCost(const mann::KernelWork &work) const;
+
+    /** Full NTM time step (all kernels, Table 1 decomposition). */
+    PlatformStepCost stepCost(const mann::OpCounter &counter) const;
+
+    /**
+     * Cost of one time step for a *batch* of independent sequences
+     * (Section 1's batching argument). Weight traffic in the
+     * controller and head kernels is shared across the batch; the
+     * differentiable external memory is dynamic state unique to each
+     * sequence, so every access kernel's traffic scales with the
+     * batch size. Exposed parallelism grows with the batch, improving
+     * utilization; kernel launches are amortized across it.
+     */
+    PlatformStepCost stepCostBatched(const mann::OpCounter &counter,
+                                     std::size_t batch) const;
+
+  private:
+    PlatformSpec spec_;
+    /** GPUs pay the launch overhead per kernel; CPUs do not. */
+    bool perKernelLaunch_;
+};
+
+/** The paper's platforms (Table 3 + Section 3). */
+PlatformSpec pascal1080Ti();
+PlatformSpec turing2080Ti();
+PlatformSpec skylakeXeon();
+
+} // namespace manna::baselines
+
+#endif // MANNA_BASELINES_PLATFORM_MODEL_HH

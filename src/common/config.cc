@@ -1,0 +1,95 @@
+#include "config.hh"
+
+#include "logging.hh"
+#include "strutil.hh"
+
+namespace manna
+{
+
+Config
+Config::fromArgs(int argc, const char *const *argv, int firstArg)
+{
+    Config cfg;
+    for (int i = firstArg; i < argc; ++i) {
+        const std::string tok = argv[i];
+        const auto eq = tok.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            fatal("malformed option '%s' (expected key=value)",
+                  tok.c_str());
+        }
+        cfg.set(tok.substr(0, eq), tok.substr(eq + 1));
+    }
+    return cfg;
+}
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    values_[key] = value;
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values_.count(key) != 0;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &def) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+}
+
+std::int64_t
+Config::getInt(const std::string &key, std::int64_t def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    auto v = parseInt(it->second);
+    if (!v)
+        fatal("option '%s=%s' is not an integer", key.c_str(),
+              it->second.c_str());
+    return *v;
+}
+
+double
+Config::getDouble(const std::string &key, double def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    auto v = parseDouble(it->second);
+    if (!v)
+        fatal("option '%s=%s' is not a number", key.c_str(),
+              it->second.c_str());
+    return *v;
+}
+
+bool
+Config::getBool(const std::string &key, bool def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    const std::string v = toLower(it->second);
+    if (v == "1" || v == "true" || v == "yes" || v == "on")
+        return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    fatal("option '%s=%s' is not a boolean", key.c_str(),
+          it->second.c_str());
+}
+
+std::vector<std::string>
+Config::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(values_.size());
+    for (const auto &[k, v] : values_)
+        out.push_back(k);
+    return out;
+}
+
+} // namespace manna

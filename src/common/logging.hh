@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Status-message and error-handling helpers in the spirit of gem5's
+ * logging facilities.
+ *
+ * Two classes of error are distinguished:
+ *  - panic(): an internal invariant was violated (a bug in this
+ *    library). Aborts so a debugger/core dump can be attached.
+ *  - fatal(): the *user's* input (configuration, benchmark selection,
+ *    assembly text, ...) cannot be processed. Exits with an error code.
+ *
+ * warn()/inform() print advisory messages and continue.
+ */
+
+#ifndef MANNA_COMMON_LOGGING_HH
+#define MANNA_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace manna
+{
+
+/** Verbosity levels for inform()-style messages. */
+enum class LogLevel
+{
+    Quiet = 0,   ///< only warnings and errors
+    Normal = 1,  ///< inform() messages shown
+    Verbose = 2, ///< debug() messages shown
+};
+
+/** Set the global verbosity. Thread-unsafe; call once at startup. */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+/**
+ * Report an internal invariant violation and abort.
+ * Use only for conditions that indicate a bug in this library.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user error (bad config, bad input) and
+ * exit(1).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning; the run continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational status message (LogLevel::Normal and up). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a debug message (LogLevel::Verbose only). */
+void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Implementation detail of MANNA_ASSERT. */
+[[noreturn]] void panicAssertFail(const char *cond, const char *file,
+                                  int line, const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+/**
+ * Assert a simulator invariant with a formatted message.
+ * Compiled in all build types: simulator correctness depends on these
+ * checks and their cost is negligible next to the modelled work.
+ */
+#define MANNA_ASSERT(cond, ...)                                          \
+    do {                                                                 \
+        if (!(cond)) {                                                   \
+            ::manna::panicAssertFail(#cond, __FILE__, __LINE__,          \
+                                     __VA_ARGS__);                       \
+        }                                                                \
+    } while (0)
+
+} // namespace manna
+
+#endif // MANNA_COMMON_LOGGING_HH

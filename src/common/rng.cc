@@ -1,0 +1,117 @@
+#include "rng.hh"
+
+#include <cmath>
+
+#include "logging.hh"
+
+namespace manna
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &w : state_)
+        w = splitmix64(s);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::below(std::uint64_t n)
+{
+    MANNA_ASSERT(n > 0, "below(0) is undefined");
+    // Rejection sampling for unbiased results.
+    const std::uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+    std::uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return v % n;
+}
+
+std::int64_t
+Rng::range(std::int64_t lo, std::int64_t hi)
+{
+    MANNA_ASSERT(lo <= hi, "range(%ld, %ld) inverted", static_cast<long>(lo),
+                 static_cast<long>(hi));
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi - lo) + 1ull;
+    return lo + static_cast<std::int64_t>(below(span));
+}
+
+double
+Rng::gaussian()
+{
+    if (hasSpareGaussian_) {
+        hasSpareGaussian_ = false;
+        return spareGaussian_;
+    }
+    double u1 = 0.0;
+    while (u1 == 0.0)
+        u1 = uniform();
+    const double u2 = uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    spareGaussian_ = mag * std::sin(2.0 * M_PI * u2);
+    hasSpareGaussian_ = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next() ^ 0xd1342543de82ef95ull);
+}
+
+} // namespace manna

@@ -1,0 +1,160 @@
+#include "strutil.hh"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+
+namespace manna
+{
+
+std::string
+trim(std::string_view s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return std::string(s.substr(b, e - b));
+}
+
+std::vector<std::string>
+split(std::string_view s, char delim)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == delim) {
+            out.emplace_back(s.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+std::vector<std::string>
+splitWhitespace(std::string_view s)
+{
+    std::vector<std::string> out;
+    std::size_t i = 0;
+    while (i < s.size()) {
+        while (i < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[i])))
+            ++i;
+        std::size_t start = i;
+        while (i < s.size() &&
+               !std::isspace(static_cast<unsigned char>(s[i])))
+            ++i;
+        if (i > start)
+            out.emplace_back(s.substr(start, i - start));
+    }
+    return out;
+}
+
+std::string
+toLower(std::string_view s)
+{
+    std::string out(s);
+    for (auto &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+bool
+startsWith(std::string_view s, std::string_view prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.substr(0, prefix.size()) == prefix;
+}
+
+std::string
+strformat(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list copy;
+    va_copy(copy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    std::string out(needed > 0 ? static_cast<std::size_t>(needed) : 0,
+                    '\0');
+    if (needed > 0)
+        std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+    va_end(args);
+    return out;
+}
+
+std::optional<std::int64_t>
+parseInt(std::string_view s)
+{
+    const std::string str = trim(s);
+    if (str.empty())
+        return std::nullopt;
+    char *end = nullptr;
+    errno = 0;
+    const long long v = std::strtoll(str.c_str(), &end, 0);
+    if (errno != 0 || end != str.c_str() + str.size())
+        return std::nullopt;
+    return static_cast<std::int64_t>(v);
+}
+
+std::optional<double>
+parseDouble(std::string_view s)
+{
+    const std::string str = trim(s);
+    if (str.empty())
+        return std::nullopt;
+    char *end = nullptr;
+    errno = 0;
+    const double v = std::strtod(str.c_str(), &end);
+    if (errno != 0 || end != str.c_str() + str.size())
+        return std::nullopt;
+    return v;
+}
+
+std::string
+formatBytes(std::uint64_t bytes)
+{
+    constexpr std::uint64_t kib = 1024ull;
+    constexpr std::uint64_t mib = kib * 1024ull;
+    constexpr std::uint64_t gib = mib * 1024ull;
+    if (bytes >= gib && bytes % gib == 0)
+        return strformat("%llu GiB",
+                         static_cast<unsigned long long>(bytes / gib));
+    if (bytes >= mib && bytes % mib == 0)
+        return strformat("%llu MiB",
+                         static_cast<unsigned long long>(bytes / mib));
+    if (bytes >= kib && bytes % kib == 0)
+        return strformat("%llu KiB",
+                         static_cast<unsigned long long>(bytes / kib));
+    if (bytes >= mib)
+        return strformat("%.1f MiB", static_cast<double>(bytes) / mib);
+    if (bytes >= kib)
+        return strformat("%.1f KiB", static_cast<double>(bytes) / kib);
+    return strformat("%llu B", static_cast<unsigned long long>(bytes));
+}
+
+std::string
+formatSig(double v, int digits)
+{
+    if (v == 0.0 || !std::isfinite(v))
+        return strformat("%.*g", digits, v);
+    return strformat("%.*g", digits, v);
+}
+
+std::string
+join(const std::vector<std::string> &items, std::string_view sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i)
+            out += sep;
+        out += items[i];
+    }
+    return out;
+}
+
+} // namespace manna

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Small string helpers used by the assembler, config parser, and
+ * report formatting.
+ */
+
+#ifndef MANNA_COMMON_STRUTIL_HH
+#define MANNA_COMMON_STRUTIL_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace manna
+{
+
+/** Strip leading/trailing whitespace. */
+std::string trim(std::string_view s);
+
+/** Split on a delimiter character; empty tokens are preserved. */
+std::vector<std::string> split(std::string_view s, char delim);
+
+/** Split on any run of whitespace; empty tokens are discarded. */
+std::vector<std::string> splitWhitespace(std::string_view s);
+
+/** Lowercase an ASCII string. */
+std::string toLower(std::string_view s);
+
+/** True if @p s starts with @p prefix. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/** printf-style formatting into a std::string. */
+std::string strformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Parse a signed integer; nullopt on any trailing garbage. */
+std::optional<std::int64_t> parseInt(std::string_view s);
+
+/** Parse a double; nullopt on any trailing garbage. */
+std::optional<double> parseDouble(std::string_view s);
+
+/** Human-readable byte count, e.g. "16 KiB", "2 MiB". */
+std::string formatBytes(std::uint64_t bytes);
+
+/** Format a double with @p digits significant digits. */
+std::string formatSig(double v, int digits = 3);
+
+/** Join items with a separator. */
+std::string join(const std::vector<std::string> &items,
+                 std::string_view sep);
+
+} // namespace manna
+
+#endif // MANNA_COMMON_STRUTIL_HH

@@ -1,0 +1,147 @@
+#include "table.hh"
+
+#include <algorithm>
+
+#include "logging.hh"
+#include "strutil.hh"
+
+namespace manna
+{
+
+const std::vector<std::string> Table::kSeparator = {""};
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header))
+{
+    MANNA_ASSERT(!header_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    MANNA_ASSERT(cells.size() == header_.size(),
+                 "row width %zu != header width %zu", cells.size(),
+                 header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addSeparator()
+{
+    rows_.push_back(kSeparator);
+}
+
+std::size_t
+Table::rowCount() const
+{
+    std::size_t n = 0;
+    for (const auto &r : rows_)
+        if (r != kSeparator)
+            ++n;
+    return n;
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        if (row == kSeparator)
+            continue;
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto renderRow = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            line += strformat("%-*s", static_cast<int>(widths[c]),
+                              row[c].c_str());
+            if (c + 1 < row.size())
+                line += "  ";
+        }
+        // Trim trailing spaces.
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        return line + "\n";
+    };
+
+    auto rule = [&]() {
+        std::string line;
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            line += std::string(widths[c], '-');
+            if (c + 1 < widths.size())
+                line += "  ";
+        }
+        return line + "\n";
+    };
+
+    std::string out = renderRow(header_);
+    out += rule();
+    for (const auto &row : rows_) {
+        if (row == kSeparator)
+            out += rule();
+        else
+            out += renderRow(row);
+    }
+    return out;
+}
+
+namespace
+{
+
+std::string
+csvEscape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+std::string
+Table::renderCsv() const
+{
+    auto renderRow = [](const std::vector<std::string> &row) {
+        std::string line;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                line += ',';
+            line += csvEscape(row[c]);
+        }
+        return line + "\n";
+    };
+    std::string out = renderRow(header_);
+    for (const auto &row : rows_) {
+        if (row != kSeparator)
+            out += renderRow(row);
+    }
+    return out;
+}
+
+std::string
+formatFactor(double factor)
+{
+    if (factor >= 100.0)
+        return strformat("%.0fx", factor);
+    if (factor >= 10.0)
+        return strformat("%.1fx", factor);
+    return strformat("%.2fx", factor);
+}
+
+std::string
+formatPercent(double fraction)
+{
+    return strformat("%.1f%%", fraction * 100.0);
+}
+
+} // namespace manna

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * ASCII table rendering for the benchmark harness. Every reproduced
+ * paper table/figure prints through this so output is uniform and
+ * easy to diff across runs.
+ */
+
+#ifndef MANNA_COMMON_TABLE_HH
+#define MANNA_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace manna
+{
+
+/**
+ * Column-aligned ASCII table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"Benchmark", "Speedup"});
+ *   t.addRow({"copy", "41.2x"});
+ *   std::cout << t.render();
+ * @endcode
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    /** Number of data rows (separators excluded). */
+    std::size_t rowCount() const;
+
+    /** Render with column alignment and a header rule. */
+    std::string render() const;
+
+    /**
+     * Render as CSV (RFC-4180-style quoting; separators skipped) for
+     * plotting the reproduced figures. Enabled in the bench binaries
+     * via the MANNA_CSV environment variable.
+     */
+    std::string renderCsv() const;
+
+  private:
+    std::vector<std::string> header_;
+    // A row with a single empty sentinel cell marks a separator.
+    std::vector<std::vector<std::string>> rows_;
+    static const std::vector<std::string> kSeparator;
+};
+
+/** Format a multiplicative factor, e.g. 39.4 -> "39.4x". */
+std::string formatFactor(double factor);
+
+/** Format a percentage, e.g. 0.498 -> "49.8%". */
+std::string formatPercent(double fraction);
+
+} // namespace manna
+
+#endif // MANNA_COMMON_TABLE_HH

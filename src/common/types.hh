@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the Manna reproduction.
+ */
+
+#ifndef MANNA_COMMON_TYPES_HH
+#define MANNA_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace manna
+{
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Energy in picojoules. */
+using Energy = double;
+
+/** Time in seconds (derived from Cycle / frequency). */
+using Seconds = double;
+
+/** Byte count. */
+using Bytes = std::uint64_t;
+
+/** Generic element/operation count. */
+using Count = std::uint64_t;
+
+/** Word size of all datapaths in this design: FP32. */
+constexpr Bytes kWordBytes = 4;
+
+/** KiB/MiB helpers for configuration literals. */
+constexpr Bytes operator""_KiB(unsigned long long v) { return v * 1024ull; }
+constexpr Bytes operator""_MiB(unsigned long long v)
+{
+    return v * 1024ull * 1024ull;
+}
+
+/** Integer ceiling division. */
+constexpr std::uint64_t
+ceilDiv(std::uint64_t num, std::uint64_t den)
+{
+    return (num + den - 1) / den;
+}
+
+/** Round @p v up to the next multiple of @p align (align > 0). */
+constexpr std::uint64_t
+roundUp(std::uint64_t v, std::uint64_t align)
+{
+    return ceilDiv(v, align) * align;
+}
+
+/** True if @p v is a power of two (and nonzero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2 for a nonzero value. */
+constexpr std::uint32_t
+log2Floor(std::uint64_t v)
+{
+    std::uint32_t r = 0;
+    while (v >>= 1)
+        ++r;
+    return r;
+}
+
+/** Ceiling of log2; log2Ceil(1) == 0. */
+constexpr std::uint32_t
+log2Ceil(std::uint64_t v)
+{
+    return v <= 1 ? 0 : log2Floor(v - 1) + 1;
+}
+
+} // namespace manna
+
+#endif // MANNA_COMMON_TYPES_HH

@@ -1,0 +1,141 @@
+#include "codegen_util.hh"
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace manna::compiler
+{
+
+std::vector<std::uint32_t>
+partitionRows(std::uint32_t total, std::size_t tiles)
+{
+    const std::uint32_t chunk =
+        static_cast<std::uint32_t>(ceilDiv(total, tiles));
+    std::vector<std::uint32_t> counts(tiles, 0);
+    std::uint32_t assigned = 0;
+    for (std::size_t t = 0; t < tiles && assigned < total; ++t) {
+        const std::uint32_t take =
+            std::min<std::uint32_t>(chunk, total - assigned);
+        counts[t] = take;
+        assigned += take;
+    }
+    return counts;
+}
+
+std::vector<std::uint32_t>
+startsOf(const std::vector<std::uint32_t> &counts)
+{
+    std::vector<std::uint32_t> starts(counts.size(), 0);
+    std::uint32_t acc = 0;
+    for (std::size_t t = 0; t < counts.size(); ++t) {
+        starts[t] = acc;
+        acc += counts[t];
+    }
+    return starts;
+}
+
+isa::Operand
+mk(isa::Space space, std::uint64_t base, std::uint32_t len,
+   const SweepCtx &c, std::int64_t strideRb, std::int64_t strideCg,
+   std::int64_t strideRow)
+{
+    std::int64_t b = static_cast<std::int64_t>(base);
+    if (c.rbLevel < 0)
+        b += static_cast<std::int64_t>(c.rbFixed) * strideRb;
+    if (c.cgLevel < 0)
+        b += static_cast<std::int64_t>(c.cgFixed) * strideCg;
+    MANNA_ASSERT(b >= 0, "operand base underflow");
+    isa::Operand op = isa::makeOperand(
+        space, static_cast<std::uint32_t>(b), len);
+    if (c.rbLevel >= 0)
+        op.stride[c.rbLevel] = static_cast<std::int32_t>(strideRb);
+    if (c.cgLevel >= 0)
+        op.stride[c.cgLevel] = static_cast<std::int32_t>(strideCg);
+    if (c.rowLevel >= 0)
+        op.stride[c.rowLevel] = static_cast<std::int32_t>(strideRow);
+    return op;
+}
+
+void
+emitBlockedSweep(isa::Program &prog, std::uint32_t rows,
+                 std::uint32_t cols, std::uint32_t blockN,
+                 std::uint32_t blockM, bool outerRows,
+                 const SweepBody &body)
+{
+    MANNA_ASSERT(rows > 0 && cols > 0, "sweep over empty matrix");
+    const std::uint32_t rbFull = rows / blockN;
+    const std::uint32_t rbRem = rows % blockN;
+    const std::uint32_t cgFull = cols / blockM;
+    const std::uint32_t cgRem = cols % blockM;
+
+    if (outerRows) {
+        auto colPass = [&](SweepCtx ctx, std::uint32_t rowsB) {
+            if (cgFull > 0) {
+                prog.beginLoop(cgFull);
+                SweepCtx c = ctx;
+                c.cgLevel = c.depth++;
+                body(prog, c, rowsB, blockM);
+                prog.endLoop();
+            }
+            if (cgRem > 0) {
+                SweepCtx c = ctx;
+                c.cgFixed = cgFull;
+                body(prog, c, rowsB, cgRem);
+            }
+        };
+        if (rbFull > 0) {
+            prog.beginLoop(rbFull);
+            SweepCtx ctx;
+            ctx.rbLevel = ctx.depth++;
+            colPass(ctx, blockN);
+            prog.endLoop();
+        }
+        if (rbRem > 0) {
+            SweepCtx ctx;
+            ctx.rbFixed = rbFull;
+            colPass(ctx, rbRem);
+        }
+    } else {
+        auto rowPass = [&](SweepCtx ctx, std::uint32_t colsB) {
+            if (rbFull > 0) {
+                prog.beginLoop(rbFull);
+                SweepCtx c = ctx;
+                c.rbLevel = c.depth++;
+                body(prog, c, blockN, colsB);
+                prog.endLoop();
+            }
+            if (rbRem > 0) {
+                SweepCtx c = ctx;
+                c.rbFixed = rbFull;
+                body(prog, c, rbRem, colsB);
+            }
+        };
+        if (cgFull > 0) {
+            prog.beginLoop(cgFull);
+            SweepCtx ctx;
+            ctx.cgLevel = ctx.depth++;
+            rowPass(ctx, blockM);
+            prog.endLoop();
+        }
+        if (cgRem > 0) {
+            SweepCtx ctx;
+            ctx.cgFixed = cgFull;
+            rowPass(ctx, cgRem);
+        }
+    }
+}
+
+isa::Instruction
+makeInst(isa::Opcode op, isa::Operand dst, isa::Operand a,
+         isa::Operand b, float imm)
+{
+    isa::Instruction inst;
+    inst.op = op;
+    inst.dst = dst;
+    inst.srcA = a;
+    inst.srcB = b;
+    inst.imm = imm;
+    return inst;
+}
+
+} // namespace manna::compiler

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared code-generation utilities used by both the NTM and the DNC
+ * code generators: row partitioning across tiles, the sweep loop
+ * context, strided-operand construction, and the blocked two-level
+ * loop-nest emitter.
+ */
+
+#ifndef MANNA_COMPILER_CODEGEN_UTIL_HH
+#define MANNA_COMPILER_CODEGEN_UTIL_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace manna::compiler
+{
+
+/** Ceil-division assignment of `total` rows to tiles; earlier tiles
+ * get the larger share. */
+std::vector<std::uint32_t> partitionRows(std::uint32_t total,
+                                         std::size_t tiles);
+
+/** Running starts of a partition. */
+std::vector<std::uint32_t>
+startsOf(const std::vector<std::uint32_t> &counts);
+
+/**
+ * Loop context for the blocked sweeps: each of the three symbolic
+ * axes (row block `rb`, column group `cg`, row-within-block `row`)
+ * is either bound to a loop nesting level or fixed to a constant
+ * index (for peeled remainder sections).
+ */
+struct SweepCtx
+{
+    int rbLevel = -1;
+    int cgLevel = -1;
+    int rowLevel = -1;
+    std::uint32_t rbFixed = 0;
+    std::uint32_t cgFixed = 0;
+    int depth = 0; ///< current loop nesting depth
+};
+
+/** Build an operand whose address advances along the sweep axes. */
+isa::Operand mk(isa::Space space, std::uint64_t base,
+                std::uint32_t len, const SweepCtx &c,
+                std::int64_t strideRb = 0, std::int64_t strideCg = 0,
+                std::int64_t strideRow = 0);
+
+/** Per-block emission callback: (program, ctx, rowsB, colsB). */
+using SweepBody = std::function<void(isa::Program &, SweepCtx &,
+                                     std::uint32_t, std::uint32_t)>;
+
+/**
+ * Emit the blocked two-level loop nest over a rows x cols matrix,
+ * peeling row/column remainders. @p outerRows selects row-major
+ * (outer row blocks) vs column-major (outer column groups) order.
+ */
+void emitBlockedSweep(isa::Program &prog, std::uint32_t rows,
+                      std::uint32_t cols, std::uint32_t blockN,
+                      std::uint32_t blockM, bool outerRows,
+                      const SweepBody &body);
+
+/** Instruction construction shorthand. */
+isa::Instruction makeInst(isa::Opcode op, isa::Operand dst,
+                          isa::Operand a = {}, isa::Operand b = {},
+                          float imm = 0.0f);
+
+} // namespace manna::compiler
+
+#endif // MANNA_COMPILER_CODEGEN_UTIL_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Output of the Manna compiler (Section 5.2): per-tile programs for
+ * one NTM time step, the memory layout needed to load model state
+ * onto the tiles, and the mapping decisions that produced them.
+ */
+
+#ifndef MANNA_COMPILER_COMPILED_MODEL_HH
+#define MANNA_COMPILER_COMPILED_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/manna_config.hh"
+#include "compiler/mapping.hh"
+#include "isa/program.hh"
+#include "mann/mann_config.hh"
+#include "mann/op_counter.hh"
+
+namespace manna::compiler
+{
+
+/**
+ * Tags carried in the `count` field of communication instructions so
+ * the chip knows which exchanges interact with the Controller tile.
+ */
+enum class CommTag : std::uint32_t
+{
+    None = 0,
+    /** Broadcast whose payload is the controller's hidden state; the
+     * chip injects it at the tree root. */
+    HiddenIn = 1,
+    /** Reduce whose result is a final read vector r_h; the chip
+     * captures it for the next controller input. The read-head index
+     * is packed in the upper bits. */
+    ReadVectorOut = 2,
+    /** DNC only: reduce of the scattered usage vector; the root
+     * (Controller tile) transforms it into the allocation weighting
+     * (free-list scan) before the following broadcast. */
+    UsageToAllocation = 3,
+};
+
+/** Pack/unpack comm tags into the instruction `count` field. */
+std::uint32_t packCommTag(CommTag tag, std::uint32_t index = 0);
+CommTag commTagOf(std::uint32_t count);
+std::uint32_t commIndexOf(std::uint32_t count);
+
+/**
+ * One bulk-synchronous program segment: all tiles run their program,
+ * synchronizing at the embedded Reduce/Broadcast instructions. Each
+ * segment is attributed to one paper kernel group (Figures 2/10).
+ */
+struct CompiledSegment
+{
+    mann::KernelGroup group;
+    std::string name;
+    std::vector<isa::Program> tilePrograms; ///< one per DiffMem tile
+};
+
+/** Placement of a row-partitioned matrix across the tiles. */
+struct RowPartition
+{
+    std::uint32_t base = 0; ///< MatBuf word address (same on all tiles)
+    std::uint32_t cols = 0; ///< words per row
+    std::vector<std::uint32_t> rowStart; ///< first global row, per tile
+    std::vector<std::uint32_t> rowCount; ///< rows held, per tile
+};
+
+/** Addresses the chip needs to load model state onto the tiles. */
+struct ChipLayout
+{
+    /** Differentiable memory slice (rows of M). */
+    RowPartition memory;
+
+    /** Head weight matrices, read heads then write heads, partitioned
+     * across tiles by output (parameter) rows. */
+    std::vector<RowPartition> headWeights;
+
+    /** VecBuf address of the persistent previous weighting w_{h}^{t-1}
+     * slice (length = local memory row count), one entry per head
+     * (read heads first). */
+    std::vector<std::uint32_t> wPrevBase;
+
+    /** Per-space functional storage sizes (uniform across tiles). */
+    std::size_t matBufWords = 0;
+    std::size_t matSpadWords = 0;
+    std::size_t vecBufWords = 0;
+    std::size_t vecSpadWords = 0;
+};
+
+/** The complete compiled artifact. */
+struct CompiledModel
+{
+    mann::MannConfig mannCfg;
+    arch::MannaConfig archCfg;
+    Mapping mapping;
+    ChipLayout layout;
+
+    /** Segments executed in order for every NTM time step. */
+    std::vector<CompiledSegment> stepSegments;
+
+    /** Human-readable capacity/diagnostic warnings. */
+    std::vector<std::string> warnings;
+
+    /** Longest per-tile static program across segments. */
+    std::size_t maxProgramLength() const;
+
+    /** Disassembly of every segment for one tile. */
+    std::string disassembleTile(std::size_t tile) const;
+};
+
+} // namespace manna::compiler
+
+#endif // MANNA_COMPILER_COMPILED_MODEL_HH

@@ -1,0 +1,13 @@
+#include "compiler.hh"
+
+namespace manna::compiler
+{
+
+CompiledModel
+compile(const mann::MannConfig &mann, const arch::MannaConfig &arch)
+{
+    const Mapping mapping = computeMapping(mann, arch);
+    return generateCode(mann, arch, mapping);
+}
+
+} // namespace manna::compiler

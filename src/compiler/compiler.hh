@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Top-level compiler entry point (Section 5.2): mapping followed by
+ * code generation.
+ */
+
+#ifndef MANNA_COMPILER_COMPILER_HH
+#define MANNA_COMPILER_COMPILER_HH
+
+#include "compiler/codegen.hh"
+#include "compiler/compiled_model.hh"
+#include "compiler/mapping.hh"
+
+namespace manna::compiler
+{
+
+/**
+ * Compile a MANN description for a Manna configuration.
+ *
+ * Equivalent to generateCode(mann, arch, computeMapping(mann, arch)).
+ */
+CompiledModel compile(const mann::MannConfig &mann,
+                      const arch::MannaConfig &arch);
+
+} // namespace manna::compiler
+
+#endif // MANNA_COMPILER_COMPILER_HH

@@ -1,0 +1,235 @@
+#include "mapping.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace manna::compiler
+{
+
+const char *
+toString(LoopOrder order)
+{
+    switch (order) {
+      case LoopOrder::OutputStationary:
+        return "output-stationary";
+      case LoopOrder::InputStationary:
+        return "input-stationary";
+    }
+    return "?";
+}
+
+std::uint32_t
+KernelMapping::rowBlocks() const
+{
+    return static_cast<std::uint32_t>(ceilDiv(rows, blockN));
+}
+
+std::uint32_t
+KernelMapping::colBlocks() const
+{
+    return static_cast<std::uint32_t>(ceilDiv(cols, blockM));
+}
+
+std::string
+KernelMapping::describe() const
+{
+    return strformat(
+        "%-16s %5ux%-5u block %3ux%-3u%s  blockLoop=%s (OS %.0f / IS "
+        "%.0f)  computeLoop=%s (OS %.0f / IS %.0f)",
+        mann::toString(kernel), rows, cols, blockN, blockM,
+        transposed ? " (T)" : "    ", toString(blockLoop),
+        blockLoopCost[0], blockLoopCost[1], toString(computeLoop),
+        computeLoopCost[0], computeLoopCost[1]);
+}
+
+const KernelMapping &
+Mapping::forKernel(mann::Kernel k) const
+{
+    for (const auto &m : kernels)
+        if (m.kernel == k)
+            return m;
+    panic("no mapping for kernel %s", mann::toString(k));
+}
+
+std::string
+Mapping::describe() const
+{
+    std::string out = strformat(
+        "distribution: NDistrib=%zu MDistrib=%zu (rows/tile <= %u)\n",
+        nDistrib, mDistrib, localRowsMax);
+    for (const auto &m : kernels)
+        out += "  " + m.describe() + "\n";
+    return out;
+}
+
+std::uint32_t
+chooseBlockN(const arch::MannaConfig &arch, std::uint32_t rows,
+             bool padded)
+{
+    const std::uint32_t pitch =
+        static_cast<std::uint32_t>(arch.matrixBufferWidthWords) +
+        (padded ? 1u : 0u);
+    const std::uint32_t halfWords =
+        static_cast<std::uint32_t>(arch.matrixScratchpadHalfWords());
+    std::uint32_t blockN = halfWords / pitch;
+    MANNA_ASSERT(blockN > 0,
+                 "scratchpad half (%u words) below one padded row (%u)",
+                 halfWords, pitch);
+    // Do not let a lane-starved block shape win: keep at least one
+    // row per eMAC when the kernel has enough rows.
+    blockN = std::min<std::uint32_t>(blockN, std::max(rows, 1u));
+    return blockN;
+}
+
+namespace
+{
+
+/**
+ * Cost model for the block-loop ordering (traffic in words at the
+ * scratchpad <-> RF level, Figure 6).
+ *
+ * For a vector-matrix product of `rows x cols` with blocks
+ * `bN x bM`:
+ *  - output stationary: a group of output partials stays resident
+ *    while every contributing block streams past, so the *input*
+ *    vector is re-read once per output group;
+ *  - input stationary: the input vector is read exactly once but the
+ *    partial sums spill and refill once per input block.
+ *
+ * `outLen`/`inLen` and the group counts depend on the reduction
+ * direction (row-dot vs column-accumulate), so callers pass them
+ * explicitly.
+ */
+struct OrderCosts
+{
+    double os;
+    double is;
+};
+
+OrderCosts
+blockLoopCosts(double inLen, double outLen, double inGroups,
+               double outGroups)
+{
+    OrderCosts costs{};
+    costs.os = inLen * outGroups + outLen;
+    costs.is = inLen + 2.0 * outLen * inGroups;
+    return costs;
+}
+
+/** Compute-loop ordering costs (traffic at the buffer level). */
+OrderCosts
+computeLoopCosts(const arch::MannaConfig &arch, double bN, double bM,
+                 bool rowDot)
+{
+    OrderCosts costs{};
+    const double lanes = static_cast<double>(arch.emacsPerTile);
+    if (rowDot) {
+        // Output = bN dots resident in RF; input = the bM vector
+        // chunk re-read per lane group of rows.
+        const double laneGroups = std::ceil(bN / lanes);
+        costs.os = bM * laneGroups + bN;
+        costs.is = bM + 2.0 * bN * bM / lanes;
+    } else {
+        // Output = bM partials; input = bN weights.
+        const double laneGroups = std::ceil(bM / lanes);
+        costs.os = bN * laneGroups + bM;
+        costs.is = bN + 2.0 * bM * bN / lanes;
+    }
+    return costs;
+}
+
+KernelMapping
+mapBlockedKernel(const arch::MannaConfig &arch, mann::Kernel kernel,
+                 std::uint32_t rows, std::uint32_t cols, bool transposed)
+{
+    KernelMapping m;
+    m.kernel = kernel;
+    m.rows = rows;
+    m.cols = cols;
+    m.transposed = transposed;
+    m.blockM = static_cast<std::uint32_t>(arch.matrixBufferWidthWords);
+    m.blockN = chooseBlockN(arch, rows, transposed);
+
+    const double rowBlocks = ceilDiv(rows, m.blockN);
+    const double colBlocks = ceilDiv(cols, m.blockM);
+
+    OrderCosts block;
+    if (transposed) {
+        // Row-dot reduction: outputs are per-row dots (len = rows,
+        // groups = rowBlocks); input is the length-cols vector.
+        block = blockLoopCosts(cols, rows, colBlocks, rowBlocks);
+    } else {
+        // Column accumulation: outputs are per-column partials.
+        block = blockLoopCosts(rows, cols, rowBlocks, colBlocks);
+    }
+    m.blockLoopCost[0] = block.os;
+    m.blockLoopCost[1] = block.is;
+    m.blockLoop = block.os <= block.is ? LoopOrder::OutputStationary
+                                       : LoopOrder::InputStationary;
+
+    const OrderCosts compute =
+        computeLoopCosts(arch, m.blockN, m.blockM, transposed);
+    m.computeLoopCost[0] = compute.os;
+    m.computeLoopCost[1] = compute.is;
+    m.computeLoop = compute.os <= compute.is
+                        ? LoopOrder::OutputStationary
+                        : LoopOrder::InputStationary;
+    return m;
+}
+
+} // namespace
+
+Mapping
+computeMapping(const mann::MannConfig &mann,
+               const arch::MannaConfig &arch)
+{
+    mann.validate();
+    arch.validate();
+
+    Mapping mapping;
+    // Section 4.4: force MDistrib = 1 so the O(memN) addressing
+    // kernels parallelize across every tile.
+    mapping.nDistrib = arch.numTiles;
+    mapping.mDistrib = 1;
+    mapping.localRowsMax = static_cast<std::uint32_t>(
+        ceilDiv(mann.memN, arch.numTiles));
+
+    const std::uint32_t localRows = mapping.localRowsMax;
+    const std::uint32_t memM = static_cast<std::uint32_t>(mann.memM);
+    const std::uint32_t hidden =
+        static_cast<std::uint32_t>(mann.hiddenDim());
+
+    // Heads: W_h slices are row-partitioned; the per-tile product is
+    // (paramDim / numTiles) x (hidden + 1), accessed row-dot
+    // (transposed). The +1 column carries the bias against an
+    // augmented constant-one lane of the broadcast hidden vector.
+    const std::uint32_t headRows = static_cast<std::uint32_t>(ceilDiv(
+        std::max(mann.readHeadParamDim(), mann.writeHeadParamDim()),
+        arch.numTiles));
+    mapping.kernels.push_back(mapBlockedKernel(
+        arch, mann::Kernel::Heads, std::max(headRows, 1u), hidden + 1,
+        /*transposed=*/true));
+
+    // Key similarity: per-row dots over the local memory slice.
+    mapping.kernels.push_back(mapBlockedKernel(
+        arch, mann::Kernel::KeySimilarity, localRows, memM,
+        /*transposed=*/true));
+
+    // Soft read: column accumulation over the local slice.
+    mapping.kernels.push_back(mapBlockedKernel(
+        arch, mann::Kernel::SoftRead, localRows, memM,
+        /*transposed=*/false));
+
+    // Soft write: streaming element-wise update (no reduction); block
+    // geometry reuses the untransposed shape.
+    mapping.kernels.push_back(mapBlockedKernel(
+        arch, mann::Kernel::SoftWrite, localRows, memM,
+        /*transposed=*/false));
+
+    return mapping;
+}
+
+} // namespace manna::compiler

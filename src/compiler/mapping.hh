@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The compiler's mapping phase (Section 5.2.1): loop blocking and
+ * loop ordering for the blocked matrix kernels.
+ *
+ * Blocking follows the paper's algorithm: blockM is fixed to the
+ * Matrix-Buffer memory width (also required by the transpose
+ * mechanism), and blockN is maximized subject to the block (plus skew
+ * padding, when the kernel accesses the block in the transposed
+ * direction) fitting in one half of the double-buffered
+ * Matrix-Scratchpad.
+ *
+ * Ordering evaluates an analytic cost model for the four
+ * output-/input-stationary combinations of the block loop and the
+ * compute loop (Figure 6) and picks the cheapest, prioritizing the
+ * block loop (scratchpad-level traffic) over the compute loop
+ * (buffer-level traffic), as the paper prescribes.
+ */
+
+#ifndef MANNA_COMPILER_MAPPING_HH
+#define MANNA_COMPILER_MAPPING_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/manna_config.hh"
+#include "mann/mann_config.hh"
+#include "mann/op_counter.hh"
+
+namespace manna::compiler
+{
+
+/** Loop-ordering strategies (Section 4.4 / Figure 6). */
+enum class LoopOrder
+{
+    OutputStationary,
+    InputStationary,
+};
+
+const char *toString(LoopOrder order);
+
+/** Blocking and ordering decision for one blocked kernel. */
+struct KernelMapping
+{
+    mann::Kernel kernel;
+
+    /** Matrix dimensions of the per-tile operation being blocked. */
+    std::uint32_t rows = 0;
+    std::uint32_t cols = 0;
+
+    /** Chosen block shape. */
+    std::uint32_t blockN = 0; ///< rows per block
+    std::uint32_t blockM = 0; ///< cols per block (= buffer width)
+
+    /** Whether the kernel reads blocks in the transposed direction
+     * (and therefore needs skew padding). */
+    bool transposed = false;
+
+    /** Chosen orderings. */
+    LoopOrder blockLoop = LoopOrder::OutputStationary;
+    LoopOrder computeLoop = LoopOrder::OutputStationary;
+
+    /** Modeled traffic (words) for the chosen orderings. */
+    double blockLoopCost[2] = {0.0, 0.0};   ///< [OS, IS]
+    double computeLoopCost[2] = {0.0, 0.0}; ///< [OS, IS]
+
+    /** Block counts along each dimension. */
+    std::uint32_t rowBlocks() const;
+    std::uint32_t colBlocks() const;
+
+    std::string describe() const;
+};
+
+/** Full mapping for a MANN on a Manna configuration. */
+struct Mapping
+{
+    /** Tile distribution: the paper's heuristic forces MDistrib = 1,
+     * NDistrib = NumTiles (Section 4.4). */
+    std::size_t nDistrib = 0;
+    std::size_t mDistrib = 1;
+
+    /** Per-tile row count of the external memory (max across tiles). */
+    std::uint32_t localRowsMax = 0;
+
+    /** Mappings for the blocked kernels (key similarity, soft read,
+     * soft write, heads). */
+    std::vector<KernelMapping> kernels;
+
+    const KernelMapping &forKernel(mann::Kernel k) const;
+
+    std::string describe() const;
+};
+
+/**
+ * Run the mapping phase.
+ *
+ * @param mann the MANN description
+ * @param arch the target configuration
+ */
+Mapping computeMapping(const mann::MannConfig &mann,
+                       const arch::MannaConfig &arch);
+
+/**
+ * Compute blockN for a blocked kernel: the largest row count whose
+ * block (with optional skew padding) fits in half the
+ * Matrix-Scratchpad, clamped to the actual row count.
+ */
+std::uint32_t chooseBlockN(const arch::MannaConfig &arch,
+                           std::uint32_t rows, bool padded);
+
+} // namespace manna::compiler
+
+#endif // MANNA_COMPILER_MAPPING_HH

@@ -1,0 +1,99 @@
+#include "experiment.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "compiler/compiler.hh"
+
+namespace manna::harness
+{
+
+MannaResult
+simulateManna(const workloads::Benchmark &benchmark,
+              const arch::MannaConfig &config, std::size_t steps,
+              std::uint64_t seed)
+{
+    const compiler::CompiledModel model =
+        compiler::compile(benchmark.config, config);
+    for (const auto &w : model.warnings)
+        debugLog("%s: %s", benchmark.name.c_str(), w.c_str());
+
+    sim::Chip chip(model, seed);
+    Rng rng(seed ^ 0x5eedf00dull);
+    workloads::Episode episode =
+        workloads::generateEpisode(benchmark, steps, rng);
+
+    // Trim or extend the episode to exactly `steps` inputs so the
+    // per-step metrics are comparable across benchmarks.
+    while (episode.inputs.size() < steps)
+        episode.inputs.push_back(
+            tensor::FVec(benchmark.config.inputDim, 0.0f));
+    episode.inputs.resize(steps);
+
+    chip.run(episode.inputs);
+
+    MannaResult result;
+    result.report = chip.report();
+    result.secondsPerStep = result.report.secondsPerStep();
+    result.joulesPerStep =
+        result.report.totalEnergyJoules() /
+        static_cast<double>(std::max<std::size_t>(steps, 1));
+    const double cyclePeriod = config.cyclePeriodSec();
+    for (const auto &[group, gs] : result.report.groups) {
+        result.groupSeconds[group] =
+            static_cast<double>(gs.cycles) * cyclePeriod /
+            static_cast<double>(std::max<std::size_t>(steps, 1));
+    }
+    return result;
+}
+
+BaselineResult
+evaluateBaseline(const workloads::Benchmark &benchmark,
+                 const baselines::PlatformModel &model)
+{
+    const mann::OpCounter counter(benchmark.config);
+    BaselineResult result;
+    result.step = model.stepCost(counter);
+    result.secondsPerStep = result.step.seconds;
+    result.joulesPerStep = result.step.joules;
+    return result;
+}
+
+const baselines::PlatformModel &
+gpu1080Ti()
+{
+    static const baselines::PlatformModel model(
+        baselines::pascal1080Ti(), /*perKernelLaunch=*/true);
+    return model;
+}
+
+const baselines::PlatformModel &
+gpu2080Ti()
+{
+    static const baselines::PlatformModel model(
+        baselines::turing2080Ti(), /*perKernelLaunch=*/true);
+    return model;
+}
+
+const baselines::PlatformModel &
+cpuXeon()
+{
+    static const baselines::PlatformModel model(
+        baselines::skylakeXeon(), /*perKernelLaunch=*/false);
+    return model;
+}
+
+std::size_t
+defaultSteps()
+{
+    if (const char *env = std::getenv("MANNA_STEPS")) {
+        const auto v = parseInt(env);
+        if (v && *v > 0)
+            return static_cast<std::size_t>(*v);
+        warn("ignoring invalid MANNA_STEPS='%s'", env);
+    }
+    return 12;
+}
+
+} // namespace manna::harness

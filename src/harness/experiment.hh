@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Experiment harness: runs a benchmark on the Manna simulator and on
+ * the baseline platform models, producing per-step time and energy
+ * with per-kernel-group breakdowns. Every bench/ binary drives its
+ * table or figure through this module so methodology is identical
+ * across experiments.
+ */
+
+#ifndef MANNA_HARNESS_EXPERIMENT_HH
+#define MANNA_HARNESS_EXPERIMENT_HH
+
+#include <map>
+#include <string>
+
+#include "baselines/platform_model.hh"
+#include "sim/chip.hh"
+#include "workloads/benchmarks.hh"
+#include "workloads/tasks.hh"
+
+namespace manna::harness
+{
+
+/** Per-step result of a Manna simulation. */
+struct MannaResult
+{
+    sim::RunReport report;
+    double secondsPerStep = 0.0;
+    double joulesPerStep = 0.0;
+    std::map<mann::KernelGroup, double> groupSeconds; ///< per step
+};
+
+/** Per-step result of a baseline platform model. */
+struct BaselineResult
+{
+    baselines::PlatformStepCost step;
+    double secondsPerStep = 0.0;
+    double joulesPerStep = 0.0;
+};
+
+/**
+ * Simulate @p steps time steps of a benchmark on the given Manna
+ * configuration, driving it with the benchmark's task generator.
+ */
+MannaResult simulateManna(const workloads::Benchmark &benchmark,
+                          const arch::MannaConfig &config,
+                          std::size_t steps, std::uint64_t seed = 1);
+
+/** Evaluate a benchmark on a baseline platform model. */
+BaselineResult evaluateBaseline(const workloads::Benchmark &benchmark,
+                                const baselines::PlatformModel &model);
+
+/** GPU and CPU models used across the experiments. */
+const baselines::PlatformModel &gpu1080Ti();
+const baselines::PlatformModel &gpu2080Ti();
+const baselines::PlatformModel &cpuXeon();
+
+/**
+ * Default step count for the simulated experiments (enough for
+ * steady-state per-step metrics while keeping the full suite fast).
+ * Override with the MANNA_STEPS environment variable.
+ */
+std::size_t defaultSteps();
+
+} // namespace manna::harness
+
+#endif // MANNA_HARNESS_EXPERIMENT_HH

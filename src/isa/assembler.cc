@@ -1,0 +1,227 @@
+#include "assembler.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace manna::isa
+{
+
+namespace
+{
+
+/** Opcode mnemonic lookup, built once from toString(). */
+const std::map<std::string, Opcode> &
+mnemonicTable()
+{
+    static const std::map<std::string, Opcode> table = [] {
+        std::map<std::string, Opcode> t;
+        for (std::uint32_t i = 0;
+             i < static_cast<std::uint32_t>(Opcode::NumOpcodes); ++i) {
+            const Opcode op = static_cast<Opcode>(i);
+            t[toString(op)] = op;
+        }
+        return t;
+    }();
+    return table;
+}
+
+const std::map<std::string, Space> &
+spaceTable()
+{
+    static const std::map<std::string, Space> table = {
+        {"mbuf", Space::MatBuf},
+        {"mspad", Space::MatSpad},
+        {"vbuf", Space::VecBuf},
+        {"vspad", Space::VecSpad},
+    };
+    return table;
+}
+
+/** Parse "space[base:len]" or "space[base:len,s0,s1,s2]". */
+bool
+parseOperand(const std::string &text, Operand &out, std::string &error)
+{
+    const auto bracket = text.find('[');
+    if (bracket == std::string::npos || text.back() != ']') {
+        error = "operand '" + text + "' missing [base:len]";
+        return false;
+    }
+    const std::string spaceName = text.substr(0, bracket);
+    auto spaceIt = spaceTable().find(spaceName);
+    if (spaceIt == spaceTable().end()) {
+        error = "unknown memory space '" + spaceName + "'";
+        return false;
+    }
+    const std::string inner =
+        text.substr(bracket + 1, text.size() - bracket - 2);
+    const auto parts = split(inner, ',');
+    if (parts.empty() || parts.size() > 1 + kMaxLoopDepth) {
+        error = "operand '" + text + "' has bad field count";
+        return false;
+    }
+    const auto baseLen = split(parts[0], ':');
+    if (baseLen.size() != 2) {
+        error = "operand '" + text + "' missing base:len";
+        return false;
+    }
+    const auto base = parseInt(baseLen[0]);
+    const auto len = parseInt(baseLen[1]);
+    if (!base || !len || *base < 0 || *len < 0) {
+        error = "operand '" + text + "' has non-numeric base/len";
+        return false;
+    }
+    Operand op;
+    op.space = spaceIt->second;
+    op.base = static_cast<std::uint32_t>(*base);
+    op.len = static_cast<std::uint32_t>(*len);
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+        const auto s = parseInt(parts[i]);
+        if (!s) {
+            error = "operand '" + text + "' has non-numeric stride";
+            return false;
+        }
+        op.stride[i - 1] = static_cast<std::int32_t>(*s);
+    }
+    out = op;
+    return true;
+}
+
+} // namespace
+
+std::optional<Instruction>
+parseInstruction(const std::string &line, std::string &error)
+{
+    const auto tokens = splitWhitespace(line);
+    if (tokens.empty()) {
+        error = "empty instruction";
+        return std::nullopt;
+    }
+
+    // Mnemonic with optional dot-suffixes (vmm.rowdot.acc,
+    // reduce.sum, ...). Match the longest known prefix.
+    std::string mnemonic = tokens[0];
+    Instruction inst;
+    std::vector<std::string> suffixes;
+    while (true) {
+        auto it = mnemonicTable().find(mnemonic);
+        if (it != mnemonicTable().end()) {
+            inst.op = it->second;
+            break;
+        }
+        const auto dot = mnemonic.rfind('.');
+        if (dot == std::string::npos) {
+            error = "unknown mnemonic '" + tokens[0] + "'";
+            return std::nullopt;
+        }
+        suffixes.push_back(mnemonic.substr(dot + 1));
+        mnemonic = mnemonic.substr(0, dot);
+    }
+    for (const auto &sfx : suffixes) {
+        if (sfx == "rowdot")
+            inst.flags.rowDot = true;
+        else if (sfx == "acc")
+            inst.flags.accumulate = true;
+        else if (sfx == "norms")
+            inst.flags.withNorms = true;
+        else if (sfx == "reuse")
+            inst.flags.reuseB = true;
+        else if (sfx == "skew")
+            inst.flags.skewed = true;
+        else if (sfx == "res")
+            inst.flags.dstResident = true;
+        else if (sfx == "sum")
+            inst.flags.reduceOp = ReduceOp::Sum;
+        else if (sfx == "max")
+            inst.flags.reduceOp = ReduceOp::Max;
+        else {
+            error = "unknown suffix '." + sfx + "'";
+            return std::nullopt;
+        }
+    }
+
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+        const std::string &tok = tokens[i];
+        if (inst.op == Opcode::Loop && i == 1) {
+            const auto count = parseInt(tok);
+            if (!count || *count <= 0) {
+                error = "loop needs a positive count";
+                return std::nullopt;
+            }
+            inst.count = static_cast<std::uint32_t>(*count);
+            continue;
+        }
+        const auto eq = tok.find('=');
+        if (eq == std::string::npos) {
+            error = "unexpected token '" + tok + "'";
+            return std::nullopt;
+        }
+        const std::string key = tok.substr(0, eq);
+        const std::string value = tok.substr(eq + 1);
+        if (key == "rows" || key == "off") {
+            const auto v = parseInt(value);
+            if (!v || *v < 0) {
+                error = "bad " + key + " '" + value + "'";
+                return std::nullopt;
+            }
+            inst.count = static_cast<std::uint32_t>(*v);
+        } else if (key == "pitch") {
+            const auto v = parseInt(value);
+            if (!v || *v < 0) {
+                error = "bad pitch '" + value + "'";
+                return std::nullopt;
+            }
+            inst.srcB.base = static_cast<std::uint32_t>(*v);
+        } else if (key == "imm") {
+            const auto v = parseDouble(value);
+            if (!v) {
+                error = "bad immediate '" + value + "'";
+                return std::nullopt;
+            }
+            inst.imm = static_cast<float>(*v);
+        } else if (key == "d" || key == "a" || key == "b") {
+            Operand op;
+            if (!parseOperand(value, op, error))
+                return std::nullopt;
+            if (key == "d")
+                inst.dst = op;
+            else if (key == "a")
+                inst.srcA = op;
+            else
+                inst.srcB = op;
+        } else {
+            error = "unknown field '" + key + "'";
+            return std::nullopt;
+        }
+    }
+    return inst;
+}
+
+AssembleResult
+assemble(const std::string &text)
+{
+    AssembleResult result;
+    const auto lines = split(text, '\n');
+    for (std::size_t n = 0; n < lines.size(); ++n) {
+        const std::string line = trim(lines[n]);
+        if (line.empty() || line[0] == '#' || line[0] == ';')
+            continue;
+        std::string error;
+        auto inst = parseInstruction(line, error);
+        if (!inst) {
+            result.error = error;
+            result.errorLine = n + 1;
+            return result;
+        }
+        result.program.append(*inst);
+    }
+    const std::string structural = result.program.validate();
+    if (!structural.empty()) {
+        result.error = structural;
+        result.errorLine = 0;
+    }
+    return result;
+}
+
+} // namespace manna::isa

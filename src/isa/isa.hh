@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Manna instruction set architecture (Section 5.1).
+ *
+ * The ISA has three instruction classes:
+ *  - control: loop / end-loop bracket the block loop; operand address
+ *    generation is expressed through per-loop-level strides attached
+ *    to every operand (the paper's addr-gen);
+ *  - compute: coarse-grained kernels primitives (DMA transfers, the
+ *    two vector-matrix directions, element-wise ops, SFU ops);
+ *  - communication: reduce and broadcast across all tiles, which
+ *    double as synchronization fences.
+ *
+ * An operand names a region of one of the tile's memory spaces. The
+ * effective base address of an operand inside nested loops is
+ *   base + sum_over_active_loops(iter[l] * stride[l])
+ * where level 0 is the outermost active loop. Operands of length 1
+ * are treated as scalar broadcasts by the element-wise ops.
+ */
+
+#ifndef MANNA_ISA_ISA_HH
+#define MANNA_ISA_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+namespace manna::isa
+{
+
+/** Maximum loop nesting depth supported by operand address
+ * generation. */
+constexpr std::size_t kMaxLoopDepth = 3;
+
+/** Tile-local memory spaces an operand can name. */
+enum class Space : std::uint8_t
+{
+    None = 0, ///< operand unused
+    MatBuf,   ///< Matrix-Buffer (large, per-tile)
+    MatSpad,  ///< Matrix-Scratchpad (double buffered, banked)
+    VecBuf,   ///< Vector-Buffer
+    VecSpad,  ///< Vector-Scratchpad (double buffered)
+};
+
+const char *toString(Space s);
+
+/** Opcodes. */
+enum class Opcode : std::uint8_t
+{
+    Nop = 0,
+    Halt,
+
+    // Control.
+    Loop,    ///< begin a loop of `count` iterations
+    EndLoop, ///< close the innermost loop
+
+    // Data movement (DMA / DMAT engines). The matrix transfers are
+    // two-dimensional: `count` rows of (dst.len / count) words each
+    // (for DmatLoadM the destination pitch is one word wider than the
+    // row, i.e. dst.len = count * (rowWords + 1)); srcA.base is the
+    // source start and srcB.base carries the source row pitch in
+    // words.
+    DmaLoadM,   ///< Matrix-Buffer -> Matrix-Scratchpad, row order
+    DmatLoadM,  ///< same transfer, skew-padded for transposed access
+    DmaStoreM,  ///< Matrix-Scratchpad -> Matrix-Buffer (2D, as above)
+    DmaLoadV,   ///< Vector-Buffer -> Vector-Scratchpad (1D)
+    DmaStoreV,  ///< Vector-Scratchpad -> Vector-Buffer (1D)
+
+    // eMAC compute.
+    Vmm,      ///< vector-matrix multiply over a scratchpad block
+    EwAdd,    ///< dst = a + b
+    EwSub,    ///< dst = a - b
+    EwMul,    ///< dst = a * b
+    EwMac,    ///< dst += a * b
+    EwAddImm, ///< dst = a + imm
+    EwMulImm, ///< dst = a * imm
+    EwRsubImm,///< dst = imm - a
+    Fill,     ///< dst = imm
+
+    // SFU compute (serial).
+    SfuExp,      ///< dst = exp(a)
+    SfuPow,      ///< dst = a ^ b[0] (b is a scalar operand)
+    SfuRecip,    ///< dst = 1 / a
+    SfuSqrt,     ///< dst = sqrt(a)
+    SfuSigmoid,  ///< dst = sigmoid(a)
+    SfuTanh,     ///< dst = tanh(a)
+    SfuSoftplus, ///< dst = log(1 + exp(a))
+    SfuAccSum,   ///< dst[0] = sum(a)
+    SfuAccMax,   ///< dst[0] = max(a)
+
+    // Communication (also fences).
+    Reduce,    ///< element-wise reduce of src across all tiles
+    Broadcast, ///< broadcast root's src to every tile's dst
+
+    NumOpcodes,
+};
+
+const char *toString(Opcode op);
+
+/** Reduction operators for Reduce. */
+enum class ReduceOp : std::uint8_t
+{
+    Sum = 0,
+    Max,
+};
+
+const char *toString(ReduceOp op);
+
+/** One operand: a (possibly loop-strided) region of a memory space. */
+struct Operand
+{
+    Space space = Space::None;
+    std::uint32_t base = 0; ///< word address within the space
+    std::int32_t stride[kMaxLoopDepth] = {0, 0, 0}; ///< words/iter
+    std::uint32_t len = 0;  ///< element count
+
+    bool valid() const { return space != Space::None; }
+
+    /** A scalar operand broadcasts its single element. */
+    bool isScalarBroadcast() const { return len == 1; }
+
+    /** Effective base for the given loop iteration counters. */
+    std::uint32_t effectiveBase(const std::int64_t iters[kMaxLoopDepth],
+                                std::size_t depth) const;
+
+    std::string toString() const;
+
+    bool operator==(const Operand &) const = default;
+};
+
+/** Convenience constructors. */
+Operand makeOperand(Space space, std::uint32_t base, std::uint32_t len);
+Operand makeStridedOperand(Space space, std::uint32_t base,
+                           std::uint32_t len, std::int32_t stride0,
+                           std::int32_t stride1 = 0,
+                           std::int32_t stride2 = 0);
+
+/** Instruction flags. */
+struct Flags
+{
+    /**
+     * Vmm: row-dot mode (key-similarity direction, each lane owns a
+     * matrix *row*; requires a DMAT-loaded block for conflict-free
+     * banking). When false, Vmm runs in column-accumulate mode (the
+     * soft-read direction).
+     */
+    bool rowDot = false;
+
+    /** Vmm: accumulate into dst instead of overwriting. */
+    bool accumulate = false;
+
+    /** Vmm row-dot: also accumulate per-row squared norms into the
+     * second half of dst (used by key similarity). */
+    bool withNorms = false;
+
+    /**
+     * Vmm: the matrix block (srcB) is already resident from a prior
+     * Vmm over the same block (multi-head reuse); no scratchpad read
+     * energy is charged for it.
+     */
+    bool reuseB = false;
+
+    /**
+     * Vmm row-dot: the block was loaded via DmatLoadM and is skew
+     * padded (row pitch = rowWords + 1), so banked access is
+     * conflict-free.
+     */
+    bool skewed = false;
+
+    /**
+     * Vmm: the destination partial sums stay resident in the eMAC
+     * register files across this instruction (output-stationary block
+     * loop); no destination traffic is charged. The compiler sets
+     * this on all but the final block of an output-stationary group.
+     */
+    bool dstResident = false;
+
+    /** Reduce: combining operator. */
+    ReduceOp reduceOp = ReduceOp::Sum;
+
+    bool operator==(const Flags &) const = default;
+};
+
+/**
+ * One Manna instruction.
+ *
+ * `dst`, `srcA`, `srcB` usage varies by opcode; see the simulator's
+ * interpreter for the definitive semantics of each.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    Operand dst;
+    Operand srcA;
+    Operand srcB;
+    float imm = 0.0f;
+    std::uint32_t count = 0; ///< Loop iteration count
+    Flags flags;
+
+    std::string toString() const;
+
+    bool operator==(const Instruction &) const = default;
+};
+
+/** Fixed-size binary encoding (96 bytes per instruction: a 16-byte
+ * header plus three 24-byte operands, padded). */
+constexpr std::size_t kEncodedBytes = 96;
+
+/** Encode to exactly kEncodedBytes bytes appended to @p out. */
+void encode(const Instruction &inst, std::string &out);
+
+/**
+ * Decode one instruction from @p data at @p offset. Returns false on
+ * truncated input or malformed fields.
+ */
+bool decode(const std::string &data, std::size_t offset,
+            Instruction &inst);
+
+} // namespace manna::isa
+
+#endif // MANNA_ISA_ISA_HH

@@ -1,0 +1,52 @@
+#include "addressing.hh"
+
+#include "common/logging.hh"
+#include "tensor/vector_ops.hh"
+
+namespace manna::mann
+{
+
+FVec
+contentWeighting(const FMat &memory, const FVec &key, float beta,
+                 float epsilon)
+{
+    const FVec sim = tensor::rowCosineSimilarity(memory, key, epsilon);
+    return tensor::softmax(sim, beta);
+}
+
+FVec
+interpolate(const FVec &wc, const FVec &wPrev, float gate)
+{
+    MANNA_ASSERT(wc.size() == wPrev.size(),
+                 "interpolate size mismatch %zu vs %zu", wc.size(),
+                 wPrev.size());
+    FVec out(wc.size());
+    for (std::size_t i = 0; i < wc.size(); ++i)
+        out[i] = gate * wc[i] + (1.0f - gate) * wPrev[i];
+    return out;
+}
+
+FVec
+shiftWeighting(const FVec &wg, const FVec &shift)
+{
+    return tensor::circularConvolve(wg, shift);
+}
+
+FVec
+sharpenWeighting(const FVec &ws, float gamma)
+{
+    return tensor::sharpen(ws, gamma);
+}
+
+FVec
+addressHead(const FMat &memory, const HeadParams &params,
+            const FVec &wPrev, float epsilon)
+{
+    const FVec wc =
+        contentWeighting(memory, params.key, params.beta, epsilon);
+    const FVec wg = interpolate(wc, wPrev, params.gate);
+    const FVec ws = shiftWeighting(wg, params.shift);
+    return sharpenWeighting(ws, params.gamma);
+}
+
+} // namespace manna::mann

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * NTM addressing mechanism (Eqs. 4-8): content-based weighting,
+ * location interpolation, shift weighting (circular convolution), and
+ * weight sharpening. These are the paper's "addressing kernels"
+ * (Table 1), each O(memN) per head.
+ */
+
+#ifndef MANNA_MANN_ADDRESSING_HH
+#define MANNA_MANN_ADDRESSING_HH
+
+#include "mann/head.hh"
+#include "tensor/matrix.hh"
+
+namespace manna::mann
+{
+
+/**
+ * Content-based weighting (Eqs. 4-5): cosine similarity of the key
+ * against every memory row, amplified by beta and normalized with a
+ * softmax.
+ */
+FVec contentWeighting(const FMat &memory, const FVec &key, float beta,
+                      float epsilon);
+
+/**
+ * Location interpolation (Eq. 6):
+ * wg(i) = g * wc(i) + (1 - g) * wPrev(i).
+ */
+FVec interpolate(const FVec &wc, const FVec &wPrev, float gate);
+
+/**
+ * Shift weighting (Eq. 7): circular convolution of the interpolated
+ * weighting with the head's shift kernel.
+ */
+FVec shiftWeighting(const FVec &wg, const FVec &shift);
+
+/**
+ * Weight sharpening (Eq. 8): raise to gamma and renormalize.
+ */
+FVec sharpenWeighting(const FVec &ws, float gamma);
+
+/**
+ * Full addressing pipeline for one head against the given memory,
+ * producing the final weight vector w_h^t.
+ */
+FVec addressHead(const FMat &memory, const HeadParams &params,
+                 const FVec &wPrev, float epsilon);
+
+} // namespace manna::mann
+
+#endif // MANNA_MANN_ADDRESSING_HH

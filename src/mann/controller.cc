@@ -1,0 +1,167 @@
+#include "controller.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "tensor/vector_ops.hh"
+
+namespace manna::mann
+{
+
+using tensor::matVecMulBias;
+using tensor::sigmoidScalar;
+
+FMat
+randomWeights(std::size_t rows, std::size_t cols, Rng &rng)
+{
+    FMat w(rows, cols);
+    const double scale =
+        std::sqrt(2.0 / static_cast<double>(rows + cols));
+    for (auto &v : w.data())
+        v = static_cast<float>(rng.gaussian(0.0, scale));
+    return w;
+}
+
+FVec
+randomBias(std::size_t n, Rng &rng)
+{
+    FVec b(n);
+    for (auto &v : b)
+        v = static_cast<float>(rng.gaussian(0.0, 0.01));
+    return b;
+}
+
+MlpController::MlpController(const MannConfig &cfg, Rng &rng)
+    : outputWeights_(randomWeights(cfg.outputDim, cfg.hiddenDim(), rng)),
+      outputBias_(randomBias(cfg.outputDim, rng))
+{
+    std::size_t inDim = cfg.controllerInputDim();
+    for (std::size_t l = 0; l < cfg.controllerLayers; ++l) {
+        layers_.push_back(randomWeights(cfg.controllerWidth, inDim, rng));
+        biases_.push_back(randomBias(cfg.controllerWidth, rng));
+        inDim = cfg.controllerWidth;
+    }
+}
+
+ControllerOutput
+MlpController::forward(const FVec &input)
+{
+    FVec act = input;
+    for (std::size_t l = 0; l < layers_.size(); ++l)
+        act = tensor::tanhVec(matVecMulBias(layers_[l], act, biases_[l]));
+
+    ControllerOutput out;
+    out.output = matVecMulBias(outputWeights_, act, outputBias_);
+    out.hidden = std::move(act);
+    return out;
+}
+
+std::size_t
+MlpController::parameterCount() const
+{
+    std::size_t n = outputWeights_.size() + outputBias_.size();
+    for (std::size_t l = 0; l < layers_.size(); ++l)
+        n += layers_[l].size() + biases_[l].size();
+    return n;
+}
+
+std::vector<const FMat *>
+MlpController::weightMatrices() const
+{
+    std::vector<const FMat *> out;
+    for (const auto &l : layers_)
+        out.push_back(&l);
+    out.push_back(&outputWeights_);
+    return out;
+}
+
+LstmController::LstmController(const MannConfig &cfg, Rng &rng)
+    : width_(cfg.controllerWidth),
+      outputWeights_(randomWeights(cfg.outputDim, cfg.hiddenDim(), rng)),
+      outputBias_(randomBias(cfg.outputDim, rng))
+{
+    std::size_t inDim = cfg.controllerInputDim();
+    for (std::size_t l = 0; l < cfg.controllerLayers; ++l) {
+        Layer layer;
+        layer.inputWeights = randomWeights(4 * width_, inDim, rng);
+        layer.hiddenWeights = randomWeights(4 * width_, width_, rng);
+        layer.bias = randomBias(4 * width_, rng);
+        layer.h.assign(width_, 0.0f);
+        layer.c.assign(width_, 0.0f);
+        layers_.push_back(std::move(layer));
+        inDim = width_;
+    }
+}
+
+ControllerOutput
+LstmController::forward(const FVec &input)
+{
+    FVec act = input;
+    for (auto &layer : layers_) {
+        FVec pre = matVecMulBias(layer.inputWeights, act, layer.bias);
+        const FVec rec = tensor::matVecMul(layer.hiddenWeights, layer.h);
+        for (std::size_t i = 0; i < pre.size(); ++i)
+            pre[i] += rec[i];
+
+        // Gates packed as [i; f; g; o].
+        for (std::size_t j = 0; j < width_; ++j) {
+            const float ig = sigmoidScalar(pre[j]);
+            const float fg = sigmoidScalar(pre[width_ + j]);
+            const float gg = std::tanh(pre[2 * width_ + j]);
+            const float og = sigmoidScalar(pre[3 * width_ + j]);
+            layer.c[j] = fg * layer.c[j] + ig * gg;
+            layer.h[j] = og * std::tanh(layer.c[j]);
+        }
+        act = layer.h;
+    }
+
+    ControllerOutput out;
+    out.output = matVecMulBias(outputWeights_, act, outputBias_);
+    out.hidden = std::move(act);
+    return out;
+}
+
+void
+LstmController::reset()
+{
+    for (auto &layer : layers_) {
+        std::fill(layer.h.begin(), layer.h.end(), 0.0f);
+        std::fill(layer.c.begin(), layer.c.end(), 0.0f);
+    }
+}
+
+std::size_t
+LstmController::parameterCount() const
+{
+    std::size_t n = outputWeights_.size() + outputBias_.size();
+    for (const auto &l : layers_)
+        n += l.inputWeights.size() + l.hiddenWeights.size() +
+             l.bias.size();
+    return n;
+}
+
+std::vector<const FMat *>
+LstmController::weightMatrices() const
+{
+    std::vector<const FMat *> out;
+    for (const auto &l : layers_) {
+        out.push_back(&l.inputWeights);
+        out.push_back(&l.hiddenWeights);
+    }
+    out.push_back(&outputWeights_);
+    return out;
+}
+
+std::unique_ptr<Controller>
+makeController(const MannConfig &cfg, Rng &rng)
+{
+    switch (cfg.controllerKind) {
+      case ControllerKind::MLP:
+        return std::make_unique<MlpController>(cfg, rng);
+      case ControllerKind::LSTM:
+        return std::make_unique<LstmController>(cfg, rng);
+    }
+    panic("unknown controller kind");
+}
+
+} // namespace manna::mann

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * DNN controller networks for the golden NTM model (Section 2.2.1).
+ *
+ * The controller consumes the external input concatenated with the
+ * previous time step's read vectors and produces (i) a hidden state
+ * vector for the heads and (ii) the NTM output vector.
+ */
+
+#ifndef MANNA_MANN_CONTROLLER_HH
+#define MANNA_MANN_CONTROLLER_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "mann/mann_config.hh"
+#include "tensor/matrix.hh"
+
+namespace manna::mann
+{
+
+using tensor::FMat;
+using tensor::FVec;
+
+/** Output of one controller forward pass. */
+struct ControllerOutput
+{
+    FVec hidden; ///< hidden-state vector consumed by the heads
+    FVec output; ///< NTM output vector at this time step
+};
+
+/**
+ * Abstract controller interface.
+ *
+ * Implementations own their weights and (for recurrent controllers)
+ * their internal state.
+ */
+class Controller
+{
+  public:
+    virtual ~Controller() = default;
+
+    /** Forward pass. @p input has controllerInputDim() elements. */
+    virtual ControllerOutput forward(const FVec &input) = 0;
+
+    /** Reset recurrent state (no-op for feedforward controllers). */
+    virtual void reset() = 0;
+
+    /** Total trainable parameter count (for footprint accounting). */
+    virtual std::size_t parameterCount() const = 0;
+
+    /** Weight matrices in layer order (for loading onto Manna). */
+    virtual std::vector<const FMat *> weightMatrices() const = 0;
+};
+
+/**
+ * Feed-forward controller: controllerLayers dense layers of
+ * controllerWidth units with tanh activations, plus a linear output
+ * projection to outputDim.
+ */
+class MlpController : public Controller
+{
+  public:
+    MlpController(const MannConfig &cfg, Rng &rng);
+
+    ControllerOutput forward(const FVec &input) override;
+    void reset() override {}
+    std::size_t parameterCount() const override;
+    std::vector<const FMat *> weightMatrices() const override;
+
+  private:
+    std::vector<FMat> layers_;  ///< layer weight matrices
+    std::vector<FVec> biases_;  ///< layer biases
+    FMat outputWeights_;        ///< hidden -> output projection
+    FVec outputBias_;
+};
+
+/**
+ * Stacked-LSTM controller. Each layer is a standard LSTM cell; the
+ * last layer's hidden state feeds the heads and the output projection.
+ */
+class LstmController : public Controller
+{
+  public:
+    LstmController(const MannConfig &cfg, Rng &rng);
+
+    ControllerOutput forward(const FVec &input) override;
+    void reset() override;
+    std::size_t parameterCount() const override;
+    std::vector<const FMat *> weightMatrices() const override;
+
+  private:
+    struct Layer
+    {
+        // Gates packed as [i; f; g; o], each width rows.
+        FMat inputWeights;  ///< 4*width x layerInputDim
+        FMat hiddenWeights; ///< 4*width x width
+        FVec bias;          ///< 4*width
+        FVec h;             ///< hidden state
+        FVec c;             ///< cell state
+    };
+
+    std::size_t width_;
+    std::vector<Layer> layers_;
+    FMat outputWeights_;
+    FVec outputBias_;
+};
+
+/** Factory dispatching on cfg.controllerKind. */
+std::unique_ptr<Controller> makeController(const MannConfig &cfg,
+                                           Rng &rng);
+
+/**
+ * Draw an initialized weight matrix (Xavier-style scaling) from
+ * @p rng. Shared by controllers and heads so synthetic models stay in
+ * a numerically well-behaved regime.
+ */
+FMat randomWeights(std::size_t rows, std::size_t cols, Rng &rng);
+
+/** Zero-mean small random bias vector. */
+FVec randomBias(std::size_t n, Rng &rng);
+
+} // namespace manna::mann
+
+#endif // MANNA_MANN_CONTROLLER_HH

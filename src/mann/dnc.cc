@@ -1,0 +1,276 @@
+#include "dnc.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "mann/addressing.hh"
+#include "tensor/vector_ops.hh"
+
+namespace manna::mann
+{
+
+using tensor::FMat;
+
+void
+DncConfig::validate() const
+{
+    if (memN == 0 || memM == 0)
+        fatal("DNC memory dimensions must be nonzero");
+    if (numReadHeads == 0)
+        fatal("DNC needs at least one read head");
+    if (controllerLayers == 0 || controllerWidth == 0)
+        fatal("DNC controller dimensions must be nonzero");
+    if (inputDim == 0 || outputDim == 0)
+        fatal("DNC input/output dimensions must be nonzero");
+}
+
+Dnc::Dnc(const DncConfig &cfg, std::uint64_t seed)
+    : cfg_(cfg), rng_(seed), memory_(cfg.memN, cfg.memM),
+      link_(cfg.memN, cfg.memN)
+{
+    cfg_.validate();
+
+    // Reuse the NTM controller over an equivalent shape.
+    MannConfig ctrlShape;
+    ctrlShape.memN = cfg_.memN;
+    ctrlShape.memM = cfg_.memM;
+    ctrlShape.controllerLayers = cfg_.controllerLayers;
+    ctrlShape.controllerWidth = cfg_.controllerWidth;
+    ctrlShape.controllerKind = cfg_.controllerKind;
+    ctrlShape.inputDim = cfg_.inputDim;
+    ctrlShape.outputDim = cfg_.outputDim;
+    ctrlShape.numReadHeads = cfg_.numReadHeads;
+    ctrlShape.numWriteHeads = 1;
+    controller_ = makeController(ctrlShape, rng_);
+
+    // Interface projection with a folded bias column.
+    interfaceWeights_ = randomWeights(cfg_.interfaceDim(),
+                                      cfg_.hiddenDim() + 1, rng_);
+    reset();
+}
+
+void
+Dnc::reset()
+{
+    memory_.reset();
+    controller_->reset();
+    usage_.assign(cfg_.memN, 0.0f);
+    precedence_.assign(cfg_.memN, 0.0f);
+    link_.fill(0.0f);
+    prevWriteWeights_.assign(cfg_.memN, 0.0f);
+    prevReadWeights_.assign(cfg_.numReadHeads,
+                            FVec(cfg_.memN, 0.0f));
+    prevReads_.assign(cfg_.numReadHeads, FVec(cfg_.memM, 0.0f));
+}
+
+namespace
+{
+
+/** oneplus(x) = 1 + softplus(x), the DNC's strength squashing. */
+float
+oneplus(float x)
+{
+    return 1.0f + tensor::softplusScalar(x);
+}
+
+} // namespace
+
+void
+Dnc::updateUsage(const DncInterface &iface)
+{
+    // Retention: psi = prod_i (1 - f_i * w^r_i,{t-1}).
+    FVec psi(cfg_.memN, 1.0f);
+    for (std::size_t h = 0; h < cfg_.numReadHeads; ++h) {
+        const float f = iface.readHeads[h].freeGate;
+        for (std::size_t i = 0; i < cfg_.memN; ++i)
+            psi[i] *= 1.0f - f * prevReadWeights_[h][i];
+    }
+    // u_t = (u_{t-1} + w^w_{t-1} - u_{t-1} o w^w_{t-1}) o psi.
+    for (std::size_t i = 0; i < cfg_.memN; ++i) {
+        const float u = usage_[i];
+        const float w = prevWriteWeights_[i];
+        usage_[i] = (u + w - u * w) * psi[i];
+    }
+}
+
+FVec
+dncAllocationFromUsage(const FVec &usage)
+{
+    const std::size_t n = usage.size();
+    // Free list: locations sorted by ascending usage. The sort key is
+    // quantized so that the ordering — which is discontinuous in the
+    // usage values — is robust to floating-point reassociation noise
+    // between implementations (golden model vs the blocked datapath
+    // on Manna); ties resolve by location index via the stable sort.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    auto key = [&usage](std::size_t i) {
+        return std::lround(static_cast<double>(usage[i]) * 4096.0);
+    };
+    std::stable_sort(order.begin(), order.end(),
+                     [&key](std::size_t a, std::size_t b) {
+                         return key(a) < key(b);
+                     });
+    FVec alloc(n, 0.0f);
+    float used = 1.0f; // running product of usage over freer slots
+    for (std::size_t j = 0; j < n; ++j) {
+        const std::size_t slot = order[j];
+        alloc[slot] = (1.0f - usage[slot]) * used;
+        used *= usage[slot];
+    }
+    return alloc;
+}
+
+FVec
+Dnc::allocationWeighting() const
+{
+    return dncAllocationFromUsage(usage_);
+}
+
+void
+Dnc::updateLinkage(const FVec &writeWeights)
+{
+    // L_t[i][j] = (1 - w[i] - w[j]) L_{t-1}[i][j] + w[i] p_{t-1}[j].
+    for (std::size_t i = 0; i < cfg_.memN; ++i) {
+        const float wi = writeWeights[i];
+        float *row = link_.data().data() + i * cfg_.memN;
+        for (std::size_t j = 0; j < cfg_.memN; ++j) {
+            row[j] = (1.0f - wi - writeWeights[j]) * row[j] +
+                     wi * precedence_[j];
+        }
+        row[i] = 0.0f; // zero diagonal
+    }
+    // p_t = (1 - sum(w)) p_{t-1} + w.
+    const float total = tensor::sum(writeWeights);
+    for (std::size_t j = 0; j < cfg_.memN; ++j)
+        precedence_[j] = (1.0f - total) * precedence_[j] +
+                         writeWeights[j];
+}
+
+DncStepTrace
+Dnc::step(const FVec &input)
+{
+    MANNA_ASSERT(input.size() == cfg_.inputDim,
+                 "DNC input %zu != %zu", input.size(), cfg_.inputDim);
+    DncStepTrace trace;
+
+    // Controller.
+    std::vector<FVec> parts{input};
+    for (const auto &r : prevReads_)
+        parts.push_back(r);
+    const ControllerOutput ctrl =
+        controller_->forward(tensor::concat(parts));
+    trace.output = ctrl.output;
+
+    // Interface projection (augmented-bias convention as on Manna).
+    FVec hidden = ctrl.hidden;
+    hidden.push_back(1.0f);
+    const FVec raw = tensor::matVecMul(interfaceWeights_, hidden);
+
+    // Decode.
+    DncInterface iface;
+    std::size_t off = 0;
+    for (std::size_t h = 0; h < cfg_.numReadHeads; ++h) {
+        DncInterface::ReadHead head;
+        head.key = tensor::slice(raw, off, cfg_.memM);
+        off += cfg_.memM;
+        head.strength = oneplus(raw[off++]);
+        head.freeGate = tensor::sigmoidScalar(raw[off++]);
+        head.modes = tensor::softmax(tensor::slice(raw, off, 3));
+        off += 3;
+        iface.readHeads.push_back(std::move(head));
+    }
+    iface.writeKey = tensor::slice(raw, off, cfg_.memM);
+    off += cfg_.memM;
+    iface.writeStrength = oneplus(raw[off++]);
+    iface.eraseVec = tensor::sigmoid(tensor::slice(raw, off, cfg_.memM));
+    off += cfg_.memM;
+    iface.writeVec = tensor::tanhVec(tensor::slice(raw, off, cfg_.memM));
+    off += cfg_.memM;
+    iface.allocationGate = tensor::sigmoidScalar(raw[off++]);
+    iface.writeGate = tensor::sigmoidScalar(raw[off++]);
+    MANNA_ASSERT(off == cfg_.interfaceDim(),
+                 "DNC decode consumed %zu of %zu", off,
+                 cfg_.interfaceDim());
+
+    // Dynamic allocation.
+    updateUsage(iface);
+    const FVec alloc = allocationWeighting();
+
+    // Write weighting: w^w = g_w (g_a a + (1 - g_a) c^w).
+    const FVec contentW =
+        contentWeighting(memory_.matrix(), iface.writeKey,
+                         iface.writeStrength, cfg_.similarityEpsilon);
+    FVec writeW(cfg_.memN);
+    for (std::size_t i = 0; i < cfg_.memN; ++i)
+        writeW[i] = iface.writeGate *
+                    (iface.allocationGate * alloc[i] +
+                     (1.0f - iface.allocationGate) * contentW[i]);
+
+    // Write, then linkage (Graves et al. update linkage with w^w_t).
+    memory_.softWrite(writeW, iface.eraseVec, iface.writeVec);
+    updateLinkage(writeW);
+
+    // Read weightings: backward/content/forward mix.
+    trace.readWeights.resize(cfg_.numReadHeads);
+    trace.readVectors.resize(cfg_.numReadHeads);
+    for (std::size_t h = 0; h < cfg_.numReadHeads; ++h) {
+        const auto &head = iface.readHeads[h];
+        const FVec content =
+            contentWeighting(memory_.matrix(), head.key,
+                             head.strength, cfg_.similarityEpsilon);
+        // forward = L w_prev; backward = L^T w_prev.
+        const FVec forward =
+            tensor::matVecMul(link_, prevReadWeights_[h]);
+        const FVec backward =
+            tensor::vecMatMul(prevReadWeights_[h], link_);
+        FVec w(cfg_.memN);
+        for (std::size_t i = 0; i < cfg_.memN; ++i)
+            w[i] = head.modes[0] * backward[i] +
+                   head.modes[1] * content[i] +
+                   head.modes[2] * forward[i];
+        trace.readVectors[h] = memory_.softRead(w);
+        trace.readWeights[h] = std::move(w);
+    }
+
+    // Persist state.
+    prevWriteWeights_ = writeW;
+    prevReadWeights_ = trace.readWeights;
+    prevReads_ = trace.readVectors;
+
+    trace.interface = std::move(iface);
+    trace.usage = usage_;
+    trace.allocation = alloc;
+    trace.writeWeights = std::move(writeW);
+    return trace;
+}
+
+std::vector<FVec>
+Dnc::run(const std::vector<FVec> &inputs)
+{
+    std::vector<FVec> outputs;
+    outputs.reserve(inputs.size());
+    for (const auto &x : inputs)
+        outputs.push_back(step(x).output);
+    return outputs;
+}
+
+Dnc::DncWork
+Dnc::stepWork() const
+{
+    const std::uint64_t n = cfg_.memN;
+    DncWork work{};
+    work.usageOps = (cfg_.numReadHeads + 3) * n;
+    work.allocationOps =
+        n * static_cast<std::uint64_t>(
+                std::max<std::uint32_t>(log2Ceil(n), 1)) +
+        2 * n;
+    work.linkUpdateOps = 4 * n * n + 2 * n;
+    work.linkReadOps = 2 * n * n * cfg_.numReadHeads;
+    return work;
+}
+
+} // namespace manna::mann

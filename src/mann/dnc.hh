@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Differentiable Neural Computer (DNC) functional model.
+ *
+ * The paper positions Manna as programmable across "a broad class of
+ * MANNs (e.g., NTMs and DNCs from Google Deepmind)". This module
+ * implements the DNC's addressing machinery (Graves et al., Nature
+ * 2016) as a golden functional model:
+ *
+ *  - dynamic memory allocation via a usage vector and free list,
+ *  - temporal linkage: a precedence vector and an N x N link matrix
+ *    recording write order, giving forward/backward read modes,
+ *  - content addressing shared with the NTM implementation,
+ *  - a single write head with erase/write vectors and allocation /
+ *    write gates; multiple read heads with three-way read modes.
+ *
+ * The link-matrix kernels are O(memN^2) per step — a different
+ * roofline point than the NTM's O(memN * memM) kernels — so the
+ * module also provides an analytic work model for them (used by the
+ * dnc_memory example to show where a DNC stresses Manna differently).
+ */
+
+#ifndef MANNA_MANN_DNC_HH
+#define MANNA_MANN_DNC_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "mann/controller.hh"
+#include "mann/memory.hh"
+
+namespace manna::mann
+{
+
+/** Shape description of a DNC. */
+struct DncConfig
+{
+    std::size_t memN = 64;  ///< memory locations
+    std::size_t memM = 32;  ///< word width
+    std::size_t numReadHeads = 2;
+    std::size_t controllerLayers = 1;
+    std::size_t controllerWidth = 64;
+    ControllerKind controllerKind = ControllerKind::MLP;
+    std::size_t inputDim = 8;
+    std::size_t outputDim = 8;
+    float similarityEpsilon = 1e-8f;
+
+    /**
+     * Width of the interface vector emitted per step:
+     * per read head: key (M) + strength (1) + free gate (1) +
+     *                read modes (3);
+     * write: key (M) + strength (1) + erase (M) + write vec (M) +
+     *        allocation gate (1) + write gate (1).
+     */
+    std::size_t interfaceDim() const
+    {
+        return numReadHeads * (memM + 5) + 3 * memM + 3;
+    }
+
+    std::size_t controllerInputDim() const
+    {
+        return inputDim + numReadHeads * memM;
+    }
+    std::size_t hiddenDim() const { return controllerWidth; }
+
+    void validate() const;
+};
+
+/** Decoded DNC interface for one step. */
+struct DncInterface
+{
+    struct ReadHead
+    {
+        FVec key;      ///< memM
+        float strength; ///< >= 1 via 1 + softplus (oneplus)
+        float freeGate; ///< in (0,1)
+        FVec modes;     ///< softmax over {backward, content, forward}
+    };
+    std::vector<ReadHead> readHeads;
+    FVec writeKey;
+    float writeStrength = 1.0f;
+    FVec eraseVec;
+    FVec writeVec;
+    float allocationGate = 0.0f;
+    float writeGate = 0.0f;
+};
+
+/** Observable state of one DNC step (for tests). */
+struct DncStepTrace
+{
+    FVec output;
+    DncInterface interface;
+    FVec usage;                ///< u_t, in [0,1]^N
+    FVec allocation;           ///< a_t
+    FVec writeWeights;         ///< w^w_t
+    std::vector<FVec> readWeights;
+    std::vector<FVec> readVectors;
+};
+
+/**
+ * The DNC with synthetic weights.
+ */
+class Dnc
+{
+  public:
+    explicit Dnc(const DncConfig &cfg, std::uint64_t seed = 1);
+
+    void reset();
+
+    DncStepTrace step(const FVec &input);
+
+    std::vector<FVec> run(const std::vector<FVec> &inputs);
+
+    const DncConfig &config() const { return cfg_; }
+    const ExternalMemory &memory() const { return memory_; }
+    const FVec &usage() const { return usage_; }
+    const FVec &precedence() const { return precedence_; }
+    const tensor::FMat &linkMatrix() const { return link_; }
+    Controller &controller() { return *controller_; }
+
+    /** Interface projection (interfaceDim x hidden+1, bias folded);
+     * the DNC-on-Manna chip loads slices of this onto the tiles. */
+    const tensor::FMat &interfaceWeights() const
+    {
+        return interfaceWeights_;
+    }
+
+    /**
+     * Analytic per-step operation counts of the DNC-specific kernels
+     * (the pieces beyond the NTM's): usage/allocation O(N log N for
+     * the sort, N otherwise), link matrix update and the two
+     * link-matrix-vector products O(N^2) per read head.
+     */
+    struct DncWork
+    {
+        std::uint64_t usageOps;
+        std::uint64_t allocationOps;
+        std::uint64_t linkUpdateOps;
+        std::uint64_t linkReadOps;
+    };
+    DncWork stepWork() const;
+
+  private:
+    /** Usage update (free gates then write reservation). */
+    void updateUsage(const DncInterface &iface);
+
+    /** Allocation weighting from the sorted free list. */
+    FVec allocationWeighting() const;
+
+    /** Temporal link matrix and precedence update. */
+    void updateLinkage(const FVec &writeWeights);
+
+    DncConfig cfg_;
+    Rng rng_;
+    std::unique_ptr<Controller> controller_;
+    tensor::FMat interfaceWeights_; ///< interfaceDim x (hidden + 1)
+    ExternalMemory memory_;
+
+    FVec usage_;
+    FVec precedence_;
+    tensor::FMat link_; ///< memN x memN, zero diagonal
+    FVec prevWriteWeights_;
+    std::vector<FVec> prevReadWeights_;
+    std::vector<FVec> prevReads_;
+};
+
+/**
+ * The DNC allocation weighting (free-list scan over usage). Shared
+ * verbatim by the golden model and the DNC-on-Manna chip (which
+ * evaluates it at the Controller tile), so the two implementations
+ * are bit-identical.
+ */
+FVec dncAllocationFromUsage(const FVec &usage);
+
+} // namespace manna::mann
+
+#endif // MANNA_MANN_DNC_HH

@@ -1,0 +1,57 @@
+#include "head.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "mann/controller.hh"
+#include "tensor/vector_ops.hh"
+
+namespace manna::mann
+{
+
+Head::Head(const MannConfig &cfg, bool isWrite, Rng &rng)
+    : cfg_(cfg), isWrite_(isWrite),
+      weights_(randomWeights(isWrite ? cfg.writeHeadParamDim()
+                                     : cfg.readHeadParamDim(),
+                             cfg.hiddenDim(), rng)),
+      bias_(randomBias(weights_.rows(), rng))
+{
+}
+
+HeadParams
+Head::emit(const FVec &hidden) const
+{
+    return decode(tensor::matVecMulBias(weights_, hidden, bias_));
+}
+
+HeadParams
+Head::decode(const FVec &raw) const
+{
+    MANNA_ASSERT(raw.size() == paramDim(),
+                 "head raw projection %zu != paramDim %zu", raw.size(),
+                 paramDim());
+
+    const std::size_t m = cfg_.memM;
+    const std::size_t taps = cfg_.shiftTaps();
+
+    HeadParams p;
+    std::size_t off = 0;
+    p.key = tensor::slice(raw, off, m);
+    off += m;
+    p.beta = tensor::softplusScalar(raw[off++]);
+    p.gate = tensor::sigmoidScalar(raw[off++]);
+    p.shift = tensor::softmax(tensor::slice(raw, off, taps));
+    off += taps;
+    p.gamma = 1.0f + tensor::softplusScalar(raw[off++]);
+    if (isWrite_) {
+        p.erase = tensor::sigmoid(tensor::slice(raw, off, m));
+        off += m;
+        p.addVec = tensor::tanhVec(tensor::slice(raw, off, m));
+        off += m;
+    }
+    MANNA_ASSERT(off == raw.size(), "head decode consumed %zu of %zu",
+                 off, raw.size());
+    return p;
+}
+
+} // namespace manna::mann

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Read/write heads (Section 2.2.1): each head owns a weight matrix
+ * that projects the controller's hidden state onto the parameters of
+ * the attention mechanism (key, beta, gate, shift, gamma, and for
+ * write heads erase/add vectors).
+ */
+
+#ifndef MANNA_MANN_HEAD_HH
+#define MANNA_MANN_HEAD_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "mann/mann_config.hh"
+#include "tensor/matrix.hh"
+
+namespace manna::mann
+{
+
+using tensor::FMat;
+using tensor::FVec;
+
+/** Decoded head parameters after their squashing nonlinearities. */
+struct HeadParams
+{
+    FVec key;    ///< content key k_h^t (memM)
+    float beta;  ///< similarity amplification (softplus, > 0)
+    float gate;  ///< interpolation gate g_h^t in (0, 1)
+    FVec shift;  ///< rotation kernel s_h^t (softmax over taps)
+    float gamma; ///< sharpening exponent (1 + softplus, >= 1)
+    FVec erase;  ///< erase vector e_h^t in (0, 1)^memM (write heads)
+    FVec addVec; ///< add vector a_h^t (write heads)
+};
+
+/**
+ * One attention head.
+ *
+ * The raw projection h -> W_h * hidden + b is decoded into HeadParams
+ * with the standard NTM squashing functions:
+ *   beta = softplus(raw), gate = sigmoid(raw),
+ *   shift = softmax(raw taps), gamma = 1 + softplus(raw),
+ *   erase = sigmoid(raw), add = tanh(raw).
+ */
+class Head
+{
+  public:
+    /** @p isWrite selects the wider write-head parameter layout. */
+    Head(const MannConfig &cfg, bool isWrite, Rng &rng);
+
+    /** Project and decode the hidden state into head parameters. */
+    HeadParams emit(const FVec &hidden) const;
+
+    /**
+     * Decode an already-computed raw projection. Exposed so the
+     * simulator's functional path can share the exact decode logic.
+     */
+    HeadParams decode(const FVec &raw) const;
+
+    bool isWrite() const { return isWrite_; }
+
+    /** Raw projection width (readHeadParamDim or writeHeadParamDim). */
+    std::size_t paramDim() const { return weights_.rows(); }
+
+    const FMat &weights() const { return weights_; }
+    const FVec &bias() const { return bias_; }
+
+  private:
+    const MannConfig cfg_;
+    bool isWrite_;
+    FMat weights_; ///< paramDim x hiddenDim
+    FVec bias_;
+};
+
+} // namespace manna::mann
+
+#endif // MANNA_MANN_HEAD_HH

@@ -1,0 +1,52 @@
+#include "mann_config.hh"
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace manna::mann
+{
+
+const char *
+toString(ControllerKind kind)
+{
+    switch (kind) {
+      case ControllerKind::MLP:
+        return "MLP";
+      case ControllerKind::LSTM:
+        return "LSTM";
+    }
+    return "?";
+}
+
+void
+MannConfig::validate() const
+{
+    if (memN == 0 || memM == 0)
+        fatal("MANN memory dimensions must be nonzero (%zu x %zu)", memN,
+              memM);
+    if (controllerLayers == 0 || controllerWidth == 0)
+        fatal("controller dimensions must be nonzero (%zu x %zu)",
+              controllerLayers, controllerWidth);
+    if (numReadHeads == 0)
+        fatal("at least one read head is required");
+    if (numWriteHeads == 0)
+        fatal("at least one write head is required");
+    if (inputDim == 0 || outputDim == 0)
+        fatal("input/output dimensions must be nonzero");
+    if (shiftRadius >= memN)
+        fatal("shift radius %zu must be smaller than memN %zu",
+              shiftRadius, memN);
+}
+
+std::string
+MannConfig::summary() const
+{
+    return strformat(
+        "mem %zux%zu, controller %s %zux%zu, heads %zuR/%zuW, "
+        "in/out %zu/%zu, shift radius %zu",
+        memN, memM, toString(controllerKind), controllerLayers,
+        controllerWidth, numReadHeads, numWriteHeads, inputDim, outputDim,
+        shiftRadius);
+}
+
+} // namespace manna::mann

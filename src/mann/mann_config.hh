@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Hyper-parameter description of a memory-augmented neural network.
+ * This is the "description of the target MANN" the paper's compiler
+ * consumes (Section 5.2), and what the golden functional model is
+ * constructed from.
+ */
+
+#ifndef MANNA_MANN_MANN_CONFIG_HH
+#define MANNA_MANN_MANN_CONFIG_HH
+
+#include <cstddef>
+#include <string>
+
+namespace manna::mann
+{
+
+/** Controller network family. */
+enum class ControllerKind
+{
+    MLP,  ///< feed-forward, tanh activations
+    LSTM, ///< single-cell-per-layer LSTM stack
+};
+
+/** Printable name. */
+const char *toString(ControllerKind kind);
+
+/**
+ * Complete shape description of an NTM-style MANN.
+ *
+ * Table 2 of the paper is expressed as instances of this struct
+ * (see workloads/benchmarks.hh).
+ */
+struct MannConfig
+{
+    /** Differentiable external memory: memN rows x memM columns. */
+    std::size_t memN = 128;
+    std::size_t memM = 32;
+
+    /** Controller: layers x width, as in Table 2 ("1x100"). */
+    std::size_t controllerLayers = 1;
+    std::size_t controllerWidth = 100;
+    ControllerKind controllerKind = ControllerKind::MLP;
+
+    /** External input/output vector widths. */
+    std::size_t inputDim = 16;
+    std::size_t outputDim = 16;
+
+    /** Head counts. */
+    std::size_t numReadHeads = 1;
+    std::size_t numWriteHeads = 1;
+
+    /** Shift kernel radius R; the kernel has 2R + 1 taps (Eq. 7). */
+    std::size_t shiftRadius = 1;
+
+    /** Epsilon guarding cosine similarity against zero vectors. */
+    float similarityEpsilon = 1e-8f;
+
+    /** Number of shift-kernel taps. */
+    std::size_t shiftTaps() const { return 2 * shiftRadius + 1; }
+
+    /**
+     * Per-head emitted parameter widths (Section 2.2.1): a read head
+     * emits {key (memM), beta (1), gate (1), shift (taps), gamma (1)};
+     * a write head additionally emits {erase (memM), add (memM)}.
+     */
+    std::size_t readHeadParamDim() const
+    {
+        return memM + 3 + shiftTaps();
+    }
+    std::size_t writeHeadParamDim() const
+    {
+        return readHeadParamDim() + 2 * memM;
+    }
+
+    /** Controller hidden-state width (input to the heads). */
+    std::size_t hiddenDim() const { return controllerWidth; }
+
+    /** Width of the controller input: external input + read vectors. */
+    std::size_t controllerInputDim() const
+    {
+        return inputDim + numReadHeads * memM;
+    }
+
+    /** External memory footprint in bytes (FP32 words). */
+    std::size_t memoryBytes() const { return memN * memM * 4; }
+
+    /** Sanity-check the configuration; calls fatal() on bad shapes. */
+    void validate() const;
+
+    /** One-line human-readable summary. */
+    std::string summary() const;
+};
+
+} // namespace manna::mann
+
+#endif // MANNA_MANN_MANN_CONFIG_HH

@@ -1,0 +1,94 @@
+#include "memnet.hh"
+
+#include "common/logging.hh"
+#include "mann/controller.hh"
+#include "tensor/vector_ops.hh"
+
+namespace manna::mann
+{
+
+void
+MemNetConfig::validate() const
+{
+    if (numSentences == 0 || sentenceDim == 0 || embedDim == 0)
+        fatal("MemNet dimensions must be nonzero");
+    if (hops == 0)
+        fatal("MemNet needs at least one hop");
+    if (answerDim == 0)
+        fatal("MemNet answer dimension must be nonzero");
+}
+
+MemNet::MemNet(const MemNetConfig &cfg, std::uint64_t seed) : cfg_(cfg)
+{
+    cfg_.validate();
+    Rng rng(seed);
+    embedA_ = randomWeights(cfg_.embedDim, cfg_.sentenceDim, rng);
+    embedC_ = randomWeights(cfg_.embedDim, cfg_.sentenceDim, rng);
+    embedB_ = randomWeights(cfg_.embedDim, cfg_.sentenceDim, rng);
+    hopH_ = randomWeights(cfg_.embedDim, cfg_.embedDim, rng);
+    answerW_ = randomWeights(cfg_.answerDim, cfg_.embedDim, rng);
+    inputMem_ = FMat(cfg_.numSentences, cfg_.embedDim);
+    outputMem_ = FMat(cfg_.numSentences, cfg_.embedDim);
+}
+
+void
+MemNet::loadEpisode(const std::vector<FVec> &sentences)
+{
+    MANNA_ASSERT(sentences.size() <= cfg_.numSentences,
+                 "episode of %zu sentences exceeds memory of %zu",
+                 sentences.size(), cfg_.numSentences);
+    inputMem_.fill(0.0f);
+    outputMem_.fill(0.0f);
+    for (std::size_t i = 0; i < sentences.size(); ++i) {
+        MANNA_ASSERT(sentences[i].size() == cfg_.sentenceDim,
+                     "sentence %zu width %zu != %zu", i,
+                     sentences[i].size(), cfg_.sentenceDim);
+        inputMem_.setRow(i, tensor::matVecMul(embedA_, sentences[i]));
+        outputMem_.setRow(i, tensor::matVecMul(embedC_, sentences[i]));
+    }
+    loaded_ = true;
+}
+
+MemNetTrace
+MemNet::answer(const FVec &query) const
+{
+    MANNA_ASSERT(loaded_, "answer() before loadEpisode()");
+    MANNA_ASSERT(query.size() == cfg_.sentenceDim,
+                 "query width %zu != %zu", query.size(),
+                 cfg_.sentenceDim);
+
+    MemNetTrace trace;
+    FVec u = tensor::matVecMul(embedB_, query);
+    for (std::size_t hop = 0; hop < cfg_.hops; ++hop) {
+        // p = softmax(m_i . u): row-wise dots (same direction as the
+        // NTM's key similarity), softmax, then a column-accumulated
+        // weighted sum over the output memory (the soft-read
+        // direction). Both matrices are *read-only*.
+        const FVec scores = tensor::matVecMul(inputMem_, u);
+        const FVec p = tensor::softmax(scores);
+        const FVec o = tensor::vecMatMul(p, outputMem_);
+        const FVec hu = tensor::matVecMul(hopH_, u);
+        u = tensor::add(hu, o);
+        trace.attentions.push_back(p);
+    }
+    trace.answer = tensor::matVecMul(answerW_, u);
+    return trace;
+}
+
+MemNet::QueryWork
+MemNet::queryWork() const
+{
+    const std::uint64_t n = cfg_.numSentences;
+    const std::uint64_t d = cfg_.embedDim;
+    QueryWork work{};
+    // Per hop: scores (n*d MACs), weighted sum (n*d), state
+    // transform (d*d); plus the query/answer projections.
+    work.macOps = cfg_.hops * (2 * n * d + d * d) +
+                  2 * cfg_.sentenceDim * d;
+    work.elwiseOps = cfg_.hops * d; // residual adds
+    work.specialOps = cfg_.hops * n; // softmax exponentials
+    work.memWriteOps = 0;           // no soft writes, ever
+    return work;
+}
+
+} // namespace manna::mann

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * End-to-End Memory Network (MemN2N, Sukhbaatar et al. 2015)
+ * functional model.
+ *
+ * The paper's related-work section (Section 8) contrasts Manna with
+ * fixed-function MemNet accelerators (MnnFast, the DATE'19 FPGA
+ * design): MemNets never perform soft *writes* — their memory is
+ * written once per episode and then only soft-read — so those
+ * accelerators (i) need no element-wise write datapath and (ii) can
+ * afford to store a second, transposed copy of the memory instead of
+ * transposing on chip. This module implements MemN2N so those claims
+ * can be demonstrated quantitatively (see bench/sec8_memnet_contrast
+ * and the analytic work model below).
+ */
+
+#ifndef MANNA_MANN_MEMNET_HH
+#define MANNA_MANN_MEMNET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "tensor/matrix.hh"
+
+namespace manna::mann
+{
+
+using tensor::FMat;
+using tensor::FVec;
+
+/** Shape of a MemN2N. */
+struct MemNetConfig
+{
+    std::size_t numSentences = 64; ///< memory slots per episode
+    std::size_t sentenceDim = 32;  ///< bag-of-words input width
+    std::size_t embedDim = 32;     ///< internal embedding width
+    std::size_t hops = 3;          ///< attention hops
+    std::size_t answerDim = 16;
+
+    void validate() const;
+};
+
+/** Trace of one query (for tests). */
+struct MemNetTrace
+{
+    FVec answer;
+    /** Attention distribution per hop (each sums to 1). */
+    std::vector<FVec> attentions;
+};
+
+/**
+ * MemN2N with synthetic weights.
+ *
+ * Per episode: every sentence x_i is embedded twice (input memory
+ * m_i = A x_i, output memory c_i = C x_i). Per query: u = B q, then
+ * `hops` rounds of p = softmax(m u), o = Σ p_i c_i, u <- H u + o,
+ * and finally answer = W u. There are no writes to m/c after loading
+ * — the property the fixed-function MemNet accelerators exploit.
+ */
+class MemNet
+{
+  public:
+    MemNet(const MemNetConfig &cfg, std::uint64_t seed = 1);
+
+    /** Load an episode: one bag-of-words vector per sentence. */
+    void loadEpisode(const std::vector<FVec> &sentences);
+
+    /** Answer a query against the loaded episode. */
+    MemNetTrace answer(const FVec &query) const;
+
+    const MemNetConfig &config() const { return cfg_; }
+    const FMat &inputMemory() const { return inputMem_; }
+    const FMat &outputMemory() const { return outputMem_; }
+
+    /**
+     * Analytic per-query operation profile, for the Section 8
+     * comparison against the NTM/DNC: MemN2N access kernels are pure
+     * MAC (no element-wise write update), and the memory is static
+     * per episode.
+     */
+    struct QueryWork
+    {
+        std::uint64_t macOps;
+        std::uint64_t elwiseOps; ///< residual adds only (O(d * hops))
+        std::uint64_t specialOps;
+        std::uint64_t memWriteOps; ///< soft-write ops: always zero
+    };
+    QueryWork queryWork() const;
+
+  private:
+    MemNetConfig cfg_;
+    FMat embedA_; ///< embedDim x sentenceDim (input memory)
+    FMat embedC_; ///< embedDim x sentenceDim (output memory)
+    FMat embedB_; ///< embedDim x sentenceDim (query)
+    FMat hopH_;   ///< embedDim x embedDim (state transform)
+    FMat answerW_; ///< answerDim x embedDim
+
+    FMat inputMem_;  ///< numSentences x embedDim (m_i rows)
+    FMat outputMem_; ///< numSentences x embedDim (c_i rows)
+    bool loaded_ = false;
+};
+
+} // namespace manna::mann
+
+#endif // MANNA_MANN_MEMNET_HH

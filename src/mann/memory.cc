@@ -1,0 +1,58 @@
+#include "memory.hh"
+
+#include "common/logging.hh"
+#include "tensor/vector_ops.hh"
+
+namespace manna::mann
+{
+
+ExternalMemory::ExternalMemory(std::size_t memN, std::size_t memM)
+    : mat_(memN, memM)
+{
+    reset();
+}
+
+void
+ExternalMemory::reset(float value)
+{
+    mat_.fill(value);
+}
+
+void
+ExternalMemory::randomize(Rng &rng, float scale)
+{
+    for (auto &v : mat_.data())
+        v = static_cast<float>(rng.gaussian(0.0, scale));
+}
+
+FVec
+ExternalMemory::softRead(const FVec &w) const
+{
+    MANNA_ASSERT(w.size() == mat_.rows(),
+                 "softRead weight length %zu != memN %zu", w.size(),
+                 mat_.rows());
+    return tensor::vecMatMul(w, mat_);
+}
+
+void
+ExternalMemory::softWrite(const FVec &w, const FVec &erase,
+                          const FVec &add)
+{
+    MANNA_ASSERT(w.size() == mat_.rows(),
+                 "softWrite weight length %zu != memN %zu", w.size(),
+                 mat_.rows());
+    MANNA_ASSERT(erase.size() == mat_.cols() && add.size() == mat_.cols(),
+                 "softWrite vector widths %zu/%zu != memM %zu",
+                 erase.size(), add.size(), mat_.cols());
+
+    const std::size_t cols = mat_.cols();
+    for (std::size_t r = 0; r < mat_.rows(); ++r) {
+        const float wi = w[r];
+        float *row = mat_.data().data() + r * cols;
+        for (std::size_t c = 0; c < cols; ++c) {
+            row[c] = row[c] * (1.0f - wi * erase[c]) + wi * add[c];
+        }
+    }
+}
+
+} // namespace manna::mann

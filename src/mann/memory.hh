@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The differentiable external memory and its soft access kernels
+ * (Eqs. 1-3). These are the paper's "access kernels" (Table 1), each
+ * touching every element of the memory: O(memN * memM) per head.
+ */
+
+#ifndef MANNA_MANN_MEMORY_HH
+#define MANNA_MANN_MEMORY_HH
+
+#include "common/rng.hh"
+#include "tensor/matrix.hh"
+
+namespace manna::mann
+{
+
+using tensor::FMat;
+using tensor::FVec;
+
+/**
+ * Differentiable external memory M of memN rows x memM columns with
+ * the NTM's soft read and soft write operations.
+ */
+class ExternalMemory
+{
+  public:
+    ExternalMemory(std::size_t memN, std::size_t memM);
+
+    std::size_t rows() const { return mat_.rows(); }
+    std::size_t cols() const { return mat_.cols(); }
+
+    const FMat &matrix() const { return mat_; }
+    FMat &matrix() { return mat_; }
+
+    /** Reset contents to a small constant (standard NTM init). */
+    void reset(float value = 1e-6f);
+
+    /** Fill with small random values (for randomized tests). */
+    void randomize(Rng &rng, float scale = 0.1f);
+
+    /**
+     * Soft read (Eq. 1): r = w^T * M, a weighted sum over all rows.
+     */
+    FVec softRead(const FVec &w) const;
+
+    /**
+     * Soft write (Eqs. 2-3): erase then add, applied to every row:
+     *   M'(i)  = M(i) o (1 - w(i) * e)
+     *   M+(i)  = M'(i) + w(i) * a
+     */
+    void softWrite(const FVec &w, const FVec &erase, const FVec &add);
+
+  private:
+    FMat mat_;
+};
+
+} // namespace manna::mann
+
+#endif // MANNA_MANN_MEMORY_HH

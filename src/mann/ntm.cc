@@ -1,0 +1,112 @@
+#include "ntm.hh"
+
+#include "common/logging.hh"
+#include "tensor/vector_ops.hh"
+
+namespace manna::mann
+{
+
+Ntm::Ntm(const MannConfig &cfg, std::uint64_t seed)
+    : cfg_(cfg), rng_(seed), memory_(cfg.memN, cfg.memM)
+{
+    cfg_.validate();
+    controller_ = makeController(cfg_, rng_);
+    for (std::size_t h = 0; h < cfg_.numReadHeads; ++h)
+        readHeads_.emplace_back(cfg_, /*isWrite=*/false, rng_);
+    for (std::size_t h = 0; h < cfg_.numWriteHeads; ++h)
+        writeHeads_.emplace_back(cfg_, /*isWrite=*/true, rng_);
+    reset();
+}
+
+void
+Ntm::reset()
+{
+    memory_.reset();
+    controller_->reset();
+
+    // Previous weightings start focused on row 0 (standard practice;
+    // any fixed distribution works since it only seeds Eq. 6).
+    FVec w0(cfg_.memN, 0.0f);
+    w0[0] = 1.0f;
+    prevReadWeights_.assign(cfg_.numReadHeads, w0);
+    prevWriteWeights_.assign(cfg_.numWriteHeads, w0);
+    prevReads_.assign(cfg_.numReadHeads, FVec(cfg_.memM, 0.0f));
+}
+
+StepTrace
+Ntm::step(const FVec &input)
+{
+    MANNA_ASSERT(input.size() == cfg_.inputDim,
+                 "NTM input size %zu != inputDim %zu", input.size(),
+                 cfg_.inputDim);
+
+    StepTrace trace;
+
+    // 1. Controller.
+    std::vector<FVec> parts;
+    parts.push_back(input);
+    for (const auto &r : prevReads_)
+        parts.push_back(r);
+    trace.controllerInput = tensor::concat(parts);
+    ControllerOutput ctrl = controller_->forward(trace.controllerInput);
+    trace.hidden = ctrl.hidden;
+    trace.output = ctrl.output;
+
+    // 2-3. Heads and addressing against M^t.
+    for (std::size_t h = 0; h < readHeads_.size(); ++h) {
+        HeadParams p = readHeads_[h].emit(trace.hidden);
+        FVec w = addressHead(memory_.matrix(), p, prevReadWeights_[h],
+                             cfg_.similarityEpsilon);
+        trace.readParams.push_back(std::move(p));
+        trace.readWeights.push_back(std::move(w));
+    }
+    for (std::size_t h = 0; h < writeHeads_.size(); ++h) {
+        HeadParams p = writeHeads_[h].emit(trace.hidden);
+        FVec w = addressHead(memory_.matrix(), p, prevWriteWeights_[h],
+                             cfg_.similarityEpsilon);
+        trace.writeParams.push_back(std::move(p));
+        trace.writeWeights.push_back(std::move(w));
+    }
+
+    // 4. Soft reads from M^t.
+    for (std::size_t h = 0; h < readHeads_.size(); ++h)
+        trace.readVectors.push_back(
+            memory_.softRead(trace.readWeights[h]));
+
+    // 5. Soft writes: M^t -> M^{t+1}, sequential across write heads.
+    for (std::size_t h = 0; h < writeHeads_.size(); ++h) {
+        memory_.softWrite(trace.writeWeights[h],
+                          trace.writeParams[h].erase,
+                          trace.writeParams[h].addVec);
+    }
+
+    // Persist recurrent state.
+    prevReadWeights_ = trace.readWeights;
+    prevWriteWeights_ = trace.writeWeights;
+    prevReads_ = trace.readVectors;
+
+    return trace;
+}
+
+std::vector<FVec>
+Ntm::run(const std::vector<FVec> &inputs)
+{
+    std::vector<FVec> outputs;
+    outputs.reserve(inputs.size());
+    for (const auto &x : inputs)
+        outputs.push_back(step(x).output);
+    return outputs;
+}
+
+std::size_t
+Ntm::parameterCount() const
+{
+    std::size_t n = controller_->parameterCount();
+    for (const auto &h : readHeads_)
+        n += h.weights().size() + h.bias().size();
+    for (const auto &h : writeHeads_)
+        n += h.weights().size() + h.bias().size();
+    return n;
+}
+
+} // namespace manna::mann

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Golden functional model of the full Neural Turing Machine
+ * (Figure 1 of the paper): controller + heads + addressing + soft
+ * read/write over the differentiable external memory.
+ *
+ * The cycle-level Manna simulator is validated against this model: for
+ * identical weights and inputs, the simulator's functional datapath
+ * must produce the same outputs within floating-point reassociation
+ * tolerance.
+ */
+
+#ifndef MANNA_MANN_NTM_HH
+#define MANNA_MANN_NTM_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "mann/addressing.hh"
+#include "mann/controller.hh"
+#include "mann/head.hh"
+#include "mann/memory.hh"
+
+namespace manna::mann
+{
+
+/** Everything observable about one NTM time step (for validation). */
+struct StepTrace
+{
+    FVec controllerInput;
+    FVec hidden;
+    FVec output;
+    std::vector<HeadParams> readParams;
+    std::vector<HeadParams> writeParams;
+    std::vector<FVec> readWeights;  ///< final w per read head
+    std::vector<FVec> writeWeights; ///< final w per write head
+    std::vector<FVec> readVectors;  ///< r_h^t per read head
+};
+
+/**
+ * A complete NTM instance with synthetic (randomly initialized)
+ * weights.
+ *
+ * Per-step dataflow (matching the paper's equations):
+ *  1. controller(input ++ prevReads) -> hidden, output
+ *  2. each head projects hidden -> key/beta/gate/shift/gamma(/erase/add)
+ *  3. addressing (Eqs. 4-8) against M^t for every head
+ *  4. soft read (Eq. 1) from M^t for the read heads
+ *  5. soft write (Eqs. 2-3), sequentially per write head: M^t -> M^{t+1}
+ */
+class Ntm
+{
+  public:
+    /** Construct with synthetic weights drawn from @p seed. */
+    Ntm(const MannConfig &cfg, std::uint64_t seed = 1);
+
+    /** Reset memory, previous weights, and read vectors. */
+    void reset();
+
+    /**
+     * Execute one time step with external input @p input
+     * (inputDim elements). Returns the full trace for validation.
+     */
+    StepTrace step(const FVec &input);
+
+    /** Run a sequence and return the per-step output vectors. */
+    std::vector<FVec> run(const std::vector<FVec> &inputs);
+
+    const MannConfig &config() const { return cfg_; }
+    const ExternalMemory &memory() const { return memory_; }
+    ExternalMemory &memory() { return memory_; }
+    Controller &controller() { return *controller_; }
+    const std::vector<Head> &readHeads() const { return readHeads_; }
+    const std::vector<Head> &writeHeads() const { return writeHeads_; }
+
+    /** Previous-step weightings (needed by the simulator to mirror
+     * state across implementations). */
+    const std::vector<FVec> &prevReadWeights() const
+    {
+        return prevReadWeights_;
+    }
+    const std::vector<FVec> &prevWriteWeights() const
+    {
+        return prevWriteWeights_;
+    }
+    const std::vector<FVec> &prevReads() const { return prevReads_; }
+
+    /** Total parameter count across controller and heads. */
+    std::size_t parameterCount() const;
+
+  private:
+    MannConfig cfg_;
+    Rng rng_;
+    std::unique_ptr<Controller> controller_;
+    std::vector<Head> readHeads_;
+    std::vector<Head> writeHeads_;
+    ExternalMemory memory_;
+
+    std::vector<FVec> prevReadWeights_;
+    std::vector<FVec> prevWriteWeights_;
+    std::vector<FVec> prevReads_;
+};
+
+} // namespace manna::mann
+
+#endif // MANNA_MANN_NTM_HH

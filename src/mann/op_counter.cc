@@ -1,0 +1,379 @@
+#include "op_counter.hh"
+
+#include "common/logging.hh"
+
+namespace manna::mann
+{
+
+const std::array<Kernel, kNumKernels> &
+allKernels()
+{
+    static const std::array<Kernel, kNumKernels> kernels = {
+        Kernel::Controller,       Kernel::Heads,
+        Kernel::KeySimilarity,    Kernel::ContentWeighting,
+        Kernel::Interpolation,    Kernel::ShiftWeighting,
+        Kernel::Sharpening,       Kernel::SoftRead,
+        Kernel::SoftWrite,
+    };
+    return kernels;
+}
+
+const char *
+toString(Kernel k)
+{
+    switch (k) {
+      case Kernel::Controller:
+        return "controller";
+      case Kernel::Heads:
+        return "heads";
+      case Kernel::KeySimilarity:
+        return "key-similarity";
+      case Kernel::ContentWeighting:
+        return "content-weighting";
+      case Kernel::Interpolation:
+        return "interpolation";
+      case Kernel::ShiftWeighting:
+        return "shift-weighting";
+      case Kernel::Sharpening:
+        return "sharpening";
+      case Kernel::SoftRead:
+        return "soft-read";
+      case Kernel::SoftWrite:
+        return "soft-write";
+    }
+    return "?";
+}
+
+const std::array<KernelGroup, kNumKernelGroups> &
+allKernelGroups()
+{
+    static const std::array<KernelGroup, kNumKernelGroups> groups = {
+        KernelGroup::Controller, KernelGroup::Heads,
+        KernelGroup::Addressing, KernelGroup::KeySimilarity,
+        KernelGroup::SoftRead,   KernelGroup::SoftWrite,
+    };
+    return groups;
+}
+
+const char *
+toString(KernelGroup g)
+{
+    switch (g) {
+      case KernelGroup::Controller:
+        return "controller";
+      case KernelGroup::Heads:
+        return "heads";
+      case KernelGroup::Addressing:
+        return "addressing";
+      case KernelGroup::KeySimilarity:
+        return "key-similarity";
+      case KernelGroup::SoftRead:
+        return "soft-read";
+      case KernelGroup::SoftWrite:
+        return "soft-write";
+    }
+    return "?";
+}
+
+KernelGroup
+groupOf(Kernel k)
+{
+    switch (k) {
+      case Kernel::Controller:
+        return KernelGroup::Controller;
+      case Kernel::Heads:
+        return KernelGroup::Heads;
+      case Kernel::KeySimilarity:
+        return KernelGroup::KeySimilarity;
+      case Kernel::ContentWeighting:
+      case Kernel::Interpolation:
+      case Kernel::ShiftWeighting:
+      case Kernel::Sharpening:
+        return KernelGroup::Addressing;
+      case Kernel::SoftRead:
+        return KernelGroup::SoftRead;
+      case Kernel::SoftWrite:
+        return KernelGroup::SoftWrite;
+    }
+    panic("unknown kernel");
+}
+
+double
+KernelWork::flopsPerByte() const
+{
+    const double bytes = static_cast<double>(bytesTouched());
+    return bytes > 0.0 ? static_cast<double>(flops()) / bytes : 0.0;
+}
+
+KernelWork &
+KernelWork::operator+=(const KernelWork &o)
+{
+    macOps += o.macOps;
+    elwiseOps += o.elwiseOps;
+    specialOps += o.specialOps;
+    memReads += o.memReads;
+    memWrites += o.memWrites;
+    parallelism = std::max(parallelism, o.parallelism);
+    return *this;
+}
+
+OpCounter::OpCounter(const MannConfig &cfg) : cfg_(cfg)
+{
+    cfg_.validate();
+}
+
+KernelWork
+OpCounter::kernelWork(Kernel k) const
+{
+    const std::uint64_t n = cfg_.memN;
+    const std::uint64_t m = cfg_.memM;
+    const std::uint64_t hr = cfg_.numReadHeads;
+    const std::uint64_t hw = cfg_.numWriteHeads;
+    const std::uint64_t heads = hr + hw;
+    const std::uint64_t taps = cfg_.shiftTaps();
+    const std::uint64_t hidden = cfg_.hiddenDim();
+
+    KernelWork w;
+    switch (k) {
+      case Kernel::Controller: {
+        // Dense layers: layer l is width x inDim MACs; activations are
+        // element-wise; plus the output projection.
+        std::uint64_t inDim = cfg_.controllerInputDim();
+        // LSTM layers cost 4x the matrix work plus gate math; the MLP
+        // costs one matrix per layer.
+        const std::uint64_t gateFactor =
+            cfg_.controllerKind == ControllerKind::LSTM ? 4 : 1;
+        for (std::size_t l = 0; l < cfg_.controllerLayers; ++l) {
+            w.macOps += gateFactor * hidden * inDim;
+            if (cfg_.controllerKind == ControllerKind::LSTM) {
+                w.macOps += gateFactor * hidden * hidden; // recurrent
+                w.elwiseOps += 5 * hidden; // gate combines
+                w.specialOps += 5 * hidden; // sigmoid/tanh
+            } else {
+                w.specialOps += hidden; // tanh
+            }
+            w.memReads += gateFactor * hidden * inDim + inDim;
+            w.memWrites += hidden;
+            inDim = hidden;
+        }
+        w.macOps += cfg_.outputDim * hidden;
+        w.memReads += cfg_.outputDim * hidden + hidden;
+        w.memWrites += cfg_.outputDim;
+        w.parallelism = hidden;
+        break;
+      }
+      case Kernel::Heads: {
+        // One paramDim x hidden matrix-vector product per head, plus
+        // the squashing nonlinearities over the emitted parameters.
+        const std::uint64_t readParams = cfg_.readHeadParamDim();
+        const std::uint64_t writeParams = cfg_.writeHeadParamDim();
+        const std::uint64_t totalParams =
+            hr * readParams + hw * writeParams;
+        w.macOps = totalParams * hidden;
+        w.specialOps = totalParams; // sigmoid/softplus/tanh decodes
+        w.memReads = totalParams * hidden + heads * hidden;
+        w.memWrites = totalParams;
+        w.parallelism = totalParams;
+        break;
+      }
+      case Kernel::KeySimilarity: {
+        // Eq. 4 for every row and head: dot(k, M(i)) plus the row
+        // norm accumulation, then one divide per row.
+        w.macOps = heads * n * (2 * m); // dot + norm accumulation
+        w.specialOps = heads * n * 2;   // sqrt + divide per row
+        w.memReads = heads * (n * m + m);
+        w.memWrites = heads * n;
+        w.parallelism = n;
+        break;
+      }
+      case Kernel::ContentWeighting: {
+        // Eq. 5: scale by beta, exp, sum, normalize.
+        w.elwiseOps = heads * (2 * n); // beta scale + divide-as-mul
+        w.specialOps = heads * n;      // exp
+        w.macOps = heads * n;          // sum reduction
+        w.memReads = heads * 2 * n;
+        w.memWrites = heads * n;
+        w.parallelism = n;
+        break;
+      }
+      case Kernel::Interpolation: {
+        // Eq. 6: g*wc + (1-g)*wPrev.
+        w.elwiseOps = heads * 3 * n;
+        w.memReads = heads * 2 * n;
+        w.memWrites = heads * n;
+        w.parallelism = n;
+        break;
+      }
+      case Kernel::ShiftWeighting: {
+        // Eq. 7: circular convolution with `taps` taps.
+        w.macOps = heads * n * taps;
+        w.memReads = heads * (n * taps + taps);
+        w.memWrites = heads * n;
+        w.parallelism = n;
+        break;
+      }
+      case Kernel::Sharpening: {
+        // Eq. 8: pow per element, sum, normalize.
+        w.specialOps = heads * n; // pow
+        w.macOps = heads * n;     // sum
+        w.elwiseOps = heads * n;  // normalize multiply
+        w.memReads = heads * 2 * n;
+        w.memWrites = heads * n;
+        w.parallelism = n;
+        break;
+      }
+      case Kernel::SoftRead: {
+        // Eq. 1: w^T * M per read head.
+        w.macOps = hr * n * m;
+        w.memReads = hr * (n * m + n);
+        w.memWrites = hr * m;
+        w.parallelism = m;
+        break;
+      }
+      case Kernel::SoftWrite: {
+        // Eqs. 2-3 per write head: per element one multiply for
+        // w(i)*e, a subtract, a multiply into M, one multiply for
+        // w(i)*a and an add.
+        w.elwiseOps = hw * n * m * 5;
+        w.memReads = hw * (n * m + 2 * m + n);
+        w.memWrites = hw * n * m;
+        w.parallelism = n * m;
+        break;
+      }
+    }
+    return w;
+}
+
+KernelWork
+OpCounter::groupWork(KernelGroup g) const
+{
+    KernelWork acc;
+    for (Kernel k : allKernels())
+        if (groupOf(k) == g)
+            acc += kernelWork(k);
+    return acc;
+}
+
+KernelWork
+OpCounter::totalWork() const
+{
+    KernelWork acc;
+    for (Kernel k : allKernels())
+        acc += kernelWork(k);
+    return acc;
+}
+
+KernelWork
+OpCounter::nonControllerWork() const
+{
+    KernelWork acc;
+    for (Kernel k : allKernels())
+        if (k != Kernel::Controller)
+            acc += kernelWork(k);
+    return acc;
+}
+
+OpCounter::OperationMix
+OpCounter::operationMix() const
+{
+    const KernelWork w = nonControllerWork();
+    const double total = static_cast<double>(w.macOps + w.elwiseOps +
+                                             w.specialOps);
+    OperationMix mix{};
+    if (total > 0.0) {
+        mix.macFraction = static_cast<double>(w.macOps) / total;
+        mix.elwiseFraction = static_cast<double>(w.elwiseOps) / total;
+        mix.specialFraction = static_cast<double>(w.specialOps) / total;
+    }
+    return mix;
+}
+
+std::string
+OpCounter::accessExpression(Kernel k)
+{
+    switch (k) {
+      case Kernel::Controller:
+        return "O(params)";
+      case Kernel::Heads:
+        return "O(paramDim*hidden*(Hr+Hw))";
+      case Kernel::KeySimilarity:
+        return "O(Mn*Mm*(Hr+Hw))";
+      case Kernel::ContentWeighting:
+      case Kernel::Interpolation:
+      case Kernel::ShiftWeighting:
+      case Kernel::Sharpening:
+        return "O(Mn*(Hr+Hw))";
+      case Kernel::SoftRead:
+        return "O(Mn*Mm*Hr)";
+      case Kernel::SoftWrite:
+        return "O(Mn*Mm*Hw)";
+    }
+    return "?";
+}
+
+std::string
+OpCounter::primitiveName(Kernel k)
+{
+    switch (k) {
+      case Kernel::Controller:
+        return "DNN layers";
+      case Kernel::Heads:
+        return "Vector-Matrix Mul.";
+      case Kernel::KeySimilarity:
+        return "Vector-Matrix Mul.";
+      case Kernel::ContentWeighting:
+        return "Normalization";
+      case Kernel::Interpolation:
+        return "Elwise Mul/Add/Sub";
+      case Kernel::ShiftWeighting:
+        return "Circular Conv.";
+      case Kernel::Sharpening:
+        return "Normalization";
+      case Kernel::SoftRead:
+        return "Vector-Matrix Mul.";
+      case Kernel::SoftWrite:
+        return "Elwise Mul/Add/Sub";
+    }
+    return "?";
+}
+
+std::string
+OpCounter::reductionDirection(Kernel k)
+{
+    switch (k) {
+      case Kernel::KeySimilarity:
+        return "Row-wise";
+      case Kernel::SoftRead:
+        return "Column-wise";
+      default:
+        return "-";
+    }
+}
+
+std::string
+OpCounter::symbolicFlopsPerByte(Kernel k)
+{
+    switch (k) {
+      case Kernel::Controller:
+        return "batch-dependent";
+      case Kernel::Heads:
+        return "~1";
+      case Kernel::KeySimilarity:
+        return "Hw+Hr";
+      case Kernel::ContentWeighting:
+        return "3";
+      case Kernel::Interpolation:
+        return "2";
+      case Kernel::ShiftWeighting:
+        return "S";
+      case Kernel::Sharpening:
+        return "3";
+      case Kernel::SoftRead:
+        return "Hr";
+      case Kernel::SoftWrite:
+        return "Hw";
+    }
+    return "?";
+}
+
+} // namespace manna::mann

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Analytic operation and memory-access counting for NTM kernels.
+ *
+ * This reproduces the paper's workload characterization: Table 1
+ * (per-kernel primitive, memory accesses, FLOPs/Byte, reduction
+ * direction), Figure 3 (MAC vs element-wise operation mix), and the
+ * per-kernel work quantities the GPU/CPU baseline models consume.
+ */
+
+#ifndef MANNA_MANN_OP_COUNTER_HH
+#define MANNA_MANN_OP_COUNTER_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mann/mann_config.hh"
+
+namespace manna::mann
+{
+
+/** The NTM kernels the paper distinguishes (Table 1 + controller). */
+enum class Kernel
+{
+    Controller,        ///< the DNN controller network
+    Heads,             ///< read/write head projections
+    KeySimilarity,     ///< Eq. 4 (row-wise vector-matrix)
+    ContentWeighting,  ///< Eq. 5 (softmax normalization)
+    Interpolation,     ///< Eq. 6 (element-wise blend)
+    ShiftWeighting,    ///< Eq. 7 (circular convolution)
+    Sharpening,        ///< Eq. 8 (power + normalization)
+    SoftRead,          ///< Eq. 1 (column-wise vector-matrix)
+    SoftWrite,         ///< Eqs. 2-3 (element-wise update)
+};
+
+constexpr std::size_t kNumKernels = 9;
+
+/** All kernels in canonical order. */
+const std::array<Kernel, kNumKernels> &allKernels();
+
+/** Printable kernel name matching the paper's terminology. */
+const char *toString(Kernel k);
+
+/** Kernel groups used in Figures 2 and 10. */
+enum class KernelGroup
+{
+    Controller,
+    Heads,
+    Addressing, ///< content weighting + interpolation + shift + sharpen
+    KeySimilarity,
+    SoftRead,
+    SoftWrite,
+};
+
+constexpr std::size_t kNumKernelGroups = 6;
+const std::array<KernelGroup, kNumKernelGroups> &allKernelGroups();
+const char *toString(KernelGroup g);
+KernelGroup groupOf(Kernel k);
+
+/** Operation-count breakdown of one kernel for one time step. */
+struct KernelWork
+{
+    std::uint64_t macOps = 0;     ///< fused multiply-accumulate ops
+    std::uint64_t elwiseOps = 0;  ///< non-reductive mul/add/sub
+    std::uint64_t specialOps = 0; ///< exp/pow/div/sqrt (SFU class)
+    std::uint64_t memReads = 0;   ///< FP32 words read
+    std::uint64_t memWrites = 0;  ///< FP32 words written
+
+    /** Total arithmetic operations (each MAC counted as 2 FLOPs). */
+    std::uint64_t flops() const
+    {
+        return 2 * macOps + elwiseOps + specialOps;
+    }
+
+    std::uint64_t bytesTouched() const
+    {
+        return 4 * (memReads + memWrites);
+    }
+
+    /** FLOPs per byte of memory traffic. */
+    double flopsPerByte() const;
+
+    /**
+     * Exposed data parallelism: the number of independent lanes this
+     * kernel offers a wide machine (used by the GPU utilization
+     * model).
+     */
+    std::uint64_t parallelism = 1;
+
+    KernelWork &operator+=(const KernelWork &o);
+};
+
+/**
+ * Analytic work model for an NTM configuration, per time step.
+ *
+ * Counts follow directly from Eqs. 1-8 and the controller/head
+ * matrix shapes; see the .cc for the per-kernel derivations.
+ */
+class OpCounter
+{
+  public:
+    explicit OpCounter(const MannConfig &cfg);
+
+    /** Work of one kernel for a single time step (all heads). */
+    KernelWork kernelWork(Kernel k) const;
+
+    /** Sum over a kernel group. */
+    KernelWork groupWork(KernelGroup g) const;
+
+    /** Sum over all kernels. */
+    KernelWork totalWork() const;
+
+    /** Sum over the non-controller ("runtime-intensive") kernels. */
+    KernelWork nonControllerWork() const;
+
+    /**
+     * Fraction of MAC vs element-wise vs special operations across
+     * the non-controller kernels (Figure 3).
+     */
+    struct OperationMix
+    {
+        double macFraction;
+        double elwiseFraction;
+        double specialFraction;
+    };
+    OperationMix operationMix() const;
+
+    /**
+     * Asymptotic memory-access expression for Table 1, e.g.
+     * "O(Mn*Mm*(Hr+Hw))".
+     */
+    static std::string accessExpression(Kernel k);
+
+    /** The "Key Primitive" column of Table 1. */
+    static std::string primitiveName(Kernel k);
+
+    /** The "Reduction" column of Table 1. */
+    static std::string reductionDirection(Kernel k);
+
+    /**
+     * The paper's symbolic FLOPs/Byte entry for Table 1 (e.g.
+     * "Hr+Hw", "3", "S").
+     */
+    static std::string symbolicFlopsPerByte(Kernel k);
+
+    const MannConfig &config() const { return cfg_; }
+
+  private:
+    MannConfig cfg_;
+};
+
+} // namespace manna::mann
+
+#endif // MANNA_MANN_OP_COUNTER_HH

@@ -1,0 +1,367 @@
+#include "chip.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "tensor/vector_ops.hh"
+
+namespace manna::sim
+{
+
+using compiler::CommTag;
+using isa::Instruction;
+using isa::Opcode;
+
+double
+RunReport::stepsPerJoule() const
+{
+    const double joules = totalEnergyJoules();
+    return joules > 0.0 ? static_cast<double>(steps) / joules : 0.0;
+}
+
+double
+RunReport::secondsPerStep() const
+{
+    return steps > 0 ? totalSeconds / static_cast<double>(steps) : 0.0;
+}
+
+std::string
+RunReport::render() const
+{
+    std::string out = strformat(
+        "steps=%zu cycles=%llu time=%.6f ms energy=%.6f mJ "
+        "(leakage %.6f mJ, infra %.6f mJ) steps/J=%.1f\n",
+        steps, static_cast<unsigned long long>(totalCycles),
+        totalSeconds * 1e3, totalEnergyPj() * 1e-9,
+        leakageEnergyPj * 1e-9, infrastructureEnergyPj * 1e-9,
+        stepsPerJoule());
+    for (const auto &[group, gs] : groups) {
+        out += strformat("  %-16s %12llu cycles  %10.3f uJ\n",
+                         mann::toString(group),
+                         static_cast<unsigned long long>(gs.cycles),
+                         gs.energyPj * 1e-6);
+    }
+    if (!resourceUtilization.empty()) {
+        out += "  utilization:";
+        for (const auto &[name, util] : resourceUtilization)
+            out += strformat(" %s %.1f%%", name.c_str(), util * 100.0);
+        out += "\n";
+    }
+    return out;
+}
+
+Chip::Chip(const compiler::CompiledModel &model, std::uint64_t seed)
+    : model_(model), energy_(model.archCfg),
+      noc_(model.archCfg, energy_), ctrlModel_(model.archCfg, energy_),
+      ntm_(model.mannCfg, seed)
+{
+    const auto &layout = model_.layout;
+    TileLayoutSizes sizes;
+    sizes.matBufWords = layout.matBufWords;
+    sizes.matSpadWords = layout.matSpadWords;
+    sizes.vecBufWords = layout.vecBufWords;
+    sizes.vecSpadWords = layout.vecSpadWords;
+    for (std::size_t t = 0; t < model_.archCfg.numTiles; ++t)
+        tiles_.push_back(std::make_unique<DiffMemTile>(
+            model_.archCfg, energy_, t, sizes));
+    reset();
+}
+
+void
+Chip::reset()
+{
+    ntm_.reset();
+    for (auto &tile : tiles_) {
+        tile->memory() = TileMemory(model_.layout.matBufWords,
+                                    model_.layout.matSpadWords,
+                                    model_.layout.vecBufWords,
+                                    model_.layout.vecSpadWords);
+        tile->alignTo(tile->quiesceTime()); // no-op fence
+    }
+    loadState();
+    readVectors_.assign(model_.mannCfg.numReadHeads,
+                        tensor::FVec(model_.mannCfg.memM, 0.0f));
+    nocBuffer_.clear();
+    chipTime_ = 0;
+    nocEnergyPj_ = 0.0;
+    ctrlEnergyPj_ = 0.0;
+    groups_.clear();
+    steps_ = 0;
+}
+
+void
+Chip::loadState()
+{
+    const auto &layout = model_.layout;
+    const auto &mc = model_.mannCfg;
+
+    // Differentiable memory slices (initial NTM image).
+    const tensor::FMat &mem = ntm_.memory().matrix();
+    for (std::size_t t = 0; t < tiles_.size(); ++t) {
+        const std::uint32_t rows = layout.memory.rowCount[t];
+        const std::uint32_t start = layout.memory.rowStart[t];
+        for (std::uint32_t r = 0; r < rows; ++r) {
+            tiles_[t]->memory().writeRange(
+                isa::Space::MatBuf,
+                layout.memory.base + r * layout.memory.cols,
+                mem.row(start + r));
+        }
+    }
+
+    // Head weight slices (read heads then write heads), with the head
+    // bias appended as an extra column multiplied by the augmented
+    // constant-one hidden lane; plus the initial previous weighting
+    // (all attention on global row 0).
+    const std::size_t numHeads = mc.numReadHeads + mc.numWriteHeads;
+    for (std::size_t h = 0; h < numHeads; ++h) {
+        const bool isWrite = h >= mc.numReadHeads;
+        const mann::Head &head =
+            isWrite ? ntm_.writeHeads()[h - mc.numReadHeads]
+                    : ntm_.readHeads()[h];
+        const auto &part = layout.headWeights[h];
+        MANNA_ASSERT(part.cols == head.weights().cols() + 1,
+                     "head %zu layout cols %u != weights cols %zu + 1",
+                     h, part.cols, head.weights().cols());
+        for (std::size_t t = 0; t < tiles_.size(); ++t) {
+            const std::uint32_t rows = part.rowCount[t];
+            const std::uint32_t start = part.rowStart[t];
+            for (std::uint32_t r = 0; r < rows; ++r) {
+                tensor::FVec row = head.weights().row(start + r);
+                row.push_back(head.bias()[start + r]);
+                tiles_[t]->memory().writeRange(
+                    isa::Space::MatBuf, part.base + r * part.cols,
+                    row);
+            }
+        }
+
+        for (std::size_t t = 0; t < tiles_.size(); ++t) {
+            const std::uint32_t rows = layout.memory.rowCount[t];
+            if (rows == 0)
+                continue;
+            std::vector<float> wPrev(rows, 0.0f);
+            if (layout.memory.rowStart[t] == 0)
+                wPrev[0] = 1.0f; // matches Ntm::reset()
+            tiles_[t]->memory().writeRange(isa::Space::VecBuf,
+                                           layout.wPrevBase[h], wPrev);
+        }
+    }
+}
+
+tensor::FVec
+Chip::step(const tensor::FVec &input)
+{
+    const auto &mc = model_.mannCfg;
+    MANNA_ASSERT(input.size() == mc.inputDim,
+                 "chip input size %zu != %zu", input.size(),
+                 mc.inputDim);
+
+    // ---- Controller tile ----
+    std::vector<tensor::FVec> parts;
+    parts.push_back(input);
+    for (const auto &r : readVectors_)
+        parts.push_back(r);
+    mann::ControllerOutput ctrl =
+        ntm_.controller().forward(tensor::concat(parts));
+    // Augment the hidden state with the constant-one bias lane: the
+    // head weight slices carry each head's bias as an extra column.
+    pendingHidden_ = ctrl.hidden;
+    pendingHidden_.push_back(1.0f);
+
+    const CtrlCost ctrlCost = ctrlModel_.forwardCost(mc);
+    ctrlEnergyPj_ += ctrlCost.energyPj;
+    auto &ctrlGroup = groups_[mann::KernelGroup::Controller];
+    ctrlGroup.cycles += ctrlCost.cycles;
+    ctrlGroup.energyPj += ctrlCost.energyPj;
+    chipTime_ += ctrlCost.cycles;
+    controllerReady_ = chipTime_;
+    for (auto &tile : tiles_)
+        tile->alignTo(std::max(tile->quiesceTime(), chipTime_));
+
+    // ---- DiffMem tile segments ----
+    for (const auto &segment : model_.stepSegments)
+        runSegment(segment);
+
+    ++steps_;
+    return ctrl.output;
+}
+
+std::vector<tensor::FVec>
+Chip::run(const std::vector<tensor::FVec> &inputs)
+{
+    std::vector<tensor::FVec> outputs;
+    outputs.reserve(inputs.size());
+    for (const auto &x : inputs)
+        outputs.push_back(step(x));
+    return outputs;
+}
+
+void
+Chip::runSegment(const compiler::CompiledSegment &segment)
+{
+    currentGroup_ = segment.group;
+    const Cycle segStart = chipTime_;
+    std::vector<Energy> tileEnergyBefore;
+    for (auto &tile : tiles_)
+        tileEnergyBefore.push_back(tile->energyPj());
+    const Energy nocBefore = nocEnergyPj_;
+
+    for (std::size_t t = 0; t < tiles_.size(); ++t) {
+        tiles_[t]->alignTo(std::max(tiles_[t]->quiesceTime(), segStart));
+        tiles_[t]->setProgram(&segment.tilePrograms[t]);
+    }
+
+    while (true) {
+        bool anyComm = false;
+        bool allDone = true;
+        for (auto &tile : tiles_) {
+            const RunStatus status = tile->runUntilComm();
+            if (status == RunStatus::AtComm) {
+                anyComm = true;
+                allDone = false;
+            }
+        }
+        if (allDone)
+            break;
+        MANNA_ASSERT(anyComm, "scheduler stuck");
+
+        // SPMD: every tile must block on the same instruction shape.
+        const Instruction &inst = tiles_[0]->commInstruction();
+        for (std::size_t t = 1; t < tiles_.size(); ++t) {
+            const Instruction &other = tiles_[t]->commInstruction();
+            MANNA_ASSERT(other.op == inst.op &&
+                             other.srcA.len == inst.srcA.len &&
+                             other.dst.len == inst.dst.len,
+                         "tiles diverged at a communication point");
+        }
+        handleComm(inst);
+    }
+
+    // Close the segment: synchronize all tiles.
+    Cycle segEnd = segStart;
+    for (auto &tile : tiles_)
+        segEnd = std::max(segEnd, tile->quiesceTime());
+    for (auto &tile : tiles_)
+        tile->alignTo(segEnd);
+    chipTime_ = segEnd;
+
+    auto &gs = groups_[segment.group];
+    gs.cycles += segEnd - segStart;
+    for (std::size_t t = 0; t < tiles_.size(); ++t)
+        gs.energyPj += tiles_[t]->energyPj() - tileEnergyBefore[t];
+    gs.energyPj += nocEnergyPj_ - nocBefore;
+}
+
+void
+Chip::handleComm(const Instruction &inst)
+{
+    const CommTag tag = compiler::commTagOf(inst.count);
+
+    Cycle commStart = 0;
+    for (auto &tile : tiles_)
+        commStart = std::max(commStart, tile->quiesceTime());
+
+    std::size_t words = 0;
+    if (inst.op == Opcode::Reduce) {
+        words = inst.srcA.len;
+        std::vector<std::vector<float>> perTile;
+        perTile.reserve(tiles_.size());
+        for (auto &tile : tiles_)
+            perTile.push_back(tile->readOperand(inst.srcA));
+        nocBuffer_ = Noc::combine(perTile, inst.flags.reduceOp);
+        nocEnergyPj_ += noc_.reduceEnergyPj(words);
+        chipTime_ = commStart + noc_.reduceCycles(words);
+
+        if (tag == CommTag::ReadVectorOut) {
+            const std::uint32_t h = compiler::commIndexOf(inst.count);
+            MANNA_ASSERT(h < readVectors_.size(),
+                         "read-vector index %u out of range", h);
+            readVectors_[h] = nocBuffer_;
+        }
+    } else {
+        MANNA_ASSERT(inst.op == Opcode::Broadcast,
+                     "unexpected comm opcode");
+        if (tag == CommTag::HiddenIn) {
+            // Payload comes from the Controller tile at the root; the
+            // broadcast cannot start before the controller finished.
+            commStart = std::max(commStart, controllerReady_);
+            nocBuffer_.assign(pendingHidden_.begin(),
+                              pendingHidden_.end());
+        }
+        words = inst.dst.len;
+        MANNA_ASSERT(nocBuffer_.size() == words,
+                     "broadcast of %zu words but NoC buffer holds %zu",
+                     words, nocBuffer_.size());
+        for (auto &tile : tiles_)
+            tile->writeOperand(inst.dst, nocBuffer_);
+        nocEnergyPj_ += noc_.broadcastEnergyPj(words);
+        chipTime_ = commStart + noc_.broadcastCycles(words);
+    }
+
+    for (auto &tile : tiles_)
+        tile->resumeAfterComm(chipTime_);
+}
+
+RunReport
+Chip::report() const
+{
+    RunReport rep;
+    rep.steps = steps_;
+    rep.totalCycles = chipTime_;
+    rep.totalSeconds =
+        static_cast<double>(chipTime_) * model_.archCfg.cyclePeriodSec();
+    rep.dynamicEnergyPj = ctrlEnergyPj_ + nocEnergyPj_;
+    for (const auto &tile : tiles_)
+        rep.dynamicEnergyPj += tile->energyPj();
+    rep.leakageEnergyPj =
+        energy_.leakageWatts() * rep.totalSeconds * 1e12;
+    rep.infrastructureEnergyPj =
+        energy_.infrastructureWatts() * rep.totalSeconds * 1e12;
+    rep.groups = groups_;
+    if (chipTime_ > 0) {
+        const double denom = static_cast<double>(chipTime_) *
+                             static_cast<double>(tiles_.size());
+        const std::pair<const char *, const char *> classes[] = {
+            {"emac", "emac_busy_cycles"},
+            {"sfu", "sfu_busy_cycles"},
+            {"mat_dma", "mat_dma_busy_cycles"},
+            {"vec_dma", "vec_dma_busy_cycles"},
+        };
+        for (const auto &[name, key] : classes) {
+            double busy = 0.0;
+            for (const auto &tile : tiles_)
+                busy += tile->stats().get(key);
+            rep.resourceUtilization[name] = busy / denom;
+        }
+    }
+    return rep;
+}
+
+void
+Chip::attachTrace(TraceLogger *logger)
+{
+    for (auto &tile : tiles_)
+        tile->setTraceLogger(logger);
+}
+
+tensor::FMat
+Chip::gatherMemory() const
+{
+    const auto &layout = model_.layout;
+    const auto &mc = model_.mannCfg;
+    tensor::FMat mem(mc.memN, mc.memM);
+    for (std::size_t t = 0; t < tiles_.size(); ++t) {
+        const std::uint32_t rows = layout.memory.rowCount[t];
+        const std::uint32_t start = layout.memory.rowStart[t];
+        for (std::uint32_t r = 0; r < rows; ++r) {
+            const auto row = tiles_[t]->memory().readRange(
+                isa::Space::MatBuf,
+                layout.memory.base + r * layout.memory.cols,
+                layout.memory.cols);
+            mem.setRow(start + r, row);
+        }
+    }
+    return mem;
+}
+
+} // namespace manna::sim

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Top-level Manna chip simulator: DiffMem tiles + H-tree NoC +
+ * Controller tile, executing a compiled MANN step-by-step.
+ *
+ * The chip owns its own Ntm instance (constructed from the same seed
+ * as the golden model, so weights are bit-identical) and uses it for
+ * (i) loading head weights and the memory image onto the tiles, and
+ * (ii) the functional forward pass of the controller, whose timing
+ * comes from the ControllerTileModel. Everything else — heads,
+ * addressing, key similarity, soft read, soft write — executes
+ * instruction-by-instruction on the DiffMem tile models, so the
+ * chip's outputs validate the entire compiler + simulator stack
+ * against the golden model.
+ */
+
+#ifndef MANNA_SIM_CHIP_HH
+#define MANNA_SIM_CHIP_HH
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "arch/energy_model.hh"
+#include "compiler/compiled_model.hh"
+#include "mann/ntm.hh"
+#include "sim/controller_tile.hh"
+#include "sim/noc.hh"
+#include "sim/tile.hh"
+
+namespace manna::sim
+{
+
+/** Per-kernel-group accounting for one run. */
+struct GroupStats
+{
+    Cycle cycles = 0;
+    Energy energyPj = 0.0;
+};
+
+/** Results of a simulated inference run. */
+struct RunReport
+{
+    std::size_t steps = 0;
+    Cycle totalCycles = 0;
+    Seconds totalSeconds = 0.0;
+    Energy dynamicEnergyPj = 0.0;
+    Energy leakageEnergyPj = 0.0;
+    Energy infrastructureEnergyPj = 0.0; ///< clock/control/periphery
+
+    std::map<mann::KernelGroup, GroupStats> groups;
+
+    /**
+     * Average fraction of cycles each tile resource class was busy
+     * ("emac", "sfu", "mat_dma", "vec_dma"), across all tiles over
+     * the whole run.
+     */
+    std::map<std::string, double> resourceUtilization;
+
+    Energy totalEnergyPj() const
+    {
+        return dynamicEnergyPj + leakageEnergyPj +
+               infrastructureEnergyPj;
+    }
+    double totalEnergyJoules() const { return totalEnergyPj() * 1e-12; }
+
+    /** Steps per joule (the paper's energy-efficiency metric). */
+    double stepsPerJoule() const;
+
+    /** Seconds per step. */
+    double secondsPerStep() const;
+
+    std::string render() const;
+};
+
+/**
+ * The Manna chip.
+ */
+class Chip
+{
+  public:
+    /**
+     * Build a chip for a compiled model. @p seed must match the seed
+     * of the golden Ntm the run is compared against.
+     */
+    Chip(const compiler::CompiledModel &model, std::uint64_t seed = 1);
+
+    /** Reset memory, recurrent state, and all statistics. */
+    void reset();
+
+    /** Execute one NTM time step; returns the output vector. */
+    tensor::FVec step(const tensor::FVec &input);
+
+    /** Run a sequence of inputs. */
+    std::vector<tensor::FVec> run(const std::vector<tensor::FVec> &in);
+
+    /** Accounting for everything since the last reset(). */
+    RunReport report() const;
+
+    /** Current read vectors (for validation against the golden). */
+    const std::vector<tensor::FVec> &readVectors() const
+    {
+        return readVectors_;
+    }
+
+    /** Reassemble the distributed external memory (validation). */
+    tensor::FMat gatherMemory() const;
+
+    const arch::MannaConfig &config() const { return model_.archCfg; }
+    const mann::MannConfig &mannConfig() const { return model_.mannCfg; }
+    const compiler::CompiledModel &model() const { return model_; }
+
+    /** Attach an instruction tracer to every tile (nullptr detaches). */
+    void attachTrace(TraceLogger *logger);
+
+  private:
+    void loadState();
+    void runSegment(const compiler::CompiledSegment &segment);
+    void handleComm(const isa::Instruction &inst);
+
+    const compiler::CompiledModel &model_;
+    arch::EnergyModel energy_;
+    Noc noc_;
+    ControllerTileModel ctrlModel_;
+    mann::Ntm ntm_; ///< weights + functional controller
+
+    std::vector<std::unique_ptr<DiffMemTile>> tiles_;
+
+    // Recurrent state held at the chip (controller side).
+    std::vector<tensor::FVec> readVectors_;
+    tensor::FVec pendingHidden_;
+    Cycle controllerReady_ = 0;
+
+    // NoC data in flight (result of the last Reduce).
+    std::vector<float> nocBuffer_;
+
+    // Accounting.
+    Cycle chipTime_ = 0;
+    Energy nocEnergyPj_ = 0.0;
+    Energy ctrlEnergyPj_ = 0.0;
+    std::map<mann::KernelGroup, GroupStats> groups_;
+    std::size_t steps_ = 0;
+    mann::KernelGroup currentGroup_ = mann::KernelGroup::Controller;
+};
+
+} // namespace manna::sim
+
+#endif // MANNA_SIM_CHIP_HH

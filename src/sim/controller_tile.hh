@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Timing/energy model of the Controller tile (Section 4.3): a
+ * systolic-array DNN accelerator with weight and unified buffers.
+ *
+ * The paper simulates the controller with the performance simulator
+ * from Bit-Fusion [32]; we substitute a standard weight-stationary
+ * systolic timing model (tiled matrix-vector products over the
+ * rows x cols array, with fill latency and buffer traffic). The
+ * functional forward pass is executed by the Chip through the shared
+ * mann::Controller implementation, so controller math is identical
+ * to the golden model by construction.
+ */
+
+#ifndef MANNA_SIM_CONTROLLER_TILE_HH
+#define MANNA_SIM_CONTROLLER_TILE_HH
+
+#include "arch/energy_model.hh"
+#include "arch/manna_config.hh"
+#include "common/types.hh"
+#include "mann/mann_config.hh"
+
+namespace manna::sim
+{
+
+/** Cost of a unit of controller-tile work. */
+struct CtrlCost
+{
+    Cycle cycles = 0;
+    Energy energyPj = 0.0;
+
+    CtrlCost &operator+=(const CtrlCost &o)
+    {
+        cycles += o.cycles;
+        energyPj += o.energyPj;
+        return *this;
+    }
+};
+
+/** Analytic systolic-array model. */
+class ControllerTileModel
+{
+  public:
+    ControllerTileModel(const arch::MannaConfig &cfg,
+                        const arch::EnergyModel &energy);
+
+    /**
+     * One dense matrix-vector product of outDim x inDim (batch 1,
+     * weight stationary): ceil(out/rows) x ceil(in/cols) array passes,
+     * each streaming `cols` activations with a pipeline-fill latency.
+     */
+    CtrlCost denseLayer(std::size_t outDim, std::size_t inDim) const;
+
+    /** Element-wise activation over n outputs (one lane per column). */
+    CtrlCost activation(std::size_t n) const;
+
+    /** Whole controller forward pass for one time step. */
+    CtrlCost forwardCost(const mann::MannConfig &mc) const;
+
+  private:
+    const arch::MannaConfig &cfg_;
+    const arch::EnergyModel &energy_;
+};
+
+} // namespace manna::sim
+
+#endif // MANNA_SIM_CONTROLLER_TILE_HH

@@ -1,0 +1,316 @@
+#include "dnc_chip.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "tensor/vector_ops.hh"
+
+namespace manna::sim
+{
+
+using compiler::CommTag;
+using isa::Instruction;
+using isa::Opcode;
+
+DncChip::DncChip(const compiler::CompiledDnc &model,
+                 std::uint64_t seed)
+    : model_(model), energy_(model.archCfg),
+      noc_(model.archCfg, energy_), ctrlModel_(model.archCfg, energy_),
+      dnc_(model.dncCfg, seed)
+{
+    TileLayoutSizes sizes;
+    sizes.matBufWords = model_.layout.matBufWords;
+    sizes.matSpadWords = model_.layout.matSpadWords;
+    sizes.vecBufWords = model_.layout.vecBufWords;
+    sizes.vecSpadWords = model_.layout.vecSpadWords;
+    for (std::size_t t = 0; t < model_.archCfg.numTiles; ++t)
+        tiles_.push_back(std::make_unique<DiffMemTile>(
+            model_.archCfg, energy_, t, sizes));
+    reset();
+}
+
+void
+DncChip::reset()
+{
+    dnc_.reset();
+    for (auto &tile : tiles_) {
+        tile->memory() = TileMemory(model_.layout.matBufWords,
+                                    model_.layout.matSpadWords,
+                                    model_.layout.vecBufWords,
+                                    model_.layout.vecSpadWords);
+        tile->alignTo(tile->quiesceTime());
+    }
+    loadState();
+    readVectors_.assign(model_.dncCfg.numReadHeads,
+                        tensor::FVec(model_.dncCfg.memM, 0.0f));
+    nocBuffer_.clear();
+    chipTime_ = 0;
+    nocEnergyPj_ = 0.0;
+    ctrlEnergyPj_ = 0.0;
+    groups_.clear();
+    steps_ = 0;
+}
+
+void
+DncChip::loadPartition(const compiler::RowPartition &part,
+                       const tensor::FMat &source)
+{
+    for (std::size_t t = 0; t < tiles_.size(); ++t) {
+        const std::uint32_t rows = part.rowCount[t];
+        const std::uint32_t start = part.rowStart[t];
+        for (std::uint32_t r = 0; r < rows; ++r) {
+            tiles_[t]->memory().writeRange(
+                isa::Space::MatBuf, part.base + r * part.cols,
+                source.row(start + r));
+        }
+    }
+}
+
+tensor::FMat
+DncChip::gatherPartition(const compiler::RowPartition &part,
+                         std::size_t totalRows) const
+{
+    tensor::FMat out(totalRows, part.cols);
+    for (std::size_t t = 0; t < tiles_.size(); ++t) {
+        const std::uint32_t rows = part.rowCount[t];
+        const std::uint32_t start = part.rowStart[t];
+        for (std::uint32_t r = 0; r < rows; ++r) {
+            out.setRow(start + r,
+                       tiles_[t]->memory().readRange(
+                           isa::Space::MatBuf,
+                           part.base + r * part.cols, part.cols));
+        }
+    }
+    return out;
+}
+
+void
+DncChip::loadState()
+{
+    // Memory image, link matrix (zeros at reset), interface weights.
+    loadPartition(model_.layout.memory, dnc_.memory().matrix());
+    loadPartition(model_.layout.interfaceW, dnc_.interfaceWeights());
+    // Persistent vectors (usage, write weights, precedence, previous
+    // read weights) all start at zero, which is the fresh
+    // TileMemory's state already.
+}
+
+tensor::FVec
+DncChip::step(const tensor::FVec &input)
+{
+    const auto &dc = model_.dncCfg;
+    MANNA_ASSERT(input.size() == dc.inputDim,
+                 "DNC chip input size %zu != %zu", input.size(),
+                 dc.inputDim);
+
+    // Controller tile.
+    std::vector<tensor::FVec> parts{input};
+    for (const auto &r : readVectors_)
+        parts.push_back(r);
+    const mann::ControllerOutput ctrl =
+        dnc_.controller().forward(tensor::concat(parts));
+    pendingHidden_ = ctrl.hidden;
+    pendingHidden_.push_back(1.0f);
+
+    mann::MannConfig ctrlShape;
+    ctrlShape.controllerLayers = dc.controllerLayers;
+    ctrlShape.controllerWidth = dc.controllerWidth;
+    ctrlShape.controllerKind = dc.controllerKind;
+    ctrlShape.inputDim = dc.inputDim;
+    ctrlShape.outputDim = dc.outputDim;
+    ctrlShape.memM = dc.memM;
+    ctrlShape.numReadHeads = dc.numReadHeads;
+    const CtrlCost ctrlCost = ctrlModel_.forwardCost(ctrlShape);
+    ctrlEnergyPj_ += ctrlCost.energyPj;
+    auto &ctrlGroup = groups_[mann::KernelGroup::Controller];
+    ctrlGroup.cycles += ctrlCost.cycles;
+    ctrlGroup.energyPj += ctrlCost.energyPj;
+    chipTime_ += ctrlCost.cycles;
+    controllerReady_ = chipTime_;
+    for (auto &tile : tiles_)
+        tile->alignTo(std::max(tile->quiesceTime(), chipTime_));
+
+    for (const auto &segment : model_.stepSegments)
+        runSegment(segment);
+
+    ++steps_;
+    return ctrl.output;
+}
+
+std::vector<tensor::FVec>
+DncChip::run(const std::vector<tensor::FVec> &inputs)
+{
+    std::vector<tensor::FVec> outputs;
+    outputs.reserve(inputs.size());
+    for (const auto &x : inputs)
+        outputs.push_back(step(x));
+    return outputs;
+}
+
+void
+DncChip::runSegment(const compiler::CompiledSegment &segment)
+{
+    const Cycle segStart = chipTime_;
+    std::vector<Energy> tileEnergyBefore;
+    for (auto &tile : tiles_)
+        tileEnergyBefore.push_back(tile->energyPj());
+    const Energy nocBefore = nocEnergyPj_;
+
+    for (std::size_t t = 0; t < tiles_.size(); ++t) {
+        tiles_[t]->alignTo(std::max(tiles_[t]->quiesceTime(), segStart));
+        tiles_[t]->setProgram(&segment.tilePrograms[t]);
+    }
+
+    while (true) {
+        bool allDone = true;
+        for (auto &tile : tiles_)
+            if (tile->runUntilComm() == RunStatus::AtComm)
+                allDone = false;
+        if (allDone)
+            break;
+        const Instruction &inst = tiles_[0]->commInstruction();
+        for (std::size_t t = 1; t < tiles_.size(); ++t) {
+            const Instruction &other = tiles_[t]->commInstruction();
+            MANNA_ASSERT(other.op == inst.op &&
+                             other.srcA.len == inst.srcA.len &&
+                             other.dst.len == inst.dst.len,
+                         "DNC tiles diverged at a communication point");
+        }
+        handleComm(inst);
+    }
+
+    Cycle segEnd = segStart;
+    for (auto &tile : tiles_)
+        segEnd = std::max(segEnd, tile->quiesceTime());
+    for (auto &tile : tiles_)
+        tile->alignTo(segEnd);
+    chipTime_ = segEnd;
+
+    auto &gs = groups_[segment.group];
+    gs.cycles += segEnd - segStart;
+    for (std::size_t t = 0; t < tiles_.size(); ++t)
+        gs.energyPj += tiles_[t]->energyPj() - tileEnergyBefore[t];
+    gs.energyPj += nocEnergyPj_ - nocBefore;
+}
+
+void
+DncChip::handleComm(const Instruction &inst)
+{
+    const CommTag tag = compiler::commTagOf(inst.count);
+
+    Cycle commStart = 0;
+    for (auto &tile : tiles_)
+        commStart = std::max(commStart, tile->quiesceTime());
+
+    if (inst.op == Opcode::Reduce) {
+        const std::size_t words = inst.srcA.len;
+        std::vector<std::vector<float>> perTile;
+        perTile.reserve(tiles_.size());
+        for (auto &tile : tiles_)
+            perTile.push_back(tile->readOperand(inst.srcA));
+        nocBuffer_ = Noc::combine(perTile, inst.flags.reduceOp);
+        nocEnergyPj_ += noc_.reduceEnergyPj(words);
+        chipTime_ = commStart + noc_.reduceCycles(words);
+
+        if (tag == CommTag::ReadVectorOut) {
+            const std::uint32_t h = compiler::commIndexOf(inst.count);
+            MANNA_ASSERT(h < readVectors_.size(),
+                         "read-vector index %u out of range", h);
+            readVectors_[h] = nocBuffer_;
+        } else if (tag == CommTag::UsageToAllocation) {
+            // The Controller tile runs the free-list scan: identical
+            // code to the golden model, plus a sort-network latency
+            // charge of ~N log2 N cycles and one SFU-class op per
+            // element scanned.
+            const auto n = static_cast<std::uint32_t>(words);
+            nocBuffer_ = mann::dncAllocationFromUsage(nocBuffer_);
+            const Cycle sortCycles =
+                static_cast<Cycle>(n) *
+                std::max<std::uint32_t>(log2Ceil(n), 1);
+            chipTime_ += sortCycles;
+            ctrlEnergyPj_ +=
+                static_cast<double>(n) *
+                energy_.eventEnergyPj(arch::EnergyEvent::SfuOp);
+            auto &gs = groups_[mann::KernelGroup::Addressing];
+            gs.energyPj +=
+                static_cast<double>(n) *
+                energy_.eventEnergyPj(arch::EnergyEvent::SfuOp);
+        }
+    } else {
+        MANNA_ASSERT(inst.op == Opcode::Broadcast,
+                     "unexpected comm opcode");
+        if (tag == CommTag::HiddenIn) {
+            commStart = std::max(commStart, controllerReady_);
+            nocBuffer_.assign(pendingHidden_.begin(),
+                              pendingHidden_.end());
+        }
+        const std::size_t words = inst.dst.len;
+        MANNA_ASSERT(nocBuffer_.size() == words,
+                     "broadcast of %zu words but NoC buffer holds %zu",
+                     words, nocBuffer_.size());
+        for (auto &tile : tiles_)
+            tile->writeOperand(inst.dst, nocBuffer_);
+        nocEnergyPj_ += noc_.broadcastEnergyPj(words);
+        chipTime_ = commStart + noc_.broadcastCycles(words);
+    }
+
+    for (auto &tile : tiles_)
+        tile->resumeAfterComm(chipTime_);
+}
+
+RunReport
+DncChip::report() const
+{
+    RunReport rep;
+    rep.steps = steps_;
+    rep.totalCycles = chipTime_;
+    rep.totalSeconds =
+        static_cast<double>(chipTime_) * model_.archCfg.cyclePeriodSec();
+    rep.dynamicEnergyPj = ctrlEnergyPj_ + nocEnergyPj_;
+    for (const auto &tile : tiles_)
+        rep.dynamicEnergyPj += tile->energyPj();
+    rep.leakageEnergyPj =
+        energy_.leakageWatts() * rep.totalSeconds * 1e12;
+    rep.infrastructureEnergyPj =
+        energy_.infrastructureWatts() * rep.totalSeconds * 1e12;
+    rep.groups = groups_;
+    return rep;
+}
+
+void
+DncChip::attachTrace(TraceLogger *logger)
+{
+    for (auto &tile : tiles_)
+        tile->setTraceLogger(logger);
+}
+
+tensor::FMat
+DncChip::gatherMemory() const
+{
+    return gatherPartition(model_.layout.memory, model_.dncCfg.memN);
+}
+
+tensor::FMat
+DncChip::gatherLink() const
+{
+    return gatherPartition(model_.layout.link, model_.dncCfg.memN);
+}
+
+tensor::FVec
+DncChip::gatherUsage() const
+{
+    tensor::FVec usage(model_.dncCfg.memN, 0.0f);
+    const auto &mem = model_.layout.memory;
+    for (std::size_t t = 0; t < tiles_.size(); ++t) {
+        const std::uint32_t rows = mem.rowCount[t];
+        if (rows == 0)
+            continue;
+        const auto slice = tiles_[t]->memory().readRange(
+            isa::Space::VecBuf, model_.layout.usageBase, rows);
+        std::copy(slice.begin(), slice.end(),
+                  usage.begin() + mem.rowStart[t]);
+    }
+    return usage;
+}
+
+} // namespace manna::sim

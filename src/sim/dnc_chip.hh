@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Manna chip running a compiled Differentiable Neural Computer.
+ *
+ * Mirrors sim::Chip but for the DNC-on-Manna programs produced by
+ * compiler::compileDnc. The Controller tile additionally evaluates
+ * the allocation free-list scan: the tiles reduce their usage slices
+ * to the root (UsageToAllocation), the root applies
+ * mann::dncAllocationFromUsage — the exact function the golden model
+ * uses — and the result broadcasts back.
+ */
+
+#ifndef MANNA_SIM_DNC_CHIP_HH
+#define MANNA_SIM_DNC_CHIP_HH
+
+#include <memory>
+#include <vector>
+
+#include "arch/energy_model.hh"
+#include "compiler/dnc_codegen.hh"
+#include "mann/dnc.hh"
+#include "sim/chip.hh"
+#include "sim/controller_tile.hh"
+#include "sim/noc.hh"
+#include "sim/tile.hh"
+
+namespace manna::sim
+{
+
+/**
+ * The DNC-programmed Manna chip.
+ */
+class DncChip
+{
+  public:
+    DncChip(const compiler::CompiledDnc &model, std::uint64_t seed = 1);
+
+    void reset();
+
+    /** One DNC time step; returns the controller output. */
+    tensor::FVec step(const tensor::FVec &input);
+
+    std::vector<tensor::FVec> run(const std::vector<tensor::FVec> &in);
+
+    RunReport report() const;
+
+    const std::vector<tensor::FVec> &readVectors() const
+    {
+        return readVectors_;
+    }
+
+    /** Reassemble distributed state for validation. */
+    tensor::FMat gatherMemory() const;
+    tensor::FMat gatherLink() const;
+    tensor::FVec gatherUsage() const;
+
+    const compiler::CompiledDnc &model() const { return model_; }
+
+    /** Attach an instruction tracer to every tile (nullptr detaches). */
+    void attachTrace(TraceLogger *logger);
+
+  private:
+    void loadState();
+    void runSegment(const compiler::CompiledSegment &segment);
+    void handleComm(const isa::Instruction &inst);
+    void loadPartition(const compiler::RowPartition &part,
+                       const tensor::FMat &source);
+    tensor::FMat gatherPartition(const compiler::RowPartition &part,
+                                 std::size_t totalRows) const;
+
+    const compiler::CompiledDnc &model_;
+    arch::EnergyModel energy_;
+    Noc noc_;
+    ControllerTileModel ctrlModel_;
+    mann::Dnc dnc_; ///< weights + functional controller
+
+    std::vector<std::unique_ptr<DiffMemTile>> tiles_;
+
+    std::vector<tensor::FVec> readVectors_;
+    tensor::FVec pendingHidden_;
+    Cycle controllerReady_ = 0;
+    std::vector<float> nocBuffer_;
+
+    Cycle chipTime_ = 0;
+    Energy nocEnergyPj_ = 0.0;
+    Energy ctrlEnergyPj_ = 0.0;
+    std::map<mann::KernelGroup, GroupStats> groups_;
+    std::size_t steps_ = 0;
+};
+
+} // namespace manna::sim
+
+#endif // MANNA_SIM_DNC_CHIP_HH

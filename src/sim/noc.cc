@@ -1,0 +1,76 @@
+#include "noc.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace manna::sim
+{
+
+Noc::Noc(const arch::MannaConfig &cfg, const arch::EnergyModel &energy)
+    : cfg_(cfg), energy_(energy)
+{
+}
+
+std::size_t
+Noc::depth() const
+{
+    // lg(NumTiles) levels within the tile tree plus the root link to
+    // the Controller tile.
+    return log2Ceil(cfg_.numTiles) + 1;
+}
+
+Cycle
+Noc::reduceCycles(std::size_t words) const
+{
+    const Cycle serialization =
+        ceilDiv(words, cfg_.nocLinkWordsPerCycle);
+    return static_cast<Cycle>(depth()) *
+           (static_cast<Cycle>(cfg_.nocHopCycles) + serialization);
+}
+
+Cycle
+Noc::broadcastCycles(std::size_t words) const
+{
+    // Symmetric to the reduction on this fixed-routing tree.
+    return reduceCycles(words);
+}
+
+Energy
+Noc::reduceEnergyPj(std::size_t words) const
+{
+    // Every tile-to-parent link carries `words` words once; there are
+    // (numTiles - 1) internal links plus the root link.
+    const double wordHops =
+        static_cast<double>(words) * static_cast<double>(cfg_.numTiles);
+    return wordHops *
+           energy_.eventEnergyPj(arch::EnergyEvent::NocHopWord);
+}
+
+Energy
+Noc::broadcastEnergyPj(std::size_t words) const
+{
+    return reduceEnergyPj(words);
+}
+
+std::vector<float>
+Noc::combine(const std::vector<std::vector<float>> &perTile,
+             isa::ReduceOp op)
+{
+    MANNA_ASSERT(!perTile.empty(), "combine over zero tiles");
+    std::vector<float> out = perTile[0];
+    for (std::size_t t = 1; t < perTile.size(); ++t) {
+        MANNA_ASSERT(perTile[t].size() == out.size(),
+                     "combine length mismatch: %zu vs %zu",
+                     perTile[t].size(), out.size());
+        for (std::size_t i = 0; i < out.size(); ++i) {
+            if (op == isa::ReduceOp::Sum)
+                out[i] += perTile[t][i];
+            else
+                out[i] = std::max(out[i], perTile[t][i]);
+        }
+    }
+    return out;
+}
+
+} // namespace manna::sim

@@ -1,0 +1,767 @@
+#include "tile.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "tensor/vector_ops.hh"
+
+namespace manna::sim
+{
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::Operand;
+using isa::Space;
+
+DiffMemTile::DiffMemTile(const arch::MannaConfig &cfg,
+                         const arch::EnergyModel &energy,
+                         std::size_t tileIndex,
+                         const TileLayoutSizes &sizes)
+    : cfg_(cfg), energy_(energy), tileIndex_(tileIndex),
+      mem_(sizes.matBufWords, sizes.matSpadWords, sizes.vecBufWords,
+           sizes.vecSpadWords),
+      stats_(strformat("tile%zu", tileIndex))
+{
+}
+
+void
+DiffMemTile::setProgram(const isa::Program *program)
+{
+    MANNA_ASSERT(program != nullptr, "null program");
+    program_ = program;
+    pc_ = 0;
+    loopStack_.clear();
+    std::fill(std::begin(iters_), std::end(iters_), 0);
+}
+
+RunStatus
+DiffMemTile::runUntilComm()
+{
+    MANNA_ASSERT(program_ != nullptr, "tile %zu has no program",
+                 tileIndex_);
+    const auto &insts = program_->instructions();
+    while (pc_ < insts.size()) {
+        const Instruction &inst = insts[pc_];
+        switch (inst.op) {
+          case Opcode::Loop: {
+            MANNA_ASSERT(loopStack_.size() < isa::kMaxLoopDepth,
+                         "loop nesting too deep at pc %zu", pc_);
+            loopStack_.push_back({pc_ + 1, inst.count, 0});
+            iters_[loopStack_.size() - 1] = 0;
+            ++pc_;
+            break;
+          }
+          case Opcode::EndLoop: {
+            MANNA_ASSERT(!loopStack_.empty(),
+                         "endloop without loop at pc %zu", pc_);
+            LoopFrame &frame = loopStack_.back();
+            ++frame.iter;
+            if (frame.iter <
+                static_cast<std::int64_t>(frame.count)) {
+                iters_[loopStack_.size() - 1] = frame.iter;
+                pc_ = frame.bodyPc;
+            } else {
+                loopStack_.pop_back();
+                ++pc_;
+            }
+            break;
+          }
+          case Opcode::Halt:
+            pc_ = insts.size();
+            return RunStatus::Done;
+          case Opcode::Reduce:
+          case Opcode::Broadcast:
+            return RunStatus::AtComm;
+          case Opcode::Nop:
+            ++pc_;
+            break;
+          default:
+            execute(inst);
+            ++pc_;
+            break;
+        }
+    }
+    return RunStatus::Done;
+}
+
+const Instruction &
+DiffMemTile::commInstruction() const
+{
+    MANNA_ASSERT(program_ && pc_ < program_->size(),
+                 "no blocking instruction");
+    const Instruction &inst = program_->instructions()[pc_];
+    MANNA_ASSERT(inst.op == Opcode::Reduce ||
+                     inst.op == Opcode::Broadcast,
+                 "pc %zu is not a communication instruction", pc_);
+    return inst;
+}
+
+Operand
+DiffMemTile::resolveOperand(const Operand &op) const
+{
+    Operand resolved = op;
+    resolved.base = op.effectiveBase(iters_, loopStack_.size());
+    std::fill(std::begin(resolved.stride), std::end(resolved.stride), 0);
+    return resolved;
+}
+
+std::vector<float>
+DiffMemTile::readOperand(const Operand &op) const
+{
+    const Operand r = resolveOperand(op);
+    return mem_.readRange(r.space, r.base, r.len);
+}
+
+void
+DiffMemTile::writeOperand(const Operand &op,
+                          const std::vector<float> &values)
+{
+    const Operand r = resolveOperand(op);
+    MANNA_ASSERT(values.size() == r.len,
+                 "operand write size %zu != len %u", values.size(),
+                 r.len);
+    mem_.writeRange(r.space, r.base, values);
+}
+
+void
+DiffMemTile::resumeAfterComm(Cycle resumeAt)
+{
+    // The communication instruction is a fence (Section 5.1).
+    commInstruction(); // asserts we are actually blocked
+    ++pc_;
+    alignTo(resumeAt);
+    stats_.inc("comm_instructions");
+}
+
+void
+DiffMemTile::alignTo(Cycle at)
+{
+    MANNA_ASSERT(at >= maxEnd_,
+                 "fence at %llu before outstanding work at %llu",
+                 static_cast<unsigned long long>(at),
+                 static_cast<unsigned long long>(maxEnd_));
+    now_ = at;
+    emacFree_ = sfuFree_ = matDmaFree_ = vecDmaFree_ = at;
+    spadWriteEnd_[0] = spadWriteEnd_[1] = at;
+    spadReadEnd_[0] = spadReadEnd_[1] = at;
+    std::fill(std::begin(lastWrite_), std::end(lastWrite_), at);
+    maxEnd_ = at;
+}
+
+Cycle
+DiffMemTile::readDependency(const Operand &op) const
+{
+    if (!op.valid())
+        return 0;
+    if (op.space == Space::MatSpad)
+        return spadWriteEnd_[computeHalf()];
+    return lastWrite_[static_cast<std::size_t>(op.space)];
+}
+
+Cycle
+DiffMemTile::writeDependency(const Operand &op) const
+{
+    if (!op.valid())
+        return 0;
+    if (op.space == Space::MatSpad) {
+        // Non-DMA writes (e.g. soft-write updates) modify the half
+        // compute is currently working on.
+        const std::size_t half = computeHalf();
+        return std::max(spadReadEnd_[half], spadWriteEnd_[half]);
+    }
+    return lastWrite_[static_cast<std::size_t>(op.space)];
+}
+
+void
+DiffMemTile::noteWrite(const Operand &op, Cycle end)
+{
+    if (!op.valid())
+        return;
+    if (op.space == Space::MatSpad) {
+        const std::size_t half = computeHalf();
+        spadWriteEnd_[half] = std::max(spadWriteEnd_[half], end);
+        return;
+    }
+    auto &slot = lastWrite_[static_cast<std::size_t>(op.space)];
+    slot = std::max(slot, end);
+}
+
+void
+DiffMemTile::noteRead(const Operand &op, Cycle end)
+{
+    if (!op.valid())
+        return;
+    if (op.space == Space::MatSpad) {
+        const std::size_t half = computeHalf();
+        spadReadEnd_[half] = std::max(spadReadEnd_[half], end);
+    }
+}
+
+void
+DiffMemTile::charge(arch::EnergyEvent ev, double count)
+{
+    energyPj_ += energy_.eventEnergyPj(ev) * count;
+}
+
+arch::EnergyEvent
+DiffMemTile::accessEvent(Space space) const
+{
+    switch (space) {
+      case Space::MatBuf:
+        return arch::EnergyEvent::MatrixBufferAccess;
+      case Space::MatSpad:
+        return arch::EnergyEvent::MatrixScratchpadAccess;
+      case Space::VecBuf:
+        return arch::EnergyEvent::VectorBufferAccess;
+      case Space::VecSpad:
+        return arch::EnergyEvent::VectorScratchpadAccess;
+      case Space::None:
+        break;
+    }
+    panic("accessEvent on invalid space");
+}
+
+void
+DiffMemTile::finish(Cycle end)
+{
+    maxEnd_ = std::max(maxEnd_, end);
+}
+
+void
+DiffMemTile::execute(const Instruction &inst)
+{
+    stats_.inc("instructions");
+    charge(arch::EnergyEvent::InstructionIssue, 1.0);
+    const Cycle issuedAt = now_;
+    switch (inst.op) {
+      case Opcode::DmaLoadM:
+      case Opcode::DmatLoadM:
+      case Opcode::DmaStoreM:
+        execDmaMatrix(inst);
+        break;
+      case Opcode::DmaLoadV:
+      case Opcode::DmaStoreV:
+        execDmaVector(inst);
+        break;
+      case Opcode::Vmm:
+        execVmm(inst);
+        break;
+      case Opcode::EwAdd:
+      case Opcode::EwSub:
+      case Opcode::EwMul:
+      case Opcode::EwMac:
+      case Opcode::EwAddImm:
+      case Opcode::EwMulImm:
+      case Opcode::EwRsubImm:
+      case Opcode::Fill:
+        execElementwise(inst);
+        break;
+      case Opcode::SfuExp:
+      case Opcode::SfuPow:
+      case Opcode::SfuRecip:
+      case Opcode::SfuSqrt:
+      case Opcode::SfuSigmoid:
+      case Opcode::SfuTanh:
+      case Opcode::SfuSoftplus:
+      case Opcode::SfuAccSum:
+      case Opcode::SfuAccMax:
+        execSfu(inst);
+        break;
+      default:
+        panic("unexpected opcode %s in execute",
+              toString(inst.op));
+    }
+    if (trace_ != nullptr)
+        trace_->record(tileIndex_, issuedAt, maxEnd_, inst);
+}
+
+void
+DiffMemTile::execDmaMatrix(const Instruction &inst)
+{
+    const Operand src = resolveOperand(inst.srcA);
+    const Operand dst = resolveOperand(inst.dst);
+    const std::uint32_t rows = inst.count;
+    MANNA_ASSERT(rows > 0, "matrix DMA with zero rows");
+
+    const bool isStore = inst.op == Opcode::DmaStoreM;
+    const bool isDmat = inst.op == Opcode::DmatLoadM;
+
+    // Row geometry: the non-scratchpad side determines the row width;
+    // DMAT pads the scratchpad side by one word per row.
+    const Operand &bufSide = isStore ? dst : src;
+    const Operand &spadSide = isStore ? src : dst;
+    MANNA_ASSERT(bufSide.space == Space::MatBuf ||
+                     bufSide.space == Space::VecBuf,
+                 "matrix DMA buffer side must be a buffer, got %s",
+                 toString(bufSide.space));
+    MANNA_ASSERT(spadSide.space == Space::MatSpad,
+                 "matrix DMA scratchpad side must be MatSpad, got %s",
+                 toString(spadSide.space));
+    MANNA_ASSERT(bufSide.len % rows == 0,
+                 "matrix DMA: len %u not divisible by rows %u",
+                 bufSide.len, rows);
+    const std::uint32_t rowWords = bufSide.len / rows;
+    const std::uint32_t spadPitch = rowWords + (isDmat ? 1 : 0);
+    MANNA_ASSERT(spadSide.len == rows * spadPitch,
+                 "matrix DMA: scratchpad len %u != %u rows x pitch %u",
+                 spadSide.len, rows, spadPitch);
+    const std::uint32_t bufPitch =
+        inst.srcB.base != 0 ? inst.srcB.base : rowWords;
+    MANNA_ASSERT(bufPitch >= rowWords,
+                 "matrix DMA: buffer pitch %u < row width %u", bufPitch,
+                 rowWords);
+
+    // Timing. Loads rotate the double-buffer halves; a load may only
+    // overwrite a half once the compute that consumed it has drained
+    // (WAR through spadReadEnd_).
+    Cycle start = std::max(now_, matDmaFree_);
+    Cycle dur = static_cast<Cycle>(rows) *
+                ceilDiv(rowWords, cfg_.matrixBufferWidthWords);
+    if (isDmat)
+        dur += 1; // pipelined skew-pad insertion
+    if (isStore) {
+        const std::size_t half = computeHalf();
+        start = std::max(start, spadWriteEnd_[half]); // data ready
+        start = std::max(start, writeDependency(dst));
+        const Cycle end = start + std::max<Cycle>(dur, 1);
+        stats_.inc("mat_dma_busy_cycles",
+                   static_cast<double>(end - start));
+        matDmaFree_ = end;
+        spadReadEnd_[half] = std::max(spadReadEnd_[half], end);
+        noteWrite(dst, end);
+        finish(end);
+    } else {
+        const std::size_t half = loadHalf();
+        start = std::max(start, spadReadEnd_[half]);
+        start = std::max(start, spadWriteEnd_[half]);
+        start = std::max(start, readDependency(src));
+        const Cycle end = start + std::max<Cycle>(dur, 1);
+        stats_.inc("mat_dma_busy_cycles",
+                   static_cast<double>(end - start));
+        matDmaFree_ = end;
+        spadWriteEnd_[half] = end;
+        ++dmaLoadCount_;
+        finish(end);
+    }
+    now_ = start + 1;
+
+    // Energy: every word moves buffer<->scratchpad once.
+    const double words = static_cast<double>(rows) * rowWords;
+    charge(accessEvent(bufSide.space), words);
+    charge(arch::EnergyEvent::MatrixScratchpadAccess, words);
+    stats_.inc("dma_matrix_words", words);
+
+    // Functional copy with pitches. The effective base of the buffer
+    // side addresses the first row; subsequent rows advance by
+    // bufPitch.
+    for (std::uint32_t r = 0; r < rows; ++r) {
+        const std::uint32_t srcOff =
+            isStore ? src.base + r * spadPitch
+                    : src.base + r * bufPitch;
+        const std::uint32_t dstOff =
+            isStore ? dst.base + r * bufPitch
+                    : dst.base + r * spadPitch;
+        const float *from = mem_.span(src.space, srcOff, rowWords);
+        float *to = mem_.span(dst.space, dstOff, rowWords);
+        std::copy(from, from + rowWords, to);
+    }
+}
+
+void
+DiffMemTile::execDmaVector(const Instruction &inst)
+{
+    const Operand src = resolveOperand(inst.srcA);
+    const Operand dst = resolveOperand(inst.dst);
+    MANNA_ASSERT(src.len == dst.len, "vector DMA len %u != %u", src.len,
+                 dst.len);
+
+    Cycle start = std::max(now_, vecDmaFree_);
+    start = std::max(start, readDependency(src));
+    start = std::max(start, writeDependency(dst));
+    const Cycle dur =
+        std::max<Cycle>(ceilDiv(src.len, cfg_.vectorDmaWidthWords), 1);
+    const Cycle end = start + dur;
+    stats_.inc("vec_dma_busy_cycles", static_cast<double>(end - start));
+    vecDmaFree_ = end;
+    noteRead(src, end);
+    noteWrite(dst, end);
+    finish(end);
+    now_ = start + 1;
+
+    charge(accessEvent(src.space), src.len);
+    charge(accessEvent(dst.space), dst.len);
+    stats_.inc("dma_vector_words", src.len);
+
+    const float *from = mem_.span(src.space, src.base, src.len);
+    float *to = mem_.span(dst.space, dst.base, dst.len);
+    std::copy(from, from + src.len, to);
+}
+
+void
+DiffMemTile::execVmm(const Instruction &inst)
+{
+    const Operand vec = resolveOperand(inst.srcA);
+    const Operand matBlock = resolveOperand(inst.srcB);
+    const Operand dst = resolveOperand(inst.dst);
+    const bool rowDot = inst.flags.rowDot;
+    const bool withNorms = inst.flags.withNorms;
+    const bool accumulate = inst.flags.accumulate;
+
+    std::uint32_t numRows; // K: matrix rows in the block
+    std::uint32_t numCols; // N: matrix columns in the block
+    std::uint32_t pitch;
+    if (rowDot) {
+        numCols = vec.len;
+        pitch = numCols + (inst.flags.skewed ? 1 : 0);
+        numRows = dst.len;
+        // With norms, a second accumulator array lives `count` words
+        // past the dot-product destination.
+        MANNA_ASSERT(!withNorms || inst.count >= numRows,
+                     "vmm.norms offset %u overlaps dots of %u rows",
+                     inst.count, numRows);
+    } else {
+        MANNA_ASSERT(!withNorms, "vmm.norms requires rowdot mode");
+        numRows = vec.len;
+        numCols = dst.len;
+        pitch = numCols;
+    }
+    MANNA_ASSERT(matBlock.len == numRows * pitch,
+                 "vmm block len %u != %u rows x pitch %u", matBlock.len,
+                 numRows, pitch);
+    MANNA_ASSERT(numRows > 0 && numCols > 0, "vmm with empty block");
+
+    // Timing.
+    Cycle start = std::max(now_, emacFree_);
+    start = std::max(start, readDependency(vec));
+    start = std::max(start, readDependency(matBlock));
+    start = std::max(start, writeDependency(dst));
+    if (accumulate)
+        start = std::max(start, readDependency(dst));
+
+    Cycle dur;
+    const std::size_t lanes = cfg_.emacsPerTile;
+    if (rowDot) {
+        // Each lane owns a row and walks the columns.
+        dur = static_cast<Cycle>(numCols) * ceilDiv(numRows, lanes);
+        if (withNorms)
+            dur *= 2;
+        if (inst.flags.skewed) {
+            // Realignment shift of the finished partials, pipelined
+            // with the next block (Section 4.4, step 5).
+            dur += ceilDiv(numRows, lanes);
+        } else {
+            // Unskewed block: banked access in the transposed
+            // direction partially serializes on conflicts (this is
+            // the no-DMAT path of the Figure 14 ablation).
+            dur *= cfg_.noDmatConflictFactor;
+        }
+    } else {
+        // Each lane owns a column; rows stream one per cycle group.
+        dur = static_cast<Cycle>(numRows) * ceilDiv(numCols, lanes);
+    }
+    const Cycle end = start + std::max<Cycle>(dur, 1);
+    stats_.inc("emac_busy_cycles", static_cast<double>(end - start));
+    emacFree_ = end;
+    noteRead(vec, end);
+    noteRead(matBlock, end);
+    noteWrite(dst, end);
+    finish(end);
+    now_ = start + 1;
+
+    // Energy.
+    const double macs = static_cast<double>(numRows) * numCols *
+                        (withNorms ? 2.0 : 1.0);
+    charge(arch::EnergyEvent::EmacMac, macs);
+    charge(arch::EnergyEvent::RegisterFileAccess, 2.0 * macs);
+    if (!inst.flags.reuseB)
+        charge(accessEvent(matBlock.space),
+               static_cast<double>(numRows) * numCols);
+    charge(accessEvent(vec.space), vec.len);
+    if (!inst.flags.dstResident)
+        charge(accessEvent(dst.space),
+               static_cast<double>(dst.len) * (accumulate ? 2.0 : 1.0));
+    if (inst.flags.skewed)
+        charge(arch::EnergyEvent::EmacLateralShift,
+               static_cast<double>(numCols) *
+                   ceilDiv(numRows, lanes) * lanes);
+    stats_.inc("mac_ops", macs);
+
+    // Functional semantics.
+    const float *v = mem_.span(vec.space, vec.base, vec.len);
+    const float *b =
+        mem_.span(matBlock.space, matBlock.base, matBlock.len);
+    float *d = mem_.span(dst.space, dst.base, dst.len);
+    float *dn = withNorms
+                    ? mem_.span(dst.space, dst.base + inst.count,
+                                numRows)
+                    : nullptr;
+    if (rowDot) {
+        for (std::uint32_t r = 0; r < numRows; ++r) {
+            const float *row = b + r * pitch;
+            float dotAcc = 0.0f;
+            float normAcc = 0.0f;
+            for (std::uint32_t c = 0; c < numCols; ++c) {
+                dotAcc += row[c] * v[c];
+                if (withNorms)
+                    normAcc += row[c] * row[c];
+            }
+            if (accumulate) {
+                d[r] += dotAcc;
+                if (withNorms)
+                    dn[r] += normAcc;
+            } else {
+                d[r] = dotAcc;
+                if (withNorms)
+                    dn[r] = normAcc;
+            }
+        }
+    } else {
+        if (!accumulate)
+            std::fill(d, d + numCols, 0.0f);
+        for (std::uint32_t r = 0; r < numRows; ++r) {
+            const float w = v[r];
+            const float *row = b + r * pitch;
+            for (std::uint32_t c = 0; c < numCols; ++c)
+                d[c] += w * row[c];
+        }
+    }
+}
+
+void
+DiffMemTile::execElementwise(const Instruction &inst)
+{
+    const Operand dst = resolveOperand(inst.dst);
+    const Operand a = resolveOperand(inst.srcA);
+    const Operand b = resolveOperand(inst.srcB);
+    const std::uint32_t len = dst.len;
+    MANNA_ASSERT(len > 0, "elementwise op with empty dst");
+
+    const bool needsA = inst.op != Opcode::Fill;
+    const bool needsB = inst.op == Opcode::EwAdd ||
+                        inst.op == Opcode::EwSub ||
+                        inst.op == Opcode::EwMul ||
+                        inst.op == Opcode::EwMac;
+    if (needsA)
+        MANNA_ASSERT(a.len == len || a.len == 1,
+                     "%s srcA len %u incompatible with dst %u",
+                     toString(inst.op), a.len, len);
+    if (needsB)
+        MANNA_ASSERT(b.len == len || b.len == 1,
+                     "%s srcB len %u incompatible with dst %u",
+                     toString(inst.op), b.len, len);
+
+    Cycle start = std::max(now_, emacFree_);
+    if (needsA)
+        start = std::max(start, readDependency(a));
+    if (needsB)
+        start = std::max(start, readDependency(b));
+    start = std::max(start, writeDependency(dst));
+    if (inst.op == Opcode::EwMac)
+        start = std::max(start, readDependency(dst));
+
+    const bool isMac = inst.op == Opcode::EwMac;
+    std::size_t penalty = 1;
+    if (!cfg_.hasEmac && !isMac)
+        penalty = cfg_.elwisePenaltyNoEmac;
+    const Cycle dur = std::max<Cycle>(
+        ceilDiv(len, cfg_.emacsPerTile) * penalty, 1);
+    const Cycle end = start + dur;
+    stats_.inc("emac_busy_cycles", static_cast<double>(end - start));
+    emacFree_ = end;
+    if (needsA)
+        noteRead(a, end);
+    if (needsB)
+        noteRead(b, end);
+    noteWrite(dst, end);
+    finish(end);
+    now_ = start + 1;
+
+    // Energy.
+    if (isMac) {
+        charge(arch::EnergyEvent::EmacMac, len);
+        stats_.inc("mac_ops", len);
+    } else if (inst.op != Opcode::Fill) {
+        charge(arch::EnergyEvent::EmacElwise,
+               static_cast<double>(len) * penalty);
+        stats_.inc("elwise_ops", len);
+    }
+    if (needsA)
+        charge(accessEvent(a.space), a.len == 1 ? 1.0 : len);
+    if (needsB)
+        charge(accessEvent(b.space), b.len == 1 ? 1.0 : len);
+    charge(accessEvent(dst.space),
+           static_cast<double>(len) * (isMac ? 2.0 : 1.0));
+
+    // Functional semantics.
+    const float *pa =
+        needsA ? mem_.span(a.space, a.base, a.len) : nullptr;
+    const float *pb =
+        needsB ? mem_.span(b.space, b.base, b.len) : nullptr;
+    float *pd = mem_.span(dst.space, dst.base, len);
+    auto valA = [&](std::uint32_t i) {
+        return a.len == 1 ? pa[0] : pa[i];
+    };
+    auto valB = [&](std::uint32_t i) {
+        return b.len == 1 ? pb[0] : pb[i];
+    };
+    for (std::uint32_t i = 0; i < len; ++i) {
+        switch (inst.op) {
+          case Opcode::EwAdd:
+            pd[i] = valA(i) + valB(i);
+            break;
+          case Opcode::EwSub:
+            pd[i] = valA(i) - valB(i);
+            break;
+          case Opcode::EwMul:
+            pd[i] = valA(i) * valB(i);
+            break;
+          case Opcode::EwMac:
+            pd[i] += valA(i) * valB(i);
+            break;
+          case Opcode::EwAddImm:
+            pd[i] = valA(i) + inst.imm;
+            break;
+          case Opcode::EwMulImm:
+            pd[i] = valA(i) * inst.imm;
+            break;
+          case Opcode::EwRsubImm:
+            pd[i] = inst.imm - valA(i);
+            break;
+          case Opcode::Fill:
+            pd[i] = inst.imm;
+            break;
+          default:
+            panic("bad elementwise opcode");
+        }
+    }
+}
+
+void
+DiffMemTile::execSfu(const Instruction &inst)
+{
+    const Operand dst = resolveOperand(inst.dst);
+    const Operand a = resolveOperand(inst.srcA);
+    const bool isAcc = inst.op == Opcode::SfuAccSum ||
+                       inst.op == Opcode::SfuAccMax;
+    const std::uint32_t len = a.len;
+    MANNA_ASSERT(len > 0, "SFU op with empty source");
+    if (isAcc)
+        MANNA_ASSERT(dst.len == 1, "SFU accumulate dst must be scalar");
+    else
+        MANNA_ASSERT(dst.len == len, "SFU dst len %u != src %u", dst.len,
+                     len);
+
+    Operand expOperand; // SfuPow scalar exponent
+    const float *pexp = nullptr;
+    if (inst.op == Opcode::SfuPow) {
+        expOperand = resolveOperand(inst.srcB);
+        MANNA_ASSERT(expOperand.len == 1,
+                     "sfu.pow exponent must be scalar");
+        pexp = mem_.span(expOperand.space, expOperand.base, 1);
+    }
+
+    std::size_t perElem;
+    switch (inst.op) {
+      case Opcode::SfuExp:
+      case Opcode::SfuSigmoid:
+      case Opcode::SfuTanh:
+      case Opcode::SfuSoftplus:
+        perElem = cfg_.sfuExpCycles;
+        break;
+      case Opcode::SfuPow:
+        perElem = cfg_.sfuPowCycles;
+        break;
+      case Opcode::SfuRecip:
+        perElem = cfg_.sfuDivCycles;
+        break;
+      case Opcode::SfuSqrt:
+        perElem = cfg_.sfuSqrtCycles;
+        break;
+      case Opcode::SfuAccSum:
+      case Opcode::SfuAccMax:
+        perElem = cfg_.sfuAccCycles;
+        break;
+      default:
+        panic("bad SFU opcode");
+    }
+
+    Cycle start = std::max(now_, sfuFree_);
+    start = std::max(start, readDependency(a));
+    if (inst.op == Opcode::SfuPow)
+        start = std::max(start, readDependency(expOperand));
+    start = std::max(start, writeDependency(dst));
+    // The SFU path is serial within a tile (Section 7.3's scaling
+    // limiter): len elements at perElem cycles each, shared across
+    // the tile's sfusPerTile units.
+    const Cycle dur = std::max<Cycle>(
+        ceilDiv(static_cast<std::uint64_t>(len) * perElem,
+                cfg_.sfusPerTile),
+        1);
+    const Cycle end = start + dur;
+    stats_.inc("sfu_busy_cycles", static_cast<double>(end - start));
+    sfuFree_ = end;
+    noteRead(a, end);
+    noteWrite(dst, end);
+    finish(end);
+    now_ = start + 1;
+
+    charge(arch::EnergyEvent::SfuOp, len);
+    charge(accessEvent(a.space), len);
+    charge(accessEvent(dst.space), dst.len);
+    stats_.inc("sfu_ops", len);
+
+    const float *pa = mem_.span(a.space, a.base, len);
+    float *pd = mem_.span(dst.space, dst.base, dst.len);
+    switch (inst.op) {
+      case Opcode::SfuExp:
+        for (std::uint32_t i = 0; i < len; ++i)
+            pd[i] = std::exp(pa[i]);
+        break;
+      case Opcode::SfuPow: {
+        const float gamma = *pexp;
+        for (std::uint32_t i = 0; i < len; ++i)
+            pd[i] = std::pow(std::max(pa[i], 0.0f), gamma);
+        break;
+      }
+      case Opcode::SfuRecip:
+        for (std::uint32_t i = 0; i < len; ++i)
+            pd[i] = 1.0f / pa[i];
+        break;
+      case Opcode::SfuSqrt:
+        for (std::uint32_t i = 0; i < len; ++i)
+            pd[i] = std::sqrt(pa[i]);
+        break;
+      case Opcode::SfuSigmoid:
+        for (std::uint32_t i = 0; i < len; ++i)
+            pd[i] = tensor::sigmoidScalar(pa[i]);
+        break;
+      case Opcode::SfuTanh:
+        for (std::uint32_t i = 0; i < len; ++i)
+            pd[i] = std::tanh(pa[i]);
+        break;
+      case Opcode::SfuSoftplus:
+        for (std::uint32_t i = 0; i < len; ++i)
+            pd[i] = tensor::softplusScalar(pa[i]);
+        break;
+      case Opcode::SfuAccSum: {
+        float acc = 0.0f;
+        for (std::uint32_t i = 0; i < len; ++i)
+            acc += pa[i];
+        pd[0] = acc;
+        break;
+      }
+      case Opcode::SfuAccMax: {
+        float acc = pa[0];
+        for (std::uint32_t i = 1; i < len; ++i)
+            acc = std::max(acc, pa[i]);
+        pd[0] = acc;
+        break;
+      }
+      default:
+        panic("bad SFU opcode");
+    }
+}
+
+} // namespace manna::sim

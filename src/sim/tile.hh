@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Cycle-level model of one DiffMem tile (Section 4.2).
+ *
+ * The tile interprets its compiled program. Every instruction has
+ * functional semantics (FP32 math over the tile's memory spaces) and
+ * timing semantics expressed through resource timelines:
+ *
+ *  - the eMAC array (compute instructions),
+ *  - the SFU (serial special functions),
+ *  - the matrix DMA/DMAT engine and the vector DMA engine,
+ *  - the two halves of the double-buffered Matrix-Scratchpad.
+ *
+ * An instruction starts at the maximum of its resource-free time and
+ * its data dependencies, and the issue pointer advances by one cycle,
+ * so DMA transfers naturally run ahead of compute (double buffering)
+ * while the per-half write/read trackers enforce buffer reuse
+ * ordering. Communication instructions (Reduce/Broadcast) suspend the
+ * tile; the Chip performs the exchange and resumes every tile at the
+ * synchronized time (the paper's fence semantics).
+ */
+
+#ifndef MANNA_SIM_TILE_HH
+#define MANNA_SIM_TILE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/energy_model.hh"
+#include "arch/manna_config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "isa/program.hh"
+#include "sim/tile_memory.hh"
+#include "sim/trace.hh"
+
+namespace manna::sim
+{
+
+/** Why runUntilComm() returned. */
+enum class RunStatus
+{
+    Done,  ///< program finished (end or Halt)
+    AtComm ///< blocked on a Reduce/Broadcast
+};
+
+/** Per-space word counts for the tile's functional storage. */
+struct TileLayoutSizes
+{
+    std::size_t matBufWords = 0;
+    std::size_t matSpadWords = 0;
+    std::size_t vecBufWords = 0;
+    std::size_t vecSpadWords = 0;
+};
+
+/**
+ * One DiffMem tile.
+ */
+class DiffMemTile
+{
+  public:
+    DiffMemTile(const arch::MannaConfig &cfg,
+                const arch::EnergyModel &energy, std::size_t tileIndex,
+                const TileLayoutSizes &sizes);
+
+    /** Install a program and reset the program counter / loop state
+     * (timing state is preserved across programs). */
+    void setProgram(const isa::Program *program);
+
+    /** Run until the program ends or a communication instruction. */
+    RunStatus runUntilComm();
+
+    /** The communication instruction currently blocking (AtComm). */
+    const isa::Instruction &commInstruction() const;
+
+    /**
+     * Resolve an operand against the current loop iteration state
+     * (applies the per-level strides to the base address).
+     */
+    isa::Operand resolveOperand(const isa::Operand &op) const;
+
+    /** Read/write a resolved operand's data (used by the Chip for
+     * communication and for loading model state). */
+    std::vector<float> readOperand(const isa::Operand &op) const;
+    void writeOperand(const isa::Operand &op,
+                      const std::vector<float> &values);
+
+    /**
+     * Advance past the blocking communication instruction and fence
+     * all timing state to @p resumeAt.
+     */
+    void resumeAfterComm(Cycle resumeAt);
+
+    /** Fence all timing state to @p at (segment boundaries). */
+    void alignTo(Cycle at);
+
+    /** Time at which every outstanding operation has completed. */
+    Cycle quiesceTime() const { return maxEnd_; }
+
+    /** Current issue-pointer time. */
+    Cycle now() const { return now_; }
+
+    /** Accumulated dynamic energy in pJ. */
+    Energy energyPj() const { return energyPj_; }
+
+    /** Functional storage (for loading weights / inspecting state). */
+    TileMemory &memory() { return mem_; }
+    const TileMemory &memory() const { return mem_; }
+
+    std::size_t tileIndex() const { return tileIndex_; }
+
+    /** Event counters (macs, elwise ops, sfu ops, accesses, ...). */
+    const StatGroup &stats() const { return stats_; }
+    StatGroup &stats() { return stats_; }
+
+    /** Attach (or detach, with nullptr) an instruction tracer. */
+    void setTraceLogger(TraceLogger *logger) { trace_ = logger; }
+
+  private:
+    // --- execution helpers -------------------------------------------
+    void execute(const isa::Instruction &inst);
+    void execDmaMatrix(const isa::Instruction &inst);
+    void execDmaVector(const isa::Instruction &inst);
+    void execVmm(const isa::Instruction &inst);
+    void execElementwise(const isa::Instruction &inst);
+    void execSfu(const isa::Instruction &inst);
+
+    /** Data-dependency time for reading a resolved operand. */
+    Cycle readDependency(const isa::Operand &op) const;
+
+    /** Dependency time for writing a resolved operand (WAR/WAW). */
+    Cycle writeDependency(const isa::Operand &op) const;
+
+    /** Record a write's completion for later dependents. */
+    void noteWrite(const isa::Operand &op, Cycle end);
+
+    /** Record a read's completion (for scratchpad-half reuse). */
+    void noteRead(const isa::Operand &op, Cycle end);
+
+    /**
+     * Matrix-Scratchpad half selection. The double-buffered halves
+     * rotate with each matrix DMA load: loads target alternating
+     * halves and every MatSpad access between two loads belongs to
+     * the most recently loaded half. This models the paper's
+     * fill-one-half-while-computing-on-the-other pipeline (Figure 8)
+     * without requiring the compiler to alternate addresses.
+     */
+    std::size_t loadHalf() const { return dmaLoadCount_ % 2; }
+    std::size_t computeHalf() const
+    {
+        return dmaLoadCount_ == 0 ? 0 : (dmaLoadCount_ - 1) % 2;
+    }
+
+    /** Charge energy for @p count occurrences of an event. */
+    void charge(arch::EnergyEvent ev, double count);
+
+    /** Energy event for accessing a space. */
+    arch::EnergyEvent accessEvent(isa::Space space) const;
+
+    void finish(Cycle end);
+
+    // --- configuration ------------------------------------------------
+    const arch::MannaConfig &cfg_;
+    const arch::EnergyModel &energy_;
+    std::size_t tileIndex_;
+
+    // --- functional state ----------------------------------------------
+    TileMemory mem_;
+
+    // --- program state ---------------------------------------------------
+    const isa::Program *program_ = nullptr;
+    std::size_t pc_ = 0;
+    struct LoopFrame
+    {
+        std::size_t bodyPc;    ///< pc of the first body instruction
+        std::uint32_t count;   ///< trip count
+        std::int64_t iter;     ///< current iteration
+    };
+    std::vector<LoopFrame> loopStack_;
+    std::int64_t iters_[isa::kMaxLoopDepth] = {0, 0, 0};
+
+    // --- timing state ------------------------------------------------------
+    Cycle now_ = 0;
+    Cycle emacFree_ = 0;
+    Cycle sfuFree_ = 0;
+    Cycle matDmaFree_ = 0;
+    Cycle vecDmaFree_ = 0;
+    Cycle spadWriteEnd_[2] = {0, 0};
+    Cycle spadReadEnd_[2] = {0, 0};
+    Cycle lastWrite_[5] = {0, 0, 0, 0, 0}; ///< indexed by Space
+    Cycle maxEnd_ = 0;
+    std::uint64_t dmaLoadCount_ = 0; ///< matrix loads issued (parity)
+
+    // --- accounting ----------------------------------------------------------
+    Energy energyPj_ = 0.0;
+    StatGroup stats_;
+    TraceLogger *trace_ = nullptr;
+};
+
+} // namespace manna::sim
+
+#endif // MANNA_SIM_TILE_HH

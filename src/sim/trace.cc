@@ -1,0 +1,53 @@
+#include "trace.hh"
+
+#include "common/strutil.hh"
+
+namespace manna::sim
+{
+
+TraceLogger::TraceLogger(std::size_t maxEntries)
+    : maxEntries_(maxEntries)
+{
+    entries_.reserve(std::min<std::size_t>(maxEntries, 4096));
+}
+
+void
+TraceLogger::record(std::size_t tile, Cycle issue, Cycle horizon,
+                    const isa::Instruction &inst)
+{
+    if (entries_.size() >= maxEntries_) {
+        ++dropped_;
+        return;
+    }
+    entries_.push_back(
+        {tile, issue, horizon, inst.op, inst.toString()});
+}
+
+void
+TraceLogger::clear()
+{
+    entries_.clear();
+    dropped_ = 0;
+}
+
+std::string
+TraceLogger::render(std::size_t limit) const
+{
+    std::string out;
+    const std::size_t n = std::min(limit, entries_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        const TraceEntry &e = entries_[i];
+        out += strformat("t%-3zu @%-10llu (=>%-10llu) %s\n", e.tile,
+                         static_cast<unsigned long long>(e.issue),
+                         static_cast<unsigned long long>(e.horizon),
+                         e.text.c_str());
+    }
+    if (entries_.size() > n)
+        out += strformat("... %zu more entries\n", entries_.size() - n);
+    if (dropped_ > 0)
+        out += strformat("... %zu entries dropped at capacity\n",
+                         dropped_);
+    return out;
+}
+
+} // namespace manna::sim

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Optional instruction tracing for the DiffMem tiles. When attached,
+ * every executed (non-control) instruction is recorded with its tile,
+ * issue time, completion horizon, and disassembly — the raw material
+ * for debugging compiled kernels and for visualizing pipeline
+ * overlap (DMA vs compute).
+ */
+
+#ifndef MANNA_SIM_TRACE_HH
+#define MANNA_SIM_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace manna::sim
+{
+
+/** One traced instruction execution. */
+struct TraceEntry
+{
+    std::size_t tile;
+    Cycle issue;    ///< issue-pointer time when dispatched
+    Cycle horizon;  ///< completion time of all work issued so far
+    isa::Opcode op;
+    std::string text; ///< disassembly
+};
+
+/**
+ * Bounded in-memory trace. Recording stops silently once the entry
+ * limit is reached (the count of dropped entries is kept).
+ */
+class TraceLogger
+{
+  public:
+    explicit TraceLogger(std::size_t maxEntries = 65536);
+
+    void record(std::size_t tile, Cycle issue, Cycle horizon,
+                const isa::Instruction &inst);
+
+    const std::vector<TraceEntry> &entries() const { return entries_; }
+    std::size_t dropped() const { return dropped_; }
+    void clear();
+
+    /** Render as fixed-width text, one line per entry. */
+    std::string render(std::size_t limit = 200) const;
+
+  private:
+    std::size_t maxEntries_;
+    std::vector<TraceEntry> entries_;
+    std::size_t dropped_ = 0;
+};
+
+} // namespace manna::sim
+
+#endif // MANNA_SIM_TRACE_HH

@@ -1,0 +1,174 @@
+#include "matrix.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace manna::tensor
+{
+
+FMat::FMat(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0f)
+{
+}
+
+FMat::FMat(std::size_t rows, std::size_t cols, FVec data)
+    : rows_(rows), cols_(cols), data_(std::move(data))
+{
+    MANNA_ASSERT(data_.size() == rows_ * cols_,
+                 "matrix storage %zu != %zu x %zu", data_.size(), rows_,
+                 cols_);
+}
+
+float &
+FMat::at(std::size_t r, std::size_t c)
+{
+    MANNA_ASSERT(r < rows_ && c < cols_, "at(%zu, %zu) out of %zux%zu", r,
+                 c, rows_, cols_);
+    return data_[r * cols_ + c];
+}
+
+float
+FMat::at(std::size_t r, std::size_t c) const
+{
+    MANNA_ASSERT(r < rows_ && c < cols_, "at(%zu, %zu) out of %zux%zu", r,
+                 c, rows_, cols_);
+    return data_[r * cols_ + c];
+}
+
+FVec
+FMat::row(std::size_t r) const
+{
+    MANNA_ASSERT(r < rows_, "row %zu out of %zu", r, rows_);
+    return FVec(data_.begin() + static_cast<std::ptrdiff_t>(r * cols_),
+                data_.begin() +
+                    static_cast<std::ptrdiff_t>((r + 1) * cols_));
+}
+
+FVec
+FMat::col(std::size_t c) const
+{
+    MANNA_ASSERT(c < cols_, "col %zu out of %zu", c, cols_);
+    FVec out(rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        out[r] = data_[r * cols_ + c];
+    return out;
+}
+
+void
+FMat::setRow(std::size_t r, const FVec &v)
+{
+    MANNA_ASSERT(r < rows_, "setRow %zu out of %zu", r, rows_);
+    MANNA_ASSERT(v.size() == cols_, "setRow width %zu != %zu", v.size(),
+                 cols_);
+    std::copy(v.begin(), v.end(),
+              data_.begin() + static_cast<std::ptrdiff_t>(r * cols_));
+}
+
+void
+FMat::fill(float v)
+{
+    std::fill(data_.begin(), data_.end(), v);
+}
+
+FMat
+FMat::transposed() const
+{
+    FMat out(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            out.at(c, r) = at(r, c);
+    return out;
+}
+
+float
+FMat::maxAbsDiff(const FMat &other) const
+{
+    MANNA_ASSERT(rows_ == other.rows_ && cols_ == other.cols_,
+                 "shape mismatch %zux%zu vs %zux%zu", rows_, cols_,
+                 other.rows_, other.cols_);
+    return tensor::maxAbsDiff(data_, other.data_);
+}
+
+FVec
+vecMatMul(const FVec &x, const FMat &a)
+{
+    MANNA_ASSERT(x.size() == a.rows(), "vecMatMul: %zu vs %zu rows",
+                 x.size(), a.rows());
+    FVec out(a.cols(), 0.0f);
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        const float w = x[r];
+        if (w == 0.0f)
+            continue;
+        const float *rowPtr = a.data().data() + r * a.cols();
+        for (std::size_t c = 0; c < a.cols(); ++c)
+            out[c] += w * rowPtr[c];
+    }
+    return out;
+}
+
+FVec
+matVecMul(const FMat &a, const FVec &x)
+{
+    MANNA_ASSERT(x.size() == a.cols(), "matVecMul: %zu vs %zu cols",
+                 x.size(), a.cols());
+    FVec out(a.rows(), 0.0f);
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        const float *rowPtr = a.data().data() + r * a.cols();
+        float acc = 0.0f;
+        for (std::size_t c = 0; c < a.cols(); ++c)
+            acc += rowPtr[c] * x[c];
+        out[r] = acc;
+    }
+    return out;
+}
+
+FVec
+matVecMulBias(const FMat &a, const FVec &x, const FVec &b)
+{
+    FVec out = matVecMul(a, x);
+    if (!b.empty()) {
+        MANNA_ASSERT(b.size() == out.size(), "bias %zu vs %zu", b.size(),
+                     out.size());
+        for (std::size_t i = 0; i < out.size(); ++i)
+            out[i] += b[i];
+    }
+    return out;
+}
+
+FVec
+rowNorms(const FMat &a)
+{
+    FVec out(a.rows());
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        const float *rowPtr = a.data().data() + r * a.cols();
+        float acc = 0.0f;
+        for (std::size_t c = 0; c < a.cols(); ++c)
+            acc += rowPtr[c] * rowPtr[c];
+        out[r] = std::sqrt(acc);
+    }
+    return out;
+}
+
+FVec
+rowCosineSimilarity(const FMat &a, const FVec &key, float epsilon)
+{
+    MANNA_ASSERT(key.size() == a.cols(),
+                 "rowCosineSimilarity: key %zu vs %zu cols", key.size(),
+                 a.cols());
+    const float keyNorm = norm2(key);
+    FVec out(a.rows());
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        const float *rowPtr = a.data().data() + r * a.cols();
+        float acc = 0.0f;
+        float nrm = 0.0f;
+        for (std::size_t c = 0; c < a.cols(); ++c) {
+            acc += rowPtr[c] * key[c];
+            nrm += rowPtr[c] * rowPtr[c];
+        }
+        out[r] = acc / (keyNorm * std::sqrt(nrm) + epsilon);
+    }
+    return out;
+}
+
+} // namespace manna::tensor

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * A minimal row-major FP32 matrix with the two multiplication
+ * directions the paper cares about: vector-matrix (soft read style,
+ * column-wise reduction) and vector-transposed-matrix (key-similarity
+ * style, row-wise reduction).
+ */
+
+#ifndef MANNA_TENSOR_MATRIX_HH
+#define MANNA_TENSOR_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/vector_ops.hh"
+
+namespace manna::tensor
+{
+
+/**
+ * Dense row-major matrix of float.
+ *
+ * Rows correspond to memory locations (M_N) and columns to word
+ * dimensions (M_M) when used as the differentiable external memory.
+ */
+class FMat
+{
+  public:
+    FMat() = default;
+
+    /** rows x cols, zero-initialized. */
+    FMat(std::size_t rows, std::size_t cols);
+
+    /** rows x cols with existing storage (size must match). */
+    FMat(std::size_t rows, std::size_t cols, FVec data);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+
+    float &at(std::size_t r, std::size_t c);
+    float at(std::size_t r, std::size_t c) const;
+
+    /** Copy of row @p r. */
+    FVec row(std::size_t r) const;
+
+    /** Copy of column @p c. */
+    FVec col(std::size_t c) const;
+
+    /** Overwrite row @p r. */
+    void setRow(std::size_t r, const FVec &v);
+
+    /** Raw storage (row-major). */
+    const FVec &data() const { return data_; }
+    FVec &data() { return data_; }
+
+    /** Fill with a constant. */
+    void fill(float v);
+
+    /** Transposed copy. */
+    FMat transposed() const;
+
+    /** Max absolute difference against another same-shape matrix. */
+    float maxAbsDiff(const FMat &other) const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    FVec data_;
+};
+
+/**
+ * y = x^T * A where x has length rows(A); result has length cols(A).
+ * This is the soft-read direction (Eq. 1): a weighted sum of rows.
+ */
+FVec vecMatMul(const FVec &x, const FMat &a);
+
+/**
+ * y = A * x where x has length cols(A); result has length rows(A).
+ * This is the key-similarity direction: a dot product per row.
+ */
+FVec matVecMul(const FMat &a, const FVec &x);
+
+/** y = A * x + b. b may be empty (treated as zero). */
+FVec matVecMulBias(const FMat &a, const FVec &x, const FVec &b);
+
+/** Per-row L2 norms of A. */
+FVec rowNorms(const FMat &a);
+
+/** Per-row cosine similarity of @p key against rows of @p a (Eq. 4). */
+FVec rowCosineSimilarity(const FMat &a, const FVec &key,
+                         float epsilon = 1e-8f);
+
+} // namespace manna::tensor
+
+#endif // MANNA_TENSOR_MATRIX_HH

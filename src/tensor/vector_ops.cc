@@ -1,0 +1,269 @@
+#include "vector_ops.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace manna::tensor
+{
+
+namespace
+{
+
+void
+checkSameSize(const FVec &a, const FVec &b, const char *what)
+{
+    MANNA_ASSERT(a.size() == b.size(), "%s: size mismatch %zu vs %zu",
+                 what, a.size(), b.size());
+}
+
+} // namespace
+
+float
+dot(const FVec &a, const FVec &b)
+{
+    checkSameSize(a, b, "dot");
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+float
+norm2(const FVec &a)
+{
+    return std::sqrt(dot(a, a));
+}
+
+float
+cosineSimilarity(const FVec &a, const FVec &b, float epsilon)
+{
+    checkSameSize(a, b, "cosineSimilarity");
+    const float denom = norm2(a) * norm2(b) + epsilon;
+    return dot(a, b) / denom;
+}
+
+FVec
+add(const FVec &a, const FVec &b)
+{
+    checkSameSize(a, b, "add");
+    FVec out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = a[i] + b[i];
+    return out;
+}
+
+FVec
+sub(const FVec &a, const FVec &b)
+{
+    checkSameSize(a, b, "sub");
+    FVec out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = a[i] - b[i];
+    return out;
+}
+
+FVec
+mul(const FVec &a, const FVec &b)
+{
+    checkSameSize(a, b, "mul");
+    FVec out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = a[i] * b[i];
+    return out;
+}
+
+FVec
+scale(const FVec &a, float s)
+{
+    FVec out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = a[i] * s;
+    return out;
+}
+
+void
+axpy(float alpha, const FVec &x, FVec &y)
+{
+    checkSameSize(x, y, "axpy");
+    for (std::size_t i = 0; i < x.size(); ++i)
+        y[i] += alpha * x[i];
+}
+
+FVec
+softmax(const FVec &a)
+{
+    return softmax(a, 1.0f);
+}
+
+FVec
+softmax(const FVec &a, float beta)
+{
+    MANNA_ASSERT(!a.empty(), "softmax of empty vector");
+    float mx = a[0] * beta;
+    for (float v : a)
+        mx = std::max(mx, v * beta);
+    FVec out(a.size());
+    float denom = 0.0f;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        out[i] = std::exp(a[i] * beta - mx);
+        denom += out[i];
+    }
+    for (auto &v : out)
+        v /= denom;
+    return out;
+}
+
+FVec
+circularConvolve(const FVec &a, const FVec &shift)
+{
+    MANNA_ASSERT(shift.size() % 2 == 1,
+                 "shift kernel must have odd length, got %zu",
+                 shift.size());
+    const std::size_t n = a.size();
+    const std::ptrdiff_t radius =
+        static_cast<std::ptrdiff_t>(shift.size() / 2);
+    FVec out(n, 0.0f);
+    for (std::size_t i = 0; i < n; ++i) {
+        float acc = 0.0f;
+        for (std::ptrdiff_t off = -radius; off <= radius; ++off) {
+            // w_s(i) = sum_j w_g(j) * s(i - j); with j = i - off the
+            // kernel tap is s(off).
+            std::ptrdiff_t j =
+                static_cast<std::ptrdiff_t>(i) - off;
+            j = ((j % static_cast<std::ptrdiff_t>(n)) +
+                 static_cast<std::ptrdiff_t>(n)) %
+                static_cast<std::ptrdiff_t>(n);
+            acc += a[static_cast<std::size_t>(j)] *
+                   shift[static_cast<std::size_t>(off + radius)];
+        }
+        out[i] = acc;
+    }
+    return out;
+}
+
+FVec
+sharpen(const FVec &a, float gamma)
+{
+    MANNA_ASSERT(gamma >= 1.0f, "sharpen gamma %f < 1", gamma);
+    FVec out(a.size());
+    float denom = 0.0f;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        MANNA_ASSERT(a[i] >= -1e-6f, "sharpen input %f negative", a[i]);
+        out[i] = std::pow(std::max(a[i], 0.0f), gamma);
+        denom += out[i];
+    }
+    // A fully-zero weighting degenerates to uniform.
+    if (denom <= 0.0f) {
+        const float uniform =
+            1.0f / static_cast<float>(std::max<std::size_t>(a.size(), 1));
+        std::fill(out.begin(), out.end(), uniform);
+        return out;
+    }
+    for (auto &v : out)
+        v /= denom;
+    return out;
+}
+
+float
+sigmoidScalar(float x)
+{
+    return 1.0f / (1.0f + std::exp(-x));
+}
+
+float
+softplusScalar(float x)
+{
+    // Stable for large |x|.
+    if (x > 20.0f)
+        return x;
+    return std::log1p(std::exp(x));
+}
+
+FVec
+sigmoid(const FVec &a)
+{
+    FVec out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = sigmoidScalar(a[i]);
+    return out;
+}
+
+FVec
+tanhVec(const FVec &a)
+{
+    FVec out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = std::tanh(a[i]);
+    return out;
+}
+
+FVec
+relu(const FVec &a)
+{
+    FVec out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = std::max(0.0f, a[i]);
+    return out;
+}
+
+FVec
+softplus(const FVec &a)
+{
+    FVec out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = softplusScalar(a[i]);
+    return out;
+}
+
+float
+sum(const FVec &a)
+{
+    float acc = 0.0f;
+    for (float v : a)
+        acc += v;
+    return acc;
+}
+
+float
+maxElement(const FVec &a)
+{
+    MANNA_ASSERT(!a.empty(), "maxElement of empty vector");
+    return *std::max_element(a.begin(), a.end());
+}
+
+FVec
+concat(const std::vector<FVec> &parts)
+{
+    std::size_t total = 0;
+    for (const auto &p : parts)
+        total += p.size();
+    FVec out;
+    out.reserve(total);
+    for (const auto &p : parts)
+        out.insert(out.end(), p.begin(), p.end());
+    return out;
+}
+
+FVec
+slice(const FVec &a, std::size_t begin, std::size_t len)
+{
+    MANNA_ASSERT(begin + len <= a.size(),
+                 "slice [%zu, %zu) out of range for size %zu", begin,
+                 begin + len, a.size());
+    return FVec(a.begin() + static_cast<std::ptrdiff_t>(begin),
+                a.begin() + static_cast<std::ptrdiff_t>(begin + len));
+}
+
+float
+maxAbsDiff(const FVec &a, const FVec &b)
+{
+    checkSameSize(a, b, "maxAbsDiff");
+    float mx = 0.0f;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        mx = std::max(mx, std::fabs(a[i] - b[i]));
+    return mx;
+}
+
+} // namespace manna::tensor

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * FP32 vector primitives used throughout the reproduction: the golden
+ * NTM model, the simulator's functional datapath, and the analytic
+ * kernel-work models all share these definitions so they cannot drift
+ * apart numerically.
+ *
+ * All datapaths in the paper are FP32, so these operate on
+ * std::vector<float> ("FVec").
+ */
+
+#ifndef MANNA_TENSOR_VECTOR_OPS_HH
+#define MANNA_TENSOR_VECTOR_OPS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace manna::tensor
+{
+
+using FVec = std::vector<float>;
+
+/** Dot product; sizes must match. */
+float dot(const FVec &a, const FVec &b);
+
+/** L2 norm. */
+float norm2(const FVec &a);
+
+/** Cosine similarity (Eq. 4); a small epsilon guards zero vectors. */
+float cosineSimilarity(const FVec &a, const FVec &b,
+                       float epsilon = 1e-8f);
+
+/** out[i] = a[i] + b[i]. */
+FVec add(const FVec &a, const FVec &b);
+
+/** out[i] = a[i] - b[i]. */
+FVec sub(const FVec &a, const FVec &b);
+
+/** Hadamard product: out[i] = a[i] * b[i]. */
+FVec mul(const FVec &a, const FVec &b);
+
+/** out[i] = a[i] * s. */
+FVec scale(const FVec &a, float s);
+
+/** y[i] += alpha * x[i] (in place). */
+void axpy(float alpha, const FVec &x, FVec &y);
+
+/** Numerically stable softmax. */
+FVec softmax(const FVec &a);
+
+/**
+ * Softmax with inverse-temperature beta applied first:
+ * softmax(beta * a). Used by content weighting (Eq. 5).
+ */
+FVec softmax(const FVec &a, float beta);
+
+/**
+ * Circular convolution (Eq. 7): out[i] = sum_j a[j] * s[(i - j) mod n]
+ * where s is given over offsets centered on zero. @p shift has odd
+ * length 2*R+1 covering offsets -R..+R.
+ */
+FVec circularConvolve(const FVec &a, const FVec &shift);
+
+/**
+ * Sharpening (Eq. 8): out[i] = a[i]^gamma / sum_j a[j]^gamma.
+ * Requires a[i] >= 0 and gamma >= 1.
+ */
+FVec sharpen(const FVec &a, float gamma);
+
+/** Elementwise sigmoid. */
+FVec sigmoid(const FVec &a);
+
+/** Elementwise tanh. */
+FVec tanhVec(const FVec &a);
+
+/** Elementwise ReLU. */
+FVec relu(const FVec &a);
+
+/** Elementwise softplus: log(1 + e^x), used to constrain beta/gamma. */
+FVec softplus(const FVec &a);
+
+/** Scalar helpers matching the vector versions. */
+float sigmoidScalar(float x);
+float softplusScalar(float x);
+
+/** Sum of elements. */
+float sum(const FVec &a);
+
+/** Max element (requires non-empty input). */
+float maxElement(const FVec &a);
+
+/** Concatenate vectors in order. */
+FVec concat(const std::vector<FVec> &parts);
+
+/** Slice [begin, begin+len). Bounds-checked. */
+FVec slice(const FVec &a, std::size_t begin, std::size_t len);
+
+/** Max absolute difference between two equal-size vectors. */
+float maxAbsDiff(const FVec &a, const FVec &b);
+
+} // namespace manna::tensor
+
+#endif // MANNA_TENSOR_VECTOR_OPS_HH

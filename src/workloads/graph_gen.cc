@@ -1,0 +1,148 @@
+#include "graph_gen.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.hh"
+
+namespace manna::workloads
+{
+
+LabelledGraph::LabelledGraph(std::size_t numNodes,
+                             std::size_t extraEdges,
+                             std::size_t numLabels, Rng &rng)
+    : numNodes_(numNodes), numLabels_(numLabels),
+      adjacency_(numNodes)
+{
+    MANNA_ASSERT(numNodes >= 2, "graph needs at least two nodes");
+    MANNA_ASSERT(numLabels >= 1, "graph needs at least one label");
+
+    auto addEdge = [&](std::uint32_t from, std::uint32_t to) {
+        Edge e{from, to,
+               static_cast<std::uint32_t>(rng.below(numLabels))};
+        edges_.push_back(e);
+        adjacency_[from].push_back(e);
+        // Graph tasks treat connections as navigable both ways (the
+        // Underground analogy); add the reverse edge with its own
+        // label.
+        Edge rev{to, from,
+                 static_cast<std::uint32_t>(rng.below(numLabels))};
+        edges_.push_back(rev);
+        adjacency_[to].push_back(rev);
+    };
+
+    // Random spanning tree: connect node i to a random earlier node.
+    for (std::uint32_t i = 1; i < numNodes; ++i)
+        addEdge(static_cast<std::uint32_t>(rng.below(i)), i);
+
+    for (std::size_t e = 0; e < extraEdges; ++e) {
+        const auto a =
+            static_cast<std::uint32_t>(rng.below(numNodes));
+        auto b = static_cast<std::uint32_t>(rng.below(numNodes));
+        if (a == b)
+            b = (b + 1) % static_cast<std::uint32_t>(numNodes);
+        addEdge(a, b);
+    }
+}
+
+const std::vector<Edge> &
+LabelledGraph::outEdges(std::uint32_t node) const
+{
+    MANNA_ASSERT(node < numNodes_, "node %u out of %zu", node,
+                 numNodes_);
+    return adjacency_[node];
+}
+
+std::vector<std::uint32_t>
+LabelledGraph::shortestPath(std::uint32_t from, std::uint32_t to) const
+{
+    MANNA_ASSERT(from < numNodes_ && to < numNodes_,
+                 "path endpoints out of range");
+    std::vector<std::int64_t> parent(numNodes_, -1);
+    std::deque<std::uint32_t> queue{from};
+    parent[from] = from;
+    while (!queue.empty()) {
+        const std::uint32_t node = queue.front();
+        queue.pop_front();
+        if (node == to)
+            break;
+        for (const Edge &e : adjacency_[node]) {
+            if (parent[e.to] < 0) {
+                parent[e.to] = node;
+                queue.push_back(e.to);
+            }
+        }
+    }
+    if (parent[to] < 0)
+        return {};
+    std::vector<std::uint32_t> path{to};
+    while (path.back() != from)
+        path.push_back(
+            static_cast<std::uint32_t>(parent[path.back()]));
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+std::vector<std::uint32_t>
+LabelledGraph::followPath(
+    std::uint32_t from, const std::vector<std::uint32_t> &labels) const
+{
+    std::vector<std::uint32_t> visited{from};
+    std::uint32_t node = from;
+    for (std::uint32_t label : labels) {
+        bool moved = false;
+        for (const Edge &e : adjacency_[node]) {
+            if (e.label == label) {
+                node = e.to;
+                visited.push_back(node);
+                moved = true;
+                break;
+            }
+        }
+        if (!moved)
+            break;
+    }
+    return visited;
+}
+
+LabelledGraph::Walk
+LabelledGraph::randomWalk(std::uint32_t from, std::size_t length,
+                          Rng &rng) const
+{
+    Walk walk;
+    walk.nodes.push_back(from);
+    std::uint32_t node = from;
+    for (std::size_t i = 0; i < length; ++i) {
+        const auto &out = adjacency_[node];
+        if (out.empty())
+            break;
+        const Edge &e = out[rng.below(out.size())];
+        walk.labels.push_back(e.label);
+        node = e.to;
+        walk.nodes.push_back(node);
+    }
+    return walk;
+}
+
+bool
+LabelledGraph::isConnected() const
+{
+    std::vector<bool> seen(numNodes_, false);
+    std::deque<std::uint32_t> queue{0};
+    seen[0] = true;
+    std::size_t count = 1;
+    while (!queue.empty()) {
+        const std::uint32_t node = queue.front();
+        queue.pop_front();
+        for (const Edge &e : adjacency_[node]) {
+            if (!seen[e.to]) {
+                seen[e.to] = true;
+                ++count;
+                queue.push_back(e.to);
+            }
+        }
+    }
+    return count == numNodes_;
+}
+
+} // namespace manna::workloads

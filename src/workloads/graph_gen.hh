@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Random labelled-graph substrate for the DNC-style graph tasks
+ * (shortest path, traversal, inference). The paper's benchmarks are
+ * modelled on the DNC's London Underground and family-tree
+ * experiments; we substitute reproducible random graphs with the same
+ * structure: labelled nodes, labelled edges, and query/answer pairs
+ * derived by exact graph algorithms (BFS shortest paths, path
+ * following, relation composition).
+ */
+
+#ifndef MANNA_WORKLOADS_GRAPH_GEN_HH
+#define MANNA_WORKLOADS_GRAPH_GEN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace manna::workloads
+{
+
+/** A directed edge with a relation label. */
+struct Edge
+{
+    std::uint32_t from;
+    std::uint32_t to;
+    std::uint32_t label;
+};
+
+/** A random connected, labelled directed graph. */
+class LabelledGraph
+{
+  public:
+    /**
+     * Generate a connected graph: a random spanning tree plus
+     * `extraEdges` additional random edges, all labelled uniformly
+     * from `numLabels`.
+     */
+    LabelledGraph(std::size_t numNodes, std::size_t extraEdges,
+                  std::size_t numLabels, Rng &rng);
+
+    std::size_t numNodes() const { return numNodes_; }
+    std::size_t numLabels() const { return numLabels_; }
+    const std::vector<Edge> &edges() const { return edges_; }
+
+    /** Outgoing edges of a node. */
+    const std::vector<Edge> &outEdges(std::uint32_t node) const;
+
+    /** BFS shortest path (node sequence); empty if unreachable. */
+    std::vector<std::uint32_t> shortestPath(std::uint32_t from,
+                                            std::uint32_t to) const;
+
+    /**
+     * Follow a sequence of edge labels from a start node; returns the
+     * node sequence actually visited (stops early if no matching
+     * edge).
+     */
+    std::vector<std::uint32_t>
+    followPath(std::uint32_t from,
+               const std::vector<std::uint32_t> &labels) const;
+
+    /** A random walk of the requested length (labels taken). */
+    struct Walk
+    {
+        std::vector<std::uint32_t> nodes;
+        std::vector<std::uint32_t> labels;
+    };
+    Walk randomWalk(std::uint32_t from, std::size_t length,
+                    Rng &rng) const;
+
+    /** True if every node is reachable from node 0. */
+    bool isConnected() const;
+
+  private:
+    std::size_t numNodes_;
+    std::size_t numLabels_;
+    std::vector<Edge> edges_;
+    std::vector<std::vector<Edge>> adjacency_;
+};
+
+} // namespace manna::workloads
+
+#endif // MANNA_WORKLOADS_GRAPH_GEN_HH

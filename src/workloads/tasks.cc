@@ -1,0 +1,352 @@
+#include "tasks.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "common/logging.hh"
+#include "workloads/graph_gen.hh"
+
+namespace manna::workloads
+{
+
+namespace
+{
+
+/** Random +-0/1 bit vector over the payload channels. */
+FVec
+randomBits(std::size_t dim, std::size_t payload, Rng &rng)
+{
+    FVec v(dim, 0.0f);
+    for (std::size_t i = 0; i < payload && i < dim; ++i)
+        v[i] = rng.below(2) ? 1.0f : 0.0f;
+    return v;
+}
+
+/** One-hot-ish token embedded at a channel offset. */
+FVec
+token(std::size_t dim, std::size_t index, float value = 1.0f)
+{
+    FVec v(dim, 0.0f);
+    v[index % dim] = value;
+    return v;
+}
+
+} // namespace
+
+Episode
+copyEpisode(std::size_t inputDim, std::size_t items, Rng &rng)
+{
+    MANNA_ASSERT(inputDim >= 3, "copy needs >= 3 input channels");
+    const std::size_t payload = inputDim - 2; // 2 delimiter channels
+    Episode ep;
+    for (std::size_t i = 0; i < items; ++i) {
+        ep.inputs.push_back(randomBits(inputDim, payload, rng));
+        ep.targets.emplace_back(); // no output during presentation
+    }
+    FVec delim(inputDim, 0.0f);
+    delim[inputDim - 2] = 1.0f;
+    ep.inputs.push_back(delim);
+    ep.targets.emplace_back();
+    for (std::size_t i = 0; i < items; ++i) {
+        ep.inputs.push_back(FVec(inputDim, 0.0f));
+        ep.targets.push_back(FVec(
+            ep.inputs[i].begin(),
+            ep.inputs[i].begin() + static_cast<std::ptrdiff_t>(payload)));
+    }
+    return ep;
+}
+
+Episode
+repeatCopyEpisode(std::size_t inputDim, std::size_t items,
+                  std::size_t repeats, Rng &rng)
+{
+    Episode ep = copyEpisode(inputDim, items, rng);
+    // The delimiter step encodes the repeat count on its last channel.
+    ep.inputs[items][inputDim - 1] = static_cast<float>(repeats);
+    // Extend the recall phase to `repeats` copies.
+    const std::size_t payload = inputDim - 2;
+    for (std::size_t r = 1; r < repeats; ++r) {
+        for (std::size_t i = 0; i < items; ++i) {
+            ep.inputs.push_back(FVec(inputDim, 0.0f));
+            ep.targets.push_back(
+                FVec(ep.inputs[i].begin(),
+                     ep.inputs[i].begin() +
+                         static_cast<std::ptrdiff_t>(payload)));
+        }
+    }
+    return ep;
+}
+
+Episode
+associativeRecallEpisode(std::size_t inputDim, std::size_t pairs,
+                         Rng &rng)
+{
+    MANNA_ASSERT(pairs >= 2, "associative recall needs >= 2 items");
+    const std::size_t payload = inputDim - 2;
+    Episode ep;
+    std::vector<FVec> presented;
+    for (std::size_t i = 0; i < pairs; ++i) {
+        FVec item = randomBits(inputDim, payload, rng);
+        presented.push_back(item);
+        ep.inputs.push_back(item);
+        ep.targets.emplace_back();
+    }
+    // Query: re-present a random non-final item; the target is its
+    // successor.
+    const std::size_t q = rng.below(pairs - 1);
+    FVec query = presented[q];
+    query[inputDim - 2] = 1.0f; // query marker
+    ep.inputs.push_back(query);
+    ep.targets.emplace_back();
+    ep.inputs.push_back(FVec(inputDim, 0.0f));
+    ep.targets.push_back(
+        FVec(presented[q + 1].begin(),
+             presented[q + 1].begin() +
+                 static_cast<std::ptrdiff_t>(payload)));
+    return ep;
+}
+
+Episode
+ngramsEpisode(std::size_t steps, Rng &rng)
+{
+    // A random table over 2-bit contexts drives the source; the
+    // model must track the dynamic distribution.
+    double table[4];
+    for (auto &p : table)
+        p = rng.uniform(0.1, 0.9);
+    Episode ep;
+    std::uint32_t context = 0;
+    for (std::size_t i = 0; i < steps; ++i) {
+        const float bit =
+            rng.uniform() < table[context & 3] ? 1.0f : 0.0f;
+        FVec in(2, 0.0f);
+        in[0] = bit;
+        in[1] = 1.0f; // valid marker
+        ep.inputs.push_back(in);
+        ep.targets.push_back(FVec{bit});
+        context = ((context << 1) | (bit > 0.5f ? 1u : 0u)) & 3u;
+    }
+    return ep;
+}
+
+Episode
+prioritySortEpisode(std::size_t inputDim, std::size_t items, Rng &rng)
+{
+    MANNA_ASSERT(inputDim >= 10, "priority sort needs >= 10 channels");
+    const std::size_t payload = inputDim - 2;
+    Episode ep;
+    std::vector<std::pair<float, FVec>> entries;
+    for (std::size_t i = 0; i < items; ++i) {
+        FVec v = randomBits(inputDim, payload, rng);
+        const float priority =
+            static_cast<float>(rng.uniform(-1.0, 1.0));
+        v[inputDim - 1] = priority;
+        entries.emplace_back(priority, v);
+        ep.inputs.push_back(v);
+        ep.targets.emplace_back();
+    }
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first > b.first;
+                     });
+    FVec delim(inputDim, 0.0f);
+    delim[inputDim - 2] = 1.0f;
+    ep.inputs.push_back(delim);
+    ep.targets.emplace_back();
+    for (std::size_t i = 0; i < items; ++i) {
+        ep.inputs.push_back(FVec(inputDim, 0.0f));
+        ep.targets.push_back(
+            FVec(entries[i].second.begin(),
+                 entries[i].second.begin() +
+                     static_cast<std::ptrdiff_t>(payload)));
+    }
+    return ep;
+}
+
+Episode
+babiEpisode(std::size_t inputDim, std::size_t facts,
+            std::size_t queries, Rng &rng)
+{
+    // Facts are (entity, relation, entity) triples over a small
+    // vocabulary, encoded as three scaled one-hots per step.
+    const std::size_t third = inputDim / 3;
+    MANNA_ASSERT(third >= 2, "bAbI needs >= 6 input channels");
+    Episode ep;
+    std::vector<std::array<std::size_t, 3>> knowledge;
+    for (std::size_t f = 0; f < facts; ++f) {
+        const std::size_t s = rng.below(third);
+        const std::size_t r = rng.below(third);
+        const std::size_t o = rng.below(third);
+        knowledge.push_back({s, r, o});
+        FVec in(inputDim, 0.0f);
+        in[s] = 1.0f;
+        in[third + r] = 1.0f;
+        in[2 * third + o] = 1.0f;
+        ep.inputs.push_back(in);
+        ep.targets.emplace_back();
+    }
+    for (std::size_t q = 0; q < queries; ++q) {
+        const auto &fact = knowledge[rng.below(knowledge.size())];
+        FVec in(inputDim, 0.0f);
+        in[fact[0]] = -1.0f; // negative marks a query
+        in[third + fact[1]] = -1.0f;
+        ep.inputs.push_back(in);
+        ep.targets.push_back(token(inputDim, 2 * third + fact[2]));
+    }
+    return ep;
+}
+
+Episode
+graphEpisode(TaskKind kind, std::size_t inputDim, std::size_t steps,
+             Rng &rng)
+{
+    const std::size_t third = inputDim / 3;
+    MANNA_ASSERT(third >= 4, "graph tasks need >= 12 input channels");
+    const std::size_t numNodes = std::max<std::size_t>(steps / 2, 8);
+    LabelledGraph graph(numNodes, numNodes / 2, /*numLabels=*/8, rng);
+
+    Episode ep;
+    auto encodeTriple = [&](std::size_t a, std::size_t b,
+                            std::size_t c, float sign) {
+        FVec in(inputDim, 0.0f);
+        in[a % third] = sign;
+        in[third + (b % third)] = sign;
+        in[2 * third + (c % third)] = sign;
+        return in;
+    };
+
+    // Phase 1: stream the edge list (one edge per step, capped).
+    const std::size_t edgeSteps =
+        std::min(graph.edges().size(), steps * 2 / 3);
+    for (std::size_t e = 0; e < edgeSteps; ++e) {
+        const Edge &edge = graph.edges()[e];
+        ep.inputs.push_back(
+            encodeTriple(edge.from, edge.label, edge.to, 1.0f));
+        ep.targets.emplace_back();
+    }
+
+    // Phase 2: queries with exact answers from the graph algorithms.
+    const std::size_t querySteps = steps - std::min(steps, edgeSteps);
+    for (std::size_t q = 0; q < querySteps; ++q) {
+        switch (kind) {
+          case TaskKind::GraphTraversal: {
+            const auto start = static_cast<std::uint32_t>(
+                rng.below(graph.numNodes()));
+            const auto walk = graph.randomWalk(start, 3, rng);
+            ep.inputs.push_back(encodeTriple(
+                start, walk.labels.empty() ? 0 : walk.labels[0],
+                0, -1.0f));
+            ep.targets.push_back(
+                token(inputDim, walk.nodes.back() % third));
+            break;
+          }
+          case TaskKind::ShortestPath: {
+            const auto from = static_cast<std::uint32_t>(
+                rng.below(graph.numNodes()));
+            const auto to = static_cast<std::uint32_t>(
+                rng.below(graph.numNodes()));
+            ep.inputs.push_back(encodeTriple(from, 0, to, -1.0f));
+            const auto path = graph.shortestPath(from, to);
+            ep.targets.push_back(token(
+                inputDim, path.size() > 1 ? path[1] % third : from));
+            break;
+          }
+          default: { // GraphInference
+            const auto start = static_cast<std::uint32_t>(
+                rng.below(graph.numNodes()));
+            const auto walk = graph.randomWalk(start, 2, rng);
+            ep.inputs.push_back(encodeTriple(
+                start, walk.labels.empty() ? 0 : walk.labels[0],
+                walk.labels.size() > 1 ? walk.labels[1] : 0, -1.0f));
+            ep.targets.push_back(
+                token(inputDim, walk.nodes.back() % third));
+            break;
+          }
+        }
+    }
+    return ep;
+}
+
+Episode
+shrdluEpisode(std::size_t inputDim, std::size_t steps, Rng &rng)
+{
+    // A board of stacks of numbered blocks; inputs alternate between
+    // "place block b on stack s" commands and "where is block b?"
+    // queries; answers name the stack.
+    const std::size_t numBlocks = 9;
+    const std::size_t numStacks = 3;
+    std::vector<std::size_t> location(numBlocks);
+    for (std::size_t b = 0; b < numBlocks; ++b)
+        location[b] = rng.below(numStacks);
+
+    Episode ep;
+    for (std::size_t i = 0; i < steps; ++i) {
+        const std::size_t b = rng.below(numBlocks);
+        FVec in(inputDim, 0.0f);
+        if (i % 3 == 2) {
+            // Query.
+            in[b] = -1.0f;
+            ep.inputs.push_back(in);
+            ep.targets.push_back(
+                token(inputDim, numBlocks + location[b]));
+        } else {
+            // Move command.
+            const std::size_t s = rng.below(numStacks);
+            location[b] = s;
+            in[b] = 1.0f;
+            in[numBlocks + s] = 1.0f;
+            ep.inputs.push_back(in);
+            ep.targets.emplace_back();
+        }
+    }
+    return ep;
+}
+
+Episode
+generateEpisode(const Benchmark &benchmark, std::size_t steps,
+                Rng &rng)
+{
+    const std::size_t dim = benchmark.config.inputDim;
+    Episode ep;
+    switch (benchmark.task) {
+      case TaskKind::Copy:
+        ep = copyEpisode(dim, std::max<std::size_t>(steps / 2, 1), rng);
+        break;
+      case TaskKind::RepeatCopy:
+        ep = repeatCopyEpisode(
+            dim, std::max<std::size_t>(steps / 4, 1), 3, rng);
+        break;
+      case TaskKind::AssociativeRecall:
+        ep = associativeRecallEpisode(
+            dim, std::max<std::size_t>(steps - 2, 2), rng);
+        break;
+      case TaskKind::DynamicNgrams:
+        ep = ngramsEpisode(steps, rng);
+        break;
+      case TaskKind::PrioritySort:
+        ep = prioritySortEpisode(
+            dim, std::max<std::size_t>(steps / 2, 2), rng);
+        break;
+      case TaskKind::BAbI:
+        ep = babiEpisode(dim, steps * 3 / 4,
+                         steps - steps * 3 / 4, rng);
+        break;
+      case TaskKind::ShortestPath:
+      case TaskKind::GraphTraversal:
+      case TaskKind::GraphInference:
+        ep = graphEpisode(benchmark.task, dim, steps, rng);
+        break;
+      case TaskKind::MiniShrdlu:
+        ep = shrdluEpisode(dim, steps, rng);
+        break;
+    }
+    MANNA_ASSERT(ep.inputs.size() == ep.targets.size(),
+                 "episode inputs/targets misaligned: %zu vs %zu",
+                 ep.inputs.size(), ep.targets.size());
+    for (const auto &in : ep.inputs)
+        MANNA_ASSERT(in.size() == dim,
+                     "episode input width %zu != %zu", in.size(), dim);
+    return ep;
+}
+
+} // namespace manna::workloads

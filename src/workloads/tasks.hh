@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Task input generators: produce the per-step input vectors (and,
+ * where meaningful, target outputs) for each benchmark family.
+ *
+ * Inference *performance* on Manna depends only on tensor shapes and
+ * sequence length, so the generators' job is to provide realistic,
+ * reproducible stimulus with the right structure: delimiters and
+ * phases for the algorithmic tasks, fact/query streams for bAbI, and
+ * graph descriptions plus queries for the DNC-style tasks.
+ */
+
+#ifndef MANNA_WORKLOADS_TASKS_HH
+#define MANNA_WORKLOADS_TASKS_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "tensor/vector_ops.hh"
+#include "workloads/benchmarks.hh"
+
+namespace manna::workloads
+{
+
+using tensor::FVec;
+
+/** A generated episode: the input sequence and (optionally) the
+ * step-aligned target outputs (empty when not defined). */
+struct Episode
+{
+    std::vector<FVec> inputs;
+    std::vector<FVec> targets;
+};
+
+/**
+ * Generate an episode for a benchmark with roughly @p steps input
+ * vectors (generators round to their natural phase boundaries, so
+ * the exact length may differ slightly).
+ */
+Episode generateEpisode(const Benchmark &benchmark, std::size_t steps,
+                        Rng &rng);
+
+// Individual generators (exposed for tests).
+
+/** Copy: present `items` random bit vectors, delimiter, then expect
+ * them back during a recall phase of equal length. */
+Episode copyEpisode(std::size_t inputDim, std::size_t items, Rng &rng);
+
+/** Repeat-copy: like copy, with a repeat count channel; the recall
+ * phase repeats the sequence `repeats` times. */
+Episode repeatCopyEpisode(std::size_t inputDim, std::size_t items,
+                          std::size_t repeats, Rng &rng);
+
+/** Associative recall: key->value item pairs, then a query key whose
+ * following item must be produced. */
+Episode associativeRecallEpisode(std::size_t inputDim,
+                                 std::size_t pairs, Rng &rng);
+
+/** Dynamic n-grams: a random 2-bit-context binary source. */
+Episode ngramsEpisode(std::size_t steps, Rng &rng);
+
+/** Priority sort: vectors tagged with priorities; targets are the
+ * vectors in descending priority order. */
+Episode prioritySortEpisode(std::size_t inputDim, std::size_t items,
+                            Rng &rng);
+
+/** bAbI-like: a stream of entity-relation facts followed by queries
+ * answerable from the facts. */
+Episode babiEpisode(std::size_t inputDim, std::size_t facts,
+                    std::size_t queries, Rng &rng);
+
+/** Graph tasks: the graph's edge list is streamed first, then task
+ * queries (traversal path / shortest-path endpoints / inference
+ * probes). */
+Episode graphEpisode(TaskKind kind, std::size_t inputDim,
+                     std::size_t steps, Rng &rng);
+
+/** Mini-SHRDLU: block-world board description plus move/query
+ * dialogue turns. */
+Episode shrdluEpisode(std::size_t inputDim, std::size_t steps,
+                      Rng &rng);
+
+} // namespace manna::workloads
+
+#endif // MANNA_WORKLOADS_TASKS_HH

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests for the baseline platform models (GPU/CPU rooflines with the
+ * narrow-task effect) and the ablation variant list.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/ablation.hh"
+#include "baselines/platform_model.hh"
+#include "workloads/benchmarks.hh"
+
+namespace manna::baselines
+{
+namespace
+{
+
+mann::MannConfig
+mediumMann()
+{
+    mann::MannConfig cfg;
+    cfg.memN = 1024;
+    cfg.memM = 256;
+    cfg.controllerWidth = 100;
+    cfg.numReadHeads = 1;
+    cfg.numWriteHeads = 1;
+    return cfg;
+}
+
+TEST(PlatformSpecs, MatchTable3)
+{
+    const PlatformSpec p = pascal1080Ti();
+    EXPECT_DOUBLE_EQ(p.areaMm2, 470.0);
+    EXPECT_DOUBLE_EQ(p.memBandwidthGBs, 484.0);
+    EXPECT_DOUBLE_EQ(p.onChipMiB, 11.9);
+    EXPECT_DOUBLE_EQ(p.tdpWatts, 250.0);
+
+    const PlatformSpec t = turing2080Ti();
+    EXPECT_DOUBLE_EQ(t.areaMm2, 750.0);
+    EXPECT_DOUBLE_EQ(t.memBandwidthGBs, 616.0);
+    EXPECT_DOUBLE_EQ(t.onChipMiB, 29.5);
+
+    EXPECT_GT(skylakeXeon().peakGflops, 0.0);
+}
+
+TEST(PlatformModel, TuringFasterThanPascal)
+{
+    const PlatformModel pascal(pascal1080Ti(), true);
+    const PlatformModel turing(turing2080Ti(), true);
+    const mann::OpCounter counter(mediumMann());
+    EXPECT_LT(turing.stepCost(counter).seconds,
+              pascal.stepCost(counter).seconds);
+}
+
+TEST(PlatformModel, StepTimeMonotonicInMemorySize)
+{
+    const PlatformModel gpu(turing2080Ti(), true);
+    mann::MannConfig small = mediumMann();
+    mann::MannConfig large = mediumMann();
+    large.memN *= 8;
+    EXPECT_LT(gpu.stepCost(mann::OpCounter(small)).seconds,
+              gpu.stepCost(mann::OpCounter(large)).seconds);
+}
+
+TEST(PlatformModel, AddressingKernelsLaunchDominatedOnGpu)
+{
+    // Section 3's observation: the narrow addressing kernels take a
+    // disproportionate share of GPU time relative to their tiny work,
+    // comparable to the memory-heavy access kernels.
+    const PlatformModel gpu(turing2080Ti(), true);
+    const mann::OpCounter counter(mediumMann());
+    const auto step = gpu.stepCost(counter);
+    const double addressing =
+        step.groups.at(mann::KernelGroup::Addressing).seconds;
+    const double softRead =
+        step.groups.at(mann::KernelGroup::SoftRead).seconds;
+    EXPECT_GT(addressing, softRead * 0.5);
+
+    // On the CPU the addressing kernels are a small fraction.
+    const PlatformModel cpu(skylakeXeon(), false);
+    const auto cpuStep = cpu.stepCost(counter);
+    const double cpuAddressing =
+        cpuStep.groups.at(mann::KernelGroup::Addressing).seconds;
+    EXPECT_LT(cpuAddressing / cpuStep.seconds,
+              addressing / step.seconds);
+}
+
+TEST(PlatformModel, UtilizationLowForNarrowKernels)
+{
+    const PlatformModel gpu(turing2080Ti(), true);
+    const mann::OpCounter counter(mediumMann());
+    const auto step = gpu.stepCost(counter);
+    EXPECT_LT(step.groups.at(mann::KernelGroup::Addressing)
+                  .utilization,
+              0.1);
+    EXPECT_GT(step.groups.at(mann::KernelGroup::SoftWrite)
+                  .utilization,
+              0.5);
+}
+
+TEST(PlatformModel, EnergyBoundedByPowerEnvelope)
+{
+    const PlatformModel gpu(turing2080Ti(), true);
+    const mann::OpCounter counter(mediumMann());
+    const auto step = gpu.stepCost(counter);
+    EXPECT_GT(step.joules, step.seconds * 10.0); // > 10 W average
+    EXPECT_LT(step.joules, step.seconds * gpu.spec().tdpWatts);
+    EXPECT_GT(step.stepsPerJoule(), 0.0);
+}
+
+TEST(PlatformModel, KernelCostRooflineLimits)
+{
+    const PlatformModel gpu(turing2080Ti(), true);
+    mann::KernelWork streaming;
+    streaming.macOps = 1;
+    streaming.memReads = 250'000'000; // 1 GB
+    streaming.parallelism = 1 << 24;
+    const KernelCost cost = gpu.kernelCost(streaming);
+    // 1 GB at ~616 GB/s * 0.85 => at least ~1.9 ms.
+    EXPECT_GT(cost.seconds, 1.5e-3);
+    EXPECT_LT(cost.seconds, 4e-3);
+}
+
+TEST(PlatformModel, CpuBandwidthBelowGpu)
+{
+    const PlatformModel gpu(turing2080Ti(), true);
+    const PlatformModel cpu(skylakeXeon(), false);
+    mann::MannConfig big = mediumMann();
+    big.memN = 4096;
+    big.memM = 1024;
+    const mann::OpCounter counter(big);
+    // For large streaming workloads the CPU is slower overall.
+    EXPECT_GT(cpu.stepCost(counter).seconds,
+              gpu.stepCost(counter).seconds);
+}
+
+TEST(PlatformModel, BatchingHelpsWeightDominatedNetworksMore)
+{
+    // Section 1's argument: weights are shared across a batch but the
+    // external memory is per-sequence state, so batching scales
+    // MANN traffic and saturates early.
+    const PlatformModel gpu(turing2080Ti(), true);
+    const mann::OpCounter mannCounter(mediumMann());
+    mann::MannConfig ctrlOnly = mediumMann();
+    ctrlOnly.memN = 16;
+    ctrlOnly.memM = 8;
+    const mann::OpCounter ctrlCounter(ctrlOnly);
+
+    auto scaling = [&](const mann::OpCounter &counter) {
+        const double t1 = gpu.stepCostBatched(counter, 1).seconds;
+        const double t64 =
+            gpu.stepCostBatched(counter, 64).seconds / 64.0;
+        return t1 / t64; // per-sample speedup from batching
+    };
+    const double mannGain = scaling(mannCounter);
+    const double ctrlGain = scaling(ctrlCounter);
+    EXPECT_GT(ctrlGain, mannGain * 1.5);
+    EXPECT_GT(mannGain, 1.0); // launch amortization still helps some
+    EXPECT_GT(ctrlGain, 30.0);
+}
+
+TEST(PlatformModel, BatchedCostMonotonicInBatch)
+{
+    const PlatformModel gpu(turing2080Ti(), true);
+    const mann::OpCounter counter(mediumMann());
+    double prev = 0.0;
+    for (std::size_t b : {1u, 2u, 8u, 32u}) {
+        const double t = gpu.stepCostBatched(counter, b).seconds;
+        EXPECT_GT(t, prev); // batch time grows with batch size
+        prev = t;
+    }
+}
+
+TEST(Ablation, VariantListMatchesFigure14)
+{
+    const auto variants = figure14Variants();
+    ASSERT_EQ(variants.size(), 4u);
+    EXPECT_EQ(variants[0].name, "MemHeavy");
+    EXPECT_FALSE(variants[0].config.hasDmat);
+    EXPECT_FALSE(variants[0].config.hasEmac);
+    EXPECT_EQ(variants[3].name, "Manna");
+    EXPECT_TRUE(variants[3].config.hasDmat);
+    EXPECT_TRUE(variants[3].config.hasEmac);
+}
+
+class BenchmarkCostSweep
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(BenchmarkCostSweep, AllBenchmarksProduceFiniteCosts)
+{
+    const auto &bench = workloads::benchmarkByName(GetParam());
+    const mann::OpCounter counter(bench.config);
+    for (const PlatformModel *model :
+         {new PlatformModel(pascal1080Ti(), true),
+          new PlatformModel(turing2080Ti(), true),
+          new PlatformModel(skylakeXeon(), false)}) {
+        const auto step = model->stepCost(counter);
+        EXPECT_GT(step.seconds, 0.0);
+        EXPECT_GT(step.joules, 0.0);
+        EXPECT_TRUE(std::isfinite(step.seconds));
+        EXPECT_TRUE(std::isfinite(step.joules));
+        delete model;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, BenchmarkCostSweep,
+                         ::testing::Values("copy", "rptcopy", "recall",
+                                           "ngrams", "sort", "bAbI",
+                                           "short", "travers", "inf",
+                                           "shrdlu"));
+
+} // namespace
+} // namespace manna::baselines

@@ -1,0 +1,388 @@
+/**
+ * @file
+ * Tests for the compiler: mapping (blocking and ordering decisions),
+ * code generation (structural validity, SPMD communication alignment,
+ * capacity diagnostics), and the compiled layout.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.hh"
+#include "isa/assembler.hh"
+
+namespace manna::compiler
+{
+namespace
+{
+
+mann::MannConfig
+smallMann()
+{
+    mann::MannConfig cfg;
+    cfg.memN = 64;
+    cfg.memM = 48;
+    cfg.controllerWidth = 24;
+    cfg.inputDim = 4;
+    cfg.outputDim = 4;
+    cfg.numReadHeads = 2;
+    cfg.numWriteHeads = 1;
+    return cfg;
+}
+
+// ---------------------------------------------------------------------
+// Mapping
+// ---------------------------------------------------------------------
+
+TEST(Mapping, DistributionForcesMDistribOne)
+{
+    const Mapping m = computeMapping(smallMann(),
+                                     arch::MannaConfig::baseline16());
+    EXPECT_EQ(m.mDistrib, 1u);
+    EXPECT_EQ(m.nDistrib, 16u);
+    EXPECT_EQ(m.localRowsMax, 4u);
+}
+
+TEST(Mapping, BlockMEqualsBufferWidth)
+{
+    const arch::MannaConfig ac = arch::MannaConfig::baseline16();
+    const Mapping m = computeMapping(smallMann(), ac);
+    for (const auto &km : m.kernels)
+        EXPECT_EQ(km.blockM, ac.matrixBufferWidthWords)
+            << mann::toString(km.kernel);
+}
+
+TEST(Mapping, BlockNFitsHalfScratchpadWithPadding)
+{
+    const arch::MannaConfig ac = arch::MannaConfig::baseline16();
+    // 2048-word half; padded pitch 33 -> 62 rows; unpadded -> 64.
+    EXPECT_EQ(chooseBlockN(ac, 1000, true), 62u);
+    EXPECT_EQ(chooseBlockN(ac, 1000, false), 64u);
+    // Clamped to the actual row count.
+    EXPECT_EQ(chooseBlockN(ac, 10, true), 10u);
+}
+
+TEST(Mapping, TransposedKernelsMarked)
+{
+    const Mapping m = computeMapping(smallMann(),
+                                     arch::MannaConfig::baseline16());
+    EXPECT_TRUE(m.forKernel(mann::Kernel::KeySimilarity).transposed);
+    EXPECT_TRUE(m.forKernel(mann::Kernel::Heads).transposed);
+    EXPECT_FALSE(m.forKernel(mann::Kernel::SoftRead).transposed);
+    EXPECT_FALSE(m.forKernel(mann::Kernel::SoftWrite).transposed);
+}
+
+TEST(Mapping, OrderingPicksCheaperCost)
+{
+    const Mapping m = computeMapping(smallMann(),
+                                     arch::MannaConfig::baseline16());
+    for (const auto &km : m.kernels) {
+        const double chosen =
+            km.blockLoop == LoopOrder::OutputStationary
+                ? km.blockLoopCost[0]
+                : km.blockLoopCost[1];
+        EXPECT_LE(chosen, km.blockLoopCost[0]);
+        EXPECT_LE(chosen, km.blockLoopCost[1]);
+        const double chosenCompute =
+            km.computeLoop == LoopOrder::OutputStationary
+                ? km.computeLoopCost[0]
+                : km.computeLoopCost[1];
+        EXPECT_LE(chosenCompute, km.computeLoopCost[0]);
+        EXPECT_LE(chosenCompute, km.computeLoopCost[1]);
+    }
+}
+
+TEST(Mapping, DescribeListsKernels)
+{
+    const Mapping m = computeMapping(smallMann(),
+                                     arch::MannaConfig::baseline16());
+    const std::string text = m.describe();
+    EXPECT_NE(text.find("key-similarity"), std::string::npos);
+    EXPECT_NE(text.find("stationary"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+TEST(Codegen, ProducesAllSegments)
+{
+    const CompiledModel model =
+        compile(smallMann(), arch::MannaConfig::withTiles(4));
+    ASSERT_EQ(model.stepSegments.size(), 5u);
+    EXPECT_EQ(model.stepSegments[0].group, mann::KernelGroup::Heads);
+    EXPECT_EQ(model.stepSegments[1].group,
+              mann::KernelGroup::KeySimilarity);
+    EXPECT_EQ(model.stepSegments[2].group,
+              mann::KernelGroup::Addressing);
+    EXPECT_EQ(model.stepSegments[3].group,
+              mann::KernelGroup::SoftRead);
+    EXPECT_EQ(model.stepSegments[4].group,
+              mann::KernelGroup::SoftWrite);
+    for (const auto &seg : model.stepSegments)
+        EXPECT_EQ(seg.tilePrograms.size(), 4u);
+}
+
+TEST(Codegen, AllProgramsStructurallyValid)
+{
+    const CompiledModel model =
+        compile(smallMann(), arch::MannaConfig::baseline16());
+    for (const auto &seg : model.stepSegments)
+        for (const auto &prog : seg.tilePrograms)
+            EXPECT_EQ(prog.validate(), "") << seg.name;
+}
+
+TEST(Codegen, CommSequencesAlignedAcrossTiles)
+{
+    const CompiledModel model =
+        compile(smallMann(), arch::MannaConfig::baseline16());
+    for (const auto &seg : model.stepSegments) {
+        // Collect (opcode, payload length) sequences per tile; they
+        // must be identical for the bulk-synchronous execution model.
+        std::vector<std::vector<std::pair<int, std::uint32_t>>> comms(
+            seg.tilePrograms.size());
+        for (std::size_t t = 0; t < seg.tilePrograms.size(); ++t) {
+            for (const auto &inst :
+                 seg.tilePrograms[t].instructions()) {
+                if (inst.op == isa::Opcode::Reduce)
+                    comms[t].push_back({0, inst.srcA.len});
+                else if (inst.op == isa::Opcode::Broadcast)
+                    comms[t].push_back({1, inst.dst.len});
+            }
+        }
+        for (std::size_t t = 1; t < comms.size(); ++t)
+            EXPECT_EQ(comms[t], comms[0])
+                << seg.name << " tile " << t;
+    }
+}
+
+TEST(Codegen, ProgramsFitInstructionMemory)
+{
+    const CompiledModel model =
+        compile(smallMann(), arch::MannaConfig::baseline16());
+    EXPECT_LE(model.maxProgramLength(),
+              model.archCfg.instMemEntries);
+}
+
+TEST(Codegen, CommTagsPresent)
+{
+    const CompiledModel model =
+        compile(smallMann(), arch::MannaConfig::withTiles(4));
+    // The heads segment starts with the hidden broadcast.
+    const auto &heads = model.stepSegments[0].tilePrograms[0];
+    ASSERT_FALSE(heads.empty());
+    EXPECT_EQ(heads.instructions()[0].op, isa::Opcode::Broadcast);
+    EXPECT_EQ(commTagOf(heads.instructions()[0].count),
+              CommTag::HiddenIn);
+
+    // The soft-read segment ends with one tagged reduce per read
+    // head.
+    const auto &reads = model.stepSegments[3].tilePrograms[0];
+    std::size_t tagged = 0;
+    for (const auto &inst : reads.instructions()) {
+        if (inst.op == isa::Opcode::Reduce &&
+            commTagOf(inst.count) == CommTag::ReadVectorOut) {
+            EXPECT_LT(commIndexOf(inst.count),
+                      model.mannCfg.numReadHeads);
+            ++tagged;
+        }
+    }
+    EXPECT_EQ(tagged, model.mannCfg.numReadHeads);
+}
+
+TEST(Codegen, PackCommTagRoundTrip)
+{
+    const std::uint32_t packed =
+        packCommTag(CommTag::ReadVectorOut, 3);
+    EXPECT_EQ(commTagOf(packed), CommTag::ReadVectorOut);
+    EXPECT_EQ(commIndexOf(packed), 3u);
+    EXPECT_EQ(commTagOf(0), CommTag::None);
+}
+
+TEST(Codegen, LayoutPartitionsCoverAllRows)
+{
+    const CompiledModel model =
+        compile(smallMann(), arch::MannaConfig::baseline16());
+    const auto &mem = model.layout.memory;
+    std::size_t total = 0;
+    for (std::size_t t = 0; t < mem.rowCount.size(); ++t) {
+        EXPECT_EQ(mem.rowStart[t], total);
+        total += mem.rowCount[t];
+    }
+    EXPECT_EQ(total, model.mannCfg.memN);
+
+    ASSERT_EQ(model.layout.headWeights.size(), 3u);
+    for (std::size_t h = 0; h < 3; ++h) {
+        const auto &part = model.layout.headWeights[h];
+        std::size_t rows = 0;
+        for (auto c : part.rowCount)
+            rows += c;
+        const std::size_t expected =
+            h < 2 ? model.mannCfg.readHeadParamDim()
+                  : model.mannCfg.writeHeadParamDim();
+        EXPECT_EQ(rows, expected);
+        EXPECT_EQ(part.cols, model.mannCfg.hiddenDim() + 1);
+    }
+}
+
+TEST(Codegen, DmatUsedOnlyWithHardwareSupport)
+{
+    const CompiledModel with =
+        compile(smallMann(), arch::MannaConfig::baseline16());
+    const CompiledModel without =
+        compile(smallMann(), arch::MannaConfig::memHeavy());
+    auto countOp = [](const CompiledModel &m, isa::Opcode op) {
+        std::size_t n = 0;
+        for (const auto &seg : m.stepSegments)
+            for (const auto &p : seg.tilePrograms)
+                for (const auto &inst : p.instructions())
+                    n += inst.op == op;
+        return n;
+    };
+    EXPECT_GT(countOp(with, isa::Opcode::DmatLoadM), 0u);
+    EXPECT_EQ(countOp(without, isa::Opcode::DmatLoadM), 0u);
+    EXPECT_GT(countOp(without, isa::Opcode::DmaLoadM), 0u);
+}
+
+TEST(Codegen, GeneratedCodeDisassemblesAndReassembles)
+{
+    const CompiledModel model =
+        compile(smallMann(), arch::MannaConfig::withTiles(4));
+    // The key-similarity segment carries no comm tags, so its
+    // disassembly must round-trip exactly through the assembler.
+    const auto &prog = model.stepSegments[1].tilePrograms[0];
+    const isa::AssembleResult result =
+        isa::assemble(prog.disassemble());
+    ASSERT_TRUE(result.ok())
+        << result.error << " line " << result.errorLine;
+    ASSERT_EQ(result.program.size(), prog.size());
+    for (std::size_t i = 0; i < prog.size(); ++i)
+        EXPECT_EQ(result.program.instructions()[i],
+                  prog.instructions()[i]);
+}
+
+TEST(Codegen, LoopOrderingChoiceReflectsMeasuredTraffic)
+{
+    // Force both block-loop orderings for soft read and check that
+    // the generated schedules actually differ in structure (loop
+    // nesting) while remaining functionally valid. The cost model's
+    // chosen ordering must not be more expensive than the rejected
+    // one according to its own estimates (checked in
+    // Mapping.OrderingPicksCheaperCost); here we confirm codegen
+    // honours the decision.
+    const mann::MannConfig mc = smallMann();
+    const arch::MannaConfig ac = arch::MannaConfig::withTiles(4);
+    Mapping mapping = computeMapping(mc, ac);
+    auto &softRead = const_cast<KernelMapping &>(
+        mapping.forKernel(mann::Kernel::SoftRead));
+
+    softRead.blockLoop = LoopOrder::OutputStationary;
+    const CompiledModel os = generateCode(mc, ac, mapping);
+    softRead.blockLoop = LoopOrder::InputStationary;
+    const CompiledModel is = generateCode(mc, ac, mapping);
+
+    const auto &osProg = os.stepSegments[3].tilePrograms[0];
+    const auto &isProg = is.stepSegments[3].tilePrograms[0];
+    EXPECT_EQ(osProg.validate(), "");
+    EXPECT_EQ(isProg.validate(), "");
+    // Different nesting => different disassembly.
+    EXPECT_NE(osProg.disassemble(), isProg.disassemble());
+    // Both orderings stream every memory element exactly once, so
+    // the dynamic DMA count matches.
+    auto dmaCount = [](const isa::Program &p) {
+        std::uint64_t n = 0;
+        std::uint64_t mult = 1;
+        std::vector<std::uint64_t> stack{1};
+        for (const auto &inst : p.instructions()) {
+            if (inst.op == isa::Opcode::Loop) {
+                stack.push_back(stack.back() * inst.count);
+            } else if (inst.op == isa::Opcode::EndLoop) {
+                stack.pop_back();
+            } else if (inst.op == isa::Opcode::DmaLoadM) {
+                n += stack.back();
+            }
+            mult = stack.back();
+        }
+        (void)mult;
+        return n;
+    };
+    EXPECT_EQ(dmaCount(osProg), dmaCount(isProg));
+}
+
+TEST(Codegen, CapacityWarningsOnOversizedModel)
+{
+    mann::MannConfig big = smallMann();
+    big.memN = 1280;
+    big.memM = 4000;
+    big.controllerWidth = 256;
+    big.numReadHeads = 3;
+    const CompiledModel model =
+        compile(big, arch::MannaConfig::baseline16());
+    EXPECT_FALSE(model.warnings.empty());
+}
+
+TEST(Codegen, NoWarningsOnComfortableModel)
+{
+    const CompiledModel model =
+        compile(smallMann(), arch::MannaConfig::baseline16());
+    EXPECT_TRUE(model.warnings.empty());
+}
+
+TEST(CodegenDeathTest, StrictCapacityIsFatal)
+{
+    mann::MannConfig big = smallMann();
+    big.memN = 1280;
+    big.memM = 4000;
+    big.controllerWidth = 256;
+    arch::MannaConfig ac = arch::MannaConfig::baseline16();
+    ac.strictCapacity = true;
+    EXPECT_EXIT(compile(big, ac), ::testing::ExitedWithCode(1),
+                "capacity violation");
+}
+
+TEST(CodegenDeathTest, MoreTilesThanRowsIsFatal)
+{
+    mann::MannConfig tiny = smallMann();
+    tiny.memN = 8;
+    EXPECT_EXIT(compile(tiny, arch::MannaConfig::baseline16()),
+                ::testing::ExitedWithCode(1), "unsupported");
+}
+
+TEST(Codegen, DisassembleTileShowsSegments)
+{
+    const CompiledModel model =
+        compile(smallMann(), arch::MannaConfig::withTiles(4));
+    const std::string text = model.disassembleTile(0);
+    EXPECT_NE(text.find("segment heads"), std::string::npos);
+    EXPECT_NE(text.find("segment soft-write"), std::string::npos);
+    EXPECT_NE(text.find("vmm"), std::string::npos);
+}
+
+class CodegenShapeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(CodegenShapeSweep, ValidForAwkwardShapes)
+{
+    const auto [memN, memM, tiles] = GetParam();
+    mann::MannConfig mc = smallMann();
+    mc.memN = static_cast<std::size_t>(memN);
+    mc.memM = static_cast<std::size_t>(memM);
+    const CompiledModel model = compile(
+        mc, arch::MannaConfig::withTiles(
+                static_cast<std::size_t>(tiles)));
+    for (const auto &seg : model.stepSegments)
+        for (const auto &prog : seg.tilePrograms)
+            EXPECT_EQ(prog.validate(), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CodegenShapeSweep,
+    ::testing::Values(std::tuple{65, 33, 4},   // remainders everywhere
+                      std::tuple{64, 31, 8},   // partial column chunk
+                      std::tuple{130, 100, 16},
+                      std::tuple{1000, 24, 8},
+                      std::tuple{17, 17, 2}));
+
+} // namespace
+} // namespace manna::compiler

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Tests for the Differentiable Neural Computer extension: usage /
+ * allocation dynamics, temporal linkage invariants, read modes, and
+ * full-step behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mann/dnc.hh"
+#include "tensor/vector_ops.hh"
+
+namespace manna::mann
+{
+namespace
+{
+
+DncConfig
+smallConfig()
+{
+    DncConfig cfg;
+    cfg.memN = 24;
+    cfg.memM = 12;
+    cfg.numReadHeads = 2;
+    cfg.controllerWidth = 32;
+    cfg.inputDim = 6;
+    cfg.outputDim = 6;
+    return cfg;
+}
+
+TEST(DncConfig, InterfaceDim)
+{
+    const DncConfig cfg = smallConfig();
+    // 2 read heads * (12 + 5) + 3*12 + 3.
+    EXPECT_EQ(cfg.interfaceDim(), 2u * 17 + 36 + 3);
+    EXPECT_EQ(cfg.controllerInputDim(), 6u + 2 * 12);
+}
+
+TEST(Dnc, StepShapes)
+{
+    Dnc dnc(smallConfig(), 1);
+    const auto trace = dnc.step(FVec(6, 0.2f));
+    EXPECT_EQ(trace.output.size(), 6u);
+    EXPECT_EQ(trace.usage.size(), 24u);
+    EXPECT_EQ(trace.writeWeights.size(), 24u);
+    ASSERT_EQ(trace.readWeights.size(), 2u);
+    EXPECT_EQ(trace.readVectors[0].size(), 12u);
+    ASSERT_EQ(trace.interface.readHeads.size(), 2u);
+    EXPECT_EQ(trace.interface.writeKey.size(), 12u);
+}
+
+TEST(Dnc, InterfaceDecodedRanges)
+{
+    Dnc dnc(smallConfig(), 2);
+    const auto trace = dnc.step(FVec(6, -0.4f));
+    const auto &iface = trace.interface;
+    for (const auto &head : iface.readHeads) {
+        EXPECT_GE(head.strength, 1.0f); // oneplus
+        EXPECT_GT(head.freeGate, 0.0f);
+        EXPECT_LT(head.freeGate, 1.0f);
+        EXPECT_NEAR(tensor::sum(head.modes), 1.0f, 1e-5f);
+    }
+    EXPECT_GE(iface.writeStrength, 1.0f);
+    EXPECT_GT(iface.writeGate, 0.0f);
+    EXPECT_LT(iface.writeGate, 1.0f);
+    for (float e : iface.eraseVec) {
+        EXPECT_GT(e, 0.0f);
+        EXPECT_LT(e, 1.0f);
+    }
+}
+
+TEST(Dnc, UsageStaysInUnitInterval)
+{
+    Dnc dnc(smallConfig(), 3);
+    Rng rng(4);
+    for (int t = 0; t < 20; ++t) {
+        FVec x(6);
+        for (auto &v : x)
+            v = static_cast<float>(rng.uniform(-1, 1));
+        const auto trace = dnc.step(x);
+        for (float u : trace.usage) {
+            EXPECT_GE(u, 0.0f);
+            EXPECT_LE(u, 1.0f);
+        }
+    }
+}
+
+TEST(Dnc, UsageGrowsUnderWriting)
+{
+    // With repeated writes and no freeing, total usage must grow
+    // from zero.
+    Dnc dnc(smallConfig(), 5);
+    float prevTotal = 0.0f;
+    for (int t = 0; t < 5; ++t) {
+        const auto trace = dnc.step(FVec(6, 0.5f));
+        const float total = tensor::sum(trace.usage);
+        EXPECT_GE(total, prevTotal - 0.3f); // free gates may trim a bit
+        prevTotal = total;
+    }
+    EXPECT_GT(prevTotal, 0.0f);
+}
+
+TEST(Dnc, AllocationPrefersFreeSlots)
+{
+    Dnc dnc(smallConfig(), 7);
+    dnc.step(FVec(6, 1.0f));
+    dnc.step(FVec(6, 1.0f));
+    const auto trace = dnc.step(FVec(6, 1.0f));
+    // The allocation weighting is a (sub)distribution...
+    float total = 0.0f;
+    for (float a : trace.allocation) {
+        EXPECT_GE(a, -1e-6f);
+        total += a;
+    }
+    EXPECT_LE(total, 1.0f + 1e-4f);
+    // ...whose argmax sits on a least-used location.
+    std::size_t argmax = 0;
+    for (std::size_t i = 1; i < trace.allocation.size(); ++i)
+        if (trace.allocation[i] > trace.allocation[argmax])
+            argmax = i;
+    float minUsage = trace.usage[0];
+    for (float u : trace.usage)
+        minUsage = std::min(minUsage, u);
+    EXPECT_NEAR(trace.usage[argmax], minUsage, 0.15f);
+}
+
+TEST(Dnc, AllocationIsOneHotWhenAllFree)
+{
+    // With u = 0 everywhere, a = (1-0) * prod(...) concentrates all
+    // mass on the first free-list slot.
+    Dnc dnc(smallConfig(), 9);
+    const auto trace = dnc.step(FVec(6, 0.0f));
+    // At t=0 usage was all zero when allocation was computed.
+    EXPECT_NEAR(tensor::sum(trace.allocation), 1.0f, 1e-5f);
+    EXPECT_NEAR(tensor::maxElement(trace.allocation), 1.0f, 1e-5f);
+}
+
+TEST(Dnc, LinkMatrixInvariants)
+{
+    Dnc dnc(smallConfig(), 11);
+    Rng rng(12);
+    for (int t = 0; t < 10; ++t) {
+        FVec x(6);
+        for (auto &v : x)
+            v = static_cast<float>(rng.uniform(-1, 1));
+        dnc.step(x);
+        const auto &link = dnc.linkMatrix();
+        for (std::size_t i = 0; i < link.rows(); ++i) {
+            float rowSum = 0.0f;
+            for (std::size_t j = 0; j < link.cols(); ++j) {
+                const float v = link.at(i, j);
+                EXPECT_GE(v, -1e-5f);
+                EXPECT_LE(v, 1.0f + 1e-5f);
+                rowSum += v;
+            }
+            // Rows of L are sub-stochastic and the diagonal is zero.
+            EXPECT_LE(rowSum, 1.0f + 1e-4f);
+            EXPECT_FLOAT_EQ(link.at(i, i), 0.0f);
+        }
+    }
+}
+
+TEST(Dnc, PrecedenceIsSubStochastic)
+{
+    Dnc dnc(smallConfig(), 13);
+    for (int t = 0; t < 6; ++t)
+        dnc.step(FVec(6, 0.3f));
+    const float total = tensor::sum(dnc.precedence());
+    EXPECT_GE(total, 0.0f);
+    EXPECT_LE(total, 1.0f + 1e-4f);
+}
+
+TEST(Dnc, ReadWeightsAreSubStochastic)
+{
+    Dnc dnc(smallConfig(), 15);
+    const auto trace = dnc.step(FVec(6, 0.1f));
+    for (const auto &w : trace.readWeights) {
+        float total = 0.0f;
+        for (float v : w) {
+            EXPECT_GE(v, -1e-5f);
+            total += v;
+        }
+        EXPECT_LE(total, 1.0f + 1e-4f);
+    }
+}
+
+TEST(Dnc, DeterministicAndResettable)
+{
+    Dnc a(smallConfig(), 17);
+    Dnc b(smallConfig(), 17);
+    const FVec x(6, 0.25f);
+    EXPECT_EQ(a.step(x).output, b.step(x).output);
+    EXPECT_EQ(a.step(x).output, b.step(x).output);
+    a.reset();
+    Dnc c(smallConfig(), 17);
+    EXPECT_EQ(a.step(x).output, c.step(x).output);
+}
+
+TEST(Dnc, MemoryEvolves)
+{
+    Dnc dnc(smallConfig(), 19);
+    const tensor::FMat before = dnc.memory().matrix();
+    dnc.step(FVec(6, 0.7f));
+    EXPECT_GT(dnc.memory().matrix().maxAbsDiff(before), 1e-7f);
+}
+
+TEST(Dnc, WorkModelQuadraticInMemN)
+{
+    DncConfig small = smallConfig();
+    DncConfig big = smallConfig();
+    big.memN *= 4;
+    const auto ws = Dnc(small, 1).stepWork();
+    const auto wb = Dnc(big, 1).stepWork();
+    EXPECT_EQ(wb.linkUpdateOps / ws.linkUpdateOps >= 15, true);
+    EXPECT_LT(wb.usageOps / ws.usageOps, 8u);
+}
+
+class DncShapeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(DncShapeSweep, StepInvariantsAcrossShapes)
+{
+    const auto [memN, memM, readHeads] = GetParam();
+    DncConfig cfg = smallConfig();
+    cfg.memN = static_cast<std::size_t>(memN);
+    cfg.memM = static_cast<std::size_t>(memM);
+    cfg.numReadHeads = static_cast<std::size_t>(readHeads);
+    Dnc dnc(cfg, 23);
+    for (int t = 0; t < 3; ++t) {
+        const auto trace = dnc.step(FVec(cfg.inputDim, 0.2f));
+        for (float u : trace.usage) {
+            EXPECT_GE(u, 0.0f);
+            EXPECT_LE(u, 1.0f);
+        }
+        float writeTotal = 0.0f;
+        for (float w : trace.writeWeights) {
+            EXPECT_GE(w, -1e-6f);
+            writeTotal += w;
+        }
+        EXPECT_LE(writeTotal, 1.0f + 1e-4f);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DncShapeSweep,
+    ::testing::Values(std::tuple{8, 4, 1}, std::tuple{32, 16, 2},
+                      std::tuple{64, 8, 4}, std::tuple{16, 32, 3}));
+
+} // namespace
+} // namespace manna::mann

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Integration tests asserting the *shapes* of the paper's headline
+ * results: Manna beats the GPU models, energy efficiency improves by
+ * large factors, strong scaling helps large benchmarks, weak scaling
+ * is near-flat, and the ablation ordering matches Figure 14.
+ *
+ * These run on reduced configurations/step counts to stay fast; the
+ * bench/ binaries reproduce the full figures.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/ablation.hh"
+#include "harness/cluster.hh"
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+
+namespace manna::harness
+{
+namespace
+{
+
+TEST(Integration, MannaBeatsGpusOnSmallBenchmarks)
+{
+    const auto &bench = workloads::benchmarkByName("recall");
+    const auto manna = simulateManna(
+        bench, arch::MannaConfig::baseline16(), 6);
+    const auto p1080 = evaluateBaseline(bench, gpu1080Ti());
+    const auto p2080 = evaluateBaseline(bench, gpu2080Ti());
+    // Paper: small benchmarks see the largest speedups (tens to
+    // ~184x).
+    EXPECT_GT(p1080.secondsPerStep / manna.secondsPerStep, 20.0);
+    EXPECT_GT(p2080.secondsPerStep / manna.secondsPerStep, 10.0);
+    // And the 1080-Ti is the slower baseline.
+    EXPECT_GT(p1080.secondsPerStep, p2080.secondsPerStep);
+}
+
+TEST(Integration, MannaBeatsGpusOnLargeBenchmark)
+{
+    const auto &bench = workloads::benchmarkByName("bAbI");
+    const auto manna = simulateManna(
+        bench, arch::MannaConfig::baseline16(), 3);
+    const auto p1080 = evaluateBaseline(bench, gpu1080Ti());
+    const double speedup = p1080.secondsPerStep / manna.secondsPerStep;
+    // Large benchmarks saturate at lower speedups, but Manna still
+    // wins clearly.
+    EXPECT_GT(speedup, 3.0);
+    EXPECT_LT(speedup, 60.0);
+}
+
+TEST(Integration, EnergyEfficiencyFactorsInPaperBand)
+{
+    // Paper: 58x-301x steps/J over the 1080-Ti.
+    for (const char *name : {"recall", "copy"}) {
+        const auto &bench = workloads::benchmarkByName(name);
+        const auto manna = simulateManna(
+            bench, arch::MannaConfig::baseline16(), 6);
+        const auto gpu = evaluateBaseline(bench, gpu1080Ti());
+        const double factor = gpu.joulesPerStep / manna.joulesPerStep;
+        EXPECT_GT(factor, 30.0) << name;
+        EXPECT_LT(factor, 1000.0) << name;
+    }
+}
+
+TEST(Integration, MannaPowerFarBelowGpuTdp)
+{
+    const auto &bench = workloads::benchmarkByName("copy");
+    const auto manna = simulateManna(
+        bench, arch::MannaConfig::baseline16(), 6);
+    const double watts = manna.joulesPerStep / manna.secondsPerStep;
+    // "an order of magnitude lower power than GPUs" (Section 7.2).
+    EXPECT_LT(watts, 25.0);
+    EXPECT_GT(watts, 2.0);
+}
+
+TEST(Integration, StrongScalingImprovesLargeBenchmark)
+{
+    const auto &bench = workloads::benchmarkByName("copy");
+    const auto four =
+        simulateManna(bench, arch::MannaConfig::withTiles(4), 4);
+    const auto sixteen =
+        simulateManna(bench, arch::MannaConfig::withTiles(16), 4);
+    const double speedup =
+        four.secondsPerStep / sixteen.secondsPerStep;
+    // 4x the tiles helps but sublinearly (serial SFUs, NoC).
+    EXPECT_GT(speedup, 1.5);
+    EXPECT_LT(speedup, 4.0);
+}
+
+TEST(Integration, WeakScalingNearFlat)
+{
+    const auto &base = workloads::benchmarkByName("copy");
+    const auto four =
+        simulateManna(base, arch::MannaConfig::withTiles(4), 4);
+    const auto scaled = workloads::weakScaled(base, 16, 4);
+    const auto sixteen =
+        simulateManna(scaled, arch::MannaConfig::withTiles(16), 4);
+    const double ratio = sixteen.secondsPerStep / four.secondsPerStep;
+    // Problem grew 4x with 4x tiles: time per step should be within
+    // ~2x of flat (Figure 13 shows near-ideal weak scaling).
+    EXPECT_LT(ratio, 2.0);
+    EXPECT_GT(ratio, 0.5);
+}
+
+TEST(Integration, AblationOrderingMatchesFigure14)
+{
+    const auto &bench = workloads::benchmarkByName("copy");
+    std::map<std::string, double> seconds;
+    for (const auto &variant : baselines::figure14Variants()) {
+        seconds[variant.name] =
+            simulateManna(bench, variant.config, 4).secondsPerStep;
+    }
+    // Manna is the fastest; MemHeavy the slowest; each single
+    // feature helps.
+    EXPECT_LT(seconds["Manna"], seconds["MemHeavy-Transpose"]);
+    EXPECT_LT(seconds["Manna"], seconds["MemHeavy-eMAC"]);
+    EXPECT_LT(seconds["MemHeavy-Transpose"], seconds["MemHeavy"]);
+    EXPECT_LT(seconds["MemHeavy-eMAC"], seconds["MemHeavy"]);
+    // Overall benefit in the paper's 2x-4x band.
+    const double overall = seconds["MemHeavy"] / seconds["Manna"];
+    EXPECT_GT(overall, 1.5);
+    EXPECT_LT(overall, 6.0);
+}
+
+TEST(Integration, KernelBreakdownDominatedByNonController)
+{
+    // Figure 2: non-controller kernels are ~80% of runtime.
+    const auto &bench = workloads::benchmarkByName("bAbI");
+    const auto manna = simulateManna(
+        bench, arch::MannaConfig::baseline16(), 3);
+    double total = 0.0, controller = 0.0;
+    for (const auto &[group, sec] : manna.groupSeconds) {
+        total += sec;
+        if (group == mann::KernelGroup::Controller)
+            controller = sec;
+    }
+    EXPECT_LT(controller / total, 0.5);
+}
+
+TEST(Integration, ClusterScalingHelpsWithDiminishingReturns)
+{
+    const auto &bench = workloads::benchmarkByName("bAbI");
+    const arch::MannaConfig chip = arch::MannaConfig::baseline16();
+    ClusterConfig one;
+    one.chips = 1;
+    ClusterConfig four;
+    four.chips = 4;
+    const auto r1 = evaluateCluster(bench, chip, one, 2);
+    const auto r4 = evaluateCluster(bench, chip, four, 2);
+    EXPECT_DOUBLE_EQ(r1.commSecondsPerStep, 0.0);
+    const double speedup = r1.secondsPerStep / r4.secondsPerStep;
+    EXPECT_GT(speedup, 1.2);
+    EXPECT_LT(speedup, 4.0); // sub-linear: inter-chip comm + fixed work
+    EXPECT_GT(r4.commSecondsPerStep, 0.0);
+    EXPECT_GT(r4.commEvents, 0u);
+    // Energy scales roughly with the chip count.
+    EXPECT_GT(r4.joulesPerStep, r1.joulesPerStep);
+}
+
+TEST(IntegrationDeathTest, ClusterRejectsBadSize)
+{
+    const auto &bench = workloads::benchmarkByName("copy");
+    ClusterConfig bad;
+    bad.chips = 3;
+    EXPECT_EXIT(evaluateCluster(bench,
+                                arch::MannaConfig::baseline16(), bad,
+                                1),
+                ::testing::ExitedWithCode(1), "power of two");
+}
+
+TEST(Integration, DefaultStepsRespectsEnvironment)
+{
+    EXPECT_GT(defaultSteps(), 0u);
+}
+
+TEST(Integration, ReportHelpers)
+{
+    EXPECT_NE(summarizeFactors("x", {1.0, 4.0}).find("geomean"),
+              std::string::npos);
+}
+
+class SuiteSmokeSweep : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(SuiteSmokeSweep, EveryBenchmarkSimulates)
+{
+    // Two steps of every Table-2 benchmark through the full
+    // compile + simulate stack (small tile count keeps this fast).
+    const auto &bench = workloads::benchmarkByName(GetParam());
+    const auto result =
+        simulateManna(bench, arch::MannaConfig::baseline16(), 2);
+    EXPECT_GT(result.secondsPerStep, 0.0);
+    EXPECT_GT(result.joulesPerStep, 0.0);
+    EXPECT_EQ(result.report.steps, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2, SuiteSmokeSweep,
+                         ::testing::Values("copy", "rptcopy", "recall",
+                                           "ngrams", "sort", "bAbI",
+                                           "shrdlu"));
+
+} // namespace
+} // namespace manna::harness

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Tests for the ISA: operand addressing, binary encode/decode,
+ * program structural validation, and the textual assembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "isa/isa.hh"
+#include "isa/program.hh"
+
+namespace manna::isa
+{
+namespace
+{
+
+Instruction
+randomInstruction(Rng &rng)
+{
+    Instruction inst;
+    // Avoid Loop/EndLoop so structural validation stays trivial.
+    const Opcode pool[] = {
+        Opcode::Nop,      Opcode::DmaLoadM,  Opcode::DmatLoadM,
+        Opcode::DmaStoreM,Opcode::DmaLoadV,  Opcode::DmaStoreV,
+        Opcode::Vmm,      Opcode::EwAdd,     Opcode::EwSub,
+        Opcode::EwMul,    Opcode::EwMac,     Opcode::EwAddImm,
+        Opcode::EwMulImm, Opcode::EwRsubImm, Opcode::Fill,
+        Opcode::SfuExp,   Opcode::SfuPow,    Opcode::SfuRecip,
+        Opcode::SfuSqrt,  Opcode::SfuSigmoid,Opcode::SfuTanh,
+        Opcode::SfuSoftplus, Opcode::SfuAccSum, Opcode::SfuAccMax,
+        Opcode::Reduce,   Opcode::Broadcast,
+    };
+    inst.op = pool[rng.below(std::size(pool))];
+    auto randomOperand = [&rng]() {
+        Operand op;
+        op.space = static_cast<Space>(1 + rng.below(4));
+        op.base = static_cast<std::uint32_t>(rng.below(1 << 20));
+        op.len = static_cast<std::uint32_t>(1 + rng.below(1 << 12));
+        for (auto &s : op.stride)
+            s = static_cast<std::int32_t>(rng.range(-4096, 4096));
+        return op;
+    };
+    inst.dst = randomOperand();
+    inst.srcA = randomOperand();
+    inst.srcB = randomOperand();
+    inst.imm = static_cast<float>(rng.uniform(-8.0, 8.0));
+    inst.count = static_cast<std::uint32_t>(rng.below(1 << 16));
+    // Flags are only meaningful (and only carried by the textual
+    // format) on the opcodes that define them.
+    if (inst.op == Opcode::Vmm) {
+        inst.flags.rowDot = rng.below(2);
+        inst.flags.accumulate = rng.below(2);
+        inst.flags.withNorms = rng.below(2);
+        inst.flags.reuseB = rng.below(2);
+        inst.flags.skewed = rng.below(2);
+        inst.flags.dstResident = rng.below(2);
+        if (!inst.flags.withNorms)
+            inst.count = 0; // count is only printed as the norms offset
+    } else if (inst.op == Opcode::Reduce) {
+        inst.flags.reduceOp =
+            rng.below(2) ? ReduceOp::Max : ReduceOp::Sum;
+    }
+    // Matrix DMA: srcB is the pitch carrier, not a real operand.
+    if (inst.op == Opcode::DmaLoadM || inst.op == Opcode::DmatLoadM ||
+        inst.op == Opcode::DmaStoreM) {
+        inst.srcB = Operand{};
+        inst.srcB.base =
+            static_cast<std::uint32_t>(1 + rng.below(1 << 12));
+    }
+    return inst;
+}
+
+// ---------------------------------------------------------------------
+// Operand addressing
+// ---------------------------------------------------------------------
+
+TEST(Operand, EffectiveBaseAppliesActiveLoops)
+{
+    Operand op = makeStridedOperand(Space::VecBuf, 100, 8, 10, -2, 1);
+    const std::int64_t iters[kMaxLoopDepth] = {3, 5, 7};
+    EXPECT_EQ(op.effectiveBase(iters, 0), 100u);
+    EXPECT_EQ(op.effectiveBase(iters, 1), 130u);
+    EXPECT_EQ(op.effectiveBase(iters, 2), 120u);
+    EXPECT_EQ(op.effectiveBase(iters, 3), 127u);
+}
+
+TEST(Operand, ScalarBroadcastDetection)
+{
+    EXPECT_TRUE(makeOperand(Space::VecBuf, 0, 1).isScalarBroadcast());
+    EXPECT_FALSE(makeOperand(Space::VecBuf, 0, 2).isScalarBroadcast());
+    EXPECT_FALSE(Operand{}.valid());
+}
+
+// ---------------------------------------------------------------------
+// Binary encoding
+// ---------------------------------------------------------------------
+
+class EncodeRoundTrip : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(EncodeRoundTrip, RandomInstructionsSurvive)
+{
+    Rng rng(GetParam());
+    for (int i = 0; i < 200; ++i) {
+        const Instruction original = randomInstruction(rng);
+        std::string blob;
+        encode(original, blob);
+        ASSERT_EQ(blob.size(), kEncodedBytes);
+        Instruction decoded;
+        ASSERT_TRUE(decode(blob, 0, decoded));
+        EXPECT_EQ(decoded, original);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncodeRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Encode, RejectsTruncatedInput)
+{
+    Instruction inst;
+    std::string blob;
+    encode(inst, blob);
+    blob.pop_back();
+    Instruction out;
+    EXPECT_FALSE(decode(blob, 0, out));
+}
+
+TEST(Encode, RejectsBadOpcode)
+{
+    Instruction inst;
+    std::string blob;
+    encode(inst, blob);
+    blob[0] = '\x7f'; // out-of-range opcode
+    Instruction out;
+    EXPECT_FALSE(decode(blob, 0, out));
+}
+
+// ---------------------------------------------------------------------
+// Program validation
+// ---------------------------------------------------------------------
+
+TEST(Program, BalancedLoopsValidate)
+{
+    Program p;
+    p.beginLoop(4);
+    p.beginLoop(2);
+    p.append(Instruction{});
+    p.endLoop();
+    p.endLoop();
+    EXPECT_EQ(p.validate(), "");
+}
+
+TEST(Program, UnbalancedLoopsRejected)
+{
+    Program p;
+    p.beginLoop(4);
+    EXPECT_NE(p.validate(), "");
+
+    Program q;
+    q.endLoop();
+    EXPECT_NE(q.validate(), "");
+}
+
+TEST(Program, ZeroTripLoopRejected)
+{
+    Program p;
+    p.beginLoop(0);
+    p.endLoop();
+    EXPECT_NE(p.validate(), "");
+}
+
+TEST(Program, TooDeepNestingRejected)
+{
+    Program p;
+    for (std::size_t i = 0; i <= kMaxLoopDepth; ++i)
+        p.beginLoop(1);
+    for (std::size_t i = 0; i <= kMaxLoopDepth; ++i)
+        p.endLoop();
+    EXPECT_NE(p.validate(), "");
+}
+
+TEST(Program, HaltMustBeLast)
+{
+    Program p;
+    Instruction halt;
+    halt.op = Opcode::Halt;
+    p.append(halt);
+    p.append(Instruction{});
+    EXPECT_NE(p.validate(), "");
+}
+
+TEST(Program, DynamicLengthExpandsLoops)
+{
+    Program p;
+    p.append(Instruction{}); // 1
+    p.beginLoop(3);          // 1
+    p.append(Instruction{}); // 3
+    p.beginLoop(2);          // 3
+    p.append(Instruction{}); // 6
+    p.endLoop();             // 3
+    p.endLoop();             // 1
+    EXPECT_EQ(p.dynamicLength(), 1u + 1 + 3 + 3 + 6 + 3 + 1);
+}
+
+TEST(Program, SerializeRoundTrip)
+{
+    Rng rng(71);
+    Program p;
+    for (int i = 0; i < 20; ++i)
+        p.append(randomInstruction(rng));
+    Program q;
+    ASSERT_TRUE(Program::deserialize(p.serialize(), q));
+    ASSERT_EQ(q.size(), p.size());
+    for (std::size_t i = 0; i < p.size(); ++i)
+        EXPECT_EQ(q.instructions()[i], p.instructions()[i]);
+}
+
+TEST(Program, DeserializeRejectsBadLength)
+{
+    Program q;
+    EXPECT_FALSE(Program::deserialize(std::string(13, 'x'), q));
+}
+
+// ---------------------------------------------------------------------
+// Assembler
+// ---------------------------------------------------------------------
+
+TEST(Assembler, ParsesSimpleProgram)
+{
+    const std::string text = R"(
+        # a comment
+        loop 4
+            ew.mul d=vbuf[0:8] a=vbuf[8:8,2] b=vbuf[16:1]
+        endloop
+        reduce.max a=vbuf[0:1]
+        halt
+    )";
+    const AssembleResult result = assemble(text);
+    ASSERT_TRUE(result.ok()) << result.error;
+    ASSERT_EQ(result.program.size(), 5u);
+    const auto &insts = result.program.instructions();
+    EXPECT_EQ(insts[0].op, Opcode::Loop);
+    EXPECT_EQ(insts[0].count, 4u);
+    EXPECT_EQ(insts[1].op, Opcode::EwMul);
+    EXPECT_EQ(insts[1].srcA.stride[0], 2);
+    EXPECT_TRUE(insts[1].srcB.isScalarBroadcast());
+    EXPECT_EQ(insts[3].flags.reduceOp, ReduceOp::Max);
+}
+
+TEST(Assembler, RoundTripsDisassembly)
+{
+    Rng rng(5);
+    Program p;
+    p.beginLoop(7);
+    for (int i = 0; i < 30; ++i) {
+        Instruction inst = randomInstruction(rng);
+        // Fields not carried by the textual format must be zero to
+        // round-trip: loop counts only apply to Loop, DMA rows are
+        // positive, comm tags are compiler-internal.
+        switch (inst.op) {
+          case Opcode::DmaLoadM:
+          case Opcode::DmatLoadM:
+          case Opcode::DmaStoreM:
+            inst.count = 1 + inst.count % 64;
+            break;
+          case Opcode::Vmm:
+            if (!inst.flags.withNorms)
+                inst.count = 0;
+            break;
+          default:
+            inst.count = 0;
+            break;
+        }
+        p.append(inst);
+    }
+    p.endLoop();
+
+    const AssembleResult result = assemble(p.disassemble());
+    ASSERT_TRUE(result.ok())
+        << result.error << " at line " << result.errorLine;
+    ASSERT_EQ(result.program.size(), p.size());
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        EXPECT_EQ(result.program.instructions()[i], p.instructions()[i])
+            << "instruction " << i << ": "
+            << p.instructions()[i].toString();
+    }
+}
+
+TEST(Assembler, ReportsUnknownMnemonic)
+{
+    const AssembleResult result = assemble("frobnicate d=vbuf[0:1]");
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.errorLine, 1u);
+}
+
+TEST(Assembler, ReportsBadOperand)
+{
+    EXPECT_FALSE(assemble("ew.add d=vbuf[0] a=vbuf[0:1]").ok());
+    EXPECT_FALSE(assemble("ew.add d=nowhere[0:1]").ok());
+    EXPECT_FALSE(assemble("ew.add d=vbuf[x:1]").ok());
+}
+
+TEST(Assembler, ReportsStructuralErrors)
+{
+    const AssembleResult result = assemble("loop 3\n");
+    EXPECT_FALSE(result.ok());
+}
+
+TEST(Assembler, IgnoresCommentsAndBlankLines)
+{
+    const AssembleResult result =
+        assemble("\n; semicolon comment\n# hash comment\n\nnop\n");
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.program.size(), 1u);
+}
+
+} // namespace
+} // namespace manna::isa

@@ -1,0 +1,416 @@
+/**
+ * @file
+ * Unit tests for the golden NTM model: heads, addressing (Eqs. 4-8),
+ * the external memory (Eqs. 1-3), controllers, and the full step.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mann/addressing.hh"
+#include "mann/controller.hh"
+#include "mann/head.hh"
+#include "mann/memory.hh"
+#include "mann/ntm.hh"
+
+namespace manna::mann
+{
+namespace
+{
+
+MannConfig
+smallConfig()
+{
+    MannConfig cfg;
+    cfg.memN = 16;
+    cfg.memM = 8;
+    cfg.controllerLayers = 1;
+    cfg.controllerWidth = 12;
+    cfg.inputDim = 4;
+    cfg.outputDim = 4;
+    cfg.numReadHeads = 1;
+    cfg.numWriteHeads = 1;
+    return cfg;
+}
+
+// ---------------------------------------------------------------------
+// MannConfig
+// ---------------------------------------------------------------------
+
+TEST(MannConfig, ParamDims)
+{
+    MannConfig cfg = smallConfig();
+    // key(8) + beta + gate + gamma + shift taps(3)
+    EXPECT_EQ(cfg.readHeadParamDim(), 8u + 3u + 3u);
+    EXPECT_EQ(cfg.writeHeadParamDim(), cfg.readHeadParamDim() + 16u);
+    EXPECT_EQ(cfg.shiftTaps(), 3u);
+    EXPECT_EQ(cfg.controllerInputDim(), 4u + 8u);
+    EXPECT_EQ(cfg.memoryBytes(), 16u * 8u * 4u);
+}
+
+TEST(MannConfig, SummaryMentionsShape)
+{
+    const std::string s = smallConfig().summary();
+    EXPECT_NE(s.find("16x8"), std::string::npos);
+    EXPECT_NE(s.find("MLP"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Controllers
+// ---------------------------------------------------------------------
+
+TEST(Controller, MlpShapes)
+{
+    MannConfig cfg = smallConfig();
+    Rng rng(1);
+    MlpController ctrl(cfg, rng);
+    const FVec input(cfg.controllerInputDim(), 0.1f);
+    const ControllerOutput out = ctrl.forward(input);
+    EXPECT_EQ(out.hidden.size(), cfg.hiddenDim());
+    EXPECT_EQ(out.output.size(), cfg.outputDim);
+    for (float h : out.hidden) {
+        EXPECT_LE(h, 1.0f); // tanh range
+        EXPECT_GE(h, -1.0f);
+    }
+}
+
+TEST(Controller, MlpIsStateless)
+{
+    MannConfig cfg = smallConfig();
+    Rng rng(2);
+    MlpController ctrl(cfg, rng);
+    const FVec input(cfg.controllerInputDim(), 0.3f);
+    const FVec a = ctrl.forward(input).output;
+    const FVec b = ctrl.forward(input).output;
+    EXPECT_EQ(a, b);
+}
+
+TEST(Controller, LstmCarriesState)
+{
+    MannConfig cfg = smallConfig();
+    cfg.controllerKind = ControllerKind::LSTM;
+    Rng rng(3);
+    LstmController ctrl(cfg, rng);
+    const FVec input(cfg.controllerInputDim(), 0.3f);
+    const FVec first = ctrl.forward(input).output;
+    const FVec second = ctrl.forward(input).output;
+    // Recurrent state means repeated identical inputs give different
+    // outputs.
+    EXPECT_GT(tensor::maxAbsDiff(first, second), 1e-6f);
+    // reset() restores the initial behaviour.
+    ctrl.reset();
+    const FVec again = ctrl.forward(input).output;
+    EXPECT_LT(tensor::maxAbsDiff(first, again), 1e-6f);
+}
+
+TEST(Controller, ParameterCounts)
+{
+    MannConfig cfg = smallConfig();
+    Rng rng(4);
+    MlpController mlp(cfg, rng);
+    // layer: 12x12 + 12 bias; output: 4x12 + 4 bias.
+    EXPECT_EQ(mlp.parameterCount(),
+              12u * cfg.controllerInputDim() + 12u + 4u * 12u + 4u);
+    EXPECT_EQ(mlp.weightMatrices().size(), 2u);
+
+    Rng rng2(4);
+    cfg.controllerKind = ControllerKind::LSTM;
+    LstmController lstm(cfg, rng2);
+    EXPECT_GT(lstm.parameterCount(), mlp.parameterCount());
+}
+
+TEST(Controller, FactoryDispatch)
+{
+    MannConfig cfg = smallConfig();
+    Rng rng(5);
+    EXPECT_NE(makeController(cfg, rng), nullptr);
+    cfg.controllerKind = ControllerKind::LSTM;
+    EXPECT_NE(makeController(cfg, rng), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Heads
+// ---------------------------------------------------------------------
+
+TEST(Head, DecodedParameterRanges)
+{
+    MannConfig cfg = smallConfig();
+    Rng rng(6);
+    Head readHead(cfg, /*isWrite=*/false, rng);
+    Head writeHead(cfg, /*isWrite=*/true, rng);
+
+    FVec hidden(cfg.hiddenDim());
+    Rng hr(7);
+    for (auto &v : hidden)
+        v = static_cast<float>(hr.gaussian(0.0, 2.0));
+
+    for (const Head *head : {&readHead, &writeHead}) {
+        const HeadParams p = head->emit(hidden);
+        EXPECT_EQ(p.key.size(), cfg.memM);
+        EXPECT_GT(p.beta, 0.0f);
+        EXPECT_GT(p.gate, 0.0f);
+        EXPECT_LT(p.gate, 1.0f);
+        EXPECT_GE(p.gamma, 1.0f);
+        EXPECT_EQ(p.shift.size(), cfg.shiftTaps());
+        float shiftSum = 0.0f;
+        for (float s : p.shift) {
+            EXPECT_GT(s, 0.0f);
+            shiftSum += s;
+        }
+        EXPECT_NEAR(shiftSum, 1.0f, 1e-5f);
+    }
+
+    const HeadParams wp = writeHead.emit(hidden);
+    EXPECT_EQ(wp.erase.size(), cfg.memM);
+    EXPECT_EQ(wp.addVec.size(), cfg.memM);
+    for (float e : wp.erase) {
+        EXPECT_GT(e, 0.0f);
+        EXPECT_LT(e, 1.0f);
+    }
+    for (float a : wp.addVec) {
+        EXPECT_GE(a, -1.0f);
+        EXPECT_LE(a, 1.0f);
+    }
+    const HeadParams rp = readHead.emit(hidden);
+    EXPECT_TRUE(rp.erase.empty());
+    EXPECT_TRUE(rp.addVec.empty());
+}
+
+TEST(Head, ParamDimMatchesConfig)
+{
+    MannConfig cfg = smallConfig();
+    Rng rng(8);
+    Head readHead(cfg, false, rng);
+    Head writeHead(cfg, true, rng);
+    EXPECT_EQ(readHead.paramDim(), cfg.readHeadParamDim());
+    EXPECT_EQ(writeHead.paramDim(), cfg.writeHeadParamDim());
+}
+
+// ---------------------------------------------------------------------
+// Addressing
+// ---------------------------------------------------------------------
+
+TEST(Addressing, ContentWeightingPrefersMatchingRow)
+{
+    FMat mem(4, 4);
+    mem.setRow(0, {1.0f, 0.0f, 0.0f, 0.0f});
+    mem.setRow(1, {0.0f, 1.0f, 0.0f, 0.0f});
+    mem.setRow(2, {0.0f, 0.0f, 1.0f, 0.0f});
+    mem.setRow(3, {0.0f, 0.0f, 0.0f, 1.0f});
+    const FVec w =
+        contentWeighting(mem, {0.0f, 1.0f, 0.0f, 0.0f}, 10.0f, 1e-8f);
+    EXPECT_NEAR(tensor::sum(w), 1.0f, 1e-5f);
+    for (std::size_t i = 0; i < 4; ++i) {
+        if (i != 1) {
+            EXPECT_GT(w[1], w[i]);
+        }
+    }
+}
+
+TEST(Addressing, InterpolationEndpoints)
+{
+    const FVec wc{0.6f, 0.4f};
+    const FVec wPrev{0.1f, 0.9f};
+    EXPECT_LT(tensor::maxAbsDiff(interpolate(wc, wPrev, 1.0f), wc),
+              1e-6f);
+    EXPECT_LT(tensor::maxAbsDiff(interpolate(wc, wPrev, 0.0f), wPrev),
+              1e-6f);
+    const FVec mid = interpolate(wc, wPrev, 0.5f);
+    EXPECT_NEAR(mid[0], 0.35f, 1e-6f);
+}
+
+TEST(Addressing, ShiftRotates)
+{
+    const FVec wg{1.0f, 0.0f, 0.0f, 0.0f};
+    // Full weight on tap +1 moves attention from row 0 to row 1.
+    const FVec ws = shiftWeighting(wg, {0.0f, 0.0f, 1.0f});
+    EXPECT_NEAR(ws[1], 1.0f, 1e-6f);
+    EXPECT_NEAR(ws[0], 0.0f, 1e-6f);
+}
+
+TEST(Addressing, SharpeningConcentrates)
+{
+    const FVec ws{0.5f, 0.3f, 0.2f};
+    const FVec w = sharpenWeighting(ws, 3.0f);
+    EXPECT_NEAR(tensor::sum(w), 1.0f, 1e-5f);
+    EXPECT_GT(w[0], 0.5f);
+}
+
+TEST(Addressing, FullPipelineIsDistribution)
+{
+    Rng rng(11);
+    FMat mem(8, 4);
+    for (auto &v : mem.data())
+        v = static_cast<float>(rng.gaussian(0.0, 0.5));
+    HeadParams p;
+    p.key = {0.1f, -0.2f, 0.3f, 0.4f};
+    p.beta = 2.0f;
+    p.gate = 0.7f;
+    p.shift = {0.1f, 0.8f, 0.1f};
+    p.gamma = 1.5f;
+    FVec wPrev(8, 0.0f);
+    wPrev[3] = 1.0f;
+    const FVec w = addressHead(mem, p, wPrev, 1e-8f);
+    EXPECT_EQ(w.size(), 8u);
+    EXPECT_NEAR(tensor::sum(w), 1.0f, 1e-4f);
+    for (float v : w)
+        EXPECT_GE(v, 0.0f);
+}
+
+// ---------------------------------------------------------------------
+// ExternalMemory
+// ---------------------------------------------------------------------
+
+TEST(Memory, SoftReadIsWeightedSum)
+{
+    ExternalMemory mem(3, 2);
+    mem.matrix().setRow(0, {1.0f, 2.0f});
+    mem.matrix().setRow(1, {3.0f, 4.0f});
+    mem.matrix().setRow(2, {5.0f, 6.0f});
+    const FVec r = mem.softRead({0.5f, 0.5f, 0.0f});
+    EXPECT_NEAR(r[0], 2.0f, 1e-6f);
+    EXPECT_NEAR(r[1], 3.0f, 1e-6f);
+}
+
+TEST(Memory, SoftWriteEraseThenAdd)
+{
+    ExternalMemory mem(2, 2);
+    mem.matrix().setRow(0, {1.0f, 1.0f});
+    mem.matrix().setRow(1, {1.0f, 1.0f});
+    // Full attention on row 0, full erase on column 0, add 5 there.
+    mem.softWrite({1.0f, 0.0f}, {1.0f, 0.0f}, {5.0f, 0.5f});
+    EXPECT_NEAR(mem.matrix().at(0, 0), 5.0f, 1e-6f);
+    EXPECT_NEAR(mem.matrix().at(0, 1), 1.5f, 1e-6f);
+    // Row 1 untouched (weight 0).
+    EXPECT_NEAR(mem.matrix().at(1, 0), 1.0f, 1e-6f);
+}
+
+TEST(Memory, ZeroWeightWriteIsIdentity)
+{
+    Rng rng(12);
+    ExternalMemory mem(4, 4);
+    mem.randomize(rng);
+    const FMat before = mem.matrix();
+    mem.softWrite(FVec(4, 0.0f), FVec(4, 1.0f), FVec(4, 1.0f));
+    EXPECT_LT(mem.matrix().maxAbsDiff(before), 1e-7f);
+}
+
+TEST(Memory, ResetFillsConstant)
+{
+    ExternalMemory mem(4, 4);
+    mem.reset(0.5f);
+    for (float v : mem.matrix().data())
+        EXPECT_FLOAT_EQ(v, 0.5f);
+}
+
+// ---------------------------------------------------------------------
+// Full NTM
+// ---------------------------------------------------------------------
+
+TEST(Ntm, StepShapes)
+{
+    Ntm ntm(smallConfig(), 1);
+    const StepTrace trace = ntm.step(FVec(4, 0.5f));
+    EXPECT_EQ(trace.output.size(), 4u);
+    EXPECT_EQ(trace.readVectors.size(), 1u);
+    EXPECT_EQ(trace.readVectors[0].size(), 8u);
+    EXPECT_EQ(trace.readWeights[0].size(), 16u);
+    EXPECT_NEAR(tensor::sum(trace.readWeights[0]), 1.0f, 1e-4f);
+    EXPECT_NEAR(tensor::sum(trace.writeWeights[0]), 1.0f, 1e-4f);
+}
+
+TEST(Ntm, DeterministicAcrossInstances)
+{
+    Ntm a(smallConfig(), 77);
+    Ntm b(smallConfig(), 77);
+    Rng rng(3);
+    for (int i = 0; i < 5; ++i) {
+        FVec x(4);
+        for (auto &v : x)
+            v = static_cast<float>(rng.uniform(-1, 1));
+        EXPECT_EQ(a.step(x).output, b.step(x).output);
+    }
+}
+
+TEST(Ntm, DifferentSeedsDifferentWeights)
+{
+    Ntm a(smallConfig(), 1);
+    Ntm b(smallConfig(), 2);
+    const FVec x(4, 0.25f);
+    EXPECT_GT(tensor::maxAbsDiff(a.step(x).output, b.step(x).output),
+              1e-6f);
+}
+
+TEST(Ntm, ResetRestoresInitialBehaviour)
+{
+    Ntm ntm(smallConfig(), 5);
+    const FVec x(4, 0.3f);
+    const FVec first = ntm.step(x).output;
+    ntm.step(x);
+    ntm.reset();
+    EXPECT_LT(tensor::maxAbsDiff(first, ntm.step(x).output), 1e-6f);
+}
+
+TEST(Ntm, MemoryEvolves)
+{
+    Ntm ntm(smallConfig(), 9);
+    const FMat before = ntm.memory().matrix();
+    ntm.step(FVec(4, 1.0f));
+    EXPECT_GT(ntm.memory().matrix().maxAbsDiff(before), 1e-6f);
+}
+
+TEST(Ntm, RunMatchesStepSequence)
+{
+    Ntm a(smallConfig(), 13);
+    Ntm b(smallConfig(), 13);
+    std::vector<FVec> inputs(4, FVec(4, 0.2f));
+    const auto outputs = a.run(inputs);
+    ASSERT_EQ(outputs.size(), 4u);
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+        EXPECT_EQ(outputs[i], b.step(inputs[i]).output);
+}
+
+TEST(Ntm, ParameterCountConsistent)
+{
+    MannConfig cfg = smallConfig();
+    Ntm ntm(cfg, 21);
+    std::size_t expected = ntm.controller().parameterCount();
+    expected += (cfg.readHeadParamDim() * cfg.hiddenDim() +
+                 cfg.readHeadParamDim());
+    expected += (cfg.writeHeadParamDim() * cfg.hiddenDim() +
+                 cfg.writeHeadParamDim());
+    EXPECT_EQ(ntm.parameterCount(), expected);
+}
+
+class NtmShapeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>>
+{
+};
+
+TEST_P(NtmShapeSweep, WeightsSumToOneForAllShapes)
+{
+    const auto [memN, memM, readHeads, writeHeads] = GetParam();
+    MannConfig cfg = smallConfig();
+    cfg.memN = static_cast<std::size_t>(memN);
+    cfg.memM = static_cast<std::size_t>(memM);
+    cfg.numReadHeads = static_cast<std::size_t>(readHeads);
+    cfg.numWriteHeads = static_cast<std::size_t>(writeHeads);
+    Ntm ntm(cfg, 31);
+    const StepTrace trace = ntm.step(FVec(cfg.inputDim, 0.1f));
+    for (const auto &w : trace.readWeights)
+        EXPECT_NEAR(tensor::sum(w), 1.0f, 1e-4f);
+    for (const auto &w : trace.writeWeights)
+        EXPECT_NEAR(tensor::sum(w), 1.0f, 1e-4f);
+    EXPECT_EQ(trace.readVectors.size(),
+              static_cast<std::size_t>(readHeads));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, NtmShapeSweep,
+    ::testing::Values(std::tuple{8, 4, 1, 1}, std::tuple{32, 16, 2, 1},
+                      std::tuple{64, 8, 4, 1}, std::tuple{16, 32, 1, 4},
+                      std::tuple{128, 16, 5, 1}));
+
+} // namespace
+} // namespace manna::mann

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the End-to-End Memory Network (MemN2N) model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "mann/memnet.hh"
+#include "tensor/vector_ops.hh"
+
+namespace manna::mann
+{
+namespace
+{
+
+MemNetConfig
+smallConfig()
+{
+    MemNetConfig cfg;
+    cfg.numSentences = 16;
+    cfg.sentenceDim = 12;
+    cfg.embedDim = 10;
+    cfg.hops = 3;
+    cfg.answerDim = 6;
+    return cfg;
+}
+
+std::vector<FVec>
+randomSentences(const MemNetConfig &cfg, std::size_t count, Rng &rng)
+{
+    std::vector<FVec> out;
+    for (std::size_t i = 0; i < count; ++i) {
+        FVec s(cfg.sentenceDim);
+        for (auto &v : s)
+            v = rng.below(2) ? 1.0f : 0.0f;
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+TEST(MemNet, AnswerShapes)
+{
+    MemNet net(smallConfig(), 1);
+    Rng rng(2);
+    net.loadEpisode(randomSentences(smallConfig(), 8, rng));
+    const auto trace = net.answer(FVec(12, 0.5f));
+    EXPECT_EQ(trace.answer.size(), 6u);
+    EXPECT_EQ(trace.attentions.size(), 3u);
+    EXPECT_EQ(trace.attentions[0].size(), 16u);
+}
+
+TEST(MemNet, AttentionsAreDistributions)
+{
+    MemNet net(smallConfig(), 3);
+    Rng rng(4);
+    net.loadEpisode(randomSentences(smallConfig(), 16, rng));
+    const auto trace = net.answer(FVec(12, -0.3f));
+    for (const auto &p : trace.attentions) {
+        float total = 0.0f;
+        for (float v : p) {
+            EXPECT_GT(v, 0.0f);
+            total += v;
+        }
+        EXPECT_NEAR(total, 1.0f, 1e-5f);
+    }
+}
+
+TEST(MemNet, MemoryIsStaticAcrossQueries)
+{
+    MemNet net(smallConfig(), 5);
+    Rng rng(6);
+    net.loadEpisode(randomSentences(smallConfig(), 10, rng));
+    const tensor::FMat before = net.inputMemory();
+    net.answer(FVec(12, 0.1f));
+    net.answer(FVec(12, 0.9f));
+    // No soft writes: queries never mutate the memory.
+    EXPECT_EQ(net.inputMemory().maxAbsDiff(before), 0.0f);
+}
+
+TEST(MemNet, DeterministicAndSeedSensitive)
+{
+    Rng rng(7);
+    const auto sentences = randomSentences(smallConfig(), 8, rng);
+    MemNet a(smallConfig(), 11);
+    MemNet b(smallConfig(), 11);
+    MemNet c(smallConfig(), 12);
+    a.loadEpisode(sentences);
+    b.loadEpisode(sentences);
+    c.loadEpisode(sentences);
+    const FVec q(12, 0.4f);
+    EXPECT_EQ(a.answer(q).answer, b.answer(q).answer);
+    EXPECT_GT(tensor::maxAbsDiff(a.answer(q).answer,
+                                 c.answer(q).answer),
+              1e-6f);
+}
+
+TEST(MemNet, QueryAffectsAnswer)
+{
+    MemNet net(smallConfig(), 13);
+    Rng rng(14);
+    net.loadEpisode(randomSentences(smallConfig(), 12, rng));
+    const FVec a = net.answer(FVec(12, 0.2f)).answer;
+    FVec q(12, 0.0f);
+    q[3] = 1.0f;
+    const FVec b = net.answer(q).answer;
+    EXPECT_GT(tensor::maxAbsDiff(a, b), 1e-6f);
+}
+
+TEST(MemNet, WorkProfileHasNoWriteOps)
+{
+    MemNet net(smallConfig(), 15);
+    const auto work = net.queryWork();
+    EXPECT_EQ(work.memWriteOps, 0u);
+    EXPECT_GT(work.macOps, 0u);
+    // Element-wise share is tiny (residual adds only), the paper's
+    // contrast with the NTM's ~50%.
+    EXPECT_LT(static_cast<double>(work.elwiseOps) /
+                  static_cast<double>(work.macOps),
+              0.05);
+}
+
+TEST(MemNetDeathTest, GuardsBadInput)
+{
+    MemNet net(smallConfig(), 17);
+    EXPECT_DEATH(net.answer(FVec(12, 0.0f)), "loadEpisode");
+    Rng rng(18);
+    net.loadEpisode(randomSentences(smallConfig(), 4, rng));
+    EXPECT_DEATH(net.answer(FVec(5, 0.0f)), "query width");
+}
+
+class MemNetHopSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MemNetHopSweep, MoreHopsMoreWork)
+{
+    MemNetConfig cfg = smallConfig();
+    cfg.hops = static_cast<std::size_t>(GetParam());
+    MemNetConfig more = cfg;
+    more.hops += 1;
+    EXPECT_GT(MemNet(more, 1).queryWork().macOps,
+              MemNet(cfg, 1).queryWork().macOps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Hops, MemNetHopSweep,
+                         ::testing::Values(1, 2, 3, 6));
+
+} // namespace
+} // namespace manna::mann

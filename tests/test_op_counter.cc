@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for the analytic kernel work model (Table 1 and Figure 3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mann/op_counter.hh"
+#include "workloads/benchmarks.hh"
+
+namespace manna::mann
+{
+namespace
+{
+
+MannConfig
+unitConfig()
+{
+    MannConfig cfg;
+    cfg.memN = 100;
+    cfg.memM = 50;
+    cfg.controllerLayers = 1;
+    cfg.controllerWidth = 20;
+    cfg.inputDim = 8;
+    cfg.outputDim = 8;
+    cfg.numReadHeads = 2;
+    cfg.numWriteHeads = 1;
+    return cfg;
+}
+
+TEST(OpCounter, KernelEnumCoversAllGroups)
+{
+    for (Kernel k : allKernels())
+        EXPECT_NE(std::string(toString(groupOf(k))), "?");
+    EXPECT_EQ(allKernels().size(), kNumKernels);
+    EXPECT_EQ(allKernelGroups().size(), kNumKernelGroups);
+}
+
+TEST(OpCounter, AddressingKernelsGrouped)
+{
+    EXPECT_EQ(groupOf(Kernel::ContentWeighting),
+              KernelGroup::Addressing);
+    EXPECT_EQ(groupOf(Kernel::Interpolation), KernelGroup::Addressing);
+    EXPECT_EQ(groupOf(Kernel::ShiftWeighting),
+              KernelGroup::Addressing);
+    EXPECT_EQ(groupOf(Kernel::Sharpening), KernelGroup::Addressing);
+    EXPECT_EQ(groupOf(Kernel::SoftRead), KernelGroup::SoftRead);
+}
+
+TEST(OpCounter, AccessKernelsScaleWithMemoryArea)
+{
+    const OpCounter counter(unitConfig());
+    const std::uint64_t heads = 3;
+    const std::uint64_t area = 100 * 50;
+
+    const KernelWork sim = counter.kernelWork(Kernel::KeySimilarity);
+    EXPECT_EQ(sim.memReads, heads * (area + 50));
+    EXPECT_EQ(sim.macOps, heads * area * 2);
+
+    const KernelWork read = counter.kernelWork(Kernel::SoftRead);
+    EXPECT_EQ(read.macOps, 2ull * area); // two read heads
+    EXPECT_EQ(read.memWrites, 2ull * 50);
+
+    const KernelWork write = counter.kernelWork(Kernel::SoftWrite);
+    EXPECT_EQ(write.elwiseOps, 5ull * area); // one write head
+    EXPECT_EQ(write.memWrites, 1ull * area);
+}
+
+TEST(OpCounter, AddressingKernelsScaleWithRowsOnly)
+{
+    MannConfig small = unitConfig();
+    MannConfig wide = unitConfig();
+    wide.memM = 500; // 10x wider words
+    const OpCounter a(small), b(wide);
+    for (Kernel k : {Kernel::ContentWeighting, Kernel::Interpolation,
+                     Kernel::ShiftWeighting, Kernel::Sharpening}) {
+        EXPECT_EQ(a.kernelWork(k).flops(), b.kernelWork(k).flops())
+            << toString(k);
+    }
+}
+
+TEST(OpCounter, FlopsPerByteOrdering)
+{
+    // The access kernels have low FLOPs/Byte; the controller's dense
+    // layers are the highest (Table 1's qualitative story).
+    const OpCounter counter(unitConfig());
+    const double readFpb =
+        counter.kernelWork(Kernel::SoftRead).flopsPerByte();
+    EXPECT_GT(readFpb, 0.0);
+    EXPECT_LT(readFpb, 1.0); // ~Hr per 4-byte word => < 1 FLOP/byte
+    const double writeFpb =
+        counter.kernelWork(Kernel::SoftWrite).flopsPerByte();
+    EXPECT_LT(writeFpb, 2.0);
+}
+
+TEST(OpCounter, Table1StaticColumns)
+{
+    EXPECT_EQ(OpCounter::reductionDirection(Kernel::KeySimilarity),
+              "Row-wise");
+    EXPECT_EQ(OpCounter::reductionDirection(Kernel::SoftRead),
+              "Column-wise");
+    EXPECT_EQ(OpCounter::reductionDirection(Kernel::SoftWrite), "-");
+    EXPECT_EQ(OpCounter::primitiveName(Kernel::ShiftWeighting),
+              "Circular Conv.");
+    EXPECT_EQ(OpCounter::symbolicFlopsPerByte(Kernel::KeySimilarity),
+              "Hw+Hr");
+    EXPECT_EQ(OpCounter::accessExpression(Kernel::SoftRead),
+              "O(Mn*Mm*Hr)");
+}
+
+TEST(OpCounter, OperationMixOnCopyIsNearlyBalanced)
+{
+    // Figure 3: on the copy benchmark the non-controller kernels are
+    // ~49.8% MAC and ~49.8% element-wise.
+    const auto &copy = workloads::benchmarkByName("copy");
+    const OpCounter counter(copy.config);
+    const auto mix = counter.operationMix();
+    EXPECT_NEAR(mix.macFraction, 0.498, 0.12);
+    EXPECT_NEAR(mix.elwiseFraction, 0.498, 0.12);
+    EXPECT_LT(mix.specialFraction, 0.05);
+    EXPECT_NEAR(mix.macFraction + mix.elwiseFraction +
+                    mix.specialFraction,
+                1.0, 1e-9);
+}
+
+TEST(OpCounter, GroupWorkSumsToTotal)
+{
+    const OpCounter counter(unitConfig());
+    KernelWork groupSum;
+    for (KernelGroup g : allKernelGroups())
+        groupSum += counter.groupWork(g);
+    const KernelWork total = counter.totalWork();
+    EXPECT_EQ(groupSum.macOps, total.macOps);
+    EXPECT_EQ(groupSum.elwiseOps, total.elwiseOps);
+    EXPECT_EQ(groupSum.memReads, total.memReads);
+}
+
+TEST(OpCounter, NonControllerExcludesController)
+{
+    const OpCounter counter(unitConfig());
+    const KernelWork total = counter.totalWork();
+    const KernelWork nonCtrl = counter.nonControllerWork();
+    const KernelWork ctrl = counter.kernelWork(Kernel::Controller);
+    EXPECT_EQ(nonCtrl.macOps + ctrl.macOps, total.macOps);
+}
+
+TEST(OpCounter, ParallelismReflectsKernelWidth)
+{
+    const OpCounter counter(unitConfig());
+    EXPECT_EQ(counter.kernelWork(Kernel::SoftWrite).parallelism,
+              100ull * 50);
+    EXPECT_EQ(counter.kernelWork(Kernel::ContentWeighting).parallelism,
+              100ull);
+}
+
+TEST(OpCounter, LstmControllerCostsMore)
+{
+    MannConfig mlp = unitConfig();
+    MannConfig lstm = unitConfig();
+    lstm.controllerKind = ControllerKind::LSTM;
+    EXPECT_GT(OpCounter(lstm).kernelWork(Kernel::Controller).flops(),
+              OpCounter(mlp).kernelWork(Kernel::Controller).flops());
+}
+
+class HeadScalingSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(HeadScalingSweep, AccessKernelsLinearInHeads)
+{
+    MannConfig base = unitConfig();
+    base.numReadHeads = 1;
+    base.numWriteHeads = 1;
+    MannConfig scaled = base;
+    scaled.numReadHeads = static_cast<std::size_t>(GetParam());
+
+    const OpCounter a(base), b(scaled);
+    const double ratio =
+        static_cast<double>(
+            b.kernelWork(Kernel::SoftRead).macOps) /
+        static_cast<double>(a.kernelWork(Kernel::SoftRead).macOps);
+    EXPECT_DOUBLE_EQ(ratio, static_cast<double>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Heads, HeadScalingSweep,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+} // namespace
+} // namespace manna::mann

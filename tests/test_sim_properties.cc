@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Property and failure-injection tests for the simulator as a whole:
+ * timing monotonicity under resource scaling, energy accounting
+ * consistency, the instruction tracer, and robustness against
+ * malformed inputs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.hh"
+#include "sim/chip.hh"
+#include "sim/trace.hh"
+#include "workloads/benchmarks.hh"
+
+namespace manna::sim
+{
+namespace
+{
+
+using mann::MannConfig;
+using tensor::FVec;
+
+MannConfig
+testMann()
+{
+    MannConfig cfg;
+    cfg.memN = 128;
+    cfg.memM = 64;
+    cfg.numReadHeads = 2;
+    cfg.numWriteHeads = 1;
+    cfg.controllerWidth = 48;
+    cfg.inputDim = 6;
+    cfg.outputDim = 6;
+    return cfg;
+}
+
+Cycle
+cyclesFor(const MannConfig &mc, const arch::MannaConfig &ac,
+          std::size_t steps = 2)
+{
+    const auto model = compiler::compile(mc, ac);
+    Chip chip(model, 3);
+    const FVec x(mc.inputDim, 0.2f);
+    for (std::size_t t = 0; t < steps; ++t)
+        chip.step(x);
+    return chip.report().totalCycles;
+}
+
+// ---------------------------------------------------------------------
+// Timing monotonicity under resource scaling
+// ---------------------------------------------------------------------
+
+TEST(SimProperty, MoreEmacsNeverSlower)
+{
+    arch::MannaConfig narrow = arch::MannaConfig::withTiles(4);
+    narrow.emacsPerTile = 16;
+    narrow.matrixBufferWidthWords = 16;
+    arch::MannaConfig wide = arch::MannaConfig::withTiles(4);
+    EXPECT_GE(cyclesFor(testMann(), narrow),
+              cyclesFor(testMann(), wide));
+}
+
+TEST(SimProperty, MoreSfusNeverSlower)
+{
+    arch::MannaConfig one = arch::MannaConfig::withTiles(4);
+    arch::MannaConfig four = one;
+    four.sfusPerTile = 4;
+    EXPECT_GE(cyclesFor(testMann(), one), cyclesFor(testMann(), four));
+}
+
+TEST(SimProperty, BiggerScratchpadNeverSlower)
+{
+    arch::MannaConfig small = arch::MannaConfig::withTiles(4);
+    small.matrixScratchpadBytes = 4_KiB;
+    arch::MannaConfig large = arch::MannaConfig::withTiles(4);
+    large.matrixScratchpadBytes = 32_KiB;
+    EXPECT_GE(cyclesFor(testMann(), small),
+              cyclesFor(testMann(), large));
+}
+
+TEST(SimProperty, FasterNocNeverSlower)
+{
+    arch::MannaConfig slow = arch::MannaConfig::withTiles(8);
+    slow.nocLinkWordsPerCycle = 2;
+    slow.nocHopCycles = 8;
+    arch::MannaConfig fast = arch::MannaConfig::withTiles(8);
+    EXPECT_GE(cyclesFor(testMann(), slow),
+              cyclesFor(testMann(), fast));
+}
+
+TEST(SimProperty, AblationVariantsSlowerThanManna)
+{
+    const Cycle manna =
+        cyclesFor(testMann(), arch::MannaConfig::baseline16());
+    EXPECT_GT(cyclesFor(testMann(), arch::MannaConfig::memHeavy()),
+              manna);
+    EXPECT_GT(cyclesFor(testMann(),
+                        arch::MannaConfig::memHeavyTranspose()),
+              manna);
+    EXPECT_GT(cyclesFor(testMann(), arch::MannaConfig::memHeavyEmac()),
+              manna);
+}
+
+class TileScalingSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TileScalingSweep, MoreTilesNeverSlowerOnFixedProblem)
+{
+    const auto tiles = static_cast<std::size_t>(GetParam());
+    const Cycle fewer = cyclesFor(
+        testMann(), arch::MannaConfig::withTiles(tiles));
+    const Cycle more = cyclesFor(
+        testMann(), arch::MannaConfig::withTiles(tiles * 2));
+    EXPECT_GE(fewer, more);
+}
+
+// Beyond this the 128-row problem over-decomposes (4 rows per tile at
+// 32 tiles) and adding tiles stops helping -- the strong-scaling
+// saturation of Figure 12, asserted explicitly below.
+INSTANTIATE_TEST_SUITE_P(Tiles, TileScalingSweep,
+                         ::testing::Values(2, 4, 8));
+
+TEST(SimProperty, OverDecompositionStopsHelping)
+{
+    const Cycle sixteen = cyclesFor(
+        testMann(), arch::MannaConfig::withTiles(16));
+    const Cycle thirtyTwo = cyclesFor(
+        testMann(), arch::MannaConfig::withTiles(32));
+    // With only 4 memory rows per tile, the NoC depth and the
+    // replicated decode work eat the parallelism gains: no more than
+    // a marginal improvement, possibly a slowdown.
+    EXPECT_GT(thirtyTwo, sixteen / 2);
+}
+
+// ---------------------------------------------------------------------
+// Energy accounting
+// ---------------------------------------------------------------------
+
+TEST(SimProperty, GroupEnergySumsToDynamicEnergy)
+{
+    const auto model = compiler::compile(
+        testMann(), arch::MannaConfig::withTiles(4));
+    Chip chip(model, 3);
+    chip.step(FVec(testMann().inputDim, 0.2f));
+    const RunReport rep = chip.report();
+    double groupSum = 0.0;
+    for (const auto &[g, gs] : rep.groups)
+        groupSum += gs.energyPj;
+    // Segments partition all dynamic tile/NoC/controller energy.
+    EXPECT_NEAR(groupSum, rep.dynamicEnergyPj,
+                rep.dynamicEnergyPj * 1e-9 + 1.0);
+}
+
+TEST(SimProperty, LeakageProportionalToTime)
+{
+    const auto model = compiler::compile(
+        testMann(), arch::MannaConfig::withTiles(4));
+    Chip chip(model, 3);
+    const FVec x(testMann().inputDim, 0.2f);
+    chip.step(x);
+    const auto one = chip.report();
+    chip.step(x);
+    const auto two = chip.report();
+    const double ratio = two.leakageEnergyPj / one.leakageEnergyPj;
+    const double timeRatio = two.totalSeconds / one.totalSeconds;
+    EXPECT_NEAR(ratio, timeRatio, 1e-9);
+}
+
+TEST(SimProperty, EnergyScalesWithWork)
+{
+    MannConfig small = testMann();
+    MannConfig big = testMann();
+    big.memN *= 4;
+    big.memM *= 2;
+    const arch::MannaConfig hw = arch::MannaConfig::withTiles(8);
+    auto energyFor = [&](const MannConfig &mc) {
+        const auto model = compiler::compile(mc, hw);
+        Chip chip(model, 3);
+        chip.step(FVec(mc.inputDim, 0.2f));
+        return chip.report().totalEnergyPj();
+    };
+    EXPECT_GT(energyFor(big), 3.0 * energyFor(small));
+}
+
+// ---------------------------------------------------------------------
+// Instruction tracing
+// ---------------------------------------------------------------------
+
+TEST(Trace, RecordsInstructionsInIssueOrderPerTile)
+{
+    const auto model = compiler::compile(
+        testMann(), arch::MannaConfig::withTiles(4));
+    Chip chip(model, 3);
+    TraceLogger trace;
+    chip.attachTrace(&trace);
+    chip.step(FVec(testMann().inputDim, 0.2f));
+    ASSERT_GT(trace.entries().size(), 100u);
+
+    std::map<std::size_t, Cycle> lastIssue;
+    for (const auto &e : trace.entries()) {
+        EXPECT_LE(e.issue, e.horizon);
+        auto it = lastIssue.find(e.tile);
+        if (it != lastIssue.end()) {
+            EXPECT_GE(e.issue, it->second) << "tile " << e.tile;
+        }
+        lastIssue[e.tile] = e.issue;
+    }
+    // All tiles produced trace entries.
+    EXPECT_EQ(lastIssue.size(), 4u);
+}
+
+TEST(Trace, CapacityBoundRespected)
+{
+    const auto model = compiler::compile(
+        testMann(), arch::MannaConfig::withTiles(4));
+    Chip chip(model, 3);
+    TraceLogger trace(50);
+    chip.attachTrace(&trace);
+    chip.step(FVec(testMann().inputDim, 0.2f));
+    EXPECT_EQ(trace.entries().size(), 50u);
+    EXPECT_GT(trace.dropped(), 0u);
+    trace.clear();
+    EXPECT_TRUE(trace.entries().empty());
+    EXPECT_EQ(trace.dropped(), 0u);
+}
+
+TEST(Trace, RenderShowsMnemonics)
+{
+    const auto model = compiler::compile(
+        testMann(), arch::MannaConfig::withTiles(4));
+    Chip chip(model, 3);
+    TraceLogger trace;
+    chip.attachTrace(&trace);
+    chip.step(FVec(testMann().inputDim, 0.2f));
+    const std::string text = trace.render(20);
+    EXPECT_NE(text.find("vmm"), std::string::npos);
+    EXPECT_NE(text.find("more entries"), std::string::npos);
+}
+
+TEST(Trace, DetachStopsRecording)
+{
+    const auto model = compiler::compile(
+        testMann(), arch::MannaConfig::withTiles(4));
+    Chip chip(model, 3);
+    TraceLogger trace;
+    chip.attachTrace(&trace);
+    chip.step(FVec(testMann().inputDim, 0.2f));
+    const std::size_t after = trace.entries().size();
+    chip.attachTrace(nullptr);
+    chip.step(FVec(testMann().inputDim, 0.2f));
+    EXPECT_EQ(trace.entries().size(), after);
+}
+
+// ---------------------------------------------------------------------
+// Failure injection
+// ---------------------------------------------------------------------
+
+TEST(FailureDeathTest, ChipRejectsWrongInputWidth)
+{
+    const auto model = compiler::compile(
+        testMann(), arch::MannaConfig::withTiles(4));
+    Chip chip(model, 3);
+    EXPECT_DEATH(chip.step(FVec(3, 0.0f)), "input size");
+}
+
+TEST(FailureDeathTest, TileCatchesOutOfRangeOperand)
+{
+    arch::MannaConfig cfg = arch::MannaConfig::withTiles(4);
+    arch::EnergyModel energy(cfg);
+    DiffMemTile tile(cfg, energy, 0, TileLayoutSizes{64, 64, 64, 64});
+    isa::Program prog;
+    isa::Instruction bad;
+    bad.op = isa::Opcode::Fill;
+    bad.dst = isa::makeOperand(isa::Space::VecBuf, 60, 16);
+    prog.append(bad);
+    tile.setProgram(&prog);
+    EXPECT_DEATH(tile.runUntilComm(), "out of");
+}
+
+TEST(FailureDeathTest, TileCatchesBadVmmGeometry)
+{
+    arch::MannaConfig cfg = arch::MannaConfig::withTiles(4);
+    arch::EnergyModel energy(cfg);
+    DiffMemTile tile(cfg, energy, 0,
+                     TileLayoutSizes{256, 256, 256, 256});
+    isa::Program prog;
+    isa::Instruction vmm;
+    vmm.op = isa::Opcode::Vmm;
+    vmm.srcA = isa::makeOperand(isa::Space::VecSpad, 0, 4);
+    vmm.srcB = isa::makeOperand(isa::Space::MatSpad, 0, 13); // not 4*N
+    vmm.dst = isa::makeOperand(isa::Space::VecBuf, 0, 4);
+    prog.append(vmm);
+    tile.setProgram(&prog);
+    EXPECT_DEATH(tile.runUntilComm(), "vmm block len");
+}
+
+TEST(FailureDeathTest, ResumeWithoutCommPanics)
+{
+    arch::MannaConfig cfg = arch::MannaConfig::withTiles(4);
+    arch::EnergyModel energy(cfg);
+    DiffMemTile tile(cfg, energy, 0, TileLayoutSizes{16, 16, 16, 16});
+    isa::Program prog;
+    prog.append(isa::Instruction{}); // nop
+    tile.setProgram(&prog);
+    EXPECT_EQ(tile.runUntilComm(), RunStatus::Done);
+    EXPECT_DEATH(tile.resumeAfterComm(100), "");
+}
+
+} // namespace
+} // namespace manna::sim

@@ -1,0 +1,527 @@
+/**
+ * @file
+ * Unit tests for the DiffMem tile model: functional semantics of
+ * every instruction class, and the timing behaviour that matters
+ * architecturally (double buffering, SFU serialization, bank-conflict
+ * and no-eMAC penalties).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/energy_model.hh"
+#include "isa/assembler.hh"
+#include "sim/tile.hh"
+
+namespace manna::sim
+{
+namespace
+{
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::Operand;
+using isa::Space;
+
+struct TileFixture
+{
+    arch::MannaConfig cfg;
+    arch::EnergyModel energy;
+    DiffMemTile tile;
+    isa::Program program;
+
+    explicit TileFixture(arch::MannaConfig c = arch::MannaConfig{})
+        : cfg(std::move(c)), energy(cfg),
+          tile(cfg, energy, 0,
+               TileLayoutSizes{1 << 16, cfg.matrixScratchpadBytes / 4,
+                               1 << 14, cfg.vectorScratchpadBytes / 4})
+    {
+    }
+
+    /** Run the accumulated program to completion. */
+    void run()
+    {
+        ASSERT_EQ(program.validate(), "");
+        tile.setProgram(&program);
+        ASSERT_EQ(tile.runUntilComm(), RunStatus::Done);
+    }
+
+    void writeVec(Space space, std::uint32_t base,
+                  const std::vector<float> &v)
+    {
+        tile.memory().writeRange(space, base, v);
+    }
+
+    std::vector<float> readVec(Space space, std::uint32_t base,
+                               std::uint32_t len)
+    {
+        return tile.memory().readRange(space, base, len);
+    }
+};
+
+Instruction
+inst(Opcode op, Operand dst, Operand a = {}, Operand b = {},
+     float imm = 0.0f)
+{
+    Instruction i;
+    i.op = op;
+    i.dst = dst;
+    i.srcA = a;
+    i.srcB = b;
+    i.imm = imm;
+    return i;
+}
+
+Operand
+vb(std::uint32_t base, std::uint32_t len)
+{
+    return isa::makeOperand(Space::VecBuf, base, len);
+}
+
+// ---------------------------------------------------------------------
+// TileMemory
+// ---------------------------------------------------------------------
+
+TEST(TileMemory, ReadWriteRoundTrip)
+{
+    TileMemory mem(64, 64, 64, 64);
+    mem.write(Space::MatBuf, 3, 1.5f);
+    EXPECT_FLOAT_EQ(mem.read(Space::MatBuf, 3), 1.5f);
+    mem.writeRange(Space::VecBuf, 4, {1.0f, 2.0f});
+    EXPECT_EQ(mem.readRange(Space::VecBuf, 4, 2),
+              (std::vector<float>{1.0f, 2.0f}));
+    EXPECT_EQ(mem.words(Space::MatSpad), 64u);
+}
+
+TEST(TileMemoryDeathTest, OutOfBoundsCaught)
+{
+    TileMemory mem(8, 8, 8, 8);
+    EXPECT_DEATH(mem.read(Space::MatBuf, 8), "out of");
+    EXPECT_DEATH(mem.readRange(Space::VecBuf, 6, 4), "out of");
+}
+
+// ---------------------------------------------------------------------
+// Element-wise semantics
+// ---------------------------------------------------------------------
+
+TEST(TileElementwise, AllOpsComputeCorrectly)
+{
+    TileFixture f;
+    f.writeVec(Space::VecBuf, 0, {1.0f, 2.0f, 3.0f, 4.0f});
+    f.writeVec(Space::VecBuf, 4, {10.0f, 20.0f, 30.0f, 40.0f});
+    f.program.append(
+        inst(Opcode::EwAdd, vb(8, 4), vb(0, 4), vb(4, 4)));
+    f.program.append(
+        inst(Opcode::EwSub, vb(12, 4), vb(4, 4), vb(0, 4)));
+    f.program.append(
+        inst(Opcode::EwMul, vb(16, 4), vb(0, 4), vb(4, 4)));
+    f.program.append(inst(Opcode::Fill, vb(20, 4), {}, {}, 2.0f));
+    f.program.append(
+        inst(Opcode::EwMac, vb(20, 4), vb(0, 4), vb(4, 4)));
+    f.program.append(
+        inst(Opcode::EwAddImm, vb(24, 4), vb(0, 4), {}, 0.5f));
+    f.program.append(
+        inst(Opcode::EwMulImm, vb(28, 4), vb(0, 4), {}, -2.0f));
+    f.program.append(
+        inst(Opcode::EwRsubImm, vb(32, 4), vb(0, 4), {}, 1.0f));
+    f.run();
+    EXPECT_EQ(f.readVec(Space::VecBuf, 8, 4),
+              (std::vector<float>{11, 22, 33, 44}));
+    EXPECT_EQ(f.readVec(Space::VecBuf, 12, 4),
+              (std::vector<float>{9, 18, 27, 36}));
+    EXPECT_EQ(f.readVec(Space::VecBuf, 16, 4),
+              (std::vector<float>{10, 40, 90, 160}));
+    EXPECT_EQ(f.readVec(Space::VecBuf, 20, 4),
+              (std::vector<float>{12, 42, 92, 162}));
+    EXPECT_EQ(f.readVec(Space::VecBuf, 24, 4),
+              (std::vector<float>{1.5, 2.5, 3.5, 4.5}));
+    EXPECT_EQ(f.readVec(Space::VecBuf, 28, 4),
+              (std::vector<float>{-2, -4, -6, -8}));
+    EXPECT_EQ(f.readVec(Space::VecBuf, 32, 4),
+              (std::vector<float>{0, -1, -2, -3}));
+}
+
+TEST(TileElementwise, ScalarBroadcastOperand)
+{
+    TileFixture f;
+    f.writeVec(Space::VecBuf, 0, {1.0f, 2.0f, 3.0f});
+    f.writeVec(Space::VecBuf, 8, {10.0f});
+    f.program.append(
+        inst(Opcode::EwMul, vb(16, 3), vb(0, 3), vb(8, 1)));
+    f.run();
+    EXPECT_EQ(f.readVec(Space::VecBuf, 16, 3),
+              (std::vector<float>{10, 20, 30}));
+}
+
+TEST(TileElementwise, LoopStridedAddressing)
+{
+    TileFixture f;
+    f.writeVec(Space::VecBuf, 0, {1.0f, 2.0f, 3.0f, 4.0f});
+    // dst[i] = a[i] + 1 for four loop iterations, stride 1.
+    f.program.beginLoop(4);
+    f.program.append(inst(Opcode::EwAddImm,
+                          isa::makeStridedOperand(Space::VecBuf, 8, 1, 1),
+                          isa::makeStridedOperand(Space::VecBuf, 0, 1, 1),
+                          {}, 1.0f));
+    f.program.endLoop();
+    f.run();
+    EXPECT_EQ(f.readVec(Space::VecBuf, 8, 4),
+              (std::vector<float>{2, 3, 4, 5}));
+}
+
+// ---------------------------------------------------------------------
+// SFU semantics
+// ---------------------------------------------------------------------
+
+TEST(TileSfu, FunctionsMatchStdMath)
+{
+    TileFixture f;
+    f.writeVec(Space::VecBuf, 0, {0.5f, -1.0f, 2.0f});
+    f.program.append(inst(Opcode::SfuExp, vb(8, 3), vb(0, 3)));
+    f.program.append(inst(Opcode::SfuSigmoid, vb(12, 3), vb(0, 3)));
+    f.program.append(inst(Opcode::SfuTanh, vb(16, 3), vb(0, 3)));
+    f.program.append(inst(Opcode::SfuSoftplus, vb(20, 3), vb(0, 3)));
+    f.writeVec(Space::VecBuf, 4, {4.0f, 9.0f, 16.0f});
+    f.program.append(inst(Opcode::SfuSqrt, vb(24, 3), vb(4, 3)));
+    f.program.append(inst(Opcode::SfuRecip, vb(28, 3), vb(4, 3)));
+    f.run();
+    for (int i = 0; i < 3; ++i) {
+        const float x = f.readVec(Space::VecBuf, 0, 3)[i];
+        EXPECT_NEAR(f.readVec(Space::VecBuf, 8, 3)[i], std::exp(x),
+                    1e-5f);
+        EXPECT_NEAR(f.readVec(Space::VecBuf, 12, 3)[i],
+                    1.0f / (1.0f + std::exp(-x)), 1e-5f);
+        EXPECT_NEAR(f.readVec(Space::VecBuf, 16, 3)[i], std::tanh(x),
+                    1e-5f);
+    }
+    EXPECT_EQ(f.readVec(Space::VecBuf, 24, 3),
+              (std::vector<float>{2, 3, 4}));
+    EXPECT_NEAR(f.readVec(Space::VecBuf, 28, 3)[0], 0.25f, 1e-6f);
+}
+
+TEST(TileSfu, PowUsesScalarExponent)
+{
+    TileFixture f;
+    f.writeVec(Space::VecBuf, 0, {2.0f, 3.0f, -1.0f});
+    f.writeVec(Space::VecBuf, 4, {2.0f}); // gamma
+    f.program.append(
+        inst(Opcode::SfuPow, vb(8, 3), vb(0, 3), vb(4, 1)));
+    f.run();
+    const auto out = f.readVec(Space::VecBuf, 8, 3);
+    EXPECT_FLOAT_EQ(out[0], 4.0f);
+    EXPECT_FLOAT_EQ(out[1], 9.0f);
+    EXPECT_FLOAT_EQ(out[2], 0.0f); // negatives clamp to zero
+}
+
+TEST(TileSfu, Accumulators)
+{
+    TileFixture f;
+    f.writeVec(Space::VecBuf, 0, {1.0f, 5.0f, -2.0f, 3.0f});
+    f.program.append(inst(Opcode::SfuAccSum, vb(8, 1), vb(0, 4)));
+    f.program.append(inst(Opcode::SfuAccMax, vb(9, 1), vb(0, 4)));
+    f.run();
+    EXPECT_FLOAT_EQ(f.readVec(Space::VecBuf, 8, 1)[0], 7.0f);
+    EXPECT_FLOAT_EQ(f.readVec(Space::VecBuf, 9, 1)[0], 5.0f);
+}
+
+TEST(TileSfu, SerializationDominatesTiming)
+{
+    // N elements through the SFU must cost ~N * sfuExpCycles, while
+    // the same N through the eMACs costs ~N / emacsPerTile.
+    TileFixture f;
+    const std::uint32_t n = 256;
+    f.writeVec(Space::VecBuf, 0, std::vector<float>(n, 0.5f));
+    f.program.append(inst(Opcode::SfuExp, vb(512, n), vb(0, n)));
+    f.run();
+    const Cycle sfuTime = f.tile.quiesceTime();
+    EXPECT_GE(sfuTime, n * f.cfg.sfuExpCycles);
+
+    TileFixture g;
+    g.writeVec(Space::VecBuf, 0, std::vector<float>(n, 0.5f));
+    g.program.append(
+        inst(Opcode::EwAddImm, vb(512, n), vb(0, n), {}, 1.0f));
+    g.run();
+    EXPECT_LT(g.tile.quiesceTime() * 16, sfuTime);
+}
+
+// ---------------------------------------------------------------------
+// DMA and VMM
+// ---------------------------------------------------------------------
+
+/** Build a 2D matrix DMA load instruction. */
+Instruction
+dmaLoad(bool dmat, std::uint32_t srcBase, std::uint32_t rows,
+        std::uint32_t rowWords, std::uint32_t pitch)
+{
+    Instruction i;
+    i.op = dmat ? Opcode::DmatLoadM : Opcode::DmaLoadM;
+    i.srcA = isa::makeOperand(Space::MatBuf, srcBase, rows * rowWords);
+    i.dst = isa::makeOperand(Space::MatSpad, 0,
+                             rows * (rowWords + (dmat ? 1 : 0)));
+    i.srcB.base = pitch;
+    i.count = rows;
+    return i;
+}
+
+TEST(TileDma, StridedLoadCopiesBlock)
+{
+    TileFixture f;
+    // A 4x8 matrix in MatBuf; load the 2x3 block at (1, 2).
+    std::vector<float> mat(32);
+    for (std::size_t i = 0; i < 32; ++i)
+        mat[i] = static_cast<float>(i);
+    f.writeVec(Space::MatBuf, 0, mat);
+    f.program.append(dmaLoad(false, 1 * 8 + 2, 2, 3, 8));
+    f.run();
+    EXPECT_EQ(f.readVec(Space::MatSpad, 0, 6),
+              (std::vector<float>{10, 11, 12, 18, 19, 20}));
+}
+
+TEST(TileDma, DmatLoadSkewPads)
+{
+    TileFixture f;
+    std::vector<float> mat(16);
+    for (std::size_t i = 0; i < 16; ++i)
+        mat[i] = static_cast<float>(i + 1);
+    f.writeVec(Space::MatBuf, 0, mat);
+    f.program.append(dmaLoad(true, 0, 2, 4, 8));
+    f.run();
+    // Row 0 at pitch 5, row 1 at offset 5.
+    const auto spad = f.readVec(Space::MatSpad, 0, 10);
+    EXPECT_EQ(spad[0], 1.0f);
+    EXPECT_EQ(spad[3], 4.0f);
+    EXPECT_EQ(spad[5], 9.0f);
+    EXPECT_EQ(spad[8], 12.0f);
+}
+
+TEST(TileDma, StoreWritesBack)
+{
+    TileFixture f;
+    f.writeVec(Space::MatSpad, 0, {1.0f, 2.0f, 3.0f, 4.0f});
+    Instruction store;
+    store.op = Opcode::DmaStoreM;
+    store.srcA = isa::makeOperand(Space::MatSpad, 0, 4);
+    store.dst = isa::makeOperand(Space::MatBuf, 16, 4);
+    store.srcB.base = 8; // destination pitch
+    store.count = 2;
+    f.program.append(store);
+    f.run();
+    EXPECT_EQ(f.readVec(Space::MatBuf, 16, 2),
+              (std::vector<float>{1.0f, 2.0f}));
+    EXPECT_EQ(f.readVec(Space::MatBuf, 24, 2),
+              (std::vector<float>{3.0f, 4.0f}));
+}
+
+TEST(TileDma, VectorTransfer)
+{
+    TileFixture f;
+    f.writeVec(Space::VecBuf, 0, {5.0f, 6.0f, 7.0f});
+    Instruction load;
+    load.op = Opcode::DmaLoadV;
+    load.srcA = vb(0, 3);
+    load.dst = isa::makeOperand(Space::VecSpad, 1, 3);
+    f.program.append(load);
+    f.run();
+    EXPECT_EQ(f.readVec(Space::VecSpad, 1, 3),
+              (std::vector<float>{5.0f, 6.0f, 7.0f}));
+}
+
+TEST(TileVmm, ColumnAccumulateMatchesReference)
+{
+    TileFixture f;
+    // 3 rows x 4 cols block in MatSpad; w = [1, 2, 3].
+    f.writeVec(Space::MatSpad, 0,
+               {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12});
+    f.writeVec(Space::VecSpad, 0, {1.0f, 2.0f, 3.0f});
+    Instruction vmm;
+    vmm.op = Opcode::Vmm;
+    vmm.srcA = isa::makeOperand(Space::VecSpad, 0, 3);
+    vmm.srcB = isa::makeOperand(Space::MatSpad, 0, 12);
+    vmm.dst = vb(0, 4);
+    f.program.append(vmm);
+    f.run();
+    // out[c] = 1*row0 + 2*row1 + 3*row2.
+    EXPECT_EQ(f.readVec(Space::VecBuf, 0, 4),
+              (std::vector<float>{38, 44, 50, 56}));
+}
+
+TEST(TileVmm, RowDotWithNormsMatchesReference)
+{
+    TileFixture f;
+    f.writeVec(Space::MatSpad, 0, {1, 2, 3, 4, 5, 6}); // 2x3, no skew
+    f.writeVec(Space::VecSpad, 0, {1.0f, 0.0f, -1.0f});
+    Instruction vmm;
+    vmm.op = Opcode::Vmm;
+    vmm.flags.rowDot = true;
+    vmm.flags.withNorms = true;
+    vmm.srcA = isa::makeOperand(Space::VecSpad, 0, 3);
+    vmm.srcB = isa::makeOperand(Space::MatSpad, 0, 6);
+    vmm.dst = vb(0, 2);
+    vmm.count = 8; // norms at dst.base + 8
+    f.program.append(vmm);
+    f.run();
+    EXPECT_EQ(f.readVec(Space::VecBuf, 0, 2),
+              (std::vector<float>{-2.0f, -2.0f}));
+    EXPECT_EQ(f.readVec(Space::VecBuf, 8, 2),
+              (std::vector<float>{14.0f, 77.0f}));
+}
+
+TEST(TileVmm, AccumulateFlagAccumulates)
+{
+    TileFixture f;
+    f.writeVec(Space::MatSpad, 0, {1, 1, 1, 1});
+    f.writeVec(Space::VecSpad, 0, {1.0f, 1.0f});
+    f.writeVec(Space::VecBuf, 0, {10.0f, 20.0f});
+    Instruction vmm;
+    vmm.op = Opcode::Vmm;
+    vmm.flags.accumulate = true;
+    vmm.srcA = isa::makeOperand(Space::VecSpad, 0, 2);
+    vmm.srcB = isa::makeOperand(Space::MatSpad, 0, 4);
+    vmm.dst = vb(0, 2);
+    f.program.append(vmm);
+    f.run();
+    EXPECT_EQ(f.readVec(Space::VecBuf, 0, 2),
+              (std::vector<float>{12.0f, 22.0f}));
+}
+
+// ---------------------------------------------------------------------
+// Timing behaviour
+// ---------------------------------------------------------------------
+
+/** A streaming loop: load a block, consume it with a vmm. */
+void
+appendStreamLoop(TileFixture &f, std::uint32_t blocks,
+                 std::uint32_t rows, std::uint32_t rowWords, bool skew)
+{
+    f.program.beginLoop(blocks);
+    Instruction load = dmaLoad(skew, 0, rows, rowWords, rowWords);
+    load.srcA.stride[0] = 0; // reread the same block; timing only
+    f.program.append(load);
+    Instruction vmm;
+    vmm.op = Opcode::Vmm;
+    vmm.srcA = isa::makeOperand(Space::VecSpad, 0, rows);
+    vmm.srcB = isa::makeOperand(
+        Space::MatSpad, 0, rows * (rowWords + (skew ? 1 : 0)));
+    if (skew) {
+        vmm.flags.rowDot = true;
+        vmm.flags.skewed = true;
+        vmm.srcA = isa::makeOperand(Space::VecSpad, 0, rowWords);
+        vmm.dst = vb(0, rows);
+    } else {
+        vmm.dst = vb(0, rowWords);
+    }
+    f.program.append(vmm);
+    f.program.endLoop();
+}
+
+TEST(TileTiming, DoubleBufferingOverlapsDmaAndCompute)
+{
+    // With double buffering, the steady-state cost per block is
+    // max(dma, compute), not dma + compute.
+    arch::MannaConfig cfg;
+    TileFixture f(cfg);
+    const std::uint32_t rows = 32, rowWords = 32, blocks = 50;
+    f.writeVec(Space::VecSpad, 0, std::vector<float>(rows, 1.0f));
+    appendStreamLoop(f, blocks, rows, rowWords, false);
+    f.run();
+    const Cycle total = f.tile.quiesceTime();
+
+    // Per block: DMA = 32 rows x 1 access = 32 cycles; compute = 32
+    // rows x ceil(32/32) = 32 cycles. Overlapped cost ~= 32/block,
+    // serial would be ~64/block.
+    EXPECT_LT(total, blocks * 48);
+    EXPECT_GE(total, blocks * 30);
+}
+
+TEST(TileTiming, NoEmacPenaltySlowsElwiseOnly)
+{
+    arch::MannaConfig withEmac;
+    arch::MannaConfig noEmac;
+    noEmac.hasEmac = false;
+
+    auto timeElwise = [](arch::MannaConfig cfg) {
+        TileFixture f(cfg);
+        f.writeVec(Space::VecBuf, 0, std::vector<float>(1024, 1.0f));
+        f.program.append(inst(Opcode::EwAddImm, vb(2048, 1024),
+                              vb(0, 1024), {}, 1.0f));
+        f.run();
+        return f.tile.quiesceTime();
+    };
+    const Cycle fast = timeElwise(withEmac);
+    const Cycle slow = timeElwise(noEmac);
+    EXPECT_EQ(slow, fast * withEmac.elwisePenaltyNoEmac);
+
+    // MACs are not penalized.
+    auto timeMac = [](arch::MannaConfig cfg) {
+        TileFixture f(cfg);
+        f.writeVec(Space::VecBuf, 0, std::vector<float>(1024, 1.0f));
+        f.program.append(inst(Opcode::EwMac, vb(2048, 1024),
+                              vb(0, 1024), vb(0, 1024)));
+        f.run();
+        return f.tile.quiesceTime();
+    };
+    EXPECT_EQ(timeMac(withEmac), timeMac(noEmac));
+}
+
+TEST(TileTiming, UnskewedRowDotPaysConflictFactor)
+{
+    arch::MannaConfig cfg;
+    auto timeRowDot = [&cfg](bool skewed) {
+        TileFixture f(cfg);
+        const std::uint32_t rows = 32, cols = 32;
+        const std::uint32_t pitch = cols + (skewed ? 1 : 0);
+        f.writeVec(Space::MatSpad, 0,
+                   std::vector<float>(rows * pitch, 1.0f));
+        f.writeVec(Space::VecSpad, 0, std::vector<float>(cols, 1.0f));
+        Instruction vmm;
+        vmm.op = Opcode::Vmm;
+        vmm.flags.rowDot = true;
+        vmm.flags.skewed = skewed;
+        vmm.srcA = isa::makeOperand(Space::VecSpad, 0, cols);
+        vmm.srcB = isa::makeOperand(Space::MatSpad, 0, rows * pitch);
+        vmm.dst = vb(0, rows);
+        f.program.append(vmm);
+        f.run();
+        return f.tile.quiesceTime();
+    };
+    const Cycle skewedTime = timeRowDot(true);
+    const Cycle conflictTime = timeRowDot(false);
+    EXPECT_GT(conflictTime,
+              skewedTime * (cfg.noDmatConflictFactor - 1));
+}
+
+TEST(TileTiming, EnergyAccumulates)
+{
+    TileFixture f;
+    f.writeVec(Space::VecBuf, 0, std::vector<float>(64, 1.0f));
+    const Energy before = f.tile.energyPj();
+    f.program.append(
+        inst(Opcode::EwAddImm, vb(128, 64), vb(0, 64), {}, 1.0f));
+    f.run();
+    EXPECT_GT(f.tile.energyPj(), before);
+    EXPECT_GT(f.tile.stats().get("instructions"), 0.0);
+}
+
+TEST(TileComm, BlocksAtReduceAndResumes)
+{
+    TileFixture f;
+    f.writeVec(Space::VecBuf, 0, {1.0f});
+    Instruction red;
+    red.op = Opcode::Reduce;
+    red.srcA = vb(0, 1);
+    f.program.append(red);
+    f.program.append(inst(Opcode::Fill, vb(1, 1), {}, {}, 3.0f));
+    ASSERT_EQ(f.program.validate(), "");
+    f.tile.setProgram(&f.program);
+    ASSERT_EQ(f.tile.runUntilComm(), RunStatus::AtComm);
+    EXPECT_EQ(f.tile.commInstruction().op, Opcode::Reduce);
+    const Cycle resume = f.tile.quiesceTime() + 25;
+    f.tile.resumeAfterComm(resume);
+    EXPECT_EQ(f.tile.now(), resume);
+    ASSERT_EQ(f.tile.runUntilComm(), RunStatus::Done);
+    EXPECT_FLOAT_EQ(f.readVec(Space::VecBuf, 1, 1)[0], 3.0f);
+}
+
+} // namespace
+} // namespace manna::sim

@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Unit and property tests for the FP32 tensor primitives shared by
+ * the golden model and the simulator's functional datapath.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "tensor/matrix.hh"
+#include "tensor/vector_ops.hh"
+
+namespace manna::tensor
+{
+namespace
+{
+
+FVec
+randomVec(std::size_t n, Rng &rng, float scale = 1.0f)
+{
+    FVec v(n);
+    for (auto &x : v)
+        x = static_cast<float>(rng.gaussian(0.0, scale));
+    return v;
+}
+
+TEST(VectorOps, DotAndNorm)
+{
+    const FVec a{1.0f, 2.0f, 3.0f};
+    const FVec b{4.0f, -5.0f, 6.0f};
+    EXPECT_FLOAT_EQ(dot(a, b), 4.0f - 10.0f + 18.0f);
+    EXPECT_FLOAT_EQ(norm2({3.0f, 4.0f}), 5.0f);
+}
+
+TEST(VectorOps, CosineSimilarityBounds)
+{
+    Rng rng(1);
+    for (int i = 0; i < 200; ++i) {
+        const FVec a = randomVec(16, rng);
+        const FVec b = randomVec(16, rng);
+        const float s = cosineSimilarity(a, b);
+        EXPECT_LE(s, 1.0f + 1e-5f);
+        EXPECT_GE(s, -1.0f - 1e-5f);
+    }
+}
+
+TEST(VectorOps, CosineSimilarityIdenticalVectors)
+{
+    const FVec a{1.0f, 2.0f, -3.0f};
+    EXPECT_NEAR(cosineSimilarity(a, a), 1.0f, 1e-5f);
+    EXPECT_NEAR(cosineSimilarity(a, scale(a, -2.0f)), -1.0f, 1e-5f);
+}
+
+TEST(VectorOps, CosineSimilarityZeroVectorGuarded)
+{
+    const FVec zero(8, 0.0f);
+    const FVec a{1.0f, 0, 0, 0, 0, 0, 0, 0};
+    // epsilon keeps this finite and ~0.
+    EXPECT_NEAR(cosineSimilarity(zero, a), 0.0f, 1e-3f);
+}
+
+TEST(VectorOps, ElementwiseBasics)
+{
+    const FVec a{1, 2, 3};
+    const FVec b{4, 5, 6};
+    EXPECT_EQ(add(a, b), (FVec{5, 7, 9}));
+    EXPECT_EQ(sub(b, a), (FVec{3, 3, 3}));
+    EXPECT_EQ(mul(a, b), (FVec{4, 10, 18}));
+    EXPECT_EQ(scale(a, 2.0f), (FVec{2, 4, 6}));
+    FVec y{1, 1, 1};
+    axpy(2.0f, a, y);
+    EXPECT_EQ(y, (FVec{3, 5, 7}));
+}
+
+class SoftmaxProperty : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(SoftmaxProperty, SumsToOneAndPositive)
+{
+    Rng rng(GetParam());
+    const FVec a = randomVec(GetParam() + 2, rng, 3.0f);
+    for (float beta : {0.5f, 1.0f, 4.0f}) {
+        const FVec s = softmax(a, beta);
+        float total = 0.0f;
+        for (float v : s) {
+            EXPECT_GT(v, 0.0f);
+            total += v;
+        }
+        EXPECT_NEAR(total, 1.0f, 1e-5f);
+    }
+}
+
+TEST_P(SoftmaxProperty, LargeBetaConcentratesOnMax)
+{
+    Rng rng(GetParam() * 7 + 1);
+    FVec a = randomVec(GetParam() + 2, rng);
+    const FVec s = softmax(a, 200.0f);
+    const std::size_t argmax = static_cast<std::size_t>(
+        std::max_element(a.begin(), a.end()) - a.begin());
+    EXPECT_GT(s[argmax], 0.9f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SoftmaxProperty,
+                         ::testing::Values(1, 3, 8, 33, 100));
+
+TEST(VectorOps, SoftmaxShiftInvariance)
+{
+    const FVec a{1.0f, 2.0f, 3.0f};
+    FVec shifted = a;
+    for (auto &v : shifted)
+        v += 100.0f;
+    EXPECT_LT(maxAbsDiff(softmax(a), softmax(shifted)), 1e-5f);
+}
+
+TEST(VectorOps, CircularConvolveIdentityKernel)
+{
+    Rng rng(4);
+    const FVec a = randomVec(16, rng);
+    // Kernel [0, 1, 0] (offsets -1, 0, +1) is the identity.
+    const FVec out = circularConvolve(a, {0.0f, 1.0f, 0.0f});
+    EXPECT_LT(maxAbsDiff(a, out), 1e-6f);
+}
+
+TEST(VectorOps, CircularConvolveShiftByOne)
+{
+    const FVec a{1.0f, 2.0f, 3.0f, 4.0f};
+    // Kernel with weight on offset +1 rotates content forward:
+    // out[i] = a[i-1].
+    const FVec out = circularConvolve(a, {0.0f, 0.0f, 1.0f});
+    EXPECT_EQ(out, (FVec{4.0f, 1.0f, 2.0f, 3.0f}));
+}
+
+class ConvolveProperty : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(ConvolveProperty, PreservesMassForStochasticKernels)
+{
+    Rng rng(GetParam() + 10);
+    FVec a = randomVec(GetParam(), rng);
+    for (auto &v : a)
+        v = std::fabs(v);
+    FVec kernel{0.2f, 0.5f, 0.3f};
+    const FVec out = circularConvolve(a, kernel);
+    EXPECT_NEAR(sum(out), sum(a), 1e-3f * sum(a) + 1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ConvolveProperty,
+                         ::testing::Values(4, 7, 32, 101));
+
+TEST(VectorOps, SharpenNormalizesAndSharpens)
+{
+    const FVec w{0.1f, 0.6f, 0.3f};
+    const FVec s = sharpen(w, 2.0f);
+    EXPECT_NEAR(sum(s), 1.0f, 1e-6f);
+    // Sharpening increases the mass of the largest element.
+    EXPECT_GT(s[1], w[1]);
+    EXPECT_LT(s[0], w[0]);
+}
+
+TEST(VectorOps, SharpenGammaOneIsNormalization)
+{
+    const FVec w{0.2f, 0.3f, 0.5f};
+    const FVec s = sharpen(w, 1.0f);
+    EXPECT_LT(maxAbsDiff(s, w), 1e-6f);
+}
+
+TEST(VectorOps, SharpenZeroInputDegeneratesToUniform)
+{
+    const FVec w(4, 0.0f);
+    const FVec s = sharpen(w, 2.0f);
+    for (float v : s)
+        EXPECT_FLOAT_EQ(v, 0.25f);
+}
+
+TEST(VectorOps, ActivationRangesAndValues)
+{
+    EXPECT_NEAR(sigmoidScalar(0.0f), 0.5f, 1e-6f);
+    EXPECT_GT(sigmoidScalar(10.0f), 0.999f);
+    EXPECT_LT(sigmoidScalar(-10.0f), 0.001f);
+    EXPECT_NEAR(softplusScalar(0.0f), std::log(2.0f), 1e-5f);
+    EXPECT_NEAR(softplusScalar(30.0f), 30.0f, 1e-4f);
+    EXPECT_NEAR(softplusScalar(-30.0f), 0.0f, 1e-5f);
+
+    const FVec x{-1.0f, 0.0f, 2.0f};
+    EXPECT_EQ(relu(x), (FVec{0.0f, 0.0f, 2.0f}));
+    const FVec t = tanhVec(x);
+    EXPECT_NEAR(t[1], 0.0f, 1e-6f);
+    EXPECT_NEAR(t[2], std::tanh(2.0f), 1e-6f);
+}
+
+TEST(VectorOps, ConcatAndSlice)
+{
+    const FVec joined = concat({{1.0f, 2.0f}, {}, {3.0f}});
+    EXPECT_EQ(joined, (FVec{1.0f, 2.0f, 3.0f}));
+    EXPECT_EQ(slice(joined, 1, 2), (FVec{2.0f, 3.0f}));
+}
+
+TEST(VectorOps, SumMaxHelpers)
+{
+    const FVec a{1.0f, 5.0f, -2.0f};
+    EXPECT_FLOAT_EQ(sum(a), 4.0f);
+    EXPECT_FLOAT_EQ(maxElement(a), 5.0f);
+    EXPECT_FLOAT_EQ(maxAbsDiff(a, {1.0f, 4.0f, -2.0f}), 1.0f);
+}
+
+// ---------------------------------------------------------------------
+// FMat
+// ---------------------------------------------------------------------
+
+TEST(Matrix, ShapeAndAccess)
+{
+    FMat m(2, 3);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    m.at(1, 2) = 7.0f;
+    EXPECT_FLOAT_EQ(m.at(1, 2), 7.0f);
+    EXPECT_FLOAT_EQ(m.at(0, 0), 0.0f);
+}
+
+TEST(Matrix, RowColSetRow)
+{
+    FMat m(2, 3);
+    m.setRow(0, {1.0f, 2.0f, 3.0f});
+    m.setRow(1, {4.0f, 5.0f, 6.0f});
+    EXPECT_EQ(m.row(1), (FVec{4.0f, 5.0f, 6.0f}));
+    EXPECT_EQ(m.col(2), (FVec{3.0f, 6.0f}));
+}
+
+TEST(Matrix, TransposeInvolution)
+{
+    Rng rng(8);
+    FMat m(5, 7, randomVec(35, rng));
+    EXPECT_EQ(m.transposed().transposed().maxAbsDiff(m), 0.0f);
+}
+
+TEST(Matrix, VecMatMulMatchesManual)
+{
+    FMat m(2, 3);
+    m.setRow(0, {1.0f, 2.0f, 3.0f});
+    m.setRow(1, {4.0f, 5.0f, 6.0f});
+    const FVec y = vecMatMul({2.0f, -1.0f}, m);
+    EXPECT_EQ(y, (FVec{-2.0f, -1.0f, 0.0f}));
+}
+
+TEST(Matrix, MatVecMulMatchesManual)
+{
+    FMat m(2, 3);
+    m.setRow(0, {1.0f, 2.0f, 3.0f});
+    m.setRow(1, {4.0f, 5.0f, 6.0f});
+    const FVec y = matVecMul(m, {1.0f, 0.0f, -1.0f});
+    EXPECT_EQ(y, (FVec{-2.0f, -2.0f}));
+}
+
+class MatMulProperty
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(MatMulProperty, VecMatEqualsMatVecOfTranspose)
+{
+    Rng rng(99);
+    const auto [r, c] = GetParam();
+    FMat m(r, c, randomVec(static_cast<std::size_t>(r * c), rng));
+    const FVec x = randomVec(static_cast<std::size_t>(r), rng);
+    const FVec a = vecMatMul(x, m);
+    const FVec b = matVecMul(m.transposed(), x);
+    EXPECT_LT(maxAbsDiff(a, b), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatMulProperty,
+    ::testing::Values(std::pair{1, 1}, std::pair{3, 5},
+                      std::pair{16, 16}, std::pair{33, 7},
+                      std::pair{64, 128}));
+
+TEST(Matrix, MatVecMulBias)
+{
+    FMat m(2, 2);
+    m.setRow(0, {1.0f, 0.0f});
+    m.setRow(1, {0.0f, 1.0f});
+    EXPECT_EQ(matVecMulBias(m, {3.0f, 4.0f}, {1.0f, -1.0f}),
+              (FVec{4.0f, 3.0f}));
+    // Empty bias treated as zero.
+    EXPECT_EQ(matVecMulBias(m, {3.0f, 4.0f}, {}), (FVec{3.0f, 4.0f}));
+}
+
+TEST(Matrix, RowNormsAndCosine)
+{
+    FMat m(2, 2);
+    m.setRow(0, {3.0f, 4.0f});
+    m.setRow(1, {0.0f, 2.0f});
+    EXPECT_EQ(rowNorms(m), (FVec{5.0f, 2.0f}));
+
+    const FVec sims = rowCosineSimilarity(m, {0.0f, 1.0f});
+    EXPECT_NEAR(sims[0], 0.8f, 1e-5f);
+    EXPECT_NEAR(sims[1], 1.0f, 1e-5f);
+}
+
+TEST(Matrix, FillAndMaxAbsDiff)
+{
+    FMat a(2, 2), b(2, 2);
+    a.fill(1.0f);
+    b.fill(1.5f);
+    EXPECT_FLOAT_EQ(a.maxAbsDiff(b), 0.5f);
+}
+
+} // namespace
+} // namespace manna::tensor
