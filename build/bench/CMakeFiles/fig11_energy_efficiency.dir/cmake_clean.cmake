@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_energy_efficiency.dir/fig11_energy_efficiency.cc.o"
+  "CMakeFiles/fig11_energy_efficiency.dir/fig11_energy_efficiency.cc.o.d"
+  "fig11_energy_efficiency"
+  "fig11_energy_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_energy_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

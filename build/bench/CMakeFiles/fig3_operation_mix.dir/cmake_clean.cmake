@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_operation_mix.dir/fig3_operation_mix.cc.o"
+  "CMakeFiles/fig3_operation_mix.dir/fig3_operation_mix.cc.o.d"
+  "fig3_operation_mix"
+  "fig3_operation_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_operation_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

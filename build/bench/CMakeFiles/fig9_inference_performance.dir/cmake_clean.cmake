@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_inference_performance.dir/fig9_inference_performance.cc.o"
+  "CMakeFiles/fig9_inference_performance.dir/fig9_inference_performance.cc.o.d"
+  "fig9_inference_performance"
+  "fig9_inference_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_inference_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

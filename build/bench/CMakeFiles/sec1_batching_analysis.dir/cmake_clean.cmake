@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec1_batching_analysis.dir/sec1_batching_analysis.cc.o"
+  "CMakeFiles/sec1_batching_analysis.dir/sec1_batching_analysis.cc.o.d"
+  "sec1_batching_analysis"
+  "sec1_batching_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec1_batching_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

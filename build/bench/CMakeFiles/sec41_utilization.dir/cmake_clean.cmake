@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec41_utilization.dir/sec41_utilization.cc.o"
+  "CMakeFiles/sec41_utilization.dir/sec41_utilization.cc.o.d"
+  "sec41_utilization"
+  "sec41_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec41_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec73_hbm_scaling.dir/sec73_hbm_scaling.cc.o"
+  "CMakeFiles/sec73_hbm_scaling.dir/sec73_hbm_scaling.cc.o.d"
+  "sec73_hbm_scaling"
+  "sec73_hbm_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec73_hbm_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

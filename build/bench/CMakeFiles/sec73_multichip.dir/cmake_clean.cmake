@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec73_multichip.dir/sec73_multichip.cc.o"
+  "CMakeFiles/sec73_multichip.dir/sec73_multichip.cc.o.d"
+  "sec73_multichip"
+  "sec73_multichip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec73_multichip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

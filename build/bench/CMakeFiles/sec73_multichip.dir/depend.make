@@ -1,0 +1,2 @@
+# Empty dependencies file for sec73_multichip.
+# This may be replaced when dependencies are built.

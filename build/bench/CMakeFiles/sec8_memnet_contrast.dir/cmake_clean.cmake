@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec8_memnet_contrast.dir/sec8_memnet_contrast.cc.o"
+  "CMakeFiles/sec8_memnet_contrast.dir/sec8_memnet_contrast.cc.o.d"
+  "sec8_memnet_contrast"
+  "sec8_memnet_contrast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec8_memnet_contrast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

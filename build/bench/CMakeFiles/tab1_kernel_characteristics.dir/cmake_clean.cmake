@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_kernel_characteristics.dir/tab1_kernel_characteristics.cc.o"
+  "CMakeFiles/tab1_kernel_characteristics.dir/tab1_kernel_characteristics.cc.o.d"
+  "tab1_kernel_characteristics"
+  "tab1_kernel_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_kernel_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

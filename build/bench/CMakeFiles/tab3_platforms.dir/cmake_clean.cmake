@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_platforms.dir/tab3_platforms.cc.o"
+  "CMakeFiles/tab3_platforms.dir/tab3_platforms.cc.o.d"
+  "tab3_platforms"
+  "tab3_platforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copy_task.dir/copy_task.cpp.o"
+  "CMakeFiles/copy_task.dir/copy_task.cpp.o.d"
+  "copy_task"
+  "copy_task.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copy_task.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

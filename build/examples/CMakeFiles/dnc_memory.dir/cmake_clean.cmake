@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnc_memory.dir/dnc_memory.cpp.o"
+  "CMakeFiles/dnc_memory.dir/dnc_memory.cpp.o.d"
+  "dnc_memory"
+  "dnc_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnc_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_route.dir/graph_route.cpp.o"
+  "CMakeFiles/graph_route.dir/graph_route.cpp.o.d"
+  "graph_route"
+  "graph_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/area_model.cc" "src/arch/CMakeFiles/manna_arch.dir/area_model.cc.o" "gcc" "src/arch/CMakeFiles/manna_arch.dir/area_model.cc.o.d"
+  "/root/repo/src/arch/energy_model.cc" "src/arch/CMakeFiles/manna_arch.dir/energy_model.cc.o" "gcc" "src/arch/CMakeFiles/manna_arch.dir/energy_model.cc.o.d"
+  "/root/repo/src/arch/manna_config.cc" "src/arch/CMakeFiles/manna_arch.dir/manna_config.cc.o" "gcc" "src/arch/CMakeFiles/manna_arch.dir/manna_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/manna_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

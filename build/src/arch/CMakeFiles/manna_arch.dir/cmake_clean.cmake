@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manna_arch.dir/area_model.cc.o"
+  "CMakeFiles/manna_arch.dir/area_model.cc.o.d"
+  "CMakeFiles/manna_arch.dir/energy_model.cc.o"
+  "CMakeFiles/manna_arch.dir/energy_model.cc.o.d"
+  "CMakeFiles/manna_arch.dir/manna_config.cc.o"
+  "CMakeFiles/manna_arch.dir/manna_config.cc.o.d"
+  "libmanna_arch.a"
+  "libmanna_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manna_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

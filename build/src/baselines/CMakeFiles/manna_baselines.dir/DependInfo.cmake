@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/ablation.cc" "src/baselines/CMakeFiles/manna_baselines.dir/ablation.cc.o" "gcc" "src/baselines/CMakeFiles/manna_baselines.dir/ablation.cc.o.d"
+  "/root/repo/src/baselines/platform_model.cc" "src/baselines/CMakeFiles/manna_baselines.dir/platform_model.cc.o" "gcc" "src/baselines/CMakeFiles/manna_baselines.dir/platform_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/manna_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mann/CMakeFiles/manna_mann.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/manna_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/manna_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manna_baselines.dir/ablation.cc.o"
+  "CMakeFiles/manna_baselines.dir/ablation.cc.o.d"
+  "CMakeFiles/manna_baselines.dir/platform_model.cc.o"
+  "CMakeFiles/manna_baselines.dir/platform_model.cc.o.d"
+  "libmanna_baselines.a"
+  "libmanna_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manna_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

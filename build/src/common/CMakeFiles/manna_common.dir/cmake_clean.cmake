@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manna_common.dir/config.cc.o"
+  "CMakeFiles/manna_common.dir/config.cc.o.d"
+  "CMakeFiles/manna_common.dir/logging.cc.o"
+  "CMakeFiles/manna_common.dir/logging.cc.o.d"
+  "CMakeFiles/manna_common.dir/rng.cc.o"
+  "CMakeFiles/manna_common.dir/rng.cc.o.d"
+  "CMakeFiles/manna_common.dir/stats.cc.o"
+  "CMakeFiles/manna_common.dir/stats.cc.o.d"
+  "CMakeFiles/manna_common.dir/strutil.cc.o"
+  "CMakeFiles/manna_common.dir/strutil.cc.o.d"
+  "CMakeFiles/manna_common.dir/table.cc.o"
+  "CMakeFiles/manna_common.dir/table.cc.o.d"
+  "libmanna_common.a"
+  "libmanna_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manna_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/codegen.cc" "src/compiler/CMakeFiles/manna_compiler.dir/codegen.cc.o" "gcc" "src/compiler/CMakeFiles/manna_compiler.dir/codegen.cc.o.d"
+  "/root/repo/src/compiler/codegen_util.cc" "src/compiler/CMakeFiles/manna_compiler.dir/codegen_util.cc.o" "gcc" "src/compiler/CMakeFiles/manna_compiler.dir/codegen_util.cc.o.d"
+  "/root/repo/src/compiler/compiler.cc" "src/compiler/CMakeFiles/manna_compiler.dir/compiler.cc.o" "gcc" "src/compiler/CMakeFiles/manna_compiler.dir/compiler.cc.o.d"
+  "/root/repo/src/compiler/dnc_codegen.cc" "src/compiler/CMakeFiles/manna_compiler.dir/dnc_codegen.cc.o" "gcc" "src/compiler/CMakeFiles/manna_compiler.dir/dnc_codegen.cc.o.d"
+  "/root/repo/src/compiler/mapping.cc" "src/compiler/CMakeFiles/manna_compiler.dir/mapping.cc.o" "gcc" "src/compiler/CMakeFiles/manna_compiler.dir/mapping.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/manna_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/manna_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/manna_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mann/CMakeFiles/manna_mann.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/manna_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

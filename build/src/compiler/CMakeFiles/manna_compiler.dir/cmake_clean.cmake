@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manna_compiler.dir/codegen.cc.o"
+  "CMakeFiles/manna_compiler.dir/codegen.cc.o.d"
+  "CMakeFiles/manna_compiler.dir/codegen_util.cc.o"
+  "CMakeFiles/manna_compiler.dir/codegen_util.cc.o.d"
+  "CMakeFiles/manna_compiler.dir/compiler.cc.o"
+  "CMakeFiles/manna_compiler.dir/compiler.cc.o.d"
+  "CMakeFiles/manna_compiler.dir/dnc_codegen.cc.o"
+  "CMakeFiles/manna_compiler.dir/dnc_codegen.cc.o.d"
+  "CMakeFiles/manna_compiler.dir/mapping.cc.o"
+  "CMakeFiles/manna_compiler.dir/mapping.cc.o.d"
+  "libmanna_compiler.a"
+  "libmanna_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manna_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for manna_compiler.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manna_harness.dir/cluster.cc.o"
+  "CMakeFiles/manna_harness.dir/cluster.cc.o.d"
+  "CMakeFiles/manna_harness.dir/experiment.cc.o"
+  "CMakeFiles/manna_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/manna_harness.dir/report.cc.o"
+  "CMakeFiles/manna_harness.dir/report.cc.o.d"
+  "libmanna_harness.a"
+  "libmanna_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manna_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

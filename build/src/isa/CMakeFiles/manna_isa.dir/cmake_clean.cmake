@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manna_isa.dir/assembler.cc.o"
+  "CMakeFiles/manna_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/manna_isa.dir/isa.cc.o"
+  "CMakeFiles/manna_isa.dir/isa.cc.o.d"
+  "CMakeFiles/manna_isa.dir/program.cc.o"
+  "CMakeFiles/manna_isa.dir/program.cc.o.d"
+  "libmanna_isa.a"
+  "libmanna_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manna_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mann/addressing.cc" "src/mann/CMakeFiles/manna_mann.dir/addressing.cc.o" "gcc" "src/mann/CMakeFiles/manna_mann.dir/addressing.cc.o.d"
+  "/root/repo/src/mann/controller.cc" "src/mann/CMakeFiles/manna_mann.dir/controller.cc.o" "gcc" "src/mann/CMakeFiles/manna_mann.dir/controller.cc.o.d"
+  "/root/repo/src/mann/dnc.cc" "src/mann/CMakeFiles/manna_mann.dir/dnc.cc.o" "gcc" "src/mann/CMakeFiles/manna_mann.dir/dnc.cc.o.d"
+  "/root/repo/src/mann/head.cc" "src/mann/CMakeFiles/manna_mann.dir/head.cc.o" "gcc" "src/mann/CMakeFiles/manna_mann.dir/head.cc.o.d"
+  "/root/repo/src/mann/mann_config.cc" "src/mann/CMakeFiles/manna_mann.dir/mann_config.cc.o" "gcc" "src/mann/CMakeFiles/manna_mann.dir/mann_config.cc.o.d"
+  "/root/repo/src/mann/memnet.cc" "src/mann/CMakeFiles/manna_mann.dir/memnet.cc.o" "gcc" "src/mann/CMakeFiles/manna_mann.dir/memnet.cc.o.d"
+  "/root/repo/src/mann/memory.cc" "src/mann/CMakeFiles/manna_mann.dir/memory.cc.o" "gcc" "src/mann/CMakeFiles/manna_mann.dir/memory.cc.o.d"
+  "/root/repo/src/mann/ntm.cc" "src/mann/CMakeFiles/manna_mann.dir/ntm.cc.o" "gcc" "src/mann/CMakeFiles/manna_mann.dir/ntm.cc.o.d"
+  "/root/repo/src/mann/op_counter.cc" "src/mann/CMakeFiles/manna_mann.dir/op_counter.cc.o" "gcc" "src/mann/CMakeFiles/manna_mann.dir/op_counter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/manna_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/manna_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manna_mann.dir/addressing.cc.o"
+  "CMakeFiles/manna_mann.dir/addressing.cc.o.d"
+  "CMakeFiles/manna_mann.dir/controller.cc.o"
+  "CMakeFiles/manna_mann.dir/controller.cc.o.d"
+  "CMakeFiles/manna_mann.dir/dnc.cc.o"
+  "CMakeFiles/manna_mann.dir/dnc.cc.o.d"
+  "CMakeFiles/manna_mann.dir/head.cc.o"
+  "CMakeFiles/manna_mann.dir/head.cc.o.d"
+  "CMakeFiles/manna_mann.dir/mann_config.cc.o"
+  "CMakeFiles/manna_mann.dir/mann_config.cc.o.d"
+  "CMakeFiles/manna_mann.dir/memnet.cc.o"
+  "CMakeFiles/manna_mann.dir/memnet.cc.o.d"
+  "CMakeFiles/manna_mann.dir/memory.cc.o"
+  "CMakeFiles/manna_mann.dir/memory.cc.o.d"
+  "CMakeFiles/manna_mann.dir/ntm.cc.o"
+  "CMakeFiles/manna_mann.dir/ntm.cc.o.d"
+  "CMakeFiles/manna_mann.dir/op_counter.cc.o"
+  "CMakeFiles/manna_mann.dir/op_counter.cc.o.d"
+  "libmanna_mann.a"
+  "libmanna_mann.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manna_mann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for manna_mann.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/chip.cc" "src/sim/CMakeFiles/manna_sim.dir/chip.cc.o" "gcc" "src/sim/CMakeFiles/manna_sim.dir/chip.cc.o.d"
+  "/root/repo/src/sim/controller_tile.cc" "src/sim/CMakeFiles/manna_sim.dir/controller_tile.cc.o" "gcc" "src/sim/CMakeFiles/manna_sim.dir/controller_tile.cc.o.d"
+  "/root/repo/src/sim/dnc_chip.cc" "src/sim/CMakeFiles/manna_sim.dir/dnc_chip.cc.o" "gcc" "src/sim/CMakeFiles/manna_sim.dir/dnc_chip.cc.o.d"
+  "/root/repo/src/sim/noc.cc" "src/sim/CMakeFiles/manna_sim.dir/noc.cc.o" "gcc" "src/sim/CMakeFiles/manna_sim.dir/noc.cc.o.d"
+  "/root/repo/src/sim/tile.cc" "src/sim/CMakeFiles/manna_sim.dir/tile.cc.o" "gcc" "src/sim/CMakeFiles/manna_sim.dir/tile.cc.o.d"
+  "/root/repo/src/sim/tile_memory.cc" "src/sim/CMakeFiles/manna_sim.dir/tile_memory.cc.o" "gcc" "src/sim/CMakeFiles/manna_sim.dir/tile_memory.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/manna_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/manna_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/manna_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/manna_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/manna_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mann/CMakeFiles/manna_mann.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/manna_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/manna_compiler.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manna_sim.dir/chip.cc.o"
+  "CMakeFiles/manna_sim.dir/chip.cc.o.d"
+  "CMakeFiles/manna_sim.dir/controller_tile.cc.o"
+  "CMakeFiles/manna_sim.dir/controller_tile.cc.o.d"
+  "CMakeFiles/manna_sim.dir/dnc_chip.cc.o"
+  "CMakeFiles/manna_sim.dir/dnc_chip.cc.o.d"
+  "CMakeFiles/manna_sim.dir/noc.cc.o"
+  "CMakeFiles/manna_sim.dir/noc.cc.o.d"
+  "CMakeFiles/manna_sim.dir/tile.cc.o"
+  "CMakeFiles/manna_sim.dir/tile.cc.o.d"
+  "CMakeFiles/manna_sim.dir/tile_memory.cc.o"
+  "CMakeFiles/manna_sim.dir/tile_memory.cc.o.d"
+  "CMakeFiles/manna_sim.dir/trace.cc.o"
+  "CMakeFiles/manna_sim.dir/trace.cc.o.d"
+  "libmanna_sim.a"
+  "libmanna_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manna_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

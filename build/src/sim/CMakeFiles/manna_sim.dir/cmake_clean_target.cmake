@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmanna_sim.a"
+)

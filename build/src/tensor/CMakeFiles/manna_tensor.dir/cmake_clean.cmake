@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manna_tensor.dir/matrix.cc.o"
+  "CMakeFiles/manna_tensor.dir/matrix.cc.o.d"
+  "CMakeFiles/manna_tensor.dir/vector_ops.cc.o"
+  "CMakeFiles/manna_tensor.dir/vector_ops.cc.o.d"
+  "libmanna_tensor.a"
+  "libmanna_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manna_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/benchmarks.cc" "src/workloads/CMakeFiles/manna_workloads.dir/benchmarks.cc.o" "gcc" "src/workloads/CMakeFiles/manna_workloads.dir/benchmarks.cc.o.d"
+  "/root/repo/src/workloads/graph_gen.cc" "src/workloads/CMakeFiles/manna_workloads.dir/graph_gen.cc.o" "gcc" "src/workloads/CMakeFiles/manna_workloads.dir/graph_gen.cc.o.d"
+  "/root/repo/src/workloads/tasks.cc" "src/workloads/CMakeFiles/manna_workloads.dir/tasks.cc.o" "gcc" "src/workloads/CMakeFiles/manna_workloads.dir/tasks.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/manna_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mann/CMakeFiles/manna_mann.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/manna_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manna_workloads.dir/benchmarks.cc.o"
+  "CMakeFiles/manna_workloads.dir/benchmarks.cc.o.d"
+  "CMakeFiles/manna_workloads.dir/graph_gen.cc.o"
+  "CMakeFiles/manna_workloads.dir/graph_gen.cc.o.d"
+  "CMakeFiles/manna_workloads.dir/tasks.cc.o"
+  "CMakeFiles/manna_workloads.dir/tasks.cc.o.d"
+  "libmanna_workloads.a"
+  "libmanna_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manna_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_arch.cc" "tests/CMakeFiles/test_arch.dir/test_arch.cc.o" "gcc" "tests/CMakeFiles/test_arch.dir/test_arch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/manna_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/manna_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/manna_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/manna_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/manna_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/mann/CMakeFiles/manna_mann.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/manna_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/manna_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/manna_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/manna_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dnc_chip.dir/test_dnc_chip.cc.o"
+  "CMakeFiles/test_dnc_chip.dir/test_dnc_chip.cc.o.d"
+  "test_dnc_chip"
+  "test_dnc_chip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dnc_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mann.dir/test_mann.cc.o"
+  "CMakeFiles/test_mann.dir/test_mann.cc.o.d"
+  "test_mann"
+  "test_mann.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

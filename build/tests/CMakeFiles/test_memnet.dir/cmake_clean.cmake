@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memnet.dir/test_memnet.cc.o"
+  "CMakeFiles/test_memnet.dir/test_memnet.cc.o.d"
+  "test_memnet"
+  "test_memnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_op_counter.dir/test_op_counter.cc.o"
+  "CMakeFiles/test_op_counter.dir/test_op_counter.cc.o.d"
+  "test_op_counter"
+  "test_op_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_op_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_chip.dir/test_sim_chip.cc.o"
+  "CMakeFiles/test_sim_chip.dir/test_sim_chip.cc.o.d"
+  "test_sim_chip"
+  "test_sim_chip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_noc.dir/test_sim_noc.cc.o"
+  "CMakeFiles/test_sim_noc.dir/test_sim_noc.cc.o.d"
+  "test_sim_noc"
+  "test_sim_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_tile.dir/test_sim_tile.cc.o"
+  "CMakeFiles/test_sim_tile.dir/test_sim_tile.cc.o.d"
+  "test_sim_tile"
+  "test_sim_tile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_tile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
