@@ -14,8 +14,8 @@
 #include "common/config.hh"
 #include "common/strutil.hh"
 #include "common/table.hh"
-#include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 
 using namespace manna;
 
@@ -25,6 +25,9 @@ main(int argc, char **argv)
     const Config cfg = Config::fromArgs(argc, argv);
     const std::size_t steps = static_cast<std::size_t>(
         cfg.getInt("steps", 4)); // scaled problems are large
+    const std::size_t jobs =
+        static_cast<std::size_t>(cfg.getInt("jobs", 0));
+    const std::string only = cfg.getString("bench", "");
 
     harness::printBanner("Figure 12",
                          "Manna performance trends with strong "
@@ -33,7 +36,31 @@ main(int argc, char **argv)
     const std::size_t tileCounts[] = {4, 8, 16, 32, 64};
     Table table({"Benchmark", "4", "8", "16", "32", "64"});
 
-    for (const auto &bench : workloads::table2Suite()) {
+    // Build the job list first (cells where the memory has fewer rows
+    // than tiles are skipped), then execute it on the sweep runner:
+    // results come back in submission order, so the table below is
+    // byte-identical for any worker count.
+    std::vector<workloads::Benchmark> suite;
+    for (const auto &bench : workloads::table2Suite())
+        if (only.empty() || bench.name == only)
+            suite.push_back(bench);
+
+    std::vector<harness::SweepJob> sweep;
+    for (const auto &bench : suite) {
+        for (std::size_t tiles : tileCounts) {
+            if (bench.config.memN < tiles)
+                continue;
+            sweep.push_back({bench,
+                             arch::MannaConfig::withTiles(tiles),
+                             steps, /*seed=*/1});
+        }
+    }
+
+    harness::SweepRunner runner(jobs);
+    const auto results = runner.runAll(sweep);
+
+    std::size_t next = 0;
+    for (const auto &bench : suite) {
         std::vector<std::string> row{bench.name};
         double baseline = 0.0;
         for (std::size_t tiles : tileCounts) {
@@ -41,8 +68,7 @@ main(int argc, char **argv)
                 row.push_back("-");
                 continue;
             }
-            const auto result = harness::simulateManna(
-                bench, arch::MannaConfig::withTiles(tiles), steps);
+            const auto &result = results[next++];
             if (tiles == 4) {
                 baseline = result.secondsPerStep;
                 row.push_back("1.00x");

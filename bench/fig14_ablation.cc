@@ -17,8 +17,8 @@
 #include "common/config.hh"
 #include "common/strutil.hh"
 #include "common/table.hh"
-#include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 
 using namespace manna;
 
@@ -29,6 +29,9 @@ main(int argc, char **argv)
     const std::size_t steps = static_cast<std::size_t>(
         cfg.getInt("steps", static_cast<std::int64_t>(
                                 harness::defaultSteps())));
+    const std::size_t jobs =
+        static_cast<std::size_t>(cfg.getInt("jobs", 0));
+    const std::string only = cfg.getString("bench", "");
 
     harness::printBanner("Figure 14",
                          "Impact of Manna's architectural features "
@@ -39,12 +42,24 @@ main(int argc, char **argv)
                  "MemHeavy-eMAC", "Manna"});
     std::map<std::string, std::vector<double>> speedups;
 
-    for (const auto &bench : workloads::table2Suite()) {
+    std::vector<workloads::Benchmark> suite;
+    for (const auto &bench : workloads::table2Suite())
+        if (only.empty() || bench.name == only)
+            suite.push_back(bench);
+
+    std::vector<harness::SweepJob> sweep;
+    for (const auto &bench : suite)
+        for (const auto &variant : variants)
+            sweep.push_back({bench, variant.config, steps, /*seed=*/1});
+
+    harness::SweepRunner runner(jobs);
+    const auto results = runner.runAll(sweep);
+
+    std::size_t next = 0;
+    for (const auto &bench : suite) {
         std::map<std::string, double> seconds;
         for (const auto &variant : variants)
-            seconds[variant.name] =
-                harness::simulateManna(bench, variant.config, steps)
-                    .secondsPerStep;
+            seconds[variant.name] = results[next++].secondsPerStep;
         std::vector<std::string> row{bench.name};
         for (const auto &variant : variants) {
             const double factor =

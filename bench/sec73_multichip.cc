@@ -18,6 +18,7 @@
 #include "common/table.hh"
 #include "harness/cluster.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 
 using namespace manna;
 
@@ -27,6 +28,8 @@ main(int argc, char **argv)
     const Config cfg = Config::fromArgs(argc, argv);
     const std::size_t steps =
         static_cast<std::size_t>(cfg.getInt("steps", 4));
+    const std::size_t jobs =
+        static_cast<std::size_t>(cfg.getInt("jobs", 0));
 
     harness::printBanner("Section 7.3 (cluster)",
                          "Scaling the differentiable memory across "
@@ -36,14 +39,28 @@ main(int argc, char **argv)
     Table table({"Benchmark", "Chips", "us/step", "comm us",
                  "Speedup", "mJ/step (all chips)"});
 
-    for (const char *name : {"bAbI", "travers", "shrdlu"}) {
-        const auto &bench = workloads::benchmarkByName(name);
-        double base = 0.0;
-        for (std::size_t chips : {1u, 2u, 4u, 8u}) {
+    const std::vector<const char *> names{"bAbI", "travers", "shrdlu"};
+    const std::vector<std::size_t> chipCounts{1, 2, 4, 8};
+
+    // Cluster evaluations are independent points too: map the whole
+    // (benchmark x chips) grid through the runner and assemble the
+    // table afterwards in grid order.
+    harness::SweepRunner runner(jobs);
+    const auto results = runner.map(
+        names.size() * chipCounts.size(), [&](std::size_t i) {
+            const auto &bench =
+                workloads::benchmarkByName(names[i / chipCounts.size()]);
             harness::ClusterConfig cluster;
-            cluster.chips = chips;
-            const auto result = harness::evaluateCluster(
-                bench, chip, cluster, steps);
+            cluster.chips = chipCounts[i % chipCounts.size()];
+            return harness::evaluateCluster(bench, chip, cluster,
+                                            steps);
+        });
+
+    std::size_t next = 0;
+    for (const char *name : names) {
+        double base = 0.0;
+        for (std::size_t chips : chipCounts) {
+            const auto &result = results[next++];
             if (chips == 1)
                 base = result.secondsPerStep;
             table.addRow(

@@ -6,30 +6,46 @@
 
 #include <cstdio>
 
+#include "common/config.hh"
 #include "common/strutil.hh"
 #include "common/table.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 #include "workloads/benchmarks.hh"
 
 using namespace manna;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const Config cfg = Config::fromArgs(argc, argv);
+    const std::size_t jobs =
+        static_cast<std::size_t>(cfg.getInt("jobs", 0));
+
     harness::printBanner("Table 2", "Summary of benchmarks");
 
     Table table({"Benchmark", "Task", "Diff. Memory", "Controller",
                  "Read Heads", "Write Heads", "Mem Footprint"});
-    for (const auto &b : workloads::table2Suite()) {
-        table.addRow(
-            {b.name, toString(b.task),
-             strformat("%zux%zu", b.config.memN, b.config.memM),
-             strformat("%zux%zu", b.config.controllerLayers,
-                       b.config.controllerWidth),
-             strformat("%zu", b.config.numReadHeads),
-             strformat("%zu", b.config.numWriteHeads),
-             formatBytes(b.config.memoryBytes())});
-    }
+    const auto suite = workloads::table2Suite();
+
+    // The rows are pure functions of the suite entries, so format
+    // them through the runner's ordered map: output is identical for
+    // any worker count.
+    harness::SweepRunner runner(jobs);
+    const auto rows = runner.map(
+        suite.size(), [&suite](std::size_t i) {
+            const auto &b = suite[i];
+            return std::vector<std::string>{
+                b.name, toString(b.task),
+                strformat("%zux%zu", b.config.memN, b.config.memM),
+                strformat("%zux%zu", b.config.controllerLayers,
+                          b.config.controllerWidth),
+                strformat("%zu", b.config.numReadHeads),
+                strformat("%zu", b.config.numWriteHeads),
+                formatBytes(b.config.memoryBytes())};
+        });
+    for (const auto &row : rows)
+        table.addRow(std::vector<std::string>(row));
     harness::printTable(table);
     harness::printPaperReference(
         "Table 2 of the paper; shapes reproduced exactly. Input/output "

@@ -1,0 +1,33 @@
+#!/bin/sh
+# Smoke-test the sweep-parallel bench harness: run a tiny strong-
+# scaling sweep twice (serial and with 2 workers) under a wall-clock
+# budget and require byte-identical tables.
+#
+# Usage: bench_smoke.sh <path-to-fig12_strong_scaling> [budget-seconds]
+set -eu
+
+BIN=${1:?usage: bench_smoke.sh <fig12_strong_scaling binary> [budget]}
+BUDGET=${2:-120}
+
+OUTDIR=$(mktemp -d)
+trap 'rm -rf "$OUTDIR"' EXIT INT TERM
+
+run_budgeted() {
+    # timeout(1) when available; otherwise rely on the ctest TIMEOUT.
+    if command -v timeout >/dev/null 2>&1; then
+        timeout "$BUDGET" "$@"
+    else
+        "$@"
+    fi
+}
+
+run_budgeted "$BIN" bench=recall steps=1 jobs=1 > "$OUTDIR/serial.txt"
+run_budgeted "$BIN" bench=recall steps=1 jobs=2 > "$OUTDIR/par.txt"
+
+if ! cmp -s "$OUTDIR/serial.txt" "$OUTDIR/par.txt"; then
+    echo "FAIL: jobs=1 and jobs=2 outputs differ" >&2
+    diff "$OUTDIR/serial.txt" "$OUTDIR/par.txt" >&2 || true
+    exit 1
+fi
+
+echo "OK: parallel sweep output byte-identical to serial"

@@ -1,5 +1,6 @@
 #include "manna_config.hh"
 
+#include "common/hash.hh"
 #include "common/logging.hh"
 #include "common/strutil.hh"
 
@@ -59,6 +60,48 @@ MannaConfig::validate() const
         fatal("systolic array dimensions must be nonzero");
     if (!hasEmac && elwisePenaltyNoEmac == 0)
         fatal("elwisePenaltyNoEmac must be nonzero when hasEmac=false");
+}
+
+std::uint64_t
+MannaConfig::fingerprint() const
+{
+    // Every field, in declaration order. Adding a field without
+    // folding it in here would let the compile cache alias distinct
+    // configurations, so keep the two in sync.
+    Fnv1a h;
+    h.u64(numTiles)
+        .f64(clockMhz)
+        .u64(emacsPerTile)
+        .u64(rfWordsPerEmac)
+        .u64(matrixBufferBytes)
+        .u64(matrixBufferWidthWords)
+        .u64(matrixScratchpadBytes)
+        .u64(vectorBufferBytes)
+        .u64(vectorScratchpadBytes)
+        .u64(vectorDmaWidthWords)
+        .u64(instMemEntries)
+        .u64(sfusPerTile)
+        .u64(sfuExpCycles)
+        .u64(sfuPowCycles)
+        .u64(sfuDivCycles)
+        .u64(sfuSqrtCycles)
+        .u64(sfuAccCycles)
+        .u64(nocLinkWordsPerCycle)
+        .u64(nocHopCycles)
+        .u64(systolicRows)
+        .u64(systolicCols)
+        .u64(controllerBufferBytes)
+        .boolean(hasHbm)
+        .u64(hbmModules)
+        .f64(hbmBandwidthGBsPerModule)
+        .f64(hbmWattsPerModule)
+        .f64(hbmAreaMm2PerController)
+        .boolean(hasDmat)
+        .boolean(hasEmac)
+        .u64(elwisePenaltyNoEmac)
+        .u64(noDmatConflictFactor)
+        .boolean(strictCapacity);
+    return h.value();
 }
 
 std::string

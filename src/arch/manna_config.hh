@@ -194,6 +194,13 @@ struct MannaConfig
     /** Validate invariants; fatal() on invalid configurations. */
     void validate() const;
 
+    /**
+     * Stable fingerprint over every configuration field, usable as a
+     * cache key: two configs hash equal iff the compiler would see
+     * identical microarchitectural inputs. Deterministic across runs.
+     */
+    std::uint64_t fingerprint() const;
+
     /** Multi-line human-readable description. */
     std::string describe() const;
 

@@ -11,7 +11,10 @@ Config::fromArgs(int argc, const char *const *argv, int firstArg)
 {
     Config cfg;
     for (int i = firstArg; i < argc; ++i) {
-        const std::string tok = argv[i];
+        std::string tok = argv[i];
+        // Accept GNU-style "--key=value" as a synonym for "key=value".
+        if (tok.rfind("--", 0) == 0)
+            tok.erase(0, 2);
         const auto eq = tok.find('=');
         if (eq == std::string::npos || eq == 0) {
             fatal("malformed option '%s' (expected key=value)",

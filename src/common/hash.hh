@@ -1,0 +1,56 @@
+/**
+ * @file
+ * A minimal stable (process-independent) hash for fingerprinting
+ * configuration structs. FNV-1a over a fixed field serialization:
+ * the resulting value is deterministic across runs and platforms
+ * with the same integer widths, which makes it usable as a compile
+ * cache key and printable in diagnostics.
+ */
+
+#ifndef MANNA_COMMON_HASH_HH
+#define MANNA_COMMON_HASH_HH
+
+#include <cstdint>
+#include <cstring>
+
+namespace manna
+{
+
+/** Incremental FNV-1a (64-bit). Feed fields in a fixed order. */
+class Fnv1a
+{
+  public:
+    Fnv1a &bytes(const void *data, std::size_t n)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            hash_ ^= p[i];
+            hash_ *= 0x100000001b3ull;
+        }
+        return *this;
+    }
+
+    Fnv1a &u64(std::uint64_t v)
+    {
+        return bytes(&v, sizeof(v));
+    }
+
+    Fnv1a &f64(double v)
+    {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        return u64(bits);
+    }
+
+    Fnv1a &boolean(bool v) { return u64(v ? 1 : 0); }
+
+    std::uint64_t value() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+} // namespace manna
+
+#endif // MANNA_COMMON_HASH_HH

@@ -1,0 +1,121 @@
+#include "compile_cache.hh"
+
+#include <future>
+#include <mutex>
+#include <unordered_map>
+
+namespace manna::compiler
+{
+
+namespace
+{
+
+struct CacheKey
+{
+    std::uint64_t mannFp;
+    std::uint64_t archFp;
+
+    bool operator==(const CacheKey &o) const
+    {
+        return mannFp == o.mannFp && archFp == o.archFp;
+    }
+};
+
+struct CacheKeyHash
+{
+    std::size_t operator()(const CacheKey &k) const
+    {
+        // The fingerprints are already well-mixed FNV-1a values.
+        return static_cast<std::size_t>(k.mannFp ^
+                                        (k.archFp * 0x9e3779b97f4a7c15ull));
+    }
+};
+
+struct Cache
+{
+    std::mutex mu;
+    std::unordered_map<CacheKey,
+                       std::shared_future<
+                           std::shared_ptr<const CompiledModel>>,
+                       CacheKeyHash>
+        entries;
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+};
+
+Cache &
+cache()
+{
+    static Cache c;
+    return c;
+}
+
+} // namespace
+
+std::shared_ptr<const CompiledModel>
+compileCached(const mann::MannConfig &mann, const arch::MannaConfig &arch)
+{
+    const CacheKey key{mann.fingerprint(), arch.fingerprint()};
+    Cache &c = cache();
+
+    std::promise<std::shared_ptr<const CompiledModel>> promise;
+    std::shared_future<std::shared_ptr<const CompiledModel>> future;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(c.mu);
+        auto it = c.entries.find(key);
+        if (it != c.entries.end()) {
+            ++c.hits;
+            future = it->second;
+        } else {
+            ++c.misses;
+            owner = true;
+            future = promise.get_future().share();
+            c.entries.emplace(key, future);
+        }
+    }
+
+    if (owner) {
+        // Compile outside the lock so independent keys proceed in
+        // parallel; waiters on this key block on the future instead.
+        promise.set_value(std::make_shared<const CompiledModel>(
+            compile(mann, arch)));
+    }
+    return future.get();
+}
+
+std::size_t
+compileCacheSize()
+{
+    Cache &c = cache();
+    std::lock_guard<std::mutex> lock(c.mu);
+    return c.entries.size();
+}
+
+std::size_t
+compileCacheHits()
+{
+    Cache &c = cache();
+    std::lock_guard<std::mutex> lock(c.mu);
+    return c.hits;
+}
+
+std::size_t
+compileCacheMisses()
+{
+    Cache &c = cache();
+    std::lock_guard<std::mutex> lock(c.mu);
+    return c.misses;
+}
+
+void
+clearCompileCache()
+{
+    Cache &c = cache();
+    std::lock_guard<std::mutex> lock(c.mu);
+    c.entries.clear();
+    c.hits = 0;
+    c.misses = 0;
+}
+
+} // namespace manna::compiler

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Thread-safe compiled-model cache. Sweeps evaluate the same
+ * (MANN shape, Manna configuration) pair at many step counts, seeds,
+ * and cluster parameters; compilation is deterministic, so each
+ * distinct pair needs to be compiled exactly once per process. The
+ * cache is keyed by the stable fingerprints of both configuration
+ * structs and hands out shared ownership so concurrent sweep jobs can
+ * hold a model while the cache retains it.
+ *
+ * Concurrent misses on the same key compile once: the first caller
+ * publishes a future the rest wait on.
+ */
+
+#ifndef MANNA_COMPILER_COMPILE_CACHE_HH
+#define MANNA_COMPILER_COMPILE_CACHE_HH
+
+#include <cstddef>
+#include <memory>
+
+#include "compiler/compiler.hh"
+
+namespace manna::compiler
+{
+
+/**
+ * Compile via the process-wide cache. Returns a shared handle; the
+ * caller must keep it alive for as long as anything (e.g. a sim::Chip)
+ * references the model.
+ */
+std::shared_ptr<const CompiledModel>
+compileCached(const mann::MannConfig &mann,
+              const arch::MannaConfig &arch);
+
+/** Number of distinct models currently cached. */
+std::size_t compileCacheSize();
+
+/** Cache hits / misses since process start (or the last reset). */
+std::size_t compileCacheHits();
+std::size_t compileCacheMisses();
+
+/** Drop every cached model and zero the hit/miss counters. Models
+ * still referenced by callers stay alive through their shared_ptrs. */
+void clearCompileCache();
+
+} // namespace manna::compiler
+
+#endif // MANNA_COMPILER_COMPILE_CACHE_HH

@@ -2,7 +2,7 @@
 
 #include "common/logging.hh"
 #include "common/types.hh"
-#include "compiler/compiler.hh"
+#include "compiler/compile_cache.hh"
 
 namespace manna::harness
 {
@@ -44,11 +44,14 @@ evaluateCluster(const workloads::Benchmark &benchmark,
         return result;
 
     // Inter-chip overhead per step: every reduce/broadcast of the
-    // compiled step also crosses the chip-to-chip tree.
-    const auto model = compiler::compile(share.config, chipConfig);
+    // compiled step also crosses the chip-to-chip tree. The cache
+    // shares this compile with the per-chip simulation above (same
+    // scaled-down shape), so varying only the cluster parameters
+    // compiles nothing new.
+    const auto model = compiler::compileCached(share.config, chipConfig);
     const std::size_t depth = log2Ceil(cluster.chips);
     double comm = 0.0;
-    for (const auto &segment : model.stepSegments) {
+    for (const auto &segment : model->stepSegments) {
         for (const auto &inst :
              segment.tilePrograms[0].instructions()) {
             if (inst.op != isa::Opcode::Reduce &&

@@ -4,21 +4,16 @@
 
 #include "common/logging.hh"
 #include "common/strutil.hh"
-#include "compiler/compiler.hh"
+#include "compiler/compile_cache.hh"
 
 namespace manna::harness
 {
 
 MannaResult
-simulateManna(const workloads::Benchmark &benchmark,
-              const arch::MannaConfig &config, std::size_t steps,
-              std::uint64_t seed)
+runCompiled(const workloads::Benchmark &benchmark,
+            const compiler::CompiledModel &model, std::size_t steps,
+            std::uint64_t seed)
 {
-    const compiler::CompiledModel model =
-        compiler::compile(benchmark.config, config);
-    for (const auto &w : model.warnings)
-        debugLog("%s: %s", benchmark.name.c_str(), w.c_str());
-
     sim::Chip chip(model, seed);
     Rng rng(seed ^ 0x5eedf00dull);
     workloads::Episode episode =
@@ -39,13 +34,24 @@ simulateManna(const workloads::Benchmark &benchmark,
     result.joulesPerStep =
         result.report.totalEnergyJoules() /
         static_cast<double>(std::max<std::size_t>(steps, 1));
-    const double cyclePeriod = config.cyclePeriodSec();
+    const double cyclePeriod = model.archCfg.cyclePeriodSec();
     for (const auto &[group, gs] : result.report.groups) {
         result.groupSeconds[group] =
             static_cast<double>(gs.cycles) * cyclePeriod /
             static_cast<double>(std::max<std::size_t>(steps, 1));
     }
     return result;
+}
+
+MannaResult
+simulateManna(const workloads::Benchmark &benchmark,
+              const arch::MannaConfig &config, std::size_t steps,
+              std::uint64_t seed)
+{
+    const auto model = compiler::compileCached(benchmark.config, config);
+    for (const auto &w : model->warnings)
+        debugLog("%s: %s", benchmark.name.c_str(), w.c_str());
+    return runCompiled(benchmark, *model, steps, seed);
 }
 
 BaselineResult

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "baselines/platform_model.hh"
+#include "compiler/compiled_model.hh"
 #include "sim/chip.hh"
 #include "workloads/benchmarks.hh"
 #include "workloads/tasks.hh"
@@ -41,10 +42,20 @@ struct BaselineResult
 /**
  * Simulate @p steps time steps of a benchmark on the given Manna
  * configuration, driving it with the benchmark's task generator.
+ * Compilation goes through the process-wide compile cache.
  */
 MannaResult simulateManna(const workloads::Benchmark &benchmark,
                           const arch::MannaConfig &config,
                           std::size_t steps, std::uint64_t seed = 1);
+
+/**
+ * Simulation phase of simulateManna() for an already-compiled model:
+ * pure and log-free, so sweep workers can run it concurrently
+ * (capacity warnings stay on the model for the caller to report).
+ */
+MannaResult runCompiled(const workloads::Benchmark &benchmark,
+                        const compiler::CompiledModel &model,
+                        std::size_t steps, std::uint64_t seed = 1);
 
 /** Evaluate a benchmark on a baseline platform model. */
 BaselineResult evaluateBaseline(const workloads::Benchmark &benchmark,

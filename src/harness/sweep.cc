@@ -1,0 +1,138 @@
+#include "sweep.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "compiler/compile_cache.hh"
+
+namespace manna::harness
+{
+
+std::size_t
+defaultJobs()
+{
+    if (const char *env = std::getenv("MANNA_JOBS")) {
+        const auto v = parseInt(env);
+        if (v && *v > 0)
+            return static_cast<std::size_t>(*v);
+        warn("ignoring invalid MANNA_JOBS='%s'", env);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+// ---------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    hasWork_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    if (workers_.empty()) {
+        // Degenerate pool: run inline so submit()/wait() still work.
+        task();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.push_back(std::move(task));
+        ++inFlight_;
+    }
+    hasWork_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    allDone_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    while (true) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            hasWork_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping_ and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --inFlight_;
+            if (inFlight_ == 0)
+                allDone_.notify_all();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// SweepRunner
+// ---------------------------------------------------------------------
+
+SweepRunner::SweepRunner(std::size_t jobs)
+    : jobs_(jobs == 0 ? defaultJobs() : jobs)
+{
+    if (jobs_ > 1)
+        pool_ = std::make_unique<ThreadPool>(jobs_);
+}
+
+std::vector<MannaResult>
+SweepRunner::runAll(const std::vector<SweepJob> &jobs)
+{
+    struct Outcome
+    {
+        std::shared_ptr<const compiler::CompiledModel> model;
+        MannaResult result;
+    };
+
+    auto outcomes = map(jobs.size(), [&jobs](std::size_t i) {
+        const SweepJob &job = jobs[i];
+        Outcome o;
+        o.model =
+            compiler::compileCached(job.benchmark.config, job.config);
+        o.result = runCompiled(job.benchmark, *o.model, job.steps,
+                               job.seed);
+        return o;
+    });
+
+    // Replay deferred diagnostics in submission order: worker threads
+    // never write to the log streams themselves.
+    std::vector<MannaResult> results;
+    results.reserve(outcomes.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        for (const auto &w : outcomes[i].model->warnings)
+            debugLog("%s: %s", jobs[i].benchmark.name.c_str(),
+                     w.c_str());
+        results.push_back(std::move(outcomes[i].result));
+    }
+    return results;
+}
+
+} // namespace manna::harness

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Parallel sweep runner. Every figure/table in the paper is a sweep
+ * over independent (benchmark x config x steps x seed) simulation
+ * points; the points share no mutable state, so — like gem5-family
+ * infrastructure — we parallelize at the job level while keeping each
+ * individual simulation deterministic and single-threaded.
+ *
+ * Determinism contract: results are returned in submission order and
+ * each job's outcome depends only on its inputs, so a run with N
+ * worker threads is byte-identical to a run with 1 (which in turn
+ * matches the historical strictly-serial harness). Worker threads
+ * never touch stdout/stderr; deferred diagnostics (compile warnings)
+ * are replayed in submission order on the calling thread.
+ *
+ * The pool is a plain std::thread + mutex/condition-variable work
+ * queue — no external dependencies.
+ */
+
+#ifndef MANNA_HARNESS_SWEEP_HH
+#define MANNA_HARNESS_SWEEP_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace manna::harness
+{
+
+/**
+ * Worker count to use when none is requested explicitly: the
+ * MANNA_JOBS environment variable if set and valid, otherwise the
+ * hardware concurrency (at least 1).
+ */
+std::size_t defaultJobs();
+
+/**
+ * Fixed-size thread pool with a FIFO work queue. submit() may be
+ * called from the owning thread only; tasks must not throw.
+ */
+class ThreadPool
+{
+  public:
+    /** @p threads == 0 or 1 runs every task inline in wait(). */
+    explicit ThreadPool(std::size_t threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a task. */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished. */
+    void wait();
+
+    std::size_t threadCount() const { return workers_.size(); }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mu_;
+    std::condition_variable hasWork_;
+    std::condition_variable allDone_;
+    std::size_t inFlight_ = 0;
+    bool stopping_ = false;
+};
+
+/** One independent simulation point of a sweep. */
+struct SweepJob
+{
+    workloads::Benchmark benchmark;
+    arch::MannaConfig config;
+    std::size_t steps = 1;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Executes sweep jobs across a fixed worker pool, returning results
+ * in deterministic submission order. One sweep at a time per runner;
+ * the pool threads persist across runAll()/map() calls.
+ */
+class SweepRunner
+{
+  public:
+    /** @p jobs == 0 selects defaultJobs(). 1 is fully serial (no
+     * worker threads are spawned at all). */
+    explicit SweepRunner(std::size_t jobs = 0);
+
+    /** Number of concurrent jobs in use (>= 1). */
+    std::size_t jobs() const { return jobs_; }
+
+    /**
+     * Run every job; result i corresponds to jobs[i]. Compilation
+     * goes through the process-wide compile cache; compile warnings
+     * are replayed in submission order after the sweep completes.
+     */
+    std::vector<MannaResult> runAll(const std::vector<SweepJob> &jobs);
+
+    /**
+     * Generic ordered parallel map: evaluate fn(0..count-1) on the
+     * pool and return the results indexed by input. @p fn must be
+     * safe to call concurrently from multiple threads and must not
+     * write to stdout/stderr (that would break the byte-identical
+     * parallel-output contract).
+     */
+    template <typename Fn>
+    auto map(std::size_t count, Fn &&fn)
+        -> std::vector<decltype(fn(std::size_t{0}))>
+    {
+        using Result = decltype(fn(std::size_t{0}));
+        std::vector<Result> results(count);
+        if (!pool_ || count <= 1) {
+            for (std::size_t i = 0; i < count; ++i)
+                results[i] = fn(i);
+            return results;
+        }
+        for (std::size_t i = 0; i < count; ++i)
+            pool_->submit([&results, &fn, i] { results[i] = fn(i); });
+        pool_->wait();
+        return results;
+    }
+
+  private:
+    std::size_t jobs_;
+    std::unique_ptr<ThreadPool> pool_; ///< null when jobs_ == 1
+};
+
+} // namespace manna::harness
+
+#endif // MANNA_HARNESS_SWEEP_HH

@@ -42,11 +42,31 @@ FVec
 addressHead(const FMat &memory, const HeadParams &params,
             const FVec &wPrev, float epsilon)
 {
-    const FVec wc =
-        contentWeighting(memory, params.key, params.beta, epsilon);
-    const FVec wg = interpolate(wc, wPrev, params.gate);
-    const FVec ws = shiftWeighting(wg, params.shift);
-    return sharpenWeighting(ws, params.gamma);
+    AddressingScratch scratch;
+    FVec out;
+    addressHeadInto(memory, params, wPrev, epsilon, scratch, out);
+    return out;
+}
+
+void
+addressHeadInto(const FMat &memory, const HeadParams &params,
+                const FVec &wPrev, float epsilon,
+                AddressingScratch &scratch, FVec &out)
+{
+    tensor::rowCosineSimilarityInto(memory, params.key, epsilon,
+                                    scratch.sim);
+    tensor::softmaxInto(scratch.sim, params.beta, scratch.wc);
+
+    MANNA_ASSERT(scratch.wc.size() == wPrev.size(),
+                 "interpolate size mismatch %zu vs %zu",
+                 scratch.wc.size(), wPrev.size());
+    scratch.wg.resize(scratch.wc.size());
+    for (std::size_t i = 0; i < scratch.wc.size(); ++i)
+        scratch.wg[i] = params.gate * scratch.wc[i] +
+                        (1.0f - params.gate) * wPrev[i];
+
+    tensor::circularConvolveInto(scratch.wg, params.shift, scratch.ws);
+    tensor::sharpenInto(scratch.ws, params.gamma, out);
 }
 
 } // namespace manna::mann

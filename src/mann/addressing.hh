@@ -47,6 +47,28 @@ FVec sharpenWeighting(const FVec &ws, float gamma);
 FVec addressHead(const FMat &memory, const HeadParams &params,
                  const FVec &wPrev, float epsilon);
 
+/**
+ * Reusable intermediates for addressHeadInto(). Holding one of these
+ * per simulator object keeps the addressing pipeline allocation-free
+ * after the first step.
+ */
+struct AddressingScratch
+{
+    FVec sim; ///< raw cosine similarities
+    FVec wc;  ///< content weighting
+    FVec wg;  ///< interpolated weighting
+    FVec ws;  ///< shifted weighting
+};
+
+/**
+ * Allocation-free twin of addressHead(): bit-identical result written
+ * into @p out, intermediates staged in @p scratch. @p out must not
+ * alias @p wPrev or any scratch member.
+ */
+void addressHeadInto(const FMat &memory, const HeadParams &params,
+                     const FVec &wPrev, float epsilon,
+                     AddressingScratch &scratch, FVec &out);
+
 } // namespace manna::mann
 
 #endif // MANNA_MANN_ADDRESSING_HH

@@ -1,5 +1,6 @@
 #include "mann_config.hh"
 
+#include "common/hash.hh"
 #include "common/logging.hh"
 #include "common/strutil.hh"
 
@@ -36,6 +37,26 @@ MannConfig::validate() const
     if (shiftRadius >= memN)
         fatal("shift radius %zu must be smaller than memN %zu",
               shiftRadius, memN);
+}
+
+std::uint64_t
+MannConfig::fingerprint() const
+{
+    // Every field, in declaration order (see
+    // arch::MannaConfig::fingerprint for the aliasing caveat).
+    Fnv1a h;
+    h.u64(memN)
+        .u64(memM)
+        .u64(controllerLayers)
+        .u64(controllerWidth)
+        .u64(static_cast<std::uint64_t>(controllerKind))
+        .u64(inputDim)
+        .u64(outputDim)
+        .u64(numReadHeads)
+        .u64(numWriteHeads)
+        .u64(shiftRadius)
+        .f64(static_cast<double>(similarityEpsilon));
+    return h.value();
 }
 
 std::string

@@ -10,6 +10,7 @@
 #define MANNA_MANN_MANN_CONFIG_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 namespace manna::mann
@@ -87,6 +88,9 @@ struct MannConfig
 
     /** Sanity-check the configuration; calls fatal() on bad shapes. */
     void validate() const;
+
+    /** Stable fingerprint over every field (compile-cache key). */
+    std::uint64_t fingerprint() const;
 
     /** One-line human-readable summary. */
     std::string summary() const;

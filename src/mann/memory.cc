@@ -28,10 +28,18 @@ ExternalMemory::randomize(Rng &rng, float scale)
 FVec
 ExternalMemory::softRead(const FVec &w) const
 {
+    FVec out;
+    softReadInto(w, out);
+    return out;
+}
+
+void
+ExternalMemory::softReadInto(const FVec &w, FVec &out) const
+{
     MANNA_ASSERT(w.size() == mat_.rows(),
                  "softRead weight length %zu != memN %zu", w.size(),
                  mat_.rows());
-    return tensor::vecMatMul(w, mat_);
+    tensor::vecMatMulInto(w, mat_, out);
 }
 
 void

@@ -43,6 +43,11 @@ class ExternalMemory
      */
     FVec softRead(const FVec &w) const;
 
+    /** Allocation-free twin of softRead(): bit-identical result
+     * written into @p out (resized to memM). @p out must not alias
+     * @p w. */
+    void softReadInto(const FVec &w, FVec &out) const;
+
     /**
      * Soft write (Eqs. 2-3): erase then add, applied to every row:
      *   M'(i)  = M(i) o (1 - w(i) * e)

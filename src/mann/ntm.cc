@@ -43,11 +43,15 @@ Ntm::step(const FVec &input)
     StepTrace trace;
 
     // 1. Controller.
-    std::vector<FVec> parts;
-    parts.push_back(input);
+    std::size_t inWidth = input.size();
     for (const auto &r : prevReads_)
-        parts.push_back(r);
-    trace.controllerInput = tensor::concat(parts);
+        inWidth += r.size();
+    trace.controllerInput.reserve(inWidth);
+    trace.controllerInput.insert(trace.controllerInput.end(),
+                                 input.begin(), input.end());
+    for (const auto &r : prevReads_)
+        trace.controllerInput.insert(trace.controllerInput.end(),
+                                     r.begin(), r.end());
     ControllerOutput ctrl = controller_->forward(trace.controllerInput);
     trace.hidden = ctrl.hidden;
     trace.output = ctrl.output;
@@ -55,23 +59,23 @@ Ntm::step(const FVec &input)
     // 2-3. Heads and addressing against M^t.
     for (std::size_t h = 0; h < readHeads_.size(); ++h) {
         HeadParams p = readHeads_[h].emit(trace.hidden);
-        FVec w = addressHead(memory_.matrix(), p, prevReadWeights_[h],
-                             cfg_.similarityEpsilon);
+        FVec &w = trace.readWeights.emplace_back();
+        addressHeadInto(memory_.matrix(), p, prevReadWeights_[h],
+                        cfg_.similarityEpsilon, addrScratch_, w);
         trace.readParams.push_back(std::move(p));
-        trace.readWeights.push_back(std::move(w));
     }
     for (std::size_t h = 0; h < writeHeads_.size(); ++h) {
         HeadParams p = writeHeads_[h].emit(trace.hidden);
-        FVec w = addressHead(memory_.matrix(), p, prevWriteWeights_[h],
-                             cfg_.similarityEpsilon);
+        FVec &w = trace.writeWeights.emplace_back();
+        addressHeadInto(memory_.matrix(), p, prevWriteWeights_[h],
+                        cfg_.similarityEpsilon, addrScratch_, w);
         trace.writeParams.push_back(std::move(p));
-        trace.writeWeights.push_back(std::move(w));
     }
 
     // 4. Soft reads from M^t.
     for (std::size_t h = 0; h < readHeads_.size(); ++h)
-        trace.readVectors.push_back(
-            memory_.softRead(trace.readWeights[h]));
+        memory_.softReadInto(trace.readWeights[h],
+                             trace.readVectors.emplace_back());
 
     // 5. Soft writes: M^t -> M^{t+1}, sequential across write heads.
     for (std::size_t h = 0; h < writeHeads_.size(); ++h) {

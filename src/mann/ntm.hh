@@ -100,6 +100,10 @@ class Ntm
     std::vector<FVec> prevReadWeights_;
     std::vector<FVec> prevWriteWeights_;
     std::vector<FVec> prevReads_;
+
+    // Reused across steps so the addressing pipeline's intermediates
+    // never hit the heap after the first step.
+    AddressingScratch addrScratch_;
 };
 
 } // namespace manna::mann

@@ -157,15 +157,14 @@ Chip::step(const tensor::FVec &input)
                  mc.inputDim);
 
     // ---- Controller tile ----
-    std::vector<tensor::FVec> parts;
-    parts.push_back(input);
+    ctrlInput_.clear();
+    ctrlInput_.insert(ctrlInput_.end(), input.begin(), input.end());
     for (const auto &r : readVectors_)
-        parts.push_back(r);
-    mann::ControllerOutput ctrl =
-        ntm_.controller().forward(tensor::concat(parts));
+        ctrlInput_.insert(ctrlInput_.end(), r.begin(), r.end());
+    mann::ControllerOutput ctrl = ntm_.controller().forward(ctrlInput_);
     // Augment the hidden state with the constant-one bias lane: the
     // head weight slices carry each head's bias as an extra column.
-    pendingHidden_ = ctrl.hidden;
+    pendingHidden_.assign(ctrl.hidden.begin(), ctrl.hidden.end());
     pendingHidden_.push_back(1.0f);
 
     const CtrlCost ctrlCost = ctrlModel_.forwardCost(mc);
@@ -201,9 +200,9 @@ Chip::runSegment(const compiler::CompiledSegment &segment)
 {
     currentGroup_ = segment.group;
     const Cycle segStart = chipTime_;
-    std::vector<Energy> tileEnergyBefore;
+    tileEnergyBefore_.clear();
     for (auto &tile : tiles_)
-        tileEnergyBefore.push_back(tile->energyPj());
+        tileEnergyBefore_.push_back(tile->energyPj());
     const Energy nocBefore = nocEnergyPj_;
 
     for (std::size_t t = 0; t < tiles_.size(); ++t) {
@@ -248,7 +247,7 @@ Chip::runSegment(const compiler::CompiledSegment &segment)
     auto &gs = groups_[segment.group];
     gs.cycles += segEnd - segStart;
     for (std::size_t t = 0; t < tiles_.size(); ++t)
-        gs.energyPj += tiles_[t]->energyPj() - tileEnergyBefore[t];
+        gs.energyPj += tiles_[t]->energyPj() - tileEnergyBefore_[t];
     gs.energyPj += nocEnergyPj_ - nocBefore;
 }
 
@@ -264,11 +263,10 @@ Chip::handleComm(const Instruction &inst)
     std::size_t words = 0;
     if (inst.op == Opcode::Reduce) {
         words = inst.srcA.len;
-        std::vector<std::vector<float>> perTile;
-        perTile.reserve(tiles_.size());
-        for (auto &tile : tiles_)
-            perTile.push_back(tile->readOperand(inst.srcA));
-        nocBuffer_ = Noc::combine(perTile, inst.flags.reduceOp);
+        commStage_.resize(tiles_.size());
+        for (std::size_t t = 0; t < tiles_.size(); ++t)
+            tiles_[t]->readOperandInto(inst.srcA, commStage_[t]);
+        Noc::combineInto(commStage_, inst.flags.reduceOp, nocBuffer_);
         nocEnergyPj_ += noc_.reduceEnergyPj(words);
         chipTime_ = commStart + noc_.reduceCycles(words);
 
@@ -276,7 +274,8 @@ Chip::handleComm(const Instruction &inst)
             const std::uint32_t h = compiler::commIndexOf(inst.count);
             MANNA_ASSERT(h < readVectors_.size(),
                          "read-vector index %u out of range", h);
-            readVectors_[h] = nocBuffer_;
+            readVectors_[h].assign(nocBuffer_.begin(),
+                                   nocBuffer_.end());
         }
     } else {
         MANNA_ASSERT(inst.op == Opcode::Broadcast,

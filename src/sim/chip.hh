@@ -134,6 +134,13 @@ class Chip
     // NoC data in flight (result of the last Reduce).
     std::vector<float> nocBuffer_;
 
+    // Reusable hot-path buffers: per-tile operand staging for
+    // reduces and the concatenated controller input. Steady-state
+    // steps allocate nothing.
+    std::vector<std::vector<float>> commStage_;
+    tensor::FVec ctrlInput_;
+    std::vector<Energy> tileEnergyBefore_;
+
     // Accounting.
     Cycle chipTime_ = 0;
     Energy nocEnergyPj_ = 0.0;

@@ -53,12 +53,12 @@ Noc::broadcastEnergyPj(std::size_t words) const
     return reduceEnergyPj(words);
 }
 
-std::vector<float>
-Noc::combine(const std::vector<std::vector<float>> &perTile,
-             isa::ReduceOp op)
+void
+Noc::combineInto(const std::vector<std::vector<float>> &perTile,
+                 isa::ReduceOp op, std::vector<float> &out)
 {
     MANNA_ASSERT(!perTile.empty(), "combine over zero tiles");
-    std::vector<float> out = perTile[0];
+    out.assign(perTile[0].begin(), perTile[0].end());
     for (std::size_t t = 1; t < perTile.size(); ++t) {
         MANNA_ASSERT(perTile[t].size() == out.size(),
                      "combine length mismatch: %zu vs %zu",
@@ -70,6 +70,14 @@ Noc::combine(const std::vector<std::vector<float>> &perTile,
                 out[i] = std::max(out[i], perTile[t][i]);
         }
     }
+}
+
+std::vector<float>
+Noc::combine(const std::vector<std::vector<float>> &perTile,
+             isa::ReduceOp op)
+{
+    std::vector<float> out;
+    combineInto(perTile, op, out);
     return out;
 }
 

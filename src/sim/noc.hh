@@ -50,6 +50,13 @@ class Noc
     combine(const std::vector<std::vector<float>> &perTile,
             isa::ReduceOp op);
 
+    /** Allocation-free twin of combine(): @p out is assigned the
+     * combined vector, reusing its capacity. @p out must not be an
+     * element of @p perTile. */
+    static void
+    combineInto(const std::vector<std::vector<float>> &perTile,
+                isa::ReduceOp op, std::vector<float> &out);
+
   private:
     const arch::MannaConfig &cfg_;
     const arch::EnergyModel &energy_;

@@ -115,6 +115,15 @@ DiffMemTile::readOperand(const Operand &op) const
 }
 
 void
+DiffMemTile::readOperandInto(const Operand &op,
+                             std::vector<float> &out) const
+{
+    const Operand r = resolveOperand(op);
+    const float *p = mem_.span(r.space, r.base, r.len);
+    out.assign(p, p + r.len);
+}
+
+void
 DiffMemTile::writeOperand(const Operand &op,
                           const std::vector<float> &values)
 {

@@ -85,6 +85,11 @@ class DiffMemTile
     void writeOperand(const isa::Operand &op,
                       const std::vector<float> &values);
 
+    /** Allocation-free twin of readOperand(): assigns into @p out,
+     * reusing its capacity (the Chip's per-tile scratch buffers). */
+    void readOperandInto(const isa::Operand &op,
+                         std::vector<float> &out) const;
+
     /**
      * Advance past the blocking communication instruction and fence
      * all timing state to @p resumeAt.

@@ -90,12 +90,13 @@ FMat::maxAbsDiff(const FMat &other) const
     return tensor::maxAbsDiff(data_, other.data_);
 }
 
-FVec
-vecMatMul(const FVec &x, const FMat &a)
+void
+vecMatMulInto(const FVec &x, const FMat &a, FVec &out)
 {
     MANNA_ASSERT(x.size() == a.rows(), "vecMatMul: %zu vs %zu rows",
                  x.size(), a.rows());
-    FVec out(a.cols(), 0.0f);
+    MANNA_ASSERT(&out != &x, "vecMatMulInto cannot alias input");
+    out.assign(a.cols(), 0.0f);
     for (std::size_t r = 0; r < a.rows(); ++r) {
         const float w = x[r];
         if (w == 0.0f)
@@ -104,6 +105,13 @@ vecMatMul(const FVec &x, const FMat &a)
         for (std::size_t c = 0; c < a.cols(); ++c)
             out[c] += w * rowPtr[c];
     }
+}
+
+FVec
+vecMatMul(const FVec &x, const FMat &a)
+{
+    FVec out;
+    vecMatMulInto(x, a, out);
     return out;
 }
 
@@ -150,14 +158,17 @@ rowNorms(const FMat &a)
     return out;
 }
 
-FVec
-rowCosineSimilarity(const FMat &a, const FVec &key, float epsilon)
+void
+rowCosineSimilarityInto(const FMat &a, const FVec &key, float epsilon,
+                        FVec &out)
 {
     MANNA_ASSERT(key.size() == a.cols(),
                  "rowCosineSimilarity: key %zu vs %zu cols", key.size(),
                  a.cols());
+    MANNA_ASSERT(&out != &key,
+                 "rowCosineSimilarityInto cannot alias key");
     const float keyNorm = norm2(key);
-    FVec out(a.rows());
+    out.resize(a.rows());
     for (std::size_t r = 0; r < a.rows(); ++r) {
         const float *rowPtr = a.data().data() + r * a.cols();
         float acc = 0.0f;
@@ -168,6 +179,13 @@ rowCosineSimilarity(const FMat &a, const FVec &key, float epsilon)
         }
         out[r] = acc / (keyNorm * std::sqrt(nrm) + epsilon);
     }
+}
+
+FVec
+rowCosineSimilarity(const FMat &a, const FVec &key, float epsilon)
+{
+    FVec out;
+    rowCosineSimilarityInto(a, key, epsilon, out);
     return out;
 }
 

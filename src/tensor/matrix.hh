@@ -91,6 +91,14 @@ FVec rowNorms(const FMat &a);
 FVec rowCosineSimilarity(const FMat &a, const FVec &key,
                          float epsilon = 1e-8f);
 
+/** In-place twin of vecMatMul(); @p out must not alias @p x. */
+void vecMatMulInto(const FVec &x, const FMat &a, FVec &out);
+
+/** In-place twin of rowCosineSimilarity(); @p out must not alias
+ * @p key. */
+void rowCosineSimilarityInto(const FMat &a, const FVec &key,
+                             float epsilon, FVec &out);
+
 } // namespace manna::tensor
 
 #endif // MANNA_TENSOR_MATRIX_HH

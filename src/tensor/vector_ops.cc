@@ -44,42 +44,70 @@ cosineSimilarity(const FVec &a, const FVec &b, float epsilon)
     return dot(a, b) / denom;
 }
 
+void
+addInto(const FVec &a, const FVec &b, FVec &out)
+{
+    checkSameSize(a, b, "add");
+    out.resize(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = a[i] + b[i];
+}
+
 FVec
 add(const FVec &a, const FVec &b)
 {
-    checkSameSize(a, b, "add");
-    FVec out(a.size());
-    for (std::size_t i = 0; i < a.size(); ++i)
-        out[i] = a[i] + b[i];
+    FVec out;
+    addInto(a, b, out);
     return out;
+}
+
+void
+subInto(const FVec &a, const FVec &b, FVec &out)
+{
+    checkSameSize(a, b, "sub");
+    out.resize(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = a[i] - b[i];
 }
 
 FVec
 sub(const FVec &a, const FVec &b)
 {
-    checkSameSize(a, b, "sub");
-    FVec out(a.size());
-    for (std::size_t i = 0; i < a.size(); ++i)
-        out[i] = a[i] - b[i];
+    FVec out;
+    subInto(a, b, out);
     return out;
+}
+
+void
+mulInto(const FVec &a, const FVec &b, FVec &out)
+{
+    checkSameSize(a, b, "mul");
+    out.resize(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = a[i] * b[i];
 }
 
 FVec
 mul(const FVec &a, const FVec &b)
 {
-    checkSameSize(a, b, "mul");
-    FVec out(a.size());
-    for (std::size_t i = 0; i < a.size(); ++i)
-        out[i] = a[i] * b[i];
+    FVec out;
+    mulInto(a, b, out);
     return out;
+}
+
+void
+scaleInto(const FVec &a, float s, FVec &out)
+{
+    out.resize(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = a[i] * s;
 }
 
 FVec
 scale(const FVec &a, float s)
 {
-    FVec out(a.size());
-    for (std::size_t i = 0; i < a.size(); ++i)
-        out[i] = a[i] * s;
+    FVec out;
+    scaleInto(a, s, out);
     return out;
 }
 
@@ -97,14 +125,20 @@ softmax(const FVec &a)
     return softmax(a, 1.0f);
 }
 
-FVec
-softmax(const FVec &a, float beta)
+void
+softmaxInto(const FVec &a, FVec &out)
+{
+    softmaxInto(a, 1.0f, out);
+}
+
+void
+softmaxInto(const FVec &a, float beta, FVec &out)
 {
     MANNA_ASSERT(!a.empty(), "softmax of empty vector");
     float mx = a[0] * beta;
     for (float v : a)
         mx = std::max(mx, v * beta);
-    FVec out(a.size());
+    out.resize(a.size());
     float denom = 0.0f;
     for (std::size_t i = 0; i < a.size(); ++i) {
         out[i] = std::exp(a[i] * beta - mx);
@@ -112,19 +146,27 @@ softmax(const FVec &a, float beta)
     }
     for (auto &v : out)
         v /= denom;
-    return out;
 }
 
 FVec
-circularConvolve(const FVec &a, const FVec &shift)
+softmax(const FVec &a, float beta)
+{
+    FVec out;
+    softmaxInto(a, beta, out);
+    return out;
+}
+
+void
+circularConvolveInto(const FVec &a, const FVec &shift, FVec &out)
 {
     MANNA_ASSERT(shift.size() % 2 == 1,
                  "shift kernel must have odd length, got %zu",
                  shift.size());
+    MANNA_ASSERT(&out != &a, "circularConvolveInto cannot alias input");
     const std::size_t n = a.size();
     const std::ptrdiff_t radius =
         static_cast<std::ptrdiff_t>(shift.size() / 2);
-    FVec out(n, 0.0f);
+    out.assign(n, 0.0f);
     for (std::size_t i = 0; i < n; ++i) {
         float acc = 0.0f;
         for (std::ptrdiff_t off = -radius; off <= radius; ++off) {
@@ -140,14 +182,21 @@ circularConvolve(const FVec &a, const FVec &shift)
         }
         out[i] = acc;
     }
-    return out;
 }
 
 FVec
-sharpen(const FVec &a, float gamma)
+circularConvolve(const FVec &a, const FVec &shift)
+{
+    FVec out;
+    circularConvolveInto(a, shift, out);
+    return out;
+}
+
+void
+sharpenInto(const FVec &a, float gamma, FVec &out)
 {
     MANNA_ASSERT(gamma >= 1.0f, "sharpen gamma %f < 1", gamma);
-    FVec out(a.size());
+    out.resize(a.size());
     float denom = 0.0f;
     for (std::size_t i = 0; i < a.size(); ++i) {
         MANNA_ASSERT(a[i] >= -1e-6f, "sharpen input %f negative", a[i]);
@@ -159,10 +208,17 @@ sharpen(const FVec &a, float gamma)
         const float uniform =
             1.0f / static_cast<float>(std::max<std::size_t>(a.size(), 1));
         std::fill(out.begin(), out.end(), uniform);
-        return out;
+        return;
     }
     for (auto &v : out)
         v /= denom;
+}
+
+FVec
+sharpen(const FVec &a, float gamma)
+{
+    FVec out;
+    sharpenInto(a, gamma, out);
     return out;
 }
 

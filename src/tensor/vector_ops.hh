@@ -42,6 +42,38 @@ FVec mul(const FVec &a, const FVec &b);
 /** out[i] = a[i] * s. */
 FVec scale(const FVec &a, float s);
 
+// ---------------------------------------------------------------------
+// Allocation-free out-parameter twins. Each *Into primitive resizes
+// @p out (a no-op once the buffer has reached steady-state size) and
+// produces bit-identical results to its return-by-value twin, which
+// remains the API for tests and golden-model code. Unless noted, @p
+// out may alias an input.
+// ---------------------------------------------------------------------
+
+/** In-place twin of add(). */
+void addInto(const FVec &a, const FVec &b, FVec &out);
+
+/** In-place twin of sub(). */
+void subInto(const FVec &a, const FVec &b, FVec &out);
+
+/** In-place twin of mul(). */
+void mulInto(const FVec &a, const FVec &b, FVec &out);
+
+/** In-place twin of scale(). */
+void scaleInto(const FVec &a, float s, FVec &out);
+
+/** In-place twin of softmax(). */
+void softmaxInto(const FVec &a, FVec &out);
+
+/** In-place twin of softmax() with inverse temperature. */
+void softmaxInto(const FVec &a, float beta, FVec &out);
+
+/** In-place twin of circularConvolve(). @p out must not alias @p a. */
+void circularConvolveInto(const FVec &a, const FVec &shift, FVec &out);
+
+/** In-place twin of sharpen(). */
+void sharpenInto(const FVec &a, float gamma, FVec &out);
+
 /** y[i] += alpha * x[i] (in place). */
 void axpy(float alpha, const FVec &x, FVec &y);
 

@@ -317,8 +317,10 @@ generateEpisode(const Benchmark &benchmark, std::size_t steps,
             dim, std::max<std::size_t>(steps / 4, 1), 3, rng);
         break;
       case TaskKind::AssociativeRecall:
+        // max(steps, 4) before subtracting: a plain steps - 2 would
+        // wrap for steps < 2 and ask for ~2^64 items.
         ep = associativeRecallEpisode(
-            dim, std::max<std::size_t>(steps - 2, 2), rng);
+            dim, std::max<std::size_t>(steps, 4) - 2, rng);
         break;
       case TaskKind::DynamicNgrams:
         ep = ngramsEpisode(steps, rng);
@@ -327,10 +329,16 @@ generateEpisode(const Benchmark &benchmark, std::size_t steps,
         ep = prioritySortEpisode(
             dim, std::max<std::size_t>(steps / 2, 2), rng);
         break;
-      case TaskKind::BAbI:
-        ep = babiEpisode(dim, steps * 3 / 4,
-                         steps - steps * 3 / 4, rng);
+      case TaskKind::BAbI: {
+        // At least one fact (queries sample from the fact set) and
+        // one query, so tiny smoke-test step counts stay valid.
+        const std::size_t facts =
+            std::max<std::size_t>(steps * 3 / 4, 1);
+        const std::size_t queries =
+            steps > facts ? steps - facts : 1;
+        ep = babiEpisode(dim, facts, queries, rng);
         break;
+      }
       case TaskKind::ShortestPath:
       case TaskKind::GraphTraversal:
       case TaskKind::GraphInference:

@@ -194,16 +194,15 @@ TEST_P(BenchmarkCostSweep, AllBenchmarksProduceFiniteCosts)
 {
     const auto &bench = workloads::benchmarkByName(GetParam());
     const mann::OpCounter counter(bench.config);
-    for (const PlatformModel *model :
-         {new PlatformModel(pascal1080Ti(), true),
-          new PlatformModel(turing2080Ti(), true),
-          new PlatformModel(skylakeXeon(), false)}) {
-        const auto step = model->stepCost(counter);
+    for (const PlatformModel &model :
+         {PlatformModel(pascal1080Ti(), true),
+          PlatformModel(turing2080Ti(), true),
+          PlatformModel(skylakeXeon(), false)}) {
+        const auto step = model.stepCost(counter);
         EXPECT_GT(step.seconds, 0.0);
         EXPECT_GT(step.joules, 0.0);
         EXPECT_TRUE(std::isfinite(step.seconds));
         EXPECT_TRUE(std::isfinite(step.joules));
-        delete model;
     }
 }
 

@@ -308,5 +308,122 @@ TEST(Matrix, FillAndMaxAbsDiff)
     EXPECT_FLOAT_EQ(a.maxAbsDiff(b), 0.5f);
 }
 
+// ---------------------------------------------------------------------
+// Allocation-free *Into twins: bit-identical to the return-by-value
+// primitives on random inputs, including when the out-parameter
+// arrives with stale contents or reused capacity.
+// ---------------------------------------------------------------------
+
+class IntoTwinProperty : public ::testing::TestWithParam<std::size_t>
+{
+  protected:
+    /** Stale garbage so tests catch any read-before-write of out. */
+    FVec dirty(std::size_t n) const
+    {
+        return FVec(n, -123.456f);
+    }
+};
+
+TEST_P(IntoTwinProperty, ElementwiseTwinsBitIdentical)
+{
+    Rng rng(GetParam() + 1000);
+    const std::size_t n = GetParam();
+    const FVec a = randomVec(n, rng, 2.0f);
+    const FVec b = randomVec(n, rng, 2.0f);
+
+    FVec out = dirty(n + 3);
+    addInto(a, b, out);
+    EXPECT_EQ(out, add(a, b));
+    subInto(a, b, out);
+    EXPECT_EQ(out, sub(a, b));
+    mulInto(a, b, out);
+    EXPECT_EQ(out, mul(a, b));
+    scaleInto(a, 1.7f, out);
+    EXPECT_EQ(out, scale(a, 1.7f));
+}
+
+TEST_P(IntoTwinProperty, ElementwiseTwinsAllowAliasedOutput)
+{
+    Rng rng(GetParam() + 2000);
+    const std::size_t n = GetParam();
+    const FVec a = randomVec(n, rng);
+    const FVec b = randomVec(n, rng);
+
+    FVec x = a;
+    addInto(x, b, x);
+    EXPECT_EQ(x, add(a, b));
+    x = a;
+    mulInto(x, x, x);
+    EXPECT_EQ(x, mul(a, a));
+    x = a;
+    scaleInto(x, -0.5f, x);
+    EXPECT_EQ(x, scale(a, -0.5f));
+}
+
+TEST_P(IntoTwinProperty, SoftmaxTwinsBitIdentical)
+{
+    Rng rng(GetParam() + 3000);
+    const FVec a = randomVec(GetParam(), rng, 3.0f);
+
+    FVec out = dirty(1);
+    softmaxInto(a, out);
+    EXPECT_EQ(out, softmax(a));
+    for (float beta : {0.25f, 1.0f, 8.0f}) {
+        softmaxInto(a, beta, out);
+        EXPECT_EQ(out, softmax(a, beta));
+    }
+    // Aliased: softmax(x) into x itself.
+    FVec x = a;
+    softmaxInto(x, 2.0f, x);
+    EXPECT_EQ(x, softmax(a, 2.0f));
+}
+
+TEST_P(IntoTwinProperty, ConvolveAndSharpenTwinsBitIdentical)
+{
+    Rng rng(GetParam() + 4000);
+    const FVec a = randomVec(GetParam(), rng);
+    const FVec kernel{0.2f, 0.5f, 0.3f};
+
+    FVec out = dirty(2);
+    circularConvolveInto(a, kernel, out);
+    EXPECT_EQ(out, circularConvolve(a, kernel));
+
+    FVec w = randomVec(GetParam(), rng);
+    for (auto &v : w)
+        v = std::fabs(v);
+    for (float gamma : {1.0f, 2.0f, 5.0f}) {
+        sharpenInto(w, gamma, out);
+        EXPECT_EQ(out, sharpen(w, gamma));
+    }
+    // Degenerate all-zero input takes the uniform early-out path.
+    const FVec zeros(GetParam(), 0.0f);
+    sharpenInto(zeros, 2.0f, out);
+    EXPECT_EQ(out, sharpen(zeros, 2.0f));
+    // Aliased sharpen.
+    FVec y = w;
+    sharpenInto(y, 3.0f, y);
+    EXPECT_EQ(y, sharpen(w, 3.0f));
+}
+
+TEST_P(IntoTwinProperty, MatrixTwinsBitIdentical)
+{
+    Rng rng(GetParam() + 5000);
+    const std::size_t rows = GetParam();
+    const std::size_t cols = GetParam() + 3;
+    FMat m(rows, cols, randomVec(rows * cols, rng));
+    const FVec x = randomVec(rows, rng);
+
+    FVec out = dirty(5);
+    vecMatMulInto(x, m, out);
+    EXPECT_EQ(out, vecMatMul(x, m));
+
+    const FVec key = randomVec(cols, rng);
+    rowCosineSimilarityInto(m, key, 1e-6f, out);
+    EXPECT_EQ(out, rowCosineSimilarity(m, key, 1e-6f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, IntoTwinProperty,
+                         ::testing::Values(1, 3, 8, 33, 128));
+
 } // namespace
 } // namespace manna::tensor
