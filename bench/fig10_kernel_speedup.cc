@@ -7,6 +7,11 @@
  * GPU is severely underutilized on them); soft read saturates at ~3x
  * for the largest benchmarks once the GPU is fully utilized; the
  * head kernels sit between the two extremes.
+ *
+ * Knobs: steps=, jobs=, bench=<name> (single-benchmark filter), plus
+ * the robustness knobs retries=/timeout=/journal=/resume= (see
+ * docs/ROBUSTNESS.md). Failed simulation points render as FAILED
+ * cells and make the binary exit nonzero after the full table.
  */
 
 #include <cstdio>
@@ -14,8 +19,8 @@
 #include "common/config.hh"
 #include "common/strutil.hh"
 #include "common/table.hh"
-#include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 
 using namespace manna;
 
@@ -26,19 +31,50 @@ main(int argc, char **argv)
     const std::size_t steps = static_cast<std::size_t>(
         cfg.getInt("steps", static_cast<std::int64_t>(
                                 harness::defaultSteps())));
+    const std::size_t jobs =
+        static_cast<std::size_t>(cfg.getInt("jobs", 0));
+    const std::string only = cfg.getString("bench", "");
+    const harness::SweepOptions opts =
+        harness::sweepOptionsFromConfig(cfg);
 
     harness::printBanner("Figure 10",
                          "Kernel-specific inference performance vs "
                          "RTX 2080-Ti");
 
     const arch::MannaConfig manna = arch::MannaConfig::baseline16();
+
+    std::vector<workloads::Benchmark> suite;
+    for (const auto &bench : workloads::table2Suite())
+        if (only.empty() || bench.name == only)
+            suite.push_back(bench);
+
+    std::vector<harness::SweepJob> sweep;
+    for (const auto &bench : suite)
+        sweep.push_back({bench, manna, steps, /*seed=*/1});
+
+    harness::SweepRunner runner(jobs);
+    const auto report = runner.runChecked(sweep, opts);
+
     Table table({"Benchmark", "heads", "addressing", "key-sim",
                  "soft-read", "soft-write"});
     std::map<mann::KernelGroup, std::vector<double>> perGroup;
 
-    for (const auto &bench : workloads::table2Suite()) {
-        const auto mannaRes =
-            harness::simulateManna(bench, manna, steps);
+    const mann::KernelGroup figureGroups[] = {
+        mann::KernelGroup::Heads, mann::KernelGroup::Addressing,
+        mann::KernelGroup::KeySimilarity, mann::KernelGroup::SoftRead,
+        mann::KernelGroup::SoftWrite};
+
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const auto &bench = suite[i];
+        const auto &outcome = report.outcomes[i];
+        if (!outcome.ok) {
+            std::vector<std::string> row{bench.name};
+            for (std::size_t g = 0; g < std::size(figureGroups); ++g)
+                row.push_back("FAILED");
+            table.addRow(std::move(row));
+            continue;
+        }
+        const auto &mannaRes = outcome.value;
         const auto gpu =
             harness::evaluateBaseline(bench, harness::gpu2080Ti());
 
@@ -55,11 +91,7 @@ main(int argc, char **argv)
         };
 
         std::vector<std::string> row{bench.name};
-        for (mann::KernelGroup g :
-             {mann::KernelGroup::Heads, mann::KernelGroup::Addressing,
-              mann::KernelGroup::KeySimilarity,
-              mann::KernelGroup::SoftRead,
-              mann::KernelGroup::SoftWrite}) {
+        for (mann::KernelGroup g : figureGroups) {
             const double s = speedup(g);
             perGroup[g].push_back(s);
             row.push_back(formatFactor(s));
@@ -79,5 +111,5 @@ main(int argc, char **argv)
         "(full parallelization vs GPU underutilization); soft read "
         "saturates around 3x on the largest benchmarks; heads fall in "
         "between.");
-    return 0;
+    return harness::finishSweep(report);
 }

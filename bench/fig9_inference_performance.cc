@@ -6,6 +6,11 @@
  *
  * Paper headline: 11x-184x speedup over the 1080-Ti (average 39x);
  * average 24x over the 2080-Ti.
+ *
+ * Knobs: steps=, jobs=, bench=<name> (single-benchmark filter), plus
+ * the robustness knobs retries=/timeout=/journal=/resume= (see
+ * docs/ROBUSTNESS.md). Failed simulation points render as FAILED
+ * cells and make the binary exit nonzero after the full table.
  */
 
 #include <cstdio>
@@ -13,8 +18,8 @@
 #include "common/config.hh"
 #include "common/strutil.hh"
 #include "common/table.hh"
-#include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 
 using namespace manna;
 
@@ -25,10 +30,27 @@ main(int argc, char **argv)
     const std::size_t steps = static_cast<std::size_t>(
         cfg.getInt("steps", static_cast<std::int64_t>(
                                 harness::defaultSteps())));
+    const std::size_t jobs =
+        static_cast<std::size_t>(cfg.getInt("jobs", 0));
+    const std::string only = cfg.getString("bench", "");
+    const harness::SweepOptions opts =
+        harness::sweepOptionsFromConfig(cfg);
     const arch::MannaConfig manna = arch::MannaConfig::baseline16();
 
     harness::printBanner("Figure 9",
                          "Inference performance vs GPU baselines");
+
+    std::vector<workloads::Benchmark> suite;
+    for (const auto &bench : workloads::table2Suite())
+        if (only.empty() || bench.name == only)
+            suite.push_back(bench);
+
+    std::vector<harness::SweepJob> sweep;
+    for (const auto &bench : suite)
+        sweep.push_back({bench, manna, steps, /*seed=*/1});
+
+    harness::SweepRunner runner(jobs);
+    const auto report = runner.runChecked(sweep, opts);
 
     Table table({"Benchmark", "MemBytes", "Manna us/step",
                  "1080Ti us/step", "2080Ti us/step", "Speedup v1080",
@@ -36,13 +58,25 @@ main(int argc, char **argv)
     std::vector<double> speedups1080;
     std::vector<double> speedups2080;
 
-    for (const auto &benchmark : workloads::table2Suite()) {
-        const auto mannaRes =
-            harness::simulateManna(benchmark, manna, steps);
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const auto &benchmark = suite[i];
         const auto p1080 =
             harness::evaluateBaseline(benchmark, harness::gpu1080Ti());
         const auto p2080 =
             harness::evaluateBaseline(benchmark, harness::gpu2080Ti());
+        const auto &outcome = report.outcomes[i];
+        if (!outcome.ok) {
+            // Baselines are analytical and always available; only the
+            // simulated cells are unknown.
+            table.addRow({benchmark.name,
+                          formatBytes(benchmark.config.memoryBytes()),
+                          "FAILED",
+                          strformat("%.1f", p1080.secondsPerStep * 1e6),
+                          strformat("%.1f", p2080.secondsPerStep * 1e6),
+                          "-", "-"});
+            continue;
+        }
+        const auto &mannaRes = outcome.value;
 
         const double s1080 =
             p1080.secondsPerStep / mannaRes.secondsPerStep;
@@ -70,5 +104,5 @@ main(int argc, char **argv)
     harness::printPaperReference(
         "Figure 9 reports 11x-184x (average 39x) over the 1080-Ti and "
         "an average of 24x over the 2080-Ti.");
-    return 0;
+    return harness::finishSweep(report);
 }

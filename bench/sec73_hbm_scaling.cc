@@ -9,21 +9,37 @@
  * the chip grows from 40 mm^2 to ~180 mm^2 and the TDP from 16 W to
  * ~116 W, cutting the average energy-efficiency advantage over the
  * 1080-Ti from ~122x to ~17x.
+ *
+ * Knobs: steps=, jobs=, bench=<name> (benchmark used for the energy
+ * illustration, default "copy"), plus the robustness knobs
+ * retries=/timeout=/journal=/resume= (see docs/ROBUSTNESS.md). A
+ * failed simulation point renders as FAILED and makes the binary exit
+ * nonzero.
  */
 
 #include <cstdio>
 
 #include "arch/area_model.hh"
+#include "common/config.hh"
 #include "common/strutil.hh"
 #include "common/table.hh"
-#include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 
 using namespace manna;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const Config cfg = Config::fromArgs(argc, argv);
+    const std::size_t steps =
+        static_cast<std::size_t>(cfg.getInt("steps", 8));
+    const std::size_t jobs =
+        static_cast<std::size_t>(cfg.getInt("jobs", 0));
+    const std::string benchName = cfg.getString("bench", "copy");
+    const harness::SweepOptions opts =
+        harness::sweepOptionsFromConfig(cfg);
+
     harness::printBanner("Section 7.3",
                          "Scaling the differentiable memory with HBM");
 
@@ -65,21 +81,33 @@ main()
     // Energy-efficiency impact: scale the measured SRAM-only energy
     // ratios by the TDP growth (the paper's 122x -> ~17x argument:
     // same performance, higher power envelope).
-    const auto &bench = workloads::benchmarkByName("copy");
-    const auto manna = harness::simulateManna(bench, sramOnly, 8);
-    const auto gpu =
-        harness::evaluateBaseline(bench, harness::gpu1080Ti());
-    const double sramRatio = gpu.joulesPerStep / manna.joulesPerStep;
-    const double hbmWatts = arch::tdpWatts(withHbm);
-    const double sramWatts = arch::tdpWatts(sramOnly);
-    const double hbmRatio = sramRatio * (sramWatts / hbmWatts);
-    std::printf("\nenergy-efficiency advantage over 1080-Ti (copy): "
-                "%.0fx (SRAM only) -> ~%.0fx (with HBM power "
-                "envelope)\n",
-                sramRatio, hbmRatio);
+    const auto &bench = workloads::benchmarkByName(benchName);
+    std::vector<harness::SweepJob> sweep{
+        {bench, sramOnly, steps, /*seed=*/1}};
+    harness::SweepRunner runner(jobs);
+    const auto report = runner.runChecked(sweep, opts);
+
+    if (report.outcomes[0].ok) {
+        const auto &manna = report.outcomes[0].value;
+        const auto gpu =
+            harness::evaluateBaseline(bench, harness::gpu1080Ti());
+        const double sramRatio =
+            gpu.joulesPerStep / manna.joulesPerStep;
+        const double hbmWatts = arch::tdpWatts(withHbm);
+        const double sramWatts = arch::tdpWatts(sramOnly);
+        const double hbmRatio = sramRatio * (sramWatts / hbmWatts);
+        std::printf("\nenergy-efficiency advantage over 1080-Ti (%s): "
+                    "%.0fx (SRAM only) -> ~%.0fx (with HBM power "
+                    "envelope)\n",
+                    bench.name.c_str(), sramRatio, hbmRatio);
+    } else {
+        std::printf("\nenergy-efficiency advantage over 1080-Ti (%s): "
+                    "FAILED\n",
+                    bench.name.c_str());
+    }
     harness::printPaperReference(
         "Section 7.3: 4 HBM2 modules feed all 16 tiles; area grows "
         "40 -> 180 mm^2, TDP 16 -> 116 W, and the average energy "
         "advantage drops from 122x to ~17x.");
-    return 0;
+    return harness::finishSweep(report);
 }

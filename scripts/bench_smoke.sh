@@ -1,10 +1,10 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Smoke-test the sweep-parallel bench harness: run a tiny strong-
 # scaling sweep twice (serial and with 2 workers) under a wall-clock
 # budget and require byte-identical tables.
 #
 # Usage: bench_smoke.sh <path-to-fig12_strong_scaling> [budget-seconds]
-set -eu
+set -euo pipefail
 
 BIN=${1:?usage: bench_smoke.sh <fig12_strong_scaling binary> [budget]}
 BUDGET=${2:-120}

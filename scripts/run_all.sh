@@ -4,6 +4,9 @@
 #   scripts/run_all.sh [build-dir]
 #
 # Writes test_output.txt and bench_output.txt at the repository root.
+# Every bench binary runs even if an earlier one fails (sweep-based
+# benches report failed jobs and exit nonzero); failures are collected
+# and reported at the end, and the script then exits nonzero.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,10 +18,19 @@ cmake --build "$BUILD"
 ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
 
 : > bench_output.txt
+failed=()
 for b in "$BUILD"/bench/*; do
     { [ -f "$b" ] && [ -x "$b" ]; } || continue
-    echo "### $(basename "$b")" | tee -a bench_output.txt
-    "$b" 2>&1 | tee -a bench_output.txt
+    name=$(basename "$b")
+    echo "### $name" | tee -a bench_output.txt
+    if ! "$b" 2>&1 | tee -a bench_output.txt; then
+        failed+=("$name")
+    fi
 done
+
+if [ "${#failed[@]}" -gt 0 ]; then
+    echo "FAILED benches (${#failed[@]}): ${failed[*]}" | tee -a bench_output.txt
+    exit 1
+fi
 
 echo "done: see test_output.txt and bench_output.txt"

@@ -1,7 +1,7 @@
 #include "manna_config.hh"
 
+#include "common/error.hh"
 #include "common/hash.hh"
-#include "common/logging.hh"
 #include "common/strutil.hh"
 
 namespace manna::arch
@@ -27,39 +27,50 @@ MannaConfig::aggregateMatrixBandwidthGBs() const
 void
 MannaConfig::validate() const
 {
+    // Invalid configurations are reportable, not process-fatal: a
+    // sweep containing one bad point must isolate it, so every check
+    // throws a ConfigError carrying this config's fingerprint.
+    const auto reject = [this](const std::string &message) {
+        throw ConfigError(message, ErrorContext{fingerprint(), ""});
+    };
     if (numTiles == 0 || !isPowerOfTwo(numTiles))
-        fatal("numTiles must be a nonzero power of two (got %zu); the "
-              "H-tree NoC requires it",
-              numTiles);
+        reject(strformat(
+            "numTiles must be a nonzero power of two (got %zu); the "
+            "H-tree NoC requires it",
+            numTiles));
     if (emacsPerTile == 0 || !isPowerOfTwo(emacsPerTile))
-        fatal("emacsPerTile must be a nonzero power of two (got %zu)",
-              emacsPerTile);
+        reject(strformat(
+            "emacsPerTile must be a nonzero power of two (got %zu)",
+            emacsPerTile));
     if (matrixBufferWidthWords == 0 ||
         matrixBufferWidthWords > emacsPerTile)
-        fatal("matrixBufferWidthWords (%zu) must be in [1, emacsPerTile "
-              "= %zu]",
-              matrixBufferWidthWords, emacsPerTile);
+        reject(strformat(
+            "matrixBufferWidthWords (%zu) must be in [1, emacsPerTile "
+            "= %zu]",
+            matrixBufferWidthWords, emacsPerTile));
     if (matrixScratchpadBytes % (2 * kWordBytes) != 0 ||
         matrixScratchpadBytes == 0)
-        fatal("matrixScratchpadBytes must be a nonzero multiple of two "
-              "words (double buffered)");
+        reject("matrixScratchpadBytes must be a nonzero multiple of "
+               "two words (double buffered)");
     if (matrixScratchpadHalfWords() < matrixBufferWidthWords + 1)
-        fatal("Matrix-Scratchpad half (%zu words) cannot hold even one "
-              "padded row of %zu words",
-              matrixScratchpadHalfWords(), matrixBufferWidthWords + 1);
+        reject(strformat(
+            "Matrix-Scratchpad half (%zu words) cannot hold even one "
+            "padded row of %zu words",
+            matrixScratchpadHalfWords(), matrixBufferWidthWords + 1));
     if (vectorScratchpadBytes == 0 || vectorBufferBytes == 0 ||
         matrixBufferBytes == 0)
-        fatal("buffer capacities must be nonzero");
+        reject("buffer capacities must be nonzero");
     if (clockMhz <= 0.0)
-        fatal("clockMhz must be positive");
+        reject("clockMhz must be positive");
     if (sfusPerTile == 0)
-        fatal("sfusPerTile must be nonzero");
+        reject("sfusPerTile must be nonzero");
     if (nocLinkWordsPerCycle == 0)
-        fatal("nocLinkWordsPerCycle must be nonzero");
+        reject("nocLinkWordsPerCycle must be nonzero");
     if (systolicRows == 0 || systolicCols == 0)
-        fatal("systolic array dimensions must be nonzero");
+        reject("systolic array dimensions must be nonzero");
     if (!hasEmac && elwisePenaltyNoEmac == 0)
-        fatal("elwisePenaltyNoEmac must be nonzero when hasEmac=false");
+        reject("elwisePenaltyNoEmac must be nonzero when "
+               "hasEmac=false");
 }
 
 std::uint64_t

@@ -191,7 +191,8 @@ struct MannaConfig
     /** Aggregate Matrix-Buffer bandwidth in GB/s. */
     double aggregateMatrixBandwidthGBs() const;
 
-    /** Validate invariants; fatal() on invalid configurations. */
+    /** Validate invariants; throws manna::ConfigError (carrying this
+     * config's fingerprint) on invalid configurations. */
     void validate() const;
 
     /**

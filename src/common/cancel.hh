@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Cooperative cancellation for long-running simulations.
+ *
+ * A CancelToken is a one-way latch: the sweep runner's watchdog (or
+ * any other supervisor) sets it, and the simulation's step loops poll
+ * it at cheap, well-defined points — once per time step and once per
+ * communication round — throwing SimError when it fires. This keeps
+ * cancellation deterministic-by-construction for *successful* runs: a
+ * token that never fires is a relaxed atomic load per step, with no
+ * effect on simulated results.
+ */
+
+#ifndef MANNA_COMMON_CANCEL_HH
+#define MANNA_COMMON_CANCEL_HH
+
+#include <atomic>
+
+namespace manna
+{
+
+/** One-way cancellation latch, safe to poll from the worker thread
+ * while another thread fires it. */
+class CancelToken
+{
+  public:
+    CancelToken() = default;
+
+    CancelToken(const CancelToken &) = delete;
+    CancelToken &operator=(const CancelToken &) = delete;
+
+    /** Fire the latch. Idempotent; callable from any thread. */
+    void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+    /** True once cancel() has been called. */
+    bool cancelled() const
+    {
+        return cancelled_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+};
+
+} // namespace manna
+
+#endif // MANNA_COMMON_CANCEL_HH

@@ -1,0 +1,53 @@
+#include "error.hh"
+
+#include "strutil.hh"
+
+namespace manna
+{
+
+const char *
+toString(ErrorKind kind)
+{
+    switch (kind) {
+      case ErrorKind::Config:
+        return "ConfigError";
+      case ErrorKind::Assembly:
+        return "AssemblyError";
+      case ErrorKind::Sim:
+        return "SimError";
+    }
+    return "Error";
+}
+
+Error::Error(ErrorKind kind, const std::string &message,
+             ErrorContext context)
+    : std::runtime_error(message), kind_(kind),
+      context_(std::move(context))
+{}
+
+std::string
+Error::describe() const
+{
+    std::string out = toString(kind_);
+    out += ": ";
+    out += what();
+    if (context_.fingerprint != 0 || !context_.job.empty()) {
+        out += " [";
+        bool first = true;
+        if (!context_.job.empty()) {
+            out += "job=" + context_.job;
+            first = false;
+        }
+        if (context_.fingerprint != 0) {
+            if (!first)
+                out += " ";
+            out += strformat("fp=0x%016llx",
+                             static_cast<unsigned long long>(
+                                 context_.fingerprint));
+        }
+        out += "]";
+    }
+    return out;
+}
+
+} // namespace manna

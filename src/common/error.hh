@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Structured, recoverable error types.
+ *
+ * Historically every invalid input killed the process: config
+ * validation called fatal() (exit) and structural compiler checks
+ * called panic() (abort). A production sweep serving thousands of
+ * simulation points must instead isolate the one bad point, so the
+ * error paths that a sweep job can reach throw a manna::Error
+ * carrying (a) which stage failed — configuration, assembly/codegen,
+ * or simulation — and (b) enough context (config fingerprint, job
+ * label) for the sweep's failure summary to identify the point
+ * without re-running it.
+ *
+ * panic()/MANNA_ASSERT stay abort-based: they flag bugs in this
+ * library, not bad inputs, and a core dump is the right artifact.
+ */
+
+#ifndef MANNA_COMMON_ERROR_HH
+#define MANNA_COMMON_ERROR_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace manna
+{
+
+/** Which stage of the pipeline rejected the work. */
+enum class ErrorKind
+{
+    Config,   ///< invalid configuration (user input)
+    Assembly, ///< codegen / program structural validation failed
+    Sim,      ///< simulation failed or was cancelled
+};
+
+const char *toString(ErrorKind kind);
+
+/** Optional provenance attached to an Error. */
+struct ErrorContext
+{
+    /** Stable fingerprint of the offending configuration (0 = unset). */
+    std::uint64_t fingerprint = 0;
+
+    /** Human label of the sweep job the error belongs to (may be
+     * empty; the sweep runner fills it in at the worker boundary). */
+    std::string job;
+};
+
+/**
+ * Base class of every recoverable Manna error. what() is the bare
+ * message; describe() prepends the kind and appends the context.
+ */
+class Error : public std::runtime_error
+{
+  public:
+    Error(ErrorKind kind, const std::string &message,
+          ErrorContext context = {});
+
+    ErrorKind kind() const { return kind_; }
+    const ErrorContext &context() const { return context_; }
+
+    /** "ConfigError: <message> [fp=0x... job=...]" */
+    std::string describe() const;
+
+  private:
+    ErrorKind kind_;
+    ErrorContext context_;
+};
+
+/** The user's configuration cannot be processed. */
+class ConfigError : public Error
+{
+  public:
+    explicit ConfigError(const std::string &message,
+                         ErrorContext context = {})
+        : Error(ErrorKind::Config, message, std::move(context))
+    {}
+};
+
+/** Code generation / program structural validation failed. */
+class AssemblyError : public Error
+{
+  public:
+    explicit AssemblyError(const std::string &message,
+                           ErrorContext context = {})
+        : Error(ErrorKind::Assembly, message, std::move(context))
+    {}
+};
+
+/** A simulation failed, diverged, or was cancelled. */
+class SimError : public Error
+{
+  public:
+    explicit SimError(const std::string &message,
+                      ErrorContext context = {})
+        : Error(ErrorKind::Sim, message, std::move(context))
+    {}
+};
+
+} // namespace manna
+
+#endif // MANNA_COMMON_ERROR_HH

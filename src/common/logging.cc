@@ -17,6 +17,16 @@ vreport(const char *tag, const char *fmt, va_list args)
     std::vfprintf(stderr, fmt, args);
     std::fprintf(stderr, "\n");
 }
+
+/** One-line triage hint printed just before an abort/exit. */
+void
+reportSanitizeHint()
+{
+    std::fprintf(stderr,
+                 "hint: rerun with a -DMANNA_SANITIZE=address (or "
+                 "thread/undefined) build for an instrumented "
+                 "report\n");
+}
 } // namespace
 
 void
@@ -42,26 +52,33 @@ panicAssertFail(const char *cond, const char *file, int line,
     std::vfprintf(stderr, fmt, args);
     va_end(args);
     std::fprintf(stderr, "\n");
+    reportSanitizeHint();
     std::abort();
 }
 
 void
-panic(const char *fmt, ...)
+panicAt(const char *file, int line, const char *fmt, ...)
 {
+    std::fprintf(stderr, "panic: at %s:%d: ", file, line);
     va_list args;
     va_start(args, fmt);
-    vreport("panic", fmt, args);
+    std::vfprintf(stderr, fmt, args);
     va_end(args);
+    std::fprintf(stderr, "\n");
+    reportSanitizeHint();
     std::abort();
 }
 
 void
-fatal(const char *fmt, ...)
+fatalAt(const char *file, int line, const char *fmt, ...)
 {
+    std::fprintf(stderr, "fatal: at %s:%d: ", file, line);
     va_list args;
     va_start(args, fmt);
-    vreport("fatal", fmt, args);
+    std::vfprintf(stderr, fmt, args);
     va_end(args);
+    std::fprintf(stderr, "\n");
+    reportSanitizeHint();
     std::exit(1);
 }
 

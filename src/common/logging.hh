@@ -38,16 +38,28 @@ LogLevel logLevel();
 /**
  * Report an internal invariant violation and abort.
  * Use only for conditions that indicate a bug in this library.
+ * Implementation detail of the panic() macro, which supplies the
+ * call site so the report carries file:line.
  */
-[[noreturn]] void panic(const char *fmt, ...)
-    __attribute__((format(printf, 1, 2)));
+[[noreturn]] void panicAt(const char *file, int line, const char *fmt,
+                          ...) __attribute__((format(printf, 3, 4)));
 
 /**
  * Report an unrecoverable user error (bad config, bad input) and
- * exit(1).
+ * exit(1). Implementation detail of the fatal() macro.
  */
-[[noreturn]] void fatal(const char *fmt, ...)
-    __attribute__((format(printf, 1, 2)));
+[[noreturn]] void fatalAt(const char *file, int line, const char *fmt,
+                          ...) __attribute__((format(printf, 3, 4)));
+
+/**
+ * gem5-style reporting macros: capture the call site so every abort
+ * names the file:line that raised it, and print a one-line hint to
+ * rerun under an instrumented build. Recoverable error paths (config
+ * validation, codegen structural checks) throw manna::Error
+ * subclasses instead — see common/error.hh.
+ */
+#define panic(...) ::manna::panicAt(__FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...) ::manna::fatalAt(__FILE__, __LINE__, __VA_ARGS__)
 
 /** Print a warning; the run continues. */
 void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));

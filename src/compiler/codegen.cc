@@ -4,6 +4,7 @@
 
 #include <functional>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "common/strutil.hh"
 
@@ -893,7 +894,10 @@ Generator::checkCapacity(CompiledModel &model) const
             maxLen, ac_.instMemEntries));
     }
     if (ac_.strictCapacity && !model.warnings.empty())
-        fatal("capacity violation: %s", model.warnings[0].c_str());
+        throw AssemblyError(
+            strformat("capacity violation: %s",
+                      model.warnings[0].c_str()),
+            ErrorContext{ac_.fingerprint(), ""});
 }
 
 CompiledModel
@@ -904,16 +908,23 @@ Generator::generate()
     model.archCfg = ac_;
     model.mapping = mapping_;
 
-    // Guard configurations the distribution cannot express.
+    // Guard configurations the distribution cannot express. These are
+    // structural (shape x microarchitecture) rejections, so they throw
+    // AssemblyError and the sweep isolates the offending point.
     for (std::size_t t = 0; t < tiles_; ++t) {
         if (memRows_[t] > 0 && memRows_[t] < radius_)
-            fatal("tile %zu holds %u memory rows, below the shift "
-                  "radius %u; reduce the tile count",
-                  t, memRows_[t], radius_);
+            throw AssemblyError(
+                strformat("tile %zu holds %u memory rows, below the "
+                          "shift radius %u; reduce the tile count",
+                          t, memRows_[t], radius_),
+                ErrorContext{ac_.fingerprint(), ""});
     }
     if (mc_.memN < tiles_)
-        fatal("more tiles (%zu) than memory rows (%zu) is unsupported",
-              tiles_, mc_.memN);
+        throw AssemblyError(
+            strformat("more tiles (%zu) than memory rows (%zu) is "
+                      "unsupported",
+                      tiles_, mc_.memN),
+            ErrorContext{ac_.fingerprint(), ""});
 
     auto makeSegment = [&](mann::KernelGroup group, const char *name,
                            Program (Generator::*emit)(std::size_t)
@@ -924,8 +935,11 @@ Generator::generate()
         for (std::size_t t = 0; t < tiles_; ++t) {
             Program p = (this->*emit)(t);
             const std::string err = p.validate();
-            MANNA_ASSERT(err.empty(), "segment %s tile %zu: %s", name,
-                         t, err.c_str());
+            if (!err.empty())
+                throw AssemblyError(
+                    strformat("segment %s tile %zu: %s", name, t,
+                              err.c_str()),
+                    ErrorContext{ac_.fingerprint(), ""});
             seg.tilePrograms.push_back(std::move(p));
         }
         model.stepSegments.push_back(std::move(seg));

@@ -78,8 +78,18 @@ compileCached(const mann::MannConfig &mann, const arch::MannaConfig &arch)
     if (owner) {
         // Compile outside the lock so independent keys proceed in
         // parallel; waiters on this key block on the future instead.
-        promise.set_value(std::make_shared<const CompiledModel>(
-            compile(mann, arch)));
+        // A failed compile (ConfigError/AssemblyError) propagates to
+        // every waiter through the future and the poisoned entry is
+        // dropped, so nothing deadlocks and the error stays
+        // recoverable per sweep job.
+        try {
+            promise.set_value(std::make_shared<const CompiledModel>(
+                compile(mann, arch)));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+            std::lock_guard<std::mutex> lock(c.mu);
+            c.entries.erase(key);
+        }
     }
     return future.get();
 }

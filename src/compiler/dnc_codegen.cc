@@ -1,5 +1,6 @@
 #include "dnc_codegen.hh"
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "common/strutil.hh"
 #include "compiler/codegen_util.hh"
@@ -1104,8 +1105,11 @@ DncGenerator::generate()
     model.archCfg = ac_;
 
     if (dc_.memN < tiles_)
-        fatal("more tiles (%zu) than memory rows (%zu) is unsupported",
-              tiles_, dc_.memN);
+        throw AssemblyError(
+            strformat("more tiles (%zu) than memory rows (%zu) is "
+                      "unsupported",
+                      tiles_, dc_.memN),
+            ErrorContext{ac_.fingerprint(), ""});
 
     auto makeSegment = [&](mann::KernelGroup group, const char *name,
                            Program (DncGenerator::*emit)(std::size_t)
@@ -1116,8 +1120,11 @@ DncGenerator::generate()
         for (std::size_t t = 0; t < tiles_; ++t) {
             Program p = (this->*emit)(t);
             const std::string err = p.validate();
-            MANNA_ASSERT(err.empty(), "segment %s tile %zu: %s", name,
-                         t, err.c_str());
+            if (!err.empty())
+                throw AssemblyError(
+                    strformat("segment %s tile %zu: %s", name, t,
+                              err.c_str()),
+                    ErrorContext{ac_.fingerprint(), ""});
             seg.tilePrograms.push_back(std::move(p));
         }
         model.stepSegments.push_back(std::move(seg));

@@ -1,6 +1,7 @@
 #include "cluster.hh"
 
-#include "common/logging.hh"
+#include "common/error.hh"
+#include "common/strutil.hh"
 #include "common/types.hh"
 #include "compiler/compile_cache.hh"
 
@@ -11,10 +12,14 @@ void
 ClusterConfig::validate() const
 {
     if (chips == 0 || !isPowerOfTwo(chips))
-        fatal("cluster size must be a nonzero power of two (got %zu)",
-              chips);
+        throw ConfigError(strformat(
+            "cluster size must be a nonzero power of two (got %zu)",
+            chips));
     if (linkGBs <= 0.0 || hopSeconds < 0.0)
-        fatal("invalid cluster interconnect parameters");
+        throw ConfigError(strformat(
+            "invalid cluster interconnect parameters (linkGBs=%g, "
+            "hopSeconds=%g)",
+            linkGBs, hopSeconds));
 }
 
 ClusterResult

@@ -31,6 +31,7 @@ struct ClusterConfig
     /** Per-hop latency across the chip-to-chip tree. */
     double hopSeconds = 500e-9;
 
+    /** Throws manna::ConfigError on invalid parameters. */
     void validate() const;
 };
 

@@ -12,9 +12,10 @@ namespace manna::harness
 MannaResult
 runCompiled(const workloads::Benchmark &benchmark,
             const compiler::CompiledModel &model, std::size_t steps,
-            std::uint64_t seed)
+            std::uint64_t seed, const CancelToken *cancel)
 {
     sim::Chip chip(model, seed);
+    chip.setCancelToken(cancel);
     Rng rng(seed ^ 0x5eedf00dull);
     workloads::Episode episode =
         workloads::generateEpisode(benchmark, steps, rng);

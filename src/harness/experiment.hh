@@ -14,6 +14,7 @@
 #include <string>
 
 #include "baselines/platform_model.hh"
+#include "common/cancel.hh"
 #include "compiler/compiled_model.hh"
 #include "sim/chip.hh"
 #include "workloads/benchmarks.hh"
@@ -52,10 +53,16 @@ MannaResult simulateManna(const workloads::Benchmark &benchmark,
  * Simulation phase of simulateManna() for an already-compiled model:
  * pure and log-free, so sweep workers can run it concurrently
  * (capacity warnings stay on the model for the caller to report).
+ *
+ * @p cancel, when non-null, is polled cooperatively by the chip; a
+ * fired token makes the simulation throw SimError (used by the sweep
+ * runner's per-job watchdog). A token that never fires has no effect
+ * on results.
  */
 MannaResult runCompiled(const workloads::Benchmark &benchmark,
                         const compiler::CompiledModel &model,
-                        std::size_t steps, std::uint64_t seed = 1);
+                        std::size_t steps, std::uint64_t seed = 1,
+                        const CancelToken *cancel = nullptr);
 
 /** Evaluate a benchmark on a baseline platform model. */
 BaselineResult evaluateBaseline(const workloads::Benchmark &benchmark,

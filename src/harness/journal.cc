@@ -1,0 +1,267 @@
+#include "journal.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace manna::harness
+{
+
+namespace
+{
+
+/** Exact double serialization: C hexfloat round-trips bit patterns. */
+std::string
+hexDouble(double v)
+{
+    return strformat("%a", v);
+}
+
+/**
+ * Sequential token consumer over one journal line. Every accessor
+ * reports failure through ok_ instead of throwing, so a torn line is
+ * just "not a record".
+ */
+class TokenReader
+{
+  public:
+    explicit TokenReader(std::string_view line)
+        : tokens_(splitWhitespace(line))
+    {}
+
+    bool ok() const { return ok_; }
+    bool done() const { return next_ >= tokens_.size(); }
+
+    std::string token()
+    {
+        if (done()) {
+            ok_ = false;
+            return "";
+        }
+        return tokens_[next_++];
+    }
+
+    bool literal(const char *expected)
+    {
+        if (token() != expected)
+            ok_ = false;
+        return ok_;
+    }
+
+    std::uint64_t u64(int base = 10)
+    {
+        const std::string t = token();
+        if (!ok_)
+            return 0;
+        errno = 0;
+        char *end = nullptr;
+        const std::uint64_t v = std::strtoull(t.c_str(), &end, base);
+        if (errno != 0 || end == t.c_str() || *end != '\0')
+            ok_ = false;
+        return v;
+    }
+
+    double f64()
+    {
+        const std::string t = token();
+        if (!ok_)
+            return 0.0;
+        errno = 0;
+        char *end = nullptr;
+        const double v = std::strtod(t.c_str(), &end);
+        if (errno != 0 || end == t.c_str() || *end != '\0')
+            ok_ = false;
+        return v;
+    }
+
+  private:
+    std::vector<std::string> tokens_;
+    std::size_t next_ = 0;
+    bool ok_ = true;
+};
+
+} // namespace
+
+std::string
+encodeResult(const MannaResult &result)
+{
+    const sim::RunReport &rep = result.report;
+    std::string out = strformat(
+        "v1 s %llu c %llu t %s e %s %s %s d %s %s",
+        static_cast<unsigned long long>(rep.steps),
+        static_cast<unsigned long long>(rep.totalCycles),
+        hexDouble(rep.totalSeconds).c_str(),
+        hexDouble(rep.dynamicEnergyPj).c_str(),
+        hexDouble(rep.leakageEnergyPj).c_str(),
+        hexDouble(rep.infrastructureEnergyPj).c_str(),
+        hexDouble(result.secondsPerStep).c_str(),
+        hexDouble(result.joulesPerStep).c_str());
+
+    out += strformat(" g %zu", rep.groups.size());
+    for (const auto &[group, gs] : rep.groups)
+        out += strformat(" %d %llu %s", static_cast<int>(group),
+                         static_cast<unsigned long long>(gs.cycles),
+                         hexDouble(gs.energyPj).c_str());
+
+    out += strformat(" u %zu", rep.resourceUtilization.size());
+    for (const auto &[name, util] : rep.resourceUtilization)
+        out += strformat(" %s %s", name.c_str(),
+                         hexDouble(util).c_str());
+
+    out += strformat(" x %zu", result.groupSeconds.size());
+    for (const auto &[group, sec] : result.groupSeconds)
+        out += strformat(" %d %s", static_cast<int>(group),
+                         hexDouble(sec).c_str());
+    return out;
+}
+
+std::optional<MannaResult>
+decodeResult(std::string_view line)
+{
+    TokenReader r(line);
+    if (!r.literal("v1"))
+        return std::nullopt;
+
+    MannaResult result;
+    sim::RunReport &rep = result.report;
+    r.literal("s");
+    rep.steps = static_cast<std::size_t>(r.u64());
+    r.literal("c");
+    rep.totalCycles = r.u64();
+    r.literal("t");
+    rep.totalSeconds = r.f64();
+    r.literal("e");
+    rep.dynamicEnergyPj = r.f64();
+    rep.leakageEnergyPj = r.f64();
+    rep.infrastructureEnergyPj = r.f64();
+    r.literal("d");
+    result.secondsPerStep = r.f64();
+    result.joulesPerStep = r.f64();
+
+    r.literal("g");
+    const std::uint64_t nGroups = r.u64();
+    for (std::uint64_t i = 0; r.ok() && i < nGroups; ++i) {
+        const int group = static_cast<int>(r.u64());
+        sim::GroupStats gs;
+        gs.cycles = r.u64();
+        gs.energyPj = r.f64();
+        if (group < 0 ||
+            group >= static_cast<int>(mann::kNumKernelGroups))
+            return std::nullopt;
+        rep.groups[static_cast<mann::KernelGroup>(group)] = gs;
+    }
+
+    r.literal("u");
+    const std::uint64_t nUtil = r.u64();
+    for (std::uint64_t i = 0; r.ok() && i < nUtil; ++i) {
+        const std::string name = r.token();
+        rep.resourceUtilization[name] = r.f64();
+    }
+
+    r.literal("x");
+    const std::uint64_t nGroupSec = r.u64();
+    for (std::uint64_t i = 0; r.ok() && i < nGroupSec; ++i) {
+        const int group = static_cast<int>(r.u64());
+        const double sec = r.f64();
+        if (group < 0 ||
+            group >= static_cast<int>(mann::kNumKernelGroups))
+            return std::nullopt;
+        result.groupSeconds[static_cast<mann::KernelGroup>(group)] =
+            sec;
+    }
+
+    if (!r.ok() || !r.done())
+        return std::nullopt;
+    return result;
+}
+
+SweepJournal::SweepJournal(const std::string &path,
+                           std::size_t fsyncBatch)
+    : fsyncBatch_(fsyncBatch == 0 ? 1 : fsyncBatch)
+{
+    file_ = std::fopen(path.c_str(), "a");
+    if (!file_)
+        warn("cannot open sweep journal '%s' (%s); continuing "
+             "without checkpointing",
+             path.c_str(), std::strerror(errno));
+}
+
+SweepJournal::~SweepJournal()
+{
+    if (!file_)
+        return;
+    sync();
+    std::fclose(file_);
+}
+
+void
+SweepJournal::append(std::uint64_t fingerprint,
+                     const MannaResult &result)
+{
+    if (!file_)
+        return;
+    const std::string line =
+        strformat("%016llx ",
+                  static_cast<unsigned long long>(fingerprint)) +
+        encodeResult(result);
+    std::lock_guard<std::mutex> lock(mu_);
+    std::fprintf(file_, "%s\n", line.c_str());
+    if (++pending_ >= fsyncBatch_) {
+        std::fflush(file_);
+        ::fsync(::fileno(file_));
+        pending_ = 0;
+    }
+}
+
+void
+SweepJournal::sync()
+{
+    if (!file_)
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    std::fflush(file_);
+    ::fsync(::fileno(file_));
+    pending_ = 0;
+}
+
+std::map<std::uint64_t, MannaResult>
+loadJournal(const std::string &path)
+{
+    std::map<std::uint64_t, MannaResult> out;
+    std::ifstream in(path);
+    if (!in)
+        return out;
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::string trimmed = trim(line);
+        if (trimmed.empty() || trimmed[0] == '#')
+            continue;
+        // Leading token is the 16-hex-digit job fingerprint; the rest
+        // is the encoded result.
+        const auto space = trimmed.find(' ');
+        if (space == std::string::npos)
+            continue;
+        const std::string fpText = trimmed.substr(0, space);
+        errno = 0;
+        char *end = nullptr;
+        const std::uint64_t fp =
+            std::strtoull(fpText.c_str(), &end, 16);
+        if (errno != 0 || end == fpText.c_str() || *end != '\0')
+            continue;
+        auto result = decodeResult(
+            std::string_view(trimmed).substr(space + 1));
+        if (!result)
+            continue; // torn or foreign line: job will just re-run
+        out.insert_or_assign(fp, std::move(*result));
+    }
+    return out;
+}
+
+} // namespace manna::harness

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Crash-safe sweep journal: an append-only, fingerprint-keyed record
+ * of completed sweep-job outcomes.
+ *
+ * Each successfully completed job appends one text line
+ * ("v1 <job-fingerprint> <serialized MannaResult>") to the journal;
+ * writes are flushed and fsync'd in small batches so a `kill -9`
+ * loses at most the last batch. On resume, the journal is loaded
+ * into a fingerprint -> result map and already-completed points are
+ * skipped. Doubles are serialized as C hexfloats ("%a"), so a
+ * restored result is bit-identical to the one originally computed —
+ * the resumed sweep's final report matches an uninterrupted run
+ * byte-for-byte.
+ *
+ * A torn final line (crash mid-write) is tolerated: unparsable lines
+ * are skipped on load and the corresponding job simply re-runs.
+ */
+
+#ifndef MANNA_HARNESS_JOURNAL_HH
+#define MANNA_HARNESS_JOURNAL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "harness/experiment.hh"
+
+namespace manna::harness
+{
+
+/** Serialize a result as a single journal line (no trailing \n).
+ * Exact: every double is emitted as a hexfloat. */
+std::string encodeResult(const MannaResult &result);
+
+/** Parse a line produced by encodeResult(); nullopt when malformed
+ * (e.g. a torn write from a killed process). */
+std::optional<MannaResult> decodeResult(std::string_view line);
+
+/**
+ * Thread-safe append-only journal writer. append() may be called
+ * concurrently from sweep workers; records are flushed+fsync'd every
+ * @p fsyncBatch appends and once more on close.
+ */
+class SweepJournal
+{
+  public:
+    /** Opens @p path in append mode. ok() reports failure instead of
+     * throwing so a bad journal path degrades to an un-checkpointed
+     * sweep (with a warning) rather than killing the run. */
+    explicit SweepJournal(const std::string &path,
+                          std::size_t fsyncBatch = 8);
+    ~SweepJournal();
+
+    SweepJournal(const SweepJournal &) = delete;
+    SweepJournal &operator=(const SweepJournal &) = delete;
+
+    bool ok() const { return file_ != nullptr; }
+
+    /** Record one completed job. No-op when !ok(). */
+    void append(std::uint64_t fingerprint, const MannaResult &result);
+
+    /** Flush buffered records and fsync the file. */
+    void sync();
+
+  private:
+    std::mutex mu_;
+    std::FILE *file_ = nullptr;
+    std::size_t pending_ = 0;
+    std::size_t fsyncBatch_;
+};
+
+/**
+ * Load a journal written by SweepJournal. Returns the
+ * fingerprint -> result map; malformed lines are skipped, and for
+ * duplicate fingerprints (e.g. a job re-journaled after a resume)
+ * the last record wins. A missing file loads as an empty map.
+ */
+std::map<std::uint64_t, MannaResult>
+loadJournal(const std::string &path);
+
+} // namespace manna::harness
+
+#endif // MANNA_HARNESS_JOURNAL_HH

@@ -1,10 +1,15 @@
 #include "sweep.hh"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
 
+#include "common/config.hh"
+#include "common/hash.hh"
 #include "common/logging.hh"
 #include "common/strutil.hh"
 #include "compiler/compile_cache.hh"
+#include "harness/journal.hh"
 
 namespace manna::harness
 {
@@ -20,6 +25,31 @@ defaultJobs()
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? hw : 1;
+}
+
+std::size_t
+defaultRetries()
+{
+    if (const char *env = std::getenv("MANNA_RETRIES")) {
+        const auto v = parseInt(env);
+        if (v && *v >= 0)
+            return static_cast<std::size_t>(*v);
+        warn("ignoring invalid MANNA_RETRIES='%s'", env);
+    }
+    return 0;
+}
+
+double
+defaultTimeoutSeconds()
+{
+    if (const char *env = std::getenv("MANNA_TIMEOUT")) {
+        char *end = nullptr;
+        const double v = std::strtod(env, &end);
+        if (end != env && *end == '\0' && v >= 0.0)
+            return v;
+        warn("ignoring invalid MANNA_TIMEOUT='%s'", env);
+    }
+    return 0.0;
 }
 
 // ---------------------------------------------------------------------
@@ -82,7 +112,16 @@ ThreadPool::workerLoop()
             task = std::move(queue_.front());
             queue_.pop_front();
         }
-        task();
+        // Pool tasks are fault-isolated wrappers that catch their own
+        // exceptions; a throw reaching here would leave inFlight_
+        // stuck and deadlock wait(), so fail loudly instead.
+        try {
+            task();
+        } catch (const std::exception &e) {
+            panic("sweep pool task threw (harness bug): %s", e.what());
+        } catch (...) {
+            panic("sweep pool task threw (harness bug)");
+        }
         {
             std::lock_guard<std::mutex> lock(mu_);
             --inFlight_;
@@ -91,6 +130,244 @@ ThreadPool::workerLoop()
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// SweepJob
+// ---------------------------------------------------------------------
+
+std::uint64_t
+SweepJob::fingerprint() const
+{
+    // The episode generator depends on the task kind and (via the RNG
+    // stream) the step count and seed; the simulator on the compiled
+    // model, i.e. the MANN + arch fingerprints.
+    Fnv1a h;
+    h.u64(benchmark.config.fingerprint());
+    h.u64(config.fingerprint());
+    h.u64(static_cast<std::uint64_t>(steps));
+    h.u64(seed);
+    h.u64(static_cast<std::uint64_t>(benchmark.task));
+    h.bytes(benchmark.name.data(), benchmark.name.size());
+    return h.value();
+}
+
+std::string
+SweepJob::label() const
+{
+    return strformat("%s tiles=%zu steps=%zu seed=%llu",
+                     benchmark.name.c_str(), config.numTiles, steps,
+                     static_cast<unsigned long long>(seed));
+}
+
+// ---------------------------------------------------------------------
+// JobError / SweepReport
+// ---------------------------------------------------------------------
+
+std::string
+JobError::describe() const
+{
+    std::string out =
+        strformat("%s: %s", toString(kind), message.c_str());
+    if (!job.empty() || fingerprint != 0) {
+        out += " [";
+        if (!job.empty()) {
+            out += "job=";
+            out += job;
+            if (fingerprint != 0)
+                out += " ";
+        }
+        if (fingerprint != 0)
+            out += strformat("fp=0x%016llx",
+                             static_cast<unsigned long long>(
+                                 fingerprint));
+        out += "]";
+    }
+    return out;
+}
+
+std::size_t
+SweepReport::failures() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(outcomes.begin(), outcomes.end(),
+                      [](const JobOutcome &o) { return !o.ok; }));
+}
+
+std::string
+SweepReport::failureSummary() const
+{
+    const std::size_t failed = failures();
+    if (failed == 0)
+        return "";
+    std::string out =
+        strformat("%zu of %zu sweep job%s failed:", failed,
+                  outcomes.size(), failed == 1 ? "" : "s");
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const JobOutcome &o = outcomes[i];
+        if (o.ok)
+            continue;
+        out += strformat("\n  #%zu %s (attempts=%zu)", i,
+                         o.error.describe().c_str(), o.attempts);
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Options / reporting helpers
+// ---------------------------------------------------------------------
+
+SweepOptions
+sweepOptionsFromConfig(const Config &cfg)
+{
+    SweepOptions opts;
+    opts.retries = static_cast<std::size_t>(std::max<std::int64_t>(
+        0, cfg.getInt("retries",
+                      static_cast<std::int64_t>(opts.retries))));
+    opts.timeoutSeconds =
+        std::max(0.0, cfg.getDouble("timeout", opts.timeoutSeconds));
+    opts.journalPath = cfg.getString("journal", "");
+    opts.resumeFrom = cfg.getString("resume", "");
+    // resume= alone implies continuing to checkpoint into the same
+    // journal, so a twice-interrupted sweep still resumes correctly.
+    if (opts.journalPath.empty() && !opts.resumeFrom.empty())
+        opts.journalPath = opts.resumeFrom;
+    return opts;
+}
+
+int
+finishSweep(const SweepReport &report)
+{
+    if (report.allOk())
+        return 0;
+    std::printf("%s\n", report.failureSummary().c_str());
+    return 1;
+}
+
+// ---------------------------------------------------------------------
+// Watchdog: cancels jobs that exceed their wall-clock budget.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/**
+ * One scanner thread over the registered {token, deadline} slots.
+ * Only instantiated when a timeout is configured, so sweeps without a
+ * watchdog spawn no extra thread.
+ */
+class Watchdog
+{
+  public:
+    explicit Watchdog(double timeoutSeconds)
+        : timeout_(timeoutSeconds)
+    {
+        if (enabled())
+            scanner_ = std::thread([this] { loop(); });
+    }
+
+    ~Watchdog()
+    {
+        if (!scanner_.joinable())
+            return;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stop_ = true;
+        }
+        wake_.notify_all();
+        scanner_.join();
+    }
+
+    bool enabled() const { return timeout_ > 0.0; }
+
+    void
+    add(CancelToken *token)
+    {
+        if (!enabled())
+            return;
+        const auto deadline =
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(timeout_));
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            slots_.push_back({token, deadline});
+        }
+        wake_.notify_all();
+    }
+
+    void
+    remove(CancelToken *token)
+    {
+        if (!enabled())
+            return;
+        std::lock_guard<std::mutex> lock(mu_);
+        slots_.erase(std::remove_if(slots_.begin(), slots_.end(),
+                                    [token](const Slot &s) {
+                                        return s.token == token;
+                                    }),
+                     slots_.end());
+    }
+
+  private:
+    struct Slot
+    {
+        CancelToken *token;
+        Clock::time_point deadline;
+    };
+
+    void
+    loop()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        while (!stop_) {
+            wake_.wait_for(lock, std::chrono::milliseconds(5));
+            const auto now = Clock::now();
+            for (const Slot &s : slots_) {
+                if (now >= s.deadline)
+                    s.token->cancel();
+            }
+        }
+    }
+
+    const double timeout_;
+    std::thread scanner_;
+    std::mutex mu_;
+    std::condition_variable wake_;
+    std::vector<Slot> slots_;
+    bool stop_ = false;
+};
+
+/** RAII registration of a job attempt's token with the watchdog. */
+class WatchdogGuard
+{
+  public:
+    WatchdogGuard(Watchdog &dog, CancelToken &token)
+        : dog_(dog), token_(token)
+    {
+        dog_.add(&token_);
+    }
+
+    ~WatchdogGuard() { dog_.remove(&token_); }
+
+    WatchdogGuard(const WatchdogGuard &) = delete;
+    WatchdogGuard &operator=(const WatchdogGuard &) = delete;
+
+  private:
+    Watchdog &dog_;
+    CancelToken &token_;
+};
+
+std::uint64_t
+backoffMs(const SweepOptions &opts, std::size_t failedAttempts)
+{
+    const std::size_t shift = std::min<std::size_t>(
+        failedAttempts > 0 ? failedAttempts - 1 : 0, 16);
+    return std::min<std::uint64_t>(opts.backoffCapMs,
+                                   opts.backoffBaseMs << shift);
+}
+
+} // namespace
 
 // ---------------------------------------------------------------------
 // SweepRunner
@@ -103,35 +380,159 @@ SweepRunner::SweepRunner(std::size_t jobs)
         pool_ = std::make_unique<ThreadPool>(jobs_);
 }
 
-std::vector<MannaResult>
-SweepRunner::runAll(const std::vector<SweepJob> &jobs)
+SweepReport
+SweepRunner::runIsolated(std::size_t count, const IsolatedFn &fn,
+                         const std::vector<std::string> &labels,
+                         const std::vector<std::uint64_t> &fingerprints,
+                         const SweepOptions &opts)
 {
-    struct Outcome
-    {
-        std::shared_ptr<const compiler::CompiledModel> model;
-        MannaResult result;
+    MANNA_ASSERT(labels.empty() || labels.size() == count,
+                 "labels must be empty or one per job");
+    MANNA_ASSERT(fingerprints.empty() ||
+                     fingerprints.size() == count,
+                 "fingerprints must be empty or one per job");
+
+    const bool journaling =
+        !fingerprints.empty() &&
+        (!opts.journalPath.empty() || !opts.resumeFrom.empty());
+    if (fingerprints.empty() &&
+        (!opts.journalPath.empty() || !opts.resumeFrom.empty()))
+        warn("sweep journal requested but jobs carry no fingerprints; "
+             "running without checkpointing");
+
+    std::map<std::uint64_t, MannaResult> restored;
+    if (journaling && !opts.resumeFrom.empty())
+        restored = loadJournal(opts.resumeFrom);
+
+    std::unique_ptr<SweepJournal> journal;
+    if (journaling && !opts.journalPath.empty())
+        journal = std::make_unique<SweepJournal>(
+            opts.journalPath, opts.journalFsyncBatch);
+
+    Watchdog watchdog(opts.timeoutSeconds);
+
+    auto runOne = [&](std::size_t i) -> JobOutcome {
+        JobOutcome out;
+        const std::uint64_t fp =
+            fingerprints.empty() ? 0 : fingerprints[i];
+        if (!labels.empty())
+            out.error.job = labels[i];
+        out.error.fingerprint = fp;
+
+        if (journaling) {
+            const auto it = restored.find(fp);
+            if (it != restored.end()) {
+                out.ok = true;
+                out.value = it->second;
+                out.fromJournal = true;
+                out.attempts = 0;
+                return out;
+            }
+        }
+
+        const auto start = Clock::now();
+        const std::size_t maxAttempts = 1 + opts.retries;
+        for (std::size_t attempt = 1; attempt <= maxAttempts;
+             ++attempt) {
+            out.attempts = attempt;
+            CancelToken token;
+            WatchdogGuard guard(watchdog, token);
+            try {
+                out.value = fn(i, token);
+                out.ok = true;
+                break;
+            } catch (const Error &e) {
+                out.error.kind = e.kind();
+                out.error.message = e.what();
+                if (e.context().fingerprint != 0)
+                    out.error.fingerprint = e.context().fingerprint;
+            } catch (const std::exception &e) {
+                out.error.kind = ErrorKind::Sim;
+                out.error.message = e.what();
+            } catch (...) {
+                out.error.kind = ErrorKind::Sim;
+                out.error.message = "unknown exception";
+            }
+            // Deterministic input errors re-fail identically: don't
+            // burn the retry budget on them.
+            if (out.error.kind == ErrorKind::Config ||
+                out.error.kind == ErrorKind::Assembly)
+                break;
+            if (attempt < maxAttempts)
+                std::this_thread::sleep_for(std::chrono::milliseconds(
+                    backoffMs(opts, attempt)));
+        }
+        out.wallMs = std::chrono::duration<double, std::milli>(
+                         Clock::now() - start)
+                         .count();
+
+        if (out.ok) {
+            out.error = JobError{};
+            if (journal)
+                journal->append(fp, out.value);
+        }
+        return out;
     };
 
-    auto outcomes = map(jobs.size(), [&jobs](std::size_t i) {
-        const SweepJob &job = jobs[i];
-        Outcome o;
-        o.model =
-            compiler::compileCached(job.benchmark.config, job.config);
-        o.result = runCompiled(job.benchmark, *o.model, job.steps,
-                               job.seed);
-        return o;
-    });
+    SweepReport report;
+    report.outcomes = map(count, runOne);
+    if (journal)
+        journal->sync();
+    return report;
+}
+
+SweepReport
+SweepRunner::runChecked(const std::vector<SweepJob> &jobs,
+                        const SweepOptions &opts)
+{
+    std::vector<std::string> labels;
+    std::vector<std::uint64_t> fingerprints;
+    labels.reserve(jobs.size());
+    fingerprints.reserve(jobs.size());
+    for (const SweepJob &job : jobs) {
+        labels.push_back(job.label());
+        fingerprints.push_back(job.fingerprint());
+    }
+
+    // Distinct slots per job; written concurrently, read serially
+    // afterwards for the submission-order warning replay.
+    std::vector<std::shared_ptr<const compiler::CompiledModel>> models(
+        jobs.size());
+
+    SweepReport report = runIsolated(
+        jobs.size(),
+        [&jobs, &models](std::size_t i, const CancelToken &cancel) {
+            const SweepJob &job = jobs[i];
+            models[i] = compiler::compileCached(job.benchmark.config,
+                                                job.config);
+            return runCompiled(job.benchmark, *models[i], job.steps,
+                               job.seed, &cancel);
+        },
+        labels, fingerprints, opts);
 
     // Replay deferred diagnostics in submission order: worker threads
     // never write to the log streams themselves.
-    std::vector<MannaResult> results;
-    results.reserve(outcomes.size());
-    for (std::size_t i = 0; i < outcomes.size(); ++i) {
-        for (const auto &w : outcomes[i].model->warnings)
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (!models[i])
+            continue; // failed before compile, or journal-restored
+        for (const auto &w : models[i]->warnings)
             debugLog("%s: %s", jobs[i].benchmark.name.c_str(),
                      w.c_str());
-        results.push_back(std::move(outcomes[i].result));
     }
+    return report;
+}
+
+std::vector<MannaResult>
+SweepRunner::runAll(const std::vector<SweepJob> &jobs)
+{
+    SweepReport report = runChecked(jobs, SweepOptions{});
+    if (!report.allOk())
+        fatal("%s", report.failureSummary().c_str());
+
+    std::vector<MannaResult> results;
+    results.reserve(report.outcomes.size());
+    for (JobOutcome &o : report.outcomes)
+        results.push_back(std::move(o.value));
     return results;
 }
 

@@ -1,17 +1,30 @@
 /**
  * @file
- * Parallel sweep runner. Every figure/table in the paper is a sweep
- * over independent (benchmark x config x steps x seed) simulation
- * points; the points share no mutable state, so — like gem5-family
- * infrastructure — we parallelize at the job level while keeping each
- * individual simulation deterministic and single-threaded.
+ * Parallel, fault-isolated sweep runner. Every figure/table in the
+ * paper is a sweep over independent (benchmark x config x steps x
+ * seed) simulation points; the points share no mutable state, so —
+ * like gem5-family infrastructure — we parallelize at the job level
+ * while keeping each individual simulation deterministic and
+ * single-threaded.
  *
  * Determinism contract: results are returned in submission order and
  * each job's outcome depends only on its inputs, so a run with N
  * worker threads is byte-identical to a run with 1 (which in turn
  * matches the historical strictly-serial harness). Worker threads
  * never touch stdout/stderr; deferred diagnostics (compile warnings)
- * are replayed in submission order on the calling thread.
+ * are replayed in submission order on the calling thread. Retries and
+ * checkpoint/resume preserve the contract: a retried job re-runs the
+ * same pure function, and a journal-restored result is bit-identical
+ * to the one originally computed.
+ *
+ * Fault isolation (see docs/ROBUSTNESS.md): every job resolves to a
+ * JobOutcome instead of killing the process. Exceptions are caught at
+ * the worker boundary; failed jobs are retried with capped
+ * exponential backoff (deterministic input errors — ConfigError /
+ * AssemblyError — are not retried); a watchdog thread cancels jobs
+ * that exceed a wall-clock budget through the simulator's cooperative
+ * CancelToken; completed outcomes can be journaled to an append-only
+ * file and skipped on resume after a crash.
  *
  * The pool is a plain std::thread + mutex/condition-variable work
  * queue — no external dependencies.
@@ -29,7 +42,14 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancel.hh"
+#include "common/error.hh"
 #include "harness/experiment.hh"
+
+namespace manna
+{
+class Config;
+}
 
 namespace manna::harness
 {
@@ -41,9 +61,20 @@ namespace manna::harness
  */
 std::size_t defaultJobs();
 
+/** Per-job retry budget when none is requested explicitly: the
+ * MANNA_RETRIES environment variable if set and valid, otherwise 0
+ * (every job gets exactly one attempt). */
+std::size_t defaultRetries();
+
+/** Per-job watchdog budget in seconds: the MANNA_TIMEOUT environment
+ * variable if set and valid, otherwise 0 (watchdog disabled). */
+double defaultTimeoutSeconds();
+
 /**
  * Fixed-size thread pool with a FIFO work queue. submit() may be
- * called from the owning thread only; tasks must not throw.
+ * called from the owning thread only. Tasks must not throw: the
+ * fault-isolation layer catches everything at the job boundary, so a
+ * throw escaping a task indicates a harness bug and panics.
  */
 class ThreadPool
 {
@@ -82,7 +113,98 @@ struct SweepJob
     arch::MannaConfig config;
     std::size_t steps = 1;
     std::uint64_t seed = 1;
+
+    /**
+     * Stable fingerprint over everything the job's result depends on
+     * (benchmark shape + task, Manna config, steps, seed). Used as
+     * the checkpoint-journal key: a restored result is valid iff the
+     * fingerprints match.
+     */
+    std::uint64_t fingerprint() const;
+
+    /** Short human label for failure summaries. */
+    std::string label() const;
 };
+
+/** Structured record of why a job failed. */
+struct JobError
+{
+    ErrorKind kind = ErrorKind::Sim;
+    std::string message;
+    std::string job;                ///< label of the failed job
+    std::uint64_t fingerprint = 0;  ///< offending config/job fingerprint
+
+    /** "ConfigError: <message>" plus context. */
+    std::string describe() const;
+};
+
+/** Resolution of one sweep job: exactly one of value/error is live. */
+struct JobOutcome
+{
+    bool ok = false;
+    MannaResult value; ///< meaningful iff ok
+    JobError error;    ///< meaningful iff !ok
+    /** Execution attempts consumed (0 when restored from a journal). */
+    std::size_t attempts = 0;
+    /** Wall-clock spent on this job across attempts. Diagnostic only:
+     * never rendered into sweep reports (it would break the
+     * byte-identical contract). */
+    double wallMs = 0.0;
+    /** True when the result was restored from a resume journal. */
+    bool fromJournal = false;
+};
+
+/** Knobs of the fault-isolation layer. */
+struct SweepOptions
+{
+    /** Extra attempts after the first failure (ConfigError /
+     * AssemblyError never retry: same input, same result). */
+    std::size_t retries = defaultRetries();
+
+    /** Capped exponential backoff between attempts:
+     * min(backoffCapMs, backoffBaseMs << (attempt-1)). */
+    std::uint64_t backoffBaseMs = 5;
+    std::uint64_t backoffCapMs = 250;
+
+    /** Per-job wall-clock budget; a job past it is cancelled through
+     * its CancelToken and fails with SimError. 0 disables. */
+    double timeoutSeconds = defaultTimeoutSeconds();
+
+    /** Append completed outcomes to this journal ("" disables). */
+    std::string journalPath;
+
+    /** Skip jobs whose fingerprint already appears in this journal
+     * ("" disables). Typically the same file as journalPath so an
+     * interrupted sweep restarts where it left off. */
+    std::string resumeFrom;
+
+    /** fsync the journal every this many records. */
+    std::size_t journalFsyncBatch = 8;
+};
+
+/** Submission-ordered outcomes of a fault-isolated sweep. */
+struct SweepReport
+{
+    std::vector<JobOutcome> outcomes;
+
+    std::size_t failures() const;
+    bool allOk() const { return failures() == 0; }
+
+    /**
+     * Deterministic failure summary: one line per failed job, in
+     * submission order, with the structured error context. Empty
+     * string when everything succeeded.
+     */
+    std::string failureSummary() const;
+};
+
+/** Parse the robustness knobs every sweep-based bench accepts:
+ * retries=, timeout=, journal=, resume=. */
+SweepOptions sweepOptionsFromConfig(const Config &cfg);
+
+/** Print the failure summary (stdout, deterministic) if any job
+ * failed; returns the process exit code (1 on failures, else 0). */
+int finishSweep(const SweepReport &report);
 
 /**
  * Executes sweep jobs across a fixed worker pool, returning results
@@ -103,13 +225,45 @@ class SweepRunner
      * Run every job; result i corresponds to jobs[i]. Compilation
      * goes through the process-wide compile cache; compile warnings
      * are replayed in submission order after the sweep completes.
+     * Any job failure is fatal() with the full submission-order
+     * summary — use runChecked() to handle failures gracefully.
      */
     std::vector<MannaResult> runAll(const std::vector<SweepJob> &jobs);
 
     /**
+     * Fault-isolated variant of runAll(): every job resolves to a
+     * JobOutcome (never kills the process), honoring the retry /
+     * watchdog / journal knobs in @p opts.
+     */
+    SweepReport runChecked(const std::vector<SweepJob> &jobs,
+                           const SweepOptions &opts = SweepOptions{});
+
+    /**
+     * A job body for runIsolated(): compute the result for point
+     * @p index, polling @p cancel cooperatively if long-running.
+     * Thrown exceptions are captured as the job's outcome.
+     */
+    using IsolatedFn =
+        std::function<MannaResult(std::size_t index,
+                                  const CancelToken &cancel)>;
+
+    /**
+     * Generic fault-isolation driver underneath runChecked(),
+     * exposed for jobs that are not plain SweepJobs (and for tests
+     * that inject failures). @p labels / @p fingerprints may be empty
+     * or must have @p count entries; without fingerprints the journal
+     * knobs are ignored.
+     */
+    SweepReport runIsolated(std::size_t count, const IsolatedFn &fn,
+                            const std::vector<std::string> &labels,
+                            const std::vector<std::uint64_t> &fingerprints,
+                            const SweepOptions &opts = SweepOptions{});
+
+    /**
      * Generic ordered parallel map: evaluate fn(0..count-1) on the
      * pool and return the results indexed by input. @p fn must be
-     * safe to call concurrently from multiple threads and must not
+     * safe to call concurrently from multiple threads, must not
+     * throw (use runIsolated for fallible work), and must not
      * write to stdout/stderr (that would break the byte-identical
      * parallel-output contract).
      */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "common/strutil.hh"
 #include "tensor/vector_ops.hh"
@@ -148,9 +149,20 @@ Chip::loadState()
     }
 }
 
+void
+Chip::checkCancelled() const
+{
+    if (cancel_ && cancel_->cancelled())
+        throw SimError(strformat(
+            "simulation cancelled after %zu completed steps "
+            "(watchdog timeout or supervisor abort)",
+            steps_));
+}
+
 tensor::FVec
 Chip::step(const tensor::FVec &input)
 {
+    checkCancelled();
     const auto &mc = model_.mannCfg;
     MANNA_ASSERT(input.size() == mc.inputDim,
                  "chip input size %zu != %zu", input.size(),
@@ -211,6 +223,7 @@ Chip::runSegment(const compiler::CompiledSegment &segment)
     }
 
     while (true) {
+        checkCancelled();
         bool anyComm = false;
         bool allDone = true;
         for (auto &tile : tiles_) {

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "arch/energy_model.hh"
+#include "common/cancel.hh"
 #include "compiler/compiled_model.hh"
 #include "mann/ntm.hh"
 #include "sim/controller_tile.hh"
@@ -113,10 +114,20 @@ class Chip
     /** Attach an instruction tracer to every tile (nullptr detaches). */
     void attachTrace(TraceLogger *logger);
 
+    /**
+     * Attach a cooperative cancellation token (nullptr detaches). The
+     * step loops poll it once per time step and once per
+     * communication round; when it fires, the chip throws SimError so
+     * a hung or runaway simulation unwinds cleanly instead of wedging
+     * its worker thread.
+     */
+    void setCancelToken(const CancelToken *token) { cancel_ = token; }
+
   private:
     void loadState();
     void runSegment(const compiler::CompiledSegment &segment);
     void handleComm(const isa::Instruction &inst);
+    void checkCancelled() const;
 
     const compiler::CompiledModel &model_;
     arch::EnergyModel energy_;
@@ -148,6 +159,8 @@ class Chip
     std::map<mann::KernelGroup, GroupStats> groups_;
     std::size_t steps_ = 0;
     mann::KernelGroup currentGroup_ = mann::KernelGroup::Controller;
+
+    const CancelToken *cancel_ = nullptr;
 };
 
 } // namespace manna::sim

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "common/error.hh"
 #include "common/logging.hh"
+#include "common/strutil.hh"
 #include "tensor/vector_ops.hh"
 
 namespace manna::sim
@@ -95,9 +97,20 @@ DncChip::loadState()
     // TileMemory's state already.
 }
 
+void
+DncChip::checkCancelled() const
+{
+    if (cancel_ && cancel_->cancelled())
+        throw SimError(strformat(
+            "DNC simulation cancelled after %zu completed steps "
+            "(watchdog timeout or supervisor abort)",
+            steps_));
+}
+
 tensor::FVec
 DncChip::step(const tensor::FVec &input)
 {
+    checkCancelled();
     const auto &dc = model_.dncCfg;
     MANNA_ASSERT(input.size() == dc.inputDim,
                  "DNC chip input size %zu != %zu", input.size(),
@@ -162,6 +175,7 @@ DncChip::runSegment(const compiler::CompiledSegment &segment)
     }
 
     while (true) {
+        checkCancelled();
         bool allDone = true;
         for (auto &tile : tiles_)
             if (tile->runUntilComm() == RunStatus::AtComm)

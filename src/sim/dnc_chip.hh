@@ -59,8 +59,13 @@ class DncChip
     /** Attach an instruction tracer to every tile (nullptr detaches). */
     void attachTrace(TraceLogger *logger);
 
+    /** Attach a cooperative cancellation token (nullptr detaches);
+     * polled per step and per communication round, like sim::Chip. */
+    void setCancelToken(const CancelToken *token) { cancel_ = token; }
+
   private:
     void loadState();
+    void checkCancelled() const;
     void runSegment(const compiler::CompiledSegment &segment);
     void handleComm(const isa::Instruction &inst);
     void loadPartition(const compiler::RowPartition &part,
@@ -86,6 +91,8 @@ class DncChip
     Energy ctrlEnergyPj_ = 0.0;
     std::map<mann::KernelGroup, GroupStats> groups_;
     std::size_t steps_ = 0;
+
+    const CancelToken *cancel_ = nullptr;
 };
 
 } // namespace manna::sim

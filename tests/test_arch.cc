@@ -10,6 +10,7 @@
 #include "arch/area_model.hh"
 #include "arch/energy_model.hh"
 #include "arch/manna_config.hh"
+#include "common/error.hh"
 
 namespace manna::arch
 {
@@ -78,27 +79,42 @@ TEST(MannaConfig, AblationPresets)
     EXPECT_TRUE(MannaConfig::baseline16().hasEmac);
 }
 
-using MannaConfigDeath = MannaConfig;
+/** Expect validate() to throw a ConfigError mentioning @p needle and
+ * carrying the config's own fingerprint as context. */
+void
+expectRejected(const MannaConfig &cfg, const std::string &needle)
+{
+    try {
+        cfg.validate();
+        FAIL() << "validate() accepted an invalid config (expected "
+               << needle << ")";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+            << e.what();
+        EXPECT_EQ(e.kind(), ErrorKind::Config);
+        EXPECT_EQ(e.context().fingerprint, cfg.fingerprint());
+    }
+}
 
-TEST(MannaConfigDeathTest, RejectsNonPowerOfTwoTiles)
+TEST(MannaConfigValidation, RejectsNonPowerOfTwoTiles)
 {
     MannaConfig cfg;
     cfg.numTiles = 12;
-    EXPECT_DEATH(cfg.validate(), "power of two");
+    expectRejected(cfg, "power of two");
 }
 
-TEST(MannaConfigDeathTest, RejectsOverWideBuffer)
+TEST(MannaConfigValidation, RejectsOverWideBuffer)
 {
     MannaConfig cfg;
     cfg.matrixBufferWidthWords = 64; // > emacsPerTile
-    EXPECT_DEATH(cfg.validate(), "matrixBufferWidthWords");
+    expectRejected(cfg, "matrixBufferWidthWords");
 }
 
-TEST(MannaConfigDeathTest, RejectsTinyScratchpad)
+TEST(MannaConfigValidation, RejectsTinyScratchpad)
 {
     MannaConfig cfg;
     cfg.matrixScratchpadBytes = 64; // 16 words, below one padded row
-    EXPECT_DEATH(cfg.validate(), "padded row");
+    expectRejected(cfg, "padded row");
 }
 
 TEST(MannaConfig, DescribeMentionsKeyFields)

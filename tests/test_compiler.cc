@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hh"
 #include "compiler/compiler.hh"
 #include "isa/assembler.hh"
 
@@ -327,7 +328,7 @@ TEST(Codegen, NoWarningsOnComfortableModel)
     EXPECT_TRUE(model.warnings.empty());
 }
 
-TEST(CodegenDeathTest, StrictCapacityIsFatal)
+TEST(CodegenValidation, StrictCapacityThrowsAssemblyError)
 {
     mann::MannConfig big = smallMann();
     big.memN = 1280;
@@ -335,16 +336,29 @@ TEST(CodegenDeathTest, StrictCapacityIsFatal)
     big.controllerWidth = 256;
     arch::MannaConfig ac = arch::MannaConfig::baseline16();
     ac.strictCapacity = true;
-    EXPECT_EXIT(compile(big, ac), ::testing::ExitedWithCode(1),
-                "capacity violation");
+    try {
+        compile(big, ac);
+        FAIL() << "strict-capacity compile succeeded unexpectedly";
+    } catch (const AssemblyError &e) {
+        EXPECT_NE(std::string(e.what()).find("capacity violation"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_EQ(e.context().fingerprint, ac.fingerprint());
+    }
 }
 
-TEST(CodegenDeathTest, MoreTilesThanRowsIsFatal)
+TEST(CodegenValidation, MoreTilesThanRowsThrowsAssemblyError)
 {
     mann::MannConfig tiny = smallMann();
     tiny.memN = 8;
-    EXPECT_EXIT(compile(tiny, arch::MannaConfig::baseline16()),
-                ::testing::ExitedWithCode(1), "unsupported");
+    try {
+        compile(tiny, arch::MannaConfig::baseline16());
+        FAIL() << "undistributable shape compiled unexpectedly";
+    } catch (const AssemblyError &e) {
+        EXPECT_NE(std::string(e.what()).find("unsupported"),
+                  std::string::npos)
+            << e.what();
+    }
 }
 
 TEST(Codegen, DisassembleTileShowsSegments)

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hh"
 #include "compiler/dnc_codegen.hh"
 #include "sim/dnc_chip.hh"
 #include "tensor/vector_ops.hh"
@@ -202,11 +203,17 @@ TEST(DncChip, LinkMatrixCostDominatesForTallMemories)
     EXPECT_GT(addressing / total, 0.3);
 }
 
-TEST(DncChipDeathTest, CompileRejectsTooManyTiles)
+TEST(DncChipValidation, CompileRejectsTooManyTiles)
 {
-    EXPECT_EXIT(compiler::compileDnc(makeConfig(8, 8, 1),
-                                     arch::MannaConfig::baseline16()),
-                ::testing::ExitedWithCode(1), "unsupported");
+    try {
+        compiler::compileDnc(makeConfig(8, 8, 1),
+                             arch::MannaConfig::baseline16());
+        FAIL() << "expected AssemblyError";
+    } catch (const AssemblyError &e) {
+        EXPECT_NE(std::string(e.what()).find("unsupported"),
+                  std::string::npos);
+        EXPECT_EQ(e.kind(), ErrorKind::Assembly);
+    }
 }
 
 TEST(DncChip, CommSequencesAlignedAcrossTiles)

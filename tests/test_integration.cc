@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "baselines/ablation.hh"
+#include "common/error.hh"
 #include "harness/cluster.hh"
 #include "harness/experiment.hh"
 #include "harness/report.hh"
@@ -158,15 +159,20 @@ TEST(Integration, ClusterScalingHelpsWithDiminishingReturns)
     EXPECT_GT(r4.joulesPerStep, r1.joulesPerStep);
 }
 
-TEST(IntegrationDeathTest, ClusterRejectsBadSize)
+TEST(IntegrationValidation, ClusterRejectsBadSize)
 {
     const auto &bench = workloads::benchmarkByName("copy");
     ClusterConfig bad;
     bad.chips = 3;
-    EXPECT_EXIT(evaluateCluster(bench,
-                                arch::MannaConfig::baseline16(), bad,
-                                1),
-                ::testing::ExitedWithCode(1), "power of two");
+    try {
+        evaluateCluster(bench, arch::MannaConfig::baseline16(), bad,
+                        1);
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("power of two"),
+                  std::string::npos);
+        EXPECT_EQ(e.kind(), ErrorKind::Config);
+    }
 }
 
 TEST(Integration, DefaultStepsRespectsEnvironment)
