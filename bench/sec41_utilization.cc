@@ -6,9 +6,14 @@
  * maintaining high utilization of the compute it does have.
  *
  * Reports, per benchmark, the fraction of cycles each tile resource
- * class is busy on the 16-tile baseline, and contrasts a
- * compute-heavy variant (4x the eMACs at the same bandwidth) whose
- * extra lanes mostly idle.
+ * class is busy on the 16-tile baseline (read from the simulator's
+ * per-tile counter registry, keys `chip.util.<engine>`), and
+ * contrasts a compute-heavy variant (4x the eMACs at the same
+ * bandwidth) whose extra lanes mostly idle.
+ *
+ * Knobs: steps=, plus trace=<path>/trace_limit= to dump a
+ * Perfetto-loadable Chrome trace of the first benchmark on the
+ * baseline configuration (see docs/OBSERVABILITY.md).
  */
 
 #include <cstdio>
@@ -17,6 +22,7 @@
 #include "common/strutil.hh"
 #include "common/table.hh"
 #include "harness/experiment.hh"
+#include "harness/observe.hh"
 #include "harness/report.hh"
 
 using namespace manna;
@@ -26,7 +32,9 @@ namespace
 
 struct UtilRow
 {
-    std::map<std::string, double> util;
+    double emac;
+    double matDma;
+    double sfu;
     double secondsPerStep;
 };
 
@@ -35,7 +43,9 @@ utilizationFor(const workloads::Benchmark &bench,
                const arch::MannaConfig &hw, std::size_t steps)
 {
     const auto result = harness::simulateManna(bench, hw, steps);
-    return {result.report.resourceUtilization,
+    const StatRegistry &stats = result.report.stats;
+    return {stats.get("chip.util.emac"),
+            stats.get("chip.util.mat_dma"), stats.get("chip.util.sfu"),
             result.secondsPerStep};
 }
 
@@ -48,6 +58,8 @@ main(int argc, char **argv)
     const std::size_t steps = static_cast<std::size_t>(
         cfg.getInt("steps", static_cast<std::int64_t>(
                                 harness::defaultSteps())));
+    const harness::TraceOptions traceOpts =
+        harness::traceOptionsFromConfig(cfg);
 
     harness::printBanner(
         "Section 4.1",
@@ -63,14 +75,12 @@ main(int argc, char **argv)
     for (const auto &bench : workloads::table2Suite()) {
         const auto base = utilizationFor(bench, baseline, steps);
         const auto heavy = utilizationFor(bench, computeHeavy, steps);
-        emacUtils.push_back(base.util.at("emac"));
+        emacUtils.push_back(base.emac);
         const double gain = base.secondsPerStep / heavy.secondsPerStep;
         extraLaneGains.push_back(gain);
-        table.addRow({bench.name,
-                      formatPercent(base.util.at("emac")),
-                      formatPercent(base.util.at("mat_dma")),
-                      formatPercent(base.util.at("sfu")),
-                      formatFactor(gain)});
+        table.addRow({bench.name, formatPercent(base.emac),
+                      formatPercent(base.matDma),
+                      formatPercent(base.sfu), formatFactor(gain)});
     }
     harness::printTable(table);
     std::printf("\nmean eMAC utilization at the baseline balance: %s. "
@@ -85,5 +95,10 @@ main(int argc, char **argv)
         "just enough processing elements to match that on-chip memory "
         "bandwidth\", maintaining high utilization instead of high "
         "theoretical throughput.");
+
+    const auto &suite = workloads::table2Suite();
+    if (traceOpts.enabled() && !suite.empty())
+        harness::writeChromeTrace(traceOpts, suite.front(), baseline,
+                                  steps);
     return 0;
 }

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Documentation lint, run as a ctest entry (see tests/CMakeLists.txt).
+#
+# Checks, over README.md and every docs/*.md:
+#  1. every relative markdown link points at a file that exists;
+#  2. every `flag=` knob mentioned in backticks exists as a string
+#     literal in the C++ sources (so docs cannot drift from the
+#     Config keys the binaries actually parse);
+#  3. every MANNA_* environment variable mentioned exists in the
+#     sources.
+#
+# Pure grep/sed; no dependencies beyond POSIX tools + bash.
+set -u
+cd "$(dirname "$0")/.."
+
+errors=0
+complain() {
+    echo "check_docs: $*" >&2
+    errors=$((errors + 1))
+}
+
+docs=(README.md docs/*.md)
+for doc in "${docs[@]}"; do
+    [ -f "$doc" ] || { complain "missing doc file $doc"; continue; }
+done
+
+# --- 1. relative markdown links ------------------------------------
+for doc in "${docs[@]}"; do
+    [ -f "$doc" ] || continue
+    dir=$(dirname "$doc")
+    while IFS= read -r target; do
+        case "$target" in
+            http://*|https://*|mailto:*|"") continue ;;
+        esac
+        # resolve relative to the doc, strip any #anchor
+        path="${target%%#*}"
+        [ -n "$path" ] || continue # pure-anchor link
+        if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+            complain "$doc: broken link -> $target"
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+# --- 2. `flag=` knobs ----------------------------------------------
+# Collect every backticked token that looks like a key=value knob,
+# e.g. `jobs=`, `trace=out.json`, `retries=2`.
+flags=$(grep -ohE '`[a-z_]+=[^`]*`' "${docs[@]}" 2>/dev/null |
+        sed -E 's/^`([a-z_]+)=.*/\1/' | sort -u)
+for flag in $flags; do
+    # A knob shows up as a quoted Config key ("jobs"); docs also
+    # backtick struct fields with initializers (`attempts=0`), which
+    # count if the member declaration exists.
+    if ! grep -rqE "\"$flag\"|[A-Za-z_] $flag *= *[A-Za-z0-9]" \
+            --include='*.cc' --include='*.hh' src bench; then
+        complain "flag '$flag=' documented but not found in sources"
+    fi
+done
+
+# --- 3. MANNA_* environment variables / macros / cmake options -----
+envs=$(grep -ohE 'MANNA_[A-Z_]+' "${docs[@]}" 2>/dev/null | sort -u)
+for var in $envs; do
+    if ! grep -rqwE "$var" --include='*.cc' --include='*.hh' \
+            --include='CMakeLists.txt' src bench CMakeLists.txt; then
+        complain "env var '$var' documented but not found in sources"
+    fi
+done
+
+if [ "$errors" -gt 0 ]; then
+    echo "check_docs: $errors problem(s)" >&2
+    exit 1
+fi
+echo "check_docs: OK (${#docs[@]} docs checked)"

@@ -1,0 +1,340 @@
+#include "json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "strutil.hh"
+
+namespace manna
+{
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strformat("\\u%04x", c);
+            else
+                out += c;
+            break;
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    // 17 significant digits round-trip every IEEE-754 double exactly;
+    // the registry's determinism contract depends on it.
+    return strformat("%.17g", v);
+}
+
+namespace
+{
+
+/** Cursor-based recursive-descent JSON scanner (validation only). */
+class JsonScanner
+{
+  public:
+    explicit JsonScanner(std::string_view text) : text_(text) {}
+
+    bool
+    validate()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == text_.size();
+    }
+
+    /** Scan one string literal, unescaping into @p out. */
+    bool
+    string(std::string *out)
+    {
+        if (!consume('"'))
+            return false;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return false;
+            if (c != '\\') {
+                if (out)
+                    out->push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return false;
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"':
+              case '\\':
+              case '/':
+                if (out)
+                    out->push_back(esc);
+                break;
+              case 'b':
+                if (out)
+                    out->push_back('\b');
+                break;
+              case 'f':
+                if (out)
+                    out->push_back('\f');
+                break;
+              case 'n':
+                if (out)
+                    out->push_back('\n');
+                break;
+              case 'r':
+                if (out)
+                    out->push_back('\r');
+                break;
+              case 't':
+                if (out)
+                    out->push_back('\t');
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return false;
+                for (int i = 0; i < 4; ++i)
+                    if (!std::isxdigit(static_cast<unsigned char>(
+                            text_[pos_ + i])))
+                        return false;
+                // Validation keeps the raw escape; the flat-object
+                // parser only needs ASCII keys, which never use \u.
+                if (out)
+                    out->append(text_.substr(pos_ - 2, 6));
+                pos_ += 4;
+                break;
+              }
+              default:
+                return false;
+            }
+        }
+        return false; // unterminated
+    }
+
+    bool
+    number(double *out)
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        if (!digits())
+            return false;
+        if (peek() == '.') {
+            ++pos_;
+            if (!digits())
+                return false;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-')
+                ++pos_;
+            if (!digits())
+                return false;
+        }
+        if (out) {
+            const std::string t(text_.substr(start, pos_ - start));
+            *out = std::strtod(t.c_str(), nullptr);
+        }
+        return true;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    char
+    peek() const
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    bool
+    atEnd()
+    {
+        skipWs();
+        return pos_ == text_.size();
+    }
+
+  private:
+    bool
+    digits()
+    {
+        std::size_t n = 0;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+            ++n;
+        }
+        return n > 0;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    value()
+    {
+        skipWs();
+        switch (peek()) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"':
+            return string(nullptr);
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number(nullptr);
+        }
+    }
+
+    bool
+    object()
+    {
+        if (!consume('{'))
+            return false;
+        skipWs();
+        if (consume('}'))
+            return true;
+        while (true) {
+            skipWs();
+            if (!string(nullptr))
+                return false;
+            skipWs();
+            if (!consume(':'))
+                return false;
+            if (!value())
+                return false;
+            skipWs();
+            if (consume('}'))
+                return true;
+            if (!consume(','))
+                return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        if (!consume('['))
+            return false;
+        skipWs();
+        if (consume(']'))
+            return true;
+        while (true) {
+            if (!value())
+                return false;
+            skipWs();
+            if (consume(']'))
+                return true;
+            if (!consume(','))
+                return false;
+        }
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+bool
+jsonValidate(std::string_view text)
+{
+    return JsonScanner(text).validate();
+}
+
+std::optional<std::map<std::string, double>>
+jsonParseFlatNumberObject(std::string_view text)
+{
+    JsonScanner s(text);
+    std::map<std::string, double> out;
+    s.skipWs();
+    if (!s.consume('{'))
+        return std::nullopt;
+    s.skipWs();
+    if (s.consume('}'))
+        return s.atEnd() ? std::optional(out) : std::nullopt;
+    while (true) {
+        s.skipWs();
+        std::string key;
+        if (!s.string(&key))
+            return std::nullopt;
+        s.skipWs();
+        if (!s.consume(':'))
+            return std::nullopt;
+        s.skipWs();
+        double v = 0.0;
+        if (!s.number(&v))
+            return std::nullopt;
+        if (!out.emplace(std::move(key), v).second)
+            return std::nullopt; // duplicate key
+        s.skipWs();
+        if (s.consume('}'))
+            return s.atEnd() ? std::optional(out) : std::nullopt;
+        if (!s.consume(','))
+            return std::nullopt;
+    }
+}
+
+} // namespace manna

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Minimal JSON utilities for the observability layer: string
+ * escaping, exact double formatting, a syntax validator, and a parser
+ * for the flat `{"key": number, ...}` objects the StatRegistry
+ * serializes to. Hand-rolled on purpose — the repo takes no external
+ * dependencies, and the consumers (stats.json, Chrome trace export)
+ * only ever need this small subset.
+ */
+
+#ifndef MANNA_COMMON_JSON_HH
+#define MANNA_COMMON_JSON_HH
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace manna
+{
+
+/** Escape @p s for use inside a JSON string literal (adds no quotes). */
+std::string jsonEscape(std::string_view s);
+
+/**
+ * Format a finite double as a JSON number that round-trips exactly
+ * (17 significant digits). Non-finite values — which valid counters
+ * never produce — render as null so the document stays parseable.
+ */
+std::string jsonNumber(double v);
+
+/** True iff @p text is one syntactically valid JSON value. */
+bool jsonValidate(std::string_view text);
+
+/**
+ * Parse a flat JSON object whose values are all numbers, e.g.
+ * `{"tile.0.emac.busy_cycles": 123, "noc.reduce_ops": 4}`.
+ * Returns nullopt on any syntax error, non-number value, or
+ * duplicate key. The inverse of StatRegistry::toJson().
+ */
+std::optional<std::map<std::string, double>>
+jsonParseFlatNumberObject(std::string_view text);
+
+} // namespace manna
+
+#endif // MANNA_COMMON_JSON_HH

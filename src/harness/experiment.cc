@@ -12,10 +12,13 @@ namespace manna::harness
 MannaResult
 runCompiled(const workloads::Benchmark &benchmark,
             const compiler::CompiledModel &model, std::size_t steps,
-            std::uint64_t seed, const CancelToken *cancel)
+            std::uint64_t seed, const CancelToken *cancel,
+            sim::TraceLogger *trace)
 {
     sim::Chip chip(model, seed);
     chip.setCancelToken(cancel);
+    if (trace != nullptr)
+        chip.attachTrace(trace);
     Rng rng(seed ^ 0x5eedf00dull);
     workloads::Episode episode =
         workloads::generateEpisode(benchmark, steps, rng);

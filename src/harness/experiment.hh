@@ -58,11 +58,16 @@ MannaResult simulateManna(const workloads::Benchmark &benchmark,
  * fired token makes the simulation throw SimError (used by the sweep
  * runner's per-job watchdog). A token that never fires has no effect
  * on results.
+ *
+ * @p trace, when non-null, is attached to every tile for the run and
+ * records each executed instruction (see sim::TraceLogger and
+ * docs/OBSERVABILITY.md); it has no effect on results or timing.
  */
 MannaResult runCompiled(const workloads::Benchmark &benchmark,
                         const compiler::CompiledModel &model,
                         std::size_t steps, std::uint64_t seed = 1,
-                        const CancelToken *cancel = nullptr);
+                        const CancelToken *cancel = nullptr,
+                        sim::TraceLogger *trace = nullptr);
 
 /** Evaluate a benchmark on a baseline platform model. */
 BaselineResult evaluateBaseline(const workloads::Benchmark &benchmark,

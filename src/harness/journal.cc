@@ -94,7 +94,7 @@ encodeResult(const MannaResult &result)
 {
     const sim::RunReport &rep = result.report;
     std::string out = strformat(
-        "v1 s %llu c %llu t %s e %s %s %s d %s %s",
+        "v2 s %llu c %llu t %s e %s %s %s d %s %s",
         static_cast<unsigned long long>(rep.steps),
         static_cast<unsigned long long>(rep.totalCycles),
         hexDouble(rep.totalSeconds).c_str(),
@@ -119,6 +119,13 @@ encodeResult(const MannaResult &result)
     for (const auto &[group, sec] : result.groupSeconds)
         out += strformat(" %d %s", static_cast<int>(group),
                          hexDouble(sec).c_str());
+
+    // v2 addition: the component stat registry. Keys are dotted
+    // identifiers (never contain whitespace), so they tokenize.
+    out += strformat(" r %zu", rep.stats.size());
+    for (const auto &[key, value] : rep.stats.entries())
+        out += strformat(" %s %s", key.c_str(),
+                         hexDouble(value).c_str());
     return out;
 }
 
@@ -126,7 +133,10 @@ std::optional<MannaResult>
 decodeResult(std::string_view line)
 {
     TokenReader r(line);
-    if (!r.literal("v1"))
+    const std::string version = r.token();
+    // v1 records (from journals written before the stat registry
+    // existed) decode with an empty registry; v2 requires it.
+    if (version != "v1" && version != "v2")
         return std::nullopt;
 
     MannaResult result;
@@ -175,6 +185,15 @@ decodeResult(std::string_view line)
             return std::nullopt;
         result.groupSeconds[static_cast<mann::KernelGroup>(group)] =
             sec;
+    }
+
+    if (version == "v2") {
+        r.literal("r");
+        const std::uint64_t nStats = r.u64();
+        for (std::uint64_t i = 0; r.ok() && i < nStats; ++i) {
+            const std::string key = r.token();
+            rep.stats.set(key, r.f64());
+        }
     }
 
     if (!r.ok() || !r.done())

@@ -4,7 +4,7 @@
  * of completed sweep-job outcomes.
  *
  * Each successfully completed job appends one text line
- * ("v1 <job-fingerprint> <serialized MannaResult>") to the journal;
+ * ("<job-fingerprint> v2 <serialized MannaResult>") to the journal;
  * writes are flushed and fsync'd in small batches so a `kill -9`
  * loses at most the last batch. On resume, the journal is loaded
  * into a fingerprint -> result map and already-completed points are
@@ -12,6 +12,11 @@
  * restored result is bit-identical to the one originally computed —
  * the resumed sweep's final report matches an uninterrupted run
  * byte-for-byte.
+ *
+ * Format versions: "v2" appends the component stat registry as
+ * " r <count> <key> <hexdouble>..." after the v1 sections. "v1"
+ * lines (journals written before the registry existed) still decode,
+ * with an empty registry; any other version tag is rejected.
  *
  * A torn final line (crash mid-write) is tolerated: unparsable lines
  * are skipped on load and the corresponding job simply re-runs.

@@ -1,0 +1,77 @@
+#include "observe.hh"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "compiler/compile_cache.hh"
+#include "sim/trace.hh"
+
+namespace manna::harness
+{
+
+namespace
+{
+
+std::string
+defaultTracePath()
+{
+    if (const char *env = std::getenv("MANNA_TRACE"))
+        return env;
+    return "";
+}
+
+std::size_t
+defaultTraceLimit()
+{
+    if (const char *env = std::getenv("MANNA_TRACE_LIMIT")) {
+        const auto v = parseInt(env);
+        if (v && *v > 0)
+            return static_cast<std::size_t>(*v);
+        warn("ignoring invalid MANNA_TRACE_LIMIT='%s'", env);
+    }
+    return 65536;
+}
+
+} // namespace
+
+TraceOptions
+traceOptionsFromConfig(const Config &cfg)
+{
+    TraceOptions opts;
+    opts.path = cfg.getString("trace", defaultTracePath());
+    opts.maxEntries = static_cast<std::size_t>(
+        std::max<std::int64_t>(
+            1, cfg.getInt("trace_limit", static_cast<std::int64_t>(
+                                             defaultTraceLimit()))));
+    return opts;
+}
+
+bool
+writeChromeTrace(const TraceOptions &opts,
+                 const workloads::Benchmark &benchmark,
+                 const arch::MannaConfig &config, std::size_t steps,
+                 std::uint64_t seed)
+{
+    if (!opts.enabled())
+        return false;
+    const auto model = compiler::compileCached(benchmark.config,
+                                               config);
+    sim::TraceLogger logger(opts.maxEntries);
+    runCompiled(benchmark, *model, steps, seed, nullptr, &logger);
+
+    std::ofstream f(opts.path, std::ios::out | std::ios::trunc);
+    if (!f) {
+        warn("cannot write chrome trace to '%s'", opts.path.c_str());
+        return false;
+    }
+    f << logger.renderChromeTrace();
+    debugLog("chrome trace: %zu events (%zu dropped) -> %s",
+             logger.entries().size(), logger.dropped(),
+             opts.path.c_str());
+    return true;
+}
+
+} // namespace manna::harness

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Observability knobs shared by the bench binaries: Chrome-trace
+ * export of a simulation point. A bench that accepts `trace=` re-runs
+ * one representative sweep point with a sim::TraceLogger attached and
+ * writes the Chrome trace-event JSON next to its tabular output; the
+ * traced re-run is separate from the sweep so the sweep's stdout and
+ * stats stay byte-identical with and without tracing.
+ *
+ * Knobs (argv key=value, with MANNA_* environment fallbacks):
+ *  - trace=<path> / MANNA_TRACE: write the Chrome trace JSON here
+ *    ("" disables, the default);
+ *  - trace_limit=<n> / MANNA_TRACE_LIMIT: trace-entry capacity
+ *    (default 65536); entries past it are dropped and counted in the
+ *    trace's `otherData.droppedEntries`.
+ *
+ * See docs/OBSERVABILITY.md for the Perfetto worked example.
+ */
+
+#ifndef MANNA_HARNESS_OBSERVE_HH
+#define MANNA_HARNESS_OBSERVE_HH
+
+#include <string>
+
+#include "harness/experiment.hh"
+
+namespace manna
+{
+class Config;
+}
+
+namespace manna::harness
+{
+
+/** Chrome-trace export knobs (see file comment). */
+struct TraceOptions
+{
+    std::string path;              ///< "" = tracing off
+    std::size_t maxEntries = 65536;
+
+    bool enabled() const { return !path.empty(); }
+};
+
+/** Parse trace= / trace_limit= (MANNA_TRACE / MANNA_TRACE_LIMIT). */
+TraceOptions traceOptionsFromConfig(const Config &cfg);
+
+/**
+ * Simulate one benchmark point with a TraceLogger attached and write
+ * the Chrome trace-event JSON to @p opts.path. No-op (returning
+ * false) when tracing is disabled; warns and returns false when the
+ * file cannot be written. The traced run goes through the compile
+ * cache but its result is discarded — tracing never perturbs sweep
+ * output.
+ */
+bool writeChromeTrace(const TraceOptions &opts,
+                      const workloads::Benchmark &benchmark,
+                      const arch::MannaConfig &config,
+                      std::size_t steps, std::uint64_t seed = 1);
+
+} // namespace manna::harness
+
+#endif // MANNA_HARNESS_OBSERVE_HH

@@ -1,11 +1,15 @@
 #include "sweep.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
 #include "common/config.hh"
 #include "common/hash.hh"
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "common/strutil.hh"
 #include "compiler/compile_cache.hh"
@@ -50,6 +54,27 @@ defaultTimeoutSeconds()
         warn("ignoring invalid MANNA_TIMEOUT='%s'", env);
     }
     return 0.0;
+}
+
+double
+defaultProgressSeconds()
+{
+    if (const char *env = std::getenv("MANNA_PROGRESS")) {
+        char *end = nullptr;
+        const double v = std::strtod(env, &end);
+        if (end != env && *end == '\0' && v >= 0.0)
+            return v;
+        warn("ignoring invalid MANNA_PROGRESS='%s'", env);
+    }
+    return 0.0;
+}
+
+std::string
+defaultStatsPath()
+{
+    if (const char *env = std::getenv("MANNA_STATS"))
+        return env;
+    return "";
 }
 
 // ---------------------------------------------------------------------
@@ -193,6 +218,69 @@ SweepReport::failures() const
                       [](const JobOutcome &o) { return !o.ok; }));
 }
 
+StatRegistry
+SweepReport::aggregateStats() const
+{
+    StatRegistry agg;
+    for (const JobOutcome &o : outcomes)
+        if (o.ok)
+            agg.merge(o.value.report.stats);
+    return agg;
+}
+
+std::string
+renderSweepStats(const SweepReport &report)
+{
+    std::size_t ok = 0, failed = 0, restored = 0, attempts = 0;
+    std::size_t executed = 0;
+    double wallSum = 0.0, wallMin = 0.0, wallMax = 0.0;
+    for (const JobOutcome &o : report.outcomes) {
+        (o.ok ? ok : failed) += 1;
+        if (o.fromJournal)
+            ++restored;
+        attempts += o.attempts;
+        if (o.attempts > 0) {
+            wallSum += o.wallMs;
+            wallMin = executed == 0 ? o.wallMs
+                                    : std::min(wallMin, o.wallMs);
+            wallMax = std::max(wallMax, o.wallMs);
+            ++executed;
+        }
+    }
+    const double jobsPerSecond =
+        report.wallSeconds > 0.0
+            ? static_cast<double>(report.outcomes.size()) /
+                  report.wallSeconds
+            : 0.0;
+
+    std::string out = "{\n";
+    out += "  \"schema\": \"manna-sweep-stats-v1\",\n";
+    out += strformat("  \"jobs\": {\"total\": %zu, \"ok\": %zu, "
+                     "\"failed\": %zu, \"from_journal\": %zu, "
+                     "\"attempts\": %zu, \"watchdog_cancelled\": %zu},\n",
+                     report.outcomes.size(), ok, failed, restored,
+                     attempts, report.watchdogCancellations);
+    out += "  \"counters\": " + report.aggregateStats().toJson(4) +
+           ",\n";
+    out += strformat(
+        "  \"throughput\": {\"wall_seconds\": %s, "
+        "\"jobs_per_second\": %s, \"workers\": %zu, "
+        "\"job_wall_ms\": {\"mean\": %s, \"min\": %s, \"max\": %s}},\n",
+        jsonNumber(report.wallSeconds).c_str(),
+        jsonNumber(jobsPerSecond).c_str(), report.workers,
+        jsonNumber(executed > 0 ? wallSum /
+                                      static_cast<double>(executed)
+                                : 0.0)
+            .c_str(),
+        jsonNumber(wallMin).c_str(), jsonNumber(wallMax).c_str());
+    out += strformat("  \"process\": {\"compile_cache_hits\": %zu, "
+                     "\"compile_cache_misses\": %zu}\n",
+                     compiler::compileCacheHits(),
+                     compiler::compileCacheMisses());
+    out += "}\n";
+    return out;
+}
+
 std::string
 SweepReport::failureSummary() const
 {
@@ -231,6 +319,9 @@ sweepOptionsFromConfig(const Config &cfg)
     // journal, so a twice-interrupted sweep still resumes correctly.
     if (opts.journalPath.empty() && !opts.resumeFrom.empty())
         opts.journalPath = opts.resumeFrom;
+    opts.progressSeconds = std::max(
+        0.0, cfg.getDouble("progress", opts.progressSeconds));
+    opts.statsPath = cfg.getString("stats", opts.statsPath);
     return opts;
 }
 
@@ -281,6 +372,14 @@ class Watchdog
 
     bool enabled() const { return timeout_ > 0.0; }
 
+    /** Attempts cancelled for exceeding the budget so far. */
+    std::size_t
+    cancellations()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return cancellations_;
+    }
+
     void
     add(CancelToken *token)
     {
@@ -324,8 +423,10 @@ class Watchdog
             wake_.wait_for(lock, std::chrono::milliseconds(5));
             const auto now = Clock::now();
             for (const Slot &s : slots_) {
-                if (now >= s.deadline)
+                if (now >= s.deadline && !s.token->cancelled()) {
                     s.token->cancel();
+                    ++cancellations_;
+                }
             }
         }
     }
@@ -335,6 +436,7 @@ class Watchdog
     std::mutex mu_;
     std::condition_variable wake_;
     std::vector<Slot> slots_;
+    std::size_t cancellations_ = 0;
     bool stop_ = false;
 };
 
@@ -356,6 +458,102 @@ class WatchdogGuard
   private:
     Watchdog &dog_;
     CancelToken &token_;
+};
+
+/** Shared counters the progress reporter samples. Workers only ever
+ * increment; relaxed ordering is enough for a throughput display. */
+struct ProgressCounters
+{
+    std::atomic<std::size_t> done{0};
+    std::atomic<std::size_t> failed{0};
+    std::atomic<std::size_t> restored{0};
+    std::atomic<std::size_t> attempts{0};
+};
+
+/**
+ * Periodic throughput dashboard: one line to stderr every interval
+ * while the sweep runs, plus a final line at completion. A dedicated
+ * thread keeps worker threads free of any I/O (the stdout
+ * byte-identity contract; stderr is opt-in via progress=/
+ * MANNA_PROGRESS).
+ */
+class ProgressReporter
+{
+  public:
+    ProgressReporter(double intervalSeconds, std::size_t total,
+                     const ProgressCounters &counters)
+        : interval_(intervalSeconds), total_(total),
+          counters_(counters), start_(Clock::now())
+    {
+        if (interval_ > 0.0 && total_ > 0)
+            thread_ = std::thread([this] { loop(); });
+    }
+
+    ~ProgressReporter()
+    {
+        if (!thread_.joinable())
+            return;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stop_ = true;
+        }
+        wake_.notify_all();
+        thread_.join();
+        emit(); // final line so short sweeps still report once
+    }
+
+    ProgressReporter(const ProgressReporter &) = delete;
+    ProgressReporter &operator=(const ProgressReporter &) = delete;
+
+  private:
+    void
+    loop()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        while (!stop_) {
+            wake_.wait_for(lock,
+                           std::chrono::duration<double>(interval_));
+            if (stop_)
+                break;
+            emit();
+        }
+    }
+
+    void
+    emit() const
+    {
+        const double elapsed =
+            std::chrono::duration<double>(Clock::now() - start_)
+                .count();
+        const std::size_t done = counters_.done.load();
+        const std::size_t failed = counters_.failed.load();
+        const std::size_t restored = counters_.restored.load();
+        const std::size_t attempts = counters_.attempts.load();
+        const std::size_t retries = attempts > (done - restored)
+                                        ? attempts - (done - restored)
+                                        : 0;
+        const double rate =
+            elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
+        const double eta =
+            rate > 0.0
+                ? static_cast<double>(total_ - done) / rate
+                : 0.0;
+        std::fprintf(stderr,
+                     "sweep: %zu/%zu jobs  %.1f jobs/s  ETA %.0fs  "
+                     "(restored %zu, retries %zu, failures %zu)\n",
+                     done, total_, rate, eta, restored, retries,
+                     failed);
+        std::fflush(stderr);
+    }
+
+    const double interval_;
+    const std::size_t total_;
+    const ProgressCounters &counters_;
+    const Clock::time_point start_;
+    std::thread thread_;
+    std::mutex mu_;
+    std::condition_variable wake_;
+    bool stop_ = false;
 };
 
 std::uint64_t
@@ -410,6 +608,8 @@ SweepRunner::runIsolated(std::size_t count, const IsolatedFn &fn,
             opts.journalPath, opts.journalFsyncBatch);
 
     Watchdog watchdog(opts.timeoutSeconds);
+    ProgressCounters progress;
+    const auto sweepStart = Clock::now();
 
     auto runOne = [&](std::size_t i) -> JobOutcome {
         JobOutcome out;
@@ -426,6 +626,8 @@ SweepRunner::runIsolated(std::size_t count, const IsolatedFn &fn,
                 out.value = it->second;
                 out.fromJournal = true;
                 out.attempts = 0;
+                progress.restored.fetch_add(1);
+                progress.done.fetch_add(1);
                 return out;
             }
         }
@@ -471,13 +673,36 @@ SweepRunner::runIsolated(std::size_t count, const IsolatedFn &fn,
             if (journal)
                 journal->append(fp, out.value);
         }
+        progress.attempts.fetch_add(out.attempts);
+        if (!out.ok)
+            progress.failed.fetch_add(1);
+        progress.done.fetch_add(1);
         return out;
     };
 
     SweepReport report;
-    report.outcomes = map(count, runOne);
+    {
+        ProgressReporter reporter(opts.progressSeconds, count,
+                                  progress);
+        report.outcomes = map(count, runOne);
+    }
     if (journal)
         journal->sync();
+    report.watchdogCancellations = watchdog.cancellations();
+    report.wallSeconds = std::chrono::duration<double>(Clock::now() -
+                                                       sweepStart)
+                             .count();
+    report.workers = jobs_;
+
+    if (!opts.statsPath.empty()) {
+        std::ofstream f(opts.statsPath,
+                        std::ios::out | std::ios::trunc);
+        if (!f)
+            warn("cannot write sweep stats to '%s'",
+                 opts.statsPath.c_str());
+        else
+            f << renderSweepStats(report);
+    }
     return report;
 }
 

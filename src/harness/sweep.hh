@@ -44,6 +44,7 @@
 
 #include "common/cancel.hh"
 #include "common/error.hh"
+#include "common/stat_registry.hh"
 #include "harness/experiment.hh"
 
 namespace manna
@@ -69,6 +70,14 @@ std::size_t defaultRetries();
 /** Per-job watchdog budget in seconds: the MANNA_TIMEOUT environment
  * variable if set and valid, otherwise 0 (watchdog disabled). */
 double defaultTimeoutSeconds();
+
+/** Progress-line interval in seconds: the MANNA_PROGRESS environment
+ * variable if set and valid, otherwise 0 (progress reporting off). */
+double defaultProgressSeconds();
+
+/** Sweep stats.json output path: the MANNA_STATS environment variable
+ * if set, otherwise "" (stats output off). */
+std::string defaultStatsPath();
 
 /**
  * Fixed-size thread pool with a FIFO work queue. submit() may be
@@ -138,7 +147,21 @@ struct JobError
     std::string describe() const;
 };
 
-/** Resolution of one sweep job: exactly one of value/error is live. */
+/**
+ * Resolution of one sweep job: exactly one of value/error is live.
+ *
+ * Invariants:
+ *  - ok == true  => value holds the job's MannaResult and error is
+ *    the default-constructed JobError (cleared even if early
+ *    attempts failed before a retry succeeded);
+ *  - ok == false => error describes the final attempt's failure and
+ *    value is default-constructed (never partially filled);
+ *  - fromJournal == true implies ok == true, attempts == 0, and
+ *    wallMs ~ 0: the result bytes came from the resume journal, not
+ *    from executing the job;
+ *  - attempts >= 1 for every job that actually executed, capped at
+ *    1 + SweepOptions::retries.
+ */
 struct JobOutcome
 {
     bool ok = false;
@@ -147,8 +170,9 @@ struct JobOutcome
     /** Execution attempts consumed (0 when restored from a journal). */
     std::size_t attempts = 0;
     /** Wall-clock spent on this job across attempts. Diagnostic only:
-     * never rendered into sweep reports (it would break the
-     * byte-identical contract). */
+     * it feeds the throughput section of stats.json and the progress
+     * line, but is never rendered into sweep result tables (that
+     * would break the byte-identical contract). */
     double wallMs = 0.0;
     /** True when the result was restored from a resume journal. */
     bool fromJournal = false;
@@ -180,12 +204,35 @@ struct SweepOptions
 
     /** fsync the journal every this many records. */
     std::size_t journalFsyncBatch = 8;
+
+    /**
+     * Emit a progress line to *stderr* every this many seconds while
+     * the sweep runs (jobs done, jobs/s, ETA, retries, failures).
+     * 0 disables. stderr only and off by default, so the stdout
+     * byte-identity contract is untouched.
+     */
+    double progressSeconds = defaultProgressSeconds();
+
+    /** Write the machine-readable sweep summary (stats.json) to this
+     * path when the sweep completes ("" disables). */
+    std::string statsPath = defaultStatsPath();
 };
 
 /** Submission-ordered outcomes of a fault-isolated sweep. */
 struct SweepReport
 {
     std::vector<JobOutcome> outcomes;
+
+    /** Jobs the watchdog cancelled for exceeding their wall-clock
+     * budget (counted per cancelled attempt's token, so a job whose
+     * retry also timed out counts twice). */
+    std::size_t watchdogCancellations = 0;
+
+    /** Wall-clock of the whole sweep in seconds (diagnostic only). */
+    double wallSeconds = 0.0;
+
+    /** Worker threads the sweep ran with. */
+    std::size_t workers = 1;
 
     std::size_t failures() const;
     bool allOk() const { return failures() == 0; }
@@ -196,11 +243,34 @@ struct SweepReport
      * string when everything succeeded.
      */
     std::string failureSummary() const;
+
+    /**
+     * Sum of the per-job stat registries of every successful outcome,
+     * accumulated in submission order — deterministic and identical
+     * for jobs=1 and jobs=N.
+     */
+    StatRegistry aggregateStats() const;
 };
 
-/** Parse the robustness knobs every sweep-based bench accepts:
- * retries=, timeout=, journal=, resume=. */
+/** Parse the robustness + observability knobs every sweep-based
+ * bench accepts: retries=, timeout=, journal=, resume=, progress=,
+ * stats=. */
 SweepOptions sweepOptionsFromConfig(const Config &cfg);
+
+/**
+ * Render the machine-readable sweep summary written to
+ * SweepOptions::statsPath. One JSON object with sections:
+ *  - "schema": format tag ("manna-sweep-stats-v1");
+ *  - "jobs": total/ok/failed/from_journal/attempts/
+ *    watchdog_cancelled counts (deterministic);
+ *  - "counters": the aggregated per-job stat registries, in
+ *    submission order — bit-identical between jobs=1 and jobs=N;
+ *  - "throughput": wall-clock, jobs/s, per-job wall-time spread
+ *    (NOT deterministic — wall-clock measurements);
+ *  - "process": process-wide compile-cache hit/miss counters (NOT
+ *    deterministic across different process histories).
+ */
+std::string renderSweepStats(const SweepReport &report);
 
 /** Print the failure summary (stdout, deterministic) if any job
  * failed; returns the process exit code (1 on failures, else 0). */

@@ -52,6 +52,48 @@ RunReport::render() const
     return out;
 }
 
+void
+populateRunStats(RunReport &rep,
+                 const std::vector<std::unique_ptr<DiffMemTile>> &tiles,
+                 const Noc &noc, const ControllerTileModel &ctrlModel)
+{
+    static constexpr const char *kEngines[] = {"emac", "sfu",
+                                               "mat_dma", "vec_dma"};
+    StatRegistry &reg = rep.stats;
+    const double total = static_cast<double>(rep.totalCycles);
+    for (std::size_t t = 0; t < tiles.size(); ++t) {
+        const std::string prefix = strformat("tile.%zu", t);
+        reg.adopt(prefix, tiles[t]->stats());
+        for (const char *engine : kEngines) {
+            const double busy = tiles[t]->stats().get(
+                std::string(engine) + ".busy_cycles");
+            reg.set(prefix + "." + engine + ".idle_cycles",
+                    total > busy ? total - busy : 0.0);
+        }
+        reg.set(prefix + ".energy_pj", tiles[t]->energyPj());
+    }
+    reg.adopt("noc", noc.stats());
+    reg.adopt("ctrl", ctrlModel.stats());
+    reg.set("chip.steps", static_cast<double>(rep.steps));
+    reg.set("chip.cycles", total);
+    reg.set("chip.tiles", static_cast<double>(tiles.size()));
+    reg.set("chip.energy.dynamic_pj", rep.dynamicEnergyPj);
+    reg.set("chip.energy.leakage_pj", rep.leakageEnergyPj);
+    reg.set("chip.energy.infrastructure_pj",
+            rep.infrastructureEnergyPj);
+    if (rep.totalCycles > 0 && !tiles.empty()) {
+        const double denom =
+            total * static_cast<double>(tiles.size());
+        for (const char *engine : kEngines) {
+            const double busy =
+                reg.sumOver("tile",
+                            std::string(engine) + ".busy_cycles");
+            rep.resourceUtilization[engine] = busy / denom;
+            reg.set(std::string("chip.util.") + engine, busy / denom);
+        }
+    }
+}
+
 Chip::Chip(const compiler::CompiledModel &model, std::uint64_t seed)
     : model_(model), energy_(model.archCfg),
       noc_(model.archCfg, energy_), ctrlModel_(model.archCfg, energy_),
@@ -281,6 +323,7 @@ Chip::handleComm(const Instruction &inst)
             tiles_[t]->readOperandInto(inst.srcA, commStage_[t]);
         Noc::combineInto(commStage_, inst.flags.reduceOp, nocBuffer_);
         nocEnergyPj_ += noc_.reduceEnergyPj(words);
+        noc_.recordReduce(words, noc_.reduceCycles(words));
         chipTime_ = commStart + noc_.reduceCycles(words);
 
         if (tag == CommTag::ReadVectorOut) {
@@ -307,6 +350,7 @@ Chip::handleComm(const Instruction &inst)
         for (auto &tile : tiles_)
             tile->writeOperand(inst.dst, nocBuffer_);
         nocEnergyPj_ += noc_.broadcastEnergyPj(words);
+        noc_.recordBroadcast(words, noc_.broadcastCycles(words));
         chipTime_ = commStart + noc_.broadcastCycles(words);
     }
 
@@ -330,22 +374,7 @@ Chip::report() const
     rep.infrastructureEnergyPj =
         energy_.infrastructureWatts() * rep.totalSeconds * 1e12;
     rep.groups = groups_;
-    if (chipTime_ > 0) {
-        const double denom = static_cast<double>(chipTime_) *
-                             static_cast<double>(tiles_.size());
-        const std::pair<const char *, const char *> classes[] = {
-            {"emac", "emac_busy_cycles"},
-            {"sfu", "sfu_busy_cycles"},
-            {"mat_dma", "mat_dma_busy_cycles"},
-            {"vec_dma", "vec_dma_busy_cycles"},
-        };
-        for (const auto &[name, key] : classes) {
-            double busy = 0.0;
-            for (const auto &tile : tiles_)
-                busy += tile->stats().get(key);
-            rep.resourceUtilization[name] = busy / denom;
-        }
-    }
+    populateRunStats(rep, tiles_, noc_, ctrlModel_);
     return rep;
 }
 

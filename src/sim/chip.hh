@@ -23,6 +23,7 @@
 
 #include "arch/energy_model.hh"
 #include "common/cancel.hh"
+#include "common/stat_registry.hh"
 #include "compiler/compiled_model.hh"
 #include "mann/ntm.hh"
 #include "sim/controller_tile.hh"
@@ -58,6 +59,14 @@ struct RunReport
      */
     std::map<std::string, double> resourceUtilization;
 
+    /**
+     * Hierarchical per-component counters under dotted paths:
+     * "tile.<n>.<engine>.*", "noc.*", "ctrl.*", "chip.*". Populated
+     * by populateRunStats(); the full catalog is documented in
+     * docs/OBSERVABILITY.md.
+     */
+    StatRegistry stats;
+
     Energy totalEnergyPj() const
     {
         return dynamicEnergyPj + leakageEnergyPj +
@@ -73,6 +82,17 @@ struct RunReport
 
     std::string render() const;
 };
+
+/**
+ * Fill @p rep.stats with the dotted counter hierarchy shared by Chip
+ * and DncChip (tile.<n>.*, noc.*, ctrl.*, chip.*) and derive
+ * @p rep.resourceUtilization from the per-tile busy-cycle counters.
+ * Requires steps/totalCycles/energy fields to be filled in already.
+ */
+void populateRunStats(
+    RunReport &rep,
+    const std::vector<std::unique_ptr<DiffMemTile>> &tiles,
+    const Noc &noc, const ControllerTileModel &ctrlModel);
 
 /**
  * The Manna chip.

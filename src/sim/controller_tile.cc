@@ -31,6 +31,11 @@ ControllerTileModel::denseLayer(std::size_t outDim,
                   cols;
 
     const double macs = static_cast<double>(outDim) * inDim;
+    stats_.inc("dense_layers");
+    stats_.inc("array_passes",
+               static_cast<double>(rowPasses * colPasses));
+    stats_.inc("macs", macs);
+    stats_.inc("cycles", static_cast<double>(cost.cycles));
     cost.energyPj =
         macs * energy_.eventEnergyPj(arch::EnergyEvent::SystolicMac) +
         // weights + activations + outputs through the buffers
@@ -45,6 +50,8 @@ ControllerTileModel::activation(std::size_t n) const
 {
     CtrlCost cost;
     cost.cycles = ceilDiv(n, cfg_.systolicCols);
+    stats_.inc("activations", static_cast<double>(n));
+    stats_.inc("cycles", static_cast<double>(cost.cycles));
     cost.energyPj =
         static_cast<double>(n) *
         (energy_.eventEnergyPj(arch::EnergyEvent::SfuOp) +
@@ -56,6 +63,7 @@ ControllerTileModel::activation(std::size_t n) const
 CtrlCost
 ControllerTileModel::forwardCost(const mann::MannConfig &mc) const
 {
+    stats_.inc("forward_passes");
     CtrlCost total;
     std::size_t inDim = mc.controllerInputDim();
     const std::size_t width = mc.hiddenDim();

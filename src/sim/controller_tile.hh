@@ -17,6 +17,7 @@
 
 #include "arch/energy_model.hh"
 #include "arch/manna_config.hh"
+#include "common/stats.hh"
 #include "common/types.hh"
 #include "mann/mann_config.hh"
 
@@ -57,9 +58,15 @@ class ControllerTileModel
     /** Whole controller forward pass for one time step. */
     CtrlCost forwardCost(const mann::MannConfig &mc) const;
 
+    /** Work counters (forward passes, layer passes, macs, cycles).
+     * The cost queries are const (they are pure timing math); the
+     * counters are mutable bookkeeping on the side. */
+    const StatGroup &stats() const { return stats_; }
+
   private:
     const arch::MannaConfig &cfg_;
     const arch::EnergyModel &energy_;
+    mutable StatGroup stats_{"ctrl"};
 };
 
 } // namespace manna::sim

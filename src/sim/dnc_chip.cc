@@ -224,6 +224,7 @@ DncChip::handleComm(const Instruction &inst)
             perTile.push_back(tile->readOperand(inst.srcA));
         nocBuffer_ = Noc::combine(perTile, inst.flags.reduceOp);
         nocEnergyPj_ += noc_.reduceEnergyPj(words);
+        noc_.recordReduce(words, noc_.reduceCycles(words));
         chipTime_ = commStart + noc_.reduceCycles(words);
 
         if (tag == CommTag::ReadVectorOut) {
@@ -265,6 +266,7 @@ DncChip::handleComm(const Instruction &inst)
         for (auto &tile : tiles_)
             tile->writeOperand(inst.dst, nocBuffer_);
         nocEnergyPj_ += noc_.broadcastEnergyPj(words);
+        noc_.recordBroadcast(words, noc_.broadcastCycles(words));
         chipTime_ = commStart + noc_.broadcastCycles(words);
     }
 
@@ -288,6 +290,7 @@ DncChip::report() const
     rep.infrastructureEnergyPj =
         energy_.infrastructureWatts() * rep.totalSeconds * 1e12;
     rep.groups = groups_;
+    populateRunStats(rep, tiles_, noc_, ctrlModel_);
     return rep;
 }
 

@@ -54,6 +54,24 @@ Noc::broadcastEnergyPj(std::size_t words) const
 }
 
 void
+Noc::recordReduce(std::size_t words, Cycle cycles)
+{
+    stats_.inc("reduce.ops");
+    stats_.inc("reduce.words", static_cast<double>(words));
+    stats_.inc("reduce.cycles", static_cast<double>(cycles));
+    stats_.inc("reduce.steps", static_cast<double>(depth()));
+}
+
+void
+Noc::recordBroadcast(std::size_t words, Cycle cycles)
+{
+    stats_.inc("broadcast.ops");
+    stats_.inc("broadcast.words", static_cast<double>(words));
+    stats_.inc("broadcast.cycles", static_cast<double>(cycles));
+    stats_.inc("broadcast.steps", static_cast<double>(depth()));
+}
+
+void
 Noc::combineInto(const std::vector<std::vector<float>> &perTile,
                  isa::ReduceOp op, std::vector<float> &out)
 {

@@ -17,6 +17,7 @@
 
 #include "arch/energy_model.hh"
 #include "arch/manna_config.hh"
+#include "common/stats.hh"
 #include "common/types.hh"
 #include "isa/isa.hh"
 
@@ -57,9 +58,20 @@ class Noc
     combineInto(const std::vector<std::vector<float>> &perTile,
                 isa::ReduceOp op, std::vector<float> &out);
 
+    /** Account one reduce of @p words costing @p cycles (called by
+     * the chip when it performs the exchange). */
+    void recordReduce(std::size_t words, Cycle cycles);
+
+    /** Account one broadcast of @p words costing @p cycles. */
+    void recordBroadcast(std::size_t words, Cycle cycles);
+
+    /** Operation counters (reduce/broadcast ops, words, step cycles). */
+    const StatGroup &stats() const { return stats_; }
+
   private:
     const arch::MannaConfig &cfg_;
     const arch::EnergyModel &energy_;
+    StatGroup stats_{"noc"};
 };
 
 } // namespace manna::sim

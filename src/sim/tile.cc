@@ -236,6 +236,7 @@ void
 DiffMemTile::finish(Cycle end)
 {
     maxEnd_ = std::max(maxEnd_, end);
+    lastEnd_ = end;
 }
 
 void
@@ -282,8 +283,11 @@ DiffMemTile::execute(const Instruction &inst)
         panic("unexpected opcode %s in execute",
               toString(inst.op));
     }
+    // After dispatch now_ == start + 1, so the op's engine interval is
+    // [now_ - 1, lastEnd_].
     if (trace_ != nullptr)
-        trace_->record(tileIndex_, issuedAt, maxEnd_, inst);
+        trace_->record(tileIndex_, issuedAt, maxEnd_, now_ - 1,
+                       lastEnd_, inst);
 }
 
 void
@@ -335,7 +339,7 @@ DiffMemTile::execDmaMatrix(const Instruction &inst)
         start = std::max(start, spadWriteEnd_[half]); // data ready
         start = std::max(start, writeDependency(dst));
         const Cycle end = start + std::max<Cycle>(dur, 1);
-        stats_.inc("mat_dma_busy_cycles",
+        stats_.inc("mat_dma.busy_cycles",
                    static_cast<double>(end - start));
         matDmaFree_ = end;
         spadReadEnd_[half] = std::max(spadReadEnd_[half], end);
@@ -347,8 +351,13 @@ DiffMemTile::execDmaMatrix(const Instruction &inst)
         start = std::max(start, spadWriteEnd_[half]);
         start = std::max(start, readDependency(src));
         const Cycle end = start + std::max<Cycle>(dur, 1);
-        stats_.inc("mat_dma_busy_cycles",
+        stats_.inc("mat_dma.busy_cycles",
                    static_cast<double>(end - start));
+        if (isDmat) {
+            stats_.inc("dmat.loads");
+            stats_.inc("dmat.transfer_cycles",
+                       static_cast<double>(end - start));
+        }
         matDmaFree_ = end;
         spadWriteEnd_[half] = end;
         ++dmaLoadCount_;
@@ -360,7 +369,7 @@ DiffMemTile::execDmaMatrix(const Instruction &inst)
     const double words = static_cast<double>(rows) * rowWords;
     charge(accessEvent(bufSide.space), words);
     charge(arch::EnergyEvent::MatrixScratchpadAccess, words);
-    stats_.inc("dma_matrix_words", words);
+    stats_.inc("mat_dma.words", words);
 
     // Functional copy with pitches. The effective base of the buffer
     // side addresses the first row; subsequent rows advance by
@@ -392,7 +401,7 @@ DiffMemTile::execDmaVector(const Instruction &inst)
     const Cycle dur =
         std::max<Cycle>(ceilDiv(src.len, cfg_.vectorDmaWidthWords), 1);
     const Cycle end = start + dur;
-    stats_.inc("vec_dma_busy_cycles", static_cast<double>(end - start));
+    stats_.inc("vec_dma.busy_cycles", static_cast<double>(end - start));
     vecDmaFree_ = end;
     noteRead(src, end);
     noteWrite(dst, end);
@@ -401,7 +410,7 @@ DiffMemTile::execDmaVector(const Instruction &inst)
 
     charge(accessEvent(src.space), src.len);
     charge(accessEvent(dst.space), dst.len);
-    stats_.inc("dma_vector_words", src.len);
+    stats_.inc("vec_dma.words", src.len);
 
     const float *from = mem_.span(src.space, src.base, src.len);
     float *to = mem_.span(dst.space, dst.base, dst.len);
@@ -456,6 +465,12 @@ DiffMemTile::execVmm(const Instruction &inst)
         dur = static_cast<Cycle>(numCols) * ceilDiv(numRows, lanes);
         if (withNorms)
             dur *= 2;
+        // Column-direction scratchpad traffic: skew-padded (DMAT)
+        // blocks read one word per bank per cycle, unskewed blocks
+        // serialize on bank conflicts (Section 4.4 / Figure 14).
+        stats_.inc(inst.flags.skewed ? "spad.conflict_free_words"
+                                     : "spad.conflict_words",
+                   static_cast<double>(numRows) * numCols);
         if (inst.flags.skewed) {
             // Realignment shift of the finished partials, pipelined
             // with the next block (Section 4.4, step 5).
@@ -471,7 +486,7 @@ DiffMemTile::execVmm(const Instruction &inst)
         dur = static_cast<Cycle>(numRows) * ceilDiv(numCols, lanes);
     }
     const Cycle end = start + std::max<Cycle>(dur, 1);
-    stats_.inc("emac_busy_cycles", static_cast<double>(end - start));
+    stats_.inc("emac.busy_cycles", static_cast<double>(end - start));
     emacFree_ = end;
     noteRead(vec, end);
     noteRead(matBlock, end);
@@ -495,7 +510,7 @@ DiffMemTile::execVmm(const Instruction &inst)
         charge(arch::EnergyEvent::EmacLateralShift,
                static_cast<double>(numCols) *
                    ceilDiv(numRows, lanes) * lanes);
-    stats_.inc("mac_ops", macs);
+    stats_.inc("emac.mac_ops", macs);
 
     // Functional semantics.
     const float *v = mem_.span(vec.space, vec.base, vec.len);
@@ -577,7 +592,7 @@ DiffMemTile::execElementwise(const Instruction &inst)
     const Cycle dur = std::max<Cycle>(
         ceilDiv(len, cfg_.emacsPerTile) * penalty, 1);
     const Cycle end = start + dur;
-    stats_.inc("emac_busy_cycles", static_cast<double>(end - start));
+    stats_.inc("emac.busy_cycles", static_cast<double>(end - start));
     emacFree_ = end;
     if (needsA)
         noteRead(a, end);
@@ -590,11 +605,11 @@ DiffMemTile::execElementwise(const Instruction &inst)
     // Energy.
     if (isMac) {
         charge(arch::EnergyEvent::EmacMac, len);
-        stats_.inc("mac_ops", len);
+        stats_.inc("emac.mac_ops", len);
     } else if (inst.op != Opcode::Fill) {
         charge(arch::EnergyEvent::EmacElwise,
                static_cast<double>(len) * penalty);
-        stats_.inc("elwise_ops", len);
+        stats_.inc("emac.elwise_ops", len);
     }
     if (needsA)
         charge(accessEvent(a.space), a.len == 1 ? 1.0 : len);
@@ -709,7 +724,7 @@ DiffMemTile::execSfu(const Instruction &inst)
                 cfg_.sfusPerTile),
         1);
     const Cycle end = start + dur;
-    stats_.inc("sfu_busy_cycles", static_cast<double>(end - start));
+    stats_.inc("sfu.busy_cycles", static_cast<double>(end - start));
     sfuFree_ = end;
     noteRead(a, end);
     noteWrite(dst, end);
@@ -719,7 +734,7 @@ DiffMemTile::execSfu(const Instruction &inst)
     charge(arch::EnergyEvent::SfuOp, len);
     charge(accessEvent(a.space), len);
     charge(accessEvent(dst.space), dst.len);
-    stats_.inc("sfu_ops", len);
+    stats_.inc("sfu.ops", len);
 
     const float *pa = mem_.span(a.space, a.base, len);
     float *pd = mem_.span(dst.space, dst.base, dst.len);

@@ -194,6 +194,7 @@ class DiffMemTile
     Cycle spadReadEnd_[2] = {0, 0};
     Cycle lastWrite_[5] = {0, 0, 0, 0, 0}; ///< indexed by Space
     Cycle maxEnd_ = 0;
+    Cycle lastEnd_ = 0; ///< end time of the most recent instruction
     std::uint64_t dmaLoadCount_ = 0; ///< matrix loads issued (parity)
 
     // --- accounting ----------------------------------------------------------

@@ -1,9 +1,56 @@
 #include "trace.hh"
 
+#include <algorithm>
+
+#include "common/json.hh"
+#include "common/logging.hh"
 #include "common/strutil.hh"
 
 namespace manna::sim
 {
+
+TraceLane
+laneOf(isa::Opcode op)
+{
+    using isa::Opcode;
+    switch (op) {
+      case Opcode::DmaLoadM:
+      case Opcode::DmatLoadM:
+      case Opcode::DmaStoreM:
+        return TraceLane::MatDma;
+      case Opcode::DmaLoadV:
+      case Opcode::DmaStoreV:
+        return TraceLane::VecDma;
+      case Opcode::SfuExp:
+      case Opcode::SfuPow:
+      case Opcode::SfuRecip:
+      case Opcode::SfuSqrt:
+      case Opcode::SfuSigmoid:
+      case Opcode::SfuTanh:
+      case Opcode::SfuSoftplus:
+      case Opcode::SfuAccSum:
+      case Opcode::SfuAccMax:
+        return TraceLane::Sfu;
+      default:
+        return TraceLane::Compute;
+    }
+}
+
+const char *
+toString(TraceLane lane)
+{
+    switch (lane) {
+      case TraceLane::Compute:
+        return "compute";
+      case TraceLane::Sfu:
+        return "sfu";
+      case TraceLane::MatDma:
+        return "mat_dma";
+      case TraceLane::VecDma:
+        return "vec_dma";
+    }
+    panic("bad trace lane");
+}
 
 TraceLogger::TraceLogger(std::size_t maxEntries)
     : maxEntries_(maxEntries)
@@ -13,14 +60,14 @@ TraceLogger::TraceLogger(std::size_t maxEntries)
 
 void
 TraceLogger::record(std::size_t tile, Cycle issue, Cycle horizon,
-                    const isa::Instruction &inst)
+                    Cycle start, Cycle end, const isa::Instruction &inst)
 {
     if (entries_.size() >= maxEntries_) {
         ++dropped_;
         return;
     }
     entries_.push_back(
-        {tile, issue, horizon, inst.op, inst.toString()});
+        {tile, issue, horizon, start, end, inst.op, inst.toString()});
 }
 
 void
@@ -47,6 +94,77 @@ TraceLogger::render(std::size_t limit) const
     if (dropped_ > 0)
         out += strformat("... %zu entries dropped at capacity\n",
                          dropped_);
+    return out;
+}
+
+std::string
+TraceLogger::renderChromeTrace() const
+{
+    // Sort an index by (start, tile, lane) so the event stream is
+    // timestamp-ordered regardless of the interleaving the simulator
+    // happened to record in.
+    std::vector<std::size_t> order(entries_.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [this](std::size_t a, std::size_t b) {
+                         return entries_[a].start < entries_[b].start;
+                     });
+
+    // Tiles (pids) and lanes (tids) that actually appear, for the
+    // naming metadata.
+    std::vector<std::size_t> tiles;
+    for (const TraceEntry &e : entries_)
+        tiles.push_back(e.tile);
+    std::sort(tiles.begin(), tiles.end());
+    tiles.erase(std::unique(tiles.begin(), tiles.end()), tiles.end());
+
+    static constexpr TraceLane kLanes[] = {
+        TraceLane::Compute, TraceLane::Sfu, TraceLane::MatDma,
+        TraceLane::VecDma};
+
+    std::string out = "{\"displayTimeUnit\":\"ms\",\"otherData\":{";
+    out += strformat("\"tool\":\"manna-sim\",\"droppedEntries\":%zu},",
+                     dropped_);
+    out += "\"traceEvents\":[";
+    bool first = true;
+    auto emit = [&](const std::string &ev) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\n" + ev;
+    };
+    for (std::size_t tile : tiles) {
+        emit(strformat("{\"ph\":\"M\",\"pid\":%zu,\"tid\":0,"
+                       "\"name\":\"process_name\","
+                       "\"args\":{\"name\":\"tile %zu\"}}",
+                       tile, tile));
+        for (TraceLane lane : kLanes)
+            emit(strformat("{\"ph\":\"M\",\"pid\":%zu,\"tid\":%d,"
+                           "\"name\":\"thread_name\","
+                           "\"args\":{\"name\":\"%s\"}}",
+                           tile, static_cast<int>(lane),
+                           toString(lane)));
+    }
+    for (std::size_t i : order) {
+        const TraceEntry &e = entries_[i];
+        const Cycle dur = e.end > e.start ? e.end - e.start : 1;
+        emit(strformat(
+            "{\"ph\":\"X\",\"pid\":%zu,\"tid\":%d,"
+            "\"ts\":%llu,\"dur\":%llu,"
+            "\"name\":\"%s\",\"cat\":\"%s\","
+            "\"args\":{\"text\":\"%s\",\"issue\":%llu,"
+            "\"horizon\":%llu}}",
+            e.tile, static_cast<int>(laneOf(e.op)),
+            static_cast<unsigned long long>(e.start),
+            static_cast<unsigned long long>(dur),
+            jsonEscape(isa::toString(e.op)).c_str(),
+            toString(laneOf(e.op)),
+            jsonEscape(e.text).c_str(),
+            static_cast<unsigned long long>(e.issue),
+            static_cast<unsigned long long>(e.horizon)));
+    }
+    out += "\n]}\n";
     return out;
 }
 

@@ -2,9 +2,17 @@
  * @file
  * Optional instruction tracing for the DiffMem tiles. When attached,
  * every executed (non-control) instruction is recorded with its tile,
- * issue time, completion horizon, and disassembly — the raw material
- * for debugging compiled kernels and for visualizing pipeline
- * overlap (DMA vs compute).
+ * issue time, its own start/end interval on the executing engine, the
+ * completion horizon, and disassembly — the raw material for
+ * debugging compiled kernels and for visualizing pipeline overlap
+ * (DMA vs compute vs SFU).
+ *
+ * Two renderers: render() emits fixed-width text; renderChromeTrace()
+ * emits Chrome trace-event JSON (the `chrome://tracing` / Perfetto
+ * format) with one process per tile and one thread per engine lane,
+ * so the double-buffered DMA/compute overlap and the serial SFU tail
+ * are visually inspectable. See docs/OBSERVABILITY.md for a worked
+ * example.
  */
 
 #ifndef MANNA_SIM_TRACE_HH
@@ -19,19 +27,38 @@
 namespace manna::sim
 {
 
+/** The tile engine an instruction occupies (one trace lane each). */
+enum class TraceLane
+{
+    Compute, ///< eMAC array (VMM + element-wise)
+    Sfu,     ///< serial special-function units
+    MatDma,  ///< matrix DMA / DMAT engine
+    VecDma,  ///< vector DMA engine
+};
+
+/** Engine lane of an executed (non-control) opcode. */
+TraceLane laneOf(isa::Opcode op);
+
+/** Lane name as used in the Chrome-trace thread metadata. */
+const char *toString(TraceLane lane);
+
 /** One traced instruction execution. */
 struct TraceEntry
 {
     std::size_t tile;
     Cycle issue;    ///< issue-pointer time when dispatched
     Cycle horizon;  ///< completion time of all work issued so far
+    Cycle start;    ///< cycle this instruction began on its engine
+    Cycle end;      ///< cycle this instruction's engine work completed
     isa::Opcode op;
     std::string text; ///< disassembly
 };
 
 /**
  * Bounded in-memory trace. Recording stops silently once the entry
- * limit is reached (the count of dropped entries is kept).
+ * limit is reached; the count of dropped entries is kept and carried
+ * into both renderers so truncation is never mistaken for "the run
+ * ended here".
  */
 class TraceLogger
 {
@@ -39,7 +66,7 @@ class TraceLogger
     explicit TraceLogger(std::size_t maxEntries = 65536);
 
     void record(std::size_t tile, Cycle issue, Cycle horizon,
-                const isa::Instruction &inst);
+                Cycle start, Cycle end, const isa::Instruction &inst);
 
     const std::vector<TraceEntry> &entries() const { return entries_; }
     std::size_t dropped() const { return dropped_; }
@@ -47,6 +74,16 @@ class TraceLogger
 
     /** Render as fixed-width text, one line per entry. */
     std::string render(std::size_t limit = 200) const;
+
+    /**
+     * Render as Chrome trace-event JSON: a `traceEvents` array of
+     * duration ("X") events — pid = tile, tid = engine lane, ts/dur
+     * in cycles (displayed as microseconds by the viewers; 1 "us" =
+     * 1 cycle) — preceded by process/thread naming metadata, sorted
+     * by timestamp, with the dropped-entry count in `otherData`.
+     * The output loads directly in Perfetto / chrome://tracing.
+     */
+    std::string renderChromeTrace() const;
 
   private:
     std::size_t maxEntries_;

@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Tier-1 tests for the observability layer: the StatRegistry and its
+ * exact JSON round-trip, the per-component counters the simulator
+ * publishes through RunReport, the jobs=1 == jobs=N determinism of
+ * the aggregated sweep counters, and the Chrome trace-event export
+ * (syntactic validity, timestamp ordering, per-tile/per-lane track
+ * mapping, and drop accounting at the entry limit).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/config.hh"
+#include "common/json.hh"
+#include "common/stat_registry.hh"
+#include "compiler/compile_cache.hh"
+#include "harness/journal.hh"
+#include "harness/observe.hh"
+#include "harness/sweep.hh"
+#include "sim/trace.hh"
+#include "workloads/benchmarks.hh"
+
+namespace manna::harness
+{
+namespace
+{
+
+TEST(StatRegistry, BasicOperations)
+{
+    StatRegistry reg;
+    EXPECT_TRUE(reg.empty());
+    EXPECT_EQ(reg.get("missing"), 0.0);
+    EXPECT_FALSE(reg.has("missing"));
+
+    reg.set("tile.0.emac.busy_cycles", 10.0);
+    reg.inc("tile.0.emac.busy_cycles", 5.0);
+    reg.inc("tile.1.emac.busy_cycles", 7.0);
+    reg.inc("tile.10.emac.busy_cycles", 1.0);
+    reg.set("tilex.emac.busy_cycles", 100.0); // prefix must not match
+    EXPECT_EQ(reg.get("tile.0.emac.busy_cycles"), 15.0);
+    EXPECT_TRUE(reg.has("tile.1.emac.busy_cycles"));
+    EXPECT_EQ(reg.size(), 4u);
+    EXPECT_EQ(reg.sumOver("tile", "emac.busy_cycles"), 23.0);
+    EXPECT_EQ(reg.sumOver("tile", "sfu.busy_cycles"), 0.0);
+}
+
+TEST(StatRegistry, AdoptAndMerge)
+{
+    StatGroup group("emac");
+    group.inc("busy_cycles", 42.0);
+    group.inc("mac_ops", 7.0);
+
+    StatRegistry reg;
+    reg.adopt("tile.3", group);
+    EXPECT_EQ(reg.get("tile.3.busy_cycles"), 42.0);
+    EXPECT_EQ(reg.get("tile.3.mac_ops"), 7.0);
+
+    StatRegistry other;
+    other.set("tile.3.busy_cycles", 8.0);
+    other.set("noc.reduce.ops", 3.0);
+    reg.merge(other);
+    EXPECT_EQ(reg.get("tile.3.busy_cycles"), 50.0); // additive
+    EXPECT_EQ(reg.get("noc.reduce.ops"), 3.0);
+}
+
+TEST(StatRegistry, JsonRoundTripIsExact)
+{
+    StatRegistry reg;
+    reg.set("a.third", 1.0 / 3.0);
+    reg.set("a.tiny", 1e-300);
+    reg.set("a.huge", 1.2345678901234567e300);
+    reg.set("b.negative", -0.1);
+    reg.set("b.zero", 0.0);
+    reg.set("c.big_count", 9007199254740993.0);
+
+    for (int indent : {0, 4}) {
+        SCOPED_TRACE(indent);
+        const std::string json = reg.toJson(indent);
+        EXPECT_TRUE(jsonValidate(json)) << json;
+        const auto back = StatRegistry::fromJson(json);
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(*back, reg);
+    }
+
+    EXPECT_FALSE(StatRegistry::fromJson("{\"a\": }").has_value());
+    EXPECT_FALSE(StatRegistry::fromJson("not json").has_value());
+}
+
+TEST(RunStats, RegistryPopulatedAndSelfConsistent)
+{
+    const auto &bench = workloads::benchmarkByName("recall");
+    const auto result = simulateManna(
+        bench, arch::MannaConfig::withTiles(4), /*steps=*/2);
+    const StatRegistry &stats = result.report.stats;
+
+    ASSERT_FALSE(stats.empty());
+    EXPECT_EQ(stats.get("chip.cycles"),
+              static_cast<double>(result.report.totalCycles));
+    EXPECT_EQ(stats.get("chip.tiles"), 4.0);
+
+    // Per engine: busy + idle == total chip cycles, on every tile.
+    const double total = stats.get("chip.cycles");
+    for (const char *engine : {"emac", "sfu", "mat_dma", "vec_dma"}) {
+        SCOPED_TRACE(engine);
+        for (std::size_t t = 0; t < 4; ++t) {
+            const std::string prefix =
+                "tile." + std::to_string(t) + "." + engine + ".";
+            EXPECT_EQ(stats.get(prefix + "busy_cycles") +
+                          stats.get(prefix + "idle_cycles"),
+                      total);
+        }
+        // chip.util.<engine> mirrors the legacy utilization map.
+        const double util =
+            stats.get(std::string("chip.util.") + engine);
+        EXPECT_GE(util, 0.0);
+        EXPECT_LE(util, 1.0);
+        EXPECT_EQ(util, result.report.resourceUtilization.at(engine));
+    }
+
+    // The recall task exercises sfu + dmat + noc paths.
+    EXPECT_GT(stats.sumOver("tile", "sfu.busy_cycles"), 0.0);
+    EXPECT_GT(stats.sumOver("tile", "dmat.loads"), 0.0);
+    EXPECT_GT(stats.get("noc.reduce.ops"), 0.0);
+    EXPECT_GT(stats.get("ctrl.forward_passes"), 0.0);
+}
+
+/** The "counters" section of stats.json, i.e. everything that is
+ * promised to be deterministic across worker counts. */
+std::string
+countersSection(const std::string &statsJson)
+{
+    const auto begin = statsJson.find("\"counters\"");
+    const auto end = statsJson.find("\"throughput\"");
+    EXPECT_NE(begin, std::string::npos);
+    EXPECT_NE(end, std::string::npos);
+    return statsJson.substr(begin, end - begin);
+}
+
+TEST(SweepStats, CountersIdenticalAcrossWorkerCounts)
+{
+    std::vector<SweepJob> jobs;
+    for (const auto &name : {"copy", "recall", "ngrams"})
+        for (std::size_t tiles : {4u, 8u})
+            jobs.push_back({workloads::benchmarkByName(name),
+                            arch::MannaConfig::withTiles(tiles),
+                            /*steps=*/2, /*seed=*/1});
+
+    SweepRunner serial(1);
+    SweepRunner parallel(4);
+    const auto a = serial.runChecked(jobs);
+    const auto b = parallel.runChecked(jobs);
+    ASSERT_TRUE(a.allOk());
+    ASSERT_TRUE(b.allOk());
+
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        SCOPED_TRACE(i);
+        EXPECT_EQ(a.outcomes[i].value.report.stats,
+                  b.outcomes[i].value.report.stats);
+    }
+    EXPECT_EQ(a.aggregateStats(), b.aggregateStats());
+    EXPECT_FALSE(a.aggregateStats().empty());
+
+    const std::string statsA = renderSweepStats(a);
+    const std::string statsB = renderSweepStats(b);
+    EXPECT_TRUE(jsonValidate(statsA)) << statsA;
+    EXPECT_NE(statsA.find("manna-sweep-stats-v1"), std::string::npos);
+    // Whole documents differ (wall-clock throughput section), but the
+    // deterministic counters section must match byte for byte.
+    EXPECT_EQ(countersSection(statsA), countersSection(statsB));
+}
+
+TEST(Journal, RegistrySurvivesJournalRoundTrip)
+{
+    const auto &bench = workloads::benchmarkByName("copy");
+    const auto result = simulateManna(
+        bench, arch::MannaConfig::withTiles(4), /*steps=*/1);
+    ASSERT_FALSE(result.report.stats.empty());
+
+    const std::string line = encodeResult(result);
+    const auto back = decodeResult(line);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->report.stats, result.report.stats);
+}
+
+/** Parse every "X" duration event out of a Chrome trace (one event
+ * per line, as renderChromeTrace() emits them). */
+struct XEvent
+{
+    std::size_t pid;
+    int tid;
+    unsigned long long ts;
+    unsigned long long dur;
+};
+
+std::vector<XEvent>
+parseXEvents(const std::string &json)
+{
+    std::vector<XEvent> events;
+    std::istringstream lines(json);
+    std::string line;
+    while (std::getline(lines, line)) {
+        XEvent e{};
+        if (std::sscanf(line.c_str(),
+                        "{\"ph\":\"X\",\"pid\":%zu,\"tid\":%d,"
+                        "\"ts\":%llu,\"dur\":%llu",
+                        &e.pid, &e.tid, &e.ts, &e.dur) == 4)
+            events.push_back(e);
+    }
+    return events;
+}
+
+TEST(ChromeTrace, ValidSortedAndTrackMapped)
+{
+    const auto &bench = workloads::benchmarkByName("recall");
+    const arch::MannaConfig hw = arch::MannaConfig::withTiles(4);
+    const auto model = compiler::compileCached(bench.config, hw);
+
+    sim::TraceLogger logger(1 << 20);
+    runCompiled(bench, *model, /*steps=*/1, /*seed=*/1, nullptr,
+                &logger);
+    ASSERT_FALSE(logger.entries().empty());
+    EXPECT_EQ(logger.dropped(), 0u);
+
+    const std::string json = logger.renderChromeTrace();
+    EXPECT_TRUE(jsonValidate(json));
+
+    const auto events = parseXEvents(json);
+    ASSERT_EQ(events.size(), logger.entries().size());
+    for (std::size_t i = 1; i < events.size(); ++i)
+        EXPECT_LE(events[i - 1].ts, events[i].ts) << "event " << i;
+    for (const XEvent &e : events) {
+        EXPECT_LT(e.pid, 4u);
+        EXPECT_GE(e.tid, 0);
+        EXPECT_LE(e.tid, 3);
+        EXPECT_GE(e.dur, 1u);
+    }
+
+    // Every tile gets one process_name and one thread_name per lane.
+    for (std::size_t t = 0; t < 4; ++t) {
+        const std::string proc = "{\"ph\":\"M\",\"pid\":" +
+                                 std::to_string(t) +
+                                 ",\"tid\":0,\"name\":\"process_name\"";
+        EXPECT_NE(json.find(proc), std::string::npos) << t;
+    }
+    for (const char *lane : {"compute", "sfu", "mat_dma", "vec_dma"}) {
+        const std::string name =
+            "\"thread_name\",\"args\":{\"name\":\"" +
+            std::string(lane) + "\"}";
+        EXPECT_NE(json.find(name), std::string::npos) << lane;
+    }
+}
+
+TEST(ChromeTrace, LaneMappingFollowsEngines)
+{
+    using isa::Opcode;
+    using sim::TraceLane;
+    EXPECT_EQ(sim::laneOf(Opcode::DmatLoadM), TraceLane::MatDma);
+    EXPECT_EQ(sim::laneOf(Opcode::DmaStoreM), TraceLane::MatDma);
+    EXPECT_EQ(sim::laneOf(Opcode::DmaLoadV), TraceLane::VecDma);
+    EXPECT_EQ(sim::laneOf(Opcode::SfuExp), TraceLane::Sfu);
+    EXPECT_EQ(sim::laneOf(Opcode::SfuAccMax), TraceLane::Sfu);
+    EXPECT_EQ(sim::laneOf(Opcode::Vmm), TraceLane::Compute);
+    EXPECT_STREQ(sim::toString(TraceLane::MatDma), "mat_dma");
+}
+
+TEST(ChromeTrace, DropAccountingAtEntryLimit)
+{
+    sim::TraceLogger logger(/*maxEntries=*/4);
+    isa::Instruction inst;
+    inst.op = isa::Opcode::Vmm;
+    for (std::size_t i = 0; i < 10; ++i)
+        logger.record(/*tile=*/0, /*issue=*/i, /*horizon=*/i + 2,
+                      /*start=*/i, /*end=*/i + 2, inst);
+
+    EXPECT_EQ(logger.entries().size(), 4u);
+    EXPECT_EQ(logger.dropped(), 6u);
+
+    const std::string json = logger.renderChromeTrace();
+    EXPECT_TRUE(jsonValidate(json));
+    EXPECT_NE(json.find("\"droppedEntries\":6"), std::string::npos);
+    EXPECT_EQ(parseXEvents(json).size(), 4u);
+}
+
+TEST(TraceOptions, ParsedFromConfigAndEnvironment)
+{
+    const char *argv[] = {"prog", "trace=/tmp/t.json",
+                          "trace_limit=9"};
+    const Config cfg = Config::fromArgs(3, argv);
+    const TraceOptions opts = traceOptionsFromConfig(cfg);
+    EXPECT_TRUE(opts.enabled());
+    EXPECT_EQ(opts.path, "/tmp/t.json");
+    EXPECT_EQ(opts.maxEntries, 9u);
+
+    ::setenv("MANNA_TRACE", "/tmp/env.json", 1);
+    ::setenv("MANNA_TRACE_LIMIT", "17", 1);
+    const TraceOptions fromEnv = traceOptionsFromConfig(Config{});
+    EXPECT_EQ(fromEnv.path, "/tmp/env.json");
+    EXPECT_EQ(fromEnv.maxEntries, 17u);
+    ::unsetenv("MANNA_TRACE");
+    ::unsetenv("MANNA_TRACE_LIMIT");
+
+    const TraceOptions off = traceOptionsFromConfig(Config{});
+    EXPECT_FALSE(off.enabled());
+}
+
+TEST(ChromeTrace, WriteChromeTraceProducesLoadableFile)
+{
+    TraceOptions opts;
+    opts.path = "test_observability_trace.json";
+    opts.maxEntries = 256;
+
+    const auto &bench = workloads::benchmarkByName("copy");
+    ASSERT_TRUE(writeChromeTrace(
+        opts, bench, arch::MannaConfig::withTiles(4), /*steps=*/1));
+
+    std::ifstream f(opts.path);
+    ASSERT_TRUE(f.good());
+    std::stringstream buf;
+    buf << f.rdbuf();
+    const std::string json = buf.str();
+    EXPECT_TRUE(jsonValidate(json));
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_FALSE(parseXEvents(json).empty());
+    std::remove(opts.path.c_str());
+
+    EXPECT_FALSE(writeChromeTrace(
+        TraceOptions{}, bench, arch::MannaConfig::withTiles(4), 1));
+}
+
+} // namespace
+} // namespace manna::harness

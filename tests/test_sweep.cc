@@ -60,6 +60,7 @@ expectIdentical(const MannaResult &a, const MannaResult &b)
     }
     EXPECT_EQ(a.report.resourceUtilization,
               b.report.resourceUtilization);
+    EXPECT_EQ(a.report.stats, b.report.stats);
     EXPECT_EQ(a.report.render(), b.report.render());
 }
 
