@@ -19,6 +19,7 @@
 #include "common/config.hh"
 #include "common/strutil.hh"
 #include "common/table.hh"
+#include "harness/observe.hh"
 #include "harness/report.hh"
 #include "harness/sweep.hh"
 
@@ -111,5 +112,7 @@ main(int argc, char **argv)
         "(full parallelization vs GPU underutilization); soft read "
         "saturates around 3x on the largest benchmarks; heads fall in "
         "between.");
+    harness::applySweepObservability(cfg, "fig10_kernel_speedup",
+                                     report);
     return harness::finishSweep(report);
 }

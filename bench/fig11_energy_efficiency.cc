@@ -18,6 +18,7 @@
 #include "common/config.hh"
 #include "common/strutil.hh"
 #include "common/table.hh"
+#include "harness/observe.hh"
 #include "harness/report.hh"
 #include "harness/sweep.hh"
 
@@ -103,5 +104,7 @@ main(int argc, char **argv)
     harness::printPaperReference(
         "Figure 11: 58x-301x (average 122x) over the 1080-Ti; average "
         "86x over the 2080-Ti.");
+    harness::applySweepObservability(cfg, "fig11_energy_efficiency",
+                                     report);
     return harness::finishSweep(report);
 }

@@ -11,11 +11,14 @@
  * Knobs: steps=, jobs=, bench=<name> (single-benchmark filter), the
  * robustness knobs retries=/timeout=/journal=/resume= (see
  * docs/ROBUSTNESS.md), and the observability knobs trace=/stats=/
- * progress= (see docs/OBSERVABILITY.md). Failed simulation points
- * render as FAILED cells and make the binary exit nonzero after the
- * full table. trace=<path> additionally re-runs the first sweep point
- * with an instruction tracer attached and writes a Perfetto-loadable
- * Chrome trace there.
+ * progress=/profile=/bench_json=/--dump-stats (see
+ * docs/OBSERVABILITY.md). Failed simulation points render as FAILED
+ * cells and make the binary exit nonzero after the full table.
+ * trace=<path> re-runs the first sweep point with an instruction
+ * tracer attached and writes a Perfetto-loadable Chrome trace there;
+ * profile=<path> re-runs the first benchmark at the paper's 16-tile
+ * point and writes its cycle-accounting profile (stall bottlenecks +
+ * roofline) there.
  */
 
 #include <cstdio>
@@ -129,5 +132,15 @@ main(int argc, char **argv)
         harness::writeChromeTrace(traceOpts, sweep[0].benchmark,
                                   sweep[0].config, sweep[0].steps,
                                   sweep[0].seed);
+    // profile= re-runs the first benchmark at the paper's evaluated
+    // 16-tile configuration (the Fig. 12 reference point).
+    const harness::ProfileOptions profileOpts =
+        harness::profileOptionsFromConfig(cfg);
+    if (profileOpts.enabled() && !suite.empty() &&
+        suite[0].config.memN >= 16)
+        harness::writeProfile(profileOpts, suite[0],
+                              arch::MannaConfig::withTiles(16), steps);
+    harness::applySweepObservability(cfg, "fig12_strong_scaling",
+                                     report);
     return harness::finishSweep(report);
 }

@@ -14,6 +14,7 @@
 #include "common/config.hh"
 #include "common/strutil.hh"
 #include "common/table.hh"
+#include "harness/observe.hh"
 #include "harness/report.hh"
 #include "harness/sweep.hh"
 
@@ -28,6 +29,8 @@ main(int argc, char **argv)
     const std::size_t jobs =
         static_cast<std::size_t>(cfg.getInt("jobs", 0));
     const std::string only = cfg.getString("bench", "");
+    const harness::SweepOptions opts =
+        harness::sweepOptionsFromConfig(cfg);
 
     harness::printBanner(
         "Figure 13",
@@ -50,20 +53,27 @@ main(int argc, char **argv)
                              steps, /*seed=*/1});
 
     harness::SweepRunner runner(jobs);
-    const auto results = runner.runAll(sweep);
+    const auto report = runner.runChecked(sweep, opts);
 
     std::size_t next = 0;
     for (const auto &bench : suite) {
         std::vector<std::string> row{bench.name};
         double baseline = 0.0;
         for (std::size_t tiles : tileCounts) {
-            const auto &result = results[next++];
+            const auto &outcome = report.outcomes[next++];
+            if (!outcome.ok) {
+                row.push_back("FAILED");
+                continue;
+            }
+            const auto &result = outcome.value;
             if (tiles == 4) {
                 baseline = result.secondsPerStep;
                 row.push_back("1.00");
-            } else {
+            } else if (baseline > 0.0) {
                 row.push_back(strformat(
                     "%.2f", result.secondsPerStep / baseline));
+            } else {
+                row.push_back("-"); // 4-tile reference cell failed
             }
         }
         table.addRow(std::move(row));
@@ -72,5 +82,7 @@ main(int argc, char **argv)
     harness::printPaperReference(
         "Figure 13: near-ideal weak scaling with very little "
         "variability as tiles and problem size grow together.");
-    return 0;
+    harness::applySweepObservability(cfg, "fig13_weak_scaling",
+                                     report);
+    return harness::finishSweep(report);
 }

@@ -17,6 +17,7 @@
 #include "common/config.hh"
 #include "common/strutil.hh"
 #include "common/table.hh"
+#include "harness/observe.hh"
 #include "harness/report.hh"
 #include "harness/sweep.hh"
 
@@ -32,6 +33,8 @@ main(int argc, char **argv)
     const std::size_t jobs =
         static_cast<std::size_t>(cfg.getInt("jobs", 0));
     const std::string only = cfg.getString("bench", "");
+    const harness::SweepOptions opts =
+        harness::sweepOptionsFromConfig(cfg);
 
     harness::printBanner("Figure 14",
                          "Impact of Manna's architectural features "
@@ -53,15 +56,25 @@ main(int argc, char **argv)
             sweep.push_back({bench, variant.config, steps, /*seed=*/1});
 
     harness::SweepRunner runner(jobs);
-    const auto results = runner.runAll(sweep);
+    const auto report = runner.runChecked(sweep, opts);
 
     std::size_t next = 0;
     for (const auto &bench : suite) {
         std::map<std::string, double> seconds;
-        for (const auto &variant : variants)
-            seconds[variant.name] = results[next++].secondsPerStep;
+        bool ok = true;
+        for (const auto &variant : variants) {
+            const auto &outcome = report.outcomes[next++];
+            if (!outcome.ok)
+                ok = false;
+            else
+                seconds[variant.name] = outcome.value.secondsPerStep;
+        }
         std::vector<std::string> row{bench.name};
         for (const auto &variant : variants) {
+            if (!ok || seconds[variant.name] <= 0.0) {
+                row.push_back("FAILED");
+                continue;
+            }
             const double factor =
                 seconds["MemHeavy"] / seconds[variant.name];
             speedups[variant.name].push_back(factor);
@@ -81,5 +94,6 @@ main(int argc, char **argv)
         "Figure 14: Manna achieves 2x-4x (3.3x average) over MemHeavy "
         "and 2.3x / 1.8x over the transpose-only / eMAC-only "
         "variants.");
-    return 0;
+    harness::applySweepObservability(cfg, "fig14_ablation", report);
+    return harness::finishSweep(report);
 }

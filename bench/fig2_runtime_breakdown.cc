@@ -8,13 +8,19 @@
  * the CPU the memory-heavy access kernels dominate, while on the GPU
  * the narrow addressing kernels take a disproportionate share due to
  * kernel-call overheads and poor utilization.
+ *
+ * The table is a thin view over the BaselineResult stat registry
+ * ("baseline.<group>.seconds" / "baseline.seconds"); pass
+ * --dump-stats to print every underlying counter.
  */
 
 #include <cstdio>
 
+#include "common/config.hh"
 #include "common/strutil.hh"
 #include "common/table.hh"
 #include "harness/experiment.hh"
+#include "harness/observe.hh"
 #include "harness/report.hh"
 
 using namespace manna;
@@ -23,8 +29,9 @@ namespace
 {
 
 void
-printBreakdown(const char *platformName,
-               const baselines::PlatformModel &model)
+printBreakdown(const char *platformName, const char *platformKey,
+               const baselines::PlatformModel &model,
+               StatRegistry &dump)
 {
     std::printf("\n--- %s ---\n", platformName);
     Table table({"Benchmark", "controller", "heads", "addressing",
@@ -32,24 +39,23 @@ printBreakdown(const char *platformName,
                  "non-controller"});
     for (const auto &bench : workloads::table2Suite()) {
         const auto result = harness::evaluateBaseline(bench, model);
-        const double total = result.step.seconds;
-        auto frac = [&](mann::KernelGroup g) {
-            auto it = result.step.groups.find(g);
-            const double sec =
-                it == result.step.groups.end() ? 0.0 : it->second.seconds;
-            return formatPercent(sec / total);
+        const StatRegistry &reg = result.stats;
+        const double total = reg.get("baseline.seconds");
+        auto frac = [&](const char *group) {
+            const double sec = reg.get(
+                std::string("baseline.") + group + ".seconds");
+            return formatPercent(total > 0.0 ? sec / total : 0.0);
         };
-        const double ctrl =
-            result.step.groups.at(mann::KernelGroup::Controller)
-                .seconds;
-        table.addRow({bench.name,
-                      frac(mann::KernelGroup::Controller),
-                      frac(mann::KernelGroup::Heads),
-                      frac(mann::KernelGroup::Addressing),
-                      frac(mann::KernelGroup::KeySimilarity),
-                      frac(mann::KernelGroup::SoftRead),
-                      frac(mann::KernelGroup::SoftWrite),
-                      formatPercent((total - ctrl) / total)});
+        const double ctrl = reg.get("baseline.controller.seconds");
+        table.addRow({bench.name, frac("controller"), frac("heads"),
+                      frac("addressing"), frac("key_similarity"),
+                      frac("soft_read"), frac("soft_write"),
+                      formatPercent(total > 0.0 ? (total - ctrl) / total
+                                                : 0.0)});
+        for (const auto &[k, v] : reg.entries())
+            dump.set(std::string(platformKey) + "." + bench.name +
+                         "." + k,
+                     v);
     }
     harness::printTable(table);
 }
@@ -57,16 +63,21 @@ printBreakdown(const char *platformName,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const Config cfg = Config::fromArgs(argc, argv);
     harness::printBanner("Figure 2",
                          "Runtime breakdown of different NTM kernels");
-    printBreakdown("CPU (Skylake Xeon)", harness::cpuXeon());
-    printBreakdown("GPU (Turing RTX 2080-Ti)", harness::gpu2080Ti());
+    StatRegistry dump;
+    printBreakdown("CPU (Skylake Xeon)", "cpu", harness::cpuXeon(),
+                   dump);
+    printBreakdown("GPU (Turing RTX 2080-Ti)", "gpu",
+                   harness::gpu2080Ti(), dump);
     harness::printPaperReference(
         "Figure 2: non-controller kernels are ~80% of runtime. On CPUs "
         "the dominant kernels are key similarity / soft read / soft "
         "write; on GPUs the vector-only addressing kernels are an "
         "unexpectedly large portion (narrow-task overheads).");
+    harness::dumpStatsIfRequested(cfg, dump);
     return 0;
 }

@@ -18,6 +18,7 @@
 #include "common/config.hh"
 #include "common/strutil.hh"
 #include "common/table.hh"
+#include "harness/observe.hh"
 #include "harness/report.hh"
 #include "harness/sweep.hh"
 
@@ -104,5 +105,7 @@ main(int argc, char **argv)
     harness::printPaperReference(
         "Figure 9 reports 11x-184x (average 39x) over the 1080-Ti and "
         "an average of 24x over the 2080-Ti.");
+    harness::applySweepObservability(
+        cfg, "fig9_inference_performance", report);
     return harness::finishSweep(report);
 }

@@ -12,8 +12,10 @@
  * bandwidth) whose extra lanes mostly idle.
  *
  * Knobs: steps=, plus trace=<path>/trace_limit= to dump a
- * Perfetto-loadable Chrome trace of the first benchmark on the
- * baseline configuration (see docs/OBSERVABILITY.md).
+ * Perfetto-loadable Chrome trace, profile=<path>/profile_top= to
+ * write the cycle-accounting profile, and --dump-stats to print the
+ * accumulated counters — all for the first benchmark on the baseline
+ * configuration (see docs/OBSERVABILITY.md).
  */
 
 #include <cstdio>
@@ -72,9 +74,13 @@ main(int argc, char **argv)
     Table table({"Benchmark", "eMAC util", "matrix-DMA util",
                  "SFU util", "Speedup @4x lanes"});
     std::vector<double> emacUtils, extraLaneGains;
+    StatRegistry dump;
     for (const auto &bench : workloads::table2Suite()) {
         const auto base = utilizationFor(bench, baseline, steps);
         const auto heavy = utilizationFor(bench, computeHeavy, steps);
+        dump.set("sec41." + bench.name + ".util.emac", base.emac);
+        dump.set("sec41." + bench.name + ".util.mat_dma", base.matDma);
+        dump.set("sec41." + bench.name + ".util.sfu", base.sfu);
         emacUtils.push_back(base.emac);
         const double gain = base.secondsPerStep / heavy.secondsPerStep;
         extraLaneGains.push_back(gain);
@@ -100,5 +106,11 @@ main(int argc, char **argv)
     if (traceOpts.enabled() && !suite.empty())
         harness::writeChromeTrace(traceOpts, suite.front(), baseline,
                                   steps);
+    const harness::ProfileOptions profileOpts =
+        harness::profileOptionsFromConfig(cfg);
+    if (profileOpts.enabled() && !suite.empty())
+        harness::writeProfile(profileOpts, suite.front(), baseline,
+                              steps);
+    harness::dumpStatsIfRequested(cfg, dump);
     return 0;
 }

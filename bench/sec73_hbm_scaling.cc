@@ -23,6 +23,7 @@
 #include "common/config.hh"
 #include "common/strutil.hh"
 #include "common/table.hh"
+#include "harness/observe.hh"
 #include "harness/report.hh"
 #include "harness/sweep.hh"
 
@@ -109,5 +110,7 @@ main(int argc, char **argv)
         "Section 7.3: 4 HBM2 modules feed all 16 tiles; area grows "
         "40 -> 180 mm^2, TDP 16 -> 116 W, and the average energy "
         "advantage drops from 122x to ~17x.");
+    harness::applySweepObservability(cfg, "sec73_hbm_scaling",
+                                     report);
     return harness::finishSweep(report);
 }

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# (Re)generate the committed perf-regression baselines (BENCH_*.json).
+#
+# Runs the pinned baseline point — fig12_strong_scaling with
+# bench=copy steps=1 jobs=1 — and writes its deterministic snapshot
+# where the bench_regress ctest entry expects it. Run this after an
+# intentional performance change, inspect the diff, and commit the
+# updated baseline alongside the change.
+#
+# Usage: bench_baseline.sh <path-to-fig12_strong_scaling> [out-dir]
+set -euo pipefail
+
+BIN=${1:?usage: bench_baseline.sh <fig12_strong_scaling binary> [out-dir]}
+OUTDIR=${2:-"$(cd "$(dirname "$0")/.." && pwd)/bench/baselines"}
+
+mkdir -p "$OUTDIR"
+OUT="$OUTDIR/BENCH_fig12_strong_scaling.json"
+
+"$BIN" bench=copy steps=1 jobs=1 bench_json="$OUT" > /dev/null
+
+echo "baseline written: $OUT"

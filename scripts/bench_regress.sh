@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Perf-regression gate (the bench_regress ctest entry): re-run the
+# pinned baseline point — fig12_strong_scaling with bench=copy
+# steps=1 jobs=1, matching scripts/bench_baseline.sh — and diff its
+# snapshot against the committed baseline with bench_compare.py.
+# Simulated cycle counts are deterministic, so any counter drift is a
+# real behavior change: either a regression or an intentional change
+# that needs a regenerated baseline.
+#
+# Tolerance comes from MANNA_BENCH_TOL (default 1e-9, relative).
+#
+# Usage: bench_regress.sh <path-to-fig12_strong_scaling> <baseline.json>
+set -euo pipefail
+
+BIN=${1:?usage: bench_regress.sh <fig12_strong_scaling binary> <baseline.json>}
+BASELINE=${2:?missing committed baseline json}
+SCRIPTDIR=$(cd "$(dirname "$0")" && pwd)
+
+if ! command -v python3 >/dev/null 2>&1; then
+    echo "SKIP: python3 not available; cannot compare bench snapshots"
+    exit 0
+fi
+
+OUTDIR=$(mktemp -d)
+trap 'rm -rf "$OUTDIR"' EXIT INT TERM
+
+"$BIN" bench=copy steps=1 jobs=1 \
+    bench_json="$OUTDIR/candidate.json" > /dev/null
+
+python3 "$SCRIPTDIR/bench_compare.py" "$BASELINE" \
+    "$OUTDIR/candidate.json"

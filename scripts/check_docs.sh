@@ -7,7 +7,10 @@
 #     literal in the C++ sources (so docs cannot drift from the
 #     Config keys the binaries actually parse);
 #  3. every MANNA_* environment variable mentioned exists in the
-#     sources.
+#     sources or scripts;
+#  4. (only with a bench binary as $1) the counter catalog of
+#     docs/OBSERVABILITY.md matches, in both directions, the
+#     registry keys a golden fig12_strong_scaling run emits.
 #
 # Pure grep/sed; no dependencies beyond POSIX tools + bash.
 set -u
@@ -60,10 +63,69 @@ done
 envs=$(grep -ohE 'MANNA_[A-Z_]+' "${docs[@]}" 2>/dev/null | sort -u)
 for var in $envs; do
     if ! grep -rqwE "$var" --include='*.cc' --include='*.hh' \
-            --include='CMakeLists.txt' src bench CMakeLists.txt; then
+            --include='*.py' --include='*.sh' \
+            --include='CMakeLists.txt' src bench scripts \
+            CMakeLists.txt; then
         complain "env var '$var' documented but not found in sources"
     fi
 done
+
+# --- 4. counter catalog vs a golden run ----------------------------
+# $1 (optional; the ctest entry passes the fig12_strong_scaling
+# binary) runs the pinned deterministic point and lints the
+# "## Counter catalog" section of docs/OBSERVABILITY.md against the
+# registry keys the simulator actually emits. Catalog patterns use
+# <t>/<n> for a decimal index, <word> for a lower-case word, and
+# {a,b} brace alternatives.
+if [ "$#" -ge 1 ] && [ -x "$1" ]; then
+    set -f # patterns contain [...] and {...}; never glob them
+    tmpdir=$(mktemp -d)
+    trap 'rm -rf "$tmpdir"' EXIT INT TERM
+    if "$1" bench=copy steps=1 jobs=1 stats="$tmpdir/stats.json" \
+            > /dev/null 2>&1 && [ -s "$tmpdir/stats.json" ]; then
+        # Registry keys: the deterministic "counters" section is
+        # rendered by StatRegistry::toJson(4) — one 4-space-indented
+        # "key": value line per counter, closed at column 0.
+        sed -n '/^  "counters": {$/,/^},$/p' "$tmpdir/stats.json" |
+            grep -oE '^    "[^"]+"' | sed 's/^    "//; s/"$//' |
+            sort -u > "$tmpdir/keys"
+        # Catalog patterns: backticked dotted tokens of the catalog
+        # section (file names like stats.json are not key patterns).
+        sed -n '/^## Counter catalog$/,/^## [A-Z]/p' \
+                docs/OBSERVABILITY.md |
+            grep -ohE '`[a-z_<>{},.0-9]+`' | tr -d '`' |
+            grep -F . | grep -vE '\.(json|cc|hh|md|sh|py)$' |
+            sort -u > "$tmpdir/patterns"
+        [ -s "$tmpdir/keys" ] ||
+            complain "golden run produced no counter keys"
+        [ -s "$tmpdir/patterns" ] ||
+            complain "no key patterns found in the counter catalog"
+        # Pattern -> anchored regex: escape dots, then placeholders,
+        # then braces to alternation groups.
+        : > "$tmpdir/regexes"
+        while IFS= read -r pat; do
+            rx=$(printf '%s\n' "$pat" | sed -E '
+                s/\./\\./g
+                s/<[tn]>/[0-9]+/g
+                s/<[a-z_]+>/[a-z0-9_]+/g
+                s/\{/(/g; s/\}/)/g; s/,/|/g')
+            printf '%s\n' "$rx" >> "$tmpdir/regexes"
+            if ! grep -qE "^${rx}\$" "$tmpdir/keys"; then
+                complain "catalog pattern '$pat' matches no counter" \
+                         "of the golden run (stale docs?)"
+            fi
+        done < "$tmpdir/patterns"
+        alternation=$(paste -sd'|' "$tmpdir/regexes")
+        while IFS= read -r key; do
+            complain "counter '$key' emitted but not in the" \
+                     "docs/OBSERVABILITY.md catalog"
+        done < <(grep -vE "^(${alternation})\$" "$tmpdir/keys")
+    else
+        complain "golden run '$1 bench=copy steps=1 jobs=1' failed"
+    fi
+else
+    echo "check_docs: no bench binary given; catalog lint skipped"
+fi
 
 if [ "$errors" -gt 0 ]; then
     echo "check_docs: $errors problem(s)" >&2

@@ -12,11 +12,22 @@ Config::fromArgs(int argc, const char *const *argv, int firstArg)
     Config cfg;
     for (int i = firstArg; i < argc; ++i) {
         std::string tok = argv[i];
-        // Accept GNU-style "--key=value" as a synonym for "key=value".
-        if (tok.rfind("--", 0) == 0)
+        // Accept GNU-style "--key=value" as a synonym for "key=value",
+        // and a bare "--flag" as the boolean "flag=1" (dashes in the
+        // flag name map to underscores, so "--dump-stats" sets
+        // "dump_stats").
+        const bool dashed = tok.rfind("--", 0) == 0;
+        if (dashed)
             tok.erase(0, 2);
         const auto eq = tok.find('=');
         if (eq == std::string::npos || eq == 0) {
+            if (dashed && eq == std::string::npos && !tok.empty()) {
+                for (char &c : tok)
+                    if (c == '-')
+                        c = '_';
+                cfg.set(tok, "1");
+                continue;
+            }
             fatal("malformed option '%s' (expected key=value)",
                   tok.c_str());
         }

@@ -1,5 +1,7 @@
 #include "stat_registry.hh"
 
+#include <algorithm>
+
 #include "json.hh"
 #include "strutil.hh"
 
@@ -43,6 +45,55 @@ StatRegistry::merge(const StatRegistry &other)
 {
     for (const auto &[k, v] : other.values_)
         values_[k] += v;
+    for (const auto &[k, text] : other.descriptions_)
+        descriptions_.emplace(k, text);
+}
+
+void
+StatRegistry::describe(const std::string &key, const std::string &text)
+{
+    descriptions_[key] = text;
+}
+
+std::string
+StatRegistry::description(const std::string &key) const
+{
+    const auto exact = descriptions_.find(key);
+    if (exact != descriptions_.end())
+        return exact->second;
+    // Longest dotted-suffix pattern wins: "emac.busy_cycles" matches
+    // "tile.3.emac.busy_cycles" but not "emac.busy_cycles_total".
+    const std::string *best = nullptr;
+    std::size_t bestLen = 0;
+    for (const auto &[pattern, text] : descriptions_) {
+        if (pattern.size() >= key.size() || pattern.size() <= bestLen)
+            continue;
+        if (key.compare(key.size() - pattern.size(), pattern.size(),
+                        pattern) == 0 &&
+            key[key.size() - pattern.size() - 1] == '.') {
+            best = &text;
+            bestLen = pattern.size();
+        }
+    }
+    return best ? *best : std::string();
+}
+
+std::string
+StatRegistry::renderDescribed() const
+{
+    std::size_t width = 0;
+    for (const auto &[k, v] : values_)
+        width = std::max(width, k.size());
+    std::string out;
+    for (const auto &[k, v] : values_) {
+        out += strformat("%-*s %14.6g", static_cast<int>(width),
+                         k.c_str(), v);
+        const std::string text = description(k);
+        if (!text.empty())
+            out += "  # " + text;
+        out += "\n";
+    }
+    return out;
 }
 
 double

@@ -96,8 +96,32 @@ class StatRegistry
     /** Render as "path = value" lines, one per counter. */
     std::string render() const;
 
+    /**
+     * Attach a human-readable description to @p key. Descriptions are
+     * display metadata only: they do not participate in operator==,
+     * merge accumulation, or toJson()/fromJson() round-trips, so they
+     * never perturb the deterministic stats contract. @p key may be a
+     * dotted-suffix pattern: renderDescribed() uses the longest
+     * registered suffix that matches a counter (so one
+     * describe("emac.busy_cycles", ...) covers every tile).
+     */
+    void describe(const std::string &key, const std::string &text);
+
+    /** The description attached to @p key: an exact match first, then
+     * the longest dotted-suffix pattern; "" when none matches. */
+    std::string description(const std::string &key) const;
+
+    /**
+     * Pretty-print all counters, path-sorted and aligned, with the
+     * matching description appended ("path  value  # description").
+     * The --dump-stats view shared by the bench binaries.
+     */
+    std::string renderDescribed() const;
+
   private:
     std::map<std::string, double> values_;
+    /** Suffix-pattern -> description; display-only (see describe()). */
+    std::map<std::string, std::string> descriptions_;
 };
 
 } // namespace manna

@@ -67,6 +67,18 @@ evaluateBaseline(const workloads::Benchmark &benchmark,
     result.step = model.stepCost(counter);
     result.secondsPerStep = result.step.seconds;
     result.joulesPerStep = result.step.joules;
+    result.stats.set("baseline.seconds", result.step.seconds);
+    result.stats.set("baseline.joules", result.step.joules);
+    for (const auto &[group, cost] : result.step.groups) {
+        std::string name = mann::toString(group);
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        const std::string prefix = "baseline." + name;
+        result.stats.set(prefix + ".seconds", cost.seconds);
+        result.stats.set(prefix + ".joules", cost.joules);
+        result.stats.set(prefix + ".utilization", cost.utilization);
+    }
     return result;
 }
 

@@ -38,6 +38,16 @@ struct BaselineResult
     baselines::PlatformStepCost step;
     double secondsPerStep = 0.0;
     double joulesPerStep = 0.0;
+
+    /**
+     * The same cost data as a registry, so baseline-vs-Manna views
+     * (fig2) read one uniform counter interface:
+     * "baseline.seconds"/"baseline.joules" plus
+     * "baseline.<group>.{seconds,joules,utilization}" per kernel
+     * group (group names with dashes mapped to underscores, e.g.
+     * "baseline.key_similarity.seconds").
+     */
+    StatRegistry stats;
 };
 
 /**

@@ -1,9 +1,13 @@
 #include "observe.hh"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 
 #include "common/config.hh"
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "common/strutil.hh"
 #include "compiler/compile_cache.hh"
@@ -21,6 +25,26 @@ defaultTracePath()
     if (const char *env = std::getenv("MANNA_TRACE"))
         return env;
     return "";
+}
+
+std::string
+envPath(const char *var)
+{
+    if (const char *env = std::getenv(var))
+        return env;
+    return "";
+}
+
+std::size_t
+defaultProfileTop()
+{
+    if (const char *env = std::getenv("MANNA_PROFILE_TOP")) {
+        const auto v = parseInt(env);
+        if (v && *v > 0)
+            return static_cast<std::size_t>(*v);
+        warn("ignoring invalid MANNA_PROFILE_TOP='%s'", env);
+    }
+    return 5;
 }
 
 std::size_t
@@ -72,6 +96,245 @@ writeChromeTrace(const TraceOptions &opts,
              logger.entries().size(), logger.dropped(),
              opts.path.c_str());
     return true;
+}
+
+ProfileOptions
+profileOptionsFromConfig(const Config &cfg)
+{
+    ProfileOptions opts;
+    opts.path = cfg.getString("profile", envPath("MANNA_PROFILE"));
+    opts.topN = static_cast<std::size_t>(std::max<std::int64_t>(
+        1, cfg.getInt("profile_top",
+                      static_cast<std::int64_t>(defaultProfileTop()))));
+    return opts;
+}
+
+namespace
+{
+
+/** One (engine, stall-reason) aggregate across all tiles. */
+struct StallEntry
+{
+    std::string engine;
+    std::string reason;
+    double cycles = 0.0;
+};
+
+std::string
+stallEntryJson(const StallEntry &e, double engineCycles)
+{
+    const double share =
+        engineCycles > 0.0 ? e.cycles / engineCycles : 0.0;
+    return strformat("{\"engine\": \"%s\", \"reason\": \"%s\", "
+                     "\"cycles\": %s, \"share_of_engine_cycles\": %s}",
+                     e.engine.c_str(), e.reason.c_str(),
+                     jsonNumber(e.cycles).c_str(),
+                     jsonNumber(share).c_str());
+}
+
+} // namespace
+
+std::string
+renderProfileJson(const workloads::Benchmark &benchmark,
+                  const arch::MannaConfig &config, std::size_t steps,
+                  std::uint64_t seed, std::size_t topN)
+{
+    static constexpr const char *kEngines[] = {"emac", "sfu",
+                                               "mat_dma", "vec_dma"};
+    const auto model = compiler::compileCached(benchmark.config,
+                                               config);
+    const MannaResult result =
+        runCompiled(benchmark, *model, steps, seed);
+    const StatRegistry &reg = result.report.stats;
+    const double totalCycles =
+        static_cast<double>(result.report.totalCycles);
+    const double tiles = static_cast<double>(config.numTiles);
+    // Denominator for stall shares: every engine cycle on the chip.
+    const double engineCycles = totalCycles * tiles * 4.0;
+
+    // Aggregate stalls per (engine, reason) across tiles, skipping
+    // the frontend issue bucket (it is back-pressure, not a cause).
+    std::vector<StallEntry> entries;
+    std::map<std::string, double> byReason;
+    for (const char *engine : kEngines) {
+        for (std::size_t r = 0; r < sim::kNumStallReasons; ++r) {
+            const char *reason =
+                sim::toString(static_cast<sim::StallReason>(r));
+            if (std::string(reason) == "issue")
+                continue;
+            const double cycles = reg.sumOver(
+                "tile",
+                std::string(engine) + ".stall." + reason);
+            entries.push_back({engine, reason, cycles});
+            byReason[reason] += cycles;
+        }
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const StallEntry &a, const StallEntry &b) {
+                  if (a.cycles != b.cycles)
+                      return a.cycles > b.cycles;
+                  if (a.engine != b.engine)
+                      return a.engine < b.engine;
+                  return a.reason < b.reason;
+              });
+    StallEntry dominant{"all", "", 0.0};
+    for (const auto &[reason, cycles] : byReason)
+        if (cycles > dominant.cycles) {
+            dominant.reason = reason;
+            dominant.cycles = cycles;
+        }
+
+    // Roofline against the configured peaks: each eMAC retires one
+    // MAC (2 FLOPs) per cycle; the differentiable-memory bandwidth is
+    // the aggregate Matrix-Buffer -> Scratchpad stream.
+    const double flops =
+        2.0 * reg.sumOver("tile", "emac.mac_ops") +
+        reg.sumOver("tile", "emac.elwise_ops");
+    const double memBytes =
+        reg.sumOver("tile", "mat_dma.words") *
+        static_cast<double>(kWordBytes);
+    const double seconds = result.report.totalSeconds;
+    const double peakGflops = tiles *
+                              static_cast<double>(config.emacsPerTile) *
+                              2.0 * config.clockMhz * 1e-3;
+    const double peakGbs = config.aggregateMatrixBandwidthGBs();
+    const double achievedGflops =
+        seconds > 0.0 ? flops / seconds * 1e-9 : 0.0;
+    const double achievedGbs =
+        seconds > 0.0 ? memBytes / seconds * 1e-9 : 0.0;
+    const double intensity = memBytes > 0.0 ? flops / memBytes : 0.0;
+    const double ridge = peakGbs > 0.0 ? peakGflops / peakGbs : 0.0;
+
+    std::string out = "{\n";
+    out += "  \"schema\": \"manna-profile-v1\",\n";
+    out += strformat("  \"benchmark\": \"%s\",\n",
+                     jsonEscape(benchmark.name).c_str());
+    out += strformat(
+        "  \"chip\": {\"tiles\": %zu, \"steps\": %zu, \"cycles\": %s, "
+        "\"seconds\": %s, \"clock_mhz\": %s},\n",
+        config.numTiles, result.report.steps,
+        jsonNumber(totalCycles).c_str(), jsonNumber(seconds).c_str(),
+        jsonNumber(config.clockMhz).c_str());
+    out += "  \"dominant_stall\": ";
+    out += dominant.reason.empty()
+               ? "null"
+               : stallEntryJson(dominant, engineCycles);
+    out += ",\n";
+    out += "  \"bottlenecks\": [\n";
+    const std::size_t n = std::min(topN, entries.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        out += "    " + stallEntryJson(entries[i], engineCycles);
+        out += i + 1 < n ? ",\n" : "\n";
+    }
+    out += "  ],\n";
+    out += strformat(
+        "  \"roofline\": {\"peak_gflops\": %s, "
+        "\"achieved_gflops\": %s, \"peak_membw_gbs\": %s, "
+        "\"achieved_membw_gbs\": %s, \"flops\": %s, "
+        "\"mem_bytes\": %s, \"intensity_flops_per_byte\": %s, "
+        "\"ridge_flops_per_byte\": %s, \"bound\": \"%s\"},\n",
+        jsonNumber(peakGflops).c_str(),
+        jsonNumber(achievedGflops).c_str(),
+        jsonNumber(peakGbs).c_str(), jsonNumber(achievedGbs).c_str(),
+        jsonNumber(flops).c_str(), jsonNumber(memBytes).c_str(),
+        jsonNumber(intensity).c_str(), jsonNumber(ridge).c_str(),
+        intensity < ridge ? "memory" : "compute");
+    out += "  \"counters\": " + reg.toJson(4) + "\n";
+    out += "}\n";
+    return out;
+}
+
+bool
+writeProfile(const ProfileOptions &opts,
+             const workloads::Benchmark &benchmark,
+             const arch::MannaConfig &config, std::size_t steps,
+             std::uint64_t seed)
+{
+    if (!opts.enabled())
+        return false;
+    const std::string doc =
+        renderProfileJson(benchmark, config, steps, seed, opts.topN);
+    std::ofstream f(opts.path, std::ios::out | std::ios::trunc);
+    if (!f) {
+        warn("cannot write profile to '%s'", opts.path.c_str());
+        return false;
+    }
+    f << doc;
+    debugLog("cycle-accounting profile -> %s", opts.path.c_str());
+    return true;
+}
+
+BenchJsonOptions
+benchJsonOptionsFromConfig(const Config &cfg)
+{
+    BenchJsonOptions opts;
+    opts.path =
+        cfg.getString("bench_json", envPath("MANNA_BENCH_JSON"));
+    return opts;
+}
+
+std::string
+renderBenchJson(const std::string &benchName,
+                const SweepReport &report)
+{
+    std::size_t ok = 0, failed = 0;
+    for (const JobOutcome &o : report.outcomes)
+        (o.ok ? ok : failed) += 1;
+    std::string out = "{\n";
+    out += "  \"schema\": \"manna-bench-v1\",\n";
+    out += strformat("  \"name\": \"%s\",\n",
+                     jsonEscape(benchName).c_str());
+    out += strformat("  \"jobs\": {\"total\": %zu, \"ok\": %zu, "
+                     "\"failed\": %zu},\n",
+                     report.outcomes.size(), ok, failed);
+    out += "  \"counters\": " + report.aggregateStats().toJson(4) +
+           ",\n";
+    // Informational only: bench_compare.py ignores this section.
+    out += strformat("  \"wall\": {\"sweep_seconds\": %s, "
+                     "\"workers\": %zu}\n",
+                     jsonNumber(report.wallSeconds).c_str(),
+                     report.workers);
+    out += "}\n";
+    return out;
+}
+
+bool
+writeBenchJson(const BenchJsonOptions &opts,
+               const std::string &benchName, const SweepReport &report)
+{
+    if (!opts.enabled())
+        return false;
+    std::ofstream f(opts.path, std::ios::out | std::ios::trunc);
+    if (!f) {
+        warn("cannot write bench snapshot to '%s'", opts.path.c_str());
+        return false;
+    }
+    f << renderBenchJson(benchName, report);
+    debugLog("bench snapshot -> %s", opts.path.c_str());
+    return true;
+}
+
+bool
+dumpStatsIfRequested(const Config &cfg, const StatRegistry &stats)
+{
+    if (!cfg.getBool("dump_stats", false))
+        return false;
+    std::fputs("\ncounters:\n", stdout);
+    std::fputs(stats.renderDescribed().c_str(), stdout);
+    return true;
+}
+
+void
+applySweepObservability(const Config &cfg,
+                        const std::string &benchName,
+                        const SweepReport &report)
+{
+    writeBenchJson(benchJsonOptionsFromConfig(cfg), benchName, report);
+    if (cfg.getBool("dump_stats", false)) {
+        StatRegistry agg = report.aggregateStats();
+        sim::describeRunStats(agg);
+        dumpStatsIfRequested(cfg, agg);
+    }
 }
 
 } // namespace manna::harness

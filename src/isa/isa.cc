@@ -94,6 +94,16 @@ toString(Opcode op)
     return "?";
 }
 
+std::string
+profileKey(Opcode op)
+{
+    std::string key = toString(op);
+    for (char &c : key)
+        if (c == '.')
+            c = '_';
+    return key;
+}
+
 const char *
 toString(ReduceOp op)
 {

@@ -96,6 +96,14 @@ enum class Opcode : std::uint8_t
 
 const char *toString(Opcode op);
 
+/**
+ * Opcode name as a single counter-key component: the dotted mnemonic
+ * with dots replaced by underscores ("dma.load.m" -> "dma_load_m").
+ * Used for the per-opcode `profile.<tile>.<opcode>.*` registry keys
+ * (docs/OBSERVABILITY.md).
+ */
+std::string profileKey(Opcode op);
+
 /** Reduction operators for Reduce. */
 enum class ReduceOp : std::uint8_t
 {

@@ -53,6 +53,87 @@ RunReport::render() const
 }
 
 void
+describeRunStats(StatRegistry &reg)
+{
+    // Engine activity and the stall taxonomy (docs/OBSERVABILITY.md).
+    reg.describe("busy_cycles",
+                 "cycles the unit was executing an operation");
+    reg.describe("idle_cycles",
+                 "sum of this unit's stall.* buckets (== cycles-busy)");
+    reg.describe("stall.issue",
+                 "waiting on the single-issue in-order frontend");
+    reg.describe("stall.ctrl",
+                 "waiting for the Controller tile forward pass");
+    reg.describe("stall.fence",
+                 "waiting at a reduce/broadcast synchronization");
+    reg.describe("stall.drain",
+                 "waiting for a segment/buffer drain to complete");
+    reg.describe("stall.dma",
+                 "waiting on a DMA transfer (double buffer not ready)");
+    reg.describe("stall.compute",
+                 "waiting on an eMAC-array result");
+    reg.describe("stall.sfu_serial",
+                 "waiting on the serial SFU (Fig. 12 limiter)");
+    reg.describe("stall.bank_conflict",
+                 "lost throughput from scratchpad bank conflicts");
+    reg.describe("stall.diffmem_wait",
+                 "controller idle while DiffMem tiles execute");
+    reg.describe("stall.idle", "no transfer in flight on the NoC");
+    // Work counters.
+    reg.describe("emac.mac_ops", "multiply-accumulate operations");
+    reg.describe("emac.elwise_ops", "element-wise ALU operations");
+    reg.describe("sfu.ops", "serial special-function evaluations");
+    reg.describe("mat_dma.words", "matrix DMA words transferred");
+    reg.describe("vec_dma.words", "vector DMA words transferred");
+    reg.describe("dmat.loads", "DMAT matrix-load commands");
+    reg.describe("dmat.transfer_cycles",
+                 "cycles of DMAT streaming into the scratchpad");
+    reg.describe("spad.conflict_free_words",
+                 "scratchpad words served without bank conflict");
+    reg.describe("spad.conflict_words",
+                 "scratchpad words serialized by bank conflicts");
+    reg.describe("instructions", "instructions executed by the tile");
+    reg.describe("comm_instructions",
+                 "reduce/broadcast instructions executed");
+    reg.describe("energy_pj", "dynamic energy in picojoules");
+    // Per-opcode profile (profile.<tile>.<opcode>.*). These are bare
+    // suffix patterns, so exact entries below pin down the NoC/ctrl
+    // counters that share a leaf name.
+    reg.describe("cycles", "engine-busy cycles charged to this opcode");
+    reg.describe("ops", "executed instances of this opcode");
+    reg.describe("words", "data words processed by this opcode");
+    // NoC and controller-tile counters.
+    reg.describe("noc.reduce.ops", "reduce exchanges performed");
+    reg.describe("noc.reduce.words", "words reduced to the root");
+    reg.describe("noc.reduce.cycles", "cycles spent in reduces");
+    reg.describe("noc.reduce.steps", "store-and-forward reduce hops");
+    reg.describe("noc.broadcast.ops", "broadcast exchanges performed");
+    reg.describe("noc.broadcast.words", "words broadcast to leaves");
+    reg.describe("noc.broadcast.cycles", "cycles spent in broadcasts");
+    reg.describe("noc.broadcast.steps",
+                 "store-and-forward broadcast hops");
+    reg.describe("ctrl.cycles",
+                 "controller-tile cycles added to chip time");
+    reg.describe("ctrl.dense_layers", "dense layers evaluated");
+    reg.describe("ctrl.array_passes", "systolic-array passes");
+    reg.describe("ctrl.macs", "controller multiply-accumulates");
+    reg.describe("ctrl.activations", "controller activation lanes");
+    reg.describe("ctrl.forward_passes", "controller forward passes");
+    // Chip-level rollups.
+    reg.describe("chip.steps", "MANN time steps simulated");
+    reg.describe("chip.cycles", "total simulated chip cycles");
+    reg.describe("chip.tiles", "DiffMem tile count");
+    reg.describe("chip.energy.dynamic_pj", "dynamic energy (pJ)");
+    reg.describe("chip.energy.leakage_pj", "leakage energy (pJ)");
+    reg.describe("chip.energy.infrastructure_pj",
+                 "clock/control/periphery energy (pJ)");
+    reg.describe("chip.util.emac", "mean eMAC-array utilization");
+    reg.describe("chip.util.sfu", "mean SFU utilization");
+    reg.describe("chip.util.mat_dma", "mean matrix-DMA utilization");
+    reg.describe("chip.util.vec_dma", "mean vector-DMA utilization");
+}
+
+void
 populateRunStats(RunReport &rep,
                  const std::vector<std::unique_ptr<DiffMemTile>> &tiles,
                  const Noc &noc, const ControllerTileModel &ctrlModel)
@@ -64,16 +145,47 @@ populateRunStats(RunReport &rep,
     for (std::size_t t = 0; t < tiles.size(); ++t) {
         const std::string prefix = strformat("tile.%zu", t);
         reg.adopt(prefix, tiles[t]->stats());
+        reg.adopt(strformat("profile.%zu", t), tiles[t]->opProfile());
         for (const char *engine : kEngines) {
             const double busy = tiles[t]->stats().get(
                 std::string(engine) + ".busy_cycles");
-            reg.set(prefix + "." + engine + ".idle_cycles",
-                    total > busy ? total - busy : 0.0);
+            double stalls = 0.0;
+            for (std::size_t r = 0; r < kNumStallReasons; ++r)
+                stalls += tiles[t]->stats().get(
+                    std::string(engine) + ".stall." +
+                    toString(static_cast<StallReason>(r)));
+            // Cycle accounting is closed: every engine cycle is
+            // either busy or attributed to exactly one stall reason.
+            // All values are integer-valued doubles, so the equality
+            // is exact; a mismatch means a timing path forgot (or
+            // double-counted) an attribution.
+            MANNA_ASSERT(busy + stalls == total,
+                         "tile %zu %s: busy %g + stalls %g != chip "
+                         "cycles %g",
+                         t, engine, busy, stalls, total);
+            reg.set(prefix + "." + engine + ".idle_cycles", stalls);
         }
         reg.set(prefix + ".energy_pj", tiles[t]->energyPj());
     }
     reg.adopt("noc", noc.stats());
     reg.adopt("ctrl", ctrlModel.stats());
+    // The NoC is busy exactly during the recorded reduce/broadcast
+    // exchanges (their intervals never overlap: each one starts at or
+    // after the previous chip time); the controller tile is busy for
+    // the cycles its forward passes contributed to chip time. The
+    // remainder is attributed as a single stall bucket each.
+    const double nocBusy = noc.stats().get("reduce.cycles") +
+                           noc.stats().get("broadcast.cycles");
+    MANNA_ASSERT(nocBusy <= total,
+                 "noc busy %g exceeds chip cycles %g", nocBusy, total);
+    reg.set("noc.busy_cycles", nocBusy);
+    reg.set("noc.stall.idle", total - nocBusy);
+    const double ctrlBusy = ctrlModel.stats().get("cycles");
+    MANNA_ASSERT(ctrlBusy <= total,
+                 "ctrl busy %g exceeds chip cycles %g", ctrlBusy,
+                 total);
+    reg.set("ctrl.busy_cycles", ctrlBusy);
+    reg.set("ctrl.stall.diffmem_wait", total - ctrlBusy);
     reg.set("chip.steps", static_cast<double>(rep.steps));
     reg.set("chip.cycles", total);
     reg.set("chip.tiles", static_cast<double>(tiles.size()));
@@ -92,6 +204,7 @@ populateRunStats(RunReport &rep,
             reg.set(std::string("chip.util.") + engine, busy / denom);
         }
     }
+    describeRunStats(reg);
 }
 
 Chip::Chip(const compiler::CompiledModel &model, std::uint64_t seed)
@@ -120,8 +233,10 @@ Chip::reset()
                                     model_.layout.matSpadWords,
                                     model_.layout.vecBufWords,
                                     model_.layout.vecSpadWords);
-        tile->alignTo(tile->quiesceTime()); // no-op fence
+        tile->reset();
     }
+    noc_.resetStats();
+    ctrlModel_.resetStats();
     loadState();
     readVectors_.assign(model_.mannCfg.numReadHeads,
                         tensor::FVec(model_.mannCfg.memM, 0.0f));
@@ -229,7 +344,8 @@ Chip::step(const tensor::FVec &input)
     chipTime_ += ctrlCost.cycles;
     controllerReady_ = chipTime_;
     for (auto &tile : tiles_)
-        tile->alignTo(std::max(tile->quiesceTime(), chipTime_));
+        tile->alignTo(std::max(tile->quiesceTime(), chipTime_),
+                      StallReason::Ctrl);
 
     // ---- DiffMem tile segments ----
     for (const auto &segment : model_.stepSegments)

@@ -95,6 +95,14 @@ void populateRunStats(
     const Noc &noc, const ControllerTileModel &ctrlModel);
 
 /**
+ * Register human-readable descriptions (suffix patterns, see
+ * StatRegistry::describe()) for every counter family emitted by
+ * populateRunStats(). Called by it; exposed so aggregated registries
+ * (sweep stats) can re-attach descriptions for --dump-stats.
+ */
+void describeRunStats(StatRegistry &reg);
+
+/**
  * The Manna chip.
  */
 class Chip

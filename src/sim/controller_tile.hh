@@ -63,6 +63,9 @@ class ControllerTileModel
      * counters are mutable bookkeeping on the side. */
     const StatGroup &stats() const { return stats_; }
 
+    /** Zero all counters (chip reset; keys are retained). */
+    void resetStats() { stats_.clear(); }
+
   private:
     const arch::MannaConfig &cfg_;
     const arch::EnergyModel &energy_;

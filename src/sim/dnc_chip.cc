@@ -40,8 +40,10 @@ DncChip::reset()
                                     model_.layout.matSpadWords,
                                     model_.layout.vecBufWords,
                                     model_.layout.vecSpadWords);
-        tile->alignTo(tile->quiesceTime());
+        tile->reset();
     }
+    noc_.resetStats();
+    ctrlModel_.resetStats();
     loadState();
     readVectors_.assign(model_.dncCfg.numReadHeads,
                         tensor::FVec(model_.dncCfg.memM, 0.0f));
@@ -141,7 +143,8 @@ DncChip::step(const tensor::FVec &input)
     chipTime_ += ctrlCost.cycles;
     controllerReady_ = chipTime_;
     for (auto &tile : tiles_)
-        tile->alignTo(std::max(tile->quiesceTime(), chipTime_));
+        tile->alignTo(std::max(tile->quiesceTime(), chipTime_),
+                      StallReason::Ctrl);
 
     for (const auto &segment : model_.stepSegments)
         runSegment(segment);

@@ -68,6 +68,9 @@ class Noc
     /** Operation counters (reduce/broadcast ops, words, step cycles). */
     const StatGroup &stats() const { return stats_; }
 
+    /** Zero all counters (chip reset; keys are retained). */
+    void resetStats() { stats_.clear(); }
+
   private:
     const arch::MannaConfig &cfg_;
     const arch::EnergyModel &energy_;

@@ -15,6 +15,38 @@ using isa::Opcode;
 using isa::Operand;
 using isa::Space;
 
+namespace
+{
+
+/** Stall counter keys, engine-major (TraceLane order) x reason-minor
+ * (StallReason order) — preformatted so the hot path never
+ * concatenates strings. */
+const char *const kStallKeys[kNumLanes][kNumStallReasons] = {
+    {"emac.stall.issue", "emac.stall.ctrl", "emac.stall.fence",
+     "emac.stall.drain", "emac.stall.dma", "emac.stall.compute",
+     "emac.stall.sfu_serial", "emac.stall.bank_conflict"},
+    {"sfu.stall.issue", "sfu.stall.ctrl", "sfu.stall.fence",
+     "sfu.stall.drain", "sfu.stall.dma", "sfu.stall.compute",
+     "sfu.stall.sfu_serial", "sfu.stall.bank_conflict"},
+    {"mat_dma.stall.issue", "mat_dma.stall.ctrl",
+     "mat_dma.stall.fence", "mat_dma.stall.drain",
+     "mat_dma.stall.dma", "mat_dma.stall.compute",
+     "mat_dma.stall.sfu_serial", "mat_dma.stall.bank_conflict"},
+    {"vec_dma.stall.issue", "vec_dma.stall.ctrl",
+     "vec_dma.stall.fence", "vec_dma.stall.drain",
+     "vec_dma.stall.dma", "vec_dma.stall.compute",
+     "vec_dma.stall.sfu_serial", "vec_dma.stall.bank_conflict"},
+};
+
+const char *
+stallKey(TraceLane lane, StallReason reason)
+{
+    return kStallKeys[static_cast<std::size_t>(lane)]
+                     [static_cast<std::size_t>(reason)];
+}
+
+} // namespace
+
 DiffMemTile::DiffMemTile(const arch::MannaConfig &cfg,
                          const arch::EnergyModel &energy,
                          std::size_t tileIndex,
@@ -24,6 +56,27 @@ DiffMemTile::DiffMemTile(const arch::MannaConfig &cfg,
            sizes.vecSpadWords),
       stats_(strformat("tile%zu", tileIndex))
 {
+    initStatKeys();
+}
+
+void
+DiffMemTile::initStatKeys()
+{
+    static const char *const kBase[] = {
+        "emac.busy_cycles",     "emac.mac_ops",
+        "emac.elwise_ops",      "sfu.busy_cycles",
+        "sfu.ops",              "mat_dma.busy_cycles",
+        "mat_dma.words",        "vec_dma.busy_cycles",
+        "vec_dma.words",        "dmat.loads",
+        "dmat.transfer_cycles", "spad.conflict_free_words",
+        "spad.conflict_words",  "instructions",
+        "comm_instructions",
+    };
+    for (const char *key : kBase)
+        stats_.inc(key, 0.0);
+    for (std::size_t l = 0; l < kNumLanes; ++l)
+        for (std::size_t r = 0; r < kNumStallReasons; ++r)
+            stats_.inc(kStallKeys[l][r], 0.0);
 }
 
 void
@@ -140,61 +193,140 @@ DiffMemTile::resumeAfterComm(Cycle resumeAt)
     // The communication instruction is a fence (Section 5.1).
     commInstruction(); // asserts we are actually blocked
     ++pc_;
-    alignTo(resumeAt);
+    alignTo(resumeAt, StallReason::Fence);
     stats_.inc("comm_instructions");
 }
 
 void
-DiffMemTile::alignTo(Cycle at)
+DiffMemTile::alignTo(Cycle at, StallReason reason)
 {
     MANNA_ASSERT(at >= maxEnd_,
                  "fence at %llu before outstanding work at %llu",
                  static_cast<unsigned long long>(at),
                  static_cast<unsigned long long>(maxEnd_));
+    // Two attribution windows per engine: up to the drain point
+    // (maxEnd_) an early-finishing engine is waiting on whichever
+    // engine drains last; past it, every engine waits for @p reason
+    // (the fence/controller/segment event that set `at`).
+    TraceLane tail = TraceLane::Compute;
+    Cycle tailEnd = engineFree_[0];
+    for (std::size_t l = 1; l < kNumLanes; ++l) {
+        const auto lane = static_cast<TraceLane>(l);
+        if (engineFree_[l] > tailEnd ||
+            (engineFree_[l] == tailEnd &&
+             producerStall(lane) > producerStall(tail))) {
+            tail = lane;
+            tailEnd = engineFree_[l];
+        }
+    }
+    const StallReason drainWhy = producerStall(tail);
+    for (std::size_t l = 0; l < kNumLanes; ++l) {
+        const auto lane = static_cast<TraceLane>(l);
+        if (maxEnd_ > engineFree_[l])
+            stats_.inc(stallKey(lane, drainWhy),
+                       static_cast<double>(maxEnd_ - engineFree_[l]));
+        if (at > maxEnd_)
+            stats_.inc(stallKey(lane, reason),
+                       static_cast<double>(at - maxEnd_));
+        engineFree_[l] = at;
+    }
     now_ = at;
-    emacFree_ = sfuFree_ = matDmaFree_ = vecDmaFree_ = at;
     spadWriteEnd_[0] = spadWriteEnd_[1] = at;
     spadReadEnd_[0] = spadReadEnd_[1] = at;
     std::fill(std::begin(lastWrite_), std::end(lastWrite_), at);
+    spadWriteWhy_[0] = spadWriteWhy_[1] = reason;
+    std::fill(std::begin(lastWriteWhy_), std::end(lastWriteWhy_),
+              reason);
     maxEnd_ = at;
 }
 
-Cycle
-DiffMemTile::readDependency(const Operand &op) const
+void
+DiffMemTile::reset()
 {
-    if (!op.valid())
-        return 0;
-    if (op.space == Space::MatSpad)
-        return spadWriteEnd_[computeHalf()];
-    return lastWrite_[static_cast<std::size_t>(op.space)];
-}
-
-Cycle
-DiffMemTile::writeDependency(const Operand &op) const
-{
-    if (!op.valid())
-        return 0;
-    if (op.space == Space::MatSpad) {
-        // Non-DMA writes (e.g. soft-write updates) modify the half
-        // compute is currently working on.
-        const std::size_t half = computeHalf();
-        return std::max(spadReadEnd_[half], spadWriteEnd_[half]);
-    }
-    return lastWrite_[static_cast<std::size_t>(op.space)];
+    now_ = 0;
+    std::fill(std::begin(engineFree_), std::end(engineFree_), 0);
+    spadWriteEnd_[0] = spadWriteEnd_[1] = 0;
+    spadReadEnd_[0] = spadReadEnd_[1] = 0;
+    std::fill(std::begin(lastWrite_), std::end(lastWrite_), 0);
+    spadWriteWhy_[0] = spadWriteWhy_[1] = StallReason::Issue;
+    std::fill(std::begin(lastWriteWhy_), std::end(lastWriteWhy_),
+              StallReason::Issue);
+    maxEnd_ = 0;
+    lastEnd_ = 0;
+    dmaLoadCount_ = 0;
+    energyPj_ = 0.0;
+    stats_.clear(); // keys retained, values zeroed
+    std::fill(std::begin(opCycles_), std::end(opCycles_), 0.0);
+    std::fill(std::begin(opOps_), std::end(opOps_), 0.0);
+    std::fill(std::begin(opWords_), std::end(opWords_), 0.0);
+    lastOpBusy_ = 0.0;
+    lastOpWords_ = 0.0;
+    program_ = nullptr;
+    pc_ = 0;
+    loopStack_.clear();
+    std::fill(std::begin(iters_), std::end(iters_), 0);
 }
 
 void
-DiffMemTile::noteWrite(const Operand &op, Cycle end)
+DiffMemTile::attributeStall(TraceLane lane, const StallPicker &picker)
+{
+    const Cycle free = freeTime(lane);
+    if (picker.at > free)
+        stats_.inc(stallKey(lane, picker.why),
+                   static_cast<double>(picker.at - free));
+}
+
+void
+DiffMemTile::readDependency(const Operand &op, StallPicker &p) const
 {
     if (!op.valid())
         return;
     if (op.space == Space::MatSpad) {
         const std::size_t half = computeHalf();
-        spadWriteEnd_[half] = std::max(spadWriteEnd_[half], end);
+        p.consider(spadWriteEnd_[half], spadWriteWhy_[half]);
         return;
     }
-    auto &slot = lastWrite_[static_cast<std::size_t>(op.space)];
-    slot = std::max(slot, end);
+    const auto s = static_cast<std::size_t>(op.space);
+    p.consider(lastWrite_[s], lastWriteWhy_[s]);
+}
+
+void
+DiffMemTile::writeDependency(const Operand &op, StallPicker &p) const
+{
+    if (!op.valid())
+        return;
+    if (op.space == Space::MatSpad) {
+        // Non-DMA writes (e.g. soft-write updates) modify the half
+        // compute is currently working on. The WAR side is a
+        // double-buffer drain; the WAW side blames the producer.
+        const std::size_t half = computeHalf();
+        p.consider(spadReadEnd_[half], StallReason::Drain);
+        p.consider(spadWriteEnd_[half], spadWriteWhy_[half]);
+        return;
+    }
+    const auto s = static_cast<std::size_t>(op.space);
+    p.consider(lastWrite_[s], lastWriteWhy_[s]);
+}
+
+void
+DiffMemTile::noteWrite(const Operand &op, Cycle end,
+                       StallReason producer)
+{
+    if (!op.valid())
+        return;
+    if (op.space == Space::MatSpad) {
+        const std::size_t half = computeHalf();
+        if (end >= spadWriteEnd_[half]) {
+            spadWriteEnd_[half] = end;
+            spadWriteWhy_[half] = producer;
+        }
+        return;
+    }
+    const auto s = static_cast<std::size_t>(op.space);
+    if (end >= lastWrite_[s]) {
+        lastWrite_[s] = end;
+        lastWriteWhy_[s] = producer;
+    }
 }
 
 void
@@ -239,12 +371,32 @@ DiffMemTile::finish(Cycle end)
     lastEnd_ = end;
 }
 
+StatGroup
+DiffMemTile::opProfile() const
+{
+    StatGroup profile("profile");
+    constexpr auto numOps =
+        static_cast<std::size_t>(Opcode::NumOpcodes);
+    for (std::size_t i = 0; i < numOps; ++i) {
+        if (opOps_[i] == 0.0)
+            continue;
+        const std::string key =
+            isa::profileKey(static_cast<Opcode>(i));
+        profile.set(key + ".cycles", opCycles_[i]);
+        profile.set(key + ".ops", opOps_[i]);
+        profile.set(key + ".words", opWords_[i]);
+    }
+    return profile;
+}
+
 void
 DiffMemTile::execute(const Instruction &inst)
 {
     stats_.inc("instructions");
     charge(arch::EnergyEvent::InstructionIssue, 1.0);
     const Cycle issuedAt = now_;
+    lastOpBusy_ = 0.0;
+    lastOpWords_ = 0.0;
     switch (inst.op) {
       case Opcode::DmaLoadM:
       case Opcode::DmatLoadM:
@@ -283,6 +435,10 @@ DiffMemTile::execute(const Instruction &inst)
         panic("unexpected opcode %s in execute",
               toString(inst.op));
     }
+    const auto opIdx = static_cast<std::size_t>(inst.op);
+    opCycles_[opIdx] += lastOpBusy_;
+    opOps_[opIdx] += 1.0;
+    opWords_[opIdx] += lastOpWords_;
     // After dispatch now_ == start + 1, so the op's engine interval is
     // [now_ - 1, lastEnd_].
     if (trace_ != nullptr)
@@ -329,37 +485,47 @@ DiffMemTile::execDmaMatrix(const Instruction &inst)
     // Timing. Loads rotate the double-buffer halves; a load may only
     // overwrite a half once the compute that consumed it has drained
     // (WAR through spadReadEnd_).
-    Cycle start = std::max(now_, matDmaFree_);
+    StallPicker p(freeTime(TraceLane::MatDma));
+    p.consider(now_, StallReason::Issue);
     Cycle dur = static_cast<Cycle>(rows) *
                 ceilDiv(rowWords, cfg_.matrixBufferWidthWords);
     if (isDmat)
         dur += 1; // pipelined skew-pad insertion
+    Cycle start;
     if (isStore) {
         const std::size_t half = computeHalf();
-        start = std::max(start, spadWriteEnd_[half]); // data ready
-        start = std::max(start, writeDependency(dst));
+        p.consider(spadWriteEnd_[half],
+                   spadWriteWhy_[half]); // data ready
+        writeDependency(dst, p);
+        start = p.at;
+        attributeStall(TraceLane::MatDma, p);
         const Cycle end = start + std::max<Cycle>(dur, 1);
         stats_.inc("mat_dma.busy_cycles",
                    static_cast<double>(end - start));
-        matDmaFree_ = end;
+        lastOpBusy_ = static_cast<double>(end - start);
+        freeTime(TraceLane::MatDma) = end;
         spadReadEnd_[half] = std::max(spadReadEnd_[half], end);
-        noteWrite(dst, end);
+        noteWrite(dst, end, StallReason::Dma);
         finish(end);
     } else {
         const std::size_t half = loadHalf();
-        start = std::max(start, spadReadEnd_[half]);
-        start = std::max(start, spadWriteEnd_[half]);
-        start = std::max(start, readDependency(src));
+        p.consider(spadReadEnd_[half], StallReason::Drain);
+        p.consider(spadWriteEnd_[half], spadWriteWhy_[half]);
+        readDependency(src, p);
+        start = p.at;
+        attributeStall(TraceLane::MatDma, p);
         const Cycle end = start + std::max<Cycle>(dur, 1);
         stats_.inc("mat_dma.busy_cycles",
                    static_cast<double>(end - start));
+        lastOpBusy_ = static_cast<double>(end - start);
         if (isDmat) {
             stats_.inc("dmat.loads");
             stats_.inc("dmat.transfer_cycles",
                        static_cast<double>(end - start));
         }
-        matDmaFree_ = end;
+        freeTime(TraceLane::MatDma) = end;
         spadWriteEnd_[half] = end;
+        spadWriteWhy_[half] = StallReason::Dma;
         ++dmaLoadCount_;
         finish(end);
     }
@@ -370,6 +536,7 @@ DiffMemTile::execDmaMatrix(const Instruction &inst)
     charge(accessEvent(bufSide.space), words);
     charge(arch::EnergyEvent::MatrixScratchpadAccess, words);
     stats_.inc("mat_dma.words", words);
+    lastOpWords_ = words;
 
     // Functional copy with pitches. The effective base of the buffer
     // side addresses the first row; subsequent rows advance by
@@ -395,22 +562,27 @@ DiffMemTile::execDmaVector(const Instruction &inst)
     MANNA_ASSERT(src.len == dst.len, "vector DMA len %u != %u", src.len,
                  dst.len);
 
-    Cycle start = std::max(now_, vecDmaFree_);
-    start = std::max(start, readDependency(src));
-    start = std::max(start, writeDependency(dst));
+    StallPicker p(freeTime(TraceLane::VecDma));
+    p.consider(now_, StallReason::Issue);
+    readDependency(src, p);
+    writeDependency(dst, p);
+    const Cycle start = p.at;
+    attributeStall(TraceLane::VecDma, p);
     const Cycle dur =
         std::max<Cycle>(ceilDiv(src.len, cfg_.vectorDmaWidthWords), 1);
     const Cycle end = start + dur;
     stats_.inc("vec_dma.busy_cycles", static_cast<double>(end - start));
-    vecDmaFree_ = end;
+    lastOpBusy_ = static_cast<double>(end - start);
+    freeTime(TraceLane::VecDma) = end;
     noteRead(src, end);
-    noteWrite(dst, end);
+    noteWrite(dst, end, StallReason::Dma);
     finish(end);
     now_ = start + 1;
 
     charge(accessEvent(src.space), src.len);
     charge(accessEvent(dst.space), dst.len);
     stats_.inc("vec_dma.words", src.len);
+    lastOpWords_ = src.len;
 
     const float *from = mem_.span(src.space, src.base, src.len);
     float *to = mem_.span(dst.space, dst.base, dst.len);
@@ -451,14 +623,18 @@ DiffMemTile::execVmm(const Instruction &inst)
     MANNA_ASSERT(numRows > 0 && numCols > 0, "vmm with empty block");
 
     // Timing.
-    Cycle start = std::max(now_, emacFree_);
-    start = std::max(start, readDependency(vec));
-    start = std::max(start, readDependency(matBlock));
-    start = std::max(start, writeDependency(dst));
+    StallPicker p(freeTime(TraceLane::Compute));
+    p.consider(now_, StallReason::Issue);
+    readDependency(vec, p);
+    readDependency(matBlock, p);
+    writeDependency(dst, p);
     if (accumulate)
-        start = std::max(start, readDependency(dst));
+        readDependency(dst, p);
+    const Cycle start = p.at;
+    attributeStall(TraceLane::Compute, p);
 
     Cycle dur;
+    double conflictExtra = 0.0;
     const std::size_t lanes = cfg_.emacsPerTile;
     if (rowDot) {
         // Each lane owns a row and walks the columns.
@@ -478,19 +654,31 @@ DiffMemTile::execVmm(const Instruction &inst)
         } else {
             // Unskewed block: banked access in the transposed
             // direction partially serializes on conflicts (this is
-            // the no-DMAT path of the Figure 14 ablation).
+            // the no-DMAT path of the Figure 14 ablation). The array
+            // occupies the whole interval but only the pre-factor
+            // base is useful work; the serialization overhead is
+            // accounted as stall.bank_conflict, not busy time.
+            const Cycle base = dur;
             dur *= cfg_.noDmatConflictFactor;
+            conflictExtra = static_cast<double>(dur - base);
         }
     } else {
         // Each lane owns a column; rows stream one per cycle group.
         dur = static_cast<Cycle>(numRows) * ceilDiv(numCols, lanes);
     }
     const Cycle end = start + std::max<Cycle>(dur, 1);
-    stats_.inc("emac.busy_cycles", static_cast<double>(end - start));
-    emacFree_ = end;
+    const double busy =
+        static_cast<double>(end - start) - conflictExtra;
+    stats_.inc("emac.busy_cycles", busy);
+    if (conflictExtra > 0.0)
+        stats_.inc(stallKey(TraceLane::Compute,
+                            StallReason::BankConflict),
+                   conflictExtra);
+    lastOpBusy_ = busy;
+    freeTime(TraceLane::Compute) = end;
     noteRead(vec, end);
     noteRead(matBlock, end);
-    noteWrite(dst, end);
+    noteWrite(dst, end, StallReason::Compute);
     finish(end);
     now_ = start + 1;
 
@@ -511,6 +699,7 @@ DiffMemTile::execVmm(const Instruction &inst)
                static_cast<double>(numCols) *
                    ceilDiv(numRows, lanes) * lanes);
     stats_.inc("emac.mac_ops", macs);
+    lastOpWords_ = static_cast<double>(numRows) * numCols;
 
     // Functional semantics.
     const float *v = mem_.span(vec.space, vec.base, vec.len);
@@ -576,14 +765,17 @@ DiffMemTile::execElementwise(const Instruction &inst)
                      "%s srcB len %u incompatible with dst %u",
                      toString(inst.op), b.len, len);
 
-    Cycle start = std::max(now_, emacFree_);
+    StallPicker p(freeTime(TraceLane::Compute));
+    p.consider(now_, StallReason::Issue);
     if (needsA)
-        start = std::max(start, readDependency(a));
+        readDependency(a, p);
     if (needsB)
-        start = std::max(start, readDependency(b));
-    start = std::max(start, writeDependency(dst));
+        readDependency(b, p);
+    writeDependency(dst, p);
     if (inst.op == Opcode::EwMac)
-        start = std::max(start, readDependency(dst));
+        readDependency(dst, p);
+    const Cycle start = p.at;
+    attributeStall(TraceLane::Compute, p);
 
     const bool isMac = inst.op == Opcode::EwMac;
     std::size_t penalty = 1;
@@ -593,12 +785,14 @@ DiffMemTile::execElementwise(const Instruction &inst)
         ceilDiv(len, cfg_.emacsPerTile) * penalty, 1);
     const Cycle end = start + dur;
     stats_.inc("emac.busy_cycles", static_cast<double>(end - start));
-    emacFree_ = end;
+    lastOpBusy_ = static_cast<double>(end - start);
+    lastOpWords_ = len;
+    freeTime(TraceLane::Compute) = end;
     if (needsA)
         noteRead(a, end);
     if (needsB)
         noteRead(b, end);
-    noteWrite(dst, end);
+    noteWrite(dst, end, StallReason::Compute);
     finish(end);
     now_ = start + 1;
 
@@ -711,11 +905,14 @@ DiffMemTile::execSfu(const Instruction &inst)
         panic("bad SFU opcode");
     }
 
-    Cycle start = std::max(now_, sfuFree_);
-    start = std::max(start, readDependency(a));
+    StallPicker p(freeTime(TraceLane::Sfu));
+    p.consider(now_, StallReason::Issue);
+    readDependency(a, p);
     if (inst.op == Opcode::SfuPow)
-        start = std::max(start, readDependency(expOperand));
-    start = std::max(start, writeDependency(dst));
+        readDependency(expOperand, p);
+    writeDependency(dst, p);
+    const Cycle start = p.at;
+    attributeStall(TraceLane::Sfu, p);
     // The SFU path is serial within a tile (Section 7.3's scaling
     // limiter): len elements at perElem cycles each, shared across
     // the tile's sfusPerTile units.
@@ -725,9 +922,11 @@ DiffMemTile::execSfu(const Instruction &inst)
         1);
     const Cycle end = start + dur;
     stats_.inc("sfu.busy_cycles", static_cast<double>(end - start));
-    sfuFree_ = end;
+    lastOpBusy_ = static_cast<double>(end - start);
+    lastOpWords_ = len;
+    freeTime(TraceLane::Sfu) = end;
     noteRead(a, end);
-    noteWrite(dst, end);
+    noteWrite(dst, end, StallReason::SfuSerial);
     finish(end);
     now_ = start + 1;
 

@@ -92,12 +92,23 @@ class DiffMemTile
 
     /**
      * Advance past the blocking communication instruction and fence
-     * all timing state to @p resumeAt.
+     * all timing state to @p resumeAt (idle time charged to
+     * `stall.fence`).
      */
     void resumeAfterComm(Cycle resumeAt);
 
-    /** Fence all timing state to @p at (segment boundaries). */
-    void alignTo(Cycle at);
+    /**
+     * Fence all timing state to @p at (segment boundaries). Each
+     * engine's idle time up to the drain point is attributed to the
+     * engine that finished last (e.g. `stall.sfu_serial` when the
+     * serial SFU is the tail); the remaining wait until @p at is
+     * charged to @p reason.
+     */
+    void alignTo(Cycle at, StallReason reason = StallReason::Drain);
+
+    /** Zero all timing state, counters, and energy (chip reset). The
+     * functional memory is the chip's to reinitialize. */
+    void reset();
 
     /** Time at which every outstanding operation has completed. */
     Cycle quiesceTime() const { return maxEnd_; }
@@ -118,6 +129,16 @@ class DiffMemTile
     const StatGroup &stats() const { return stats_; }
     StatGroup &stats() { return stats_; }
 
+    /**
+     * Per-opcode execution profile as a StatGroup with keys
+     * "<opcode>.{cycles,ops,words}" (opcode names via
+     * isa::profileKey()), covering every executed non-communication
+     * instruction. `cycles` is the engine-busy time attributed to the
+     * opcode, so per engine lane the profile cycles sum exactly to
+     * that engine's busy_cycles.
+     */
+    StatGroup opProfile() const;
+
     /** Attach (or detach, with nullptr) an instruction tracer. */
     void setTraceLogger(TraceLogger *logger) { trace_ = logger; }
 
@@ -130,14 +151,42 @@ class DiffMemTile
     void execElementwise(const isa::Instruction &inst);
     void execSfu(const isa::Instruction &inst);
 
-    /** Data-dependency time for reading a resolved operand. */
-    Cycle readDependency(const isa::Operand &op) const;
+    /**
+     * Start-time election with stall attribution: starts at the
+     * engine's free time and takes the max over every candidate
+     * constraint, remembering which one won (ties go to the higher
+     * StallReason enumerator — the more specific explanation).
+     */
+    struct StallPicker
+    {
+        Cycle at;
+        StallReason why = StallReason::Issue;
 
-    /** Dependency time for writing a resolved operand (WAR/WAW). */
-    Cycle writeDependency(const isa::Operand &op) const;
+        explicit StallPicker(Cycle engineFree) : at(engineFree) {}
 
-    /** Record a write's completion for later dependents. */
-    void noteWrite(const isa::Operand &op, Cycle end);
+        void consider(Cycle t, StallReason r)
+        {
+            if (t > at || (t == at && r > why)) {
+                at = t;
+                why = r;
+            }
+        }
+    };
+
+    /** Charge the gap between the engine's free time and the elected
+     * start to the winning stall reason. */
+    void attributeStall(TraceLane lane, const StallPicker &picker);
+
+    /** Data-dependency constraint for reading a resolved operand. */
+    void readDependency(const isa::Operand &op, StallPicker &p) const;
+
+    /** Constraint for writing a resolved operand (WAR/WAW). */
+    void writeDependency(const isa::Operand &op, StallPicker &p) const;
+
+    /** Record a write's completion for later dependents, tagged with
+     * the stall reason its consumers will report while waiting. */
+    void noteWrite(const isa::Operand &op, Cycle end,
+                   StallReason producer);
 
     /** Record a read's completion (for scratchpad-half reuse). */
     void noteRead(const isa::Operand &op, Cycle end);
@@ -184,15 +233,34 @@ class DiffMemTile
     std::vector<LoopFrame> loopStack_;
     std::int64_t iters_[isa::kMaxLoopDepth] = {0, 0, 0};
 
+    /** Engine free time, indexed by TraceLane. */
+    Cycle &freeTime(TraceLane lane)
+    {
+        return engineFree_[static_cast<std::size_t>(lane)];
+    }
+    Cycle freeTime(TraceLane lane) const
+    {
+        return engineFree_[static_cast<std::size_t>(lane)];
+    }
+
+    /** Pre-register every documented counter key at zero, so profile
+     * consumers (and the docs catalog lint) always see the full key
+     * set even for stall reasons a workload never hits. */
+    void initStatKeys();
+
     // --- timing state ------------------------------------------------------
     Cycle now_ = 0;
-    Cycle emacFree_ = 0;
-    Cycle sfuFree_ = 0;
-    Cycle matDmaFree_ = 0;
-    Cycle vecDmaFree_ = 0;
+    Cycle engineFree_[kNumLanes] = {0, 0, 0, 0};
     Cycle spadWriteEnd_[2] = {0, 0};
     Cycle spadReadEnd_[2] = {0, 0};
     Cycle lastWrite_[5] = {0, 0, 0, 0, 0}; ///< indexed by Space
+    /** Stall reason a reader blames while waiting on spadWriteEnd_ /
+     * lastWrite_ (who produced the pending value). */
+    StallReason spadWriteWhy_[2] = {StallReason::Issue,
+                                    StallReason::Issue};
+    StallReason lastWriteWhy_[5] = {
+        StallReason::Issue, StallReason::Issue, StallReason::Issue,
+        StallReason::Issue, StallReason::Issue};
     Cycle maxEnd_ = 0;
     Cycle lastEnd_ = 0; ///< end time of the most recent instruction
     std::uint64_t dmaLoadCount_ = 0; ///< matrix loads issued (parity)
@@ -200,6 +268,17 @@ class DiffMemTile
     // --- accounting ----------------------------------------------------------
     Energy energyPj_ = 0.0;
     StatGroup stats_;
+    /** Per-opcode totals (indexed by isa::Opcode); folded into a
+     * StatGroup only at report time by opProfile(). */
+    double opCycles_[static_cast<std::size_t>(
+        isa::Opcode::NumOpcodes)] = {};
+    double opOps_[static_cast<std::size_t>(isa::Opcode::NumOpcodes)] =
+        {};
+    double opWords_[static_cast<std::size_t>(
+        isa::Opcode::NumOpcodes)] = {};
+    /** Set by each exec* for execute()'s per-opcode accounting. */
+    double lastOpBusy_ = 0.0;
+    double lastOpWords_ = 0.0;
     TraceLogger *trace_ = nullptr;
 };
 

@@ -52,6 +52,47 @@ toString(TraceLane lane)
     panic("bad trace lane");
 }
 
+const char *
+toString(StallReason reason)
+{
+    switch (reason) {
+      case StallReason::Issue:
+        return "issue";
+      case StallReason::Ctrl:
+        return "ctrl";
+      case StallReason::Fence:
+        return "fence";
+      case StallReason::Drain:
+        return "drain";
+      case StallReason::Dma:
+        return "dma";
+      case StallReason::Compute:
+        return "compute";
+      case StallReason::SfuSerial:
+        return "sfu_serial";
+      case StallReason::BankConflict:
+        return "bank_conflict";
+      case StallReason::NumReasons:
+        break;
+    }
+    panic("bad stall reason");
+}
+
+StallReason
+producerStall(TraceLane lane)
+{
+    switch (lane) {
+      case TraceLane::Compute:
+        return StallReason::Compute;
+      case TraceLane::Sfu:
+        return StallReason::SfuSerial;
+      case TraceLane::MatDma:
+      case TraceLane::VecDma:
+        return StallReason::Dma;
+    }
+    panic("bad trace lane");
+}
+
 TraceLogger::TraceLogger(std::size_t maxEntries)
     : maxEntries_(maxEntries)
 {

@@ -42,6 +42,41 @@ TraceLane laneOf(isa::Opcode op);
 /** Lane name as used in the Chrome-trace thread metadata. */
 const char *toString(TraceLane lane);
 
+/** Number of engine lanes per tile (one per TraceLane value). */
+constexpr std::size_t kNumLanes = 4;
+
+/**
+ * Why an engine was not doing useful work during a cycle. Every
+ * non-busy engine cycle is attributed to exactly one reason, so per
+ * engine `busy_cycles + sum(stall.*) == chip.cycles` holds exactly
+ * (enforced by populateRunStats and tested across the tab2
+ * workloads). When several causes end at the same cycle the one with
+ * the higher enumerator wins — later reasons are the more specific
+ * microarchitectural explanations.
+ */
+enum class StallReason : std::uint8_t
+{
+    Issue,        ///< in-order frontend had not issued work yet
+    Ctrl,         ///< waiting for the Controller-tile forward pass
+    Fence,        ///< reduce/broadcast synchronization (comm fence)
+    Drain,        ///< segment close / double-buffer WAR drain
+    Dma,          ///< waiting on data produced by a DMA engine
+    Compute,      ///< waiting on data produced by the eMAC array
+    SfuSerial,    ///< waiting on the serial SFU (Fig. 12's limiter)
+    BankConflict, ///< unskewed scratchpad bank-conflict serialization
+    NumReasons,
+};
+
+constexpr std::size_t kNumStallReasons =
+    static_cast<std::size_t>(StallReason::NumReasons);
+
+/** Counter-key suffix of a stall reason ("sfu_serial", ...). */
+const char *toString(StallReason reason);
+
+/** The stall a consumer records while waiting on data that the given
+ * engine lane produces. */
+StallReason producerStall(TraceLane lane);
+
 /** One traced instruction execution. */
 struct TraceEntry
 {

@@ -22,6 +22,7 @@
 #include "harness/journal.hh"
 #include "harness/observe.hh"
 #include "harness/sweep.hh"
+#include "isa/isa.hh"
 #include "sim/trace.hh"
 #include "workloads/benchmarks.hh"
 
@@ -306,6 +307,233 @@ TEST(TraceOptions, ParsedFromConfigAndEnvironment)
 
     const TraceOptions off = traceOptionsFromConfig(Config{});
     EXPECT_FALSE(off.enabled());
+}
+
+// --- cycle-accounting profiler ------------------------------------
+
+/** Engine stat prefixes in sim::TraceLane order. */
+const char *const kEngines[] = {"emac", "sfu", "mat_dma", "vec_dma"};
+const char *const kStallReasons[] = {
+    "issue",   "ctrl",       "fence",      "drain",
+    "dma",     "compute",    "sfu_serial", "bank_conflict"};
+
+TEST(StallAccounting, ClosedOnEveryEngineOfEveryWorkload)
+{
+    for (const auto &bench : workloads::table2Suite()) {
+        SCOPED_TRACE(bench.name);
+        const auto result = simulateManna(
+            bench, arch::MannaConfig::withTiles(4), /*steps=*/2);
+        const StatRegistry &stats = result.report.stats;
+        const double total = stats.get("chip.cycles");
+        ASSERT_GT(total, 0.0);
+        for (std::size_t t = 0; t < 4; ++t) {
+            for (const char *engine : kEngines) {
+                const std::string prefix = "tile." +
+                                           std::to_string(t) + "." +
+                                           engine + ".";
+                // Every reason key exists even when it never fired,
+                // and the attribution partitions the timeline: there
+                // is no unaccounted (or double-counted) cycle.
+                double stalls = 0.0;
+                for (const char *reason : kStallReasons) {
+                    const std::string key =
+                        prefix + "stall." + reason;
+                    ASSERT_TRUE(stats.has(key)) << key;
+                    stalls += stats.get(key);
+                }
+                EXPECT_EQ(stats.get(prefix + "busy_cycles") + stalls,
+                          total)
+                    << prefix;
+                EXPECT_EQ(stats.get(prefix + "idle_cycles"), stalls)
+                    << prefix;
+            }
+        }
+        // NoC and controller close against chip cycles too.
+        EXPECT_EQ(stats.get("noc.busy_cycles") +
+                      stats.get("noc.stall.idle"),
+                  total);
+        EXPECT_EQ(stats.get("ctrl.busy_cycles") +
+                      stats.get("ctrl.stall.diffmem_wait"),
+                  total);
+    }
+}
+
+TEST(OpcodeProfile, CyclesPartitionEachEngineBusy)
+{
+    const auto &bench = workloads::benchmarkByName("recall");
+    const auto result = simulateManna(
+        bench, arch::MannaConfig::withTiles(4), /*steps=*/2);
+    const StatRegistry &stats = result.report.stats;
+    constexpr auto numOps =
+        static_cast<std::size_t>(isa::Opcode::NumOpcodes);
+
+    bool sawProfile = false;
+    for (std::size_t t = 0; t < 4; ++t) {
+        double laneCycles[4] = {};
+        for (std::size_t i = 0; i < numOps; ++i) {
+            const auto op = static_cast<isa::Opcode>(i);
+            const std::string key = "profile." + std::to_string(t) +
+                                    "." + isa::profileKey(op) +
+                                    ".cycles";
+            const auto lane =
+                static_cast<std::size_t>(sim::laneOf(op));
+            laneCycles[lane] += stats.get(key);
+            sawProfile = sawProfile || stats.has(key);
+        }
+        for (std::size_t lane = 0; lane < 4; ++lane) {
+            const std::string busy = "tile." + std::to_string(t) +
+                                     "." + kEngines[lane] +
+                                     ".busy_cycles";
+            EXPECT_EQ(laneCycles[lane], stats.get(busy)) << busy;
+        }
+    }
+    EXPECT_TRUE(sawProfile);
+}
+
+TEST(RunStats, CountersCarryDescriptions)
+{
+    const auto &bench = workloads::benchmarkByName("copy");
+    const auto result = simulateManna(
+        bench, arch::MannaConfig::withTiles(4), /*steps=*/1);
+    const StatRegistry &stats = result.report.stats;
+    EXPECT_FALSE(
+        stats.description("tile.0.emac.busy_cycles").empty());
+    EXPECT_FALSE(
+        stats.description("tile.0.sfu.stall.sfu_serial").empty());
+    EXPECT_FALSE(stats.description("noc.stall.idle").empty());
+    EXPECT_FALSE(stats.description("chip.cycles").empty());
+    EXPECT_FALSE(
+        stats.description("profile.0.vmm.cycles").empty());
+}
+
+TEST(StatRegistry, DescriptionsSuffixMatchAndRender)
+{
+    StatRegistry reg;
+    reg.set("tile.0.emac.busy_cycles", 10.0);
+    reg.set("ctrl.cycles", 5.0);
+    reg.describe("busy_cycles", "engine-busy cycles");
+    reg.describe("ctrl.cycles", "controller cycles");
+
+    // Dotted-suffix pattern vs exact key.
+    EXPECT_EQ(reg.description("tile.0.emac.busy_cycles"),
+              "engine-busy cycles");
+    EXPECT_EQ(reg.description("ctrl.cycles"), "controller cycles");
+    EXPECT_EQ(reg.description("nope"), "");
+    // A suffix must start at a dot: "cycles" is not a match for the
+    // pattern "ctrl.cycles".
+    reg.set("xctrl.cycles", 1.0);
+    EXPECT_EQ(reg.description("xctrl.cycles"), "");
+
+    // Descriptions are display metadata: values alone decide ==.
+    StatRegistry bare;
+    bare.set("tile.0.emac.busy_cycles", 10.0);
+    bare.set("ctrl.cycles", 5.0);
+    bare.set("xctrl.cycles", 1.0);
+    EXPECT_TRUE(reg == bare);
+
+    const std::string text = reg.renderDescribed();
+    EXPECT_NE(text.find("tile.0.emac.busy_cycles"),
+              std::string::npos);
+    EXPECT_NE(text.find("# engine-busy cycles"), std::string::npos);
+    EXPECT_NE(text.find("# controller cycles"), std::string::npos);
+}
+
+TEST(ProfileJson, DeterministicAndNamesTheSfuAtTheFig12Point)
+{
+    const auto &bench = workloads::benchmarkByName("copy");
+    const arch::MannaConfig hw = arch::MannaConfig::withTiles(16);
+    const std::string a =
+        renderProfileJson(bench, hw, /*steps=*/1, /*seed=*/1,
+                          /*topN=*/5);
+    const std::string b =
+        renderProfileJson(bench, hw, 1, 1, 5);
+    EXPECT_EQ(a, b); // no wall-clock inside: byte-identical
+    EXPECT_TRUE(jsonValidate(a));
+    EXPECT_NE(a.find("manna-profile-v1"), std::string::npos);
+    EXPECT_NE(a.find("\"dominant_stall\""), std::string::npos);
+    EXPECT_NE(a.find("\"roofline\""), std::string::npos);
+    EXPECT_NE(a.find("\"counters\""), std::string::npos);
+    // The Fig 12 acceptance point: at 16 tiles the profiler must
+    // name the serial SFU chain as the dominant stall source.
+    EXPECT_NE(a.find("\"reason\": \"sfu_serial\""),
+              std::string::npos);
+}
+
+TEST(BenchJson, SchemaValidAndDeterministicAcrossWorkerCounts)
+{
+    std::vector<SweepJob> jobs;
+    for (const auto &name : {"copy", "recall"})
+        jobs.push_back({workloads::benchmarkByName(name),
+                        arch::MannaConfig::withTiles(4),
+                        /*steps=*/2, /*seed=*/1});
+    SweepRunner serial(1);
+    SweepRunner parallel(4);
+    const auto a = serial.runChecked(jobs);
+    const auto b = parallel.runChecked(jobs);
+    ASSERT_TRUE(a.allOk());
+    ASSERT_TRUE(b.allOk());
+
+    const std::string ja = renderBenchJson("unit", a);
+    const std::string jb = renderBenchJson("unit", b);
+    EXPECT_TRUE(jsonValidate(ja)) << ja;
+    EXPECT_NE(ja.find("manna-bench-v1"), std::string::npos);
+    EXPECT_NE(ja.find("\"name\": \"unit\""), std::string::npos);
+    // Everything before the wall-clock section is the deterministic
+    // snapshot bench_compare.py diffs: byte-identical across worker
+    // counts.
+    const auto wallA = ja.find("\"wall\"");
+    const auto wallB = jb.find("\"wall\"");
+    ASSERT_NE(wallA, std::string::npos);
+    ASSERT_NE(wallB, std::string::npos);
+    EXPECT_EQ(ja.substr(0, wallA), jb.substr(0, wallB));
+}
+
+TEST(ProfileOptions, ParsedFromConfigAndEnvironment)
+{
+    const char *argv[] = {"prog", "profile=/tmp/p.json",
+                          "profile_top=3"};
+    const Config cfg = Config::fromArgs(3, argv);
+    const ProfileOptions opts = profileOptionsFromConfig(cfg);
+    EXPECT_TRUE(opts.enabled());
+    EXPECT_EQ(opts.path, "/tmp/p.json");
+    EXPECT_EQ(opts.topN, 3u);
+
+    ::setenv("MANNA_PROFILE", "/tmp/envp.json", 1);
+    ::setenv("MANNA_PROFILE_TOP", "7", 1);
+    const ProfileOptions fromEnv =
+        profileOptionsFromConfig(Config{});
+    EXPECT_EQ(fromEnv.path, "/tmp/envp.json");
+    EXPECT_EQ(fromEnv.topN, 7u);
+    ::unsetenv("MANNA_PROFILE");
+    ::unsetenv("MANNA_PROFILE_TOP");
+
+    EXPECT_FALSE(profileOptionsFromConfig(Config{}).enabled());
+}
+
+TEST(BenchJsonOptions, ParsedFromConfigAndEnvironment)
+{
+    const char *argv[] = {"prog", "bench_json=/tmp/b.json"};
+    const Config cfg = Config::fromArgs(2, argv);
+    const BenchJsonOptions opts = benchJsonOptionsFromConfig(cfg);
+    EXPECT_TRUE(opts.enabled());
+    EXPECT_EQ(opts.path, "/tmp/b.json");
+
+    ::setenv("MANNA_BENCH_JSON", "/tmp/envb.json", 1);
+    const BenchJsonOptions fromEnv =
+        benchJsonOptionsFromConfig(Config{});
+    EXPECT_EQ(fromEnv.path, "/tmp/envb.json");
+    ::unsetenv("MANNA_BENCH_JSON");
+
+    EXPECT_FALSE(benchJsonOptionsFromConfig(Config{}).enabled());
+}
+
+TEST(DumpStats, BareDashFlagParsesAsBoolean)
+{
+    const char *argv[] = {"prog", "--dump-stats", "steps=3"};
+    const Config cfg = Config::fromArgs(3, argv);
+    EXPECT_TRUE(cfg.getBool("dump_stats", false));
+    EXPECT_EQ(cfg.getInt("steps", 0), 3);
+    EXPECT_FALSE(Config{}.getBool("dump_stats", false));
 }
 
 TEST(ChromeTrace, WriteChromeTraceProducesLoadableFile)
