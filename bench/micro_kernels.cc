@@ -1,14 +1,33 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the reproduction's hot paths:
- * tensor primitives (the golden model's inner loops) and the
- * simulator's instruction interpreter. These measure *host*
- * performance of the simulator itself, not the modeled accelerator.
+ * Microbenchmarks of the reproduction's hot paths: tensor primitives
+ * (the golden model's inner loops), the compiler, and the simulator's
+ * instruction interpreter. These measure *host* performance of the
+ * simulator itself, not the modeled accelerator.
+ *
+ * Self-timed (no external benchmark framework): each micro-bench
+ * doubles its iteration count until the timed region exceeds
+ * min_time= seconds (default 0.2), then reports ns/op. Execution goes
+ * through the fault-isolated sweep harness, so bench=<name> filters,
+ * jobs= (default 1 — concurrent timing perturbs results), and the
+ * retries=/timeout=/stats=/bench_json= knobs all apply; a crashed or
+ * failed micro-bench renders as a FAILED cell and makes the binary
+ * exit nonzero. Timings are wall-clock measurements and are NOT
+ * byte-identical across runs — only the table *structure* is stable.
  */
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <functional>
 
+#include "common/config.hh"
+#include "common/hash.hh"
+#include "common/strutil.hh"
+#include "common/table.hh"
 #include "compiler/compiler.hh"
+#include "harness/observe.hh"
+#include "harness/report.hh"
+#include "harness/sweep.hh"
 #include "mann/ntm.hh"
 #include "sim/chip.hh"
 #include "tensor/matrix.hh"
@@ -20,6 +39,14 @@ using namespace manna;
 namespace
 {
 
+/** Keep a computed value alive without spending time on it. */
+template <typename T>
+void
+doNotOptimize(const T &value)
+{
+    asm volatile("" : : "g"(&value) : "memory");
+}
+
 tensor::FVec
 randomVec(std::size_t n, Rng &rng)
 {
@@ -29,88 +56,203 @@ randomVec(std::size_t n, Rng &rng)
     return v;
 }
 
-void
-BM_Dot(benchmark::State &state)
+/** One named micro-bench: body() runs the operation once. */
+struct Micro
 {
-    Rng rng(1);
-    const auto n = static_cast<std::size_t>(state.range(0));
-    const tensor::FVec a = randomVec(n, rng);
-    const tensor::FVec b = randomVec(n, rng);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(tensor::dot(a, b));
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()) *
-        static_cast<std::int64_t>(n));
-}
-BENCHMARK(BM_Dot)->Arg(256)->Arg(4096);
+    std::string name;
+    std::size_t itemsPerOp = 0; ///< 0 = no items/s column
+    std::function<void()> body;
+};
 
-void
-BM_Softmax(benchmark::State &state)
+/**
+ * Time @p body with geometric ramp-up: double the batch size until
+ * one timed batch exceeds @p minSeconds, then report seconds per
+ * operation from the final batch.
+ */
+double
+secondsPerOp(const std::function<void()> &body, double minSeconds)
 {
-    Rng rng(2);
-    const auto n = static_cast<std::size_t>(state.range(0));
-    const tensor::FVec a = randomVec(n, rng);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(tensor::softmax(a, 2.0f));
+    using Clock = std::chrono::steady_clock;
+    body(); // warm-up (page-in, caches, lazy init)
+    for (std::size_t batch = 1;; batch *= 2) {
+        const auto start = Clock::now();
+        for (std::size_t i = 0; i < batch; ++i)
+            body();
+        const double elapsed =
+            std::chrono::duration<double>(Clock::now() - start)
+                .count();
+        if (elapsed >= minSeconds || batch >= (1u << 30))
+            return elapsed / static_cast<double>(batch);
+    }
 }
-BENCHMARK(BM_Softmax)->Arg(1024)->Arg(4096);
 
-void
-BM_RowCosineSimilarity(benchmark::State &state)
+std::vector<Micro>
+buildMicros()
 {
-    Rng rng(3);
-    const auto rows = static_cast<std::size_t>(state.range(0));
-    tensor::FMat mem(rows, 128, randomVec(rows * 128, rng));
-    const tensor::FVec key = randomVec(128, rng);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(
-            tensor::rowCosineSimilarity(mem, key));
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()) *
-        static_cast<std::int64_t>(rows * 128));
-}
-BENCHMARK(BM_RowCosineSimilarity)->Arg(512)->Arg(4096);
+    std::vector<Micro> micros;
 
-void
-BM_GoldenNtmStep(benchmark::State &state)
-{
-    mann::MannConfig cfg;
-    cfg.memN = static_cast<std::size_t>(state.range(0));
-    cfg.memM = 64;
-    cfg.controllerWidth = 64;
-    cfg.inputDim = 8;
-    cfg.outputDim = 8;
-    mann::Ntm ntm(cfg, 1);
-    const tensor::FVec x(cfg.inputDim, 0.1f);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(ntm.step(x).output);
-}
-BENCHMARK(BM_GoldenNtmStep)->Arg(256)->Arg(1024);
+    // Inputs are generated once per micro-bench (shared_ptr captured
+    // by the body), so the timed region covers only the primitive.
+    for (std::size_t n : {std::size_t{256}, std::size_t{4096}}) {
+        Rng rng(1);
+        auto a = std::make_shared<tensor::FVec>(randomVec(n, rng));
+        auto b = std::make_shared<tensor::FVec>(randomVec(n, rng));
+        micros.push_back({strformat("Dot/%zu", n), n, [a, b] {
+                              doNotOptimize(tensor::dot(*a, *b));
+                          }});
+    }
 
-void
-BM_CompileModel(benchmark::State &state)
-{
-    const auto bench = workloads::tinyBenchmark();
-    const arch::MannaConfig ac = arch::MannaConfig::withTiles(4);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(
-            compiler::compile(bench.config, ac));
-}
-BENCHMARK(BM_CompileModel);
+    for (std::size_t n : {std::size_t{1024}, std::size_t{4096}}) {
+        Rng rng(2);
+        auto a = std::make_shared<tensor::FVec>(randomVec(n, rng));
+        micros.push_back(
+            {strformat("Softmax/%zu", n), n, [a] {
+                 doNotOptimize(tensor::softmax(*a, 2.0f));
+             }});
+    }
 
-void
-BM_SimulatedChipStep(benchmark::State &state)
-{
-    const auto bench = workloads::tinyBenchmark();
-    const arch::MannaConfig ac = arch::MannaConfig::withTiles(4);
-    const auto model = compiler::compile(bench.config, ac);
-    sim::Chip chip(model, 1);
-    const tensor::FVec x(bench.config.inputDim, 0.1f);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(chip.step(x));
+    for (std::size_t rows : {std::size_t{512}, std::size_t{4096}}) {
+        Rng rng(3);
+        auto mem = std::make_shared<tensor::FMat>(
+            rows, 128, randomVec(rows * 128, rng));
+        auto key =
+            std::make_shared<tensor::FVec>(randomVec(128, rng));
+        micros.push_back(
+            {strformat("RowCosineSimilarity/%zu", rows), rows * 128,
+             [mem, key] {
+                 doNotOptimize(
+                     tensor::rowCosineSimilarity(*mem, *key));
+             }});
+    }
+
+    for (std::size_t memN : {std::size_t{256}, std::size_t{1024}})
+        micros.push_back({strformat("GoldenNtmStep/%zu", memN), 0,
+                          [memN] {
+                              mann::MannConfig cfg;
+                              cfg.memN = memN;
+                              cfg.memM = 64;
+                              cfg.controllerWidth = 64;
+                              cfg.inputDim = 8;
+                              cfg.outputDim = 8;
+                              static thread_local std::unique_ptr<
+                                  mann::Ntm>
+                                  ntm;
+                              static thread_local std::size_t
+                                  builtFor = 0;
+                              if (!ntm || builtFor != memN) {
+                                  ntm = std::make_unique<mann::Ntm>(
+                                      cfg, 1);
+                                  builtFor = memN;
+                              }
+                              const tensor::FVec x(cfg.inputDim,
+                                                   0.1f);
+                              doNotOptimize(ntm->step(x).output);
+                          }});
+
+    micros.push_back({"CompileModel", 0, [] {
+                          const auto bench =
+                              workloads::tinyBenchmark();
+                          const arch::MannaConfig ac =
+                              arch::MannaConfig::withTiles(4);
+                          doNotOptimize(
+                              compiler::compile(bench.config, ac));
+                      }});
+
+    micros.push_back(
+        {"SimulatedChipStep", 0, [] {
+             // The chip references the model, so both persist
+             // together across timed iterations.
+             static thread_local std::unique_ptr<
+                 compiler::CompiledModel>
+                 model;
+             static thread_local std::unique_ptr<sim::Chip> chip;
+             static thread_local tensor::FVec x;
+             if (!chip) {
+                 const auto bench = workloads::tinyBenchmark();
+                 const arch::MannaConfig ac =
+                     arch::MannaConfig::withTiles(4);
+                 model = std::make_unique<compiler::CompiledModel>(
+                     compiler::compile(bench.config, ac));
+                 chip = std::make_unique<sim::Chip>(*model, 1);
+                 x = tensor::FVec(bench.config.inputDim, 0.1f);
+             }
+             doNotOptimize(chip->step(x));
+         }});
+
+    return micros;
 }
-BENCHMARK(BM_SimulatedChipStep);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    const Config cfg = Config::fromArgs(argc, argv);
+    // Timing micro-benches perturb each other when run concurrently,
+    // so jobs= defaults to 1 here (unlike the simulation sweeps).
+    const std::size_t jobs =
+        static_cast<std::size_t>(cfg.getInt("jobs", 1));
+    const std::string only = cfg.getString("bench", "");
+    const double minSeconds =
+        std::max(0.001, cfg.getDouble("min_time", 0.2));
+    const harness::SweepOptions opts =
+        harness::sweepOptionsFromConfig(cfg);
+
+    harness::printBanner("Microbenchmarks",
+                         "Host performance of the simulator's hot "
+                         "paths (not the modeled accelerator)");
+
+    std::vector<Micro> micros;
+    for (auto &m : buildMicros())
+        if (only.empty() || m.name == only ||
+            startsWith(m.name, only + "/"))
+            micros.push_back(std::move(m));
+
+    // Run through the fault-isolated harness: a micro-bench that
+    // throws becomes a FAILED row instead of killing the binary. The
+    // measured sec/op rides in MannaResult::secondsPerStep;
+    // fingerprints are name-derived so stats=/bench_json= tally jobs
+    // normally (journaling timings would be meaningless — don't pass
+    // journal= here).
+    std::vector<std::string> labels;
+    std::vector<std::uint64_t> fingerprints;
+    for (const Micro &m : micros) {
+        labels.push_back(m.name);
+        Fnv1a h;
+        h.bytes(m.name.data(), m.name.size());
+        fingerprints.push_back(h.value());
+    }
+
+    harness::SweepRunner runner(jobs);
+    const auto report = runner.runIsolated(
+        micros.size(),
+        [&micros, minSeconds](std::size_t i, const CancelToken &) {
+            harness::MannaResult r;
+            r.secondsPerStep =
+                secondsPerOp(micros[i].body, minSeconds);
+            return r;
+        },
+        labels, fingerprints, opts);
+
+    Table table({"Benchmark", "ns/op", "ops/s", "items/s"});
+    for (std::size_t i = 0; i < micros.size(); ++i) {
+        const auto &outcome = report.outcomes[i];
+        if (!outcome.ok) {
+            table.addRow({micros[i].name, "FAILED", "FAILED", "-"});
+            continue;
+        }
+        const double sec = outcome.value.secondsPerStep;
+        table.addRow(
+            {micros[i].name, strformat("%.0f", sec * 1e9),
+             strformat("%.0f", 1.0 / sec),
+             micros[i].itemsPerOp == 0
+                 ? "-"
+                 : formatSig(static_cast<double>(
+                                 micros[i].itemsPerOp) /
+                                 sec,
+                             3)});
+    }
+    harness::printTable(table);
+    harness::applySweepObservability(cfg, "micro_kernels", report);
+    return harness::finishSweep(report);
+}

@@ -7,9 +7,13 @@
  * state that cannot be shared.
  *
  * We evaluate GPU throughput (sequences/s) versus batch size for the
- * copy NTM, and contrast with a controller-only network of the same
- * controller shape (the RNN/MLP a conventional accelerator would
- * batch). Manna's unbatched throughput is shown for reference.
+ * selected NTM benchmark (bench=, default copy), and contrast with a
+ * controller-only network of the same controller shape (the RNN/MLP a
+ * conventional accelerator would batch). Manna's unbatched throughput
+ * is shown for reference, measured on the simulator through the sweep
+ * harness — so the usual knobs (jobs=, retries=/timeout=/journal=/
+ * resume=, progress=/stats=/bench_json=, shards=) all apply; a failed
+ * simulation renders as FAILED and makes the binary exit nonzero.
  */
 
 #include <cstdio>
@@ -18,7 +22,9 @@
 #include "common/strutil.hh"
 #include "common/table.hh"
 #include "harness/experiment.hh"
+#include "harness/observe.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 
 using namespace manna;
 
@@ -42,12 +48,17 @@ main(int argc, char **argv)
     const std::size_t steps = static_cast<std::size_t>(
         cfg.getInt("steps", static_cast<std::int64_t>(
                                 harness::defaultSteps())));
+    const std::size_t jobs =
+        static_cast<std::size_t>(cfg.getInt("jobs", 0));
+    const harness::SweepOptions opts =
+        harness::sweepOptionsFromConfig(cfg);
 
     harness::printBanner(
         "Section 1/3",
         "Why batching cannot rescue GPUs on MANNs (2080-Ti model)");
 
-    const auto &bench = workloads::benchmarkByName("copy");
+    const auto &bench = workloads::benchmarkByName(
+        cfg.getString("bench", "copy"));
     const mann::OpCounter mannCounter(bench.config);
 
     // Controller-only proxy: same network with a minimal external
@@ -82,10 +93,19 @@ main(int argc, char **argv)
     }
     harness::printTable(table);
 
-    const auto manna = harness::simulateManna(
-        bench, arch::MannaConfig::baseline16(), steps);
-    std::printf("\nManna (no batching): %.0f sequences/s per chip\n",
-                1.0 / manna.secondsPerStep);
+    // Manna's unbatched reference point, on the simulator through the
+    // fault-isolated sweep harness (one job, but with the full
+    // retry/journal/shard machinery).
+    const std::vector<harness::SweepJob> sweep{
+        {bench, arch::MannaConfig::baseline16(), steps, /*seed=*/1}};
+    harness::SweepRunner runner(jobs);
+    const auto report = runner.runChecked(sweep, opts);
+    if (report.outcomes[0].ok)
+        std::printf("\nManna (no batching): %.0f sequences/s per "
+                    "chip\n",
+                    1.0 / report.outcomes[0].value.secondsPerStep);
+    else
+        std::printf("\nManna (no batching): FAILED\n");
 
     const auto m64 = gpu.stepCostBatched(mannCounter, 64);
     const auto c64 = gpu.stepCostBatched(ctrlCounter, 64);
@@ -99,5 +119,7 @@ main(int argc, char **argv)
         "input. Therefore, it cannot be shared across a batch, unlike "
         "the weights of an MLP or RNN\" — so accelerators that rely "
         "on batching to raise FLOPs/Byte are ineffective for MANNs.");
-    return 0;
+    harness::applySweepObservability(cfg, "sec1_batching_analysis",
+                                     report);
+    return harness::finishSweep(report);
 }

@@ -1,7 +1,16 @@
 /**
  * @file
  * Reproduces Table 2: the ten-benchmark suite with its memory shapes,
- * controller dimensions, and head counts.
+ * controller dimensions, and head counts — plus each benchmark's
+ * simulated cycles/step at the paper's 16-tile configuration.
+ *
+ * The simulated column runs through the fault-isolated sweep runner,
+ * so the usual knobs apply (steps= [default 1], jobs=, bench=
+ * single-benchmark filter, retries=/timeout=/journal=/resume=,
+ * progress=/stats=/bench_json=, shards=). Benchmarks whose memory has
+ * fewer rows than 16 tiles render "-" (the paper's 16-tile point
+ * cannot run them); failed simulation points render as FAILED cells
+ * and make the binary exit nonzero after the full table.
  */
 
 #include <cstdio>
@@ -9,6 +18,7 @@
 #include "common/config.hh"
 #include "common/strutil.hh"
 #include "common/table.hh"
+#include "harness/observe.hh"
 #include "harness/report.hh"
 #include "harness/sweep.hh"
 #include "workloads/benchmarks.hh"
@@ -19,37 +29,65 @@ int
 main(int argc, char **argv)
 {
     const Config cfg = Config::fromArgs(argc, argv);
+    const std::size_t steps =
+        static_cast<std::size_t>(cfg.getInt("steps", 1));
     const std::size_t jobs =
         static_cast<std::size_t>(cfg.getInt("jobs", 0));
+    const std::string only = cfg.getString("bench", "");
+    const harness::SweepOptions opts =
+        harness::sweepOptionsFromConfig(cfg);
 
     harness::printBanner("Table 2", "Summary of benchmarks");
 
-    Table table({"Benchmark", "Task", "Diff. Memory", "Controller",
-                 "Read Heads", "Write Heads", "Mem Footprint"});
-    const auto suite = workloads::table2Suite();
+    std::vector<workloads::Benchmark> suite;
+    for (const auto &b : workloads::table2Suite())
+        if (only.empty() || b.name == only)
+            suite.push_back(b);
 
-    // The rows are pure functions of the suite entries, so format
-    // them through the runner's ordered map: output is identical for
-    // any worker count.
+    // The measured column: one simulation per benchmark at the
+    // paper's evaluated 16-tile point, through the fault-isolated
+    // runner (submission order, so the table below is byte-identical
+    // for any worker count). Benchmarks smaller than 16 memory rows
+    // are skipped.
+    const arch::MannaConfig arch16 = arch::MannaConfig::baseline16();
+    std::vector<harness::SweepJob> sweep;
+    for (const auto &b : suite)
+        if (b.config.memN >= 16)
+            sweep.push_back({b, arch16, steps, /*seed=*/1});
+
     harness::SweepRunner runner(jobs);
-    const auto rows = runner.map(
-        suite.size(), [&suite](std::size_t i) {
-            const auto &b = suite[i];
-            return std::vector<std::string>{
-                b.name, toString(b.task),
-                strformat("%zux%zu", b.config.memN, b.config.memM),
-                strformat("%zux%zu", b.config.controllerLayers,
-                          b.config.controllerWidth),
-                strformat("%zu", b.config.numReadHeads),
-                strformat("%zu", b.config.numWriteHeads),
-                formatBytes(b.config.memoryBytes())};
-        });
-    for (const auto &row : rows)
-        table.addRow(std::vector<std::string>(row));
+    const auto report = runner.runChecked(sweep, opts);
+
+    Table table({"Benchmark", "Task", "Diff. Memory", "Controller",
+                 "Read Heads", "Write Heads", "Mem Footprint",
+                 "Cycles/step (16T)"});
+    std::size_t next = 0;
+    for (const auto &b : suite) {
+        std::string cycles = "-";
+        if (b.config.memN >= 16) {
+            const auto &outcome = report.outcomes[next++];
+            cycles = outcome.ok
+                         ? strformat("%.0f",
+                                     static_cast<double>(
+                                         outcome.value.report
+                                             .totalCycles) /
+                                         static_cast<double>(steps))
+                         : "FAILED";
+        }
+        table.addRow({b.name, toString(b.task),
+                      strformat("%zux%zu", b.config.memN,
+                                b.config.memM),
+                      strformat("%zux%zu", b.config.controllerLayers,
+                                b.config.controllerWidth),
+                      strformat("%zu", b.config.numReadHeads),
+                      strformat("%zu", b.config.numWriteHeads),
+                      formatBytes(b.config.memoryBytes()), cycles});
+    }
     harness::printTable(table);
     harness::printPaperReference(
         "Table 2 of the paper; shapes reproduced exactly. Input/output "
         "vector widths are not published and are chosen per task (see "
         "workloads/benchmarks.cc).");
-    return 0;
+    harness::applySweepObservability(cfg, "tab2_benchmarks", report);
+    return harness::finishSweep(report);
 }

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Smoke-test the distributed sweep sharding layer end to end on a real
+# bench binary (docs/DISTRIBUTED.md): run a tiny strong-scaling sweep
+# in-process, as a 1-shard coordinator, and as a 3-shard coordinator,
+# and require (a) byte-identical stdout across all three and (b) a
+# merged bench_json snapshot whose deterministic sections match the
+# in-process one exactly (tolerance 0).
+#
+# Usage: shard_smoke.sh <path-to-fig12_strong_scaling> [budget-seconds]
+set -euo pipefail
+
+BIN=${1:?usage: shard_smoke.sh <fig12_strong_scaling binary> [budget]}
+BUDGET=${2:-240}
+COMPARE=$(dirname "$0")/bench_compare.py
+
+OUTDIR=$(mktemp -d)
+trap 'rm -rf "$OUTDIR"' EXIT INT TERM
+
+run_budgeted() {
+    # timeout(1) when available; otherwise rely on the ctest TIMEOUT.
+    if command -v timeout >/dev/null 2>&1; then
+        timeout "$BUDGET" "$@"
+    else
+        "$@"
+    fi
+}
+
+ARGS=(bench=copy steps=1 jobs=1)
+
+run_budgeted "$BIN" "${ARGS[@]}" \
+    bench_json="$OUTDIR/plain.json" > "$OUTDIR/plain.txt"
+run_budgeted "$BIN" "${ARGS[@]}" shards=1 shard_dir="$OUTDIR/s1" \
+    bench_json="$OUTDIR/one.json" > "$OUTDIR/one.txt"
+run_budgeted "$BIN" "${ARGS[@]}" shards=3 shard_dir="$OUTDIR/s3" \
+    bench_json="$OUTDIR/three.json" > "$OUTDIR/three.txt"
+
+for sharded in one three; do
+    if ! cmp -s "$OUTDIR/plain.txt" "$OUTDIR/$sharded.txt"; then
+        echo "FAIL: $sharded-shard stdout differs from in-process" >&2
+        diff "$OUTDIR/plain.txt" "$OUTDIR/$sharded.txt" >&2 || true
+        exit 1
+    fi
+done
+
+# The merged coordinator snapshots must reproduce the in-process
+# counters bit-for-bit — no tolerance.
+python3 "$COMPARE" "$OUTDIR/plain.json" "$OUTDIR/one.json" --tol 0
+python3 "$COMPARE" "$OUTDIR/plain.json" "$OUTDIR/three.json" --tol 0
+
+echo "OK: sharded sweep output and merged snapshots match in-process"

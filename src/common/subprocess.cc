@@ -1,0 +1,160 @@
+#include "subprocess.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace manna
+{
+
+namespace
+{
+
+/** Open @p path for append in the child; returns -1 on "" (leave the
+ * stream alone) and on failure (stream stays shared, which at least
+ * preserves the output somewhere). */
+int
+openLog(const std::string &path)
+{
+    if (path.empty())
+        return -1;
+    return ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+}
+
+ProcessStatus
+decodeWait(pid_t reaped, int status)
+{
+    ProcessStatus out;
+    if (reaped == 0) {
+        out.running = true;
+        return out;
+    }
+    if (WIFEXITED(status)) {
+        out.exited = true;
+        out.exitCode = WEXITSTATUS(status);
+    } else if (WIFSIGNALED(status)) {
+        out.signaled = true;
+        out.signal = WTERMSIG(status);
+    }
+    return out;
+}
+
+} // namespace
+
+pid_t
+spawnProcess(const std::vector<std::string> &argv,
+             const std::string &stdoutPath,
+             const std::string &stderrPath)
+{
+    if (argv.empty()) {
+        warn("spawnProcess: empty argv");
+        return -1;
+    }
+    std::vector<char *> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string &a : argv)
+        cargv.push_back(const_cast<char *>(a.c_str()));
+    cargv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        warn("spawnProcess: fork failed (%s)", std::strerror(errno));
+        return -1;
+    }
+    if (pid == 0) {
+        // Child: redirect, then exec. Only async-signal-safe calls
+        // (plus open/dup2) between fork and exec.
+        const int outFd = openLog(stdoutPath);
+        if (outFd >= 0) {
+            ::dup2(outFd, STDOUT_FILENO);
+            ::close(outFd);
+        }
+        const int errFd = openLog(stderrPath);
+        if (errFd >= 0) {
+            ::dup2(errFd, STDERR_FILENO);
+            ::close(errFd);
+        }
+        ::execvp(cargv[0], cargv.data());
+        // exec failed: report on (possibly redirected) stderr and die
+        // with a distinctive code the coordinator treats as a crash.
+        ::dprintf(STDERR_FILENO, "exec %s failed: %s\n", cargv[0],
+                  std::strerror(errno));
+        ::_exit(127);
+    }
+    return pid;
+}
+
+ProcessStatus
+pollProcess(pid_t pid)
+{
+    int status = 0;
+    const pid_t r = ::waitpid(pid, &status, WNOHANG);
+    if (r < 0) {
+        warn("waitpid(%d) failed (%s)", static_cast<int>(pid),
+             std::strerror(errno));
+        ProcessStatus out;
+        out.exited = true;
+        out.exitCode = 127;
+        return out;
+    }
+    return decodeWait(r == pid ? pid : 0, status);
+}
+
+ProcessStatus
+waitProcess(pid_t pid)
+{
+    int status = 0;
+    const pid_t r = ::waitpid(pid, &status, 0);
+    if (r < 0) {
+        warn("waitpid(%d) failed (%s)", static_cast<int>(pid),
+             std::strerror(errno));
+        ProcessStatus out;
+        out.exited = true;
+        out.exitCode = 127;
+        return out;
+    }
+    return decodeWait(pid, status);
+}
+
+void
+killProcess(pid_t pid, int sig)
+{
+    if (pid <= 0)
+        return;
+    ::kill(pid, sig == 0 ? SIGKILL : sig);
+}
+
+std::string
+shellQuote(const std::string &s)
+{
+    std::string out = "'";
+    for (char c : s) {
+        if (c == '\'')
+            out += "'\\''";
+        else
+            out += c;
+    }
+    out += "'";
+    return out;
+}
+
+std::string
+shellJoin(const std::vector<std::string> &argv)
+{
+    std::string out;
+    for (std::size_t i = 0; i < argv.size(); ++i) {
+        if (i > 0)
+            out += ' ';
+        out += shellQuote(argv[i]);
+    }
+    return out;
+}
+
+} // namespace manna

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Minimal process-spawning utilities for the distributed sweep
+ * harness (see docs/DISTRIBUTED.md). A shard coordinator fork/execs
+ * worker copies of its own binary with stdout/stderr redirected to
+ * per-worker log files, polls them without blocking so it can enforce
+ * wall-clock budgets, and reaps their exit status to tell a clean
+ * exit from a crash.
+ *
+ * POSIX only (fork/execvp/waitpid), matching the repo's existing use
+ * of fsync(); no shell is involved unless the caller explicitly
+ * spawns one (the multi-machine spawn template does).
+ */
+
+#ifndef MANNA_COMMON_SUBPROCESS_HH
+#define MANNA_COMMON_SUBPROCESS_HH
+
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace manna
+{
+
+/** Resolution of a child process, from waitpid(). */
+struct ProcessStatus
+{
+    bool running = false;  ///< still alive (poll only)
+    bool exited = false;   ///< terminated via exit()
+    int exitCode = 0;      ///< meaningful iff exited
+    bool signaled = false; ///< terminated by a signal (crash/kill)
+    int signal = 0;        ///< meaningful iff signaled
+
+    /** A process that exited with an expected code; anything else
+     * (signal death, abnormal exit) counts as a crash. */
+    bool
+    cleanExit(int maxOkCode = 1) const
+    {
+        return exited && exitCode >= 0 && exitCode <= maxOkCode;
+    }
+};
+
+/**
+ * fork/exec @p argv (argv[0] is the binary; PATH is searched) with
+ * stdout/stderr appended to the given files ("" leaves the stream
+ * shared with the parent). Returns the child pid, or -1 with a
+ * warn() on failure. The child inherits the parent's environment.
+ */
+pid_t spawnProcess(const std::vector<std::string> &argv,
+                   const std::string &stdoutPath = "",
+                   const std::string &stderrPath = "");
+
+/** Non-blocking status poll; running=true while the child lives.
+ * Each child must be polled/waited exactly until it is reaped. */
+ProcessStatus pollProcess(pid_t pid);
+
+/** Blocking wait for a child to terminate. */
+ProcessStatus waitProcess(pid_t pid);
+
+/** Send @p sig (default SIGKILL) to a child; no-op on pid <= 0. */
+void killProcess(pid_t pid, int sig = 0 /* 0 = SIGKILL */);
+
+/** Quote a string for safe interpolation into a POSIX shell command
+ * (single-quote wrapping with embedded-quote escaping). */
+std::string shellQuote(const std::string &s);
+
+/** shellQuote() and join @p argv with spaces: the {cmd} substitution
+ * of the multi-machine spawn template. */
+std::string shellJoin(const std::vector<std::string> &argv);
+
+} // namespace manna
+
+#endif // MANNA_COMMON_SUBPROCESS_HH

@@ -1,6 +1,7 @@
 #include "compile_cache.hh"
 
 #include <future>
+#include <list>
 #include <mutex>
 #include <unordered_map>
 
@@ -31,16 +32,51 @@ struct CacheKeyHash
     }
 };
 
+struct CacheEntry
+{
+    std::shared_future<std::shared_ptr<const CompiledModel>> future;
+    /** Position in Cache::lru; only ready (resolved) entries are
+     * linked there — an entry still compiling is pinned. */
+    std::list<CacheKey>::iterator lruPos;
+    bool ready = false;
+};
+
 struct Cache
 {
     std::mutex mu;
-    std::unordered_map<CacheKey,
-                       std::shared_future<
-                           std::shared_ptr<const CompiledModel>>,
-                       CacheKeyHash>
-        entries;
+    std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> entries;
+    /** Ready entries, most-recently-used first. */
+    std::list<CacheKey> lru;
+    std::size_t capacity = 0; ///< 0 = unbounded
     std::size_t hits = 0;
     std::size_t misses = 0;
+    std::size_t evictions = 0;
+
+    /** Evict LRU ready entries until within capacity. mu held. */
+    void
+    enforceCapacity()
+    {
+        if (capacity == 0)
+            return;
+        while (entries.size() > capacity && !lru.empty()) {
+            const CacheKey victim = lru.back();
+            lru.pop_back();
+            entries.erase(victim);
+            ++evictions;
+        }
+    }
+
+    /** Move a ready entry to the MRU end (or link it for the first
+     * time once its compile resolved). mu held. */
+    void
+    touch(const CacheKey &key, CacheEntry &entry)
+    {
+        if (entry.ready)
+            lru.erase(entry.lruPos);
+        lru.push_front(key);
+        entry.lruPos = lru.begin();
+        entry.ready = true;
+    }
 };
 
 Cache &
@@ -66,12 +102,16 @@ compileCached(const mann::MannConfig &mann, const arch::MannaConfig &arch)
         auto it = c.entries.find(key);
         if (it != c.entries.end()) {
             ++c.hits;
-            future = it->second;
+            if (it->second.ready)
+                c.touch(key, it->second);
+            future = it->second.future;
         } else {
             ++c.misses;
             owner = true;
             future = promise.get_future().share();
-            c.entries.emplace(key, future);
+            CacheEntry entry;
+            entry.future = future;
+            c.entries.emplace(key, std::move(entry));
         }
     }
 
@@ -85,6 +125,12 @@ compileCached(const mann::MannConfig &mann, const arch::MannaConfig &arch)
         try {
             promise.set_value(std::make_shared<const CompiledModel>(
                 compile(mann, arch)));
+            std::lock_guard<std::mutex> lock(c.mu);
+            if (auto it = c.entries.find(key);
+                it != c.entries.end()) {
+                c.touch(key, it->second);
+                c.enforceCapacity();
+            }
         } catch (...) {
             promise.set_exception(std::current_exception());
             std::lock_guard<std::mutex> lock(c.mu);
@@ -118,14 +164,41 @@ compileCacheMisses()
     return c.misses;
 }
 
+std::size_t
+compileCacheEvictions()
+{
+    Cache &c = cache();
+    std::lock_guard<std::mutex> lock(c.mu);
+    return c.evictions;
+}
+
+void
+setCompileCacheCapacity(std::size_t entries)
+{
+    Cache &c = cache();
+    std::lock_guard<std::mutex> lock(c.mu);
+    c.capacity = entries;
+    c.enforceCapacity();
+}
+
+std::size_t
+compileCacheCapacity()
+{
+    Cache &c = cache();
+    std::lock_guard<std::mutex> lock(c.mu);
+    return c.capacity;
+}
+
 void
 clearCompileCache()
 {
     Cache &c = cache();
     std::lock_guard<std::mutex> lock(c.mu);
     c.entries.clear();
+    c.lru.clear();
     c.hits = 0;
     c.misses = 0;
+    c.evictions = 0;
 }
 
 } // namespace manna::compiler

@@ -10,6 +10,13 @@
  *
  * Concurrent misses on the same key compile once: the first caller
  * publishes a future the rest wait on.
+ *
+ * The cache may be bounded (setCompileCacheCapacity(), wired to the
+ * cache_entries= knob / MANNA_CACHE_ENTRIES): past the cap, the
+ * least-recently-used *ready* entry is evicted — an entry still being
+ * compiled is never dropped, so in-flight waiters are unaffected.
+ * Evicted models referenced by callers stay alive through their
+ * shared_ptrs; only the cache's own reference goes away.
  */
 
 #ifndef MANNA_COMPILER_COMPILE_CACHE_HH
@@ -35,12 +42,23 @@ compileCached(const mann::MannConfig &mann,
 /** Number of distinct models currently cached. */
 std::size_t compileCacheSize();
 
-/** Cache hits / misses since process start (or the last reset). */
+/** Cache hits / misses / LRU evictions since process start (or the
+ * last reset). */
 std::size_t compileCacheHits();
 std::size_t compileCacheMisses();
+std::size_t compileCacheEvictions();
 
-/** Drop every cached model and zero the hit/miss counters. Models
- * still referenced by callers stay alive through their shared_ptrs. */
+/** Bound the cache to @p entries models (0 = unbounded, the
+ * default). Shrinking below the current size evicts in LRU order
+ * immediately. */
+void setCompileCacheCapacity(std::size_t entries);
+
+/** Currently configured capacity (0 = unbounded). */
+std::size_t compileCacheCapacity();
+
+/** Drop every cached model and zero the hit/miss/eviction counters
+ * (capacity is kept). Models still referenced by callers stay alive
+ * through their shared_ptrs. */
 void clearCompileCache();
 
 } // namespace manna::compiler

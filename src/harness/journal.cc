@@ -283,4 +283,26 @@ loadJournal(const std::string &path)
     return out;
 }
 
+std::map<std::uint64_t, MannaResult>
+loadJournals(const std::vector<std::string> &paths)
+{
+    std::map<std::uint64_t, MannaResult> out;
+    for (const std::string &path : paths)
+        for (auto &[fp, result] : loadJournal(path))
+            out.insert_or_assign(fp, std::move(result));
+    return out;
+}
+
+std::vector<std::string>
+splitJournalList(const std::string &list)
+{
+    std::vector<std::string> out;
+    for (const std::string &part : split(list, ',')) {
+        const std::string p = trim(part);
+        if (!p.empty())
+            out.push_back(p);
+    }
+    return out;
+}
+
 } // namespace manna::harness

@@ -32,6 +32,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "harness/experiment.hh"
 
@@ -87,6 +88,19 @@ class SweepJournal
  */
 std::map<std::uint64_t, MannaResult>
 loadJournal(const std::string &path);
+
+/**
+ * Load and merge several journals (later files win on duplicate
+ * fingerprints). The distributed sweep harness uses this to seed a
+ * coordinator or worker from any mix of partial per-shard journals —
+ * see docs/DISTRIBUTED.md.
+ */
+std::map<std::uint64_t, MannaResult>
+loadJournals(const std::vector<std::string> &paths);
+
+/** Split a comma-separated journal-path list (the `resume=` knob
+ * accepts one); empty segments are dropped. */
+std::vector<std::string> splitJournalList(const std::string &list);
 
 } // namespace manna::harness
 

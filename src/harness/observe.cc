@@ -277,16 +277,23 @@ std::string
 renderBenchJson(const std::string &benchName,
                 const SweepReport &report)
 {
+    // Jobs belonging to another shard of a distributed run are not
+    // this report's jobs: excluding them makes one worker's snapshot
+    // cover exactly its shard, so N per-worker snapshots sum to the
+    // single-process totals (scripts/bench_compare.py merges them).
     std::size_t ok = 0, failed = 0;
-    for (const JobOutcome &o : report.outcomes)
+    for (const JobOutcome &o : report.outcomes) {
+        if (o.skipped)
+            continue;
         (o.ok ? ok : failed) += 1;
+    }
     std::string out = "{\n";
     out += "  \"schema\": \"manna-bench-v1\",\n";
     out += strformat("  \"name\": \"%s\",\n",
                      jsonEscape(benchName).c_str());
     out += strformat("  \"jobs\": {\"total\": %zu, \"ok\": %zu, "
                      "\"failed\": %zu},\n",
-                     report.outcomes.size(), ok, failed);
+                     ok + failed, ok, failed);
     out += "  \"counters\": " + report.aggregateStats().toJson(4) +
            ",\n";
     // Informational only: bench_compare.py ignores this section.

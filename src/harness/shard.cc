@@ -1,0 +1,877 @@
+#include "shard.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "common/subprocess.hh"
+#include "harness/journal.hh"
+#include "harness/sweep.hh"
+
+namespace manna::harness
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** Knobs the coordinator owns; they are stripped from the user's
+ * arguments before those are re-serialized into a worker command
+ * line (the coordinator re-appends its own values per worker). */
+const char *const kControlKeys[] = {
+    "shards",      "shard",        "shard_dir",   "shard_spawn",
+    "shard_attempts", "shard_timeout", "shard_salt", "shard_exclude",
+    "journal",     "resume",       "stats",       "bench_json",
+    "trace",       "profile",      "dump_stats",  "progress",
+};
+
+bool
+isControlKey(const std::string &key)
+{
+    for (const char *k : kControlKeys)
+        if (key == k)
+            return true;
+    return false;
+}
+
+/** Failure-sidecar escaping: messages are stored one record per
+ * line, so embedded newlines (and the escape char) must round-trip
+ * exactly for the merged failureSummary() to stay byte-identical. */
+std::string
+escapeMessage(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+std::string
+unescapeMessage(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] == '\\' && i + 1 < s.size()) {
+            ++i;
+            out += s[i] == 'n' ? '\n' : s[i];
+        } else {
+            out += s[i];
+        }
+    }
+    return out;
+}
+
+/** One failed-outcome record the coordinator merges: terminal job
+ * failures (the worker already spent its retry budget on them). */
+struct FailureRecord
+{
+    ErrorKind kind = ErrorKind::Sim;
+    std::string message;
+    std::size_t attempts = 1;
+};
+
+std::string
+failurePath(const std::string &journalPath)
+{
+    return journalPath + ".failures";
+}
+
+void
+appendFailures(const std::string &path, const SweepReport &report,
+               const std::vector<std::uint64_t> &fingerprints)
+{
+    std::ofstream f(path, std::ios::out | std::ios::app);
+    if (!f) {
+        warn("cannot write shard failure sidecar '%s'", path.c_str());
+        return;
+    }
+    for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
+        const JobOutcome &o = report.outcomes[i];
+        if (o.ok || o.skipped)
+            continue;
+        f << strformat("%016llx %zu %d ",
+                       static_cast<unsigned long long>(
+                           fingerprints[i]),
+                       o.attempts, static_cast<int>(o.error.kind))
+          << escapeMessage(o.error.message) << "\n";
+    }
+}
+
+std::map<std::uint64_t, FailureRecord>
+loadFailures(const std::string &path)
+{
+    std::map<std::uint64_t, FailureRecord> out;
+    std::ifstream in(path);
+    if (!in)
+        return out;
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::string t = trim(line);
+        if (t.empty())
+            continue;
+        // "<fp-hex> <attempts> <kind> <escaped message...>"
+        unsigned long long fp = 0, attempts = 0;
+        int kind = 0, consumed = 0;
+        if (std::sscanf(t.c_str(), "%llx %llu %d %n", &fp, &attempts,
+                        &kind, &consumed) != 3)
+            continue; // torn write: job counts as lost instead
+        if (kind < 0 || kind > static_cast<int>(ErrorKind::Sim))
+            continue;
+        FailureRecord rec;
+        rec.kind = static_cast<ErrorKind>(kind);
+        rec.attempts = static_cast<std::size_t>(attempts);
+        rec.message = unescapeMessage(
+            std::string_view(t).substr(
+                static_cast<std::size_t>(consumed)));
+        out.insert_or_assign(fp, std::move(rec));
+    }
+    return out;
+}
+
+/**
+ * Crash-injection hook for tests (see tests/test_shard.cc and the
+ * failure matrix in docs/DISTRIBUTED.md):
+ * MANNA_SHARD_TEST_CRASH="<worker-index>:<salt>:<after-n-jobs>" makes
+ * the matching worker _Exit(137) after journaling n of its jobs —
+ * a deterministic stand-in for a mid-sweep kill -9 / OOM kill. A
+ * salt of '*' matches every re-dispatch round.
+ */
+struct CrashHook
+{
+    bool armed = false;
+    std::size_t workerIndex = 0;
+    bool anySalt = false;
+    std::uint64_t salt = 0;
+    std::size_t afterJobs = 0;
+};
+
+CrashHook
+crashHookFromEnv(const ShardOptions &shard)
+{
+    CrashHook hook;
+    const char *env = std::getenv("MANNA_SHARD_TEST_CRASH");
+    if (!env)
+        return hook;
+    const auto parts = split(env, ':');
+    if (parts.size() != 3) {
+        warn("ignoring malformed MANNA_SHARD_TEST_CRASH='%s'", env);
+        return hook;
+    }
+    const auto idx = parseInt(parts[0]);
+    const auto after = parseInt(parts[2]);
+    if (!idx || *idx < 0 || !after || *after < 0) {
+        warn("ignoring malformed MANNA_SHARD_TEST_CRASH='%s'", env);
+        return hook;
+    }
+    hook.workerIndex = static_cast<std::size_t>(*idx);
+    hook.afterJobs = static_cast<std::size_t>(*after);
+    if (parts[1] == "*") {
+        hook.anySalt = true;
+    } else {
+        const auto s = parseInt(parts[1]);
+        if (!s || *s < 0) {
+            warn("ignoring malformed MANNA_SHARD_TEST_CRASH='%s'",
+                 env);
+            return hook;
+        }
+        hook.salt = static_cast<std::uint64_t>(*s);
+    }
+    hook.armed = hook.workerIndex == shard.workerIndex &&
+                 (hook.anySalt || hook.salt == shard.salt);
+    return hook;
+}
+
+std::string
+hexFingerprint(std::uint64_t fp)
+{
+    return strformat("%016llx", static_cast<unsigned long long>(fp));
+}
+
+// ---------------------------------------------------------------------
+// Coordinator internals
+// ---------------------------------------------------------------------
+
+/** One worker process of the current dispatch round. */
+struct WorkerProc
+{
+    std::size_t index = 0;    ///< K of shard=K/N this round
+    pid_t pid = -1;
+    std::string journalPath;
+    std::string outPath;      ///< captured worker stdout
+    std::string logPath;      ///< captured worker stderr (progress)
+    std::size_t assigned = 0; ///< jobs owned this round
+    ProcessStatus status;
+    bool reaped = false;
+    Clock::time_point start;
+};
+
+/** Scratch directory for shard journals/logs: shard_dir= if given,
+ * else one mkdtemp() directory per coordinator process (kept after
+ * the run so journals stay available for resume= and debugging). */
+std::string
+scratchDir(const ShardOptions &shard)
+{
+    if (!shard.dir.empty()) {
+        ::mkdir(shard.dir.c_str(), 0755); // ok if it already exists
+        return shard.dir;
+    }
+    static std::string created = [] {
+        const char *tmp = std::getenv("TMPDIR");
+        std::string templ = std::string(tmp && *tmp ? tmp : "/tmp") +
+                            "/manna-shard-XXXXXX";
+        std::vector<char> buf(templ.begin(), templ.end());
+        buf.push_back('\0');
+        if (!::mkdtemp(buf.data())) {
+            warn("mkdtemp(%s) failed (%s); using .", templ.c_str(),
+                 std::strerror(errno));
+            return std::string(".");
+        }
+        return std::string(buf.data());
+    }();
+    return created;
+}
+
+/** Last "sweep: <done>/<total> jobs" progress line of a worker's
+ * stderr log, as a done-count; nullopt when none was written yet. */
+std::optional<std::size_t>
+lastProgressCount(const std::string &logPath)
+{
+    std::ifstream in(logPath);
+    if (!in)
+        return std::nullopt;
+    std::optional<std::size_t> done;
+    std::string line;
+    while (std::getline(in, line)) {
+        unsigned long long d = 0, t = 0;
+        if (std::sscanf(line.c_str(), "sweep: %llu/%llu jobs", &d,
+                        &t) == 2)
+            done = static_cast<std::size_t>(d);
+    }
+    return done;
+}
+
+/** Journal records present in a file (cheap line count; torn lines
+ * overcount by at most one, which a progress display tolerates). */
+std::size_t
+journalLineCount(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return 0;
+    std::size_t n = 0;
+    std::string line;
+    while (std::getline(in, line))
+        if (!trim(line).empty())
+            ++n;
+    return n;
+}
+
+/**
+ * Coordinator-side progress dashboard: aggregates the workers' own
+ * ProgressReporter lines (parsed from their captured stderr, falling
+ * back to shard-journal record counts) into one stderr line per
+ * interval. stderr only, like the in-process reporter, so the stdout
+ * byte-identity contract is untouched.
+ */
+class ShardProgress
+{
+  public:
+    ShardProgress(double intervalSeconds, std::size_t totalJobs)
+        : interval_(intervalSeconds), total_(totalJobs)
+    {
+        if (interval_ > 0.0 && total_ > 0)
+            thread_ = std::thread([this] { loop(); });
+    }
+
+    ~ShardProgress()
+    {
+        if (!thread_.joinable())
+            return;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stop_ = true;
+        }
+        wake_.notify_all();
+        thread_.join();
+        emit();
+    }
+
+    /** Swap in the current round's workers. */
+    void
+    setRound(std::size_t round, std::size_t alreadyDone,
+             std::vector<WorkerProc> *workers)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        round_ = round;
+        done_ = alreadyDone;
+        workers_ = workers;
+    }
+
+  private:
+    void
+    loop()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        while (!stop_) {
+            wake_.wait_for(lock,
+                           std::chrono::duration<double>(interval_));
+            if (stop_)
+                break;
+            emit();
+        }
+    }
+
+    void
+    emit()
+    {
+        // Called with mu_ held from loop(); the destructor call
+        // happens after the thread joined, so this is single-threaded
+        // by construction there.
+        std::string perWorker;
+        std::size_t roundDone = 0;
+        if (workers_) {
+            for (const WorkerProc &w : *workers_) {
+                const std::size_t done =
+                    lastProgressCount(w.logPath)
+                        .value_or(journalLineCount(w.journalPath));
+                roundDone += std::min(done, w.assigned);
+                if (!perWorker.empty())
+                    perWorker += ", ";
+                perWorker += strformat("w%zu %zu/%zu", w.index,
+                                       std::min(done, w.assigned),
+                                       w.assigned);
+            }
+        }
+        std::fprintf(stderr,
+                     "shards: %zu/%zu jobs  round %zu  [%s]\n",
+                     done_ + roundDone, total_, round_,
+                     perWorker.c_str());
+        std::fflush(stderr);
+    }
+
+    const double interval_;
+    const std::size_t total_;
+    std::thread thread_;
+    std::mutex mu_;
+    std::condition_variable wake_;
+    bool stop_ = false;
+    std::size_t round_ = 0;
+    std::size_t done_ = 0;
+    std::vector<WorkerProc> *workers_ = nullptr;
+};
+
+/** Build one worker's full command line for this round. */
+std::vector<std::string>
+workerCommand(const ShardOptions &shard, std::size_t index,
+              std::size_t count, std::size_t round,
+              const std::string &journalPath,
+              const std::vector<std::string> &resumePaths,
+              const std::set<std::uint64_t> &poisoned,
+              double progressSeconds)
+{
+    std::vector<std::string> argv = shard.workerArgv;
+    argv.push_back(strformat("shard=%zu/%zu", index, count));
+    argv.push_back(strformat("shard_salt=%zu", round));
+    argv.push_back("journal=" + journalPath);
+    if (!resumePaths.empty()) {
+        std::string resume = "resume=";
+        for (std::size_t i = 0; i < resumePaths.size(); ++i) {
+            if (i > 0)
+                resume += ',';
+            resume += resumePaths[i];
+        }
+        argv.push_back(resume);
+    }
+    if (!poisoned.empty()) {
+        std::string excl = "shard_exclude=";
+        bool first = true;
+        for (std::uint64_t fp : poisoned) {
+            if (!first)
+                excl += ',';
+            first = false;
+            excl += hexFingerprint(fp);
+        }
+        argv.push_back(excl);
+    }
+    if (progressSeconds > 0.0)
+        argv.push_back(strformat("progress=%g", progressSeconds));
+
+    if (shard.spawnTemplate.empty() && shard.hosts.empty())
+        return argv; // local fork/exec, no shell
+
+    // Multi-machine (or custom-spawn) path: substitute the template
+    // and hand it to a shell.
+    const std::string host = index < shard.hosts.size()
+                                 ? shard.hosts[index]
+                                 : "localhost";
+    std::string tmpl = shard.spawnTemplate.empty()
+                           ? "ssh {host} {cmd}"
+                           : shard.spawnTemplate;
+    const std::string cmd = shellJoin(argv);
+    std::string out;
+    for (std::size_t i = 0; i < tmpl.size();) {
+        if (tmpl.compare(i, 6, "{host}") == 0) {
+            out += host;
+            i += 6;
+        } else if (tmpl.compare(i, 5, "{cmd}") == 0) {
+            out += cmd;
+            i += 5;
+        } else {
+            out += tmpl[i++];
+        }
+    }
+    return {"/bin/sh", "-c", out};
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Knob parsing
+// ---------------------------------------------------------------------
+
+std::string
+defaultShardSpec()
+{
+    if (const char *env = std::getenv("MANNA_SHARDS"))
+        return env;
+    return "";
+}
+
+std::size_t
+shardOf(std::uint64_t fp, std::size_t count, std::uint64_t salt)
+{
+    MANNA_ASSERT(count > 0, "shardOf needs a positive worker count");
+    // splitmix64-style finalizer over (fingerprint, round salt).
+    std::uint64_t x = fp + 0x9e3779b97f4a7c15ull * (salt + 1);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x % count);
+}
+
+ShardOptions
+shardOptionsFromConfig(const Config &cfg)
+{
+    ShardOptions opts;
+
+    // Worker mode first: a present shard=K/N wins over everything
+    // (and over MANNA_SHARDS, so spawned workers never recurse).
+    const std::string shardKV = cfg.getString("shard", "");
+    if (!shardKV.empty()) {
+        const auto parts = split(shardKV, '/');
+        const auto k = parts.size() == 2
+                           ? parseInt(parts[0])
+                           : std::nullopt;
+        const auto n = parts.size() == 2
+                           ? parseInt(parts[1])
+                           : std::nullopt;
+        if (!k || !n || *k < 0 || *n <= 0 || *k >= *n)
+            fatal("invalid shard='%s' (expected K/N with 0 <= K < N)",
+                  shardKV.c_str());
+        opts.worker = true;
+        opts.workerIndex = static_cast<std::size_t>(*k);
+        opts.workerCount = static_cast<std::size_t>(*n);
+        opts.salt = static_cast<std::uint64_t>(std::max<std::int64_t>(
+            0, cfg.getInt("shard_salt", 0)));
+        for (const std::string &tok :
+             split(cfg.getString("shard_exclude", ""), ',')) {
+            const std::string t = trim(tok);
+            if (t.empty())
+                continue;
+            errno = 0;
+            char *end = nullptr;
+            const std::uint64_t fp =
+                std::strtoull(t.c_str(), &end, 16);
+            if (errno != 0 || end == t.c_str() || *end != '\0')
+                fatal("invalid shard_exclude fingerprint '%s'",
+                      t.c_str());
+            opts.exclude.push_back(fp);
+        }
+        return opts;
+    }
+
+    const std::string spec =
+        cfg.getString("shards", defaultShardSpec());
+    if (!spec.empty()) {
+        if (const auto n = parseInt(spec)) {
+            if (*n < 0)
+                fatal("invalid shards='%s'", spec.c_str());
+            opts.shards = static_cast<std::size_t>(*n);
+        } else {
+            for (const std::string &h : split(spec, ',')) {
+                const std::string host = trim(h);
+                if (!host.empty())
+                    opts.hosts.push_back(host);
+            }
+            if (opts.hosts.empty())
+                fatal("invalid shards='%s' (count or host list)",
+                      spec.c_str());
+            opts.shards = opts.hosts.size();
+        }
+    }
+
+    opts.spawnTemplate = cfg.getString(
+        "shard_spawn",
+        std::getenv("MANNA_SHARD_SPAWN")
+            ? std::getenv("MANNA_SHARD_SPAWN")
+            : "");
+    opts.dir = cfg.getString("shard_dir", "");
+    opts.maxDispatches = static_cast<std::size_t>(
+        std::max<std::int64_t>(
+            1, cfg.getInt("shard_attempts",
+                          static_cast<std::int64_t>(
+                              opts.maxDispatches))));
+    opts.workerTimeoutSeconds = std::max(
+        0.0, cfg.getDouble("shard_timeout",
+                           opts.workerTimeoutSeconds));
+
+    // Worker command line: this binary plus every user knob that is
+    // not a coordinator control key. The map is sorted, so the
+    // serialization is deterministic.
+    if (opts.isCoordinator() && !cfg.exePath().empty()) {
+        opts.workerArgv.push_back(cfg.exePath());
+        for (const auto &[key, value] : cfg.entries())
+            if (!isControlKey(key))
+                opts.workerArgv.push_back(key + "=" + value);
+    }
+    return opts;
+}
+
+// ---------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------
+
+SweepReport
+runShardWorker(SweepRunner &runner, const std::vector<SweepJob> &jobs,
+               const SweepOptions &opts)
+{
+    const ShardOptions &shard = opts.shard;
+    MANNA_ASSERT(shard.isWorker(), "not in shard worker mode");
+
+    const std::set<std::uint64_t> excluded(shard.exclude.begin(),
+                                           shard.exclude.end());
+    std::vector<SweepJob> owned;
+    std::vector<std::size_t> ownedIndex; // position in the full list
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const std::uint64_t fp = jobs[i].fingerprint();
+        if (excluded.count(fp))
+            continue;
+        if (shardOf(fp, shard.workerCount, shard.salt) ==
+            shard.workerIndex) {
+            owned.push_back(jobs[i]);
+            ownedIndex.push_back(i);
+        }
+    }
+
+    const CrashHook hook = crashHookFromEnv(shard);
+    if (hook.armed && hook.afterJobs < owned.size()) {
+        // Deterministic stand-in for a mid-sweep worker kill: run
+        // (and journal) the first n owned jobs, then die without
+        // unwinding, exactly like SIGKILL would.
+        std::vector<SweepJob> partial(owned.begin(),
+                                      owned.begin() +
+                                          static_cast<std::ptrdiff_t>(
+                                              hook.afterJobs));
+        SweepOptions sub = opts;
+        sub.shard = ShardOptions{};
+        sub.statsPath.clear();
+        sub.progressSeconds = 0.0;
+        runner.runChecked(partial, sub);
+        std::_Exit(137);
+    }
+
+    SweepOptions sub = opts;
+    sub.shard = ShardOptions{}; // plain fault-isolated run
+    sub.statsPath.clear();      // the coordinator writes merged stats
+    SweepReport subReport = runner.runChecked(owned, sub);
+
+    // Terminal failures ride the sidecar back to the coordinator so
+    // it can tell "job failed deterministically" from "worker died".
+    if (!opts.journalPath.empty()) {
+        std::vector<std::uint64_t> fps;
+        fps.reserve(owned.size());
+        for (const SweepJob &job : owned)
+            fps.push_back(job.fingerprint());
+        appendFailures(failurePath(opts.journalPath), subReport, fps);
+    }
+
+    // Inflate to a full-size submission-order report: jobs owned by
+    // other shards are marked skipped (not failures), so the calling
+    // bench renders its table and finishSweep() reflects only this
+    // worker's own jobs.
+    SweepReport report;
+    report.outcomes.resize(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        report.outcomes[i].skipped = true;
+        report.outcomes[i].error.kind = ErrorKind::Sim;
+        report.outcomes[i].error.message =
+            "job belongs to another shard";
+        report.outcomes[i].error.job = jobs[i].label();
+        report.outcomes[i].error.fingerprint = jobs[i].fingerprint();
+    }
+    for (std::size_t j = 0; j < ownedIndex.size(); ++j)
+        report.outcomes[ownedIndex[j]] =
+            std::move(subReport.outcomes[j]);
+    report.watchdogCancellations = subReport.watchdogCancellations;
+    report.wallSeconds = subReport.wallSeconds;
+    report.workers = subReport.workers;
+    return report;
+}
+
+// ---------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------
+
+SweepReport
+runShardCoordinator(const std::vector<SweepJob> &jobs,
+                    const SweepOptions &opts)
+{
+    const ShardOptions &shard = opts.shard;
+    MANNA_ASSERT(shard.isCoordinator(), "not in coordinator mode");
+    MANNA_ASSERT(!shard.workerArgv.empty(),
+                 "coordinator needs a worker command");
+
+    const auto sweepStart = Clock::now();
+    std::vector<std::uint64_t> fps;
+    fps.reserve(jobs.size());
+    for (const SweepJob &job : jobs)
+        fps.push_back(job.fingerprint());
+
+    // Seed from any mix of user-supplied journals (comma-separated
+    // resume=), exactly like the in-process resume path.
+    const std::vector<std::string> userResume =
+        splitJournalList(opts.resumeFrom);
+    std::map<std::uint64_t, MannaResult> done =
+        loadJournals(userResume);
+    std::set<std::uint64_t> restoredByUser;
+    for (std::uint64_t fp : fps)
+        if (done.count(fp))
+            restoredByUser.insert(fp);
+
+    std::map<std::uint64_t, FailureRecord> failed;
+    std::map<std::uint64_t, std::size_t> dispatches;
+    std::set<std::uint64_t> poisoned;
+    std::vector<std::string> shardJournals; // accumulated via rounds
+
+    auto pendingJobs = [&] {
+        std::vector<std::uint64_t> out;
+        for (std::uint64_t fp : fps)
+            if (!done.count(fp) && !failed.count(fp) &&
+                !poisoned.count(fp))
+                out.push_back(fp);
+        return out;
+    };
+
+    const std::string dir = scratchDir(shard);
+    debugLog("shard coordinator: scratch dir %s", dir.c_str());
+
+    ShardProgress progress(opts.progressSeconds, jobs.size());
+
+    std::size_t slots = std::max<std::size_t>(1, shard.shards);
+    std::size_t round = 0;
+    while (true) {
+        std::vector<std::uint64_t> pending = pendingJobs();
+        if (pending.empty())
+            break;
+
+        const std::size_t count =
+            std::max<std::size_t>(1,
+                                  std::min(slots, pending.size()));
+        std::vector<WorkerProc> workers(count);
+        std::vector<std::string> resumePaths = userResume;
+        resumePaths.insert(resumePaths.end(), shardJournals.begin(),
+                           shardJournals.end());
+
+        for (std::uint64_t fp : pending) {
+            ++dispatches[fp];
+            ++workers[shardOf(fp, count, round)].assigned;
+        }
+
+        for (std::size_t k = 0; k < count; ++k) {
+            WorkerProc &w = workers[k];
+            w.index = k;
+            const std::string base =
+                strformat("%s/r%zu-w%zu", dir.c_str(), round, k);
+            w.journalPath = base + ".journal";
+            w.outPath = base + ".out";
+            w.logPath = base + ".log";
+            if (w.assigned == 0) {
+                w.reaped = true; // nothing to do this round
+                w.status.exited = true;
+                continue;
+            }
+            const auto argv = workerCommand(
+                shard, k, count, round, w.journalPath, resumePaths,
+                poisoned, opts.progressSeconds);
+            w.start = Clock::now();
+            w.pid = spawnProcess(argv, w.outPath, w.logPath);
+            if (w.pid < 0) {
+                w.reaped = true; // spawn failure counts as a crash
+                w.status.signaled = true;
+                w.status.signal = 0;
+            }
+        }
+        progress.setRound(round, done.size() < jobs.size()
+                                     ? fps.size() - pending.size()
+                                     : jobs.size(),
+                          &workers);
+
+        // Reap, enforcing the optional per-worker wall-clock budget.
+        while (true) {
+            bool anyRunning = false;
+            for (WorkerProc &w : workers) {
+                if (w.reaped)
+                    continue;
+                w.status = pollProcess(w.pid);
+                if (w.status.running) {
+                    anyRunning = true;
+                    if (shard.workerTimeoutSeconds > 0.0 &&
+                        std::chrono::duration<double>(Clock::now() -
+                                                      w.start)
+                                .count() >
+                            shard.workerTimeoutSeconds) {
+                        warn("shard worker %zu exceeded "
+                             "shard_timeout=%gs; killing",
+                             w.index, shard.workerTimeoutSeconds);
+                        killProcess(w.pid);
+                        w.status = waitProcess(w.pid);
+                        w.reaped = true;
+                    }
+                } else {
+                    w.reaped = true;
+                }
+            }
+            if (!anyRunning)
+                break;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+        }
+        progress.setRound(round, 0, nullptr);
+
+        // Merge this round's journals and failure sidecars.
+        std::size_t survivors = 0;
+        for (const WorkerProc &w : workers) {
+            if (w.assigned == 0)
+                continue;
+            shardJournals.push_back(w.journalPath);
+            for (auto &[fp, result] : loadJournal(w.journalPath))
+                done.insert_or_assign(fp, std::move(result));
+            for (auto &[fp, rec] :
+                 loadFailures(failurePath(w.journalPath)))
+                failed.insert_or_assign(fp, std::move(rec));
+            if (w.status.cleanExit(1))
+                ++survivors;
+            else
+                warn("shard worker %zu of round %zu was lost (%s); "
+                     "re-dispatching its jobs",
+                     w.index, round,
+                     w.status.signaled
+                         ? strformat("signal %d", w.status.signal)
+                               .c_str()
+                         : strformat("exit code %d",
+                                     w.status.exitCode)
+                               .c_str());
+        }
+
+        // Poison jobs that were lost too many times: they are most
+        // likely what keeps crashing the workers.
+        for (std::uint64_t fp : pending) {
+            if (done.count(fp) || failed.count(fp))
+                continue;
+            if (dispatches[fp] >= shard.maxDispatches)
+                poisoned.insert(fp);
+        }
+
+        slots = std::max<std::size_t>(1, survivors);
+        ++round;
+    }
+
+    // Assemble the merged submission-order report. Journal records
+    // round-trip doubles as hexfloats, so every restored value is
+    // bit-identical to the worker's computation — the rendered
+    // output matches a single-process run byte for byte.
+    SweepReport report;
+    report.outcomes.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const std::uint64_t fp = fps[i];
+        JobOutcome out;
+        out.error.job = jobs[i].label();
+        out.error.fingerprint = fp;
+        if (const auto it = done.find(fp); it != done.end()) {
+            out.ok = true;
+            out.value = it->second;
+            out.fromJournal = true;
+            out.attempts = 0;
+            out.error = JobError{};
+        } else if (const auto fit = failed.find(fp);
+                   fit != failed.end()) {
+            out.error.kind = fit->second.kind;
+            out.error.message = fit->second.message;
+            out.attempts = fit->second.attempts;
+        } else {
+            out.error.kind = ErrorKind::Sim;
+            out.error.message = strformat(
+                "worker lost while running this job (poisoned "
+                "after %zu dispatches)",
+                dispatches[fp]);
+            out.attempts = dispatches[fp];
+        }
+        report.outcomes.push_back(std::move(out));
+    }
+    report.wallSeconds =
+        std::chrono::duration<double>(Clock::now() - sweepStart)
+            .count();
+    report.workers = std::max<std::size_t>(1, shard.shards);
+
+    // Honor the user's journal= knob: persist every merged result
+    // that did not come from their own resume files, so a later
+    // resume= of this journal skips the whole sweep.
+    if (!opts.journalPath.empty()) {
+        SweepJournal journal(opts.journalPath,
+                             opts.journalFsyncBatch);
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            if (report.outcomes[i].ok && !restoredByUser.count(fps[i]))
+                journal.append(fps[i], report.outcomes[i].value);
+        journal.sync();
+    }
+
+    if (!opts.statsPath.empty()) {
+        std::ofstream f(opts.statsPath,
+                        std::ios::out | std::ios::trunc);
+        if (!f)
+            warn("cannot write sweep stats to '%s'",
+                 opts.statsPath.c_str());
+        else
+            f << renderSweepStats(report);
+    }
+    return report;
+}
+
+} // namespace manna::harness

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Distributed sweep sharding: multi-process coordinator/worker
+ * execution on top of the SweepJob abstraction (see
+ * docs/DISTRIBUTED.md for the protocol and failure matrix).
+ *
+ * A bench binary invoked with `shards=N` becomes a *coordinator*: it
+ * partitions its sweep's job list into deterministic
+ * fingerprint-keyed shards, fork/execs N *worker* copies of the same
+ * binary (same user arguments, plus `shard=K/N` and a private
+ * `journal=` file), and merges the per-shard journals back into a
+ * SweepReport that is byte-identical to a single-process runChecked()
+ * run — journal records serialize every double as a hexfloat, so a
+ * merged result is bit-exact.
+ *
+ * The robustness machinery is reused end-to-end: workers apply the
+ * usual per-job retry/timeout knobs; the coordinator detects crashed
+ * or killed workers from their waitpid() status, re-dispatches the
+ * missing shard to the surviving workers in a fresh round (re-keyed
+ * with a round salt so the jobs spread over the new worker count),
+ * and after `shard_attempts=` lost dispatches marks a job *poisoned*
+ * — excluded from further rounds and reported as a failed outcome
+ * instead of crashing worker after worker. Resume works from any mix
+ * of partial shard journals via the (comma-separated) `resume=` knob.
+ *
+ * Multi-machine runs: `shards=hostA,hostB,...` spawns one worker per
+ * host through a spawn-command template (`shard_spawn=`, default
+ * "ssh {host} {cmd}"); {cmd} expands to the shell-quoted worker
+ * command line. Workers and coordinator must then share the shard
+ * scratch directory (`shard_dir=`) through a common filesystem.
+ */
+
+#ifndef MANNA_HARNESS_SHARD_HH
+#define MANNA_HARNESS_SHARD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace manna
+{
+class Config;
+}
+
+namespace manna::harness
+{
+
+struct SweepJob;
+struct SweepOptions;
+struct SweepReport;
+class SweepRunner;
+
+/** Shard count (or host list) to use when none is requested
+ * explicitly: the MANNA_SHARDS environment variable if set and
+ * valid, otherwise "" (sharding off). Same syntax as `shards=`. */
+std::string defaultShardSpec();
+
+/** Knobs of the distributed execution layer. */
+struct ShardOptions
+{
+    /** Worker processes to spawn; 0 disables sharding. */
+    std::size_t shards = 0;
+
+    /** Non-empty: one worker per host, spawned via the template. */
+    std::vector<std::string> hosts;
+
+    /** Spawn-command template for non-local workers. Substitutions:
+     * {host} (the worker's host, "localhost" when hosts is empty)
+     * and {cmd} (the shell-quoted worker command line). Runs via
+     * /bin/sh -c. Empty = direct local fork/exec. */
+    std::string spawnTemplate;
+
+    /** Scratch directory for per-shard journals and worker logs.
+     * "" = a mkdtemp() directory created per coordinator process.
+     * Multi-machine runs must point this at a shared filesystem. */
+    std::string dir;
+
+    /** Poison threshold M: a job whose worker was lost (crash, kill,
+     * worker timeout) on M dispatches is excluded from further
+     * rounds and reported as a failed outcome. */
+    std::size_t maxDispatches = 2;
+
+    /** Wall-clock budget per worker process per round; a worker past
+     * it is killed and its missing jobs re-dispatched. 0 disables. */
+    double workerTimeoutSeconds = 0.0;
+
+    // -- worker-mode fields (set via the internal shard=K/N knob) --
+    bool worker = false;          ///< this process is a shard worker
+    std::size_t workerIndex = 0;  ///< K of shard=K/N
+    std::size_t workerCount = 1;  ///< N of shard=K/N
+    std::uint64_t salt = 0;       ///< re-dispatch round (shard_salt=)
+    std::vector<std::uint64_t> exclude; ///< poisoned fingerprints
+
+    /**
+     * Full worker command line (binary + user key=value args, minus
+     * the coordinator's control knobs). Built from the Config by
+     * shardOptionsFromConfig(); tests may set it explicitly. The
+     * coordinator appends shard=/shard_salt=/journal=/resume=/... per
+     * worker. Empty disables the coordinator (with a warning).
+     */
+    std::vector<std::string> workerArgv;
+
+    bool isWorker() const { return worker; }
+    bool
+    isCoordinator() const
+    {
+        return !worker && (shards > 0 || !hosts.empty());
+    }
+};
+
+/**
+ * Deterministic shard assignment: which of @p count workers owns the
+ * job with fingerprint @p fp in dispatch round @p salt. Pure mixing
+ * of the (already well-mixed) FNV-1a fingerprint, so shards are
+ * near-balanced and a re-dispatch round (new salt, possibly fewer
+ * workers) spreads the remaining jobs over the survivors.
+ */
+std::size_t shardOf(std::uint64_t fp, std::size_t count,
+                    std::uint64_t salt);
+
+/**
+ * Parse the distribution knobs: shards= (count or host list, env
+ * fallback MANNA_SHARDS), shard_spawn= (MANNA_SHARD_SPAWN),
+ * shard_dir=, shard_attempts=, shard_timeout=, and the internal
+ * worker-mode knobs shard=K/N, shard_salt=, shard_exclude=. A
+ * present shard= always selects worker mode and makes shards=
+ * ignored, so a worker inheriting MANNA_SHARDS cannot recurse into
+ * another coordinator.
+ */
+ShardOptions shardOptionsFromConfig(const Config &cfg);
+
+/**
+ * Worker side: filter @p jobs down to the fingerprints this worker
+ * owns this round (own shard, not excluded), execute them through
+ * @p runner with the inherited robustness knobs, journal them into
+ * the coordinator-supplied journal=, and append any failed outcomes
+ * to the "<journal>.failures" sidecar the coordinator merges.
+ * Returns a full-size report in submission order: jobs owned by
+ * other shards come back with JobOutcome::skipped set (not counted
+ * as failures), so the calling bench renders and exits normally.
+ */
+SweepReport runShardWorker(SweepRunner &runner,
+                           const std::vector<SweepJob> &jobs,
+                           const SweepOptions &opts);
+
+/**
+ * Coordinator side: dispatch @p jobs across worker processes, merge
+ * the shard journals and failure sidecars, re-dispatch lost shards,
+ * and return the merged submission-order report (byte-identical to a
+ * single-process run). Never executes a job in-process.
+ */
+SweepReport runShardCoordinator(const std::vector<SweepJob> &jobs,
+                                const SweepOptions &opts);
+
+} // namespace manna::harness
+
+#endif // MANNA_HARNESS_SHARD_HH

@@ -77,6 +77,18 @@ defaultStatsPath()
     return "";
 }
 
+std::size_t
+defaultCacheEntries()
+{
+    if (const char *env = std::getenv("MANNA_CACHE_ENTRIES")) {
+        const auto v = parseInt(env);
+        if (v && *v >= 0)
+            return static_cast<std::size_t>(*v);
+        warn("ignoring invalid MANNA_CACHE_ENTRIES='%s'", env);
+    }
+    return 0;
+}
+
 // ---------------------------------------------------------------------
 // ThreadPool
 // ---------------------------------------------------------------------
@@ -213,9 +225,10 @@ JobError::describe() const
 std::size_t
 SweepReport::failures() const
 {
-    return static_cast<std::size_t>(
-        std::count_if(outcomes.begin(), outcomes.end(),
-                      [](const JobOutcome &o) { return !o.ok; }));
+    return static_cast<std::size_t>(std::count_if(
+        outcomes.begin(), outcomes.end(), [](const JobOutcome &o) {
+            return !o.ok && !o.skipped;
+        }));
 }
 
 StatRegistry
@@ -235,6 +248,8 @@ renderSweepStats(const SweepReport &report)
     std::size_t executed = 0;
     double wallSum = 0.0, wallMin = 0.0, wallMax = 0.0;
     for (const JobOutcome &o : report.outcomes) {
+        if (o.skipped)
+            continue; // another shard's job (docs/DISTRIBUTED.md)
         (o.ok ? ok : failed) += 1;
         if (o.fromJournal)
             ++restored;
@@ -249,8 +264,7 @@ renderSweepStats(const SweepReport &report)
     }
     const double jobsPerSecond =
         report.wallSeconds > 0.0
-            ? static_cast<double>(report.outcomes.size()) /
-                  report.wallSeconds
+            ? static_cast<double>(ok + failed) / report.wallSeconds
             : 0.0;
 
     std::string out = "{\n";
@@ -258,7 +272,7 @@ renderSweepStats(const SweepReport &report)
     out += strformat("  \"jobs\": {\"total\": %zu, \"ok\": %zu, "
                      "\"failed\": %zu, \"from_journal\": %zu, "
                      "\"attempts\": %zu, \"watchdog_cancelled\": %zu},\n",
-                     report.outcomes.size(), ok, failed, restored,
+                     ok + failed, ok, failed, restored,
                      attempts, report.watchdogCancellations);
     out += "  \"counters\": " + report.aggregateStats().toJson(4) +
            ",\n";
@@ -274,9 +288,11 @@ renderSweepStats(const SweepReport &report)
             .c_str(),
         jsonNumber(wallMin).c_str(), jsonNumber(wallMax).c_str());
     out += strformat("  \"process\": {\"compile_cache_hits\": %zu, "
-                     "\"compile_cache_misses\": %zu}\n",
+                     "\"compile_cache_misses\": %zu, "
+                     "\"compile_cache_evictions\": %zu}\n",
                      compiler::compileCacheHits(),
-                     compiler::compileCacheMisses());
+                     compiler::compileCacheMisses(),
+                     compiler::compileCacheEvictions());
     out += "}\n";
     return out;
 }
@@ -292,7 +308,7 @@ SweepReport::failureSummary() const
                   outcomes.size(), failed == 1 ? "" : "s");
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
         const JobOutcome &o = outcomes[i];
-        if (o.ok)
+        if (o.ok || o.skipped)
             continue;
         out += strformat("\n  #%zu %s (attempts=%zu)", i,
                          o.error.describe().c_str(), o.attempts);
@@ -317,11 +333,20 @@ sweepOptionsFromConfig(const Config &cfg)
     opts.resumeFrom = cfg.getString("resume", "");
     // resume= alone implies continuing to checkpoint into the same
     // journal, so a twice-interrupted sweep still resumes correctly.
-    if (opts.journalPath.empty() && !opts.resumeFrom.empty())
+    // A comma-separated resume list is read-only: there is no single
+    // "same file" to keep appending to.
+    if (opts.journalPath.empty() && !opts.resumeFrom.empty() &&
+        opts.resumeFrom.find(',') == std::string::npos)
         opts.journalPath = opts.resumeFrom;
     opts.progressSeconds = std::max(
         0.0, cfg.getDouble("progress", opts.progressSeconds));
     opts.statsPath = cfg.getString("stats", opts.statsPath);
+    opts.cacheEntries = static_cast<std::size_t>(
+        std::max<std::int64_t>(
+            0, cfg.getInt("cache_entries",
+                          static_cast<std::int64_t>(
+                              opts.cacheEntries))));
+    opts.shard = shardOptionsFromConfig(cfg);
     return opts;
 }
 
@@ -598,9 +623,11 @@ SweepRunner::runIsolated(std::size_t count, const IsolatedFn &fn,
         warn("sweep journal requested but jobs carry no fingerprints; "
              "running without checkpointing");
 
+    compiler::setCompileCacheCapacity(opts.cacheEntries);
+
     std::map<std::uint64_t, MannaResult> restored;
     if (journaling && !opts.resumeFrom.empty())
-        restored = loadJournal(opts.resumeFrom);
+        restored = loadJournals(splitJournalList(opts.resumeFrom));
 
     std::unique_ptr<SweepJournal> journal;
     if (journaling && !opts.journalPath.empty())
@@ -710,6 +737,19 @@ SweepReport
 SweepRunner::runChecked(const std::vector<SweepJob> &jobs,
                         const SweepOptions &opts)
 {
+    // Distributed execution (docs/DISTRIBUTED.md): a worker runs its
+    // shard of the jobs in-process; a coordinator never simulates,
+    // it dispatches worker processes and merges their journals.
+    if (opts.shard.isWorker())
+        return runShardWorker(*this, jobs, opts);
+    if (opts.shard.isCoordinator() && !jobs.empty()) {
+        if (opts.shard.workerArgv.empty())
+            warn("shards= requested but the worker command line is "
+                 "unknown; running in-process instead");
+        else
+            return runShardCoordinator(jobs, opts);
+    }
+
     std::vector<std::string> labels;
     std::vector<std::uint64_t> fingerprints;
     labels.reserve(jobs.size());

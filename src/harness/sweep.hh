@@ -46,6 +46,7 @@
 #include "common/error.hh"
 #include "common/stat_registry.hh"
 #include "harness/experiment.hh"
+#include "harness/shard.hh"
 
 namespace manna
 {
@@ -78,6 +79,10 @@ double defaultProgressSeconds();
 /** Sweep stats.json output path: the MANNA_STATS environment variable
  * if set, otherwise "" (stats output off). */
 std::string defaultStatsPath();
+
+/** Compile-cache capacity in entries: the MANNA_CACHE_ENTRIES
+ * environment variable if set and valid, otherwise 0 (unbounded). */
+std::size_t defaultCacheEntries();
 
 /**
  * Fixed-size thread pool with a FIFO work queue. submit() may be
@@ -176,6 +181,11 @@ struct JobOutcome
     double wallMs = 0.0;
     /** True when the result was restored from a resume journal. */
     bool fromJournal = false;
+    /** True when the job belongs to a different shard of a
+     * distributed run (see docs/DISTRIBUTED.md): this worker neither
+     * executed nor restored it. Skipped outcomes are not failures —
+     * failures()/failureSummary() ignore them. */
+    bool skipped = false;
 };
 
 /** Knobs of the fault-isolation layer. */
@@ -197,9 +207,12 @@ struct SweepOptions
     /** Append completed outcomes to this journal ("" disables). */
     std::string journalPath;
 
-    /** Skip jobs whose fingerprint already appears in this journal
-     * ("" disables). Typically the same file as journalPath so an
-     * interrupted sweep restarts where it left off. */
+    /** Skip jobs whose fingerprint already appears in one of these
+     * journals: a comma-separated path list, later files winning on
+     * duplicates ("" disables). Typically the same file as
+     * journalPath so an interrupted sweep restarts where it left
+     * off; a distributed run may list any mix of partial per-shard
+     * journals. */
     std::string resumeFrom;
 
     /** fsync the journal every this many records. */
@@ -216,6 +229,15 @@ struct SweepOptions
     /** Write the machine-readable sweep summary (stats.json) to this
      * path when the sweep completes ("" disables). */
     std::string statsPath = defaultStatsPath();
+
+    /** Cap the process-wide compile cache at this many entries
+     * (least-recently-used models are evicted past it). 0 leaves the
+     * cache unbounded. */
+    std::size_t cacheEntries = defaultCacheEntries();
+
+    /** Distributed multi-process execution (see docs/DISTRIBUTED.md);
+     * default-constructed = off, everything runs in-process. */
+    ShardOptions shard;
 };
 
 /** Submission-ordered outcomes of a fault-isolated sweep. */
@@ -252,9 +274,11 @@ struct SweepReport
     StatRegistry aggregateStats() const;
 };
 
-/** Parse the robustness + observability knobs every sweep-based
- * bench accepts: retries=, timeout=, journal=, resume=, progress=,
- * stats=. */
+/** Parse the robustness + observability + distribution knobs every
+ * sweep-based bench accepts: retries=, timeout=, journal=, resume=,
+ * progress=, stats=, cache_entries=, and the shard knobs (shards=,
+ * shard_dir=, shard_spawn=, shard_attempts=, shard_timeout=, plus
+ * the internal worker-mode shard=K/N family). */
 SweepOptions sweepOptionsFromConfig(const Config &cfg);
 
 /**

@@ -1,0 +1,410 @@
+/**
+ * @file
+ * Tier-1 tests for the distributed sweep sharding layer
+ * (src/harness/shard.*, docs/DISTRIBUTED.md).
+ *
+ * The binary is dual-mode: invoked with --shard-bench it becomes a
+ * tiny deterministic sweep bench (the worker binary the coordinator
+ * re-execs), otherwise it runs the gtest suite, spawning itself in
+ * bench mode to exercise the real multi-process paths:
+ *  - a sharded run's stdout and exit code are byte-identical to the
+ *    single-process run, for 1 and 3 shards;
+ *  - a worker killed mid-sweep (crash-injection hook) is detected and
+ *    its jobs re-dispatched to the survivors, still byte-identical;
+ *  - a coordinator seeds from any mix of partial per-shard journals
+ *    via the comma-separated resume= list;
+ *  - merged stats=/bench_json= deterministic sections are identical
+ *    between shard counts;
+ *  - a job that keeps killing its workers is poisoned after
+ *    shard_attempts= dispatches and reported as a failure instead of
+ *    hanging the coordinator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "arch/manna_config.hh"
+#include "common/config.hh"
+#include "common/strutil.hh"
+#include "common/subprocess.hh"
+#include "harness/observe.hh"
+#include "harness/shard.hh"
+#include "harness/sweep.hh"
+#include "workloads/benchmarks.hh"
+
+namespace manna::harness
+{
+namespace
+{
+
+/** The fixed mini-sweep both modes agree on: one tiny benchmark at
+ * two tile counts and three seeds (6 cheap jobs). */
+std::vector<SweepJob>
+benchJobs(std::size_t steps)
+{
+    std::vector<SweepJob> jobs;
+    const auto bench = workloads::tinyBenchmark();
+    for (std::size_t tiles : {4u, 8u})
+        for (std::uint64_t seed : {1u, 2u, 3u})
+            jobs.push_back({bench, arch::MannaConfig::withTiles(tiles),
+                            steps, seed});
+    return jobs;
+}
+
+/** Bench mode: run the mini-sweep through runChecked() and print one
+ * deterministic hexfloat line per outcome. This is what the shard
+ * tests diff byte-for-byte across shard counts. */
+int
+shardBenchMain(const Config &cfg)
+{
+    const std::size_t steps =
+        static_cast<std::size_t>(cfg.getInt("steps", 2));
+    const std::size_t jobs =
+        static_cast<std::size_t>(cfg.getInt("jobs", 1));
+    const SweepOptions opts = sweepOptionsFromConfig(cfg);
+
+    SweepRunner runner(jobs);
+    const auto sweep = benchJobs(steps);
+    const auto report = runner.runChecked(sweep, opts);
+
+    for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
+        const JobOutcome &o = report.outcomes[i];
+        if (o.skipped)
+            continue; // another shard's job (worker mode)
+        if (o.ok)
+            std::printf("#%zu %s ok %a %a cycles=%llu\n", i,
+                        sweep[i].label().c_str(),
+                        o.value.secondsPerStep, o.value.joulesPerStep,
+                        static_cast<unsigned long long>(
+                            o.value.report.totalCycles));
+        else
+            std::printf("#%zu %s FAILED\n", i,
+                        sweep[i].label().c_str());
+    }
+    applySweepObservability(cfg, "shard_bench", report);
+    return finishSweep(report);
+}
+
+// -- gtest-side process helpers ---------------------------------------
+
+/** The round-0 worker owning the most mini-sweep jobs — guaranteed to
+ * own >= 2 of the 6 (pigeonhole), so the crash-injection hook can
+ * fire both before and after it journals something. */
+std::size_t
+busiestWorker(std::size_t shards)
+{
+    std::vector<std::size_t> owned(shards, 0);
+    for (const SweepJob &job : benchJobs(2))
+        ++owned[shardOf(job.fingerprint(), shards, 0)];
+    return static_cast<std::size_t>(
+        std::max_element(owned.begin(), owned.end()) - owned.begin());
+}
+
+std::string
+selfExe()
+{
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+    EXPECT_GT(n, 0);
+    buf[n > 0 ? n : 0] = '\0';
+    return buf;
+}
+
+std::string
+makeTempDir()
+{
+    char templ[] = "/tmp/manna-shard-test-XXXXXX";
+    const char *dir = ::mkdtemp(templ);
+    EXPECT_NE(dir, nullptr);
+    return dir ? dir : "/tmp";
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+struct RunResult
+{
+    int exitCode = -1;
+    bool crashed = false;
+    std::string out;
+    std::string err;
+};
+
+/** Spawn this binary in --shard-bench mode with extra key=value args
+ * and capture its streams. */
+RunResult
+runBench(const std::vector<std::string> &extra)
+{
+    static int counter = 0;
+    const std::string base =
+        strformat("%s/run%d", makeTempDir().c_str(), counter++);
+    std::vector<std::string> argv{selfExe(), "--shard-bench"};
+    argv.insert(argv.end(), extra.begin(), extra.end());
+    const pid_t pid =
+        spawnProcess(argv, base + ".out", base + ".err");
+    EXPECT_GT(pid, 0);
+    const ProcessStatus status = waitProcess(pid);
+    RunResult r;
+    r.exitCode = status.exited ? status.exitCode : -1;
+    r.crashed = !status.exited;
+    r.out = readFile(base + ".out");
+    r.err = readFile(base + ".err");
+    return r;
+}
+
+/** The deterministic prefix of a stats/bench_json document: the
+ * content up to its wall-clock section. */
+std::string
+deterministicPrefix(const std::string &doc, const char *wallKey)
+{
+    const auto pos = doc.find(wallKey);
+    EXPECT_NE(pos, std::string::npos) << doc;
+    return doc.substr(0, pos);
+}
+
+/** RAII environment-variable override for the crash-injection hook. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const std::string &value) : name_(name)
+    {
+        ::setenv(name, value.c_str(), 1);
+    }
+    ~ScopedEnv() { ::unsetenv(name_); }
+
+  private:
+    const char *name_;
+};
+
+// -- unit tests --------------------------------------------------------
+
+TEST(ShardOf, DeterministicBalancedAndSaltSensitive)
+{
+    std::set<std::size_t> seen;
+    bool saltChangesAssignment = false;
+    for (std::uint64_t fp = 1; fp <= 200; ++fp) {
+        const std::size_t s = shardOf(fp, 3, 0);
+        EXPECT_LT(s, 3u);
+        EXPECT_EQ(s, shardOf(fp, 3, 0)); // stable
+        seen.insert(s);
+        if (shardOf(fp, 3, 1) != s)
+            saltChangesAssignment = true;
+    }
+    EXPECT_EQ(seen.size(), 3u); // every shard owns something
+    EXPECT_TRUE(saltChangesAssignment);
+    for (std::uint64_t fp = 1; fp <= 50; ++fp)
+        EXPECT_EQ(shardOf(fp, 1, 7), 0u);
+}
+
+TEST(ShardOptions, ParsesCoordinatorAndWorkerSpecs)
+{
+    // Keep the env fallbacks out of the picture.
+    ::unsetenv("MANNA_SHARDS");
+    ::unsetenv("MANNA_SHARD_SPAWN");
+    {
+        Config cfg;
+        cfg.set("shards", "3");
+        const ShardOptions o = shardOptionsFromConfig(cfg);
+        EXPECT_TRUE(o.isCoordinator());
+        EXPECT_FALSE(o.isWorker());
+        EXPECT_EQ(o.shards, 3u);
+    }
+    {
+        Config cfg;
+        cfg.set("shards", "hostA,hostB");
+        cfg.set("shard_spawn", "ssh {host} {cmd}");
+        const ShardOptions o = shardOptionsFromConfig(cfg);
+        EXPECT_TRUE(o.isCoordinator());
+        ASSERT_EQ(o.hosts.size(), 2u);
+        EXPECT_EQ(o.hosts[0], "hostA");
+        EXPECT_EQ(o.shards, 2u);
+        EXPECT_EQ(o.spawnTemplate, "ssh {host} {cmd}");
+    }
+    {
+        // shard=K/N always selects worker mode, even with shards=
+        // present (spawned workers must not recurse).
+        Config cfg;
+        cfg.set("shards", "4");
+        cfg.set("shard", "1/3");
+        cfg.set("shard_salt", "2");
+        cfg.set("shard_exclude", "00000000000000ff,1a");
+        const ShardOptions o = shardOptionsFromConfig(cfg);
+        EXPECT_TRUE(o.isWorker());
+        EXPECT_FALSE(o.isCoordinator());
+        EXPECT_EQ(o.workerIndex, 1u);
+        EXPECT_EQ(o.workerCount, 3u);
+        EXPECT_EQ(o.salt, 2u);
+        ASSERT_EQ(o.exclude.size(), 2u);
+        EXPECT_EQ(o.exclude[0], 0xffu);
+        EXPECT_EQ(o.exclude[1], 0x1au);
+    }
+    {
+        Config cfg; // nothing requested -> sharding off
+        const ShardOptions o = shardOptionsFromConfig(cfg);
+        EXPECT_FALSE(o.isWorker());
+        EXPECT_FALSE(o.isCoordinator());
+    }
+}
+
+// -- multi-process tests ----------------------------------------------
+
+TEST(ShardedSweep, OneAndThreeShardsMatchPlainByteForByte)
+{
+    const RunResult plain = runBench({});
+    ASSERT_EQ(plain.exitCode, 0) << plain.err;
+    ASSERT_NE(plain.out.find(" ok "), std::string::npos);
+
+    const RunResult one =
+        runBench({"shards=1", "shard_dir=" + makeTempDir()});
+    EXPECT_EQ(one.exitCode, 0) << one.err;
+    EXPECT_EQ(plain.out, one.out);
+
+    const RunResult three =
+        runBench({"shards=3", "shard_dir=" + makeTempDir()});
+    EXPECT_EQ(three.exitCode, 0) << three.err;
+    EXPECT_EQ(plain.out, three.out);
+}
+
+TEST(ShardedSweep, LostWorkerIsRedispatchedAndOutputUnchanged)
+{
+    const RunResult plain = runBench({});
+    ASSERT_EQ(plain.exitCode, 0) << plain.err;
+
+    // A job-owning worker of the first dispatch round dies (hard
+    // _Exit, like a kill -9 / OOM kill) before journaling anything.
+    const ScopedEnv crash(
+        "MANNA_SHARD_TEST_CRASH",
+        strformat("%zu:0:0", busiestWorker(3)));
+    const RunResult three =
+        runBench({"shards=3", "shard_dir=" + makeTempDir()});
+    EXPECT_EQ(three.exitCode, 0) << three.err;
+    EXPECT_EQ(plain.out, three.out);
+    EXPECT_NE(three.err.find("was lost"), std::string::npos)
+        << three.err;
+}
+
+TEST(ShardedSweep, PartialWorkerCrashKeepsJournaledResults)
+{
+    const RunResult plain = runBench({});
+    ASSERT_EQ(plain.exitCode, 0) << plain.err;
+
+    // A multi-job worker journals one job, then dies; only in
+    // round 0.
+    const std::size_t victim = busiestWorker(3);
+    const ScopedEnv crash("MANNA_SHARD_TEST_CRASH",
+                          strformat("%zu:0:1", victim));
+    const std::string dir = makeTempDir();
+    const RunResult three = runBench({"shards=3", "shard_dir=" + dir});
+    EXPECT_EQ(three.exitCode, 0) << three.err;
+    EXPECT_EQ(plain.out, three.out);
+    // The crashed worker's partial journal was still merged.
+    EXPECT_FALSE(
+        readFile(dir + strformat("/r0-w%zu.journal", victim)).empty());
+}
+
+TEST(ShardedSweep, ResumesFromAnyMixOfPartialShardJournals)
+{
+    const RunResult plain = runBench({});
+    ASSERT_EQ(plain.exitCode, 0) << plain.err;
+
+    // Run two of three shards by hand, as a multi-machine operator
+    // would, journaling into separate files.
+    const std::string dir = makeTempDir();
+    const std::string ja = dir + "/a.journal";
+    const std::string jb = dir + "/b.journal";
+    const RunResult w0 = runBench({"shard=0/3", "journal=" + ja});
+    const RunResult w2 = runBench({"shard=2/3", "journal=" + jb});
+    ASSERT_EQ(w0.exitCode, 0) << w0.err;
+    ASSERT_EQ(w2.exitCode, 0) << w2.err;
+    ASSERT_FALSE(readFile(ja).empty());
+    ASSERT_FALSE(readFile(jb).empty());
+
+    // The sharded re-run restores both journals through the comma
+    // list and only executes the missing shard.
+    const RunResult resumed =
+        runBench({"shards=3", "shard_dir=" + makeTempDir(),
+                  "resume=" + ja + "," + jb});
+    EXPECT_EQ(resumed.exitCode, 0) << resumed.err;
+    EXPECT_EQ(plain.out, resumed.out);
+}
+
+TEST(ShardedSweep, MergedStatsAndBenchJsonMatchSingleProcess)
+{
+    const std::string dir = makeTempDir();
+    const RunResult one = runBench(
+        {"shards=1", "shard_dir=" + makeTempDir(),
+         "stats=" + dir + "/one.stats.json",
+         "bench_json=" + dir + "/one.bench.json"});
+    const RunResult three = runBench(
+        {"shards=3", "shard_dir=" + makeTempDir(),
+         "stats=" + dir + "/three.stats.json",
+         "bench_json=" + dir + "/three.bench.json"});
+    ASSERT_EQ(one.exitCode, 0) << one.err;
+    ASSERT_EQ(three.exitCode, 0) << three.err;
+
+    // Deterministic sections (jobs tallies + merged StatRegistry)
+    // must match exactly; the trailing wall-clock sections differ.
+    EXPECT_EQ(
+        deterministicPrefix(readFile(dir + "/one.stats.json"),
+                            "\"throughput\""),
+        deterministicPrefix(readFile(dir + "/three.stats.json"),
+                            "\"throughput\""));
+    EXPECT_EQ(deterministicPrefix(readFile(dir + "/one.bench.json"),
+                                  "\"wall\""),
+              deterministicPrefix(readFile(dir + "/three.bench.json"),
+                                  "\"wall\""));
+}
+
+TEST(ShardedSweep, RepeatedlyLostJobsArePoisonedNotRetriedForever)
+{
+    // Every dispatch of worker 0 dies immediately, in every round;
+    // with shards=1 that is every job. After shard_attempts=2 lost
+    // dispatches the coordinator must give up on the jobs, report
+    // them as failures, and exit nonzero — not spin forever.
+    const ScopedEnv crash("MANNA_SHARD_TEST_CRASH", "0:*:0");
+    const RunResult r =
+        runBench({"shards=1", "shard_dir=" + makeTempDir(),
+                  "shard_attempts=2"});
+    EXPECT_EQ(r.exitCode, 1) << r.out;
+    EXPECT_NE(r.out.find("FAILED"), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("poisoned after 2 dispatches"),
+              std::string::npos)
+        << r.out;
+}
+
+} // namespace
+} // namespace manna::harness
+
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        // Accept both the user-facing flag and the key=value form the
+        // shard coordinator re-serializes it to in worker argvs.
+        const std::string tok = argv[i];
+        if (tok == "--shard-bench" ||
+            tok.rfind("shard_bench=", 0) == 0) {
+            // Config::fromArgs turns the flag into shard_bench=1 and
+            // parses the remaining key=value knobs as usual.
+            const auto cfg =
+                manna::Config::fromArgs(argc, argv);
+            return manna::harness::shardBenchMain(cfg);
+        }
+    }
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}
