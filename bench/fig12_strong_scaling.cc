@@ -8,8 +8,9 @@
  * work limit scaling); small benchmarks and those with memM close to
  * memN scale worst because only memN is distributed (MDistrib = 1).
  *
- * Knobs: steps=, jobs=, bench=<name> (single-benchmark filter), the
- * robustness knobs retries=/timeout=/journal=/resume= (see
+ * Knobs: steps=, jobs=, bench=<name> (single-benchmark filter),
+ * fidelity=cycle|fast (calibrated-fast simulation, see docs/PERF.md),
+ * the robustness knobs retries=/timeout=/journal=/resume= (see
  * docs/ROBUSTNESS.md), and the observability knobs trace=/stats=/
  * progress=/profile=/bench_json=/--dump-stats (see
  * docs/OBSERVABILITY.md). Failed simulation points render as FAILED
@@ -45,6 +46,7 @@ main(int argc, char **argv)
         harness::sweepOptionsFromConfig(cfg);
     const harness::TraceOptions traceOpts =
         harness::traceOptionsFromConfig(cfg);
+    const sim::Fidelity fidelity = harness::fidelityFromConfig(cfg);
 
     harness::printBanner("Figure 12",
                          "Manna performance trends with strong "
@@ -69,7 +71,7 @@ main(int argc, char **argv)
                 continue;
             sweep.push_back({bench,
                              arch::MannaConfig::withTiles(tiles),
-                             steps, /*seed=*/1});
+                             steps, /*seed=*/1, fidelity});
         }
     }
 

@@ -7,6 +7,9 @@
  * Paper headline: Manna exhibits near-ideal weak scaling because the
  * MANN kernels are embarrassingly parallel across tiles and inter-
  * tile communication is trivial next to per-tile work.
+ *
+ * Knobs: steps=, jobs=, bench=<name>, fidelity=cycle|fast, plus the
+ * usual sweep robustness/observability knobs (see harness/sweep.hh).
  */
 
 #include <cstdio>
@@ -31,6 +34,7 @@ main(int argc, char **argv)
     const std::string only = cfg.getString("bench", "");
     const harness::SweepOptions opts =
         harness::sweepOptionsFromConfig(cfg);
+    const sim::Fidelity fidelity = harness::fidelityFromConfig(cfg);
 
     harness::printBanner(
         "Figure 13",
@@ -50,7 +54,7 @@ main(int argc, char **argv)
         for (std::size_t tiles : tileCounts)
             sweep.push_back({workloads::weakScaled(bench, tiles, 4),
                              arch::MannaConfig::withTiles(tiles),
-                             steps, /*seed=*/1});
+                             steps, /*seed=*/1, fidelity});
 
     harness::SweepRunner runner(jobs);
     const auto report = runner.runChecked(sweep, opts);

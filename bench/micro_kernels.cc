@@ -13,7 +13,17 @@
  * retries=/timeout=/stats=/bench_json= knobs all apply; a crashed or
  * failed micro-bench renders as a FAILED cell and makes the binary
  * exit nonzero. Timings are wall-clock measurements and are NOT
- * byte-identical across runs — only the table *structure* is stable.
+ * byte-identical across runs — only the table *structure* is stable
+ * (that structure is what bench/baselines/BENCH_micro_kernels.json
+ * pins).
+ *
+ * The Kernel/<op>/{scalar,dispatch} rows time every entry of the SIMD
+ * kernel table (tensor/dispatch.hh) through the scalar reference and
+ * the runtime-dispatched path side by side, reporting effective GB/s
+ * and GFLOP/s; the dispatch rows honor MANNA_SIMD. Row names say
+ * "dispatch" rather than the selected level so the table structure is
+ * identical on every host; the selected level is printed above the
+ * table.
  */
 
 #include <chrono>
@@ -30,6 +40,7 @@
 #include "harness/sweep.hh"
 #include "mann/ntm.hh"
 #include "sim/chip.hh"
+#include "tensor/dispatch.hh"
 #include "tensor/matrix.hh"
 #include "tensor/vector_ops.hh"
 #include "workloads/benchmarks.hh"
@@ -61,6 +72,8 @@ struct Micro
 {
     std::string name;
     std::size_t itemsPerOp = 0; ///< 0 = no items/s column
+    std::size_t bytesPerOp = 0; ///< floats streamed * 4; 0 = no GB/s
+    std::size_t flopsPerOp = 0; ///< 0 = no GFLOP/s column
     std::function<void()> body;
 };
 
@@ -86,10 +99,108 @@ secondsPerOp(const std::function<void()> &body, double minSeconds)
     }
 }
 
+/**
+ * Kernel/<op>/{scalar,dispatch} micros: every entry of the SIMD
+ * kernel table timed through the scalar reference and the dispatched
+ * path on identical inputs. bytesPerOp counts streamed floats * 4
+ * (reads + writes, read-modify-write destinations twice); flopsPerOp
+ * counts arithmetic ops, with compares counted for the max pass.
+ */
+void
+addKernelMicros(std::vector<Micro> &micros)
+{
+    constexpr std::size_t n = 4096;
+    constexpr std::size_t taps = 3; // shiftRadius 1, the common case
+
+    Rng rng(7);
+    auto a = std::make_shared<tensor::FVec>(randomVec(n, rng));
+    auto b = std::make_shared<tensor::FVec>(randomVec(n, rng));
+    auto shift = std::make_shared<tensor::FVec>(randomVec(taps, rng));
+    auto out = std::make_shared<tensor::FVec>(n, 0.0f);
+
+    const struct
+    {
+        const char *name;
+        const tensor::simd::KernelTable *table;
+    } paths[] = {
+        {"scalar", &tensor::simd::scalarKernels()},
+        {"dispatch", &tensor::simd::kernels()},
+    };
+
+    for (const auto &path : paths) {
+        const tensor::simd::KernelTable *k = path.table;
+        const auto name = [&path](const char *op) {
+            return strformat("Kernel/%s/%s", op, path.name);
+        };
+        micros.push_back({name("add"), n, 3 * n * sizeof(float), n,
+                          [k, a, b, out] {
+                              k->add(a->data(), b->data(),
+                                     out->data(), n);
+                              doNotOptimize((*out)[0]);
+                          }});
+        micros.push_back({name("mul"), n, 3 * n * sizeof(float), n,
+                          [k, a, b, out] {
+                              k->mul(a->data(), b->data(),
+                                     out->data(), n);
+                              doNotOptimize((*out)[0]);
+                          }});
+        micros.push_back({name("mac"), n, 4 * n * sizeof(float),
+                          2 * n, [k, a, b, out] {
+                              k->mac(a->data(), b->data(),
+                                     out->data(), n);
+                              doNotOptimize((*out)[0]);
+                          }});
+        micros.push_back({name("scale"), n, 2 * n * sizeof(float), n,
+                          [k, a, out] {
+                              k->scale(a->data(), 1.0000001f,
+                                       out->data(), n);
+                              doNotOptimize((*out)[0]);
+                          }});
+        micros.push_back({name("axpy"), n, 3 * n * sizeof(float),
+                          2 * n, [k, a, out] {
+                              k->axpy(0.5f, a->data(), out->data(),
+                                      n);
+                              doNotOptimize((*out)[0]);
+                          }});
+        micros.push_back({name("sum"), n, n * sizeof(float), n,
+                          [k, a] {
+                              doNotOptimize(k->sum(a->data(), n));
+                          }});
+        micros.push_back({name("dot"), n, 2 * n * sizeof(float),
+                          2 * n, [k, a, b] {
+                              doNotOptimize(
+                                  k->dot(a->data(), b->data(), n));
+                          }});
+        micros.push_back({name("dotNorm"), n, 2 * n * sizeof(float),
+                          4 * n, [k, a, b] {
+                              float d = 0.0f, nrm = 0.0f;
+                              k->dotNorm(a->data(), b->data(), n, &d,
+                                         &nrm);
+                              doNotOptimize(d);
+                              doNotOptimize(nrm);
+                          }});
+        micros.push_back({name("scaleMax"), n, 2 * n * sizeof(float),
+                          2 * n, [k, a, out] {
+                              doNotOptimize(k->scaleMax(
+                                  a->data(), 2.0f, out->data(), n));
+                          }});
+        micros.push_back({name("circularConvolve"), n,
+                          2 * n * sizeof(float), 2 * taps * n,
+                          [k, a, shift, out] {
+                              k->circularConvolve(a->data(), n,
+                                                  shift->data(), taps,
+                                                  out->data());
+                              doNotOptimize((*out)[0]);
+                          }});
+    }
+}
+
 std::vector<Micro>
 buildMicros()
 {
     std::vector<Micro> micros;
+
+    addKernelMicros(micros);
 
     // Inputs are generated once per micro-bench (shared_ptr captured
     // by the body), so the timed region covers only the primitive.
@@ -97,7 +208,8 @@ buildMicros()
         Rng rng(1);
         auto a = std::make_shared<tensor::FVec>(randomVec(n, rng));
         auto b = std::make_shared<tensor::FVec>(randomVec(n, rng));
-        micros.push_back({strformat("Dot/%zu", n), n, [a, b] {
+        micros.push_back({strformat("Dot/%zu", n), n,
+                          2 * n * sizeof(float), 2 * n, [a, b] {
                               doNotOptimize(tensor::dot(*a, *b));
                           }});
     }
@@ -106,7 +218,7 @@ buildMicros()
         Rng rng(2);
         auto a = std::make_shared<tensor::FVec>(randomVec(n, rng));
         micros.push_back(
-            {strformat("Softmax/%zu", n), n, [a] {
+            {strformat("Softmax/%zu", n), n, 0, 0, [a] {
                  doNotOptimize(tensor::softmax(*a, 2.0f));
              }});
     }
@@ -119,6 +231,7 @@ buildMicros()
             std::make_shared<tensor::FVec>(randomVec(128, rng));
         micros.push_back(
             {strformat("RowCosineSimilarity/%zu", rows), rows * 128,
+             rows * 128 * sizeof(float), rows * 128 * 4,
              [mem, key] {
                  doNotOptimize(
                      tensor::rowCosineSimilarity(*mem, *key));
@@ -126,8 +239,8 @@ buildMicros()
     }
 
     for (std::size_t memN : {std::size_t{256}, std::size_t{1024}})
-        micros.push_back({strformat("GoldenNtmStep/%zu", memN), 0,
-                          [memN] {
+        micros.push_back({strformat("GoldenNtmStep/%zu", memN), 0, 0,
+                          0, [memN] {
                               mann::MannConfig cfg;
                               cfg.memN = memN;
                               cfg.memM = 64;
@@ -149,7 +262,7 @@ buildMicros()
                               doNotOptimize(ntm->step(x).output);
                           }});
 
-    micros.push_back({"CompileModel", 0, [] {
+    micros.push_back({"CompileModel", 0, 0, 0, [] {
                           const auto bench =
                               workloads::tinyBenchmark();
                           const arch::MannaConfig ac =
@@ -159,7 +272,7 @@ buildMicros()
                       }});
 
     micros.push_back(
-        {"SimulatedChipStep", 0, [] {
+        {"SimulatedChipStep", 0, 0, 0, [] {
              // The chip references the model, so both persist
              // together across timed iterations.
              static thread_local std::unique_ptr<
@@ -201,6 +314,9 @@ main(int argc, char **argv)
     harness::printBanner("Microbenchmarks",
                          "Host performance of the simulator's hot "
                          "paths (not the modeled accelerator)");
+    std::printf("SIMD dispatch: %s (override with "
+                "MANNA_SIMD=scalar|avx2|neon)\n\n",
+                tensor::simd::kernels().name);
 
     std::vector<Micro> micros;
     for (auto &m : buildMicros())
@@ -234,14 +350,23 @@ main(int argc, char **argv)
         },
         labels, fingerprints, opts);
 
-    Table table({"Benchmark", "ns/op", "ops/s", "items/s"});
+    Table table(
+        {"Benchmark", "ns/op", "ops/s", "items/s", "GB/s", "GFLOP/s"});
     for (std::size_t i = 0; i < micros.size(); ++i) {
         const auto &outcome = report.outcomes[i];
         if (!outcome.ok) {
-            table.addRow({micros[i].name, "FAILED", "FAILED", "-"});
+            table.addRow(
+                {micros[i].name, "FAILED", "FAILED", "-", "-", "-"});
             continue;
         }
         const double sec = outcome.value.secondsPerStep;
+        const auto perSec = [sec](std::size_t perOp) {
+            return perOp == 0
+                       ? std::string("-")
+                       : formatSig(static_cast<double>(perOp) / sec /
+                                       1e9,
+                                   3);
+        };
         table.addRow(
             {micros[i].name, strformat("%.0f", sec * 1e9),
              strformat("%.0f", 1.0 / sec),
@@ -250,7 +375,9 @@ main(int argc, char **argv)
                  : formatSig(static_cast<double>(
                                  micros[i].itemsPerOp) /
                                  sec,
-                             3)});
+                             3),
+             perSec(micros[i].bytesPerOp),
+             perSec(micros[i].flopsPerOp)});
     }
     harness::printTable(table);
     harness::applySweepObservability(cfg, "micro_kernels", report);

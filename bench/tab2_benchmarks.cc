@@ -7,7 +7,8 @@
  * The simulated column runs through the fault-isolated sweep runner,
  * so the usual knobs apply (steps= [default 1], jobs=, bench=
  * single-benchmark filter, retries=/timeout=/journal=/resume=,
- * progress=/stats=/bench_json=, shards=). Benchmarks whose memory has
+ * progress=/stats=/bench_json=, shards=, fidelity=cycle|fast).
+ * Benchmarks whose memory has
  * fewer rows than 16 tiles render "-" (the paper's 16-tile point
  * cannot run them); failed simulation points render as FAILED cells
  * and make the binary exit nonzero after the full table.
@@ -36,6 +37,7 @@ main(int argc, char **argv)
     const std::string only = cfg.getString("bench", "");
     const harness::SweepOptions opts =
         harness::sweepOptionsFromConfig(cfg);
+    const sim::Fidelity fidelity = harness::fidelityFromConfig(cfg);
 
     harness::printBanner("Table 2", "Summary of benchmarks");
 
@@ -53,7 +55,7 @@ main(int argc, char **argv)
     std::vector<harness::SweepJob> sweep;
     for (const auto &b : suite)
         if (b.config.memN >= 16)
-            sweep.push_back({b, arch16, steps, /*seed=*/1});
+            sweep.push_back({b, arch16, steps, /*seed=*/1, fidelity});
 
     harness::SweepRunner runner(jobs);
     const auto report = runner.runChecked(sweep, opts);

@@ -31,3 +31,20 @@ if ! cmp -s "$OUTDIR/serial.txt" "$OUTDIR/par.txt"; then
 fi
 
 echo "OK: parallel sweep output byte-identical to serial"
+
+# fidelity=fast must render the same table as cycle mode: tensor
+# results are bit-identical by contract and per-step cycle costs are
+# steady, so even the cycle columns agree. steps=4 so the run actually
+# leaves calibration (2 steps) and executes from the replay tape.
+run_budgeted "$BIN" bench=recall steps=4 jobs=1 fidelity=cycle \
+    > "$OUTDIR/cycle.txt"
+run_budgeted "$BIN" bench=recall steps=4 jobs=1 fidelity=fast \
+    > "$OUTDIR/fast.txt"
+
+if ! cmp -s "$OUTDIR/cycle.txt" "$OUTDIR/fast.txt"; then
+    echo "FAIL: fidelity=fast and fidelity=cycle outputs differ" >&2
+    diff "$OUTDIR/cycle.txt" "$OUTDIR/fast.txt" >&2 || true
+    exit 1
+fi
+
+echo "OK: fidelity=fast output byte-identical to cycle mode"

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# fidelity=fast tolerance gate (the fidelity_gate ctest entry): run
+# the full tab2 benchmark table in cycle and fast fidelity and require
+#   1. byte-identical benchmark tables except the cycles column
+#      (shapes, footprints — the tensor-state contract is covered by
+#      test_fidelity's bit-identity checks), and
+#   2. per-workload Cycles/step deviation within the tolerance.
+#
+# The per-step cycle cost of every tab2 workload is steady from step 1
+# (instruction durations depend only on static operand shapes), so the
+# extrapolated fast counts normally match cycle mode exactly; the 5%
+# tolerance is the contract bound, not the expected error.
+#
+# Tolerance comes from MANNA_FIDELITY_TOL (default 0.05, relative).
+#
+# Usage: fidelity_gate.sh <path-to-tab2_benchmarks> [steps]
+set -euo pipefail
+
+BIN=${1:?usage: fidelity_gate.sh <tab2_benchmarks binary> [steps]}
+STEPS=${2:-8}
+TOL=${MANNA_FIDELITY_TOL:-0.05}
+
+OUTDIR=$(mktemp -d)
+trap 'rm -rf "$OUTDIR"' EXIT INT TERM
+
+"$BIN" steps="$STEPS" jobs=1 fidelity=cycle > "$OUTDIR/cycle.txt"
+"$BIN" steps="$STEPS" jobs=1 fidelity=fast  > "$OUTDIR/fast.txt"
+
+python3 - "$OUTDIR/cycle.txt" "$OUTDIR/fast.txt" "$TOL" <<'EOF'
+import sys
+
+def rows(path):
+    # Benchmark rows: first token is the short name, last token the
+    # Cycles/step figure. Skip rulers, headers, and footnotes.
+    out = {}
+    for line in open(path):
+        parts = line.split()
+        if len(parts) < 8 or not parts[-1].isdigit():
+            continue
+        out[parts[0]] = int(parts[-1])
+    return out
+
+cyc, fast, tol = rows(sys.argv[1]), rows(sys.argv[2]), float(sys.argv[3])
+if not cyc or set(cyc) != set(fast):
+    sys.exit("fidelity_gate: workload sets differ or table parse failed: "
+             f"{sorted(cyc)} vs {sorted(fast)}")
+bad = []
+for name, c in sorted(cyc.items()):
+    f = fast[name]
+    dev = abs(f - c) / c
+    status = "ok" if dev <= tol else "FAIL"
+    print(f"{name:10s} cycle={c:>10d} fast={f:>10d} dev={dev:.2%} {status}")
+    if dev > tol:
+        bad.append(name)
+if bad:
+    sys.exit(f"fidelity_gate: deviation above {tol:.0%} on: {', '.join(bad)}")
+print(f"OK: all {len(cyc)} workloads within {tol:.0%}")
+EOF

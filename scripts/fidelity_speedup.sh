@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Measure the fidelity=fast wall-time speedup on the full tab2 sweep
+# and record it as bench/baselines/BENCH_tab2_fast_speedup.json. The
+# bench_regress gate reads that file and enforces the recorded claim
+# (speedup >= min_speedup); re-run this script on the target machine
+# after a perf change, inspect the diff, and commit the result.
+#
+# The benchmark tables must be byte-identical across fidelities (the
+# tensor-result side of the contract) or the measurement is rejected.
+#
+# Usage: fidelity_speedup.sh <path-to-tab2_benchmarks> [steps] [out-dir]
+set -euo pipefail
+
+BIN=${1:?usage: fidelity_speedup.sh <tab2_benchmarks binary> [steps] [out-dir]}
+STEPS=${2:-100}
+OUTDIR=${3:-"$(cd "$(dirname "$0")/.." && pwd)/bench/baselines"}
+
+TMPDIR=$(mktemp -d)
+trap 'rm -rf "$TMPDIR"' EXIT INT TERM
+
+now_ms() { echo $(( $(date +%s%N) / 1000000 )); }
+
+S=$(now_ms)
+"$BIN" steps="$STEPS" jobs=1 fidelity=cycle > "$TMPDIR/cycle.txt"
+CYCLE_MS=$(( $(now_ms) - S ))
+
+S=$(now_ms)
+"$BIN" steps="$STEPS" jobs=1 fidelity=fast > "$TMPDIR/fast.txt"
+FAST_MS=$(( $(now_ms) - S ))
+
+if ! cmp -s "$TMPDIR/cycle.txt" "$TMPDIR/fast.txt"; then
+    echo "FAIL: fast and cycle benchmark tables differ" >&2
+    diff "$TMPDIR/cycle.txt" "$TMPDIR/fast.txt" >&2 || true
+    exit 1
+fi
+
+mkdir -p "$OUTDIR"
+OUT="$OUTDIR/BENCH_tab2_fast_speedup.json"
+python3 - "$OUT" "$STEPS" "$CYCLE_MS" "$FAST_MS" <<'EOF'
+import json
+import sys
+
+out, steps, cyc, fast = (sys.argv[1], int(sys.argv[2]),
+                         int(sys.argv[3]), int(sys.argv[4]))
+doc = {
+    "schema": "manna-speedup-v1",
+    "name": "tab2_fast_speedup",
+    "config": {"bench": "all", "steps": steps, "jobs": 1},
+    "cycle_wall_ms": cyc,
+    "fast_wall_ms": fast,
+    "speedup": round(cyc / fast, 2),
+    "min_speedup": 5.0,
+    "tables_identical": True,
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"cycle={cyc}ms fast={fast}ms speedup={doc['speedup']}x")
+print(f"baseline written: {out}")
+EOF

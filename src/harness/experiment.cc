@@ -13,9 +13,9 @@ MannaResult
 runCompiled(const workloads::Benchmark &benchmark,
             const compiler::CompiledModel &model, std::size_t steps,
             std::uint64_t seed, const CancelToken *cancel,
-            sim::TraceLogger *trace)
+            sim::TraceLogger *trace, sim::Fidelity fidelity)
 {
-    sim::Chip chip(model, seed);
+    sim::Chip chip(model, seed, fidelity);
     chip.setCancelToken(cancel);
     if (trace != nullptr)
         chip.attachTrace(trace);
@@ -50,12 +50,13 @@ runCompiled(const workloads::Benchmark &benchmark,
 MannaResult
 simulateManna(const workloads::Benchmark &benchmark,
               const arch::MannaConfig &config, std::size_t steps,
-              std::uint64_t seed)
+              std::uint64_t seed, sim::Fidelity fidelity)
 {
     const auto model = compiler::compileCached(benchmark.config, config);
     for (const auto &w : model->warnings)
         debugLog("%s: %s", benchmark.name.c_str(), w.c_str());
-    return runCompiled(benchmark, *model, steps, seed);
+    return runCompiled(benchmark, *model, steps, seed, nullptr, nullptr,
+                       fidelity);
 }
 
 BaselineResult

@@ -57,7 +57,8 @@ struct BaselineResult
  */
 MannaResult simulateManna(const workloads::Benchmark &benchmark,
                           const arch::MannaConfig &config,
-                          std::size_t steps, std::uint64_t seed = 1);
+                          std::size_t steps, std::uint64_t seed = 1,
+                          sim::Fidelity fidelity = sim::Fidelity::Cycle);
 
 /**
  * Simulation phase of simulateManna() for an already-compiled model:
@@ -72,12 +73,16 @@ MannaResult simulateManna(const workloads::Benchmark &benchmark,
  * @p trace, when non-null, is attached to every tile for the run and
  * records each executed instruction (see sim::TraceLogger and
  * docs/OBSERVABILITY.md); it has no effect on results or timing.
+ *
+ * @p fidelity selects cycle-accurate or calibrated-fast execution
+ * (sim/fidelity.hh); tensor outputs are bit-identical either way.
  */
 MannaResult runCompiled(const workloads::Benchmark &benchmark,
                         const compiler::CompiledModel &model,
                         std::size_t steps, std::uint64_t seed = 1,
                         const CancelToken *cancel = nullptr,
-                        sim::TraceLogger *trace = nullptr);
+                        sim::TraceLogger *trace = nullptr,
+                        sim::Fidelity fidelity = sim::Fidelity::Cycle);
 
 /** Evaluate a benchmark on a baseline platform model. */
 BaselineResult evaluateBaseline(const workloads::Benchmark &benchmark,

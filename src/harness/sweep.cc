@@ -185,15 +185,25 @@ SweepJob::fingerprint() const
     h.u64(seed);
     h.u64(static_cast<std::uint64_t>(benchmark.task));
     h.bytes(benchmark.name.data(), benchmark.name.size());
+    // Mixed in only for fast jobs so every pre-existing cycle journal
+    // keeps its fingerprints.
+    if (fidelity == sim::Fidelity::Fast) {
+        static constexpr const char kTag[] = "fidelity=fast";
+        h.bytes(kTag, sizeof(kTag) - 1);
+    }
     return h.value();
 }
 
 std::string
 SweepJob::label() const
 {
-    return strformat("%s tiles=%zu steps=%zu seed=%llu",
-                     benchmark.name.c_str(), config.numTiles, steps,
-                     static_cast<unsigned long long>(seed));
+    std::string out =
+        strformat("%s tiles=%zu steps=%zu seed=%llu",
+                  benchmark.name.c_str(), config.numTiles, steps,
+                  static_cast<unsigned long long>(seed));
+    if (fidelity == sim::Fidelity::Fast)
+        out += " fidelity=fast";
+    return out;
 }
 
 // ---------------------------------------------------------------------
@@ -348,6 +358,22 @@ sweepOptionsFromConfig(const Config &cfg)
                               opts.cacheEntries))));
     opts.shard = shardOptionsFromConfig(cfg);
     return opts;
+}
+
+sim::Fidelity
+fidelityFromConfig(const Config &cfg)
+{
+    const std::string text = cfg.getString("fidelity", "");
+    if (text.empty())
+        return sim::defaultFidelity(); // MANNA_FIDELITY, else cycle
+    const auto parsed = sim::parseFidelity(text);
+    if (!parsed) {
+        warn("fidelity=%s not recognized (want cycle|fast); "
+             "using cycle",
+             text.c_str());
+        return sim::Fidelity::Cycle;
+    }
+    return *parsed;
 }
 
 int
@@ -771,7 +797,8 @@ SweepRunner::runChecked(const std::vector<SweepJob> &jobs,
             models[i] = compiler::compileCached(job.benchmark.config,
                                                 job.config);
             return runCompiled(job.benchmark, *models[i], job.steps,
-                               job.seed, &cancel);
+                               job.seed, &cancel, nullptr,
+                               job.fidelity);
         },
         labels, fingerprints, opts);
 

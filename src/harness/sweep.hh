@@ -127,12 +127,17 @@ struct SweepJob
     arch::MannaConfig config;
     std::size_t steps = 1;
     std::uint64_t seed = 1;
+    /** Execution fidelity (sim/fidelity.hh). Fast runs change the
+     * report's timing provenance, so they fingerprint (and journal)
+     * separately from cycle runs. */
+    sim::Fidelity fidelity = sim::Fidelity::Cycle;
 
     /**
      * Stable fingerprint over everything the job's result depends on
-     * (benchmark shape + task, Manna config, steps, seed). Used as
-     * the checkpoint-journal key: a restored result is valid iff the
-     * fingerprints match.
+     * (benchmark shape + task, Manna config, steps, seed, fidelity).
+     * Used as the checkpoint-journal key: a restored result is valid
+     * iff the fingerprints match. Cycle-fidelity jobs hash exactly as
+     * before the fidelity knob existed, so old journals stay valid.
      */
     std::uint64_t fingerprint() const;
 
@@ -280,6 +285,11 @@ struct SweepReport
  * shard_dir=, shard_spawn=, shard_attempts=, shard_timeout=, plus
  * the internal worker-mode shard=K/N family). */
 SweepOptions sweepOptionsFromConfig(const Config &cfg);
+
+/** Parse the fidelity= knob ("cycle"|"fast"); when absent, fall back
+ * to the MANNA_FIDELITY environment variable, then to cycle. An
+ * unrecognized value warns and falls back (never fails the run). */
+sim::Fidelity fidelityFromConfig(const Config &cfg);
 
 /**
  * Render the machine-readable sweep summary written to

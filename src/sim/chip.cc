@@ -131,6 +131,15 @@ describeRunStats(StatRegistry &reg)
     reg.describe("chip.util.sfu", "mean SFU utilization");
     reg.describe("chip.util.mat_dma", "mean matrix-DMA utilization");
     reg.describe("chip.util.vec_dma", "mean vector-DMA utilization");
+    // Fidelity markers (emitted in both cycle and fast mode).
+    reg.describe("fidelity.fast",
+                 "1 when the run used fidelity=fast, else 0");
+    reg.describe("fidelity.calibration_steps",
+                 "cycle-accurate steps behind a fast-mode report");
+    reg.describe("fidelity.extrapolated_steps",
+                 "steps covered by linear extrapolation");
+    reg.describe("fidelity.analytic_cycles_per_step",
+                 "op-counter peak-rate cycles/step estimate");
 }
 
 void
@@ -207,10 +216,11 @@ populateRunStats(RunReport &rep,
     describeRunStats(reg);
 }
 
-Chip::Chip(const compiler::CompiledModel &model, std::uint64_t seed)
+Chip::Chip(const compiler::CompiledModel &model, std::uint64_t seed,
+           Fidelity fidelity)
     : model_(model), energy_(model.archCfg),
       noc_(model.archCfg, energy_), ctrlModel_(model.archCfg, energy_),
-      ntm_(model.mannCfg, seed)
+      ntm_(model.mannCfg, seed), fidelity_(fidelity)
 {
     const auto &layout = model_.layout;
     TileLayoutSizes sizes;
@@ -241,11 +251,15 @@ Chip::reset()
     readVectors_.assign(model_.mannCfg.numReadHeads,
                         tensor::FVec(model_.mannCfg.memM, 0.0f));
     nocBuffer_.clear();
+    tape_.clear();
     chipTime_ = 0;
     nocEnergyPj_ = 0.0;
     ctrlEnergyPj_ = 0.0;
     groups_.clear();
     steps_ = 0;
+    fastActive_ = false; // tile flags were cleared by tile->reset()
+    calib1_ = RunReport();
+    calib2_ = RunReport();
 }
 
 void
@@ -336,23 +350,75 @@ Chip::step(const tensor::FVec &input)
     pendingHidden_.assign(ctrl.hidden.begin(), ctrl.hidden.end());
     pendingHidden_.push_back(1.0f);
 
-    const CtrlCost ctrlCost = ctrlModel_.forwardCost(mc);
-    ctrlEnergyPj_ += ctrlCost.energyPj;
-    auto &ctrlGroup = groups_[mann::KernelGroup::Controller];
-    ctrlGroup.cycles += ctrlCost.cycles;
-    ctrlGroup.energyPj += ctrlCost.energyPj;
-    chipTime_ += ctrlCost.cycles;
-    controllerReady_ = chipTime_;
-    for (auto &tile : tiles_)
-        tile->alignTo(std::max(tile->quiesceTime(), chipTime_),
-                      StallReason::Ctrl);
+    if (!fastActive_) {
+        const CtrlCost ctrlCost = ctrlModel_.forwardCost(mc);
+        ctrlEnergyPj_ += ctrlCost.energyPj;
+        auto &ctrlGroup = groups_[mann::KernelGroup::Controller];
+        ctrlGroup.cycles += ctrlCost.cycles;
+        ctrlGroup.energyPj += ctrlCost.energyPj;
+        chipTime_ += ctrlCost.cycles;
+        controllerReady_ = chipTime_;
+        for (auto &tile : tiles_)
+            tile->alignTo(std::max(tile->quiesceTime(), chipTime_),
+                          StallReason::Ctrl);
+    }
 
     // ---- DiffMem tile segments ----
-    for (const auto &segment : model_.stepSegments)
-        runSegment(segment);
+    if (tape_.ready()) {
+        runTape();
+    } else {
+        for (const auto &segment : model_.stepSegments)
+            runSegment(segment);
+    }
 
     ++steps_;
+    if (fidelity_ == Fidelity::Fast && !fastActive_) {
+        if (steps_ == kFastCalibrationSteps - 1) {
+            calib1_ = cycleReport();
+            // Record the replay tape during the last calibration step:
+            // recording is orthogonal to timing (runFunctional appends
+            // the same resolved ops in every fidelity), so the first
+            // fast step can already replay.
+            tape_.startRecording();
+            for (auto &tile : tiles_)
+                tile->setReplayTape(&tape_);
+        } else if (steps_ == kFastCalibrationSteps) {
+            calib2_ = cycleReport();
+            tape_.finishRecording();
+            for (auto &tile : tiles_)
+                tile->setReplayTape(nullptr);
+            activateFastMode();
+        }
+    }
     return ctrl.output;
+}
+
+void
+Chip::activateFastMode()
+{
+    fastActive_ = true;
+    for (auto &tile : tiles_)
+        tile->setFastFunctional(true);
+}
+
+void
+Chip::runTape()
+{
+    for (const ReplayOp &op : tape_.ops()) {
+        switch (op.kind) {
+          case ReplayKind::Copy2d:
+          case ReplayKind::Vmm:
+          case ReplayKind::Elementwise:
+          case ReplayKind::Sfu:
+          case ReplayKind::FusedRowUpdate:
+            execTileOp(op, &tape_);
+            break;
+          default:
+            execCommOp(op, tape_, nocBuffer_, readVectors_,
+                       pendingHidden_);
+            break;
+        }
+    }
 }
 
 std::vector<tensor::FVec>
@@ -366,20 +432,10 @@ Chip::run(const std::vector<tensor::FVec> &inputs)
 }
 
 void
-Chip::runSegment(const compiler::CompiledSegment &segment)
+Chip::runTilesToCompletion(const compiler::CompiledSegment &segment)
 {
-    currentGroup_ = segment.group;
-    const Cycle segStart = chipTime_;
-    tileEnergyBefore_.clear();
-    for (auto &tile : tiles_)
-        tileEnergyBefore_.push_back(tile->energyPj());
-    const Energy nocBefore = nocEnergyPj_;
-
-    for (std::size_t t = 0; t < tiles_.size(); ++t) {
-        tiles_[t]->alignTo(std::max(tiles_[t]->quiesceTime(), segStart));
+    for (std::size_t t = 0; t < tiles_.size(); ++t)
         tiles_[t]->setProgram(&segment.tilePrograms[t]);
-    }
-
     while (true) {
         checkCancelled();
         bool anyComm = false;
@@ -406,6 +462,25 @@ Chip::runSegment(const compiler::CompiledSegment &segment)
         }
         handleComm(inst);
     }
+}
+
+void
+Chip::runSegment(const compiler::CompiledSegment &segment)
+{
+    currentGroup_ = segment.group;
+    if (fastActive_) {
+        runTilesToCompletion(segment);
+        return;
+    }
+    const Cycle segStart = chipTime_;
+    tileEnergyBefore_.clear();
+    for (auto &tile : tiles_)
+        tileEnergyBefore_.push_back(tile->energyPj());
+    const Energy nocBefore = nocEnergyPj_;
+
+    for (auto &tile : tiles_)
+        tile->alignTo(std::max(tile->quiesceTime(), segStart));
+    runTilesToCompletion(segment);
 
     // Close the segment: synchronize all tiles.
     Cycle segEnd = segStart;
@@ -428,8 +503,9 @@ Chip::handleComm(const Instruction &inst)
     const CommTag tag = compiler::commTagOf(inst.count);
 
     Cycle commStart = 0;
-    for (auto &tile : tiles_)
-        commStart = std::max(commStart, tile->quiesceTime());
+    if (!fastActive_)
+        for (auto &tile : tiles_)
+            commStart = std::max(commStart, tile->quiesceTime());
 
     std::size_t words = 0;
     if (inst.op == Opcode::Reduce) {
@@ -438,9 +514,24 @@ Chip::handleComm(const Instruction &inst)
         for (std::size_t t = 0; t < tiles_.size(); ++t)
             tiles_[t]->readOperandInto(inst.srcA, commStage_[t]);
         Noc::combineInto(commStage_, inst.flags.reduceOp, nocBuffer_);
-        nocEnergyPj_ += noc_.reduceEnergyPj(words);
-        noc_.recordReduce(words, noc_.reduceCycles(words));
-        chipTime_ = commStart + noc_.reduceCycles(words);
+        if (tape_.recording()) {
+            commSrcPtrs_.clear();
+            for (auto &tile : tiles_)
+                commSrcPtrs_.push_back(tile->operandSpan(inst.srcA));
+            ReplayOp rop;
+            rop.kind = ReplayKind::Reduce;
+            rop.n = static_cast<std::uint32_t>(words);
+            rop.rows = static_cast<std::uint32_t>(tiles_.size());
+            rop.pitchA = tape_.appendSrcPtrs(commSrcPtrs_);
+            if (inst.flags.reduceOp != isa::ReduceOp::Sum)
+                rop.flags |= kReplayReduceMax;
+            tape_.append(rop);
+        }
+        if (!fastActive_) {
+            nocEnergyPj_ += noc_.reduceEnergyPj(words);
+            noc_.recordReduce(words, noc_.reduceCycles(words));
+            chipTime_ = commStart + noc_.reduceCycles(words);
+        }
 
         if (tag == CommTag::ReadVectorOut) {
             const std::uint32_t h = compiler::commIndexOf(inst.count);
@@ -448,6 +539,13 @@ Chip::handleComm(const Instruction &inst)
                          "read-vector index %u out of range", h);
             readVectors_[h].assign(nocBuffer_.begin(),
                                    nocBuffer_.end());
+            if (tape_.recording()) {
+                ReplayOp rop;
+                rop.kind = ReplayKind::ReadVectorOut;
+                rop.n = static_cast<std::uint32_t>(words);
+                rop.rows = h;
+                tape_.append(rop);
+            }
         }
     } else {
         MANNA_ASSERT(inst.op == Opcode::Broadcast,
@@ -465,9 +563,24 @@ Chip::handleComm(const Instruction &inst)
                      words, nocBuffer_.size());
         for (auto &tile : tiles_)
             tile->writeOperand(inst.dst, nocBuffer_);
-        nocEnergyPj_ += noc_.broadcastEnergyPj(words);
-        noc_.recordBroadcast(words, noc_.broadcastCycles(words));
-        chipTime_ = commStart + noc_.broadcastCycles(words);
+        if (tape_.recording()) {
+            commDstPtrs_.clear();
+            for (auto &tile : tiles_)
+                commDstPtrs_.push_back(tile->operandSpanMut(inst.dst));
+            ReplayOp rop;
+            rop.kind = ReplayKind::Broadcast;
+            rop.n = static_cast<std::uint32_t>(words);
+            rop.rows = static_cast<std::uint32_t>(tiles_.size());
+            rop.pitchA = tape_.appendDstPtrs(commDstPtrs_);
+            if (tag == CommTag::HiddenIn)
+                rop.flags |= kReplayHiddenIn;
+            tape_.append(rop);
+        }
+        if (!fastActive_) {
+            nocEnergyPj_ += noc_.broadcastEnergyPj(words);
+            noc_.recordBroadcast(words, noc_.broadcastCycles(words));
+            chipTime_ = commStart + noc_.broadcastCycles(words);
+        }
     }
 
     for (auto &tile : tiles_)
@@ -475,7 +588,7 @@ Chip::handleComm(const Instruction &inst)
 }
 
 RunReport
-Chip::report() const
+Chip::cycleReport() const
 {
     RunReport rep;
     rep.steps = steps_;
@@ -491,6 +604,27 @@ Chip::report() const
         energy_.infrastructureWatts() * rep.totalSeconds * 1e12;
     rep.groups = groups_;
     populateRunStats(rep, tiles_, noc_, ctrlModel_);
+    return rep;
+}
+
+RunReport
+Chip::report() const
+{
+    RunReport rep;
+    std::size_t calibrated = 0;
+    std::size_t extrapolated = 0;
+    if (fastActive_ && steps_ > kFastCalibrationSteps)
+        rep = extrapolateRunReport(calib1_, calib2_, steps_);
+    else if (fastActive_)
+        rep = calib2_; // exactly the calibration prefix was run
+    else
+        rep = cycleReport();
+    if (fidelity_ == Fidelity::Fast) {
+        calibrated = std::min(steps_, kFastCalibrationSteps);
+        extrapolated = steps_ - calibrated;
+    }
+    markFidelity(rep, fidelity_, calibrated, extrapolated,
+                 analyticCyclesPerStep(model_.mannCfg, model_.archCfg));
     return rep;
 }
 

@@ -27,6 +27,7 @@
 #include "compiler/compiled_model.hh"
 #include "mann/ntm.hh"
 #include "sim/controller_tile.hh"
+#include "sim/fidelity.hh"
 #include "sim/noc.hh"
 #include "sim/tile.hh"
 
@@ -110,9 +111,14 @@ class Chip
   public:
     /**
      * Build a chip for a compiled model. @p seed must match the seed
-     * of the golden Ntm the run is compared against.
+     * of the golden Ntm the run is compared against. With
+     * Fidelity::Fast the first kFastCalibrationSteps time steps run
+     * cycle-accurate and the rest execute functionally; report()
+     * extrapolates (see sim/fidelity.hh). Tensor results are
+     * bit-identical across fidelities.
      */
-    Chip(const compiler::CompiledModel &model, std::uint64_t seed = 1);
+    Chip(const compiler::CompiledModel &model, std::uint64_t seed = 1,
+         Fidelity fidelity = Fidelity::Cycle);
 
     /** Reset memory, recurrent state, and all statistics. */
     void reset();
@@ -138,6 +144,7 @@ class Chip
     const arch::MannaConfig &config() const { return model_.archCfg; }
     const mann::MannConfig &mannConfig() const { return model_.mannCfg; }
     const compiler::CompiledModel &model() const { return model_; }
+    Fidelity fidelity() const { return fidelity_; }
 
     /** Attach an instruction tracer to every tile (nullptr detaches). */
     void attachTrace(TraceLogger *logger);
@@ -154,8 +161,19 @@ class Chip
   private:
     void loadState();
     void runSegment(const compiler::CompiledSegment &segment);
+    void runTilesToCompletion(
+        const compiler::CompiledSegment &segment);
     void handleComm(const isa::Instruction &inst);
     void checkCancelled() const;
+    /** report() body for the cycle-accurate counters (also the
+     * calibration snapshots in fast mode). */
+    RunReport cycleReport() const;
+    /** After the calibration prefix, switch every tile to
+     * functional-only execution and start recording the replay tape
+     * (sim/replay.hh). */
+    void activateFastMode();
+    /** Execute one time step from the recorded tape. */
+    void runTape();
 
     const compiler::CompiledModel &model_;
     arch::EnergyModel energy_;
@@ -187,6 +205,20 @@ class Chip
     std::map<mann::KernelGroup, GroupStats> groups_;
     std::size_t steps_ = 0;
     mann::KernelGroup currentGroup_ = mann::KernelGroup::Controller;
+
+    // fidelity=fast calibration state: snapshots after the first and
+    // second cycle-accurate steps; fastActive_ flips once both exist.
+    Fidelity fidelity_ = Fidelity::Cycle;
+    bool fastActive_ = false;
+    RunReport calib1_;
+    RunReport calib2_;
+
+    // fidelity=fast step-replay tape: recorded during the first
+    // fast-functional step, replayed for every later step. The
+    // ptr scratch vectors stage per-tile comm spans while recording.
+    ReplayTape tape_;
+    std::vector<const float *> commSrcPtrs_;
+    std::vector<float *> commDstPtrs_;
 
     const CancelToken *cancel_ = nullptr;
 };

@@ -14,11 +14,33 @@ using compiler::CommTag;
 using isa::Instruction;
 using isa::Opcode;
 
-DncChip::DncChip(const compiler::CompiledDnc &model,
-                 std::uint64_t seed)
+namespace
+{
+
+/** MANN-shaped view of a DNC config, for the analytic cost model. */
+mann::MannConfig
+mannShapeOf(const mann::DncConfig &dc)
+{
+    mann::MannConfig mc;
+    mc.memN = dc.memN;
+    mc.memM = dc.memM;
+    mc.controllerLayers = dc.controllerLayers;
+    mc.controllerWidth = dc.controllerWidth;
+    mc.controllerKind = dc.controllerKind;
+    mc.inputDim = dc.inputDim;
+    mc.outputDim = dc.outputDim;
+    mc.numReadHeads = dc.numReadHeads;
+    mc.numWriteHeads = 1;
+    return mc;
+}
+
+} // namespace
+
+DncChip::DncChip(const compiler::CompiledDnc &model, std::uint64_t seed,
+                 Fidelity fidelity)
     : model_(model), energy_(model.archCfg),
       noc_(model.archCfg, energy_), ctrlModel_(model.archCfg, energy_),
-      dnc_(model.dncCfg, seed)
+      dnc_(model.dncCfg, seed), fidelity_(fidelity)
 {
     TileLayoutSizes sizes;
     sizes.matBufWords = model_.layout.matBufWords;
@@ -48,11 +70,15 @@ DncChip::reset()
     readVectors_.assign(model_.dncCfg.numReadHeads,
                         tensor::FVec(model_.dncCfg.memM, 0.0f));
     nocBuffer_.clear();
+    tape_.clear();
     chipTime_ = 0;
     nocEnergyPj_ = 0.0;
     ctrlEnergyPj_ = 0.0;
     groups_.clear();
     steps_ = 0;
+    fastActive_ = false; // tile flags were cleared by tile->reset()
+    calib1_ = RunReport();
+    calib2_ = RunReport();
 }
 
 void
@@ -127,30 +153,82 @@ DncChip::step(const tensor::FVec &input)
     pendingHidden_ = ctrl.hidden;
     pendingHidden_.push_back(1.0f);
 
-    mann::MannConfig ctrlShape;
-    ctrlShape.controllerLayers = dc.controllerLayers;
-    ctrlShape.controllerWidth = dc.controllerWidth;
-    ctrlShape.controllerKind = dc.controllerKind;
-    ctrlShape.inputDim = dc.inputDim;
-    ctrlShape.outputDim = dc.outputDim;
-    ctrlShape.memM = dc.memM;
-    ctrlShape.numReadHeads = dc.numReadHeads;
-    const CtrlCost ctrlCost = ctrlModel_.forwardCost(ctrlShape);
-    ctrlEnergyPj_ += ctrlCost.energyPj;
-    auto &ctrlGroup = groups_[mann::KernelGroup::Controller];
-    ctrlGroup.cycles += ctrlCost.cycles;
-    ctrlGroup.energyPj += ctrlCost.energyPj;
-    chipTime_ += ctrlCost.cycles;
-    controllerReady_ = chipTime_;
-    for (auto &tile : tiles_)
-        tile->alignTo(std::max(tile->quiesceTime(), chipTime_),
-                      StallReason::Ctrl);
+    if (!fastActive_) {
+        mann::MannConfig ctrlShape;
+        ctrlShape.controllerLayers = dc.controllerLayers;
+        ctrlShape.controllerWidth = dc.controllerWidth;
+        ctrlShape.controllerKind = dc.controllerKind;
+        ctrlShape.inputDim = dc.inputDim;
+        ctrlShape.outputDim = dc.outputDim;
+        ctrlShape.memM = dc.memM;
+        ctrlShape.numReadHeads = dc.numReadHeads;
+        const CtrlCost ctrlCost = ctrlModel_.forwardCost(ctrlShape);
+        ctrlEnergyPj_ += ctrlCost.energyPj;
+        auto &ctrlGroup = groups_[mann::KernelGroup::Controller];
+        ctrlGroup.cycles += ctrlCost.cycles;
+        ctrlGroup.energyPj += ctrlCost.energyPj;
+        chipTime_ += ctrlCost.cycles;
+        controllerReady_ = chipTime_;
+        for (auto &tile : tiles_)
+            tile->alignTo(std::max(tile->quiesceTime(), chipTime_),
+                          StallReason::Ctrl);
+    }
 
-    for (const auto &segment : model_.stepSegments)
-        runSegment(segment);
+    if (tape_.ready()) {
+        runTape();
+    } else {
+        for (const auto &segment : model_.stepSegments)
+            runSegment(segment);
+    }
 
     ++steps_;
+    if (fidelity_ == Fidelity::Fast && !fastActive_) {
+        if (steps_ == kFastCalibrationSteps - 1) {
+            calib1_ = cycleReport();
+            // Record during the last calibration step (see sim::Chip).
+            tape_.startRecording();
+            for (auto &tile : tiles_)
+                tile->setReplayTape(&tape_);
+        } else if (steps_ == kFastCalibrationSteps) {
+            calib2_ = cycleReport();
+            tape_.finishRecording();
+            for (auto &tile : tiles_)
+                tile->setReplayTape(nullptr);
+            activateFastMode();
+        }
+    }
     return ctrl.output;
+}
+
+void
+DncChip::activateFastMode()
+{
+    fastActive_ = true;
+    for (auto &tile : tiles_)
+        tile->setFastFunctional(true);
+}
+
+void
+DncChip::runTape()
+{
+    for (const ReplayOp &op : tape_.ops()) {
+        switch (op.kind) {
+          case ReplayKind::Copy2d:
+          case ReplayKind::Vmm:
+          case ReplayKind::Elementwise:
+          case ReplayKind::Sfu:
+          case ReplayKind::FusedRowUpdate:
+            execTileOp(op, &tape_);
+            break;
+          case ReplayKind::UsageToAlloc:
+            nocBuffer_ = mann::dncAllocationFromUsage(nocBuffer_);
+            break;
+          default:
+            execCommOp(op, tape_, nocBuffer_, readVectors_,
+                       pendingHidden_);
+            break;
+        }
+    }
 }
 
 std::vector<tensor::FVec>
@@ -164,19 +242,10 @@ DncChip::run(const std::vector<tensor::FVec> &inputs)
 }
 
 void
-DncChip::runSegment(const compiler::CompiledSegment &segment)
+DncChip::runTilesToCompletion(const compiler::CompiledSegment &segment)
 {
-    const Cycle segStart = chipTime_;
-    std::vector<Energy> tileEnergyBefore;
-    for (auto &tile : tiles_)
-        tileEnergyBefore.push_back(tile->energyPj());
-    const Energy nocBefore = nocEnergyPj_;
-
-    for (std::size_t t = 0; t < tiles_.size(); ++t) {
-        tiles_[t]->alignTo(std::max(tiles_[t]->quiesceTime(), segStart));
+    for (std::size_t t = 0; t < tiles_.size(); ++t)
         tiles_[t]->setProgram(&segment.tilePrograms[t]);
-    }
-
     while (true) {
         checkCancelled();
         bool allDone = true;
@@ -195,6 +264,24 @@ DncChip::runSegment(const compiler::CompiledSegment &segment)
         }
         handleComm(inst);
     }
+}
+
+void
+DncChip::runSegment(const compiler::CompiledSegment &segment)
+{
+    if (fastActive_) {
+        runTilesToCompletion(segment);
+        return;
+    }
+    const Cycle segStart = chipTime_;
+    std::vector<Energy> tileEnergyBefore;
+    for (auto &tile : tiles_)
+        tileEnergyBefore.push_back(tile->energyPj());
+    const Energy nocBefore = nocEnergyPj_;
+
+    for (auto &tile : tiles_)
+        tile->alignTo(std::max(tile->quiesceTime(), segStart));
+    runTilesToCompletion(segment);
 
     Cycle segEnd = segStart;
     for (auto &tile : tiles_)
@@ -216,8 +303,9 @@ DncChip::handleComm(const Instruction &inst)
     const CommTag tag = compiler::commTagOf(inst.count);
 
     Cycle commStart = 0;
-    for (auto &tile : tiles_)
-        commStart = std::max(commStart, tile->quiesceTime());
+    if (!fastActive_)
+        for (auto &tile : tiles_)
+            commStart = std::max(commStart, tile->quiesceTime());
 
     if (inst.op == Opcode::Reduce) {
         const std::size_t words = inst.srcA.len;
@@ -226,33 +314,66 @@ DncChip::handleComm(const Instruction &inst)
         for (auto &tile : tiles_)
             perTile.push_back(tile->readOperand(inst.srcA));
         nocBuffer_ = Noc::combine(perTile, inst.flags.reduceOp);
-        nocEnergyPj_ += noc_.reduceEnergyPj(words);
-        noc_.recordReduce(words, noc_.reduceCycles(words));
-        chipTime_ = commStart + noc_.reduceCycles(words);
+        if (tape_.recording()) {
+            commSrcPtrs_.clear();
+            for (auto &tile : tiles_)
+                commSrcPtrs_.push_back(tile->operandSpan(inst.srcA));
+            ReplayOp rop;
+            rop.kind = ReplayKind::Reduce;
+            rop.n = static_cast<std::uint32_t>(words);
+            rop.rows = static_cast<std::uint32_t>(tiles_.size());
+            rop.pitchA = tape_.appendSrcPtrs(commSrcPtrs_);
+            if (inst.flags.reduceOp != isa::ReduceOp::Sum)
+                rop.flags |= kReplayReduceMax;
+            tape_.append(rop);
+        }
+        if (!fastActive_) {
+            nocEnergyPj_ += noc_.reduceEnergyPj(words);
+            noc_.recordReduce(words, noc_.reduceCycles(words));
+            chipTime_ = commStart + noc_.reduceCycles(words);
+        }
 
         if (tag == CommTag::ReadVectorOut) {
             const std::uint32_t h = compiler::commIndexOf(inst.count);
             MANNA_ASSERT(h < readVectors_.size(),
                          "read-vector index %u out of range", h);
             readVectors_[h] = nocBuffer_;
+            if (tape_.recording()) {
+                ReplayOp rop;
+                rop.kind = ReplayKind::ReadVectorOut;
+                rop.n = static_cast<std::uint32_t>(words);
+                rop.rows = h;
+                tape_.append(rop);
+            }
         } else if (tag == CommTag::UsageToAllocation) {
             // The Controller tile runs the free-list scan: identical
             // code to the golden model, plus a sort-network latency
             // charge of ~N log2 N cycles and one SFU-class op per
             // element scanned.
             const auto n = static_cast<std::uint32_t>(words);
+            // The free-list scan itself is functional state — it must
+            // run in every fidelity; only its latency/energy charges
+            // are calibration-prefix work.
             nocBuffer_ = mann::dncAllocationFromUsage(nocBuffer_);
-            const Cycle sortCycles =
-                static_cast<Cycle>(n) *
-                std::max<std::uint32_t>(log2Ceil(n), 1);
-            chipTime_ += sortCycles;
-            ctrlEnergyPj_ +=
-                static_cast<double>(n) *
-                energy_.eventEnergyPj(arch::EnergyEvent::SfuOp);
-            auto &gs = groups_[mann::KernelGroup::Addressing];
-            gs.energyPj +=
-                static_cast<double>(n) *
-                energy_.eventEnergyPj(arch::EnergyEvent::SfuOp);
+            if (tape_.recording()) {
+                ReplayOp rop;
+                rop.kind = ReplayKind::UsageToAlloc;
+                rop.n = n;
+                tape_.append(rop);
+            }
+            if (!fastActive_) {
+                const Cycle sortCycles =
+                    static_cast<Cycle>(n) *
+                    std::max<std::uint32_t>(log2Ceil(n), 1);
+                chipTime_ += sortCycles;
+                ctrlEnergyPj_ +=
+                    static_cast<double>(n) *
+                    energy_.eventEnergyPj(arch::EnergyEvent::SfuOp);
+                auto &gs = groups_[mann::KernelGroup::Addressing];
+                gs.energyPj +=
+                    static_cast<double>(n) *
+                    energy_.eventEnergyPj(arch::EnergyEvent::SfuOp);
+            }
         }
     } else {
         MANNA_ASSERT(inst.op == Opcode::Broadcast,
@@ -268,9 +389,24 @@ DncChip::handleComm(const Instruction &inst)
                      words, nocBuffer_.size());
         for (auto &tile : tiles_)
             tile->writeOperand(inst.dst, nocBuffer_);
-        nocEnergyPj_ += noc_.broadcastEnergyPj(words);
-        noc_.recordBroadcast(words, noc_.broadcastCycles(words));
-        chipTime_ = commStart + noc_.broadcastCycles(words);
+        if (tape_.recording()) {
+            commDstPtrs_.clear();
+            for (auto &tile : tiles_)
+                commDstPtrs_.push_back(tile->operandSpanMut(inst.dst));
+            ReplayOp rop;
+            rop.kind = ReplayKind::Broadcast;
+            rop.n = static_cast<std::uint32_t>(words);
+            rop.rows = static_cast<std::uint32_t>(tiles_.size());
+            rop.pitchA = tape_.appendDstPtrs(commDstPtrs_);
+            if (tag == CommTag::HiddenIn)
+                rop.flags |= kReplayHiddenIn;
+            tape_.append(rop);
+        }
+        if (!fastActive_) {
+            nocEnergyPj_ += noc_.broadcastEnergyPj(words);
+            noc_.recordBroadcast(words, noc_.broadcastCycles(words));
+            chipTime_ = commStart + noc_.broadcastCycles(words);
+        }
     }
 
     for (auto &tile : tiles_)
@@ -278,7 +414,7 @@ DncChip::handleComm(const Instruction &inst)
 }
 
 RunReport
-DncChip::report() const
+DncChip::cycleReport() const
 {
     RunReport rep;
     rep.steps = steps_;
@@ -294,6 +430,28 @@ DncChip::report() const
         energy_.infrastructureWatts() * rep.totalSeconds * 1e12;
     rep.groups = groups_;
     populateRunStats(rep, tiles_, noc_, ctrlModel_);
+    return rep;
+}
+
+RunReport
+DncChip::report() const
+{
+    RunReport rep;
+    std::size_t calibrated = 0;
+    std::size_t extrapolated = 0;
+    if (fastActive_ && steps_ > kFastCalibrationSteps)
+        rep = extrapolateRunReport(calib1_, calib2_, steps_);
+    else if (fastActive_)
+        rep = calib2_; // exactly the calibration prefix was run
+    else
+        rep = cycleReport();
+    if (fidelity_ == Fidelity::Fast) {
+        calibrated = std::min(steps_, kFastCalibrationSteps);
+        extrapolated = steps_ - calibrated;
+    }
+    markFidelity(rep, fidelity_, calibrated, extrapolated,
+                 analyticCyclesPerStep(mannShapeOf(model_.dncCfg),
+                                       model_.archCfg));
     return rep;
 }
 

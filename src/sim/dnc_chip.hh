@@ -33,7 +33,11 @@ namespace manna::sim
 class DncChip
 {
   public:
-    DncChip(const compiler::CompiledDnc &model, std::uint64_t seed = 1);
+    /** Same fidelity semantics as sim::Chip: Fidelity::Fast runs a
+     * cycle-accurate calibration prefix, then functional-only steps
+     * with the report extrapolated (bit-identical tensor results). */
+    DncChip(const compiler::CompiledDnc &model, std::uint64_t seed = 1,
+            Fidelity fidelity = Fidelity::Cycle);
 
     void reset();
 
@@ -55,6 +59,7 @@ class DncChip
     tensor::FVec gatherUsage() const;
 
     const compiler::CompiledDnc &model() const { return model_; }
+    Fidelity fidelity() const { return fidelity_; }
 
     /** Attach an instruction tracer to every tile (nullptr detaches). */
     void attachTrace(TraceLogger *logger);
@@ -67,7 +72,14 @@ class DncChip
     void loadState();
     void checkCancelled() const;
     void runSegment(const compiler::CompiledSegment &segment);
+    void runTilesToCompletion(
+        const compiler::CompiledSegment &segment);
     void handleComm(const isa::Instruction &inst);
+    RunReport cycleReport() const;
+    void activateFastMode();
+    /** Execute one time step from the recorded replay tape
+     * (sim/replay.hh), including the DNC-only UsageToAlloc op. */
+    void runTape();
     void loadPartition(const compiler::RowPartition &part,
                        const tensor::FMat &source);
     tensor::FMat gatherPartition(const compiler::RowPartition &part,
@@ -91,6 +103,17 @@ class DncChip
     Energy ctrlEnergyPj_ = 0.0;
     std::map<mann::KernelGroup, GroupStats> groups_;
     std::size_t steps_ = 0;
+
+    // fidelity=fast calibration state (see sim::Chip).
+    Fidelity fidelity_ = Fidelity::Cycle;
+    bool fastActive_ = false;
+    RunReport calib1_;
+    RunReport calib2_;
+
+    // fidelity=fast step-replay tape (see sim::Chip).
+    ReplayTape tape_;
+    std::vector<const float *> commSrcPtrs_;
+    std::vector<float *> commDstPtrs_;
 
     const CancelToken *cancel_ = nullptr;
 };

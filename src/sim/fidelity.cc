@@ -1,0 +1,161 @@
+#include "fidelity.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.hh"
+#include "sim/chip.hh"
+
+namespace manna::sim
+{
+
+const char *
+toString(Fidelity f)
+{
+    return f == Fidelity::Fast ? "fast" : "cycle";
+}
+
+std::optional<Fidelity>
+parseFidelity(std::string_view text)
+{
+    std::string lower;
+    lower.reserve(text.size());
+    for (char c : text)
+        lower.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+    if (lower == "cycle")
+        return Fidelity::Cycle;
+    if (lower == "fast")
+        return Fidelity::Fast;
+    return std::nullopt;
+}
+
+Fidelity
+defaultFidelity()
+{
+    const char *env = std::getenv("MANNA_FIDELITY");
+    if (env == nullptr || *env == '\0')
+        return Fidelity::Cycle;
+    const auto parsed = parseFidelity(env);
+    if (!parsed) {
+        warn("MANNA_FIDELITY=%s not recognized (want cycle|fast); "
+             "using cycle",
+             env);
+        return Fidelity::Cycle;
+    }
+    return *parsed;
+}
+
+RunReport
+extrapolateRunReport(const RunReport &r1, const RunReport &r2,
+                     std::size_t steps)
+{
+    MANNA_ASSERT(r1.steps + 1 == r2.steps,
+                 "calibration snapshots must be consecutive steps "
+                 "(%zu then %zu)",
+                 r1.steps, r2.steps);
+    MANNA_ASSERT(steps >= r2.steps,
+                 "cannot extrapolate %zu steps backwards from %zu",
+                 steps, r2.steps);
+    const auto extraSteps = static_cast<Cycle>(steps - r2.steps);
+    const double extra = static_cast<double>(extraSteps);
+
+    RunReport out = r2; // keeps descriptions and the full key set
+    out.steps = steps;
+    MANNA_ASSERT(r2.totalCycles >= r1.totalCycles,
+                 "chip time went backwards between snapshots");
+    const Cycle cyclesPerStep = r2.totalCycles - r1.totalCycles;
+    out.totalCycles = r2.totalCycles + cyclesPerStep * extraSteps;
+    out.totalSeconds =
+        r2.totalSeconds + (r2.totalSeconds - r1.totalSeconds) * extra;
+    out.dynamicEnergyPj =
+        r2.dynamicEnergyPj +
+        (r2.dynamicEnergyPj - r1.dynamicEnergyPj) * extra;
+    out.leakageEnergyPj =
+        r2.leakageEnergyPj +
+        (r2.leakageEnergyPj - r1.leakageEnergyPj) * extra;
+    out.infrastructureEnergyPj =
+        r2.infrastructureEnergyPj +
+        (r2.infrastructureEnergyPj - r1.infrastructureEnergyPj) *
+            extra;
+
+    for (auto &[group, gs] : out.groups) {
+        GroupStats prev; // groups absent at step 1 extrapolate from 0
+        const auto it = r1.groups.find(group);
+        if (it != r1.groups.end())
+            prev = it->second;
+        gs.cycles += (gs.cycles - prev.cycles) * extraSteps;
+        gs.energyPj += (gs.energyPj - prev.energyPj) * extra;
+    }
+
+    for (const auto &[key, v2] : r2.stats.entries()) {
+        const double v1 = r1.stats.get(key);
+        out.stats.set(key, v2 + (v2 - v1) * extra);
+    }
+
+    // Fix up the non-linear (ratio) and count keys.
+    out.stats.set("chip.steps", static_cast<double>(steps));
+    out.stats.set("chip.cycles", static_cast<double>(out.totalCycles));
+    const double total = static_cast<double>(out.totalCycles);
+    const double tiles = out.stats.get("chip.tiles");
+    if (total > 0.0 && tiles > 0.0) {
+        static constexpr const char *kEngines[] = {"emac", "sfu",
+                                                   "mat_dma",
+                                                   "vec_dma"};
+        for (const char *engine : kEngines) {
+            const double busy = out.stats.sumOver(
+                "tile", std::string(engine) + ".busy_cycles");
+            const double util = busy / (total * tiles);
+            out.resourceUtilization[engine] = util;
+            out.stats.set(std::string("chip.util.") + engine, util);
+        }
+    }
+    return out;
+}
+
+double
+analyticCyclesPerStep(const mann::MannConfig &mc,
+                      const arch::MannaConfig &ac)
+{
+    const mann::OpCounter counter(mc);
+    const mann::KernelWork total = counter.totalWork();
+    const double tiles = static_cast<double>(ac.numTiles);
+    const double emacLanes =
+        tiles * static_cast<double>(ac.emacsPerTile);
+    const double emacCycles =
+        static_cast<double>(total.macOps + total.elwiseOps) /
+        emacLanes;
+    // The serial SFU is the known scaling limiter; charge the average
+    // exp-class latency per special op.
+    const double sfuCycles =
+        static_cast<double>(total.specialOps) *
+        static_cast<double>(ac.sfuExpCycles) /
+        (tiles * static_cast<double>(ac.sfusPerTile));
+    const double dmaCycles =
+        static_cast<double>(total.memReads + total.memWrites) /
+        (tiles * static_cast<double>(ac.vectorDmaWidthWords));
+    // One H-tree barrier per kernel: log2(tiles) store-and-forward
+    // hops each way.
+    const double hops = tiles > 1.0 ? std::ceil(std::log2(tiles)) : 0.0;
+    const double nocCycles =
+        static_cast<double>(mann::kNumKernels) * 2.0 * hops *
+        static_cast<double>(ac.nocHopCycles);
+    return emacCycles + sfuCycles + dmaCycles + nocCycles;
+}
+
+void
+markFidelity(RunReport &rep, Fidelity f, std::size_t calibrated,
+             std::size_t extrapolated, double analyticPerStep)
+{
+    rep.stats.set("fidelity.fast", f == Fidelity::Fast ? 1.0 : 0.0);
+    rep.stats.set("fidelity.calibration_steps",
+                  static_cast<double>(calibrated));
+    rep.stats.set("fidelity.extrapolated_steps",
+                  static_cast<double>(extrapolated));
+    rep.stats.set("fidelity.analytic_cycles_per_step",
+                  analyticPerStep);
+}
+
+} // namespace manna::sim

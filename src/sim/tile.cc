@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/strutil.hh"
+#include "tensor/dispatch.hh"
 #include "tensor/vector_ops.hh"
 
 namespace manna::sim
@@ -193,6 +194,8 @@ DiffMemTile::resumeAfterComm(Cycle resumeAt)
     // The communication instruction is a fence (Section 5.1).
     commInstruction(); // asserts we are actually blocked
     ++pc_;
+    if (fastFunctional_)
+        return; // no timelines to fence, no counters to charge
     alignTo(resumeAt, StallReason::Fence);
     stats_.inc("comm_instructions");
 }
@@ -261,6 +264,8 @@ DiffMemTile::reset()
     std::fill(std::begin(opWords_), std::end(opWords_), 0.0);
     lastOpBusy_ = 0.0;
     lastOpWords_ = 0.0;
+    fastFunctional_ = false;
+    tape_ = nullptr;
     program_ = nullptr;
     pc_ = 0;
     loopStack_.clear();
@@ -392,8 +397,10 @@ DiffMemTile::opProfile() const
 void
 DiffMemTile::execute(const Instruction &inst)
 {
-    stats_.inc("instructions");
-    charge(arch::EnergyEvent::InstructionIssue, 1.0);
+    if (!fastFunctional_) {
+        stats_.inc("instructions");
+        charge(arch::EnergyEvent::InstructionIssue, 1.0);
+    }
     const Cycle issuedAt = now_;
     lastOpBusy_ = 0.0;
     lastOpWords_ = 0.0;
@@ -435,6 +442,8 @@ DiffMemTile::execute(const Instruction &inst)
         panic("unexpected opcode %s in execute",
               toString(inst.op));
     }
+    if (fastFunctional_)
+        return;
     const auto opIdx = static_cast<std::size_t>(inst.op);
     opCycles_[opIdx] += lastOpBusy_;
     opOps_[opIdx] += 1.0;
@@ -482,76 +491,79 @@ DiffMemTile::execDmaMatrix(const Instruction &inst)
                  "matrix DMA: buffer pitch %u < row width %u", bufPitch,
                  rowWords);
 
-    // Timing. Loads rotate the double-buffer halves; a load may only
-    // overwrite a half once the compute that consumed it has drained
-    // (WAR through spadReadEnd_).
-    StallPicker p(freeTime(TraceLane::MatDma));
-    p.consider(now_, StallReason::Issue);
-    Cycle dur = static_cast<Cycle>(rows) *
-                ceilDiv(rowWords, cfg_.matrixBufferWidthWords);
-    if (isDmat)
-        dur += 1; // pipelined skew-pad insertion
-    Cycle start;
-    if (isStore) {
-        const std::size_t half = computeHalf();
-        p.consider(spadWriteEnd_[half],
-                   spadWriteWhy_[half]); // data ready
-        writeDependency(dst, p);
-        start = p.at;
-        attributeStall(TraceLane::MatDma, p);
-        const Cycle end = start + std::max<Cycle>(dur, 1);
-        stats_.inc("mat_dma.busy_cycles",
-                   static_cast<double>(end - start));
-        lastOpBusy_ = static_cast<double>(end - start);
-        freeTime(TraceLane::MatDma) = end;
-        spadReadEnd_[half] = std::max(spadReadEnd_[half], end);
-        noteWrite(dst, end, StallReason::Dma);
-        finish(end);
-    } else {
-        const std::size_t half = loadHalf();
-        p.consider(spadReadEnd_[half], StallReason::Drain);
-        p.consider(spadWriteEnd_[half], spadWriteWhy_[half]);
-        readDependency(src, p);
-        start = p.at;
-        attributeStall(TraceLane::MatDma, p);
-        const Cycle end = start + std::max<Cycle>(dur, 1);
-        stats_.inc("mat_dma.busy_cycles",
-                   static_cast<double>(end - start));
-        lastOpBusy_ = static_cast<double>(end - start);
-        if (isDmat) {
-            stats_.inc("dmat.loads");
-            stats_.inc("dmat.transfer_cycles",
+    if (!fastFunctional_) {
+        // Timing. Loads rotate the double-buffer halves; a load may
+        // only overwrite a half once the compute that consumed it has
+        // drained (WAR through spadReadEnd_).
+        StallPicker p(freeTime(TraceLane::MatDma));
+        p.consider(now_, StallReason::Issue);
+        Cycle dur = static_cast<Cycle>(rows) *
+                    ceilDiv(rowWords, cfg_.matrixBufferWidthWords);
+        if (isDmat)
+            dur += 1; // pipelined skew-pad insertion
+        Cycle start;
+        if (isStore) {
+            const std::size_t half = computeHalf();
+            p.consider(spadWriteEnd_[half],
+                       spadWriteWhy_[half]); // data ready
+            writeDependency(dst, p);
+            start = p.at;
+            attributeStall(TraceLane::MatDma, p);
+            const Cycle end = start + std::max<Cycle>(dur, 1);
+            stats_.inc("mat_dma.busy_cycles",
                        static_cast<double>(end - start));
+            lastOpBusy_ = static_cast<double>(end - start);
+            freeTime(TraceLane::MatDma) = end;
+            spadReadEnd_[half] = std::max(spadReadEnd_[half], end);
+            noteWrite(dst, end, StallReason::Dma);
+            finish(end);
+        } else {
+            const std::size_t half = loadHalf();
+            p.consider(spadReadEnd_[half], StallReason::Drain);
+            p.consider(spadWriteEnd_[half], spadWriteWhy_[half]);
+            readDependency(src, p);
+            start = p.at;
+            attributeStall(TraceLane::MatDma, p);
+            const Cycle end = start + std::max<Cycle>(dur, 1);
+            stats_.inc("mat_dma.busy_cycles",
+                       static_cast<double>(end - start));
+            lastOpBusy_ = static_cast<double>(end - start);
+            if (isDmat) {
+                stats_.inc("dmat.loads");
+                stats_.inc("dmat.transfer_cycles",
+                           static_cast<double>(end - start));
+            }
+            freeTime(TraceLane::MatDma) = end;
+            spadWriteEnd_[half] = end;
+            spadWriteWhy_[half] = StallReason::Dma;
+            ++dmaLoadCount_;
+            finish(end);
         }
-        freeTime(TraceLane::MatDma) = end;
-        spadWriteEnd_[half] = end;
-        spadWriteWhy_[half] = StallReason::Dma;
-        ++dmaLoadCount_;
-        finish(end);
-    }
-    now_ = start + 1;
+        now_ = start + 1;
 
-    // Energy: every word moves buffer<->scratchpad once.
-    const double words = static_cast<double>(rows) * rowWords;
-    charge(accessEvent(bufSide.space), words);
-    charge(arch::EnergyEvent::MatrixScratchpadAccess, words);
-    stats_.inc("mat_dma.words", words);
-    lastOpWords_ = words;
+        // Energy: every word moves buffer<->scratchpad once.
+        const double words = static_cast<double>(rows) * rowWords;
+        charge(accessEvent(bufSide.space), words);
+        charge(arch::EnergyEvent::MatrixScratchpadAccess, words);
+        stats_.inc("mat_dma.words", words);
+        lastOpWords_ = words;
+    }
 
     // Functional copy with pitches. The effective base of the buffer
     // side addresses the first row; subsequent rows advance by
-    // bufPitch.
-    for (std::uint32_t r = 0; r < rows; ++r) {
-        const std::uint32_t srcOff =
-            isStore ? src.base + r * spadPitch
-                    : src.base + r * bufPitch;
-        const std::uint32_t dstOff =
-            isStore ? dst.base + r * bufPitch
-                    : dst.base + r * spadPitch;
-        const float *from = mem_.span(src.space, srcOff, rowWords);
-        float *to = mem_.span(dst.space, dstOff, rowWords);
-        std::copy(from, from + rowWords, to);
-    }
+    // bufPitch. The span covers first row start through last row end
+    // (every row is in the buffer, so the full extent is too).
+    ReplayOp rop;
+    rop.kind = ReplayKind::Copy2d;
+    rop.n = rowWords;
+    rop.rows = rows;
+    rop.pitchA = isStore ? spadPitch : bufPitch;
+    rop.pitchD = isStore ? bufPitch : spadPitch;
+    rop.a = mem_.span(src.space, src.base,
+                      (rows - 1) * rop.pitchA + rowWords);
+    rop.d = mem_.span(dst.space, dst.base,
+                      (rows - 1) * rop.pitchD + rowWords);
+    runFunctional(rop);
 }
 
 void
@@ -562,31 +574,38 @@ DiffMemTile::execDmaVector(const Instruction &inst)
     MANNA_ASSERT(src.len == dst.len, "vector DMA len %u != %u", src.len,
                  dst.len);
 
-    StallPicker p(freeTime(TraceLane::VecDma));
-    p.consider(now_, StallReason::Issue);
-    readDependency(src, p);
-    writeDependency(dst, p);
-    const Cycle start = p.at;
-    attributeStall(TraceLane::VecDma, p);
-    const Cycle dur =
-        std::max<Cycle>(ceilDiv(src.len, cfg_.vectorDmaWidthWords), 1);
-    const Cycle end = start + dur;
-    stats_.inc("vec_dma.busy_cycles", static_cast<double>(end - start));
-    lastOpBusy_ = static_cast<double>(end - start);
-    freeTime(TraceLane::VecDma) = end;
-    noteRead(src, end);
-    noteWrite(dst, end, StallReason::Dma);
-    finish(end);
-    now_ = start + 1;
+    if (!fastFunctional_) {
+        StallPicker p(freeTime(TraceLane::VecDma));
+        p.consider(now_, StallReason::Issue);
+        readDependency(src, p);
+        writeDependency(dst, p);
+        const Cycle start = p.at;
+        attributeStall(TraceLane::VecDma, p);
+        const Cycle dur = std::max<Cycle>(
+            ceilDiv(src.len, cfg_.vectorDmaWidthWords), 1);
+        const Cycle end = start + dur;
+        stats_.inc("vec_dma.busy_cycles",
+                   static_cast<double>(end - start));
+        lastOpBusy_ = static_cast<double>(end - start);
+        freeTime(TraceLane::VecDma) = end;
+        noteRead(src, end);
+        noteWrite(dst, end, StallReason::Dma);
+        finish(end);
+        now_ = start + 1;
 
-    charge(accessEvent(src.space), src.len);
-    charge(accessEvent(dst.space), dst.len);
-    stats_.inc("vec_dma.words", src.len);
-    lastOpWords_ = src.len;
+        charge(accessEvent(src.space), src.len);
+        charge(accessEvent(dst.space), dst.len);
+        stats_.inc("vec_dma.words", src.len);
+        lastOpWords_ = src.len;
+    }
 
-    const float *from = mem_.span(src.space, src.base, src.len);
-    float *to = mem_.span(dst.space, dst.base, dst.len);
-    std::copy(from, from + src.len, to);
+    ReplayOp rop;
+    rop.kind = ReplayKind::Copy2d;
+    rop.n = src.len;
+    rop.rows = 1;
+    rop.a = mem_.span(src.space, src.base, src.len);
+    rop.d = mem_.span(dst.space, dst.base, dst.len);
+    runFunctional(rop);
 }
 
 void
@@ -622,124 +641,107 @@ DiffMemTile::execVmm(const Instruction &inst)
                  numRows, pitch);
     MANNA_ASSERT(numRows > 0 && numCols > 0, "vmm with empty block");
 
-    // Timing.
-    StallPicker p(freeTime(TraceLane::Compute));
-    p.consider(now_, StallReason::Issue);
-    readDependency(vec, p);
-    readDependency(matBlock, p);
-    writeDependency(dst, p);
-    if (accumulate)
-        readDependency(dst, p);
-    const Cycle start = p.at;
-    attributeStall(TraceLane::Compute, p);
+    if (!fastFunctional_) {
+        // Timing.
+        StallPicker p(freeTime(TraceLane::Compute));
+        p.consider(now_, StallReason::Issue);
+        readDependency(vec, p);
+        readDependency(matBlock, p);
+        writeDependency(dst, p);
+        if (accumulate)
+            readDependency(dst, p);
+        const Cycle start = p.at;
+        attributeStall(TraceLane::Compute, p);
 
-    Cycle dur;
-    double conflictExtra = 0.0;
-    const std::size_t lanes = cfg_.emacsPerTile;
-    if (rowDot) {
-        // Each lane owns a row and walks the columns.
-        dur = static_cast<Cycle>(numCols) * ceilDiv(numRows, lanes);
-        if (withNorms)
-            dur *= 2;
-        // Column-direction scratchpad traffic: skew-padded (DMAT)
-        // blocks read one word per bank per cycle, unskewed blocks
-        // serialize on bank conflicts (Section 4.4 / Figure 14).
-        stats_.inc(inst.flags.skewed ? "spad.conflict_free_words"
-                                     : "spad.conflict_words",
-                   static_cast<double>(numRows) * numCols);
-        if (inst.flags.skewed) {
-            // Realignment shift of the finished partials, pipelined
-            // with the next block (Section 4.4, step 5).
-            dur += ceilDiv(numRows, lanes);
-        } else {
-            // Unskewed block: banked access in the transposed
-            // direction partially serializes on conflicts (this is
-            // the no-DMAT path of the Figure 14 ablation). The array
-            // occupies the whole interval but only the pre-factor
-            // base is useful work; the serialization overhead is
-            // accounted as stall.bank_conflict, not busy time.
-            const Cycle base = dur;
-            dur *= cfg_.noDmatConflictFactor;
-            conflictExtra = static_cast<double>(dur - base);
-        }
-    } else {
-        // Each lane owns a column; rows stream one per cycle group.
-        dur = static_cast<Cycle>(numRows) * ceilDiv(numCols, lanes);
-    }
-    const Cycle end = start + std::max<Cycle>(dur, 1);
-    const double busy =
-        static_cast<double>(end - start) - conflictExtra;
-    stats_.inc("emac.busy_cycles", busy);
-    if (conflictExtra > 0.0)
-        stats_.inc(stallKey(TraceLane::Compute,
-                            StallReason::BankConflict),
-                   conflictExtra);
-    lastOpBusy_ = busy;
-    freeTime(TraceLane::Compute) = end;
-    noteRead(vec, end);
-    noteRead(matBlock, end);
-    noteWrite(dst, end, StallReason::Compute);
-    finish(end);
-    now_ = start + 1;
-
-    // Energy.
-    const double macs = static_cast<double>(numRows) * numCols *
-                        (withNorms ? 2.0 : 1.0);
-    charge(arch::EnergyEvent::EmacMac, macs);
-    charge(arch::EnergyEvent::RegisterFileAccess, 2.0 * macs);
-    if (!inst.flags.reuseB)
-        charge(accessEvent(matBlock.space),
-               static_cast<double>(numRows) * numCols);
-    charge(accessEvent(vec.space), vec.len);
-    if (!inst.flags.dstResident)
-        charge(accessEvent(dst.space),
-               static_cast<double>(dst.len) * (accumulate ? 2.0 : 1.0));
-    if (inst.flags.skewed)
-        charge(arch::EnergyEvent::EmacLateralShift,
-               static_cast<double>(numCols) *
-                   ceilDiv(numRows, lanes) * lanes);
-    stats_.inc("emac.mac_ops", macs);
-    lastOpWords_ = static_cast<double>(numRows) * numCols;
-
-    // Functional semantics.
-    const float *v = mem_.span(vec.space, vec.base, vec.len);
-    const float *b =
-        mem_.span(matBlock.space, matBlock.base, matBlock.len);
-    float *d = mem_.span(dst.space, dst.base, dst.len);
-    float *dn = withNorms
-                    ? mem_.span(dst.space, dst.base + inst.count,
-                                numRows)
-                    : nullptr;
-    if (rowDot) {
-        for (std::uint32_t r = 0; r < numRows; ++r) {
-            const float *row = b + r * pitch;
-            float dotAcc = 0.0f;
-            float normAcc = 0.0f;
-            for (std::uint32_t c = 0; c < numCols; ++c) {
-                dotAcc += row[c] * v[c];
-                if (withNorms)
-                    normAcc += row[c] * row[c];
-            }
-            if (accumulate) {
-                d[r] += dotAcc;
-                if (withNorms)
-                    dn[r] += normAcc;
+        Cycle dur;
+        double conflictExtra = 0.0;
+        const std::size_t lanes = cfg_.emacsPerTile;
+        if (rowDot) {
+            // Each lane owns a row and walks the columns.
+            dur = static_cast<Cycle>(numCols) * ceilDiv(numRows, lanes);
+            if (withNorms)
+                dur *= 2;
+            // Column-direction scratchpad traffic: skew-padded (DMAT)
+            // blocks read one word per bank per cycle, unskewed blocks
+            // serialize on bank conflicts (Section 4.4 / Figure 14).
+            stats_.inc(inst.flags.skewed ? "spad.conflict_free_words"
+                                         : "spad.conflict_words",
+                       static_cast<double>(numRows) * numCols);
+            if (inst.flags.skewed) {
+                // Realignment shift of the finished partials,
+                // pipelined with the next block (Section 4.4, step 5).
+                dur += ceilDiv(numRows, lanes);
             } else {
-                d[r] = dotAcc;
-                if (withNorms)
-                    dn[r] = normAcc;
+                // Unskewed block: banked access in the transposed
+                // direction partially serializes on conflicts (this is
+                // the no-DMAT path of the Figure 14 ablation). The
+                // array occupies the whole interval but only the
+                // pre-factor base is useful work; the serialization
+                // overhead is accounted as stall.bank_conflict, not
+                // busy time.
+                const Cycle base = dur;
+                dur *= cfg_.noDmatConflictFactor;
+                conflictExtra = static_cast<double>(dur - base);
             }
+        } else {
+            // Each lane owns a column; rows stream one per cycle
+            // group.
+            dur = static_cast<Cycle>(numRows) * ceilDiv(numCols, lanes);
         }
-    } else {
-        if (!accumulate)
-            std::fill(d, d + numCols, 0.0f);
-        for (std::uint32_t r = 0; r < numRows; ++r) {
-            const float w = v[r];
-            const float *row = b + r * pitch;
-            for (std::uint32_t c = 0; c < numCols; ++c)
-                d[c] += w * row[c];
-        }
+        const Cycle end = start + std::max<Cycle>(dur, 1);
+        const double busy =
+            static_cast<double>(end - start) - conflictExtra;
+        stats_.inc("emac.busy_cycles", busy);
+        if (conflictExtra > 0.0)
+            stats_.inc(stallKey(TraceLane::Compute,
+                                StallReason::BankConflict),
+                       conflictExtra);
+        lastOpBusy_ = busy;
+        freeTime(TraceLane::Compute) = end;
+        noteRead(vec, end);
+        noteRead(matBlock, end);
+        noteWrite(dst, end, StallReason::Compute);
+        finish(end);
+        now_ = start + 1;
+
+        // Energy.
+        const double macs = static_cast<double>(numRows) * numCols *
+                            (withNorms ? 2.0 : 1.0);
+        charge(arch::EnergyEvent::EmacMac, macs);
+        charge(arch::EnergyEvent::RegisterFileAccess, 2.0 * macs);
+        if (!inst.flags.reuseB)
+            charge(accessEvent(matBlock.space),
+                   static_cast<double>(numRows) * numCols);
+        charge(accessEvent(vec.space), vec.len);
+        if (!inst.flags.dstResident)
+            charge(accessEvent(dst.space),
+                   static_cast<double>(dst.len) *
+                       (accumulate ? 2.0 : 1.0));
+        if (inst.flags.skewed)
+            charge(arch::EnergyEvent::EmacLateralShift,
+                   static_cast<double>(numCols) *
+                       ceilDiv(numRows, lanes) * lanes);
+        stats_.inc("emac.mac_ops", macs);
+        lastOpWords_ = static_cast<double>(numRows) * numCols;
     }
+
+    // Functional semantics (shared with replay — sim/replay.cc).
+    ReplayOp rop;
+    rop.kind = ReplayKind::Vmm;
+    rop.n = numCols;
+    rop.rows = numRows;
+    rop.pitchA = pitch;
+    rop.flags = static_cast<std::uint8_t>(
+        (rowDot ? kReplayRowDot : 0) |
+        (withNorms ? kReplayWithNorms : 0) |
+        (accumulate ? kReplayAccumulate : 0));
+    rop.a = mem_.span(vec.space, vec.base, vec.len);
+    rop.b = mem_.span(matBlock.space, matBlock.base, matBlock.len);
+    rop.d = mem_.span(dst.space, dst.base, dst.len);
+    rop.dn = withNorms ? mem_.span(dst.space, dst.base + inst.count,
+                                   numRows)
+                       : nullptr;
+    runFunctional(rop);
 }
 
 void
@@ -765,95 +767,68 @@ DiffMemTile::execElementwise(const Instruction &inst)
                      "%s srcB len %u incompatible with dst %u",
                      toString(inst.op), b.len, len);
 
-    StallPicker p(freeTime(TraceLane::Compute));
-    p.consider(now_, StallReason::Issue);
-    if (needsA)
-        readDependency(a, p);
-    if (needsB)
-        readDependency(b, p);
-    writeDependency(dst, p);
-    if (inst.op == Opcode::EwMac)
-        readDependency(dst, p);
-    const Cycle start = p.at;
-    attributeStall(TraceLane::Compute, p);
+    if (!fastFunctional_) {
+        StallPicker p(freeTime(TraceLane::Compute));
+        p.consider(now_, StallReason::Issue);
+        if (needsA)
+            readDependency(a, p);
+        if (needsB)
+            readDependency(b, p);
+        writeDependency(dst, p);
+        if (inst.op == Opcode::EwMac)
+            readDependency(dst, p);
+        const Cycle start = p.at;
+        attributeStall(TraceLane::Compute, p);
 
-    const bool isMac = inst.op == Opcode::EwMac;
-    std::size_t penalty = 1;
-    if (!cfg_.hasEmac && !isMac)
-        penalty = cfg_.elwisePenaltyNoEmac;
-    const Cycle dur = std::max<Cycle>(
-        ceilDiv(len, cfg_.emacsPerTile) * penalty, 1);
-    const Cycle end = start + dur;
-    stats_.inc("emac.busy_cycles", static_cast<double>(end - start));
-    lastOpBusy_ = static_cast<double>(end - start);
-    lastOpWords_ = len;
-    freeTime(TraceLane::Compute) = end;
-    if (needsA)
-        noteRead(a, end);
-    if (needsB)
-        noteRead(b, end);
-    noteWrite(dst, end, StallReason::Compute);
-    finish(end);
-    now_ = start + 1;
+        const bool isMac = inst.op == Opcode::EwMac;
+        std::size_t penalty = 1;
+        if (!cfg_.hasEmac && !isMac)
+            penalty = cfg_.elwisePenaltyNoEmac;
+        const Cycle dur = std::max<Cycle>(
+            ceilDiv(len, cfg_.emacsPerTile) * penalty, 1);
+        const Cycle end = start + dur;
+        stats_.inc("emac.busy_cycles",
+                   static_cast<double>(end - start));
+        lastOpBusy_ = static_cast<double>(end - start);
+        lastOpWords_ = len;
+        freeTime(TraceLane::Compute) = end;
+        if (needsA)
+            noteRead(a, end);
+        if (needsB)
+            noteRead(b, end);
+        noteWrite(dst, end, StallReason::Compute);
+        finish(end);
+        now_ = start + 1;
 
-    // Energy.
-    if (isMac) {
-        charge(arch::EnergyEvent::EmacMac, len);
-        stats_.inc("emac.mac_ops", len);
-    } else if (inst.op != Opcode::Fill) {
-        charge(arch::EnergyEvent::EmacElwise,
-               static_cast<double>(len) * penalty);
-        stats_.inc("emac.elwise_ops", len);
-    }
-    if (needsA)
-        charge(accessEvent(a.space), a.len == 1 ? 1.0 : len);
-    if (needsB)
-        charge(accessEvent(b.space), b.len == 1 ? 1.0 : len);
-    charge(accessEvent(dst.space),
-           static_cast<double>(len) * (isMac ? 2.0 : 1.0));
-
-    // Functional semantics.
-    const float *pa =
-        needsA ? mem_.span(a.space, a.base, a.len) : nullptr;
-    const float *pb =
-        needsB ? mem_.span(b.space, b.base, b.len) : nullptr;
-    float *pd = mem_.span(dst.space, dst.base, len);
-    auto valA = [&](std::uint32_t i) {
-        return a.len == 1 ? pa[0] : pa[i];
-    };
-    auto valB = [&](std::uint32_t i) {
-        return b.len == 1 ? pb[0] : pb[i];
-    };
-    for (std::uint32_t i = 0; i < len; ++i) {
-        switch (inst.op) {
-          case Opcode::EwAdd:
-            pd[i] = valA(i) + valB(i);
-            break;
-          case Opcode::EwSub:
-            pd[i] = valA(i) - valB(i);
-            break;
-          case Opcode::EwMul:
-            pd[i] = valA(i) * valB(i);
-            break;
-          case Opcode::EwMac:
-            pd[i] += valA(i) * valB(i);
-            break;
-          case Opcode::EwAddImm:
-            pd[i] = valA(i) + inst.imm;
-            break;
-          case Opcode::EwMulImm:
-            pd[i] = valA(i) * inst.imm;
-            break;
-          case Opcode::EwRsubImm:
-            pd[i] = inst.imm - valA(i);
-            break;
-          case Opcode::Fill:
-            pd[i] = inst.imm;
-            break;
-          default:
-            panic("bad elementwise opcode");
+        // Energy.
+        if (isMac) {
+            charge(arch::EnergyEvent::EmacMac, len);
+            stats_.inc("emac.mac_ops", len);
+        } else if (inst.op != Opcode::Fill) {
+            charge(arch::EnergyEvent::EmacElwise,
+                   static_cast<double>(len) * penalty);
+            stats_.inc("emac.elwise_ops", len);
         }
+        if (needsA)
+            charge(accessEvent(a.space), a.len == 1 ? 1.0 : len);
+        if (needsB)
+            charge(accessEvent(b.space), b.len == 1 ? 1.0 : len);
+        charge(accessEvent(dst.space),
+               static_cast<double>(len) * (isMac ? 2.0 : 1.0));
     }
+
+    // Functional semantics (shared with replay — sim/replay.cc).
+    ReplayOp rop;
+    rop.kind = ReplayKind::Elementwise;
+    rop.op = inst.op;
+    rop.n = len;
+    rop.pitchA = needsA ? a.len : 0;
+    rop.pitchD = needsB ? b.len : 0;
+    rop.imm = inst.imm;
+    rop.a = needsA ? mem_.span(a.space, a.base, a.len) : nullptr;
+    rop.b = needsB ? mem_.span(b.space, b.base, b.len) : nullptr;
+    rop.d = mem_.span(dst.space, dst.base, len);
+    runFunctional(rop);
 }
 
 void
@@ -905,86 +880,63 @@ DiffMemTile::execSfu(const Instruction &inst)
         panic("bad SFU opcode");
     }
 
-    StallPicker p(freeTime(TraceLane::Sfu));
-    p.consider(now_, StallReason::Issue);
-    readDependency(a, p);
-    if (inst.op == Opcode::SfuPow)
-        readDependency(expOperand, p);
-    writeDependency(dst, p);
-    const Cycle start = p.at;
-    attributeStall(TraceLane::Sfu, p);
-    // The SFU path is serial within a tile (Section 7.3's scaling
-    // limiter): len elements at perElem cycles each, shared across
-    // the tile's sfusPerTile units.
-    const Cycle dur = std::max<Cycle>(
-        ceilDiv(static_cast<std::uint64_t>(len) * perElem,
-                cfg_.sfusPerTile),
-        1);
-    const Cycle end = start + dur;
-    stats_.inc("sfu.busy_cycles", static_cast<double>(end - start));
-    lastOpBusy_ = static_cast<double>(end - start);
-    lastOpWords_ = len;
-    freeTime(TraceLane::Sfu) = end;
-    noteRead(a, end);
-    noteWrite(dst, end, StallReason::SfuSerial);
-    finish(end);
-    now_ = start + 1;
+    if (!fastFunctional_) {
+        StallPicker p(freeTime(TraceLane::Sfu));
+        p.consider(now_, StallReason::Issue);
+        readDependency(a, p);
+        if (inst.op == Opcode::SfuPow)
+            readDependency(expOperand, p);
+        writeDependency(dst, p);
+        const Cycle start = p.at;
+        attributeStall(TraceLane::Sfu, p);
+        // The SFU path is serial within a tile (Section 7.3's scaling
+        // limiter): len elements at perElem cycles each, shared across
+        // the tile's sfusPerTile units.
+        const Cycle dur = std::max<Cycle>(
+            ceilDiv(static_cast<std::uint64_t>(len) * perElem,
+                    cfg_.sfusPerTile),
+            1);
+        const Cycle end = start + dur;
+        stats_.inc("sfu.busy_cycles", static_cast<double>(end - start));
+        lastOpBusy_ = static_cast<double>(end - start);
+        lastOpWords_ = len;
+        freeTime(TraceLane::Sfu) = end;
+        noteRead(a, end);
+        noteWrite(dst, end, StallReason::SfuSerial);
+        finish(end);
+        now_ = start + 1;
 
-    charge(arch::EnergyEvent::SfuOp, len);
-    charge(accessEvent(a.space), len);
-    charge(accessEvent(dst.space), dst.len);
-    stats_.inc("sfu.ops", len);
-
-    const float *pa = mem_.span(a.space, a.base, len);
-    float *pd = mem_.span(dst.space, dst.base, dst.len);
-    switch (inst.op) {
-      case Opcode::SfuExp:
-        for (std::uint32_t i = 0; i < len; ++i)
-            pd[i] = std::exp(pa[i]);
-        break;
-      case Opcode::SfuPow: {
-        const float gamma = *pexp;
-        for (std::uint32_t i = 0; i < len; ++i)
-            pd[i] = std::pow(std::max(pa[i], 0.0f), gamma);
-        break;
-      }
-      case Opcode::SfuRecip:
-        for (std::uint32_t i = 0; i < len; ++i)
-            pd[i] = 1.0f / pa[i];
-        break;
-      case Opcode::SfuSqrt:
-        for (std::uint32_t i = 0; i < len; ++i)
-            pd[i] = std::sqrt(pa[i]);
-        break;
-      case Opcode::SfuSigmoid:
-        for (std::uint32_t i = 0; i < len; ++i)
-            pd[i] = tensor::sigmoidScalar(pa[i]);
-        break;
-      case Opcode::SfuTanh:
-        for (std::uint32_t i = 0; i < len; ++i)
-            pd[i] = std::tanh(pa[i]);
-        break;
-      case Opcode::SfuSoftplus:
-        for (std::uint32_t i = 0; i < len; ++i)
-            pd[i] = tensor::softplusScalar(pa[i]);
-        break;
-      case Opcode::SfuAccSum: {
-        float acc = 0.0f;
-        for (std::uint32_t i = 0; i < len; ++i)
-            acc += pa[i];
-        pd[0] = acc;
-        break;
-      }
-      case Opcode::SfuAccMax: {
-        float acc = pa[0];
-        for (std::uint32_t i = 1; i < len; ++i)
-            acc = std::max(acc, pa[i]);
-        pd[0] = acc;
-        break;
-      }
-      default:
-        panic("bad SFU opcode");
+        charge(arch::EnergyEvent::SfuOp, len);
+        charge(accessEvent(a.space), len);
+        charge(accessEvent(dst.space), dst.len);
+        stats_.inc("sfu.ops", len);
     }
+
+    // Functional semantics (shared with replay — sim/replay.cc). The
+    // SfuPow exponent pointer is recorded, not its value: the tape
+    // re-reads it each step because tile code can update it.
+    ReplayOp rop;
+    rop.kind = ReplayKind::Sfu;
+    rop.op = inst.op;
+    rop.n = len;
+    rop.a = mem_.span(a.space, a.base, len);
+    rop.b = pexp;
+    rop.d = mem_.span(dst.space, dst.base, dst.len);
+    runFunctional(rop);
+}
+
+const float *
+DiffMemTile::operandSpan(const Operand &op) const
+{
+    const Operand r = resolveOperand(op);
+    return mem_.span(r.space, r.base, r.len);
+}
+
+float *
+DiffMemTile::operandSpanMut(const Operand &op)
+{
+    const Operand r = resolveOperand(op);
+    return mem_.span(r.space, r.base, r.len);
 }
 
 } // namespace manna::sim

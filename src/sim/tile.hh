@@ -31,6 +31,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "isa/program.hh"
+#include "sim/replay.hh"
 #include "sim/tile_memory.hh"
 #include "sim/trace.hh"
 
@@ -142,7 +143,42 @@ class DiffMemTile
     /** Attach (or detach, with nullptr) an instruction tracer. */
     void setTraceLogger(TraceLogger *logger) { trace_ = logger; }
 
+    /**
+     * fidelity=fast support: when enabled, instructions execute their
+     * functional semantics only — no resource timelines, no stall
+     * attribution, no energy charges, no per-opcode profile, no trace
+     * records. The chip extrapolates all accounting from its
+     * calibration prefix instead (see sim/fidelity.hh). reset()
+     * clears the flag.
+     */
+    void setFastFunctional(bool fast) { fastFunctional_ = fast; }
+    bool fastFunctional() const { return fastFunctional_; }
+
+    /**
+     * Attach (or detach, with nullptr) a recording replay tape: while
+     * attached and recording, every executed instruction's resolved
+     * functional operation is appended (see sim/replay.hh). reset()
+     * detaches.
+     */
+    void setReplayTape(ReplayTape *tape) { tape_ = tape; }
+
+    /** Resolved span of @p op against current loop state (for the
+     * chip's comm-op recording). */
+    const float *operandSpan(const isa::Operand &op) const;
+    float *operandSpanMut(const isa::Operand &op);
+
   private:
+    /** Record @p op if a tape is attached, then execute it via the
+     * shared functional implementation (sim/replay.cc). Called by the
+     * exec* handlers in BOTH fidelities, so interpreted and replayed
+     * steps share one functional code path. */
+    void runFunctional(const ReplayOp &op)
+    {
+        if (tape_ != nullptr && tape_->recording())
+            tape_->append(op);
+        execTileOp(op);
+    }
+
     // --- execution helpers -------------------------------------------
     void execute(const isa::Instruction &inst);
     void execDmaMatrix(const isa::Instruction &inst);
@@ -280,6 +316,8 @@ class DiffMemTile
     double lastOpBusy_ = 0.0;
     double lastOpWords_ = 0.0;
     TraceLogger *trace_ = nullptr;
+    bool fastFunctional_ = false;
+    ReplayTape *tape_ = nullptr; ///< attached only while recording
 };
 
 } // namespace manna::sim

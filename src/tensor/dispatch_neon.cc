@@ -1,0 +1,109 @@
+#include "dispatch.hh"
+
+#include <arm_neon.h>
+#include <cstddef>
+
+// NEON kernel stubs for aarch64 builds. The elementwise entries are
+// real 4-wide NEON; the striped reductions currently delegate to the
+// scalar reference (which is already the canonical order, so results
+// stay bit-identical) until a tuned implementation lands. Compiled
+// with -ffp-contract=off like every kernel TU.
+
+namespace manna::tensor::simd
+{
+
+namespace
+{
+
+void
+addNeon(const float *a, const float *b, float *out, std::size_t n)
+{
+    const std::size_t main = n & ~std::size_t(3);
+    for (std::size_t i = 0; i < main; i += 4)
+        vst1q_f32(out + i, vaddq_f32(vld1q_f32(a + i),
+                                     vld1q_f32(b + i)));
+    for (std::size_t i = main; i < n; ++i)
+        out[i] = a[i] + b[i];
+}
+
+void
+subNeon(const float *a, const float *b, float *out, std::size_t n)
+{
+    const std::size_t main = n & ~std::size_t(3);
+    for (std::size_t i = 0; i < main; i += 4)
+        vst1q_f32(out + i, vsubq_f32(vld1q_f32(a + i),
+                                     vld1q_f32(b + i)));
+    for (std::size_t i = main; i < n; ++i)
+        out[i] = a[i] - b[i];
+}
+
+void
+mulNeon(const float *a, const float *b, float *out, std::size_t n)
+{
+    const std::size_t main = n & ~std::size_t(3);
+    for (std::size_t i = 0; i < main; i += 4)
+        vst1q_f32(out + i, vmulq_f32(vld1q_f32(a + i),
+                                     vld1q_f32(b + i)));
+    for (std::size_t i = main; i < n; ++i)
+        out[i] = a[i] * b[i];
+}
+
+void
+scaleNeon(const float *a, float s, float *out, std::size_t n)
+{
+    const float32x4_t vs = vdupq_n_f32(s);
+    const std::size_t main = n & ~std::size_t(3);
+    for (std::size_t i = 0; i < main; i += 4)
+        vst1q_f32(out + i, vmulq_f32(vld1q_f32(a + i), vs));
+    for (std::size_t i = main; i < n; ++i)
+        out[i] = a[i] * s;
+}
+
+void
+axpyNeon(float alpha, const float *x, float *y, std::size_t n)
+{
+    const float32x4_t va = vdupq_n_f32(alpha);
+    const std::size_t main = n & ~std::size_t(3);
+    for (std::size_t i = 0; i < main; i += 4) {
+        // Explicit mul then add (not vmlaq/fma) to match the scalar
+        // reference's -ffp-contract=off rounding.
+        const float32x4_t prod = vmulq_f32(va, vld1q_f32(x + i));
+        vst1q_f32(y + i, vaddq_f32(vld1q_f32(y + i), prod));
+    }
+    for (std::size_t i = main; i < n; ++i)
+        y[i] += alpha * x[i];
+}
+
+void
+macNeon(const float *a, const float *b, float *out, std::size_t n)
+{
+    const std::size_t main = n & ~std::size_t(3);
+    for (std::size_t i = 0; i < main; i += 4) {
+        const float32x4_t prod =
+            vmulq_f32(vld1q_f32(a + i), vld1q_f32(b + i));
+        vst1q_f32(out + i, vaddq_f32(vld1q_f32(out + i), prod));
+    }
+    for (std::size_t i = main; i < n; ++i)
+        out[i] += a[i] * b[i];
+}
+
+} // namespace
+
+const KernelTable &
+neonKernels()
+{
+    static const KernelTable table = [] {
+        KernelTable t = scalarKernels();
+        t.name = "neon";
+        t.add = addNeon;
+        t.sub = subNeon;
+        t.mul = mulNeon;
+        t.scale = scaleNeon;
+        t.axpy = axpyNeon;
+        t.mac = macNeon;
+        return t;
+    }();
+    return table;
+}
+
+} // namespace manna::tensor::simd

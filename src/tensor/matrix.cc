@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "tensor/dispatch.hh"
 
 namespace manna::tensor
 {
@@ -97,13 +98,16 @@ vecMatMulInto(const FVec &x, const FMat &a, FVec &out)
                  x.size(), a.rows());
     MANNA_ASSERT(&out != &x, "vecMatMulInto cannot alias input");
     out.assign(a.cols(), 0.0f);
+    const auto &k = simd::kernels();
     for (std::size_t r = 0; r < a.rows(); ++r) {
         const float w = x[r];
+        // Skipping zero weights is a semantic choice, not just a speed
+        // hack: it keeps NaN/inf rows out of the sum when their weight
+        // is exactly zero. Both SIMD paths share it.
         if (w == 0.0f)
             continue;
         const float *rowPtr = a.data().data() + r * a.cols();
-        for (std::size_t c = 0; c < a.cols(); ++c)
-            out[c] += w * rowPtr[c];
+        k.axpy(w, rowPtr, out.data(), a.cols());
     }
 }
 
@@ -121,12 +125,10 @@ matVecMul(const FMat &a, const FVec &x)
     MANNA_ASSERT(x.size() == a.cols(), "matVecMul: %zu vs %zu cols",
                  x.size(), a.cols());
     FVec out(a.rows(), 0.0f);
+    const auto &k = simd::kernels();
     for (std::size_t r = 0; r < a.rows(); ++r) {
         const float *rowPtr = a.data().data() + r * a.cols();
-        float acc = 0.0f;
-        for (std::size_t c = 0; c < a.cols(); ++c)
-            acc += rowPtr[c] * x[c];
-        out[r] = acc;
+        out[r] = k.dot(rowPtr, x.data(), a.cols());
     }
     return out;
 }
@@ -148,12 +150,10 @@ FVec
 rowNorms(const FMat &a)
 {
     FVec out(a.rows());
+    const auto &k = simd::kernels();
     for (std::size_t r = 0; r < a.rows(); ++r) {
         const float *rowPtr = a.data().data() + r * a.cols();
-        float acc = 0.0f;
-        for (std::size_t c = 0; c < a.cols(); ++c)
-            acc += rowPtr[c] * rowPtr[c];
-        out[r] = std::sqrt(acc);
+        out[r] = std::sqrt(k.dot(rowPtr, rowPtr, a.cols()));
     }
     return out;
 }
@@ -169,14 +169,12 @@ rowCosineSimilarityInto(const FMat &a, const FVec &key, float epsilon,
                  "rowCosineSimilarityInto cannot alias key");
     const float keyNorm = norm2(key);
     out.resize(a.rows());
+    const auto &k = simd::kernels();
     for (std::size_t r = 0; r < a.rows(); ++r) {
         const float *rowPtr = a.data().data() + r * a.cols();
         float acc = 0.0f;
         float nrm = 0.0f;
-        for (std::size_t c = 0; c < a.cols(); ++c) {
-            acc += rowPtr[c] * key[c];
-            nrm += rowPtr[c] * rowPtr[c];
-        }
+        k.dotNorm(rowPtr, key.data(), a.cols(), &acc, &nrm);
         out[r] = acc / (keyNorm * std::sqrt(nrm) + epsilon);
     }
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "tensor/dispatch.hh"
 
 namespace manna::tensor
 {
@@ -49,8 +50,7 @@ addInto(const FVec &a, const FVec &b, FVec &out)
 {
     checkSameSize(a, b, "add");
     out.resize(a.size());
-    for (std::size_t i = 0; i < a.size(); ++i)
-        out[i] = a[i] + b[i];
+    simd::kernels().add(a.data(), b.data(), out.data(), a.size());
 }
 
 FVec
@@ -66,8 +66,7 @@ subInto(const FVec &a, const FVec &b, FVec &out)
 {
     checkSameSize(a, b, "sub");
     out.resize(a.size());
-    for (std::size_t i = 0; i < a.size(); ++i)
-        out[i] = a[i] - b[i];
+    simd::kernels().sub(a.data(), b.data(), out.data(), a.size());
 }
 
 FVec
@@ -83,8 +82,7 @@ mulInto(const FVec &a, const FVec &b, FVec &out)
 {
     checkSameSize(a, b, "mul");
     out.resize(a.size());
-    for (std::size_t i = 0; i < a.size(); ++i)
-        out[i] = a[i] * b[i];
+    simd::kernels().mul(a.data(), b.data(), out.data(), a.size());
 }
 
 FVec
@@ -99,8 +97,7 @@ void
 scaleInto(const FVec &a, float s, FVec &out)
 {
     out.resize(a.size());
-    for (std::size_t i = 0; i < a.size(); ++i)
-        out[i] = a[i] * s;
+    simd::kernels().scale(a.data(), s, out.data(), a.size());
 }
 
 FVec
@@ -115,8 +112,7 @@ void
 axpy(float alpha, const FVec &x, FVec &y)
 {
     checkSameSize(x, y, "axpy");
-    for (std::size_t i = 0; i < x.size(); ++i)
-        y[i] += alpha * x[i];
+    simd::kernels().axpy(alpha, x.data(), y.data(), x.size());
 }
 
 FVec
@@ -135,17 +131,17 @@ void
 softmaxInto(const FVec &a, float beta, FVec &out)
 {
     MANNA_ASSERT(!a.empty(), "softmax of empty vector");
-    float mx = a[0] * beta;
-    for (float v : a)
-        mx = std::max(mx, v * beta);
     out.resize(a.size());
+    const auto &k = simd::kernels();
+    // Fused first pass: out[i] = a[i] * beta while reducing the max,
+    // so the exp pass below does not recompute the scaling.
+    const float mx = k.scaleMax(a.data(), beta, out.data(), a.size());
     float denom = 0.0f;
-    for (std::size_t i = 0; i < a.size(); ++i) {
-        out[i] = std::exp(a[i] * beta - mx);
-        denom += out[i];
+    for (auto &v : out) {
+        v = std::exp(v - mx);
+        denom += v;
     }
-    for (auto &v : out)
-        v /= denom;
+    k.scale(out.data(), 1.0f / denom, out.data(), out.size());
 }
 
 FVec
@@ -164,24 +160,11 @@ circularConvolveInto(const FVec &a, const FVec &shift, FVec &out)
                  shift.size());
     MANNA_ASSERT(&out != &a, "circularConvolveInto cannot alias input");
     const std::size_t n = a.size();
-    const std::ptrdiff_t radius =
-        static_cast<std::ptrdiff_t>(shift.size() / 2);
     out.assign(n, 0.0f);
-    for (std::size_t i = 0; i < n; ++i) {
-        float acc = 0.0f;
-        for (std::ptrdiff_t off = -radius; off <= radius; ++off) {
-            // w_s(i) = sum_j w_g(j) * s(i - j); with j = i - off the
-            // kernel tap is s(off).
-            std::ptrdiff_t j =
-                static_cast<std::ptrdiff_t>(i) - off;
-            j = ((j % static_cast<std::ptrdiff_t>(n)) +
-                 static_cast<std::ptrdiff_t>(n)) %
-                static_cast<std::ptrdiff_t>(n);
-            acc += a[static_cast<std::size_t>(j)] *
-                   shift[static_cast<std::size_t>(off + radius)];
-        }
-        out[i] = acc;
-    }
+    if (n == 0)
+        return;
+    simd::kernels().circularConvolve(a.data(), n, shift.data(),
+                                     shift.size(), out.data());
 }
 
 FVec
@@ -198,10 +181,22 @@ sharpenInto(const FVec &a, float gamma, FVec &out)
     MANNA_ASSERT(gamma >= 1.0f, "sharpen gamma %f < 1", gamma);
     out.resize(a.size());
     float denom = 0.0f;
-    for (std::size_t i = 0; i < a.size(); ++i) {
-        MANNA_ASSERT(a[i] >= -1e-6f, "sharpen input %f negative", a[i]);
-        out[i] = std::pow(std::max(a[i], 0.0f), gamma);
-        denom += out[i];
+    if (gamma == 1.0f) {
+        // pow(x, 1) is exact, so skipping it only saves time; the
+        // clamp and the denominator accumulation order are unchanged.
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            MANNA_ASSERT(a[i] >= -1e-6f, "sharpen input %f negative",
+                         a[i]);
+            out[i] = std::max(a[i], 0.0f);
+            denom += out[i];
+        }
+    } else {
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            MANNA_ASSERT(a[i] >= -1e-6f, "sharpen input %f negative",
+                         a[i]);
+            out[i] = std::pow(std::max(a[i], 0.0f), gamma);
+            denom += out[i];
+        }
     }
     // A fully-zero weighting degenerates to uniform.
     if (denom <= 0.0f) {
@@ -210,8 +205,8 @@ sharpenInto(const FVec &a, float gamma, FVec &out)
         std::fill(out.begin(), out.end(), uniform);
         return;
     }
-    for (auto &v : out)
-        v /= denom;
+    simd::kernels().scale(out.data(), 1.0f / denom, out.data(),
+                          out.size());
 }
 
 FVec

@@ -7,8 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <limits>
 
 #include "common/rng.hh"
+#include "tensor/dispatch.hh"
 #include "tensor/matrix.hh"
 #include "tensor/vector_ops.hh"
 
@@ -424,6 +427,216 @@ TEST_P(IntoTwinProperty, MatrixTwinsBitIdentical)
 
 INSTANTIATE_TEST_SUITE_P(Sizes, IntoTwinProperty,
                          ::testing::Values(1, 3, 8, 33, 128));
+
+// ------------------------------------------------------------------
+// SIMD dispatch: the active kernel table must be bit-identical to the
+// scalar reference on every entry point, including unaligned lengths,
+// denormals, and non-finite values. When the build or CPU lacks SIMD
+// the active table IS the scalar table and these pass trivially.
+// ------------------------------------------------------------------
+
+// Bit-level equality so NaN payloads count too.
+void
+expectBitEqual(const FVec &a, const FVec &b, const char *what)
+{
+    ASSERT_EQ(a.size(), b.size()) << what;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        std::uint32_t ba = 0;
+        std::uint32_t bb = 0;
+        std::memcpy(&ba, &a[i], 4);
+        std::memcpy(&bb, &b[i], 4);
+        EXPECT_EQ(ba, bb) << what << " diverges at index " << i;
+    }
+}
+
+void
+expectBitEqual(float a, float b, const char *what)
+{
+    std::uint32_t ba = 0;
+    std::uint32_t bb = 0;
+    std::memcpy(&ba, &a, 4);
+    std::memcpy(&bb, &b, 4);
+    EXPECT_EQ(ba, bb) << what;
+}
+
+// Gaussian noise seasoned with denormals, infinities, and a NaN so
+// the comparison covers the whole FP32 value space.
+FVec
+hostileVec(std::size_t n, Rng &rng)
+{
+    FVec v = randomVec(n, rng);
+    if (n > 2)
+        v[n / 2] = std::numeric_limits<float>::denorm_min();
+    if (n > 4)
+        v[n / 4] = std::numeric_limits<float>::infinity();
+    if (n > 6)
+        v[n - 1] = -std::numeric_limits<float>::quiet_NaN();
+    return v;
+}
+
+class SimdTwinProperty : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(SimdTwinProperty, ElementwiseKernelsBitIdentical)
+{
+    const std::size_t n = GetParam();
+    Rng rng(n + 9000);
+    const auto &act = simd::kernels();
+    const auto &ref = simd::scalarKernels();
+    const FVec a = hostileVec(n, rng);
+    const FVec b = hostileVec(n, rng);
+
+    FVec outA(n);
+    FVec outR(n);
+    act.add(a.data(), b.data(), outA.data(), n);
+    ref.add(a.data(), b.data(), outR.data(), n);
+    expectBitEqual(outA, outR, "add");
+    act.sub(a.data(), b.data(), outA.data(), n);
+    ref.sub(a.data(), b.data(), outR.data(), n);
+    expectBitEqual(outA, outR, "sub");
+    act.mul(a.data(), b.data(), outA.data(), n);
+    ref.mul(a.data(), b.data(), outR.data(), n);
+    expectBitEqual(outA, outR, "mul");
+    act.scale(a.data(), 0.37f, outA.data(), n);
+    ref.scale(a.data(), 0.37f, outR.data(), n);
+    expectBitEqual(outA, outR, "scale");
+
+    FVec accA = b;
+    FVec accR = b;
+    act.axpy(-1.25f, a.data(), accA.data(), n);
+    ref.axpy(-1.25f, a.data(), accR.data(), n);
+    expectBitEqual(accA, accR, "axpy");
+    accA = b;
+    accR = b;
+    act.mac(a.data(), b.data(), accA.data(), n);
+    ref.mac(a.data(), b.data(), accR.data(), n);
+    expectBitEqual(accA, accR, "mac");
+}
+
+TEST_P(SimdTwinProperty, ReductionKernelsBitIdentical)
+{
+    const std::size_t n = GetParam();
+    Rng rng(n + 9100);
+    const auto &act = simd::kernels();
+    const auto &ref = simd::scalarKernels();
+    // Finite values only: reductions meet inf/NaN in the scaleMax
+    // test below, but inf - inf in a sum would trivialize this one.
+    const FVec a = randomVec(n, rng);
+    const FVec b = randomVec(n, rng);
+
+    expectBitEqual(act.sum(a.data(), n), ref.sum(a.data(), n), "sum");
+    expectBitEqual(act.dot(a.data(), b.data(), n),
+                   ref.dot(a.data(), b.data(), n), "dot");
+
+    float dA = 0, nA = 0, dR = 0, nR = 0;
+    act.dotNorm(a.data(), b.data(), n, &dA, &nA);
+    ref.dotNorm(a.data(), b.data(), n, &dR, &nR);
+    expectBitEqual(dA, dR, "dotNorm dot");
+    expectBitEqual(nA, nR, "dotNorm norm");
+}
+
+TEST_P(SimdTwinProperty, ScaleMaxBitIdenticalOnHostileInput)
+{
+    const std::size_t n = GetParam();
+    Rng rng(n + 9200);
+    const auto &act = simd::kernels();
+    const auto &ref = simd::scalarKernels();
+    const FVec a = hostileVec(n, rng);
+
+    FVec outA(n);
+    FVec outR(n);
+    const float mA = act.scaleMax(a.data(), 1.5f, outA.data(), n);
+    const float mR = ref.scaleMax(a.data(), 1.5f, outR.data(), n);
+    expectBitEqual(outA, outR, "scaleMax out");
+    expectBitEqual(mA, mR, "scaleMax max");
+}
+
+TEST_P(SimdTwinProperty, CircularConvolveBitIdentical)
+{
+    const std::size_t n = GetParam();
+    Rng rng(n + 9300);
+    const auto &act = simd::kernels();
+    const auto &ref = simd::scalarKernels();
+    const FVec a = randomVec(n, rng);
+    const FVec shift{0.1f, 0.7f, 0.2f};
+
+    FVec outA(n, 0.0f);
+    FVec outR(n, 0.0f);
+    act.circularConvolve(a.data(), n, shift.data(), shift.size(),
+                         outA.data());
+    ref.circularConvolve(a.data(), n, shift.data(), shift.size(),
+                         outR.data());
+    expectBitEqual(outA, outR, "circularConvolve");
+}
+
+TEST_P(SimdTwinProperty, RowUpdateBitIdenticalAndMatchesUnfused)
+{
+    const std::size_t n = GetParam();
+    Rng rng(n + 9400);
+    const auto &act = simd::kernels();
+    const auto &ref = simd::scalarKernels();
+    const FVec e = hostileVec(n, rng);
+    const FVec add = hostileVec(n, rng);
+    const FVec row0 = randomVec(n, rng);
+    const float w = 0.61f;
+    const float c = 1.0f;
+
+    FVec rowA = row0;
+    FVec rowR = row0;
+    FVec stgA(n);
+    FVec stgR(n);
+    act.rowUpdate(e.data(), add.data(), w, c, rowA.data(),
+                  stgA.data(), n);
+    ref.rowUpdate(e.data(), add.data(), w, c, rowR.data(),
+                  stgR.data(), n);
+    expectBitEqual(rowA, rowR, "rowUpdate row");
+    expectBitEqual(stgA, stgR, "rowUpdate stage");
+
+    // The fused kernel must round exactly like the unfused op
+    // sequence it replaces (mul, rsub-imm, mul, mac).
+    FVec stage(n);
+    FVec rowU = row0;
+    ref.scale(e.data(), w, stage.data(), n);
+    for (std::size_t i = 0; i < n; ++i)
+        stage[i] = c - stage[i];
+    ref.mul(rowU.data(), stage.data(), rowU.data(), n);
+    FVec addw(n);
+    ref.scale(add.data(), w, addw.data(), n);
+    for (std::size_t i = 0; i < n; ++i)
+        rowU[i] += addw[i];
+    expectBitEqual(rowA, rowU, "rowUpdate vs unfused sequence");
+    expectBitEqual(stgA, stage, "rowUpdate stage vs unfused");
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SimdTwinProperty,
+                         ::testing::Values(1, 3, 7, 8, 9, 31, 64,
+                                           100, 257));
+
+TEST(SimdDispatch, ParseLevelAcceptsKnownNamesCaseInsensitive)
+{
+    EXPECT_EQ(simd::parseLevel("scalar"), simd::Level::Scalar);
+    EXPECT_EQ(simd::parseLevel("AVX2"), simd::Level::Avx2);
+    EXPECT_EQ(simd::parseLevel("Neon"), simd::Level::Neon);
+    EXPECT_EQ(simd::parseLevel(""), std::nullopt);
+    EXPECT_EQ(simd::parseLevel("avx512"), std::nullopt);
+    EXPECT_EQ(simd::parseLevel("sse"), std::nullopt);
+}
+
+TEST(SimdDispatch, LevelNamesRoundTrip)
+{
+    for (auto lvl : {simd::Level::Scalar, simd::Level::Avx2,
+                     simd::Level::Neon})
+        EXPECT_EQ(simd::parseLevel(simd::levelName(lvl)), lvl);
+}
+
+TEST(SimdDispatch, ActiveLevelIsSupportedAndNamed)
+{
+    EXPECT_TRUE(simd::levelSupported(simd::activeLevel()));
+    EXPECT_TRUE(simd::levelSupported(simd::Level::Scalar));
+    EXPECT_STREQ(simd::kernels().name,
+                 simd::levelName(simd::activeLevel()));
+}
 
 } // namespace
 } // namespace manna::tensor
