@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# Chaos soak gate, run as a ctest entry (see tests/CMakeLists.txt).
+#
+# Runs the golden fig12_strong_scaling point (bench=copy steps=1
+# jobs=1) once cleanly, then re-runs it under a rotating schedule of
+# injected faults — worker crashes, silent worker exits, heartbeat
+# stalls, fsync failures, torn journal appends, and bit-corrupted
+# journal reads (see docs/ROBUSTNESS.md for the site catalog). Every
+# faulted run must exit 0 and produce byte-identical stdout to the
+# clean run, and the journal-corruption phases must surface their
+# damage in the stats.json `journal.corrupt_records` field.
+#
+# Usage: chaos_soak.sh <fig12_strong_scaling binary>
+set -u
+
+bin=${1:-}
+if [ -z "$bin" ] || [ ! -x "$bin" ]; then
+    echo "chaos_soak: usage: $0 <fig12_strong_scaling binary>" >&2
+    exit 1
+fi
+
+# The soak controls its own fault schedule and process topology;
+# ambient knobs from the environment would skew it.
+unset MANNA_FAULTS MANNA_FAULT_SEED MANNA_SHARDS MANNA_SHARD_SPAWN \
+      MANNA_SHARD_HEARTBEAT MANNA_JOBS MANNA_RETRIES MANNA_TIMEOUT \
+      MANNA_STATS MANNA_TRACE MANNA_PROGRESS MANNA_PROFILE \
+      MANNA_BENCH_JSON 2>/dev/null
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT INT TERM
+
+golden="bench=copy steps=1 jobs=1 fault_seed=7"
+errors=0
+complain() {
+    echo "chaos_soak: $*" >&2
+    errors=$((errors + 1))
+}
+
+# run <phase> <expected-exit> <arg>... — runs the bench, captures
+# stdout/stderr under $tmpdir/<phase>.{out,err}, checks the exit code.
+run() {
+    local phase=$1 want=$2
+    shift 2
+    # shellcheck disable=SC2086 — $golden is intentionally word-split
+    "$bin" $golden "$@" > "$tmpdir/$phase.out" 2> "$tmpdir/$phase.err"
+    local got=$?
+    if [ "$got" -ne "$want" ]; then
+        complain "phase '$phase' exited $got (want $want):" \
+                 "$(tail -3 "$tmpdir/$phase.err" | tr '\n' ' ')"
+        return 1
+    fi
+}
+
+# identical <phase> — the soak's core assertion: a faulted run's
+# report must be byte-identical to the clean run's.
+identical() {
+    cmp -s "$tmpdir/clean.out" "$tmpdir/$1.out" ||
+        complain "phase '$1' stdout differs from the clean run"
+}
+
+# logged <phase> <pattern> — the recovery path must announce itself.
+logged() {
+    grep -q "$2" "$tmpdir/$1.err" ||
+        complain "phase '$1' stderr lacks '$2'"
+}
+
+# --- phase 0: clean golden run -------------------------------------
+run clean 0 || { echo "chaos_soak: no golden run; aborting" >&2; exit 1; }
+
+# --- phase 1: every round-0 worker crashes hard --------------------
+run crash 0 shards=2 faults=worker.crash:once@1 &&
+    { identical crash; logged crash "was lost"; }
+
+# --- phase 2: workers exit 0 without producing their journal -------
+run silent 0 shards=2 faults=worker.silent_exit:once@1 &&
+    { identical silent; logged silent "without writing its journal"; }
+
+# --- phase 3: workers hang with their heartbeat stopped ------------
+run stall 0 shards=2 shard_heartbeat=0.2 faults=worker.stall:once@1 &&
+    { identical stall; logged stall "missed heartbeats"; }
+
+# --- phase 4: journal fsync fails mid-sweep ------------------------
+run fsync 0 journal="$tmpdir/fsync.journal" \
+    faults=journal.fsync:once@1 &&
+    { identical fsync; logged fsync "checkpointing disabled"; }
+
+# --- phase 5: torn journal append, then resume past it -------------
+run torn 0 journal="$tmpdir/torn.journal" \
+    faults=journal.append.torn:once@1 &&
+    identical torn
+if run torn_resume 0 resume="$tmpdir/torn.journal" \
+        stats="$tmpdir/torn.stats.json"; then
+    identical torn_resume
+    grep -q '"journal.corrupt_records": 1' "$tmpdir/torn.stats.json" ||
+        complain "torn resume did not count 1 corrupt record"
+fi
+
+# --- phase 6: bit corruption on journal read -----------------------
+run seedj 0 journal="$tmpdir/read.journal" && identical seedj
+if run read_corrupt 0 resume="$tmpdir/read.journal" \
+        faults=journal.read.corrupt:once@1 \
+        stats="$tmpdir/read.stats.json"; then
+    identical read_corrupt
+    grep -q '"journal.corrupt_records": 1' "$tmpdir/read.stats.json" ||
+        complain "corrupt-read resume did not count 1 corrupt record"
+fi
+
+if [ "$errors" -gt 0 ]; then
+    echo "chaos_soak: $errors problem(s)" >&2
+    exit 1
+fi
+echo "chaos_soak: OK (6 fault phases, byte-identical reports)"

@@ -10,7 +10,9 @@
 #     sources or scripts;
 #  4. (only with a bench binary as $1) the counter catalog of
 #     docs/OBSERVABILITY.md matches, in both directions, the
-#     registry keys a golden fig12_strong_scaling run emits.
+#     registry keys a golden fig12_strong_scaling run emits;
+#  5. the fault-site catalog of docs/ROBUSTNESS.md matches, in both
+#     directions, the kSiteNames registry of src/common/fault.cc.
 #
 # Pure grep/sed; no dependencies beyond POSIX tools + bash.
 set -u
@@ -126,6 +128,33 @@ if [ "$#" -ge 1 ] && [ -x "$1" ]; then
 else
     echo "check_docs: no bench binary given; catalog lint skipped"
 fi
+
+# --- 5. fault-site catalog vs the fault.cc registry ----------------
+# The injection sites are registered once, in the kSiteNames array of
+# src/common/fault.cc; docs/ROBUSTNESS.md documents each one in its
+# "## Fault-site catalog" section as a backticked dotted name. Both
+# directions must agree, so neither side can drift.
+sites_src=$(sed -n '/kSiteNames\[\] = {/,/^};/p' src/common/fault.cc |
+            grep -oE '"[a-z_.]+"' | tr -d '"' | sort -u)
+sites_doc=$(sed -n '/^## Fault-site catalog$/,/^## [A-Z]/p' \
+                docs/ROBUSTNESS.md 2>/dev/null |
+            grep -ohE '`[a-z_.]+`' | tr -d '`' |
+            grep -F . | grep -vE '\.(json|cc|hh|md|sh|py|hb|failures)$' |
+            sort -u)
+[ -n "$sites_src" ] ||
+    complain "no fault sites found in src/common/fault.cc"
+[ -n "$sites_doc" ] ||
+    complain "no fault-site catalog found in docs/ROBUSTNESS.md"
+for site in $sites_src; do
+    printf '%s\n' "$sites_doc" | grep -qxF "$site" ||
+        complain "fault site '$site' registered but missing from" \
+                 "the docs/ROBUSTNESS.md catalog"
+done
+for site in $sites_doc; do
+    printf '%s\n' "$sites_src" | grep -qxF "$site" ||
+        complain "fault site '$site' documented but not registered" \
+                 "in src/common/fault.cc"
+done
 
 if [ "$errors" -gt 0 ]; then
     echo "check_docs: $errors problem(s)" >&2

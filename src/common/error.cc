@@ -15,6 +15,8 @@ toString(ErrorKind kind)
         return "AssemblyError";
       case ErrorKind::Sim:
         return "SimError";
+      case ErrorKind::Io:
+        return "IoError";
     }
     return "Error";
 }

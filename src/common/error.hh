@@ -32,6 +32,7 @@ enum class ErrorKind
     Config,   ///< invalid configuration (user input)
     Assembly, ///< codegen / program structural validation failed
     Sim,      ///< simulation failed or was cancelled
+    Io,       ///< journal/report I/O failed (write, fsync, disk full)
 };
 
 const char *toString(ErrorKind kind);
@@ -95,6 +96,18 @@ class SimError : public Error
     explicit SimError(const std::string &message,
                       ErrorContext context = {})
         : Error(ErrorKind::Sim, message, std::move(context))
+    {}
+};
+
+/** A filesystem operation the harness depends on failed — journal
+ * write/fsync, report publication. Carries errno context in the
+ * message (see SweepJournal::append). */
+class IoError : public Error
+{
+  public:
+    explicit IoError(const std::string &message,
+                     ErrorContext context = {})
+        : Error(ErrorKind::Io, message, std::move(context))
     {}
 };
 

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Small POSIX file helpers for the crash-safety machinery: atomic
+ * whole-file publication (write temp + fsync + rename) so a killed
+ * process never leaves a half-written stats/bench-JSON/report
+ * artifact, plus the mtime-based primitives the shard heartbeat
+ * liveness protocol is built on (docs/DISTRIBUTED.md).
+ */
+
+#ifndef MANNA_COMMON_FILEIO_HH
+#define MANNA_COMMON_FILEIO_HH
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace manna
+{
+
+/** Plain stat()-based existence check. */
+bool fileExists(const std::string &path);
+
+/**
+ * Publish @p content at @p path atomically: write a sibling temp
+ * file, fsync it, then rename() over the target. Readers either see
+ * the previous file or the complete new one, never a torn write.
+ * Returns false (with a warning) on any failure; the target is left
+ * untouched in that case.
+ */
+bool writeFileAtomic(const std::string &path,
+                     std::string_view content);
+
+/** Create @p path if missing and bump its mtime to now (the shard
+ * heartbeat primitive). Returns false on failure. */
+bool touchFile(const std::string &path);
+
+/** Seconds since @p path's last mtime; nullopt when it does not
+ * exist (or cannot be stat'ed). */
+std::optional<double> fileAgeSeconds(const std::string &path);
+
+} // namespace manna
+
+#endif // MANNA_COMMON_FILEIO_HH

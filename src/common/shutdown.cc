@@ -1,0 +1,68 @@
+#include "shutdown.hh"
+
+#include <atomic>
+#include <mutex>
+
+#include <signal.h>
+
+namespace manna
+{
+
+namespace
+{
+
+// The whole handler state is one lock-free atomic int: 0 = no
+// shutdown, else the signal number. Everything the handler touches
+// must be async-signal-safe.
+std::atomic<int> gShutdownSignal{0};
+
+extern "C" void
+onShutdownSignal(int sig)
+{
+    gShutdownSignal.store(sig, std::memory_order_relaxed);
+}
+
+} // namespace
+
+void
+installShutdownHandlers()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        struct sigaction sa;
+        sa.sa_handler = onShutdownSignal;
+        ::sigemptyset(&sa.sa_mask);
+        // SA_RESTART: the harness polls the flag from its scanner
+        // threads; nothing depends on EINTR, and restarting keeps
+        // unrelated blocking calls (stdio, waitpid) undisturbed.
+        sa.sa_flags = SA_RESTART;
+        ::sigaction(SIGTERM, &sa, nullptr);
+        ::sigaction(SIGINT, &sa, nullptr);
+    });
+}
+
+bool
+shutdownRequested()
+{
+    return gShutdownSignal.load(std::memory_order_relaxed) != 0;
+}
+
+int
+shutdownSignal()
+{
+    return gShutdownSignal.load(std::memory_order_relaxed);
+}
+
+void
+requestShutdown(int sig)
+{
+    gShutdownSignal.store(sig, std::memory_order_relaxed);
+}
+
+void
+resetShutdownForTest()
+{
+    gShutdownSignal.store(0, std::memory_order_relaxed);
+}
+
+} // namespace manna

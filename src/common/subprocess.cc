@@ -9,6 +9,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "common/fault.hh"
 #include "common/logging.hh"
 
 namespace manna
@@ -55,6 +56,12 @@ spawnProcess(const std::vector<std::string> &argv,
 {
     if (argv.empty()) {
         warn("spawnProcess: empty argv");
+        return -1;
+    }
+    if (fault::anyArmed() &&
+        fault::shouldFire(fault::Site::ProcSpawn)) {
+        warn("spawnProcess: injected spawn failure (%s)",
+             fault::siteName(fault::Site::ProcSpawn));
         return -1;
     }
     std::vector<char *> cargv;

@@ -8,6 +8,9 @@
 
 #include <unistd.h>
 
+#include "common/error.hh"
+#include "common/fault.hh"
+#include "common/hash.hh"
 #include "common/logging.hh"
 #include "common/strutil.hh"
 
@@ -86,6 +89,62 @@ class TokenReader
     std::size_t next_ = 0;
     bool ok_ = true;
 };
+
+/** The v3 per-line checksum: FNV-1a over the line bytes before the
+ * " k <hex>" suffix (fingerprint and payload both covered). */
+std::uint64_t
+lineChecksum(std::string_view body)
+{
+    Fnv1a h;
+    h.bytes(body.data(), body.size());
+    return h.value();
+}
+
+bool
+isHex16(std::string_view s)
+{
+    if (s.size() != 16)
+        return false;
+    for (char c : s)
+        if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+              (c >= 'A' && c <= 'F')))
+            return false;
+    return true;
+}
+
+/**
+ * Parse one full journal line: "<fp-hex> <payload>[ k <checksum>]".
+ * A present checksum suffix must verify; its absence means a legacy
+ * v1/v2 line, accepted unchecked. nullopt = torn/corrupt/foreign.
+ */
+std::optional<std::pair<std::uint64_t, MannaResult>>
+parseJournalLine(std::string_view line)
+{
+    std::string_view body = line;
+    const auto kpos = line.rfind(" k ");
+    if (kpos != std::string_view::npos &&
+        isHex16(line.substr(kpos + 3))) {
+        const std::string ck(line.substr(kpos + 3));
+        if (std::strtoull(ck.c_str(), nullptr, 16) !=
+            lineChecksum(line.substr(0, kpos)))
+            return std::nullopt; // bit rot: never trust the record
+        body = line.substr(0, kpos);
+    }
+
+    const auto space = body.find(' ');
+    if (space == std::string_view::npos)
+        return std::nullopt;
+    const std::string fpText(body.substr(0, space));
+    errno = 0;
+    char *end = nullptr;
+    const std::uint64_t fp = std::strtoull(fpText.c_str(), &end, 16);
+    if (errno != 0 || end == fpText.c_str() || *end != '\0')
+        return std::nullopt;
+    auto result = decodeResult(body.substr(space + 1));
+    if (!result)
+        return std::nullopt;
+    return std::make_pair(fp, std::move(*result));
+}
 
 } // namespace
 
@@ -201,9 +260,23 @@ decodeResult(std::string_view line)
     return result;
 }
 
+std::string
+encodeJournalLine(std::uint64_t fingerprint,
+                  const MannaResult &result)
+{
+    std::string line =
+        strformat("%016llx ",
+                  static_cast<unsigned long long>(fingerprint)) +
+        encodeResult(result);
+    line += strformat(" k %016llx",
+                      static_cast<unsigned long long>(
+                          lineChecksum(line)));
+    return line;
+}
+
 SweepJournal::SweepJournal(const std::string &path,
                            std::size_t fsyncBatch)
-    : fsyncBatch_(fsyncBatch == 0 ? 1 : fsyncBatch)
+    : path_(path), fsyncBatch_(fsyncBatch == 0 ? 1 : fsyncBatch)
 {
     file_ = std::fopen(path.c_str(), "a");
     if (!file_)
@@ -216,42 +289,105 @@ SweepJournal::~SweepJournal()
 {
     if (!file_)
         return;
-    sync();
+    // Destructors must not throw; a failed final flush degrades to a
+    // warning (the resume path tolerates the missing tail records).
+    try {
+        sync();
+    } catch (const Error &e) {
+        warn("sweep journal close: %s", e.what());
+    }
+    if (!file_)
+        return; // sync() already closed it on failure
+    if (fault::anyArmed() &&
+        fault::shouldFire(fault::Site::JournalClose)) {
+        warn("sweep journal close failed on '%s' (injected %s)",
+             path_.c_str(),
+             fault::siteName(fault::Site::JournalClose));
+    }
     std::fclose(file_);
+    file_ = nullptr;
+}
+
+void
+SweepJournal::failLocked(const char *op, int err)
+{
+    // One failure permanently disables the journal: the sweep keeps
+    // running un-checkpointed (callers warn once) instead of
+    // re-raising on every record of a full or broken disk.
+    std::fclose(file_);
+    file_ = nullptr;
+    throw IoError(strformat(
+        "sweep journal %s failed on '%s': %s; checkpointing disabled "
+        "for the rest of this run",
+        op, path_.c_str(), std::strerror(err)));
+}
+
+void
+SweepJournal::flushLocked()
+{
+    errno = 0;
+    if (std::fflush(file_) != 0)
+        failLocked("flush", errno != 0 ? errno : EIO);
+    if (fault::anyArmed() &&
+        fault::shouldFire(fault::Site::JournalFsync))
+        failLocked("fsync (injected)", EIO);
+    errno = 0;
+    if (::fsync(::fileno(file_)) != 0)
+        failLocked("fsync", errno != 0 ? errno : EIO);
+    pending_ = 0;
 }
 
 void
 SweepJournal::append(std::uint64_t fingerprint,
                      const MannaResult &result)
 {
+    const std::string line =
+        encodeJournalLine(fingerprint, result) + "\n";
+    std::lock_guard<std::mutex> lock(mu_);
     if (!file_)
         return;
-    const std::string line =
-        strformat("%016llx ",
-                  static_cast<unsigned long long>(fingerprint)) +
-        encodeResult(result);
-    std::lock_guard<std::mutex> lock(mu_);
-    std::fprintf(file_, "%s\n", line.c_str());
-    if (++pending_ >= fsyncBatch_) {
-        std::fflush(file_);
-        ::fsync(::fileno(file_));
-        pending_ = 0;
+    if (fault::anyArmed()) {
+        if (fault::shouldFire(fault::Site::JournalAppendTorn)) {
+            // Silent torn write: half the record, newline-terminated
+            // so the journal stays line-parseable. The loader counts
+            // it corrupt and the job re-runs — exactly the artifact
+            // a kill -9 between fwrite and fsync leaves behind.
+            const std::string torn =
+                line.substr(0, line.size() / 2) + "\n";
+            std::fwrite(torn.data(), 1, torn.size(), file_);
+            if (++pending_ >= fsyncBatch_)
+                flushLocked();
+            return;
+        }
+        if (fault::shouldFire(fault::Site::JournalAppendShort)) {
+            std::fwrite(line.data(), 1, line.size() / 2, file_);
+            std::fflush(file_);
+            failLocked("append (injected short write)", EIO);
+        }
+        if (fault::shouldFire(fault::Site::JournalAppendEio))
+            failLocked("append (injected)", EIO);
+        if (fault::shouldFire(fault::Site::JournalAppendEnospc))
+            failLocked("append (injected)", ENOSPC);
     }
+    errno = 0;
+    if (std::fwrite(line.data(), 1, line.size(), file_) !=
+        line.size())
+        failLocked("append", errno != 0 ? errno : EIO);
+    if (++pending_ >= fsyncBatch_)
+        flushLocked();
 }
 
 void
 SweepJournal::sync()
 {
+    std::lock_guard<std::mutex> lock(mu_);
     if (!file_)
         return;
-    std::lock_guard<std::mutex> lock(mu_);
-    std::fflush(file_);
-    ::fsync(::fileno(file_));
-    pending_ = 0;
+    flushLocked();
 }
 
 std::map<std::uint64_t, MannaResult>
-loadJournal(const std::string &path)
+loadJournal(const std::string &path, JournalLoadStats *stats)
 {
     std::map<std::uint64_t, MannaResult> out;
     std::ifstream in(path);
@@ -259,36 +395,39 @@ loadJournal(const std::string &path)
         return out;
     std::string line;
     while (std::getline(in, line)) {
-        const std::string trimmed = trim(line);
+        std::string trimmed = trim(line);
         if (trimmed.empty() || trimmed[0] == '#')
             continue;
-        // Leading token is the 16-hex-digit job fingerprint; the rest
-        // is the encoded result.
-        const auto space = trimmed.find(' ');
-        if (space == std::string::npos)
+        if (fault::anyArmed() &&
+            fault::shouldFire(fault::Site::JournalReadCorrupt) &&
+            !trimmed.empty()) {
+            // Deterministic bit rot: flip the low bit of the middle
+            // byte of the record, as a bad disk/network would.
+            trimmed[trimmed.size() / 2] ^= 0x1;
+        }
+        auto parsed = parseJournalLine(trimmed);
+        if (!parsed) {
+            // Skip-and-rescan: count it, re-sync at the next line,
+            // never trust or propagate the bytes. The job re-runs.
+            if (stats)
+                ++stats->corruptRecords;
             continue;
-        const std::string fpText = trimmed.substr(0, space);
-        errno = 0;
-        char *end = nullptr;
-        const std::uint64_t fp =
-            std::strtoull(fpText.c_str(), &end, 16);
-        if (errno != 0 || end == fpText.c_str() || *end != '\0')
-            continue;
-        auto result = decodeResult(
-            std::string_view(trimmed).substr(space + 1));
-        if (!result)
-            continue; // torn or foreign line: job will just re-run
-        out.insert_or_assign(fp, std::move(*result));
+        }
+        if (stats)
+            ++stats->records;
+        out.insert_or_assign(parsed->first,
+                             std::move(parsed->second));
     }
     return out;
 }
 
 std::map<std::uint64_t, MannaResult>
-loadJournals(const std::vector<std::string> &paths)
+loadJournals(const std::vector<std::string> &paths,
+             JournalLoadStats *stats)
 {
     std::map<std::uint64_t, MannaResult> out;
     for (const std::string &path : paths)
-        for (auto &[fp, result] : loadJournal(path))
+        for (auto &[fp, result] : loadJournal(path, stats))
             out.insert_or_assign(fp, std::move(result));
     return out;
 }

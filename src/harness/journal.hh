@@ -4,22 +4,29 @@
  * of completed sweep-job outcomes.
  *
  * Each successfully completed job appends one text line
- * ("<job-fingerprint> v2 <serialized MannaResult>") to the journal;
- * writes are flushed and fsync'd in small batches so a `kill -9`
- * loses at most the last batch. On resume, the journal is loaded
- * into a fingerprint -> result map and already-completed points are
- * skipped. Doubles are serialized as C hexfloats ("%a"), so a
- * restored result is bit-identical to the one originally computed —
- * the resumed sweep's final report matches an uninterrupted run
- * byte-for-byte.
+ * ("<job-fingerprint> v2 <serialized MannaResult> k <checksum>") to
+ * the journal; writes are flushed and fsync'd in small batches so a
+ * `kill -9` loses at most the last batch. On resume, the journal is
+ * loaded into a fingerprint -> result map and already-completed
+ * points are skipped. Doubles are serialized as C hexfloats ("%a"),
+ * so a restored result is bit-identical to the one originally
+ * computed — the resumed sweep's final report matches an
+ * uninterrupted run byte-for-byte.
  *
  * Format versions: "v2" appends the component stat registry as
  * " r <count> <key> <hexdouble>..." after the v1 sections. "v1"
  * lines (journals written before the registry existed) still decode,
- * with an empty registry; any other version tag is rejected.
+ * with an empty registry; any other version tag is rejected. The v3
+ * *line* format wraps the v2 payload with a trailing " k <16-hex>"
+ * FNV-1a checksum over everything before it (fingerprint included),
+ * so a flipped bit is detected instead of silently resuming a wrong
+ * result. v1/v2 lines (no checksum suffix) still load.
  *
- * A torn final line (crash mid-write) is tolerated: unparsable lines
- * are skipped on load and the corresponding job simply re-runs.
+ * Recovery is skip-and-rescan: a torn, corrupt, or foreign line is
+ * counted (JournalLoadStats::corruptRecords, reported in stats.json
+ * as "journal.corrupt_records"), the loader re-synchronizes at the
+ * next newline, and the affected job simply re-runs — corruption is
+ * never trusted and never fatal.
  */
 
 #ifndef MANNA_HARNESS_JOURNAL_HH
@@ -39,13 +46,28 @@
 namespace manna::harness
 {
 
-/** Serialize a result as a single journal line (no trailing \n).
- * Exact: every double is emitted as a hexfloat. */
+/** Serialize a result as the payload of a journal line (no
+ * fingerprint, no checksum, no trailing \n). Exact: every double is
+ * emitted as a hexfloat. */
 std::string encodeResult(const MannaResult &result);
 
-/** Parse a line produced by encodeResult(); nullopt when malformed
- * (e.g. a torn write from a killed process). */
+/** Parse a payload produced by encodeResult(); nullopt when
+ * malformed (e.g. a torn write from a killed process). */
 std::optional<MannaResult> decodeResult(std::string_view line);
+
+/** Render one complete checksummed v3 journal line (no trailing \n):
+ * "<fp-hex> <payload> k <fnv1a-hex>", the checksum covering
+ * everything before " k". */
+std::string encodeJournalLine(std::uint64_t fingerprint,
+                              const MannaResult &result);
+
+/** Load tallies: total records restored and corrupt/torn lines
+ * skipped (and therefore due to re-run). */
+struct JournalLoadStats
+{
+    std::size_t records = 0;
+    std::size_t corruptRecords = 0;
+};
 
 /**
  * Thread-safe append-only journal writer. append() may be called
@@ -67,36 +89,50 @@ class SweepJournal
 
     bool ok() const { return file_ != nullptr; }
 
-    /** Record one completed job. No-op when !ok(). */
+    /** Record one completed job. No-op when !ok(). Throws IoError
+     * (with errno context) when the write or a batch fsync fails —
+     * the journal closes itself first, so later appends degrade to
+     * no-ops instead of repeating the failure. */
     void append(std::uint64_t fingerprint, const MannaResult &result);
 
-    /** Flush buffered records and fsync the file. */
+    /** Flush buffered records and fsync the file. Throws IoError on
+     * failure (journal disabled, as with append). */
     void sync();
 
   private:
+    /** Close the stream and throw IoError for a failed @p op. */
+    [[noreturn]] void failLocked(const char *op, int err);
+    void flushLocked();
+
     std::mutex mu_;
     std::FILE *file_ = nullptr;
+    std::string path_;
     std::size_t pending_ = 0;
     std::size_t fsyncBatch_;
 };
 
 /**
  * Load a journal written by SweepJournal. Returns the
- * fingerprint -> result map; malformed lines are skipped, and for
+ * fingerprint -> result map; malformed or checksum-mismatching lines
+ * are counted into @p stats (if given) and skipped, and for
  * duplicate fingerprints (e.g. a job re-journaled after a resume)
  * the last record wins. A missing file loads as an empty map.
  */
 std::map<std::uint64_t, MannaResult>
-loadJournal(const std::string &path);
+loadJournal(const std::string &path,
+            JournalLoadStats *stats = nullptr);
 
 /**
  * Load and merge several journals (later files win on duplicate
- * fingerprints). The distributed sweep harness uses this to seed a
- * coordinator or worker from any mix of partial per-shard journals —
- * see docs/DISTRIBUTED.md.
+ * fingerprints; @p stats accumulates across files). The distributed
+ * sweep harness uses this to seed a coordinator or worker from any
+ * mix of partial per-shard journals — see docs/DISTRIBUTED.md. A
+ * corrupt record never shadows a valid record of an earlier file:
+ * it is skipped, not merged.
  */
 std::map<std::uint64_t, MannaResult>
-loadJournals(const std::vector<std::string> &paths);
+loadJournals(const std::vector<std::string> &paths,
+             JournalLoadStats *stats = nullptr);
 
 /** Split a comma-separated journal-path list (the `resume=` knob
  * accepts one); empty segments are dropped. */

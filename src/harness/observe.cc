@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <map>
 
 #include "common/config.hh"
+#include "common/fileio.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "common/strutil.hh"
@@ -86,12 +86,10 @@ writeChromeTrace(const TraceOptions &opts,
     sim::TraceLogger logger(opts.maxEntries);
     runCompiled(benchmark, *model, steps, seed, nullptr, &logger);
 
-    std::ofstream f(opts.path, std::ios::out | std::ios::trunc);
-    if (!f) {
+    if (!writeFileAtomic(opts.path, logger.renderChromeTrace())) {
         warn("cannot write chrome trace to '%s'", opts.path.c_str());
         return false;
     }
-    f << logger.renderChromeTrace();
     debugLog("chrome trace: %zu events (%zu dropped) -> %s",
              logger.entries().size(), logger.dropped(),
              opts.path.c_str());
@@ -254,12 +252,10 @@ writeProfile(const ProfileOptions &opts,
         return false;
     const std::string doc =
         renderProfileJson(benchmark, config, steps, seed, opts.topN);
-    std::ofstream f(opts.path, std::ios::out | std::ios::trunc);
-    if (!f) {
+    if (!writeFileAtomic(opts.path, doc)) {
         warn("cannot write profile to '%s'", opts.path.c_str());
         return false;
     }
-    f << doc;
     debugLog("cycle-accounting profile -> %s", opts.path.c_str());
     return true;
 }
@@ -311,12 +307,11 @@ writeBenchJson(const BenchJsonOptions &opts,
 {
     if (!opts.enabled())
         return false;
-    std::ofstream f(opts.path, std::ios::out | std::ios::trunc);
-    if (!f) {
+    if (!writeFileAtomic(opts.path,
+                         renderBenchJson(benchName, report))) {
         warn("cannot write bench snapshot to '%s'", opts.path.c_str());
         return false;
     }
-    f << renderBenchJson(benchName, report);
     debugLog("bench snapshot -> %s", opts.path.c_str());
     return true;
 }

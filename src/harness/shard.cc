@@ -14,11 +14,15 @@
 #include <set>
 #include <thread>
 
+#include <signal.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
 #include "common/config.hh"
+#include "common/fault.hh"
+#include "common/fileio.hh"
 #include "common/logging.hh"
+#include "common/shutdown.hh"
 #include "common/strutil.hh"
 #include "common/subprocess.hh"
 #include "harness/journal.hh"
@@ -38,8 +42,13 @@ using Clock = std::chrono::steady_clock;
 const char *const kControlKeys[] = {
     "shards",      "shard",        "shard_dir",   "shard_spawn",
     "shard_attempts", "shard_timeout", "shard_salt", "shard_exclude",
+    "shard_heartbeat",
     "journal",     "resume",       "stats",       "bench_json",
     "trace",       "profile",      "dump_stats",  "progress",
+    // faults=/fault_seed= are deliberately NOT control keys: they
+    // forward to workers verbatim, so worker-side sites arm in the
+    // worker processes (specs count hits per process — see
+    // docs/ROBUSTNESS.md).
 };
 
 bool
@@ -140,7 +149,7 @@ loadFailures(const std::string &path)
         if (std::sscanf(t.c_str(), "%llx %llu %d %n", &fp, &attempts,
                         &kind, &consumed) != 3)
             continue; // torn write: job counts as lost instead
-        if (kind < 0 || kind > static_cast<int>(ErrorKind::Sim))
+        if (kind < 0 || kind > static_cast<int>(ErrorKind::Io))
             continue;
         FailureRecord rec;
         rec.kind = static_cast<ErrorKind>(kind);
@@ -211,6 +220,76 @@ hexFingerprint(std::uint64_t fp)
 {
     return strformat("%016llx", static_cast<unsigned long long>(fp));
 }
+
+std::string
+heartbeatPath(const std::string &journalPath)
+{
+    return journalPath + ".hb";
+}
+
+/**
+ * Worker-side liveness beacon: touches the heartbeat file every
+ * interval/2 from a tiny background thread, so the coordinator can
+ * tell "hung" (stale file) from "slow" (file keeps moving). The
+ * thread deliberately does nothing else — a worker wedged in a
+ * simulation step still heartbeats, which is correct: wedged-but-
+ * scheduling workers are the watchdog/timeout's business, while a
+ * stopped/frozen *process* (SIGSTOP, D-state, dead NFS) stops
+ * touching the file and is the heartbeat's business.
+ */
+class Heartbeat
+{
+  public:
+    Heartbeat(const std::string &path, double intervalSeconds)
+        : path_(path), interval_(intervalSeconds)
+    {
+        if (path_.empty() || interval_ <= 0.0)
+            return;
+        touchFile(path_);
+        thread_ = std::thread([this] { loop(); });
+    }
+
+    ~Heartbeat() { stop(); }
+
+    /** Stop beating (used by the worker.stall fault to simulate a
+     * frozen process, and by the destructor). */
+    void
+    stop()
+    {
+        if (!thread_.joinable())
+            return;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stop_ = true;
+        }
+        wake_.notify_all();
+        thread_.join();
+    }
+
+    Heartbeat(const Heartbeat &) = delete;
+    Heartbeat &operator=(const Heartbeat &) = delete;
+
+  private:
+    void
+    loop()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        while (!stop_) {
+            wake_.wait_for(lock, std::chrono::duration<double>(
+                                     interval_ / 2.0));
+            if (stop_)
+                break;
+            touchFile(path_);
+        }
+    }
+
+    const std::string path_;
+    const double interval_;
+    std::thread thread_;
+    std::mutex mu_;
+    std::condition_variable wake_;
+    bool stop_ = false;
+};
 
 // ---------------------------------------------------------------------
 // Coordinator internals
@@ -420,6 +499,9 @@ workerCommand(const ShardOptions &shard, std::size_t index,
     }
     if (progressSeconds > 0.0)
         argv.push_back(strformat("progress=%g", progressSeconds));
+    if (shard.heartbeatSeconds > 0.0)
+        argv.push_back(strformat("shard_heartbeat=%g",
+                                 shard.heartbeatSeconds));
 
     if (shard.spawnTemplate.empty() && shard.hosts.empty())
         return argv; // local fork/exec, no shell
@@ -480,6 +562,21 @@ ShardOptions
 shardOptionsFromConfig(const Config &cfg)
 {
     ShardOptions opts;
+
+    // Heartbeat liveness interval: meaningful on both sides (the
+    // coordinator watches, the worker beats), so parse it before the
+    // worker-mode early return.
+    double heartbeatDefault = 0.0;
+    if (const char *env = std::getenv("MANNA_SHARD_HEARTBEAT")) {
+        char *end = nullptr;
+        const double v = std::strtod(env, &end);
+        if (end != env && *end == '\0' && v >= 0.0)
+            heartbeatDefault = v;
+        else
+            warn("ignoring invalid MANNA_SHARD_HEARTBEAT='%s'", env);
+    }
+    opts.heartbeatSeconds = std::max(
+        0.0, cfg.getDouble("shard_heartbeat", heartbeatDefault));
 
     // Worker mode first: a present shard=K/N wins over everything
     // (and over MANNA_SHARDS, so spawned workers never recurse).
@@ -590,6 +687,43 @@ runShardWorker(SweepRunner &runner, const std::vector<SweepJob> &jobs,
         }
     }
 
+    // Worker-side fault sites use the re-dispatch round as the hit
+    // index, so e.g. worker.crash:once@1 kills round-0 workers only
+    // and the re-dispatch round then completes the sweep (a fresh
+    // worker process would otherwise re-fire its own "first hit"
+    // forever). workerIndex scopes prob@ draws per worker.
+    const std::uint64_t roundHit = shard.salt + 1;
+    if (fault::anyArmed()) {
+        if (fault::shouldFireAt(fault::Site::WorkerSilentExit,
+                                roundHit, shard.workerIndex))
+            // Dies before opening its journal: exit 0 with no
+            // artifacts, the exact case the coordinator's
+            // journal-existence check must catch.
+            std::_Exit(0);
+        if (fault::shouldFireAt(fault::Site::WorkerCrash, roundHit,
+                                shard.workerIndex))
+            std::_Exit(137);
+    }
+
+    Heartbeat heartbeat(opts.journalPath.empty()
+                            ? std::string()
+                            : heartbeatPath(opts.journalPath),
+                        shard.heartbeatSeconds);
+
+    if (fault::anyArmed() &&
+        fault::shouldFireAt(fault::Site::WorkerStall, roundHit,
+                            shard.workerIndex)) {
+        // A frozen process: the heartbeat stops too (that is the
+        // point — liveness detection must fire), then the worker
+        // hangs. The failsafe exit only bounds a run where nobody
+        // watches heartbeats or timeouts.
+        heartbeat.stop();
+        for (int i = 0; i < 3000; ++i)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(100));
+        std::_Exit(137);
+    }
+
     const CrashHook hook = crashHookFromEnv(shard);
     if (hook.armed && hook.afterJobs < owned.size()) {
         // Deterministic stand-in for a mid-sweep worker kill: run
@@ -640,8 +774,17 @@ runShardWorker(SweepRunner &runner, const std::vector<SweepJob> &jobs,
         report.outcomes[ownedIndex[j]] =
             std::move(subReport.outcomes[j]);
     report.watchdogCancellations = subReport.watchdogCancellations;
+    report.journalCorruptRecords = subReport.journalCorruptRecords;
     report.wallSeconds = subReport.wallSeconds;
     report.workers = subReport.workers;
+
+    if (fault::anyArmed() &&
+        fault::shouldFireAt(fault::Site::WorkerExitDelay, roundHit,
+                            shard.workerIndex))
+        // Slow-but-alive: the work is done and journaled, the
+        // heartbeat keeps beating, the process just lingers. A
+        // heartbeat-watching coordinator must wait it out, not kill.
+        std::this_thread::sleep_for(std::chrono::milliseconds(2000));
     return report;
 }
 
@@ -659,6 +802,8 @@ runShardCoordinator(const std::vector<SweepJob> &jobs,
                  "coordinator needs a worker command");
 
     const auto sweepStart = Clock::now();
+    if (opts.handleSignals)
+        installShutdownHandlers();
     std::vector<std::uint64_t> fps;
     fps.reserve(jobs.size());
     for (const SweepJob &job : jobs)
@@ -666,10 +811,15 @@ runShardCoordinator(const std::vector<SweepJob> &jobs,
 
     // Seed from any mix of user-supplied journals (comma-separated
     // resume=), exactly like the in-process resume path.
+    JournalLoadStats journalStats;
     const std::vector<std::string> userResume =
         splitJournalList(opts.resumeFrom);
     std::map<std::uint64_t, MannaResult> done =
-        loadJournals(userResume);
+        loadJournals(userResume, &journalStats);
+    if (journalStats.corruptRecords > 0)
+        warn("resume journals contained %zu corrupt record(s); "
+             "the affected jobs will re-run",
+             journalStats.corruptRecords);
     std::set<std::uint64_t> restoredByUser;
     for (std::uint64_t fp : fps)
         if (done.count(fp))
@@ -743,26 +893,85 @@ runShardCoordinator(const std::vector<SweepJob> &jobs,
                                      : jobs.size(),
                           &workers);
 
-        // Reap, enforcing the optional per-worker wall-clock budget.
+        // Reap, enforcing the optional per-worker wall-clock budget
+        // and the heartbeat liveness protocol, and forwarding a
+        // graceful shutdown to the live workers.
+        bool termForwarded = false;
+        Clock::time_point termAt{};
         while (true) {
             bool anyRunning = false;
+            if (opts.handleSignals && shutdownRequested() &&
+                !termForwarded) {
+                termForwarded = true;
+                termAt = Clock::now();
+                std::size_t live = 0;
+                for (WorkerProc &w : workers)
+                    if (!w.reaped && pollProcess(w.pid).running) {
+                        killProcess(w.pid, SIGTERM);
+                        ++live;
+                    }
+                warn("shutdown signal %d: forwarded SIGTERM to %zu "
+                     "shard worker(s); waiting for them to flush "
+                     "their journals",
+                     shutdownSignal(), live);
+            }
             for (WorkerProc &w : workers) {
                 if (w.reaped)
                     continue;
                 w.status = pollProcess(w.pid);
                 if (w.status.running) {
                     anyRunning = true;
-                    if (shard.workerTimeoutSeconds > 0.0 &&
+                    const double runtime =
                         std::chrono::duration<double>(Clock::now() -
                                                       w.start)
-                                .count() >
-                            shard.workerTimeoutSeconds) {
+                            .count();
+                    if (termForwarded &&
+                        std::chrono::duration<double>(Clock::now() -
+                                                      termAt)
+                                .count() > 20.0) {
+                        // Grace period expired: a worker ignoring
+                        // SIGTERM is killed hard, like a timeout.
+                        warn("shard worker %zu ignored SIGTERM; "
+                             "killing",
+                             w.index);
+                        killProcess(w.pid);
+                        w.status = waitProcess(w.pid);
+                        w.reaped = true;
+                        continue;
+                    }
+                    if (shard.workerTimeoutSeconds > 0.0 &&
+                        runtime > shard.workerTimeoutSeconds) {
                         warn("shard worker %zu exceeded "
                              "shard_timeout=%gs; killing",
                              w.index, shard.workerTimeoutSeconds);
                         killProcess(w.pid);
                         w.status = waitProcess(w.pid);
                         w.reaped = true;
+                        continue;
+                    }
+                    if (shard.heartbeatSeconds > 0.0) {
+                        // Hung vs slow: a live worker touches its
+                        // heartbeat file every interval/2, so a file
+                        // stale past 3x the interval (or never
+                        // created well past startup) means a frozen
+                        // process, not a long job.
+                        const double limit =
+                            3.0 * shard.heartbeatSeconds;
+                        const double silent =
+                            fileAgeSeconds(
+                                heartbeatPath(w.journalPath))
+                                .value_or(runtime);
+                        if (runtime > limit && silent > limit) {
+                            warn("shard worker %zu missed "
+                                 "heartbeats for %.1fs (limit "
+                                 "%.1fs); killing and "
+                                 "re-dispatching",
+                                 w.index, silent, limit);
+                            killProcess(w.pid);
+                            w.status = waitProcess(w.pid);
+                            w.reaped = true;
+                            continue;
+                        }
                     }
                 } else {
                     w.reaped = true;
@@ -780,14 +989,44 @@ runShardCoordinator(const std::vector<SweepJob> &jobs,
         for (const WorkerProc &w : workers) {
             if (w.assigned == 0)
                 continue;
-            shardJournals.push_back(w.journalPath);
-            for (auto &[fp, result] : loadJournal(w.journalPath))
-                done.insert_or_assign(fp, std::move(result));
-            for (auto &[fp, rec] :
-                 loadFailures(failurePath(w.journalPath)))
-                failed.insert_or_assign(fp, std::move(rec));
-            if (w.status.cleanExit(1))
+            if (fault::anyArmed() &&
+                fault::shouldFire(fault::Site::ShardMergeDrop)) {
+                // The worker's journal is unreadable (lost NFS
+                // export, deleted scratch dir): treat the worker as
+                // lost. Its journal must NOT join the resume list —
+                // the records cannot be trusted.
+                warn("shard worker %zu journal dropped (injected "
+                     "%s); re-dispatching its jobs",
+                     w.index,
+                     fault::siteName(fault::Site::ShardMergeDrop));
+                continue;
+            }
+            // A clean exit is only believable with artifacts: every
+            // healthy worker creates its journal file on startup
+            // (SweepJournal opens in the constructor), so exit 0
+            // with neither journal nor failure sidecar means the
+            // worker silently died before doing any work.
+            const bool produced =
+                fileExists(w.journalPath) ||
+                fileExists(failurePath(w.journalPath));
+            if (produced) {
+                shardJournals.push_back(w.journalPath);
+                JournalLoadStats js;
+                for (auto &[fp, result] :
+                     loadJournal(w.journalPath, &js))
+                    done.insert_or_assign(fp, std::move(result));
+                journalStats.corruptRecords += js.corruptRecords;
+                for (auto &[fp, rec] :
+                     loadFailures(failurePath(w.journalPath)))
+                    failed.insert_or_assign(fp, std::move(rec));
+            }
+            if (w.status.cleanExit(1) && produced)
                 ++survivors;
+            else if (w.status.cleanExit(1) && !produced)
+                warn("shard worker %zu of round %zu exited with "
+                     "code %d without writing its journal; "
+                     "re-dispatching its jobs",
+                     w.index, round, w.status.exitCode);
             else
                 warn("shard worker %zu of round %zu was lost (%s); "
                      "re-dispatching its jobs",
@@ -799,6 +1038,11 @@ runShardCoordinator(const std::vector<SweepJob> &jobs,
                                      w.status.exitCode)
                                .c_str());
         }
+
+        // An interrupted coordinator merges what the workers flushed
+        // and stops dispatching; the journal then resumes the rest.
+        if (opts.handleSignals && shutdownRequested())
+            break;
 
         // Poison jobs that were lost too many times: they are most
         // likely what keeps crashing the workers.
@@ -835,6 +1079,13 @@ runShardCoordinator(const std::vector<SweepJob> &jobs,
             out.error.kind = fit->second.kind;
             out.error.message = fit->second.message;
             out.attempts = fit->second.attempts;
+        } else if (opts.handleSignals && shutdownRequested()) {
+            out.error.kind = ErrorKind::Sim;
+            out.error.message = strformat(
+                "sweep interrupted by signal %d before this job "
+                "completed",
+                shutdownSignal());
+            out.attempts = dispatches[fp];
         } else {
             out.error.kind = ErrorKind::Sim;
             out.error.message = strformat(
@@ -845,6 +1096,7 @@ runShardCoordinator(const std::vector<SweepJob> &jobs,
         }
         report.outcomes.push_back(std::move(out));
     }
+    report.journalCorruptRecords = journalStats.corruptRecords;
     report.wallSeconds =
         std::chrono::duration<double>(Clock::now() - sweepStart)
             .count();
@@ -854,23 +1106,29 @@ runShardCoordinator(const std::vector<SweepJob> &jobs,
     // that did not come from their own resume files, so a later
     // resume= of this journal skips the whole sweep.
     if (!opts.journalPath.empty()) {
-        SweepJournal journal(opts.journalPath,
-                             opts.journalFsyncBatch);
-        for (std::size_t i = 0; i < jobs.size(); ++i)
-            if (report.outcomes[i].ok && !restoredByUser.count(fps[i]))
-                journal.append(fps[i], report.outcomes[i].value);
-        journal.sync();
+        try {
+            SweepJournal journal(opts.journalPath,
+                                 opts.journalFsyncBatch);
+            for (std::size_t i = 0; i < jobs.size(); ++i)
+                if (report.outcomes[i].ok &&
+                    !restoredByUser.count(fps[i]))
+                    journal.append(fps[i],
+                                   report.outcomes[i].value);
+            journal.sync();
+        } catch (const Error &e) {
+            warn("%s", e.what());
+        }
     }
 
-    if (!opts.statsPath.empty()) {
-        std::ofstream f(opts.statsPath,
-                        std::ios::out | std::ios::trunc);
-        if (!f)
-            warn("cannot write sweep stats to '%s'",
-                 opts.statsPath.c_str());
-        else
-            f << renderSweepStats(report);
-    }
+    if (opts.handleSignals && shutdownRequested())
+        warn("sharded sweep interrupted by signal %d: %zu of %zu "
+             "job(s) unfinished; resume= continues the sweep",
+             shutdownSignal(), report.failures(), jobs.size());
+
+    if (!opts.statsPath.empty() &&
+        !writeFileAtomic(opts.statsPath, renderSweepStats(report)))
+        warn("cannot write sweep stats to '%s'",
+             opts.statsPath.c_str());
     return report;
 }
 

@@ -84,6 +84,18 @@ struct ShardOptions
      * it is killed and its missing jobs re-dispatched. 0 disables. */
     double workerTimeoutSeconds = 0.0;
 
+    /**
+     * Heartbeat interval in seconds (shard_heartbeat=, env fallback
+     * MANNA_SHARD_HEARTBEAT; 0 disables). When set, each worker
+     * touches "<journal>.hb" every interval/2 from a tiny background
+     * thread; a worker whose heartbeat file goes stale for more than
+     * 3x the interval is *hung* (not merely slow) — the coordinator
+     * kills it and re-dispatches its jobs, without waiting for the
+     * blunt shard_timeout= budget. A slow-but-alive worker keeps
+     * heartbeating and is left alone.
+     */
+    double heartbeatSeconds = 0.0;
+
     // -- worker-mode fields (set via the internal shard=K/N knob) --
     bool worker = false;          ///< this process is a shard worker
     std::size_t workerIndex = 0;  ///< K of shard=K/N
@@ -121,8 +133,9 @@ std::size_t shardOf(std::uint64_t fp, std::size_t count,
 /**
  * Parse the distribution knobs: shards= (count or host list, env
  * fallback MANNA_SHARDS), shard_spawn= (MANNA_SHARD_SPAWN),
- * shard_dir=, shard_attempts=, shard_timeout=, and the internal
- * worker-mode knobs shard=K/N, shard_salt=, shard_exclude=. A
+ * shard_dir=, shard_attempts=, shard_timeout=, shard_heartbeat=
+ * (MANNA_SHARD_HEARTBEAT), and the internal worker-mode knobs
+ * shard=K/N, shard_salt=, shard_exclude=. A
  * present shard= always selects worker mode and makes shards=
  * ignored, so a worker inheriting MANNA_SHARDS cannot recurse into
  * another coordinator.

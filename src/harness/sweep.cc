@@ -8,9 +8,12 @@
 #include <fstream>
 
 #include "common/config.hh"
+#include "common/fault.hh"
+#include "common/fileio.hh"
 #include "common/hash.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "common/shutdown.hh"
 #include "common/strutil.hh"
 #include "compiler/compile_cache.hh"
 #include "harness/journal.hh"
@@ -281,9 +284,11 @@ renderSweepStats(const SweepReport &report)
     out += "  \"schema\": \"manna-sweep-stats-v1\",\n";
     out += strformat("  \"jobs\": {\"total\": %zu, \"ok\": %zu, "
                      "\"failed\": %zu, \"from_journal\": %zu, "
-                     "\"attempts\": %zu, \"watchdog_cancelled\": %zu},\n",
-                     ok + failed, ok, failed, restored,
-                     attempts, report.watchdogCancellations);
+                     "\"attempts\": %zu, \"watchdog_cancelled\": %zu, "
+                     "\"journal.corrupt_records\": %zu},\n",
+                     ok + failed, ok, failed, restored, attempts,
+                     report.watchdogCancellations,
+                     report.journalCorruptRecords);
     out += "  \"counters\": " + report.aggregateStats().toJson(4) +
            ",\n";
     out += strformat(
@@ -357,6 +362,10 @@ sweepOptionsFromConfig(const Config &cfg)
                           static_cast<std::int64_t>(
                               opts.cacheEntries))));
     opts.shard = shardOptionsFromConfig(cfg);
+    // Arm the fault-injection sites (faults= / MANNA_FAULTS) here so
+    // every sweep bench gets the knobs for free. Process-wide state,
+    // like the compile cache.
+    fault::configureFromConfig(cfg);
     return opts;
 }
 
@@ -396,16 +405,20 @@ using Clock = std::chrono::steady_clock;
 
 /**
  * One scanner thread over the registered {token, deadline} slots.
- * Only instantiated when a timeout is configured, so sweeps without a
- * watchdog spawn no extra thread.
+ * Doubles as the graceful-shutdown cancel fan-out: when
+ * @p watchShutdown is set and SIGTERM/SIGINT arrives, every
+ * registered token is fired so running simulations unwind through
+ * the normal cancellation path. Only instantiated when a timeout or
+ * signal handling is configured, so bare sweeps spawn no extra
+ * thread.
  */
 class Watchdog
 {
   public:
-    explicit Watchdog(double timeoutSeconds)
-        : timeout_(timeoutSeconds)
+    Watchdog(double timeoutSeconds, bool watchShutdown)
+        : timeout_(timeoutSeconds), watchShutdown_(watchShutdown)
     {
-        if (enabled())
+        if (tracking())
             scanner_ = std::thread([this] { loop(); });
     }
 
@@ -422,8 +435,10 @@ class Watchdog
     }
 
     bool enabled() const { return timeout_ > 0.0; }
+    bool tracking() const { return enabled() || watchShutdown_; }
 
-    /** Attempts cancelled for exceeding the budget so far. */
+    /** Attempts cancelled for exceeding the budget so far (shutdown
+     * cancellations are not counted here). */
     std::size_t
     cancellations()
     {
@@ -434,11 +449,14 @@ class Watchdog
     void
     add(CancelToken *token)
     {
-        if (!enabled())
+        if (!tracking())
             return;
         const auto deadline =
-            Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                               std::chrono::duration<double>(timeout_));
+            enabled()
+                ? Clock::now() +
+                      std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(timeout_))
+                : Clock::time_point::max();
         {
             std::lock_guard<std::mutex> lock(mu_);
             slots_.push_back({token, deadline});
@@ -449,7 +467,7 @@ class Watchdog
     void
     remove(CancelToken *token)
     {
-        if (!enabled())
+        if (!tracking())
             return;
         std::lock_guard<std::mutex> lock(mu_);
         slots_.erase(std::remove_if(slots_.begin(), slots_.end(),
@@ -472,17 +490,22 @@ class Watchdog
         std::unique_lock<std::mutex> lock(mu_);
         while (!stop_) {
             wake_.wait_for(lock, std::chrono::milliseconds(5));
+            const bool drain =
+                watchShutdown_ && shutdownRequested();
             const auto now = Clock::now();
             for (const Slot &s : slots_) {
-                if (now >= s.deadline && !s.token->cancelled()) {
+                if ((drain || now >= s.deadline) &&
+                    !s.token->cancelled()) {
                     s.token->cancel();
-                    ++cancellations_;
+                    if (!drain || now >= s.deadline)
+                        ++cancellations_;
                 }
             }
         }
     }
 
     const double timeout_;
+    const bool watchShutdown_;
     std::thread scanner_;
     std::mutex mu_;
     std::condition_variable wake_;
@@ -650,17 +673,29 @@ SweepRunner::runIsolated(std::size_t count, const IsolatedFn &fn,
              "running without checkpointing");
 
     compiler::setCompileCacheCapacity(opts.cacheEntries);
+    if (opts.handleSignals)
+        installShutdownHandlers();
 
+    JournalLoadStats journalStats;
     std::map<std::uint64_t, MannaResult> restored;
     if (journaling && !opts.resumeFrom.empty())
-        restored = loadJournals(splitJournalList(opts.resumeFrom));
+        restored = loadJournals(splitJournalList(opts.resumeFrom),
+                                &journalStats);
+    if (journalStats.corruptRecords > 0)
+        warn("resume journals contained %zu corrupt record(s); "
+             "the affected jobs will re-run",
+             journalStats.corruptRecords);
 
     std::unique_ptr<SweepJournal> journal;
     if (journaling && !opts.journalPath.empty())
         journal = std::make_unique<SweepJournal>(
             opts.journalPath, opts.journalFsyncBatch);
+    // One warning for the whole sweep when journaling degrades
+    // mid-run (full disk, I/O error): results stay correct, only
+    // checkpointing stops.
+    std::atomic<bool> journalBroken{false};
 
-    Watchdog watchdog(opts.timeoutSeconds);
+    Watchdog watchdog(opts.timeoutSeconds, opts.handleSignals);
     ProgressCounters progress;
     const auto sweepStart = Clock::now();
 
@@ -683,6 +718,22 @@ SweepRunner::runIsolated(std::size_t count, const IsolatedFn &fn,
                 progress.done.fetch_add(1);
                 return out;
             }
+        }
+
+        // Jobs not yet started when the shutdown signal arrives are
+        // abandoned (they resume from the journal); jobs already
+        // running are cancelled by the watchdog's shutdown drain.
+        if (opts.handleSignals && shutdownRequested()) {
+            out.ok = false;
+            out.attempts = 0;
+            out.error.kind = ErrorKind::Sim;
+            out.error.message = strformat(
+                "sweep interrupted by signal %d before this job "
+                "started",
+                shutdownSignal());
+            progress.failed.fetch_add(1);
+            progress.done.fetch_add(1);
+            return out;
         }
 
         const auto start = Clock::now();
@@ -713,6 +764,9 @@ SweepRunner::runIsolated(std::size_t count, const IsolatedFn &fn,
             if (out.error.kind == ErrorKind::Config ||
                 out.error.kind == ErrorKind::Assembly)
                 break;
+            // A shutdown-cancelled attempt must not retry either.
+            if (opts.handleSignals && shutdownRequested())
+                break;
             if (attempt < maxAttempts)
                 std::this_thread::sleep_for(std::chrono::milliseconds(
                     backoffMs(opts, attempt)));
@@ -723,8 +777,14 @@ SweepRunner::runIsolated(std::size_t count, const IsolatedFn &fn,
 
         if (out.ok) {
             out.error = JobError{};
-            if (journal)
-                journal->append(fp, out.value);
+            if (journal) {
+                try {
+                    journal->append(fp, out.value);
+                } catch (const Error &e) {
+                    if (!journalBroken.exchange(true))
+                        warn("%s", e.what());
+                }
+            }
         }
         progress.attempts.fetch_add(out.attempts);
         if (!out.ok)
@@ -739,23 +799,35 @@ SweepRunner::runIsolated(std::size_t count, const IsolatedFn &fn,
                                   progress);
         report.outcomes = map(count, runOne);
     }
-    if (journal)
-        journal->sync();
+    if (journal) {
+        try {
+            journal->sync();
+        } catch (const Error &e) {
+            if (!journalBroken.exchange(true))
+                warn("%s", e.what());
+        }
+    }
     report.watchdogCancellations = watchdog.cancellations();
+    report.journalCorruptRecords = journalStats.corruptRecords;
     report.wallSeconds = std::chrono::duration<double>(Clock::now() -
                                                        sweepStart)
                              .count();
     report.workers = jobs_;
 
-    if (!opts.statsPath.empty()) {
-        std::ofstream f(opts.statsPath,
-                        std::ios::out | std::ios::trunc);
-        if (!f)
-            warn("cannot write sweep stats to '%s'",
-                 opts.statsPath.c_str());
-        else
-            f << renderSweepStats(report);
+    if (opts.handleSignals && shutdownRequested()) {
+        const std::size_t unfinished = report.failures();
+        warn("sweep interrupted by signal %d: %zu of %zu job(s) "
+             "unfinished%s",
+             shutdownSignal(), unfinished, count,
+             journal && journal->ok()
+                 ? "; journal flushed, resume= continues the sweep"
+                 : "");
     }
+
+    if (!opts.statsPath.empty() &&
+        !writeFileAtomic(opts.statsPath, renderSweepStats(report)))
+        warn("cannot write sweep stats to '%s'",
+             opts.statsPath.c_str());
     return report;
 }
 

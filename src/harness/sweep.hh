@@ -243,6 +243,17 @@ struct SweepOptions
     /** Distributed multi-process execution (see docs/DISTRIBUTED.md);
      * default-constructed = off, everything runs in-process. */
     ShardOptions shard;
+
+    /**
+     * Install the SIGTERM/SIGINT graceful-shutdown handlers for this
+     * sweep (docs/ROBUSTNESS.md): on a signal, queued jobs are
+     * abandoned, running jobs are cancelled through their
+     * CancelTokens, the journal is flushed+fsync'd, and a coordinator
+     * forwards TERM to its workers — so the interrupted sweep resumes
+     * byte-identically via resume=. Off for embedders that own their
+     * signal disposition.
+     */
+    bool handleSignals = true;
 };
 
 /** Submission-ordered outcomes of a fault-isolated sweep. */
@@ -254,6 +265,11 @@ struct SweepReport
      * budget (counted per cancelled attempt's token, so a job whose
      * retry also timed out counts twice). */
     std::size_t watchdogCancellations = 0;
+
+    /** Corrupt/torn journal records skipped while loading resume=
+     * journals (reported as "journal.corrupt_records" in stats.json;
+     * the affected jobs re-ran, so results stay bit-exact). */
+    std::size_t journalCorruptRecords = 0;
 
     /** Wall-clock of the whole sweep in seconds (diagnostic only). */
     double wallSeconds = 0.0;
@@ -281,9 +297,11 @@ struct SweepReport
 
 /** Parse the robustness + observability + distribution knobs every
  * sweep-based bench accepts: retries=, timeout=, journal=, resume=,
- * progress=, stats=, cache_entries=, and the shard knobs (shards=,
- * shard_dir=, shard_spawn=, shard_attempts=, shard_timeout=, plus
- * the internal worker-mode shard=K/N family). */
+ * progress=, stats=, cache_entries=, the fault-injection knobs
+ * faults=/fault_seed= (armed process-wide as a side effect — see
+ * docs/ROBUSTNESS.md), and the shard knobs (shards=, shard_dir=,
+ * shard_spawn=, shard_attempts=, shard_timeout=, shard_heartbeat=,
+ * plus the internal worker-mode shard=K/N family). */
 SweepOptions sweepOptionsFromConfig(const Config &cfg);
 
 /** Parse the fidelity= knob ("cycle"|"fast"); when absent, fall back
@@ -296,7 +314,8 @@ sim::Fidelity fidelityFromConfig(const Config &cfg);
  * SweepOptions::statsPath. One JSON object with sections:
  *  - "schema": format tag ("manna-sweep-stats-v1");
  *  - "jobs": total/ok/failed/from_journal/attempts/
- *    watchdog_cancelled counts (deterministic);
+ *    watchdog_cancelled/journal.corrupt_records counts
+ *    (deterministic);
  *  - "counters": the aggregated per-job stat registries, in
  *    submission order — bit-identical between jobs=1 and jobs=N;
  *  - "throughput": wall-clock, jobs/s, per-job wall-time spread

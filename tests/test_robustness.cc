@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
@@ -22,6 +23,9 @@
 
 #include "common/config.hh"
 #include "common/error.hh"
+#include "common/fault.hh"
+#include "common/fileio.hh"
+#include "common/shutdown.hh"
 #include "common/strutil.hh"
 #include "compiler/compile_cache.hh"
 #include "harness/journal.hh"
@@ -415,6 +419,340 @@ TEST(Acceptance, MixedSweepRunsToCompletionDeterministically)
     clean.outcomes.push_back(JobOutcome{});
     clean.outcomes.back().ok = true;
     EXPECT_EQ(finishSweep(clean), 0);
+}
+
+/** Disarms every fault site on scope exit so an armed test can never
+ * leak its schedule into later tests (or a leaked shutdown latch). */
+struct FaultGuard
+{
+    FaultGuard() { fault::reset(); }
+    ~FaultGuard()
+    {
+        fault::reset();
+        resetShutdownForTest();
+    }
+};
+
+TEST(FaultSpec, NamesRoundTripThroughTheRegistry)
+{
+    for (unsigned i = 0; i < fault::kNumSites; ++i) {
+        const auto site = static_cast<fault::Site>(i);
+        const auto back = fault::siteByName(fault::siteName(site));
+        ASSERT_TRUE(back.has_value()) << fault::siteName(site);
+        EXPECT_EQ(*back, site);
+    }
+    EXPECT_FALSE(fault::siteByName("journal.append.bogus"));
+}
+
+TEST(FaultSpec, OnceEveryAndProbSemantics)
+{
+    FaultGuard guard;
+    ASSERT_TRUE(fault::tryConfigure("journal.fsync:once@2", 1));
+    EXPECT_TRUE(fault::anyArmed());
+    EXPECT_FALSE(fault::shouldFire(fault::Site::JournalFsync));
+    EXPECT_TRUE(fault::shouldFire(fault::Site::JournalFsync));
+    EXPECT_FALSE(fault::shouldFire(fault::Site::JournalFsync));
+    EXPECT_EQ(fault::hitCount(fault::Site::JournalFsync), 3u);
+    EXPECT_EQ(fault::fireCount(fault::Site::JournalFsync), 1u);
+
+    ASSERT_TRUE(fault::tryConfigure("journal.close:every@2", 1));
+    std::vector<bool> fires;
+    for (int i = 0; i < 4; ++i)
+        fires.push_back(fault::shouldFire(fault::Site::JournalClose));
+    EXPECT_EQ(fires, (std::vector<bool>{false, true, false, true}));
+
+    // prob@ endpoints are exact; mid probabilities are deterministic
+    // functions of (seed, site, hit, scope).
+    ASSERT_TRUE(fault::tryConfigure("proc.spawn:prob@0", 42));
+    for (int i = 0; i < 16; ++i)
+        EXPECT_FALSE(fault::shouldFire(fault::Site::ProcSpawn));
+    ASSERT_TRUE(fault::tryConfigure("proc.spawn:prob@1", 42));
+    for (int i = 0; i < 16; ++i)
+        EXPECT_TRUE(fault::shouldFire(fault::Site::ProcSpawn));
+    ASSERT_TRUE(fault::tryConfigure("proc.spawn:prob@0.5", 42));
+    std::vector<bool> first, second;
+    for (std::uint64_t h = 1; h <= 64; ++h)
+        first.push_back(
+            fault::shouldFireAt(fault::Site::ProcSpawn, h, 7));
+    for (std::uint64_t h = 1; h <= 64; ++h)
+        second.push_back(
+            fault::shouldFireAt(fault::Site::ProcSpawn, h, 7));
+    EXPECT_EQ(first, second);
+}
+
+TEST(FaultSpec, ShouldFireAtUsesTheCallerHitIndex)
+{
+    FaultGuard guard;
+    // once@1 with an explicit hit index means "dispatch round 0":
+    // every worker of round 0 fires, any later round does not —
+    // regardless of how often this process evaluated the site before.
+    ASSERT_TRUE(fault::tryConfigure("worker.crash:once@1", 1));
+    EXPECT_TRUE(fault::shouldFireAt(fault::Site::WorkerCrash, 1, 0));
+    EXPECT_TRUE(fault::shouldFireAt(fault::Site::WorkerCrash, 1, 5));
+    EXPECT_FALSE(fault::shouldFireAt(fault::Site::WorkerCrash, 2, 0));
+    EXPECT_FALSE(fault::shouldFireAt(fault::Site::WorkerCrash, 3, 5));
+}
+
+TEST(FaultSpec, MalformedSpecsAreRejectedWithoutDisarming)
+{
+    FaultGuard guard;
+    ASSERT_TRUE(fault::tryConfigure("journal.fsync:once@3", 1));
+    std::string error;
+    EXPECT_FALSE(fault::tryConfigure("no-colon", 1, &error));
+    EXPECT_NE(error.find("lacks ':'"), std::string::npos);
+    EXPECT_FALSE(fault::tryConfigure("bogus.site:once@1", 1, &error));
+    EXPECT_NE(error.find("unknown fault site"), std::string::npos);
+    EXPECT_FALSE(fault::tryConfigure("journal.fsync:when@1", 1,
+                                     &error));
+    EXPECT_NE(error.find("unknown fault verb"), std::string::npos);
+    EXPECT_FALSE(fault::tryConfigure("journal.fsync:once@0", 1,
+                                     &error));
+    EXPECT_FALSE(fault::tryConfigure("journal.fsync:prob@1.5", 1,
+                                     &error));
+    // Every rejection left the previous schedule armed.
+    EXPECT_TRUE(fault::anyArmed());
+    EXPECT_NE(fault::describeArmed().find("journal.fsync:once@3"),
+              std::string::npos);
+    // The documented disarm path: an empty spec.
+    ASSERT_TRUE(fault::tryConfigure("", 1));
+    EXPECT_FALSE(fault::anyArmed());
+}
+
+TEST(JournalChecksum, ChecksummedLineRoundTripsAndDetectsBitFlips)
+{
+    const std::string path = tempPath("manna_cksum.journal");
+    const std::string line =
+        encodeJournalLine(0x1234abcdULL, fakeResult(3));
+    {
+        std::ofstream out(path);
+        out << line << "\n";
+    }
+    JournalLoadStats stats;
+    auto loaded = loadJournal(path, &stats);
+    ASSERT_EQ(loaded.size(), 1u);
+    EXPECT_EQ(stats.records, 1u);
+    EXPECT_EQ(stats.corruptRecords, 0u);
+    EXPECT_EQ(encodeResult(loaded.at(0x1234abcdULL)),
+              encodeResult(fakeResult(3)));
+
+    // Flip one hex digit of the *fingerprint*: the line still parses
+    // as well-formed v2, but the checksum catches it — without v3 the
+    // record would silently resume under the wrong key.
+    std::string flipped = line;
+    flipped[4] = flipped[4] == '0' ? '1' : '0';
+    {
+        std::ofstream out(path);
+        out << flipped << "\n";
+    }
+    JournalLoadStats corrupt;
+    EXPECT_TRUE(loadJournal(path, &corrupt).empty());
+    EXPECT_EQ(corrupt.records, 0u);
+    EXPECT_EQ(corrupt.corruptRecords, 1u);
+    std::remove(path.c_str());
+}
+
+TEST(JournalChecksum, CorruptRecordNeverShadowsAnEarlierValidOne)
+{
+    // Satellite case: resume=a.journal,b.journal where the later
+    // journal's copy of a fingerprint is damaged. Later files win on
+    // duplicates, but a corrupt line is skipped, not merged — the
+    // earlier valid record must survive.
+    const std::string pathA = tempPath("manna_shadow_a.journal");
+    const std::string pathB = tempPath("manna_shadow_b.journal");
+    const std::uint64_t fp = 0xfeedULL;
+    {
+        std::ofstream a(pathA);
+        a << encodeJournalLine(fp, fakeResult(1)) << "\n";
+    }
+    std::string later = encodeJournalLine(fp, fakeResult(2));
+    later[later.size() / 2] ^= 0x1; // bit flip mid-payload
+    {
+        std::ofstream b(pathB);
+        b << later << "\n";
+    }
+    JournalLoadStats stats;
+    auto merged = loadJournals({pathA, pathB}, &stats);
+    ASSERT_EQ(merged.size(), 1u);
+    EXPECT_EQ(stats.records, 1u);
+    EXPECT_EQ(stats.corruptRecords, 1u);
+    EXPECT_EQ(encodeResult(merged.at(fp)),
+              encodeResult(fakeResult(1)));
+
+    // Control: with an intact later journal, the later record wins.
+    {
+        std::ofstream b(pathB);
+        b << encodeJournalLine(fp, fakeResult(2)) << "\n";
+    }
+    auto control = loadJournals({pathA, pathB});
+    EXPECT_EQ(encodeResult(control.at(fp)),
+              encodeResult(fakeResult(2)));
+    std::remove(pathA.c_str());
+    std::remove(pathB.c_str());
+}
+
+TEST(FaultInjection, FailedAppendSurfacesIoErrorThenDegrades)
+{
+    FaultGuard guard;
+    const std::string path = tempPath("manna_eio.journal");
+    ASSERT_TRUE(fault::tryConfigure("journal.append.eio:once@1", 1));
+    SweepJournal journal(path);
+    ASSERT_TRUE(journal.ok());
+    try {
+        journal.append(1, fakeResult(1));
+        FAIL() << "append did not throw";
+    } catch (const IoError &e) {
+        EXPECT_NE(std::string(e.what()).find("checkpointing disabled"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find(path),
+                  std::string::npos);
+    }
+    // The journal closed itself: later appends are quiet no-ops, so
+    // one bad disk does not spam an error per sweep job.
+    EXPECT_FALSE(journal.ok());
+    EXPECT_NO_THROW(journal.append(2, fakeResult(2)));
+    EXPECT_NO_THROW(journal.sync());
+    std::remove(path.c_str());
+}
+
+TEST(FaultInjection, SweepSurvivesJournalFailureMidRun)
+{
+    FaultGuard guard;
+    const std::string path = tempPath("manna_degraded.journal");
+    SweepOptions opts = noRetry();
+    opts.journalPath = path;
+    ASSERT_TRUE(fault::tryConfigure("journal.append.enospc:once@1", 1));
+
+    SweepRunner runner(1);
+    const auto report = runner.runIsolated(
+        3,
+        [](std::size_t i, const CancelToken &) {
+            return fakeResult(i);
+        },
+        {}, {11, 22, 33}, opts);
+
+    // The disk filling up costs the checkpoint, never the sweep.
+    EXPECT_TRUE(report.allOk());
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(encodeResult(report.outcomes[i].value),
+                  encodeResult(fakeResult(i)));
+    std::remove(path.c_str());
+}
+
+TEST(FaultInjection, CorruptRecordOnResumeIsCountedAndRerun)
+{
+    FaultGuard guard;
+    const std::string path = tempPath("manna_readcorrupt.journal");
+    SweepOptions journaling = noRetry();
+    journaling.journalPath = path;
+    auto fn = [](std::size_t i, const CancelToken &) {
+        return fakeResult(i);
+    };
+    SweepRunner runner(1);
+    ASSERT_TRUE(
+        runner.runIsolated(3, fn, {}, {11, 22, 33}, journaling)
+            .allOk());
+
+    // Resume with one record bit-flipped while being read: the
+    // damaged job re-runs, the tally shows up in the report, and the
+    // results are exactly what an undamaged resume produces.
+    ASSERT_TRUE(fault::tryConfigure("journal.read.corrupt:once@1", 1));
+    SweepOptions resuming = noRetry();
+    resuming.resumeFrom = path;
+    const auto resumed =
+        runner.runIsolated(3, fn, {}, {11, 22, 33}, resuming);
+    fault::reset();
+    EXPECT_TRUE(resumed.allOk());
+    EXPECT_EQ(resumed.journalCorruptRecords, 1u);
+    std::size_t restored = 0;
+    for (std::size_t i = 0; i < 3; ++i) {
+        restored += resumed.outcomes[i].fromJournal ? 1u : 0u;
+        EXPECT_EQ(encodeResult(resumed.outcomes[i].value),
+                  encodeResult(fakeResult(i)));
+    }
+    EXPECT_EQ(restored, 2u); // exactly the two undamaged records
+    EXPECT_NE(renderSweepStats(resumed)
+                  .find("\"journal.corrupt_records\": 1"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Shutdown, LatchAndTestResetWork)
+{
+    FaultGuard guard;
+    EXPECT_FALSE(shutdownRequested());
+    requestShutdown(SIGTERM);
+    EXPECT_TRUE(shutdownRequested());
+    EXPECT_EQ(shutdownSignal(), SIGTERM);
+    resetShutdownForTest();
+    EXPECT_FALSE(shutdownRequested());
+    EXPECT_EQ(shutdownSignal(), 0);
+}
+
+TEST(Shutdown, InterruptedSweepFlushesJournalAndResumesExactly)
+{
+    FaultGuard guard;
+    const std::string path = tempPath("manna_shutdown.journal");
+    SweepOptions opts = noRetry();
+    opts.journalPath = path;
+
+    // Job 0 receives the "signal" while running; it completes and is
+    // journaled, the jobs behind it never start.
+    SweepRunner runner(1);
+    const auto interrupted = runner.runIsolated(
+        3,
+        [](std::size_t i, const CancelToken &) {
+            if (i == 0)
+                requestShutdown(SIGTERM);
+            return fakeResult(i);
+        },
+        {}, {11, 22, 33}, opts);
+    resetShutdownForTest();
+
+    ASSERT_EQ(interrupted.failures(), 2u);
+    EXPECT_TRUE(interrupted.outcomes[0].ok);
+    EXPECT_NE(interrupted.outcomes[1].error.message.find(
+                  "interrupted by signal"),
+              std::string::npos);
+
+    // The flushed journal resumes to a byte-identical completion.
+    SweepOptions resuming = noRetry();
+    resuming.resumeFrom = path;
+    const auto resumed = runner.runIsolated(
+        3,
+        [](std::size_t i, const CancelToken &) {
+            return fakeResult(i);
+        },
+        {}, {11, 22, 33}, resuming);
+    ASSERT_TRUE(resumed.allOk());
+    EXPECT_TRUE(resumed.outcomes[0].fromJournal);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(encodeResult(resumed.outcomes[i].value),
+                  encodeResult(fakeResult(i)));
+    std::remove(path.c_str());
+}
+
+TEST(FileIo, AtomicWriteTouchAndAgePrimitivesWork)
+{
+    const std::string path = tempPath("manna_atomic.txt");
+    ASSERT_TRUE(writeFileAtomic(path, "first\n"));
+    ASSERT_TRUE(writeFileAtomic(path, "second\n")); // atomic replace
+    std::ifstream in(path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(content, "second\n");
+    // No temp file left behind next to the target.
+    EXPECT_FALSE(fileExists(path + ".tmp"));
+
+    const std::string hb = tempPath("manna_touch.hb");
+    EXPECT_FALSE(fileAgeSeconds(hb).has_value());
+    ASSERT_TRUE(touchFile(hb));
+    ASSERT_TRUE(fileExists(hb));
+    const auto age = fileAgeSeconds(hb);
+    ASSERT_TRUE(age.has_value());
+    EXPECT_GE(*age, 0.0);
+    EXPECT_LT(*age, 60.0);
+    std::remove(path.c_str());
+    std::remove(hb.c_str());
 }
 
 } // namespace

@@ -369,6 +369,43 @@ TEST(ShardedSweep, MergedStatsAndBenchJsonMatchSingleProcess)
                                   "\"wall\""));
 }
 
+TEST(ShardedSweep, SilentlyExitingWorkerIsNotTreatedAsSuccess)
+{
+    const RunResult plain = runBench({});
+    ASSERT_EQ(plain.exitCode, 0) << plain.err;
+
+    // Every round-0 worker exits 0 *before* creating its journal —
+    // from waitpid alone that looks like success. The coordinator
+    // must notice the missing artifacts and re-dispatch instead of
+    // silently losing the jobs.
+    const ScopedEnv faults("MANNA_FAULTS", "worker.silent_exit:once@1");
+    const RunResult two =
+        runBench({"shards=2", "shard_dir=" + makeTempDir()});
+    EXPECT_EQ(two.exitCode, 0) << two.err;
+    EXPECT_EQ(plain.out, two.out);
+    EXPECT_NE(two.err.find("without writing its journal"),
+              std::string::npos)
+        << two.err;
+}
+
+TEST(ShardedSweep, StalledWorkerIsKilledViaHeartbeatLiveness)
+{
+    const RunResult plain = runBench({});
+    ASSERT_EQ(plain.exitCode, 0) << plain.err;
+
+    // Round-0 workers freeze with their heartbeat thread stopped; the
+    // coordinator must detect the stale heartbeat files in ~3
+    // intervals and re-dispatch, long before any shard_timeout=.
+    const ScopedEnv faults("MANNA_FAULTS", "worker.stall:once@1");
+    const RunResult two =
+        runBench({"shards=2", "shard_dir=" + makeTempDir(),
+                  "shard_heartbeat=0.2"});
+    EXPECT_EQ(two.exitCode, 0) << two.err;
+    EXPECT_EQ(plain.out, two.out);
+    EXPECT_NE(two.err.find("missed heartbeats"), std::string::npos)
+        << two.err;
+}
+
 TEST(ShardedSweep, RepeatedlyLostJobsArePoisonedNotRetriedForever)
 {
     // Every dispatch of worker 0 dies immediately, in every round;
