@@ -6,7 +6,14 @@
  * model (double-buffered DMA, banked VMM, serial SFU).
  *
  *   ./build/examples/asm_runner            # run the built-in demo
- *   ./build/examples/asm_runner file=prog.s
+ *   ./build/examples/asm_runner file=prog.masm
+ *   ./build/examples/asm_runner file=prog.mpb     # binary container
+ *   ./build/examples/asm_runner file=prog.masm emit=prog.mpb
+ *
+ * file= accepts either `.masm` assembly text or a binary program
+ * container (docs/ISA.md "Binary encoding"), sniffed by magic;
+ * emit=PATH writes the assembled program as a binary container
+ * (inspect it with manna-objdump).
  */
 
 #include <cstdio>
@@ -15,9 +22,11 @@
 
 #include "arch/energy_model.hh"
 #include "common/config.hh"
+#include "common/fileio.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "isa/assembler.hh"
+#include "isa/binary.hh"
 #include "sim/tile.hh"
 #include "sim/trace.hh"
 
@@ -56,7 +65,7 @@ main(int argc, char **argv)
     std::string text = kDemo;
     const std::string path = cfg.getString("file");
     if (!path.empty()) {
-        std::ifstream in(path);
+        std::ifstream in(path, std::ios::binary);
         if (!in)
             fatal("cannot open '%s'", path.c_str());
         std::ostringstream buf;
@@ -64,15 +73,31 @@ main(int argc, char **argv)
         text = buf.str();
     }
 
-    const isa::AssembleResult result = isa::assemble(text);
-    if (!result.ok())
-        fatal("assembly error at line %zu: %s", result.errorLine,
-              result.error.c_str());
+    isa::Program program;
+    if (isa::looksLikeProgram(text)) {
+        std::string error;
+        if (!isa::decodeProgram(text, program, &error))
+            fatal("invalid binary program '%s': %s", path.c_str(),
+                  error.c_str());
+    } else {
+        const isa::AssembleResult result = isa::assemble(text);
+        if (!result.ok())
+            fatal("assembly error at line %zu: %s", result.errorLine,
+                  result.error.c_str());
+        program = result.program;
+    }
     std::printf("assembled %zu instructions (%llu dynamic):\n\n%s\n",
-                result.program.size(),
+                program.size(),
                 static_cast<unsigned long long>(
-                    result.program.dynamicLength()),
-                result.program.disassemble().c_str());
+                    program.dynamicLength()),
+                program.disassemble().c_str());
+
+    const std::string emit = cfg.getString("emit");
+    if (!emit.empty()) {
+        if (!writeFileAtomic(emit, isa::encodeProgram(program)))
+            fatal("cannot write '%s'", emit.c_str());
+        std::printf("emitted binary container: %s\n", emit.c_str());
+    }
 
     // One tile with generous functional storage.
     const arch::MannaConfig hw;
@@ -96,7 +121,7 @@ main(int argc, char **argv)
 
     sim::TraceLogger trace;
     tile.setTraceLogger(&trace);
-    tile.setProgram(&result.program);
+    tile.setProgram(&program);
     const sim::RunStatus status = tile.runUntilComm();
     if (status == sim::RunStatus::AtComm)
         fatal("program blocked on a communication instruction; "

@@ -12,7 +12,9 @@
 #     docs/OBSERVABILITY.md matches, in both directions, the
 #     registry keys a golden fig12_strong_scaling run emits;
 #  5. the fault-site catalog of docs/ROBUSTNESS.md matches, in both
-#     directions, the kSiteNames registry of src/common/fault.cc.
+#     directions, the kSiteNames registry of src/common/fault.cc;
+#  6. the opcode table of docs/ISA.md matches, in both directions,
+#     the toString(Opcode) mnemonic registry of src/isa/isa.cc.
 #
 # Pure grep/sed; no dependencies beyond POSIX tools + bash.
 set -u
@@ -56,7 +58,8 @@ for flag in $flags; do
     # backtick struct fields with initializers (`attempts=0`), which
     # count if the member declaration exists.
     if ! grep -rqE "\"$flag\"|[A-Za-z_] $flag *= *[A-Za-z0-9]" \
-            --include='*.cc' --include='*.hh' src bench; then
+            --include='*.cc' --include='*.hh' --include='*.cpp' \
+            src bench tools examples; then
         complain "flag '$flag=' documented but not found in sources"
     fi
 done
@@ -154,6 +157,31 @@ for site in $sites_doc; do
     printf '%s\n' "$sites_src" | grep -qxF "$site" ||
         complain "fault site '$site' documented but not registered" \
                  "in src/common/fault.cc"
+done
+
+# --- 6. opcode table vs the isa.cc mnemonic registry ---------------
+# The mnemonics live once, in the toString(Opcode) switch of
+# src/isa/isa.cc; docs/ISA.md documents each one in its "## Opcode
+# table" section as the backticked second column. Both directions
+# must agree, so neither side can drift.
+ops_src=$(sed -n '/^toString(Opcode op)$/,/^}$/p' src/isa/isa.cc |
+          grep -oE '"[a-z.]+"' | tr -d '"' | sort -u)
+ops_doc=$(sed -n '/^## Opcode table$/,/^## [A-Z]/p' docs/ISA.md |
+          grep -oE '^\| [0-9]+ \| `[a-z.]+`' |
+          grep -oE '`[a-z.]+`' | tr -d '`' | sort -u)
+[ -n "$ops_src" ] ||
+    complain "no opcode mnemonics found in src/isa/isa.cc"
+[ -n "$ops_doc" ] ||
+    complain "no opcode table found in docs/ISA.md"
+for op in $ops_src; do
+    printf '%s\n' "$ops_doc" | grep -qxF "$op" ||
+        complain "opcode '$op' implemented but missing from the" \
+                 "docs/ISA.md opcode table"
+done
+for op in $ops_doc; do
+    printf '%s\n' "$ops_src" | grep -qxF "$op" ||
+        complain "opcode '$op' documented but not implemented" \
+                 "in src/isa/isa.cc"
 done
 
 if [ "$errors" -gt 0 ]; then

@@ -1,0 +1,715 @@
+#include "artifact.hh"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "common/fileio.hh"
+#include "common/hash.hh"
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "isa/binary.hh"
+
+namespace manna::compiler
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Little-endian payload writer / bounds-checked reader.
+// ---------------------------------------------------------------------
+
+void
+put32le(std::string &out, std::uint32_t v)
+{
+    out.push_back(static_cast<char>(v & 0xff));
+    out.push_back(static_cast<char>((v >> 8) & 0xff));
+    out.push_back(static_cast<char>((v >> 16) & 0xff));
+    out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void
+put64le(std::string &out, std::uint64_t v)
+{
+    put32le(out, static_cast<std::uint32_t>(v & 0xffffffffu));
+    put32le(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void
+putF64le(std::string &out, double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    put64le(out, bits);
+}
+
+void
+putString(std::string &out, const std::string &s)
+{
+    put32le(out, static_cast<std::uint32_t>(s.size()));
+    out += s;
+}
+
+/** Element-count cap: rejects absurd counts from corrupt bytes
+ * before they turn into huge allocations. */
+constexpr std::uint32_t kMaxCount = 1u << 20;
+
+struct Cursor
+{
+    const std::string &data;
+    std::size_t pos;
+    std::string error;
+
+    bool
+    fail(const std::string &what)
+    {
+        if (error.empty())
+            error = what;
+        return false;
+    }
+
+    bool
+    need(std::size_t n)
+    {
+        if (pos + n > data.size())
+            return fail("truncated payload");
+        return true;
+    }
+
+    bool
+    u32(std::uint32_t &v)
+    {
+        if (!need(4))
+            return false;
+        const auto b = [&](std::size_t i) {
+            return static_cast<std::uint32_t>(
+                static_cast<unsigned char>(data[pos + i]));
+        };
+        v = b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+        pos += 4;
+        return true;
+    }
+
+    bool
+    u64(std::uint64_t &v)
+    {
+        std::uint32_t lo, hi;
+        if (!u32(lo) || !u32(hi))
+            return false;
+        v = static_cast<std::uint64_t>(lo) |
+            (static_cast<std::uint64_t>(hi) << 32);
+        return true;
+    }
+
+    bool
+    f64(double &v)
+    {
+        std::uint64_t bits;
+        if (!u64(bits))
+            return false;
+        std::memcpy(&v, &bits, sizeof(v));
+        return true;
+    }
+
+    bool
+    count(std::uint32_t &v, const char *what)
+    {
+        if (!u32(v))
+            return false;
+        if (v > kMaxCount)
+            return fail(strformat("implausible %s count %u", what, v));
+        return true;
+    }
+
+    bool
+    str(std::string &s)
+    {
+        std::uint32_t n;
+        if (!count(n, "string byte"))
+            return false;
+        if (!need(n))
+            return false;
+        s.assign(data, pos, n);
+        pos += n;
+        return true;
+    }
+};
+
+// ---------------------------------------------------------------------
+// Payload codec: mapping, layout, segments, warnings. The input
+// configs are NOT part of the payload — they are the cache key.
+// ---------------------------------------------------------------------
+
+void
+encodeRowPartition(std::string &out, const RowPartition &p)
+{
+    put32le(out, p.base);
+    put32le(out, p.cols);
+    put32le(out, static_cast<std::uint32_t>(p.rowStart.size()));
+    for (std::uint32_t v : p.rowStart)
+        put32le(out, v);
+    put32le(out, static_cast<std::uint32_t>(p.rowCount.size()));
+    for (std::uint32_t v : p.rowCount)
+        put32le(out, v);
+}
+
+bool
+decodeRowPartition(Cursor &c, RowPartition &p)
+{
+    if (!c.u32(p.base) || !c.u32(p.cols))
+        return false;
+    std::uint32_t n;
+    if (!c.count(n, "rowStart"))
+        return false;
+    p.rowStart.resize(n);
+    for (auto &v : p.rowStart)
+        if (!c.u32(v))
+            return false;
+    if (!c.count(n, "rowCount"))
+        return false;
+    p.rowCount.resize(n);
+    for (auto &v : p.rowCount)
+        if (!c.u32(v))
+            return false;
+    return true;
+}
+
+std::string
+encodePayload(const CompiledModel &model)
+{
+    std::string out;
+
+    // Mapping.
+    const Mapping &map = model.mapping;
+    put64le(out, map.nDistrib);
+    put64le(out, map.mDistrib);
+    put32le(out, map.localRowsMax);
+    put32le(out, static_cast<std::uint32_t>(map.kernels.size()));
+    for (const KernelMapping &km : map.kernels) {
+        put32le(out, static_cast<std::uint32_t>(km.kernel));
+        put32le(out, km.rows);
+        put32le(out, km.cols);
+        put32le(out, km.blockN);
+        put32le(out, km.blockM);
+        put32le(out, km.transposed ? 1 : 0);
+        put32le(out, static_cast<std::uint32_t>(km.blockLoop));
+        put32le(out, static_cast<std::uint32_t>(km.computeLoop));
+        for (double v : km.blockLoopCost)
+            putF64le(out, v);
+        for (double v : km.computeLoopCost)
+            putF64le(out, v);
+    }
+
+    // Layout.
+    const ChipLayout &lay = model.layout;
+    encodeRowPartition(out, lay.memory);
+    put32le(out, static_cast<std::uint32_t>(lay.headWeights.size()));
+    for (const RowPartition &p : lay.headWeights)
+        encodeRowPartition(out, p);
+    put32le(out, static_cast<std::uint32_t>(lay.wPrevBase.size()));
+    for (std::uint32_t v : lay.wPrevBase)
+        put32le(out, v);
+    put64le(out, lay.matBufWords);
+    put64le(out, lay.matSpadWords);
+    put64le(out, lay.vecBufWords);
+    put64le(out, lay.vecSpadWords);
+
+    // Segments: each tile program rides as a nested self-describing
+    // program container (isa/binary.hh).
+    put32le(out, static_cast<std::uint32_t>(model.stepSegments.size()));
+    for (const CompiledSegment &seg : model.stepSegments) {
+        put32le(out, static_cast<std::uint32_t>(seg.group));
+        putString(out, seg.name);
+        put32le(out,
+                static_cast<std::uint32_t>(seg.tilePrograms.size()));
+        for (const isa::Program &prog : seg.tilePrograms)
+            putString(out, isa::encodeProgram(prog));
+    }
+
+    // Warnings (replayed as deferred diagnostics on cache hits too).
+    put32le(out, static_cast<std::uint32_t>(model.warnings.size()));
+    for (const std::string &w : model.warnings)
+        putString(out, w);
+
+    return out;
+}
+
+bool
+decodePayload(Cursor &c, CompiledModel &out)
+{
+    Mapping &map = out.mapping;
+    std::uint64_t v64;
+    if (!c.u64(v64))
+        return false;
+    map.nDistrib = static_cast<std::size_t>(v64);
+    if (!c.u64(v64))
+        return false;
+    map.mDistrib = static_cast<std::size_t>(v64);
+    if (!c.u32(map.localRowsMax))
+        return false;
+    std::uint32_t n;
+    if (!c.count(n, "kernel-mapping"))
+        return false;
+    map.kernels.resize(n);
+    for (KernelMapping &km : map.kernels) {
+        std::uint32_t kernel, transposed, blockLoop, computeLoop;
+        if (!c.u32(kernel) || !c.u32(km.rows) || !c.u32(km.cols) ||
+            !c.u32(km.blockN) || !c.u32(km.blockM) ||
+            !c.u32(transposed) || !c.u32(blockLoop) ||
+            !c.u32(computeLoop))
+            return false;
+        if (kernel >= mann::kNumKernels)
+            return c.fail("invalid kernel id");
+        if (transposed > 1 || blockLoop > 1 || computeLoop > 1)
+            return c.fail("invalid kernel-mapping flag");
+        km.kernel = static_cast<mann::Kernel>(kernel);
+        km.transposed = transposed != 0;
+        km.blockLoop = static_cast<LoopOrder>(blockLoop);
+        km.computeLoop = static_cast<LoopOrder>(computeLoop);
+        for (double &v : km.blockLoopCost)
+            if (!c.f64(v))
+                return false;
+        for (double &v : km.computeLoopCost)
+            if (!c.f64(v))
+                return false;
+    }
+
+    ChipLayout &lay = out.layout;
+    if (!decodeRowPartition(c, lay.memory))
+        return false;
+    if (!c.count(n, "head-weight partition"))
+        return false;
+    lay.headWeights.resize(n);
+    for (RowPartition &p : lay.headWeights)
+        if (!decodeRowPartition(c, p))
+            return false;
+    if (!c.count(n, "wPrevBase"))
+        return false;
+    lay.wPrevBase.resize(n);
+    for (auto &v : lay.wPrevBase)
+        if (!c.u32(v))
+            return false;
+    if (!c.u64(v64))
+        return false;
+    lay.matBufWords = static_cast<std::size_t>(v64);
+    if (!c.u64(v64))
+        return false;
+    lay.matSpadWords = static_cast<std::size_t>(v64);
+    if (!c.u64(v64))
+        return false;
+    lay.vecBufWords = static_cast<std::size_t>(v64);
+    if (!c.u64(v64))
+        return false;
+    lay.vecSpadWords = static_cast<std::size_t>(v64);
+
+    if (!c.count(n, "segment"))
+        return false;
+    out.stepSegments.resize(n);
+    for (CompiledSegment &seg : out.stepSegments) {
+        std::uint32_t group;
+        if (!c.u32(group))
+            return false;
+        if (group >= mann::kNumKernelGroups)
+            return c.fail("invalid kernel-group id");
+        seg.group = static_cast<mann::KernelGroup>(group);
+        if (!c.str(seg.name))
+            return false;
+        std::uint32_t tiles;
+        if (!c.count(tiles, "tile-program"))
+            return false;
+        seg.tilePrograms.resize(tiles);
+        for (isa::Program &prog : seg.tilePrograms) {
+            std::string bytes;
+            if (!c.str(bytes))
+                return false;
+            std::string perr;
+            if (!isa::decodeProgram(bytes, prog, &perr))
+                return c.fail("bad tile program: " + perr);
+        }
+    }
+
+    if (!c.count(n, "warning"))
+        return false;
+    out.warnings.resize(n);
+    for (std::string &w : out.warnings)
+        if (!c.str(w))
+            return false;
+
+    if (c.pos != c.data.size())
+        return c.fail("trailing bytes after payload");
+    return true;
+}
+
+/** Artifact header: magic, version, key fingerprints, payload
+ * checksum. 40 bytes, mirroring the program container. */
+constexpr std::size_t kArtifactHeaderBytes = 40;
+
+bool
+decodeContainer(const std::string &data, CompiledModel &out,
+                std::uint64_t *mannFp, std::uint64_t *archFp,
+                std::string *error)
+{
+    const auto fail = [&](const char *what) {
+        if (error)
+            *error = what;
+        return false;
+    };
+    if (data.size() < kArtifactHeaderBytes)
+        return fail("truncated header");
+    if (std::memcmp(data.data(), kArtifactMagic,
+                    sizeof(kArtifactMagic)) != 0)
+        return fail("bad magic (not a Manna artifact)");
+    Cursor c{data, sizeof(kArtifactMagic), ""};
+    std::uint32_t version;
+    std::uint64_t mfp, afp, reserved, checksum;
+    if (!c.u32(version) || !c.u64(mfp) || !c.u64(afp) ||
+        !c.u64(reserved) || !c.u64(checksum))
+        return fail("truncated header");
+    if (version != kArtifactVersion)
+        return fail("unsupported artifact version");
+    if (reserved != 0)
+        return fail("nonzero reserved field");
+    if (c.pos != kArtifactHeaderBytes)
+        return fail("bad header size");
+    const std::uint64_t got =
+        Fnv1a()
+            .bytes(data.data() + kArtifactHeaderBytes,
+                   data.size() - kArtifactHeaderBytes)
+            .value();
+    if (checksum != got)
+        return fail("payload checksum mismatch");
+    if (mannFp)
+        *mannFp = mfp;
+    if (archFp)
+        *archFp = afp;
+    CompiledModel model;
+    if (!decodePayload(c, model)) {
+        if (error)
+            *error = c.error.empty() ? "malformed payload" : c.error;
+        return false;
+    }
+    out = std::move(model);
+    return true;
+}
+
+} // namespace
+
+std::string
+encodeModel(const CompiledModel &model)
+{
+    const std::string payload = encodePayload(model);
+    std::string out;
+    out.reserve(kArtifactHeaderBytes + payload.size());
+    out.append(kArtifactMagic, sizeof(kArtifactMagic));
+    put32le(out, kArtifactVersion);
+    put64le(out, model.mannCfg.fingerprint());
+    put64le(out, model.archCfg.fingerprint());
+    put64le(out, 0); // reserved, must be zero
+    put64le(out, Fnv1a().bytes(payload.data(), payload.size()).value());
+    out += payload;
+    return out;
+}
+
+bool
+decodeModel(const std::string &data, const mann::MannConfig &mann,
+            const arch::MannaConfig &arch, CompiledModel &out,
+            std::string *error)
+{
+    CompiledModel model;
+    std::uint64_t mfp = 0, afp = 0;
+    if (!decodeContainer(data, model, &mfp, &afp, error))
+        return false;
+    if (mfp != mann.fingerprint() || afp != arch.fingerprint()) {
+        if (error)
+            *error = "fingerprint mismatch (stale artifact)";
+        return false;
+    }
+    model.mannCfg = mann;
+    model.archCfg = arch;
+    out = std::move(model);
+    return true;
+}
+
+bool
+decodeModelStructure(const std::string &data, CompiledModel &out,
+                     std::uint64_t *mannFp, std::uint64_t *archFp,
+                     std::string *error)
+{
+    return decodeContainer(data, out, mannFp, archFp, error);
+}
+
+bool
+looksLikeArtifact(const std::string &data)
+{
+    return data.size() >= sizeof(kArtifactMagic) &&
+           std::memcmp(data.data(), kArtifactMagic,
+                       sizeof(kArtifactMagic)) == 0;
+}
+
+// ---------------------------------------------------------------------
+// On-disk cache.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+struct ArtifactCache
+{
+    std::mutex mu;
+    std::string dir;       ///< "" = disabled
+    std::size_t capacity = 0;
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t evictions = 0;
+    std::size_t corrupt = 0;
+};
+
+ArtifactCache &
+artifactCache()
+{
+    static ArtifactCache c;
+    return c;
+}
+
+constexpr const char *kArtifactSuffix = ".mca";
+
+std::string
+entryName(std::uint64_t mannFp, std::uint64_t archFp)
+{
+    return strformat("%016llx-%016llx%s",
+                     static_cast<unsigned long long>(mannFp),
+                     static_cast<unsigned long long>(archFp),
+                     kArtifactSuffix);
+}
+
+/** mkdir -p: create every missing component of @p dir. */
+bool
+makeDirs(const std::string &dir)
+{
+    std::string prefix;
+    for (const std::string &part : split(dir, '/')) {
+        prefix += part;
+        if (!prefix.empty() &&
+            ::mkdir(prefix.c_str(), 0777) != 0 && errno != EEXIST) {
+            warn("artifact cache: mkdir '%s' failed: %s",
+                 prefix.c_str(), std::strerror(errno));
+            return false;
+        }
+        prefix += '/';
+    }
+    return true;
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    std::string data;
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        data.append(buf, n);
+    const bool ok = !std::ferror(f);
+    std::fclose(f);
+    if (ok)
+        out = std::move(data);
+    return ok;
+}
+
+/** Remove oldest-mtime entries past @p capacity. Returns how many
+ * were evicted. Caller holds no lock (file ops only). */
+std::size_t
+evictPastCapacity(const std::string &dir, std::size_t capacity)
+{
+    if (capacity == 0)
+        return 0;
+    DIR *d = ::opendir(dir.c_str());
+    if (!d)
+        return 0;
+    std::vector<std::pair<double, std::string>> entries; // age, path
+    while (struct dirent *e = ::readdir(d)) {
+        const std::string name = e->d_name;
+        if (name.size() <= std::strlen(kArtifactSuffix) ||
+            name.substr(name.size() - std::strlen(kArtifactSuffix)) !=
+                kArtifactSuffix)
+            continue;
+        const std::string path = dir + "/" + name;
+        const auto age = fileAgeSeconds(path);
+        entries.emplace_back(age ? *age : 0.0, path);
+    }
+    ::closedir(d);
+    if (entries.size() <= capacity)
+        return 0;
+    // Oldest (largest age) first; ties break on path for
+    // determinism.
+    std::sort(entries.begin(), entries.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.first != b.first)
+                      return a.first > b.first;
+                  return a.second < b.second;
+              });
+    std::size_t evicted = 0;
+    for (std::size_t i = 0; i < entries.size() - capacity; ++i)
+        if (::remove(entries[i].second.c_str()) == 0)
+            ++evicted;
+    return evicted;
+}
+
+} // namespace
+
+void
+setArtifactCacheDir(const std::string &dir)
+{
+    ArtifactCache &c = artifactCache();
+    std::lock_guard<std::mutex> lock(c.mu);
+    c.dir = dir;
+}
+
+std::string
+artifactCacheDir()
+{
+    ArtifactCache &c = artifactCache();
+    std::lock_guard<std::mutex> lock(c.mu);
+    return c.dir;
+}
+
+std::string
+defaultArtifactCacheDir()
+{
+    const char *env = std::getenv("MANNA_ARTIFACT_CACHE");
+    return env ? env : "";
+}
+
+void
+setArtifactCacheCapacity(std::size_t entries)
+{
+    ArtifactCache &c = artifactCache();
+    std::lock_guard<std::mutex> lock(c.mu);
+    c.capacity = entries;
+}
+
+std::size_t
+artifactCacheCapacity()
+{
+    ArtifactCache &c = artifactCache();
+    std::lock_guard<std::mutex> lock(c.mu);
+    return c.capacity;
+}
+
+std::string
+artifactCachePath(std::uint64_t mannFp, std::uint64_t archFp)
+{
+    const std::string dir = artifactCacheDir();
+    if (dir.empty())
+        return "";
+    return dir + "/" + entryName(mannFp, archFp);
+}
+
+std::shared_ptr<const CompiledModel>
+loadCachedArtifact(const mann::MannConfig &mann,
+                   const arch::MannaConfig &arch)
+{
+    const std::string path =
+        artifactCachePath(mann.fingerprint(), arch.fingerprint());
+    if (path.empty())
+        return nullptr;
+
+    ArtifactCache &c = artifactCache();
+    std::string data;
+    if (!readFile(path, data)) {
+        std::lock_guard<std::mutex> lock(c.mu);
+        ++c.misses;
+        return nullptr;
+    }
+    auto model = std::make_shared<CompiledModel>();
+    std::string error;
+    if (!decodeModel(data, mann, arch, *model, &error)) {
+        warn("artifact cache: skipping corrupt entry '%s': %s "
+             "(recompiling)",
+             path.c_str(), error.c_str());
+        std::lock_guard<std::mutex> lock(c.mu);
+        ++c.misses;
+        ++c.corrupt;
+        return nullptr;
+    }
+    {
+        std::lock_guard<std::mutex> lock(c.mu);
+        ++c.hits;
+    }
+    return model;
+}
+
+void
+storeCachedArtifact(const CompiledModel &model)
+{
+    const std::string path = artifactCachePath(
+        model.mannCfg.fingerprint(), model.archCfg.fingerprint());
+    if (path.empty())
+        return;
+    const std::string dir = artifactCacheDir();
+    if (!makeDirs(dir))
+        return;
+    if (!writeFileAtomic(path, encodeModel(model))) {
+        warn("artifact cache: cannot write '%s'", path.c_str());
+        return;
+    }
+    const std::size_t evicted =
+        evictPastCapacity(dir, artifactCacheCapacity());
+    if (evicted > 0) {
+        ArtifactCache &c = artifactCache();
+        std::lock_guard<std::mutex> lock(c.mu);
+        c.evictions += evicted;
+    }
+}
+
+std::size_t
+artifactCacheHits()
+{
+    ArtifactCache &c = artifactCache();
+    std::lock_guard<std::mutex> lock(c.mu);
+    return c.hits;
+}
+
+std::size_t
+artifactCacheMisses()
+{
+    ArtifactCache &c = artifactCache();
+    std::lock_guard<std::mutex> lock(c.mu);
+    return c.misses;
+}
+
+std::size_t
+artifactCacheEvictions()
+{
+    ArtifactCache &c = artifactCache();
+    std::lock_guard<std::mutex> lock(c.mu);
+    return c.evictions;
+}
+
+std::size_t
+artifactCacheCorrupt()
+{
+    ArtifactCache &c = artifactCache();
+    std::lock_guard<std::mutex> lock(c.mu);
+    return c.corrupt;
+}
+
+void
+resetArtifactCacheCounters()
+{
+    ArtifactCache &c = artifactCache();
+    std::lock_guard<std::mutex> lock(c.mu);
+    c.hits = c.misses = c.evictions = c.corrupt = 0;
+}
+
+} // namespace manna::compiler

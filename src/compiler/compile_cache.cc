@@ -5,6 +5,8 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "compiler/artifact.hh"
+
 namespace manna::compiler
 {
 
@@ -123,8 +125,19 @@ compileCached(const mann::MannConfig &mann, const arch::MannaConfig &arch)
         // dropped, so nothing deadlocks and the error stays
         // recoverable per sweep job.
         try {
-            promise.set_value(std::make_shared<const CompiledModel>(
-                compile(mann, arch)));
+            // The on-disk artifact layer (compiler/artifact.hh)
+            // sits under the in-memory cache: an in-memory miss
+            // first tries the fingerprint-keyed artifact directory
+            // and only compiles (then stores the artifact) when
+            // that misses too.
+            std::shared_ptr<const CompiledModel> model =
+                loadCachedArtifact(mann, arch);
+            if (!model) {
+                model = std::make_shared<const CompiledModel>(
+                    compile(mann, arch));
+                storeCachedArtifact(*model);
+            }
+            promise.set_value(std::move(model));
             std::lock_guard<std::mutex> lock(c.mu);
             if (auto it = c.entries.find(key);
                 it != c.entries.end()) {

@@ -17,6 +17,13 @@
  * compiled is never dropped, so in-flight waiters are unaffected.
  * Evicted models referenced by callers stay alive through their
  * shared_ptrs; only the cache's own reference goes away.
+ *
+ * When an on-disk artifact cache is configured (artifact_cache=DIR /
+ * MANNA_ARTIFACT_CACHE — see compiler/artifact.hh), an in-memory miss
+ * first tries the fingerprint-keyed artifact directory, so repeated
+ * sweeps and shard workers across *processes* skip recompilation;
+ * compile() runs only when both layers miss, and its result is then
+ * stored as an artifact.
  */
 
 #ifndef MANNA_COMPILER_COMPILE_CACHE_HH

@@ -652,11 +652,24 @@ shardOptionsFromConfig(const Config &cfg)
     // Worker command line: this binary plus every user knob that is
     // not a coordinator control key. The map is sorted, so the
     // serialization is deterministic.
+    //
+    // artifact_cache= forwards to workers by default, so a shard
+    // fleet on a shared filesystem shares one program-artifact cache
+    // (docs/DISTRIBUTED.md). artifact_cache_shared=0 declares the
+    // path non-shared (e.g. multi-host with per-host local disks):
+    // the knob is then stripped and each worker falls back to its
+    // own MANNA_ARTIFACT_CACHE (or no cache).
+    const bool artifactShared =
+        cfg.getBool("artifact_cache_shared", true);
     if (opts.isCoordinator() && !cfg.exePath().empty()) {
         opts.workerArgv.push_back(cfg.exePath());
-        for (const auto &[key, value] : cfg.entries())
-            if (!isControlKey(key))
-                opts.workerArgv.push_back(key + "=" + value);
+        for (const auto &[key, value] : cfg.entries()) {
+            if (isControlKey(key) || key == "artifact_cache_shared")
+                continue;
+            if (!artifactShared && key == "artifact_cache")
+                continue;
+            opts.workerArgv.push_back(key + "=" + value);
+        }
     }
     return opts;
 }

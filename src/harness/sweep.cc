@@ -15,6 +15,7 @@
 #include "common/logging.hh"
 #include "common/shutdown.hh"
 #include "common/strutil.hh"
+#include "compiler/artifact.hh"
 #include "compiler/compile_cache.hh"
 #include "harness/journal.hh"
 
@@ -304,10 +305,18 @@ renderSweepStats(const SweepReport &report)
         jsonNumber(wallMin).c_str(), jsonNumber(wallMax).c_str());
     out += strformat("  \"process\": {\"compile_cache_hits\": %zu, "
                      "\"compile_cache_misses\": %zu, "
-                     "\"compile_cache_evictions\": %zu}\n",
+                     "\"compile_cache_evictions\": %zu, "
+                     "\"artifact_cache.hits\": %zu, "
+                     "\"artifact_cache.misses\": %zu, "
+                     "\"artifact_cache.evictions\": %zu, "
+                     "\"artifact_cache.corrupt\": %zu}\n",
                      compiler::compileCacheHits(),
                      compiler::compileCacheMisses(),
-                     compiler::compileCacheEvictions());
+                     compiler::compileCacheEvictions(),
+                     compiler::artifactCacheHits(),
+                     compiler::artifactCacheMisses(),
+                     compiler::artifactCacheEvictions(),
+                     compiler::artifactCacheCorrupt());
     out += "}\n";
     return out;
 }
@@ -366,6 +375,17 @@ sweepOptionsFromConfig(const Config &cfg)
     // every sweep bench gets the knobs for free. Process-wide state,
     // like the compile cache.
     fault::configureFromConfig(cfg);
+    // The on-disk program-artifact cache (compiler/artifact.hh) is
+    // process-wide state too: artifact_cache=DIR selects the
+    // directory (MANNA_ARTIFACT_CACHE fallback, "" = off) and
+    // artifact_cache_entries= bounds it.
+    compiler::setArtifactCacheDir(cfg.getString(
+        "artifact_cache", compiler::defaultArtifactCacheDir()));
+    compiler::setArtifactCacheCapacity(static_cast<std::size_t>(
+        std::max<std::int64_t>(
+            0, cfg.getInt("artifact_cache_entries",
+                          static_cast<std::int64_t>(
+                              compiler::artifactCacheCapacity())))));
     return opts;
 }
 

@@ -299,9 +299,12 @@ struct SweepReport
  * sweep-based bench accepts: retries=, timeout=, journal=, resume=,
  * progress=, stats=, cache_entries=, the fault-injection knobs
  * faults=/fault_seed= (armed process-wide as a side effect — see
- * docs/ROBUSTNESS.md), and the shard knobs (shards=, shard_dir=,
- * shard_spawn=, shard_attempts=, shard_timeout=, shard_heartbeat=,
- * plus the internal worker-mode shard=K/N family). */
+ * docs/ROBUSTNESS.md), the program-artifact-cache knobs
+ * artifact_cache=/artifact_cache_entries= (also process-wide — see
+ * compiler/artifact.hh and docs/FORMATS.md), and the shard knobs
+ * (shards=, shard_dir=, shard_spawn=, shard_attempts=,
+ * shard_timeout=, shard_heartbeat=, plus the internal worker-mode
+ * shard=K/N family). */
 SweepOptions sweepOptionsFromConfig(const Config &cfg);
 
 /** Parse the fidelity= knob ("cycle"|"fast"); when absent, fall back

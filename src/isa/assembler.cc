@@ -159,7 +159,7 @@ parseInstruction(const std::string &line, std::string &error)
         }
         const std::string key = tok.substr(0, eq);
         const std::string value = tok.substr(eq + 1);
-        if (key == "rows" || key == "off") {
+        if (key == "rows" || key == "off" || key == "tag") {
             const auto v = parseInt(value);
             if (!v || *v < 0) {
                 error = "bad " + key + " '" + value + "'";

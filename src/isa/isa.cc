@@ -197,6 +197,11 @@ Instruction::toString() const
     }
     if (op == Opcode::Vmm && flags.withNorms)
         s += strformat(" off=%u", count);
+    // Communication instructions carry a compiler-internal tag in
+    // `count` (compiler/compiled_model.hh); emitting it keeps
+    // assemble(disassemble(p)) == p for compiler-emitted programs.
+    if ((op == Opcode::Reduce || op == Opcode::Broadcast) && count != 0)
+        s += strformat(" tag=%u", count);
     if (dst.valid())
         s += " d=" + dst.toString();
     if (srcA.valid())
@@ -211,20 +216,25 @@ Instruction::toString() const
 namespace
 {
 
+// Explicit little-endian byte order, so encoded programs are
+// byte-identical across hosts (docs/ISA.md "Binary encoding").
 void
 put32(std::string &out, std::uint32_t v)
 {
-    char buf[4];
-    std::memcpy(buf, &v, 4);
-    out.append(buf, 4);
+    out.push_back(static_cast<char>(v & 0xff));
+    out.push_back(static_cast<char>((v >> 8) & 0xff));
+    out.push_back(static_cast<char>((v >> 16) & 0xff));
+    out.push_back(static_cast<char>((v >> 24) & 0xff));
 }
 
 std::uint32_t
 get32(const std::string &data, std::size_t off)
 {
-    std::uint32_t v;
-    std::memcpy(&v, data.data() + off, 4);
-    return v;
+    const auto b = [&](std::size_t i) {
+        return static_cast<std::uint32_t>(
+            static_cast<unsigned char>(data[off + i]));
+    };
+    return b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
 }
 
 void
