@@ -14,7 +14,10 @@
 #  5. the fault-site catalog of docs/ROBUSTNESS.md matches, in both
 #     directions, the kSiteNames registry of src/common/fault.cc;
 #  6. the opcode table of docs/ISA.md matches, in both directions,
-#     the toString(Opcode) mnemonic registry of src/isa/isa.cc.
+#     the toString(Opcode) mnemonic registry of src/isa/isa.cc;
+#  7. the harness span/event catalog of docs/OBSERVABILITY.md
+#     matches, in both directions, the kEventNames registry of
+#     src/common/event_log.cc.
 #
 # Pure grep/sed; no dependencies beyond POSIX tools + bash.
 set -u
@@ -182,6 +185,35 @@ for op in $ops_doc; do
     printf '%s\n' "$ops_src" | grep -qxF "$op" ||
         complain "opcode '$op' documented but not implemented" \
                  "in src/isa/isa.cc"
+done
+
+# --- 7. harness event catalog vs the event_log.cc registry ---------
+# Harness span/event names are registered once, in the kEventNames
+# array of src/common/event_log.cc; docs/OBSERVABILITY.md documents
+# each one in its "## Harness span and event catalog" chapter as a
+# backticked dotted name. Both directions must agree, so call sites,
+# registry, and docs cannot drift apart.
+events_src=$(sed -n '/kEventNames\[\] = {/,/^};/p' \
+                 src/common/event_log.cc |
+             grep -oE '"[a-z_.]+"' | tr -d '"' | sort -u)
+events_doc=$(sed -n '/^## Harness span and event catalog$/,/^## [A-Z]/p' \
+                 docs/OBSERVABILITY.md 2>/dev/null |
+             grep -ohE '`[a-z_.]+`' | tr -d '`' |
+             grep -F . | grep -vE '\.(json|cc|hh|md|sh|py|events|metrics)$' |
+             sort -u)
+[ -n "$events_src" ] ||
+    complain "no event names found in src/common/event_log.cc"
+[ -n "$events_doc" ] ||
+    complain "no harness event catalog found in docs/OBSERVABILITY.md"
+for ev in $events_src; do
+    printf '%s\n' "$events_doc" | grep -qxF "$ev" ||
+        complain "event '$ev' registered but missing from the" \
+                 "docs/OBSERVABILITY.md harness catalog"
+done
+for ev in $events_doc; do
+    printf '%s\n' "$events_src" | grep -qxF "$ev" ||
+        complain "event '$ev' documented but not registered" \
+                 "in src/common/event_log.cc"
 done
 
 if [ "$errors" -gt 0 ]; then

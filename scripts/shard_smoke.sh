@@ -47,4 +47,43 @@ done
 python3 "$COMPARE" "$OUTDIR/plain.json" "$OUTDIR/one.json" --tol 0
 python3 "$COMPARE" "$OUTDIR/plain.json" "$OUTDIR/three.json" --tol 0
 
+# --- events smoke: tracing must not perturb output -----------------
+# Re-run the 3-shard sweep with the harness event log, merged trace,
+# and metrics sampling armed: stdout must stay byte-identical to the
+# plain run, the merged trace must be valid JSON with one trace pid
+# per process (coordinator + one per worker event file), and the
+# metrics series must be non-empty.
+run_budgeted "$BIN" "${ARGS[@]}" shards=3 shard_dir="$OUTDIR/ev" \
+    events="$OUTDIR/coord.events" \
+    harness_trace="$OUTDIR/harness_trace.json" \
+    metrics="$OUTDIR/metrics.jsonl" > "$OUTDIR/events.txt" 2>/dev/null
+
+if ! cmp -s "$OUTDIR/plain.txt" "$OUTDIR/events.txt"; then
+    echo "FAIL: stdout changed when event tracing was armed" >&2
+    diff "$OUTDIR/plain.txt" "$OUTDIR/events.txt" >&2 || true
+    exit 1
+fi
+
+workers=$(find "$OUTDIR/ev" -name '*.events' | wc -l)
+python3 - "$OUTDIR/harness_trace.json" "$((workers + 1))" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+want = int(sys.argv[2])
+assert doc["otherData"]["schema"] == "manna-harness-trace-v1", doc["otherData"]
+pids = {e["pid"] for e in doc["traceEvents"]}
+assert len(pids) == want, f"expected {want} trace pids, got {sorted(pids)}"
+names = {e["name"] for e in doc["traceEvents"]}
+assert "shard.round" in names and "job.run" in names, sorted(names)
+EOF
+
+head -1 "$OUTDIR/metrics.jsonl" | grep -q "manna-metrics-v1" || {
+    echo "FAIL: metrics series missing its manna-metrics-v1 header" >&2
+    exit 1
+}
+[ "$(wc -l < "$OUTDIR/metrics.jsonl")" -ge 2 ] || {
+    echo "FAIL: metrics series has no samples" >&2
+    exit 1
+}
+
 echo "OK: sharded sweep output and merged snapshots match in-process"
+echo "OK: merged harness trace spans coordinator + $workers workers"

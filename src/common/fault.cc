@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/config.hh"
+#include "common/event_log.hh"
 #include "common/hash.hh"
 #include "common/logging.hh"
 #include "common/strutil.hh"
@@ -186,6 +187,13 @@ shouldFire(Site site)
     if (!evaluate(s, site, hit, 0))
         return false;
     s.fires.fetch_add(1, std::memory_order_relaxed);
+    // Chaos runs become self-explaining: every injected fault is an
+    // instant on the harness timeline (docs/OBSERVABILITY.md).
+    if (events::enabled())
+        events::instant("fault.injected",
+                        strformat("site=%s hit=%llu", siteName(site),
+                                  static_cast<unsigned long long>(
+                                      hit)));
     return true;
 }
 
@@ -199,6 +207,12 @@ shouldFireAt(Site site, std::uint64_t hit, std::uint64_t scope)
     if (!evaluate(s, site, hit, scope))
         return false;
     s.fires.fetch_add(1, std::memory_order_relaxed);
+    if (events::enabled())
+        events::instant(
+            "fault.injected",
+            strformat("site=%s hit=%llu scope=%llu", siteName(site),
+                      static_cast<unsigned long long>(hit),
+                      static_cast<unsigned long long>(scope)));
     return true;
 }
 

@@ -38,6 +38,19 @@ bool touchFile(const std::string &path);
  * exist (or cannot be stat'ed). */
 std::optional<double> fileAgeSeconds(const std::string &path);
 
+/** Size of @p path in bytes; nullopt when it cannot be stat'ed. */
+std::optional<std::size_t> fileSizeBytes(const std::string &path);
+
+/**
+ * The last @p maxLines lines of @p path (at most the final 64 KiB),
+ * joined with '\n' and without a trailing newline; "" when the file
+ * is missing or empty. The shard coordinator uses this to surface a
+ * lost worker's captured stderr in its warning instead of discarding
+ * it.
+ */
+std::string fileTail(const std::string &path,
+                     std::size_t maxLines = 20);
+
 } // namespace manna
 
 #endif // MANNA_COMMON_FILEIO_HH

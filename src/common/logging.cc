@@ -2,6 +2,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
+
+#include <time.h>
+
+#include "common/event_log.hh"
 
 namespace manna
 {
@@ -9,13 +14,61 @@ namespace manna
 namespace
 {
 LogLevel globalLevel = LogLevel::Normal;
+std::string globalRole;
+
+/** "2026-08-08T12:34:56.789Z" — UTC, millisecond precision. */
+std::string
+isoTimestamp()
+{
+    struct timespec ts;
+    ::clock_gettime(CLOCK_REALTIME, &ts);
+    struct tm tm;
+    ::gmtime_r(&ts.tv_sec, &tm);
+    char buf[40];
+    const std::size_t n =
+        ::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%S", &tm);
+    std::snprintf(buf + n, sizeof(buf) - n, ".%03ldZ",
+                  ts.tv_nsec / 1000000L);
+    return buf;
+}
 
 void
 vreport(const char *tag, const char *fmt, va_list args)
 {
-    std::fprintf(stderr, "%s: ", tag);
-    std::vfprintf(stderr, fmt, args);
-    std::fprintf(stderr, "\n");
+    // Format the message once: it goes to stderr and — for
+    // warn/inform while a trace is armed — into the event log.
+    va_list copy;
+    va_copy(copy, args);
+    const int need = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    std::string msg;
+    if (need > 0) {
+        std::vector<char> buf(static_cast<std::size_t>(need) + 1);
+        std::vsnprintf(buf.data(), buf.size(), fmt, args);
+        msg.assign(buf.data(), static_cast<std::size_t>(need));
+    }
+    if (globalRole.empty()) {
+        std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+    } else {
+        // Multi-process runs: a timestamp + role prefix keeps the
+        // coordinator's and workers' interleaved stderr attributable.
+        std::fprintf(stderr, "%s [%s] %s: %s\n",
+                     isoTimestamp().c_str(), globalRole.c_str(), tag,
+                     msg.c_str());
+    }
+    // Mirror warnings and infos into the harness trace so a merged
+    // timeline is self-explaining. Guard against recursion: event-log
+    // internals may warn, and that warning must not re-enter.
+    if (events::enabled()) {
+        static thread_local bool routing = false;
+        if (!routing &&
+            (tag[0] == 'w' || (tag[0] == 'i' && tag[1] == 'n'))) {
+            routing = true;
+            events::instant(tag[0] == 'w' ? "log.warn" : "log.info",
+                            msg);
+            routing = false;
+        }
+    }
 }
 
 /** One-line triage hint printed just before an abort/exit. */
@@ -39,6 +92,18 @@ LogLevel
 logLevel()
 {
     return globalLevel;
+}
+
+void
+setLogRole(const std::string &role)
+{
+    globalRole = role;
+}
+
+const std::string &
+logRole()
+{
+    return globalRole;
 }
 
 void

@@ -9,8 +9,10 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "common/event_log.hh"
 #include "common/fault.hh"
 #include "common/logging.hh"
+#include "common/strutil.hh"
 
 namespace manna
 {
@@ -70,8 +72,13 @@ spawnProcess(const std::vector<std::string> &argv,
         cargv.push_back(const_cast<char *>(a.c_str()));
     cargv.push_back(nullptr);
 
+    // Parent-side span only: the child execs immediately, and its
+    // inherited event-log buffer dies with the exec (never flushed),
+    // so the fork can't duplicate trace lines.
+    events::Span span("proc.spawn", "exe=" + argv[0]);
     const pid_t pid = ::fork();
     if (pid < 0) {
+        span.end("ok=0");
         warn("spawnProcess: fork failed (%s)", std::strerror(errno));
         return -1;
     }
@@ -95,6 +102,7 @@ spawnProcess(const std::vector<std::string> &argv,
                   std::strerror(errno));
         ::_exit(127);
     }
+    span.end(strformat("pid=%d", static_cast<int>(pid)));
     return pid;
 }
 

@@ -11,6 +11,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/event_log.hh"
 #include "common/fileio.hh"
 #include "common/hash.hh"
 #include "common/logging.hh"
@@ -624,11 +625,13 @@ loadCachedArtifact(const mann::MannConfig &mann,
     if (path.empty())
         return nullptr;
 
+    events::Span span("artifact.load");
     ArtifactCache &c = artifactCache();
     std::string data;
     if (!readFile(path, data)) {
         std::lock_guard<std::mutex> lock(c.mu);
         ++c.misses;
+        span.end("hit=0");
         return nullptr;
     }
     auto model = std::make_shared<CompiledModel>();
@@ -640,12 +643,14 @@ loadCachedArtifact(const mann::MannConfig &mann,
         std::lock_guard<std::mutex> lock(c.mu);
         ++c.misses;
         ++c.corrupt;
+        span.end("hit=0 corrupt=1");
         return nullptr;
     }
     {
         std::lock_guard<std::mutex> lock(c.mu);
         ++c.hits;
     }
+    span.end("hit=1");
     return model;
 }
 
@@ -656,11 +661,13 @@ storeCachedArtifact(const CompiledModel &model)
         model.mannCfg.fingerprint(), model.archCfg.fingerprint());
     if (path.empty())
         return;
+    events::Span span("artifact.store");
     const std::string dir = artifactCacheDir();
     if (!makeDirs(dir))
         return;
     if (!writeFileAtomic(path, encodeModel(model))) {
         warn("artifact cache: cannot write '%s'", path.c_str());
+        span.end("ok=0");
         return;
     }
     const std::size_t evicted =

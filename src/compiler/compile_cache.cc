@@ -5,6 +5,8 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "common/event_log.hh"
+#include "common/strutil.hh"
 #include "compiler/artifact.hh"
 
 namespace manna::compiler
@@ -116,6 +118,13 @@ compileCached(const mann::MannConfig &mann, const arch::MannaConfig &arch)
             c.entries.emplace(key, std::move(entry));
         }
     }
+    // Outside the cache lock: tracing must never serialize compiles.
+    if (events::enabled())
+        events::instant(
+            owner ? "compile.cache.miss" : "compile.cache.hit",
+            strformat("mann_fp=0x%016llx arch_fp=0x%016llx",
+                      static_cast<unsigned long long>(key.mannFp),
+                      static_cast<unsigned long long>(key.archFp)));
 
     if (owner) {
         // Compile outside the lock so independent keys proceed in
@@ -133,8 +142,10 @@ compileCached(const mann::MannConfig &mann, const arch::MannaConfig &arch)
             std::shared_ptr<const CompiledModel> model =
                 loadCachedArtifact(mann, arch);
             if (!model) {
+                events::Span span("compile.model");
                 model = std::make_shared<const CompiledModel>(
                     compile(mann, arch));
+                span.end();
                 storeCachedArtifact(*model);
             }
             promise.set_value(std::move(model));

@@ -355,6 +355,7 @@ SweepJournal::append(std::uint64_t fingerprint,
             const std::string torn =
                 line.substr(0, line.size() / 2) + "\n";
             std::fwrite(torn.data(), 1, torn.size(), file_);
+            bytesWritten_ += torn.size();
             if (++pending_ >= fsyncBatch_)
                 flushLocked();
             return;
@@ -373,8 +374,16 @@ SweepJournal::append(std::uint64_t fingerprint,
     if (std::fwrite(line.data(), 1, line.size(), file_) !=
         line.size())
         failLocked("append", errno != 0 ? errno : EIO);
+    bytesWritten_ += line.size();
     if (++pending_ >= fsyncBatch_)
         flushLocked();
+}
+
+std::uint64_t
+SweepJournal::bytesWritten() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytesWritten_;
 }
 
 void

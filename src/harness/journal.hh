@@ -99,16 +99,21 @@ class SweepJournal
      * failure (journal disabled, as with append). */
     void sync();
 
+    /** Total bytes appended so far (torn/short injected writes
+     * included); feeds the metrics sampler. */
+    std::uint64_t bytesWritten() const;
+
   private:
     /** Close the stream and throw IoError for a failed @p op. */
     [[noreturn]] void failLocked(const char *op, int err);
     void flushLocked();
 
-    std::mutex mu_;
+    mutable std::mutex mu_;
     std::FILE *file_ = nullptr;
     std::string path_;
     std::size_t pending_ = 0;
     std::size_t fsyncBatch_;
+    std::uint64_t bytesWritten_ = 0;
 };
 
 /**

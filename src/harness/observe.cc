@@ -6,6 +6,7 @@
 #include <map>
 
 #include "common/config.hh"
+#include "common/event_log.hh"
 #include "common/fileio.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
@@ -326,6 +327,211 @@ dumpStatsIfRequested(const Config &cfg, const StatRegistry &stats)
     return true;
 }
 
+HarnessTraceOptions
+harnessTraceOptionsFromConfig(const Config &cfg)
+{
+    HarnessTraceOptions opts;
+    opts.path =
+        cfg.getString("harness_trace", envPath("MANNA_HARNESS_TRACE"));
+    return opts;
+}
+
+namespace
+{
+
+/** One Chrome trace event with its sort key. The JSON body is
+ * pre-rendered so sorting never re-escapes anything. */
+struct MergedTraceEvent
+{
+    double tsUs = 0.0;
+    std::size_t order = 0; ///< tie-break: original emission order
+    std::string json;
+};
+
+/** `"args":{...}` for a span from its begin/end details (both still
+ * JSON-escaped from the parse). Empty when there is nothing to say. */
+std::string
+spanArgs(const std::string &begin, const std::string &end,
+         bool truncated)
+{
+    std::string args;
+    auto add = [&](const char *key, const std::string &val) {
+        if (!args.empty())
+            args += ",";
+        args += strformat("\"%s\":\"%s\"", key, val.c_str());
+    };
+    if (!begin.empty())
+        add("detail", begin);
+    if (!end.empty())
+        add("end", end);
+    if (truncated)
+        add("truncated", "1");
+    if (args.empty())
+        return "";
+    return ",\"args\":{" + args + "}";
+}
+
+} // namespace
+
+std::string
+renderHarnessTrace(const std::vector<std::string> &paths)
+{
+    std::vector<events::ParsedEventFile> files;
+    for (const std::string &path : paths) {
+        events::ParsedEventFile f = events::parseEventFile(path);
+        if (!f.ok) {
+            warn("skipping unreadable event file '%s'", path.c_str());
+            continue;
+        }
+        files.push_back(std::move(f));
+    }
+
+    // Zero the merged timeline at the earliest process: subtracting
+    // the minimum aligned wall clock keeps ts small and positive.
+    std::uint64_t baseUs = 0;
+    bool haveBase = false;
+    for (const events::ParsedEventFile &f : files)
+        if (!haveBase || f.alignedWallUs() < baseUs) {
+            baseUs = f.alignedWallUs();
+            haveBase = true;
+        }
+
+    std::uint64_t droppedTotal = 0;
+    std::size_t skippedTotal = 0;
+    std::vector<std::string> metadata;
+    std::vector<MergedTraceEvent> merged;
+    for (std::size_t fi = 0; fi < files.size(); ++fi) {
+        const events::ParsedEventFile &f = files[fi];
+        const std::size_t pid = fi + 1; // trace pid, not OS pid
+        const double offsetUs =
+            static_cast<double>(f.alignedWallUs() - baseUs);
+        droppedTotal += f.dropped;
+        skippedTotal += f.skippedLines;
+        metadata.push_back(strformat(
+            "{\"ph\":\"M\",\"pid\":%zu,\"tid\":0,"
+            "\"name\":\"process_name\",\"args\":{\"name\":\"%s (pid "
+            "%ld)\"}}",
+            pid, jsonEscape(f.role).c_str(), f.pid));
+
+        auto push = [&](double ts, const std::string &ev) {
+            merged.push_back({ts, merged.size(), ev});
+        };
+        // Open spans by id; a "B" with no matching "E" (killed
+        // worker) is closed at the file's last timestamp below.
+        std::map<std::uint64_t, const events::ParsedEvent *> open;
+        std::uint64_t lastT = 0;
+        for (const events::ParsedEvent &e : f.events) {
+            if (e.t > lastT)
+                lastT = e.t;
+            const double ts =
+                offsetUs + static_cast<double>(e.t) / 1000.0;
+            switch (e.phase) {
+            case 'B':
+                open[e.id] = &e;
+                break;
+            case 'E': {
+                auto it = open.find(e.id);
+                if (it == open.end()) {
+                    ++skippedTotal; // torn begin: file lost its B
+                    break;
+                }
+                const events::ParsedEvent &b = *it->second;
+                const double bts =
+                    offsetUs + static_cast<double>(b.t) / 1000.0;
+                const double dur =
+                    static_cast<double>(e.t - b.t) / 1000.0;
+                push(bts,
+                     strformat("{\"ph\":\"X\",\"pid\":%zu,"
+                               "\"tid\":%u,\"ts\":%.3f,"
+                               "\"dur\":%.3f,\"name\":\"%s\","
+                               "\"cat\":\"harness\"%s}",
+                               pid, b.tid, bts, dur,
+                               jsonEscape(b.name).c_str(),
+                               spanArgs(b.detail, e.detail, false)
+                                   .c_str()));
+                open.erase(it);
+                break;
+            }
+            default:
+                push(ts,
+                     strformat("{\"ph\":\"i\",\"pid\":%zu,"
+                               "\"tid\":%u,\"ts\":%.3f,"
+                               "\"name\":\"%s\",\"s\":\"t\","
+                               "\"cat\":\"harness\"%s}",
+                               pid, e.tid, ts,
+                               jsonEscape(e.name).c_str(),
+                               spanArgs(e.detail, "", false).c_str()));
+                break;
+            }
+        }
+        for (const auto &[id, b] : open) {
+            (void)id;
+            const double bts =
+                offsetUs + static_cast<double>(b->t) / 1000.0;
+            const double dur =
+                static_cast<double>(lastT > b->t ? lastT - b->t : 0) /
+                1000.0;
+            push(bts, strformat(
+                          "{\"ph\":\"X\",\"pid\":%zu,\"tid\":%u,"
+                          "\"ts\":%.3f,\"dur\":%.3f,\"name\":\"%s\","
+                          "\"cat\":\"harness\"%s}",
+                          pid, b->tid, bts, dur,
+                          jsonEscape(b->name).c_str(),
+                          spanArgs(b->detail, "", true).c_str()));
+        }
+    }
+
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const MergedTraceEvent &a,
+                        const MergedTraceEvent &b) {
+                         if (a.tsUs != b.tsUs)
+                             return a.tsUs < b.tsUs;
+                         return a.order < b.order;
+                     });
+
+    std::string out = "{\"displayTimeUnit\":\"ms\",\"otherData\":{";
+    out += strformat("\"schema\":\"manna-harness-trace-v1\","
+                     "\"files\":%zu,\"droppedEvents\":%llu,"
+                     "\"skippedLines\":%zu},",
+                     files.size(),
+                     static_cast<unsigned long long>(droppedTotal),
+                     skippedTotal);
+    out += "\"traceEvents\":[";
+    bool first = true;
+    auto emit = [&](const std::string &ev) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\n" + ev;
+    };
+    for (const std::string &m : metadata)
+        emit(m);
+    for (const MergedTraceEvent &ev : merged)
+        emit(ev.json);
+    out += "\n]}\n";
+    return out;
+}
+
+bool
+writeHarnessTrace(const HarnessTraceOptions &opts)
+{
+    if (!opts.enabled())
+        return false;
+    events::EventLog &log = events::EventLog::instance();
+    log.close(); // flush the trailer so our own file parses complete
+    const std::vector<std::string> paths = log.mergeFiles();
+    if (paths.empty()) {
+        warn("harness_trace= needs events=; no event log was armed");
+        return false;
+    }
+    if (!writeFileAtomic(opts.path, renderHarnessTrace(paths))) {
+        warn("cannot write harness trace to '%s'", opts.path.c_str());
+        return false;
+    }
+    debugLog("harness trace -> %s", opts.path.c_str());
+    return true;
+}
+
 void
 applySweepObservability(const Config &cfg,
                         const std::string &benchName,
@@ -337,6 +543,7 @@ applySweepObservability(const Config &cfg,
         sim::describeRunStats(agg);
         dumpStatsIfRequested(cfg, agg);
     }
+    writeHarnessTrace(harnessTraceOptionsFromConfig(cfg));
 }
 
 } // namespace manna::harness

@@ -139,10 +139,48 @@ bool writeBenchJson(const BenchJsonOptions &opts,
  * with descriptions) to stdout and return true. */
 bool dumpStatsIfRequested(const Config &cfg, const StatRegistry &stats);
 
+/** Merged harness-trace export knobs: harness_trace=<path> /
+ * MANNA_HARNESS_TRACE renders every manna-events-v1 file of the run
+ * (the process's own events= log plus any worker files a shard
+ * coordinator collected) into one clock-aligned Chrome trace. */
+struct HarnessTraceOptions
+{
+    std::string path; ///< "" = off
+
+    bool enabled() const { return !path.empty(); }
+};
+
+/** Parse harness_trace= (MANNA_HARNESS_TRACE). */
+HarnessTraceOptions harnessTraceOptionsFromConfig(const Config &cfg);
+
+/**
+ * Render @p paths (manna-events-v1 files) as one merged Chrome
+ * trace-event JSON document: one trace pid per file (coordinator
+ * first, in registration order), tids straight from the event
+ * records, B/E pairs matched by span id into complete ("X") events,
+ * instants as "i" events. Timestamps are wall-clock-aligned across
+ * files via each header's wall/monotonic pair and the spawn-time
+ * sync clamp (ParsedEventFile::alignedWallUs), zeroed at the
+ * earliest file. Unreadable files are skipped with a warning; spans
+ * left open by a killed process are closed at the file's last
+ * timestamp and tagged "truncated".
+ */
+std::string
+renderHarnessTrace(const std::vector<std::string> &paths);
+
+/**
+ * Close the process-wide event log (flushing the trailer), merge
+ * every registered event file, and write the rendered Chrome trace
+ * to @p opts.path. Returns false (no-op) when disabled or no event
+ * log was armed; warns and returns false on write failure.
+ */
+bool writeHarnessTrace(const HarnessTraceOptions &opts);
+
 /**
  * One-call wiring of the sweep-wide observability outputs every
- * sweep bench shares: bench_json= snapshot and --dump-stats counter
- * dump (both fed from @p report's aggregated registry).
+ * sweep bench shares: bench_json= snapshot, --dump-stats counter
+ * dump (both fed from @p report's aggregated registry), and the
+ * merged harness_trace= Chrome trace of the events= span log.
  */
 void applySweepObservability(const Config &cfg,
                              const std::string &benchName,

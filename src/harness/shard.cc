@@ -19,12 +19,15 @@
 #include <unistd.h>
 
 #include "common/config.hh"
+#include "common/event_log.hh"
 #include "common/fault.hh"
 #include "common/fileio.hh"
 #include "common/logging.hh"
 #include "common/shutdown.hh"
 #include "common/strutil.hh"
 #include "common/subprocess.hh"
+#include "compiler/artifact.hh"
+#include "compiler/compile_cache.hh"
 #include "harness/journal.hh"
 #include "harness/sweep.hh"
 
@@ -45,10 +48,14 @@ const char *const kControlKeys[] = {
     "shard_heartbeat",
     "journal",     "resume",       "stats",       "bench_json",
     "trace",       "profile",      "dump_stats",  "progress",
+    "events",      "event_sync",   "harness_trace",
+    "metrics",     "metrics_interval",
     // faults=/fault_seed= are deliberately NOT control keys: they
     // forward to workers verbatim, so worker-side sites arm in the
     // worker processes (specs count hits per process — see
-    // docs/ROBUSTNESS.md).
+    // docs/ROBUSTNESS.md). events_limit= forwards too: the bound
+    // applies per process, and the coordinator injects its own
+    // per-worker events=/event_sync= values below.
 };
 
 bool
@@ -303,11 +310,30 @@ struct WorkerProc
     std::string journalPath;
     std::string outPath;      ///< captured worker stdout
     std::string logPath;      ///< captured worker stderr (progress)
+    std::string eventsPath;   ///< injected event log ("" = tracing off)
     std::size_t assigned = 0; ///< jobs owned this round
     ProcessStatus status;
     bool reaped = false;
     Clock::time_point start;
 };
+
+/** The tail of a lost worker's captured stderr, formatted for
+ * inclusion in the coordinator's warning ("" when the log is empty
+ * or missing). Each line is indented and marked so the tail reads as
+ * a quoted block under the warning. */
+std::string
+workerLogTail(const std::string &logPath)
+{
+    const std::string tail = fileTail(logPath, 20);
+    if (tail.empty())
+        return "";
+    std::string out = "; last worker stderr:";
+    for (const std::string &line : split(tail, '\n')) {
+        out += "\n    | ";
+        out += line;
+    }
+    return out;
+}
 
 /** Scratch directory for shard journals/logs: shard_dir= if given,
  * else one mkdtemp() directory per coordinator process (kept after
@@ -469,6 +495,7 @@ std::vector<std::string>
 workerCommand(const ShardOptions &shard, std::size_t index,
               std::size_t count, std::size_t round,
               const std::string &journalPath,
+              const std::string &eventsPath,
               const std::vector<std::string> &resumePaths,
               const std::set<std::uint64_t> &poisoned,
               double progressSeconds)
@@ -477,6 +504,15 @@ workerCommand(const ShardOptions &shard, std::size_t index,
     argv.push_back(strformat("shard=%zu/%zu", index, count));
     argv.push_back(strformat("shard_salt=%zu", round));
     argv.push_back("journal=" + journalPath);
+    if (!eventsPath.empty()) {
+        // Spawn-time offset handshake (docs/OBSERVABILITY.md): the
+        // worker records the coordinator's wall clock at spawn, so
+        // the trace merger can clamp a lagging worker clock.
+        argv.push_back("events=" + eventsPath);
+        argv.push_back(strformat(
+            "event_sync=%llu", static_cast<unsigned long long>(
+                                   events::wallClockMicros())));
+    }
     if (!resumePaths.empty()) {
         std::string resume = "resume=";
         for (std::size_t i = 0; i < resumePaths.size(); ++i) {
@@ -817,18 +853,25 @@ runShardCoordinator(const std::vector<SweepJob> &jobs,
     const auto sweepStart = Clock::now();
     if (opts.handleSignals)
         installShutdownHandlers();
+    events::Span partitionSpan(
+        "shard.partition",
+        strformat("jobs=%zu shards=%zu", jobs.size(), shard.shards));
     std::vector<std::uint64_t> fps;
     fps.reserve(jobs.size());
     for (const SweepJob &job : jobs)
         fps.push_back(job.fingerprint());
+    partitionSpan.end();
 
     // Seed from any mix of user-supplied journals (comma-separated
     // resume=), exactly like the in-process resume path.
     JournalLoadStats journalStats;
     const std::vector<std::string> userResume =
         splitJournalList(opts.resumeFrom);
+    events::Span loadSpan("journal.load", "src=" + opts.resumeFrom);
     std::map<std::uint64_t, MannaResult> done =
         loadJournals(userResume, &journalStats);
+    loadSpan.end(strformat("records=%zu corrupt=%zu", done.size(),
+                           journalStats.corruptRecords));
     if (journalStats.corruptRecords > 0)
         warn("resume journals contained %zu corrupt record(s); "
              "the affected jobs will re-run",
@@ -857,12 +900,50 @@ runShardCoordinator(const std::vector<SweepJob> &jobs,
 
     ShardProgress progress(opts.progressSeconds, jobs.size());
 
+    // Coordinator-side metrics series: the sampler thread reads only
+    // these atomics (refreshed after every merge) plus process-wide
+    // cache counters, so it never races the dispatch loop's maps.
+    std::atomic<std::size_t> mDone{restoredByUser.size()};
+    std::atomic<std::size_t> mFailed{0};
+    const std::size_t mRestored = restoredByUser.size();
+    MetricsSampler metrics(
+        opts.metrics, logRole().empty() ? "coord" : logRole(),
+        [&mDone, &mFailed, mRestored, total = jobs.size(),
+         sweepStart] {
+            MetricsSample s;
+            s.elapsedSeconds =
+                std::chrono::duration<double>(Clock::now() -
+                                              sweepStart)
+                    .count();
+            s.jobsTotal = total;
+            s.done = mDone.load();
+            s.failed = mFailed.load();
+            s.restored = mRestored;
+            s.queueDepth = total > s.done + s.failed
+                               ? total - s.done - s.failed
+                               : 0;
+            s.jobsPerSecond =
+                s.elapsedSeconds > 0.0
+                    ? static_cast<double>(s.done) / s.elapsedSeconds
+                    : 0.0;
+            s.compileCacheHits = compiler::compileCacheHits();
+            s.compileCacheMisses = compiler::compileCacheMisses();
+            s.artifactCacheHits = compiler::artifactCacheHits();
+            s.artifactCacheMisses = compiler::artifactCacheMisses();
+            s.rssKb = processRssKb();
+            return s;
+        });
+
     std::size_t slots = std::max<std::size_t>(1, shard.shards);
     std::size_t round = 0;
     while (true) {
         std::vector<std::uint64_t> pending = pendingJobs();
         if (pending.empty())
             break;
+        events::Span roundSpan(
+            "shard.round",
+            strformat("round=%zu pending=%zu", round,
+                      pending.size()));
 
         const std::size_t count =
             std::max<std::size_t>(1,
@@ -885,16 +966,27 @@ runShardCoordinator(const std::vector<SweepJob> &jobs,
             w.journalPath = base + ".journal";
             w.outPath = base + ".out";
             w.logPath = base + ".log";
+            // When the coordinator traces, every worker gets its own
+            // injected event file; the merged harness trace stitches
+            // them together (docs/OBSERVABILITY.md).
+            if (events::enabled())
+                w.eventsPath = base + ".events";
             if (w.assigned == 0) {
                 w.reaped = true; // nothing to do this round
                 w.status.exited = true;
                 continue;
             }
             const auto argv = workerCommand(
-                shard, k, count, round, w.journalPath, resumePaths,
-                poisoned, opts.progressSeconds);
+                shard, k, count, round, w.journalPath, w.eventsPath,
+                resumePaths, poisoned, opts.progressSeconds);
+            events::Span spawnSpan(
+                "shard.spawn",
+                strformat("worker=%zu round=%zu assigned=%zu", k,
+                          round, w.assigned));
             w.start = Clock::now();
             w.pid = spawnProcess(argv, w.outPath, w.logPath);
+            spawnSpan.end(strformat(
+                "pid=%d", static_cast<int>(w.pid)));
             if (w.pid < 0) {
                 w.reaped = true; // spawn failure counts as a crash
                 w.status.signaled = true;
@@ -909,6 +1001,8 @@ runShardCoordinator(const std::vector<SweepJob> &jobs,
         // Reap, enforcing the optional per-worker wall-clock budget
         // and the heartbeat liveness protocol, and forwarding a
         // graceful shutdown to the live workers.
+        events::Span waitSpan("shard.wait",
+                              strformat("round=%zu", round));
         bool termForwarded = false;
         Clock::time_point termAt{};
         while (true) {
@@ -957,6 +1051,11 @@ runShardCoordinator(const std::vector<SweepJob> &jobs,
                         warn("shard worker %zu exceeded "
                              "shard_timeout=%gs; killing",
                              w.index, shard.workerTimeoutSeconds);
+                        events::instant(
+                            "shard.worker.timeout",
+                            strformat("worker=%zu round=%zu "
+                                      "runtime_s=%.1f",
+                                      w.index, round, runtime));
                         killProcess(w.pid);
                         w.status = waitProcess(w.pid);
                         w.reaped = true;
@@ -980,6 +1079,11 @@ runShardCoordinator(const std::vector<SweepJob> &jobs,
                                  "%.1fs); killing and "
                                  "re-dispatching",
                                  w.index, silent, limit);
+                            events::instant(
+                                "shard.worker.hung",
+                                strformat("worker=%zu round=%zu "
+                                          "silent_s=%.1f",
+                                          w.index, round, silent));
                             killProcess(w.pid);
                             w.status = waitProcess(w.pid);
                             w.reaped = true;
@@ -996,10 +1100,19 @@ runShardCoordinator(const std::vector<SweepJob> &jobs,
                 std::chrono::milliseconds(20));
         }
         progress.setRound(round, 0, nullptr);
+        waitSpan.end();
 
         // Merge this round's journals and failure sidecars.
+        events::Span mergeSpan("shard.merge",
+                               strformat("round=%zu", round));
         std::size_t survivors = 0;
         for (const WorkerProc &w : workers) {
+            // A worker's event file joins the merged harness trace
+            // even when the worker was lost: the partial trace is
+            // precisely what explains the loss.
+            if (!w.eventsPath.empty() && fileExists(w.eventsPath))
+                events::EventLog::instance().registerMergeFile(
+                    w.eventsPath);
             if (w.assigned == 0)
                 continue;
             if (fault::anyArmed() &&
@@ -1012,6 +1125,10 @@ runShardCoordinator(const std::vector<SweepJob> &jobs,
                      "%s); re-dispatching its jobs",
                      w.index,
                      fault::siteName(fault::Site::ShardMergeDrop));
+                events::instant("shard.worker.lost",
+                                strformat("worker=%zu round=%zu "
+                                          "cause=merge_drop",
+                                          w.index, round));
                 continue;
             }
             // A clean exit is only believable with artifacts: every
@@ -1033,24 +1150,39 @@ runShardCoordinator(const std::vector<SweepJob> &jobs,
                      loadFailures(failurePath(w.journalPath)))
                     failed.insert_or_assign(fp, std::move(rec));
             }
-            if (w.status.cleanExit(1) && produced)
+            if (w.status.cleanExit(1) && produced) {
                 ++survivors;
-            else if (w.status.cleanExit(1) && !produced)
+            } else if (w.status.cleanExit(1) && !produced) {
                 warn("shard worker %zu of round %zu exited with "
                      "code %d without writing its journal; "
-                     "re-dispatching its jobs",
-                     w.index, round, w.status.exitCode);
-            else
+                     "re-dispatching its jobs%s",
+                     w.index, round, w.status.exitCode,
+                     workerLogTail(w.logPath).c_str());
+                events::instant("shard.worker.lost",
+                                strformat("worker=%zu round=%zu "
+                                          "cause=no_journal",
+                                          w.index, round));
+            } else {
                 warn("shard worker %zu of round %zu was lost (%s); "
-                     "re-dispatching its jobs",
+                     "re-dispatching its jobs%s",
                      w.index, round,
                      w.status.signaled
                          ? strformat("signal %d", w.status.signal)
                                .c_str()
                          : strformat("exit code %d",
                                      w.status.exitCode)
-                               .c_str());
+                               .c_str(),
+                     workerLogTail(w.logPath).c_str());
+                events::instant(
+                    "shard.worker.lost",
+                    strformat("worker=%zu round=%zu cause=%s",
+                              w.index, round,
+                              w.status.signaled ? "signal"
+                                                : "exit_code"));
+            }
         }
+        mergeSpan.end(strformat("survivors=%zu done=%zu", survivors,
+                                done.size()));
 
         // An interrupted coordinator merges what the workers flushed
         // and stops dispatching; the journal then resumes the rest.
@@ -1062,9 +1194,23 @@ runShardCoordinator(const std::vector<SweepJob> &jobs,
         for (std::uint64_t fp : pending) {
             if (done.count(fp) || failed.count(fp))
                 continue;
-            if (dispatches[fp] >= shard.maxDispatches)
+            if (dispatches[fp] >= shard.maxDispatches) {
                 poisoned.insert(fp);
+                events::instant(
+                    "shard.poisoned",
+                    strformat("fp=0x%016llx dispatches=%zu",
+                              static_cast<unsigned long long>(fp),
+                              dispatches[fp]));
+            }
         }
+
+        // Refresh the metrics sampler's view of this round.
+        std::size_t doneNow = 0;
+        for (std::uint64_t fp : fps)
+            if (done.count(fp))
+                ++doneNow;
+        mDone.store(doneNow);
+        mFailed.store(failed.size() + poisoned.size());
 
         slots = std::max<std::size_t>(1, survivors);
         ++round;

@@ -4,10 +4,15 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 
+#include <unistd.h>
+
 #include "common/config.hh"
+#include "common/event_log.hh"
 #include "common/fault.hh"
 #include "common/fileio.hh"
 #include "common/hash.hh"
@@ -91,6 +96,27 @@ defaultCacheEntries()
         warn("ignoring invalid MANNA_CACHE_ENTRIES='%s'", env);
     }
     return 0;
+}
+
+std::string
+defaultMetricsPath()
+{
+    if (const char *env = std::getenv("MANNA_METRICS"))
+        return env;
+    return "";
+}
+
+double
+defaultMetricsIntervalSeconds()
+{
+    if (const char *env = std::getenv("MANNA_METRICS_INTERVAL")) {
+        char *end = nullptr;
+        const double v = std::strtod(env, &end);
+        if (end != env && *end == '\0' && v > 0.0)
+            return v;
+        warn("ignoring invalid MANNA_METRICS_INTERVAL='%s'", env);
+    }
+    return 1.0;
 }
 
 // ---------------------------------------------------------------------
@@ -386,6 +412,26 @@ sweepOptionsFromConfig(const Config &cfg)
             0, cfg.getInt("artifact_cache_entries",
                           static_cast<std::int64_t>(
                               compiler::artifactCacheCapacity())))));
+    opts.metrics.path = cfg.getString("metrics", opts.metrics.path);
+    opts.metrics.intervalSeconds =
+        cfg.getDouble("metrics_interval",
+                      opts.metrics.intervalSeconds);
+    if (opts.metrics.intervalSeconds <= 0.0) {
+        warn("metrics_interval= must be positive; using 1s");
+        opts.metrics.intervalSeconds = 1.0;
+    }
+    // Harness tracing (docs/OBSERVABILITY.md): derive this process's
+    // role from the shard knobs, tag multi-process stderr with it,
+    // and arm the event log when events= asks for one. Process-wide
+    // side effects, like fault injection above.
+    std::string role = "main";
+    if (opts.shard.isWorker())
+        role = strformat("shard %zu", opts.shard.workerIndex);
+    else if (opts.shard.isCoordinator())
+        role = "coord";
+    if (role != "main")
+        setLogRole(role);
+    events::configureFromConfig(cfg, role);
     return opts;
 }
 
@@ -412,6 +458,123 @@ finishSweep(const SweepReport &report)
         return 0;
     std::printf("%s\n", report.failureSummary().c_str());
     return 1;
+}
+
+// ---------------------------------------------------------------------
+// Metrics time series (metrics= / metrics_interval=)
+// ---------------------------------------------------------------------
+
+std::size_t
+processRssKb()
+{
+    std::FILE *f = std::fopen("/proc/self/status", "r");
+    if (!f)
+        return 0;
+    std::size_t rss = 0;
+    char line[256];
+    while (std::fgets(line, sizeof(line), f)) {
+        unsigned long long kb = 0;
+        if (std::sscanf(line, "VmRSS: %llu kB", &kb) == 1) {
+            rss = static_cast<std::size_t>(kb);
+            break;
+        }
+    }
+    std::fclose(f);
+    return rss;
+}
+
+std::string
+renderMetricsHeader(const std::string &role, double intervalSeconds)
+{
+    return strformat("{\"schema\": \"manna-metrics-v1\", "
+                     "\"role\": \"%s\", \"pid\": %ld, "
+                     "\"interval_seconds\": %s}",
+                     jsonEscape(role).c_str(),
+                     static_cast<long>(::getpid()),
+                     jsonNumber(intervalSeconds).c_str());
+}
+
+std::string
+renderMetricsSample(const MetricsSample &s)
+{
+    return strformat(
+        "{\"elapsed_seconds\": %s, \"jobs_total\": %zu, "
+        "\"done\": %zu, \"failed\": %zu, \"restored\": %zu, "
+        "\"queue_depth\": %zu, \"jobs_per_second\": %s, "
+        "\"compile_cache_hits\": %zu, \"compile_cache_misses\": %zu, "
+        "\"artifact_cache_hits\": %zu, "
+        "\"artifact_cache_misses\": %zu, \"journal_bytes\": %llu, "
+        "\"rss_kb\": %zu}",
+        jsonNumber(s.elapsedSeconds).c_str(), s.jobsTotal, s.done,
+        s.failed, s.restored, s.queueDepth,
+        jsonNumber(s.jobsPerSecond).c_str(), s.compileCacheHits,
+        s.compileCacheMisses, s.artifactCacheHits,
+        s.artifactCacheMisses,
+        static_cast<unsigned long long>(s.journalBytes), s.rssKb);
+}
+
+MetricsSampler::MetricsSampler(const MetricsOptions &opts,
+                               const std::string &role,
+                               Provider provider)
+    : provider_(std::move(provider))
+{
+    if (!opts.enabled() || !provider_)
+        return;
+    file_ = std::fopen(opts.path.c_str(), "w");
+    if (!file_) {
+        warn("cannot create metrics file '%s' (%s); sampling "
+             "disabled",
+             opts.path.c_str(), std::strerror(errno));
+        return;
+    }
+    interval_ = std::max(0.05, opts.intervalSeconds);
+    std::fprintf(file_, "%s\n",
+                 renderMetricsHeader(role, interval_).c_str());
+    std::fflush(file_);
+    thread_ = std::thread([this] { loop(); });
+}
+
+MetricsSampler::~MetricsSampler()
+{
+    if (thread_.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stop_ = true;
+        }
+        wake_.notify_all();
+        thread_.join();
+        sampleOnce(); // final sample: short sweeps still record one
+    }
+    if (file_) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+void
+MetricsSampler::loop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+        wake_.wait_for(lock,
+                       std::chrono::duration<double>(interval_));
+        if (stop_)
+            break;
+        lock.unlock();
+        sampleOnce();
+        lock.lock();
+    }
+}
+
+void
+MetricsSampler::sampleOnce()
+{
+    if (!file_)
+        return;
+    const MetricsSample s = provider_();
+    std::fprintf(file_, "%s\n", renderMetricsSample(s).c_str());
+    // Per-line flush: a killed process keeps every complete sample.
+    std::fflush(file_);
 }
 
 // ---------------------------------------------------------------------
@@ -512,13 +675,22 @@ class Watchdog
             wake_.wait_for(lock, std::chrono::milliseconds(5));
             const bool drain =
                 watchShutdown_ && shutdownRequested();
+            if (drain && !drainReported_) {
+                drainReported_ = true;
+                events::instant("sweep.interrupted",
+                                strformat("signal=%d",
+                                          shutdownSignal()));
+            }
             const auto now = Clock::now();
             for (const Slot &s : slots_) {
                 if ((drain || now >= s.deadline) &&
                     !s.token->cancelled()) {
                     s.token->cancel();
-                    if (!drain || now >= s.deadline)
+                    if (!drain || now >= s.deadline) {
                         ++cancellations_;
+                        events::instant("job.cancelled",
+                                        "cause=timeout");
+                    }
                 }
             }
         }
@@ -532,6 +704,7 @@ class Watchdog
     std::vector<Slot> slots_;
     std::size_t cancellations_ = 0;
     bool stop_ = false;
+    bool drainReported_ = false;
 };
 
 /** RAII registration of a job attempt's token with the watchdog. */
@@ -698,9 +871,14 @@ SweepRunner::runIsolated(std::size_t count, const IsolatedFn &fn,
 
     JournalLoadStats journalStats;
     std::map<std::uint64_t, MannaResult> restored;
-    if (journaling && !opts.resumeFrom.empty())
+    if (journaling && !opts.resumeFrom.empty()) {
+        events::Span span("journal.load", "src=" + opts.resumeFrom);
         restored = loadJournals(splitJournalList(opts.resumeFrom),
                                 &journalStats);
+        span.end(strformat("records=%zu corrupt=%zu",
+                           restored.size(),
+                           journalStats.corruptRecords));
+    }
     if (journalStats.corruptRecords > 0)
         warn("resume journals contained %zu corrupt record(s); "
              "the affected jobs will re-run",
@@ -718,6 +896,9 @@ SweepRunner::runIsolated(std::size_t count, const IsolatedFn &fn,
     Watchdog watchdog(opts.timeoutSeconds, opts.handleSignals);
     ProgressCounters progress;
     const auto sweepStart = Clock::now();
+    events::Span sweepSpan(
+        "sweep.run",
+        strformat("jobs=%zu workers=%zu", count, jobs_));
 
     auto runOne = [&](std::size_t i) -> JobOutcome {
         JobOutcome out;
@@ -736,6 +917,10 @@ SweepRunner::runIsolated(std::size_t count, const IsolatedFn &fn,
                 out.attempts = 0;
                 progress.restored.fetch_add(1);
                 progress.done.fetch_add(1);
+                events::instant(
+                    "job.restored",
+                    strformat("index=%zu fp=0x%016llx", i,
+                              static_cast<unsigned long long>(fp)));
                 return out;
             }
         }
@@ -757,15 +942,21 @@ SweepRunner::runIsolated(std::size_t count, const IsolatedFn &fn,
         }
 
         const auto start = Clock::now();
+        events::Span jobSpan(
+            "job.run",
+            labels.empty() ? strformat("index=%zu", i) : labels[i]);
         const std::size_t maxAttempts = 1 + opts.retries;
         for (std::size_t attempt = 1; attempt <= maxAttempts;
              ++attempt) {
             out.attempts = attempt;
             CancelToken token;
             WatchdogGuard guard(watchdog, token);
+            events::Span attemptSpan(
+                "job.attempt", strformat("attempt=%zu", attempt));
             try {
                 out.value = fn(i, token);
                 out.ok = true;
+                attemptSpan.end("ok=1");
                 break;
             } catch (const Error &e) {
                 out.error.kind = e.kind();
@@ -779,6 +970,8 @@ SweepRunner::runIsolated(std::size_t count, const IsolatedFn &fn,
                 out.error.kind = ErrorKind::Sim;
                 out.error.message = "unknown exception";
             }
+            attemptSpan.end(strformat("ok=0 err=%s",
+                                      toString(out.error.kind)));
             // Deterministic input errors re-fail identically: don't
             // burn the retry budget on them.
             if (out.error.kind == ErrorKind::Config ||
@@ -787,20 +980,30 @@ SweepRunner::runIsolated(std::size_t count, const IsolatedFn &fn,
             // A shutdown-cancelled attempt must not retry either.
             if (opts.handleSignals && shutdownRequested())
                 break;
-            if (attempt < maxAttempts)
-                std::this_thread::sleep_for(std::chrono::milliseconds(
-                    backoffMs(opts, attempt)));
+            if (attempt < maxAttempts) {
+                const std::uint64_t delay = backoffMs(opts, attempt);
+                events::instant(
+                    "job.retry",
+                    strformat("attempt=%zu backoff_ms=%llu", attempt,
+                              static_cast<unsigned long long>(
+                                  delay)));
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(delay));
+            }
         }
         out.wallMs = std::chrono::duration<double, std::milli>(
                          Clock::now() - start)
                          .count();
+        jobSpan.end(out.ok ? "ok=1" : "ok=0");
 
         if (out.ok) {
             out.error = JobError{};
             if (journal) {
+                events::Span appendSpan("journal.append");
                 try {
                     journal->append(fp, out.value);
                 } catch (const Error &e) {
+                    appendSpan.end("ok=0");
                     if (!journalBroken.exchange(true))
                         warn("%s", e.what());
                 }
@@ -815,6 +1018,36 @@ SweepRunner::runIsolated(std::size_t count, const IsolatedFn &fn,
 
     SweepReport report;
     {
+        MetricsSampler metrics(
+            opts.metrics, logRole().empty() ? "main" : logRole(),
+            [&progress, &journal, count, sweepStart] {
+                MetricsSample s;
+                s.elapsedSeconds =
+                    std::chrono::duration<double>(Clock::now() -
+                                                  sweepStart)
+                        .count();
+                s.jobsTotal = count;
+                s.done = progress.done.load();
+                s.failed = progress.failed.load();
+                s.restored = progress.restored.load();
+                s.queueDepth =
+                    count > s.done ? count - s.done : 0;
+                s.jobsPerSecond =
+                    s.elapsedSeconds > 0.0
+                        ? static_cast<double>(s.done) /
+                              s.elapsedSeconds
+                        : 0.0;
+                s.compileCacheHits = compiler::compileCacheHits();
+                s.compileCacheMisses =
+                    compiler::compileCacheMisses();
+                s.artifactCacheHits = compiler::artifactCacheHits();
+                s.artifactCacheMisses =
+                    compiler::artifactCacheMisses();
+                s.journalBytes =
+                    journal ? journal->bytesWritten() : 0;
+                s.rssKb = processRssKb();
+                return s;
+            });
         ProgressReporter reporter(opts.progressSeconds, count,
                                   progress);
         report.outcomes = map(count, runOne);
@@ -833,6 +1066,7 @@ SweepRunner::runIsolated(std::size_t count, const IsolatedFn &fn,
                                                        sweepStart)
                              .count();
     report.workers = jobs_;
+    sweepSpan.end(strformat("failed=%zu", report.failures()));
 
     if (opts.handleSignals && shutdownRequested()) {
         const std::size_t unfinished = report.failures();

@@ -35,6 +35,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -83,6 +84,14 @@ std::string defaultStatsPath();
 /** Compile-cache capacity in entries: the MANNA_CACHE_ENTRIES
  * environment variable if set and valid, otherwise 0 (unbounded). */
 std::size_t defaultCacheEntries();
+
+/** Metrics time-series output path: the MANNA_METRICS environment
+ * variable if set, otherwise "" (sampling off). */
+std::string defaultMetricsPath();
+
+/** Metrics sampling interval in seconds: the MANNA_METRICS_INTERVAL
+ * environment variable if set and valid, otherwise 1.0. */
+double defaultMetricsIntervalSeconds();
 
 /**
  * Fixed-size thread pool with a FIFO work queue. submit() may be
@@ -193,6 +202,96 @@ struct JobOutcome
     bool skipped = false;
 };
 
+/**
+ * Periodic time-series sampling of sweep health (metrics= /
+ * metrics_interval=, docs/OBSERVABILITY.md). Like progress=, the
+ * output is a side file — the stdout byte-identity contract is
+ * untouched.
+ */
+struct MetricsOptions
+{
+    /** JSONL series destination ("" disables). */
+    std::string path = defaultMetricsPath();
+
+    /** Seconds between samples (clamped to >= 0.05 when enabled). */
+    double intervalSeconds = defaultMetricsIntervalSeconds();
+
+    bool enabled() const { return !path.empty(); }
+};
+
+/**
+ * One snapshot of sweep health for the manna-metrics-v1 series
+ * (docs/FORMATS.md). Counter fields are exact reads of the live
+ * counters; elapsed/rate fields are wall-clock-derived and therefore
+ * not deterministic.
+ */
+struct MetricsSample
+{
+    double elapsedSeconds = 0.0;
+    std::size_t jobsTotal = 0;
+    std::size_t done = 0;
+    std::size_t failed = 0;
+    std::size_t restored = 0;
+    std::size_t queueDepth = 0; ///< jobs not yet finished
+    double jobsPerSecond = 0.0;
+    std::size_t compileCacheHits = 0;
+    std::size_t compileCacheMisses = 0;
+    std::size_t artifactCacheHits = 0;
+    std::size_t artifactCacheMisses = 0;
+    std::uint64_t journalBytes = 0;
+    std::size_t rssKb = 0; ///< process resident set (0 if unknown)
+};
+
+/** This process's resident set size in KiB (Linux /proc/self/status
+ * VmRSS; 0 when unreadable). */
+std::size_t processRssKb();
+
+/** The manna-metrics-v1 header line (no trailing \n):
+ * {"schema": "manna-metrics-v1", "role": ..., "pid": ...,
+ *  "interval_seconds": ...}. */
+std::string renderMetricsHeader(const std::string &role,
+                                double intervalSeconds);
+
+/** One sample rendered as a single JSON object line (no trailing
+ * \n). Field values are exactly the sample's — deterministic given a
+ * fixed sample, which the observability tests rely on. */
+std::string renderMetricsSample(const MetricsSample &sample);
+
+/**
+ * Background sampling thread: calls the provider every interval,
+ * appending one manna-metrics-v1 line per sample, plus a final
+ * sample at destruction so short sweeps still record one. The
+ * provider runs on the sampler thread and must be thread-safe
+ * (typically reads of atomics). Writes go through a plain FILE*
+ * with per-line flush — a killed process keeps every complete line.
+ */
+class MetricsSampler
+{
+  public:
+    using Provider = std::function<MetricsSample()>;
+
+    /** No-op (spawns nothing) when !opts.enabled() or the file cannot
+     * be created (warned). */
+    MetricsSampler(const MetricsOptions &opts, const std::string &role,
+                   Provider provider);
+    ~MetricsSampler();
+
+    MetricsSampler(const MetricsSampler &) = delete;
+    MetricsSampler &operator=(const MetricsSampler &) = delete;
+
+  private:
+    void loop();
+    void sampleOnce();
+
+    Provider provider_;
+    double interval_ = 0.0;
+    std::FILE *file_ = nullptr;
+    std::thread thread_;
+    std::mutex mu_;
+    std::condition_variable wake_;
+    bool stop_ = false;
+};
+
 /** Knobs of the fault-isolation layer. */
 struct SweepOptions
 {
@@ -243,6 +342,10 @@ struct SweepOptions
     /** Distributed multi-process execution (see docs/DISTRIBUTED.md);
      * default-constructed = off, everything runs in-process. */
     ShardOptions shard;
+
+    /** Periodic health-sample series (metrics= / metrics_interval=;
+     * docs/OBSERVABILITY.md). Off by default. */
+    MetricsOptions metrics;
 
     /**
      * Install the SIGTERM/SIGINT graceful-shutdown handlers for this
@@ -301,8 +404,12 @@ struct SweepReport
  * faults=/fault_seed= (armed process-wide as a side effect — see
  * docs/ROBUSTNESS.md), the program-artifact-cache knobs
  * artifact_cache=/artifact_cache_entries= (also process-wide — see
- * compiler/artifact.hh and docs/FORMATS.md), and the shard knobs
- * (shards=, shard_dir=, shard_spawn=, shard_attempts=,
+ * compiler/artifact.hh and docs/FORMATS.md), the tracing/metrics
+ * knobs events=/events_limit=/metrics=/metrics_interval= (events=
+ * opens the process-wide event log under this process's role and —
+ * for shard processes — tags stderr via setLogRole(), both
+ * process-wide side effects; see docs/OBSERVABILITY.md), and the
+ * shard knobs (shards=, shard_dir=, shard_spawn=, shard_attempts=,
  * shard_timeout=, shard_heartbeat=, plus the internal worker-mode
  * shard=K/N family). */
 SweepOptions sweepOptionsFromConfig(const Config &cfg);

@@ -15,7 +15,11 @@
 #include <fstream>
 #include <sstream>
 
+#include <set>
+#include <thread>
+
 #include "common/config.hh"
+#include "common/event_log.hh"
 #include "common/json.hh"
 #include "common/stat_registry.hh"
 #include "compiler/compile_cache.hh"
@@ -558,6 +562,422 @@ TEST(ChromeTrace, WriteChromeTraceProducesLoadableFile)
 
     EXPECT_FALSE(writeChromeTrace(
         TraceOptions{}, bench, arch::MannaConfig::withTiles(4), 1));
+}
+
+// --- harness event log and merged trace ---------------------------
+
+std::string
+readWholeFile(const std::string &path)
+{
+    std::ifstream f(path);
+    std::stringstream buf;
+    buf << f.rdbuf();
+    return buf.str();
+}
+
+void
+writeWholeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream f(path);
+    f << text;
+}
+
+TEST(EventLog, RegistryIsClosedAndQueryable)
+{
+    EXPECT_GE(events::eventNameCount(), 20u);
+    for (const char *name :
+         {"sweep.run", "job.run", "job.attempt", "journal.load",
+          "journal.append", "compile.model", "artifact.load",
+          "artifact.store", "proc.spawn", "shard.round",
+          "shard.merge", "compile.cache.hit", "fault.injected",
+          "log.warn", "log.info"})
+        EXPECT_TRUE(events::isRegisteredEventName(name)) << name;
+    EXPECT_FALSE(events::isRegisteredEventName("not.a.span"));
+    EXPECT_FALSE(events::isRegisteredEventName(""));
+}
+
+TEST(EventLog, SpanNestingOrderingAndJsonRoundTrip)
+{
+    const std::string path = "test_observability_events.jsonl";
+    events::EventLog &log = events::EventLog::instance();
+    EXPECT_FALSE(events::enabled());
+    ASSERT_TRUE(log.open(path, "main"));
+    EXPECT_TRUE(events::enabled());
+    EXPECT_EQ(log.path(), path);
+
+    {
+        events::Span outer("sweep.run", "jobs=2");
+        {
+            events::Span inner("job.run", "index=0");
+            events::instant("job.restored", "index=1");
+            inner.end("ok=1");
+        }
+        std::thread other(
+            [] { events::instant("job.retry", "attempt=1"); });
+        other.join();
+        outer.end("failed=0");
+    }
+    log.close();
+    EXPECT_FALSE(events::enabled());
+
+    // Every line of the file is valid JSON on its own.
+    std::istringstream lines(readWholeFile(path));
+    std::string line;
+    std::size_t n = 0;
+    while (std::getline(lines, line)) {
+        EXPECT_TRUE(jsonValidate(line)) << line;
+        ++n;
+    }
+    EXPECT_GE(n, 2u); // header + trailer at minimum
+
+    const auto f = events::parseEventFile(path);
+    ASSERT_TRUE(f.ok);
+    EXPECT_EQ(f.role, "main");
+    EXPECT_GT(f.pid, 0);
+    EXPECT_GT(f.wallUs, 0u);
+    EXPECT_EQ(f.dropped, 0u);
+    EXPECT_EQ(f.skippedLines, 0u);
+    ASSERT_EQ(f.events.size(), 6u); // 2 B + 2 E + 2 i
+
+    // B precedes its E for every span id; timestamps are monotone in
+    // file order; the nested span closes before the outer one.
+    std::map<std::uint64_t, std::size_t> begins;
+    std::map<std::uint64_t, std::size_t> ends;
+    for (std::size_t i = 0; i < f.events.size(); ++i) {
+        const auto &e = f.events[i];
+        EXPECT_TRUE(events::isRegisteredEventName(e.name)) << e.name;
+        if (i > 0) {
+            EXPECT_GE(e.t, f.events[i - 1].t) << i;
+        }
+        if (e.phase == 'B')
+            begins[e.id] = i;
+        else if (e.phase == 'E')
+            ends[e.id] = i;
+    }
+    ASSERT_EQ(begins.size(), 2u);
+    ASSERT_EQ(ends.size(), 2u);
+    for (const auto &[id, bi] : begins) {
+        ASSERT_TRUE(ends.count(id)) << id;
+        EXPECT_LT(bi, ends[id]);
+    }
+
+    // The second thread got its own tid.
+    std::set<std::uint32_t> tids;
+    for (const auto &e : f.events)
+        tids.insert(e.tid);
+    EXPECT_EQ(tids.size(), 2u);
+
+    std::remove(path.c_str());
+}
+
+TEST(EventLog, BufferBoundCountsDropsIntoTheTrailer)
+{
+    const std::string path = "test_observability_drops.jsonl";
+    events::EventLog &log = events::EventLog::instance();
+    ASSERT_TRUE(log.open(path, "main", /*syncUs=*/0, /*maxEvents=*/4));
+    for (int i = 0; i < 10; ++i)
+        events::instant("job.restored");
+    EXPECT_EQ(log.dropped(), 6u);
+    log.close();
+
+    const auto f = events::parseEventFile(path);
+    ASSERT_TRUE(f.ok);
+    EXPECT_EQ(f.events.size(), 4u);
+    EXPECT_EQ(f.dropped, 6u); // from the trailer
+    std::remove(path.c_str());
+}
+
+TEST(EventLog, TornAndForeignLinesAreSkippedNotFatal)
+{
+    const std::string path = "test_observability_torn.jsonl";
+    writeWholeFile(
+        path,
+        "{\"schema\": \"manna-events-v1\", \"role\": \"shard 1\", "
+        "\"pid\": 42, \"wall_us\": 1000000, \"mono_ns\": 5, "
+        "\"sync_us\": 999000}\n"
+        "{\"name\": \"job.run\", \"ph\": \"B\", \"t\": 1000, "
+        "\"tid\": 0, \"id\": 1, \"detail\": \"index=0\"}\n"
+        "not json at all\n"
+        "{\"name\": \"job.run\", \"ph\": \"E\", \"t\": 2000, "
+        "\"tid\": 0, \"id\": 1}\n"
+        "{\"name\": \"job.att"); // torn mid-write by a kill
+    const auto f = events::parseEventFile(path);
+    ASSERT_TRUE(f.ok);
+    EXPECT_EQ(f.role, "shard 1");
+    EXPECT_EQ(f.pid, 42);
+    ASSERT_EQ(f.events.size(), 2u);
+    EXPECT_EQ(f.skippedLines, 2u);
+    // A worker clock ahead of the spawn handshake keeps its own wall
+    // clock; one behind is clamped forward.
+    EXPECT_EQ(f.alignedWallUs(), 1000000u);
+
+    const auto missing = events::parseEventFile("no/such/file.jsonl");
+    EXPECT_FALSE(missing.ok);
+    std::remove(path.c_str());
+}
+
+TEST(HarnessTrace, MergedTwoWorkerTraceSortedAndClockAligned)
+{
+    const std::string coord = "test_observability_coord.events";
+    const std::string w0 = "test_observability_w0.events";
+    const std::string w1 = "test_observability_w1.events";
+    // Coordinator: earliest aligned wall clock (the merge zero).
+    writeWholeFile(
+        coord,
+        "{\"schema\": \"manna-events-v1\", \"role\": \"coord\", "
+        "\"pid\": 100, \"wall_us\": 1000000, \"mono_ns\": 1, "
+        "\"sync_us\": 0}\n"
+        "{\"name\": \"shard.round\", \"ph\": \"B\", \"t\": 0, "
+        "\"tid\": 0, \"id\": 1, \"detail\": \"round=0\"}\n"
+        "{\"name\": \"shard.worker.lost\", \"ph\": \"i\", "
+        "\"t\": 4000000, \"tid\": 0, \"id\": 0}\n"
+        "{\"name\": \"shard.round\", \"ph\": \"E\", "
+        "\"t\": 5000000, \"tid\": 0, \"id\": 1}\n"
+        "{\"schema\": \"manna-events-v1-end\", \"written\": 3, "
+        "\"dropped\": 0}\n");
+    // Worker 0: clock 2ms ahead of the coordinator; an unmatched B
+    // (killed before the span closed) must come out truncated.
+    writeWholeFile(
+        w0,
+        "{\"schema\": \"manna-events-v1\", \"role\": \"shard 0\", "
+        "\"pid\": 101, \"wall_us\": 1002000, \"mono_ns\": 1, "
+        "\"sync_us\": 1001000}\n"
+        "{\"name\": \"job.run\", \"ph\": \"B\", \"t\": 1000000, "
+        "\"tid\": 0, \"id\": 1, \"detail\": \"index=3\"}\n"
+        "{\"name\": \"job.run\", \"ph\": \"E\", \"t\": 2000000, "
+        "\"tid\": 0, \"id\": 1, \"detail\": \"ok=1\"}\n"
+        "{\"name\": \"job.attempt\", \"ph\": \"B\", \"t\": 2500000, "
+        "\"tid\": 0, \"id\": 2}\n");
+    // Worker 1: wall clock lagging behind the coordinator — the
+    // spawn-time sync must pull it forward instead of producing a
+    // negative offset.
+    writeWholeFile(
+        w1,
+        "{\"schema\": \"manna-events-v1\", \"role\": \"shard 1\", "
+        "\"pid\": 102, \"wall_us\": 500000, \"mono_ns\": 1, "
+        "\"sync_us\": 1003000}\n"
+        "{\"name\": \"job.run\", \"ph\": \"B\", \"t\": 0, "
+        "\"tid\": 0, \"id\": 1}\n"
+        "{\"name\": \"job.run\", \"ph\": \"E\", \"t\": 1000000, "
+        "\"tid\": 0, \"id\": 1}\n"
+        "{\"schema\": \"manna-events-v1-end\", \"written\": 2, "
+        "\"dropped\": 0}\n");
+
+    const std::string json = renderHarnessTrace({coord, w0, w1});
+    EXPECT_TRUE(jsonValidate(json)) << json;
+    EXPECT_NE(json.find("manna-harness-trace-v1"), std::string::npos);
+    EXPECT_NE(json.find("\"files\":3"), std::string::npos);
+
+    // One trace pid per file, coordinator first, named by role.
+    EXPECT_NE(json.find("{\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+                        "\"name\":\"process_name\",\"args\":"
+                        "{\"name\":\"coord (pid 100)\"}}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"shard 0 (pid 101)\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"shard 1 (pid 102)\""),
+              std::string::npos);
+
+    // Clock alignment: worker 0 is offset by wall delta (+2000µs), so
+    // its job.run B at t=1ms lands at ts=3000µs with dur 1000µs;
+    // worker 1's lagging clock is clamped to sync (+3000µs).
+    EXPECT_NE(json.find("\"ts\":3000.000,\"dur\":1000.000,"
+                        "\"name\":\"job.run\""),
+              std::string::npos)
+        << json;
+    std::size_t jobRuns = 0;
+    for (std::size_t at = json.find("\"name\":\"job.run\"");
+         at != std::string::npos;
+         at = json.find("\"name\":\"job.run\"", at + 1))
+        ++jobRuns;
+    EXPECT_EQ(jobRuns, 2u);
+    // The unmatched B closed at the file's last timestamp, tagged.
+    EXPECT_NE(json.find("\"truncated\":\"1\""), std::string::npos);
+    // Detail strings ride into args.
+    EXPECT_NE(json.find("\"detail\":\"round=0\""), std::string::npos);
+    EXPECT_NE(json.find("\"end\":\"ok=1\""), std::string::npos);
+
+    // Merged events are sorted by ts across processes.
+    std::istringstream lines(json);
+    std::string line;
+    double lastTs = -1.0;
+    std::size_t timed = 0;
+    while (std::getline(lines, line)) {
+        const auto at = line.find("\"ts\":");
+        if (at == std::string::npos)
+            continue;
+        const double ts = std::atof(line.c_str() + at + 5);
+        EXPECT_GE(ts, lastTs) << line;
+        lastTs = ts;
+        ++timed;
+    }
+    EXPECT_EQ(timed, 5u); // 2 coord + 2 worker0 + 1 worker1
+
+    std::remove(coord.c_str());
+    std::remove(w0.c_str());
+    std::remove(w1.c_str());
+}
+
+TEST(HarnessTrace, WriteHarnessTraceEndToEnd)
+{
+    EXPECT_FALSE(writeHarnessTrace(HarnessTraceOptions{}));
+
+    const std::string eventsPath = "test_observability_e2e.events";
+    events::EventLog &log = events::EventLog::instance();
+    ASSERT_TRUE(log.open(eventsPath, "main"));
+    {
+        events::Span span("sweep.run", "jobs=1");
+    }
+    HarnessTraceOptions opts;
+    opts.path = "test_observability_e2e.trace.json";
+    ASSERT_TRUE(writeHarnessTrace(opts));
+    EXPECT_FALSE(events::enabled()); // the render closed the log
+
+    const std::string json = readWholeFile(opts.path);
+    EXPECT_TRUE(jsonValidate(json)) << json;
+    EXPECT_NE(json.find("manna-harness-trace-v1"), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"sweep.run\""), std::string::npos);
+    std::remove(eventsPath.c_str());
+    std::remove(opts.path.c_str());
+}
+
+TEST(EventKnobs, ConfigArmsTheLogAndEnvIsTheFallback)
+{
+    const char *argv[] = {"prog",
+                          "events=test_observability_knob.events",
+                          "events_limit=8"};
+    const Config cfg = Config::fromArgs(3, argv);
+    events::configureFromConfig(cfg, "main");
+    EXPECT_TRUE(events::enabled());
+    EXPECT_EQ(events::EventLog::instance().path(),
+              "test_observability_knob.events");
+    events::EventLog::instance().close();
+    EXPECT_FALSE(events::enabled());
+    std::remove("test_observability_knob.events");
+
+    // No knob, no env: stays disarmed.
+    events::configureFromConfig(Config{}, "main");
+    EXPECT_FALSE(events::enabled());
+
+    ::setenv("MANNA_EVENTS", "test_observability_env.events", 1);
+    events::configureFromConfig(Config{}, "coord");
+    EXPECT_TRUE(events::enabled());
+    events::EventLog::instance().close();
+    ::unsetenv("MANNA_EVENTS");
+    const auto f =
+        events::parseEventFile("test_observability_env.events");
+    ASSERT_TRUE(f.ok);
+    EXPECT_EQ(f.role, "coord");
+    std::remove("test_observability_env.events");
+}
+
+TEST(HarnessTraceOptions, ParsedFromConfigAndEnvironment)
+{
+    const char *argv[] = {"prog", "harness_trace=/tmp/h.json"};
+    const Config cfg = Config::fromArgs(2, argv);
+    const HarnessTraceOptions opts = harnessTraceOptionsFromConfig(cfg);
+    EXPECT_TRUE(opts.enabled());
+    EXPECT_EQ(opts.path, "/tmp/h.json");
+
+    ::setenv("MANNA_HARNESS_TRACE", "/tmp/envh.json", 1);
+    EXPECT_EQ(harnessTraceOptionsFromConfig(Config{}).path,
+              "/tmp/envh.json");
+    ::unsetenv("MANNA_HARNESS_TRACE");
+    EXPECT_FALSE(harnessTraceOptionsFromConfig(Config{}).enabled());
+}
+
+// --- metrics sampling ----------------------------------------------
+
+TEST(Metrics, SampleRenderIsDeterministicAndValid)
+{
+    MetricsSample s;
+    s.elapsedSeconds = 1.5;
+    s.jobsTotal = 12;
+    s.done = 7;
+    s.failed = 1;
+    s.restored = 2;
+    s.queueDepth = 5;
+    s.jobsPerSecond = 4.0 + 2.0 / 3.0;
+    s.compileCacheHits = 3;
+    s.compileCacheMisses = 4;
+    s.artifactCacheHits = 1;
+    s.artifactCacheMisses = 3;
+    s.journalBytes = 2048;
+    s.rssKb = 4096;
+    const std::string a = renderMetricsSample(s);
+    EXPECT_EQ(a, renderMetricsSample(s)); // byte-identical
+    EXPECT_TRUE(jsonValidate(a)) << a;
+    EXPECT_NE(a.find("\"done\": 7"), std::string::npos);
+    EXPECT_NE(a.find("\"queue_depth\": 5"), std::string::npos);
+    EXPECT_NE(a.find("\"journal_bytes\": 2048"), std::string::npos);
+
+    const std::string header = renderMetricsHeader("shard 2", 0.25);
+    EXPECT_TRUE(jsonValidate(header)) << header;
+    EXPECT_NE(header.find("manna-metrics-v1"), std::string::npos);
+    EXPECT_NE(header.find("\"role\": \"shard 2\""),
+              std::string::npos);
+    EXPECT_NE(header.find("\"interval_seconds\": 0.25"),
+              std::string::npos);
+
+    EXPECT_GT(processRssKb(), 0u); // /proc/self/status on Linux
+}
+
+TEST(Metrics, SamplerWritesHeaderAndAFinalSample)
+{
+    MetricsOptions opts;
+    opts.path = "test_observability_metrics.jsonl";
+    opts.intervalSeconds = 60.0; // only the final flush fires
+    MetricsSample fixed;
+    fixed.jobsTotal = 9;
+    fixed.done = 9;
+    {
+        MetricsSampler sampler(opts, "main", [&] { return fixed; });
+    }
+    std::istringstream lines(readWholeFile(opts.path));
+    std::string line;
+    std::vector<std::string> got;
+    while (std::getline(lines, line)) {
+        EXPECT_TRUE(jsonValidate(line)) << line;
+        got.push_back(line);
+    }
+    ASSERT_GE(got.size(), 2u); // header + the destructor's sample
+    EXPECT_NE(got[0].find("manna-metrics-v1"), std::string::npos);
+    EXPECT_NE(got[0].find("\"role\": \"main\""), std::string::npos);
+    EXPECT_NE(got.back().find("\"done\": 9"), std::string::npos);
+    std::remove(opts.path.c_str());
+
+    // Disabled options spawn nothing and write nothing.
+    MetricsSampler off(MetricsOptions{}, "main",
+                       [&] { return fixed; });
+}
+
+TEST(MetricsKnobs, ParsedWithValidationThroughSweepOptions)
+{
+    const char *argv[] = {"prog", "metrics=/tmp/m.jsonl",
+                          "metrics_interval=0.5"};
+    const Config cfg = Config::fromArgs(3, argv);
+    const SweepOptions opts = sweepOptionsFromConfig(cfg);
+    EXPECT_TRUE(opts.metrics.enabled());
+    EXPECT_EQ(opts.metrics.path, "/tmp/m.jsonl");
+    EXPECT_EQ(opts.metrics.intervalSeconds, 0.5);
+
+    ::setenv("MANNA_METRICS", "/tmp/envm.jsonl", 1);
+    ::setenv("MANNA_METRICS_INTERVAL", "2.5", 1);
+    const SweepOptions fromEnv = sweepOptionsFromConfig(Config{});
+    EXPECT_EQ(fromEnv.metrics.path, "/tmp/envm.jsonl");
+    EXPECT_EQ(fromEnv.metrics.intervalSeconds, 2.5);
+    ::unsetenv("MANNA_METRICS");
+    ::unsetenv("MANNA_METRICS_INTERVAL");
+
+    // A non-positive interval is rejected back to the default.
+    const char *bad[] = {"prog", "metrics=/tmp/m.jsonl",
+                         "metrics_interval=0"};
+    const SweepOptions sane =
+        sweepOptionsFromConfig(Config::fromArgs(3, bad));
+    EXPECT_EQ(sane.metrics.intervalSeconds, 1.0);
+
+    EXPECT_FALSE(
+        sweepOptionsFromConfig(Config{}).metrics.enabled());
 }
 
 } // namespace
