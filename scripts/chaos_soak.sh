@@ -10,12 +10,19 @@
 # clean run, and the journal-corruption phases must surface their
 # damage in the stats.json `journal.corrupt_records` field.
 #
-# Usage: chaos_soak.sh <fig12_strong_scaling binary>
+# Usage: chaos_soak.sh <fig12_strong_scaling binary> [mannad binary]
+#
+# With a mannad binary the soak adds a service phase: the golden point
+# re-run through a daemon whose pool worker crashes at task pickup
+# (pool.worker.crash), which must requeue the task and keep the
+# report byte-identical (docs/SERVICE.md).
 set -u
 
 bin=${1:-}
+mannad=${2:-}
 if [ -z "$bin" ] || [ ! -x "$bin" ]; then
-    echo "chaos_soak: usage: $0 <fig12_strong_scaling binary>" >&2
+    echo "chaos_soak: usage: $0 <fig12_strong_scaling binary>" \
+         "[mannad binary]" >&2
     exit 1
 fi
 
@@ -24,10 +31,16 @@ fi
 unset MANNA_FAULTS MANNA_FAULT_SEED MANNA_SHARDS MANNA_SHARD_SPAWN \
       MANNA_SHARD_HEARTBEAT MANNA_JOBS MANNA_RETRIES MANNA_TIMEOUT \
       MANNA_STATS MANNA_TRACE MANNA_PROGRESS MANNA_PROFILE \
-      MANNA_BENCH_JSON 2>/dev/null
+      MANNA_BENCH_JSON MANNA_SERVER MANNA_POOL MANNA_QUEUE_DEPTH \
+      MANNA_STEAL MANNA_CLIENTS 2>/dev/null
 
 tmpdir=$(mktemp -d)
-trap 'rm -rf "$tmpdir"' EXIT INT TERM
+daemon_pid=
+cleanup() {
+    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null
+    rm -rf "$tmpdir"
+}
+trap cleanup EXIT INT TERM
 
 golden="bench=copy steps=1 jobs=1 fault_seed=7"
 errors=0
@@ -105,8 +118,37 @@ if run read_corrupt 0 resume="$tmpdir/read.journal" \
         complain "corrupt-read resume did not count 1 corrupt record"
 fi
 
+# --- phase 7: daemon pool worker crashes at task pickup ------------
+phases=6
+if [ -n "$mannad" ] && [ -x "$mannad" ]; then
+    phases=7
+    sock="$tmpdir/chaos.sock"
+    "$mannad" server="unix:$sock" pool=2 \
+        faults=pool.worker.crash:once@1 fault_seed=7 \
+        > "$tmpdir/daemon.out" 2> "$tmpdir/daemon.err" &
+    daemon_pid=$!
+    up=0
+    for _ in $(seq 50); do
+        [ -S "$sock" ] && { up=1; break; }
+        sleep 0.1
+    done
+    if [ "$up" -eq 1 ]; then
+        if run pool_crash 0 server="unix:$sock"; then
+            identical pool_crash
+            grep -q "crashed (injected); restarting" \
+                "$tmpdir/daemon.err" ||
+                complain "daemon did not report the worker restart"
+        fi
+    else
+        complain "mannad never came up for the pool.worker.crash phase"
+    fi
+    kill "$daemon_pid" 2>/dev/null
+    wait "$daemon_pid" 2>/dev/null
+    daemon_pid=
+fi
+
 if [ "$errors" -gt 0 ]; then
     echo "chaos_soak: $errors problem(s)" >&2
     exit 1
 fi
-echo "chaos_soak: OK (6 fault phases, byte-identical reports)"
+echo "chaos_soak: OK ($phases fault phases, byte-identical reports)"

@@ -17,7 +17,9 @@
 #     the toString(Opcode) mnemonic registry of src/isa/isa.cc;
 #  7. the harness span/event catalog of docs/OBSERVABILITY.md
 #     matches, in both directions, the kEventNames registry of
-#     src/common/event_log.cc.
+#     src/common/event_log.cc;
+#  8. the knob table of docs/SERVICE.md matches, in both directions,
+#     the kServiceKnobs registry of src/harness/server.cc.
 #
 # Pure grep/sed; no dependencies beyond POSIX tools + bash.
 set -u
@@ -214,6 +216,33 @@ for ev in $events_doc; do
     printf '%s\n' "$events_src" | grep -qxF "$ev" ||
         complain "event '$ev' documented but not registered" \
                  "in src/common/event_log.cc"
+done
+
+# --- 8. service knob table vs the server.cc registry ---------------
+# The daemon's Config keys are registered once, in the kServiceKnobs
+# array of src/harness/server.cc; docs/SERVICE.md documents each one
+# as the backticked first column of its "## Knob table" section. Both
+# directions must agree, so neither side can drift.
+knobs_src=$(sed -n '/kServiceKnobs\[\] = {/,/^};/p' \
+                src/harness/server.cc |
+            grep -oE '"[a-z_]+"' | tr -d '"' | sort -u)
+knobs_doc=$(sed -n '/^## Knob table$/,/^## [A-Z]/p' \
+                docs/SERVICE.md 2>/dev/null |
+            grep -oE '^\| `[a-z_]+=[^`]*`' |
+            sed -E 's/^\| `([a-z_]+)=.*/\1/' | sort -u)
+[ -n "$knobs_src" ] ||
+    complain "no service knobs found in src/harness/server.cc"
+[ -n "$knobs_doc" ] ||
+    complain "no knob table found in docs/SERVICE.md"
+for knob in $knobs_src; do
+    printf '%s\n' "$knobs_doc" | grep -qxF "$knob" ||
+        complain "service knob '$knob=' registered but missing from" \
+                 "the docs/SERVICE.md knob table"
+done
+for knob in $knobs_doc; do
+    printf '%s\n' "$knobs_src" | grep -qxF "$knob" ||
+        complain "service knob '$knob=' documented but not" \
+                 "registered in src/harness/server.cc"
 done
 
 if [ "$errors" -gt 0 ]; then

@@ -41,6 +41,8 @@ const char *const kEventNames[] = {
     "shard.spawn",
     "shard.wait",
     "shard.merge",
+    "server.run",
+    "server.conn",
     // instants
     "job.restored",
     "job.retry",
@@ -53,6 +55,10 @@ const char *const kEventNames[] = {
     "shard.worker.hung",
     "shard.poisoned",
     "fault.injected",
+    "server.accept",
+    "server.retry_after",
+    "job.enqueue",
+    "job.steal",
     "log.warn",
     "log.info",
 };

@@ -31,6 +31,9 @@ const char *const kSiteNames[] = {
     "worker.crash",
     "worker.exit.delay",
     "shard.merge.drop",
+    "server.accept",
+    "server.frame.torn",
+    "pool.worker.crash",
 };
 static_assert(sizeof(kSiteNames) / sizeof(kSiteNames[0]) == kNumSites,
               "site registry out of sync with the Site enum");

@@ -61,9 +61,12 @@ enum class Site : unsigned
     WorkerCrash,        ///< worker dies hard (_Exit(137), like OOM)
     WorkerExitDelay,    ///< worker finishes, then lingers ~2s alive
     ShardMergeDrop,     ///< coordinator loses a worker's journal
+    ServerAccept,       ///< daemon drops a freshly accepted connection
+    ServerFrameTorn,    ///< daemon tears a response frame mid-write
+    PoolWorkerCrash,    ///< pool worker dies mid-job (job is requeued)
 };
 
-inline constexpr std::size_t kNumSites = 13;
+inline constexpr std::size_t kNumSites = 16;
 
 namespace detail
 {

@@ -1,0 +1,262 @@
+#include "net.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/error.hh"
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace manna::net
+{
+
+namespace
+{
+
+/** accept() inherits no CLOEXEC by default; every service fd gets it
+ * so spawned bench subprocesses never hold a daemon socket open. */
+void
+setCloexec(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFD);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+} // namespace
+
+std::string
+NetAddress::describe() const
+{
+    if (kind == Kind::Unix)
+        return "unix:" + path;
+    return strformat("tcp:%s:%u", host.c_str(),
+                     static_cast<unsigned>(port));
+}
+
+NetAddress
+parseAddress(const std::string &text)
+{
+    NetAddress out;
+    std::string body = text;
+    if (text.rfind("unix:", 0) == 0) {
+        body = text.substr(5);
+        out.kind = NetAddress::Kind::Unix;
+    } else if (text.rfind("tcp:", 0) == 0) {
+        body = text.substr(4);
+        out.kind = NetAddress::Kind::Tcp;
+    } else if (text.find('/') != std::string::npos) {
+        out.kind = NetAddress::Kind::Unix; // bare path shorthand
+    } else {
+        throw ConfigError(strformat(
+            "server address '%s' must be unix:PATH or tcp:HOST:PORT",
+            text.c_str()));
+    }
+
+    if (out.kind == NetAddress::Kind::Unix) {
+        if (body.empty())
+            throw ConfigError("unix: server address has no path");
+        // sun_path is a fixed buffer; reject instead of truncating.
+        sockaddr_un probe{};
+        if (body.size() >= sizeof(probe.sun_path))
+            throw ConfigError(strformat(
+                "unix socket path '%s' exceeds %zu bytes",
+                body.c_str(), sizeof(probe.sun_path) - 1));
+        out.path = body;
+        return out;
+    }
+
+    const auto colon = body.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= body.size())
+        throw ConfigError(strformat(
+            "tcp server address '%s' must be tcp:HOST:PORT",
+            text.c_str()));
+    const auto port = parseInt(body.substr(colon + 1));
+    if (!port || *port <= 0 || *port > 65535)
+        throw ConfigError(strformat(
+            "tcp server address '%s' has an invalid port",
+            text.c_str()));
+    out.host = body.substr(0, colon);
+    out.port = static_cast<std::uint16_t>(*port);
+    return out;
+}
+
+void
+ScopedFd::reset(int fd)
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+    fd_ = fd;
+}
+
+ScopedFd
+listenOn(const NetAddress &addr)
+{
+    if (addr.kind == NetAddress::Kind::Unix) {
+        ScopedFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+        if (!fd.valid())
+            throw IoError(strformat("socket(AF_UNIX): %s",
+                                    std::strerror(errno)));
+        setCloexec(fd.get());
+        sockaddr_un sa{};
+        sa.sun_family = AF_UNIX;
+        std::strncpy(sa.sun_path, addr.path.c_str(),
+                     sizeof(sa.sun_path) - 1);
+        ::unlink(addr.path.c_str()); // stale socket from a dead daemon
+        if (::bind(fd.get(), reinterpret_cast<sockaddr *>(&sa),
+                   sizeof(sa)) != 0)
+            throw IoError(strformat("bind(%s): %s",
+                                    addr.path.c_str(),
+                                    std::strerror(errno)));
+        if (::listen(fd.get(), 64) != 0)
+            throw IoError(strformat("listen(%s): %s",
+                                    addr.path.c_str(),
+                                    std::strerror(errno)));
+        return fd;
+    }
+
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = AI_PASSIVE;
+    addrinfo *res = nullptr;
+    const std::string portText = strformat("%u",
+                                           static_cast<unsigned>(
+                                               addr.port));
+    const int gai = ::getaddrinfo(
+        addr.host.empty() ? nullptr : addr.host.c_str(),
+        portText.c_str(), &hints, &res);
+    if (gai != 0)
+        throw IoError(strformat("getaddrinfo(%s): %s",
+                                addr.describe().c_str(),
+                                ::gai_strerror(gai)));
+    std::string lastError = "no usable address";
+    for (addrinfo *ai = res; ai; ai = ai->ai_next) {
+        ScopedFd fd(::socket(ai->ai_family, ai->ai_socktype,
+                             ai->ai_protocol));
+        if (!fd.valid()) {
+            lastError = std::strerror(errno);
+            continue;
+        }
+        setCloexec(fd.get());
+        const int one = 1;
+        ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        if (::bind(fd.get(), ai->ai_addr, ai->ai_addrlen) != 0 ||
+            ::listen(fd.get(), 64) != 0) {
+            lastError = std::strerror(errno);
+            continue;
+        }
+        ::freeaddrinfo(res);
+        return fd;
+    }
+    ::freeaddrinfo(res);
+    throw IoError(strformat("cannot listen on %s: %s",
+                            addr.describe().c_str(),
+                            lastError.c_str()));
+}
+
+int
+acceptOn(int listenFd, int timeoutMs)
+{
+    pollfd pfd{listenFd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, timeoutMs);
+    if (rc <= 0)
+        return -1; // timeout or EINTR: the caller's loop re-polls
+    const int fd = ::accept(listenFd, nullptr, nullptr);
+    if (fd < 0)
+        return -1;
+    setCloexec(fd);
+    return fd;
+}
+
+int
+connectTo(const NetAddress &addr)
+{
+    if (addr.kind == NetAddress::Kind::Unix) {
+        ScopedFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+        if (!fd.valid())
+            return -1;
+        setCloexec(fd.get());
+        sockaddr_un sa{};
+        sa.sun_family = AF_UNIX;
+        std::strncpy(sa.sun_path, addr.path.c_str(),
+                     sizeof(sa.sun_path) - 1);
+        if (::connect(fd.get(), reinterpret_cast<sockaddr *>(&sa),
+                      sizeof(sa)) != 0)
+            return -1;
+        return fd.release();
+    }
+
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *res = nullptr;
+    const std::string portText = strformat("%u",
+                                           static_cast<unsigned>(
+                                               addr.port));
+    if (::getaddrinfo(addr.host.c_str(), portText.c_str(), &hints,
+                      &res) != 0)
+        return -1;
+    for (addrinfo *ai = res; ai; ai = ai->ai_next) {
+        ScopedFd fd(::socket(ai->ai_family, ai->ai_socktype,
+                             ai->ai_protocol));
+        if (!fd.valid())
+            continue;
+        setCloexec(fd.get());
+        if (::connect(fd.get(), ai->ai_addr, ai->ai_addrlen) == 0) {
+            ::freeaddrinfo(res);
+            return fd.release();
+        }
+    }
+    ::freeaddrinfo(res);
+    return -1;
+}
+
+bool
+sendAll(int fd, const void *buf, std::size_t n)
+{
+    const char *p = static_cast<const char *>(buf);
+    while (n > 0) {
+        const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (w == 0)
+            return false;
+        p += w;
+        n -= static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+std::size_t
+recvAll(int fd, void *buf, std::size_t n)
+{
+    char *p = static_cast<char *>(buf);
+    std::size_t got = 0;
+    while (got < n) {
+        const ssize_t r = ::recv(fd, p + got, n - got, 0);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return got;
+        }
+        if (r == 0)
+            return got; // EOF: 0 if clean, short if torn
+        got += static_cast<std::size_t>(r);
+    }
+    return got;
+}
+
+} // namespace manna::net

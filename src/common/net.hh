@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Minimal POSIX socket layer for the simulation service
+ * (docs/SERVICE.md): address parsing for the `server=` knob, listen /
+ * accept / connect helpers, and short-read/short-write-free transfer
+ * loops the framing protocol (harness/proto.hh) builds on.
+ *
+ * Addresses take two forms:
+ *   unix:/path/to/socket   a Unix-domain stream socket
+ *   tcp:host:port          a TCP stream socket (IPv4/IPv6 via
+ *                          getaddrinfo)
+ * A bare path containing '/' is accepted as shorthand for unix:PATH.
+ *
+ * Everything here is transport only — no protocol knowledge. Sends
+ * use MSG_NOSIGNAL so a peer that vanished surfaces as an error
+ * return, never as SIGPIPE killing the daemon.
+ */
+
+#ifndef MANNA_COMMON_NET_HH
+#define MANNA_COMMON_NET_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace manna::net
+{
+
+/** A parsed `server=` endpoint. */
+struct NetAddress
+{
+    enum class Kind
+    {
+        Unix, ///< Unix-domain stream socket at `path`
+        Tcp,  ///< TCP stream socket at `host`:`port`
+    };
+
+    Kind kind = Kind::Unix;
+    std::string path;        ///< Unix socket path (Kind::Unix)
+    std::string host;        ///< host name or literal (Kind::Tcp)
+    std::uint16_t port = 0;  ///< TCP port (Kind::Tcp)
+
+    /** Canonical text form ("unix:/x/y" or "tcp:host:port"). */
+    std::string describe() const;
+};
+
+/**
+ * Parse "unix:PATH", "tcp:HOST:PORT", or a bare PATH containing '/'.
+ * Throws ConfigError on malformed input (empty path, missing or
+ * out-of-range port, over-long Unix path).
+ */
+NetAddress parseAddress(const std::string &text);
+
+/** Move-only fd owner: closes on destruction, -1 = empty. */
+class ScopedFd
+{
+  public:
+    ScopedFd() = default;
+    explicit ScopedFd(int fd) : fd_(fd) {}
+    ~ScopedFd() { reset(); }
+
+    ScopedFd(ScopedFd &&other) noexcept : fd_(other.fd_)
+    {
+        other.fd_ = -1;
+    }
+    ScopedFd &
+    operator=(ScopedFd &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            fd_ = other.fd_;
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+
+    ScopedFd(const ScopedFd &) = delete;
+    ScopedFd &operator=(const ScopedFd &) = delete;
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+    /** Give up ownership without closing. */
+    int
+    release()
+    {
+        const int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
+
+    /** Close (if open) and adopt @p fd. */
+    void reset(int fd = -1);
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Create, bind, and listen on @p addr. A stale Unix socket file is
+ * unlinked first (the daemon owns its path). Throws IoError when the
+ * socket cannot be created or bound.
+ */
+ScopedFd listenOn(const NetAddress &addr);
+
+/**
+ * Wait up to @p timeoutMs for a connection on @p listenFd and accept
+ * it. Returns the connected fd, or -1 when the timeout elapsed (or
+ * the wait was interrupted) with no connection — the caller's accept
+ * loop polls so it can observe shutdown flags between waits.
+ */
+int acceptOn(int listenFd, int timeoutMs);
+
+/**
+ * Connect to @p addr. Returns the connected fd or -1 on failure
+ * (clients retry with backoff — a daemon still starting up is not an
+ * error worth a warning per attempt).
+ */
+int connectTo(const NetAddress &addr);
+
+/** Write all @p n bytes (retrying short writes / EINTR). False when
+ * the peer is gone or the fd errors. */
+bool sendAll(int fd, const void *buf, std::size_t n);
+
+/** Read exactly @p n bytes. Returns n on success, 0 on clean EOF
+ * before any byte, and the short count (or 0) on a torn transfer /
+ * error — the framing layer tells the cases apart. */
+std::size_t recvAll(int fd, void *buf, std::size_t n);
+
+} // namespace manna::net
+
+#endif // MANNA_COMMON_NET_HH

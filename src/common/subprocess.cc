@@ -72,6 +72,19 @@ spawnProcess(const std::vector<std::string> &argv,
         cargv.push_back(const_cast<char *>(a.c_str()));
     cargv.push_back(nullptr);
 
+    // exec-error pipe: the child writes errno when execvp fails, the
+    // write end closes on a successful exec (CLOEXEC), so the parent
+    // reads either one errno or clean EOF. Both parent-side fds must
+    // be closed on EVERY return path below — the shard coordinator
+    // spawns workers in a loop for hours, and a leaked pair per
+    // failed spawn exhausts the fd table (regression-tested by
+    // counting /proc/self/fd in test_robustness.cc).
+    int errPipe[2] = {-1, -1};
+    if (::pipe2(errPipe, O_CLOEXEC) != 0) {
+        warn("spawnProcess: pipe2 failed (%s)", std::strerror(errno));
+        return -1;
+    }
+
     // Parent-side span only: the child execs immediately, and its
     // inherited event-log buffer dies with the exec (never flushed),
     // so the fork can't duplicate trace lines.
@@ -80,11 +93,14 @@ spawnProcess(const std::vector<std::string> &argv,
     if (pid < 0) {
         span.end("ok=0");
         warn("spawnProcess: fork failed (%s)", std::strerror(errno));
+        ::close(errPipe[0]);
+        ::close(errPipe[1]);
         return -1;
     }
     if (pid == 0) {
         // Child: redirect, then exec. Only async-signal-safe calls
         // (plus open/dup2) between fork and exec.
+        ::close(errPipe[0]);
         const int outFd = openLog(stdoutPath);
         if (outFd >= 0) {
             ::dup2(outFd, STDOUT_FILENO);
@@ -96,11 +112,35 @@ spawnProcess(const std::vector<std::string> &argv,
             ::close(errFd);
         }
         ::execvp(cargv[0], cargv.data());
-        // exec failed: report on (possibly redirected) stderr and die
-        // with a distinctive code the coordinator treats as a crash.
+        // exec failed: report errno to the parent through the pipe
+        // (and on the possibly-redirected stderr for the log file),
+        // then die with a distinctive code.
+        const int err = errno;
+        ssize_t ignored =
+            ::write(errPipe[1], &err, sizeof(err));
+        (void)ignored;
         ::dprintf(STDERR_FILENO, "exec %s failed: %s\n", cargv[0],
-                  std::strerror(errno));
+                  std::strerror(err));
         ::_exit(127);
+    }
+
+    // Parent: the write end belongs to the child now.
+    ::close(errPipe[1]);
+    int execErrno = 0;
+    ssize_t n;
+    do {
+        n = ::read(errPipe[0], &execErrno, sizeof(execErrno));
+    } while (n < 0 && errno == EINTR);
+    ::close(errPipe[0]);
+    if (n > 0) {
+        // exec never happened: reap the 127 exit here so the caller
+        // doesn't poll a corpse, and fail the spawn explicitly.
+        span.end("ok=0");
+        warn("spawnProcess: exec %s failed (%s)", argv[0].c_str(),
+             std::strerror(execErrno));
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+        return -1;
     }
     span.end(strformat("pid=%d", static_cast<int>(pid)));
     return pid;

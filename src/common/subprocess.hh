@@ -45,7 +45,11 @@ struct ProcessStatus
  * fork/exec @p argv (argv[0] is the binary; PATH is searched) with
  * stdout/stderr appended to the given files ("" leaves the stream
  * shared with the parent). Returns the child pid, or -1 with a
- * warn() on failure. The child inherits the parent's environment.
+ * warn() on failure — including exec failure (bad binary path),
+ * which is detected through a CLOEXEC errno pipe and reaped here so
+ * the caller never polls a corpse. All parent-side pipe fds are
+ * closed on every return path (leak-regression-tested). The child
+ * inherits the parent's environment.
  */
 pid_t spawnProcess(const std::vector<std::string> &argv,
                    const std::string &stdoutPath = "",

@@ -19,6 +19,7 @@
 #include <unistd.h>
 
 #include "common/config.hh"
+#include "common/error.hh"
 #include "common/event_log.hh"
 #include "common/fault.hh"
 #include "common/fileio.hh"
@@ -45,7 +46,7 @@ using Clock = std::chrono::steady_clock;
 const char *const kControlKeys[] = {
     "shards",      "shard",        "shard_dir",   "shard_spawn",
     "shard_attempts", "shard_timeout", "shard_salt", "shard_exclude",
-    "shard_heartbeat",
+    "shard_heartbeat", "server",
     "journal",     "resume",       "stats",       "bench_json",
     "trace",       "profile",      "dump_stats",  "progress",
     "events",      "event_sync",   "harness_trace",
@@ -594,6 +595,38 @@ shardOf(std::uint64_t fp, std::size_t count, std::uint64_t salt)
     return static_cast<std::size_t>(x % count);
 }
 
+void
+validateSpawnTemplate(const std::string &tmpl, bool multiHost)
+{
+    if (tmpl.empty())
+        return; // built-in "ssh {host} {cmd}" default
+    const std::size_t cmd = tmpl.find("{cmd}");
+    if (cmd == std::string::npos)
+        throw ConfigError(strformat(
+            "shard_spawn='%s' has no {cmd} placeholder; the worker "
+            "command line would never be executed "
+            "(see docs/DISTRIBUTED.md)",
+            tmpl.c_str()));
+    // {cmd} expands to a shell-quoted word list; an outer quote
+    // layer ('{cmd}' or "{cmd}") re-joins it into a single word and
+    // the remote shell execs a binary named like the whole command.
+    if (cmd > 0 && cmd + 5 < tmpl.size() &&
+        (tmpl[cmd - 1] == '\'' || tmpl[cmd - 1] == '"') &&
+        tmpl[cmd + 5] == tmpl[cmd - 1])
+        throw ConfigError(strformat(
+            "shard_spawn='%s' wraps {cmd} in quotes; the expansion "
+            "is already shell-quoted per word — quoting it again "
+            "collapses the worker command into a single word "
+            "(see the quoting contract in docs/DISTRIBUTED.md)",
+            tmpl.c_str()));
+    if (multiHost && tmpl.find("{host}") == std::string::npos)
+        throw ConfigError(strformat(
+            "shard_spawn='%s' has no {host} placeholder but "
+            "shards= names multiple hosts; every worker would run "
+            "on the same machine (see docs/DISTRIBUTED.md)",
+            tmpl.c_str()));
+}
+
 ShardOptions
 shardOptionsFromConfig(const Config &cfg)
 {
@@ -675,6 +708,7 @@ shardOptionsFromConfig(const Config &cfg)
         std::getenv("MANNA_SHARD_SPAWN")
             ? std::getenv("MANNA_SHARD_SPAWN")
             : "");
+    validateSpawnTemplate(opts.spawnTemplate, !opts.hosts.empty());
     opts.dir = cfg.getString("shard_dir", "");
     opts.maxDispatches = static_cast<std::size_t>(
         std::max<std::int64_t>(

@@ -131,6 +131,18 @@ std::size_t shardOf(std::uint64_t fp, std::size_t count,
                     std::uint64_t salt);
 
 /**
+ * Validate a shard_spawn= template against the quoting contract
+ * (docs/DISTRIBUTED.md). Throws ConfigError when the template lacks
+ * the {cmd} placeholder, wraps {cmd} in quotes ('{cmd}' or "{cmd}" —
+ * the expansion is already shell-quoted per word, so an outer quote
+ * layer collapses the whole worker command line into one word), or —
+ * when @p multiHost is set — lacks {host} (every worker would land
+ * on the same machine). An empty template is valid (the built-in
+ * "ssh {host} {cmd}" default applies on multi-host runs).
+ */
+void validateSpawnTemplate(const std::string &tmpl, bool multiHost);
+
+/**
  * Parse the distribution knobs: shards= (count or host list, env
  * fallback MANNA_SHARDS), shard_spawn= (MANNA_SHARD_SPAWN),
  * shard_dir=, shard_attempts=, shard_timeout=, shard_heartbeat=

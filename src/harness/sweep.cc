@@ -22,6 +22,7 @@
 #include "common/strutil.hh"
 #include "compiler/artifact.hh"
 #include "compiler/compile_cache.hh"
+#include "harness/client.hh"
 #include "harness/journal.hh"
 
 namespace manna::harness
@@ -391,6 +392,8 @@ sweepOptionsFromConfig(const Config &cfg)
     opts.progressSeconds = std::max(
         0.0, cfg.getDouble("progress", opts.progressSeconds));
     opts.statsPath = cfg.getString("stats", opts.statsPath);
+    opts.server =
+        cfg.getString("server", client::defaultServerAddress());
     opts.cacheEntries = static_cast<std::size_t>(
         std::max<std::int64_t>(
             0, cfg.getInt("cache_entries",
@@ -1094,6 +1097,16 @@ SweepRunner::runChecked(const std::vector<SweepJob> &jobs,
     // it dispatches worker processes and merges their journals.
     if (opts.shard.isWorker())
         return runShardWorker(*this, jobs, opts);
+    // Service execution (docs/SERVICE.md): route the whole sweep
+    // through a running mannad. The daemon wins over shards= — it
+    // already owns the process-level parallelism.
+    if (!opts.server.empty()) {
+        if (opts.shard.isCoordinator())
+            warn("server= and shards= both set; using the daemon "
+                 "at %s",
+                 opts.server.c_str());
+        return client::runServerSweep(*this, jobs, opts);
+    }
     if (opts.shard.isCoordinator() && !jobs.empty()) {
         if (opts.shard.workerArgv.empty())
             warn("shards= requested but the worker command line is "

@@ -339,6 +339,17 @@ struct SweepOptions
      * cache unbounded. */
     std::size_t cacheEntries = defaultCacheEntries();
 
+    /**
+     * Simulation-service endpoint (server= / MANNA_SERVER; see
+     * docs/SERVICE.md). Non-empty routes runChecked() through a
+     * running mannad at this address ("unix:PATH" or
+     * "tcp:HOST:PORT") instead of simulating in-process; results,
+     * stdout, and the deterministic stats sections stay
+     * byte-identical. "" (default) runs in-process. Takes precedence
+     * over shards= when both are set.
+     */
+    std::string server;
+
     /** Distributed multi-process execution (see docs/DISTRIBUTED.md);
      * default-constructed = off, everything runs in-process. */
     ShardOptions shard;

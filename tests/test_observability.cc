@@ -15,17 +15,25 @@
 #include <fstream>
 #include <sstream>
 
+#include <chrono>
 #include <set>
 #include <thread>
 
+#include <unistd.h>
+
+#include "arch/manna_config.hh"
 #include "common/config.hh"
 #include "common/event_log.hh"
 #include "common/json.hh"
 #include "common/stat_registry.hh"
+#include "common/strutil.hh"
 #include "compiler/compile_cache.hh"
+#include "harness/client.hh"
 #include "harness/journal.hh"
 #include "harness/observe.hh"
+#include "harness/server.hh"
 #include "harness/sweep.hh"
+#include "harness/worker_pool.hh"
 #include "isa/isa.hh"
 #include "sim/trace.hh"
 #include "workloads/benchmarks.hh"
@@ -978,6 +986,120 @@ TEST(MetricsKnobs, ParsedWithValidationThroughSweepOptions)
 
     EXPECT_FALSE(
         sweepOptionsFromConfig(Config{}).metrics.enabled());
+}
+
+// -- events= + server= interaction (docs/SERVICE.md) -------------------
+
+TEST(ServiceTrace, DaemonSpansLandInTheMergedHarnessTrace)
+{
+    const std::string path = "test_observability_service.events";
+    events::EventLog &log = events::EventLog::instance();
+    ASSERT_TRUE(log.open(path, "client"));
+
+    std::vector<SweepJob> jobs;
+    const auto bench = workloads::tinyBenchmark();
+    for (std::uint64_t seed : {1u, 2u, 3u, 4u})
+        jobs.push_back(
+            {bench, arch::MannaConfig::withTiles(4), 2, seed});
+
+    {
+        server::ServerOptions sopts;
+        sopts.address = strformat("/tmp/manna-obs-test-%d.sock",
+                                  static_cast<int>(::getpid()));
+        sopts.pool = 2;
+        sopts.eventsPath = path; // advertised to clients in HelloOk
+        server::Server daemon(std::move(sopts));
+        daemon.start();
+
+        SweepRunner runner(2);
+        SweepOptions opts;
+        opts.server = daemon.boundAddress();
+        const SweepReport report =
+            client::runServerSweep(runner, jobs, opts);
+        EXPECT_EQ(report.failures(), 0u);
+        daemon.stop();
+    }
+
+    // The daemon's advertised event file is registered for the
+    // merge (deduplicated here: in-process it IS the client's file).
+    const auto merge = log.mergeFiles();
+    ASSERT_EQ(merge.size(), 1u);
+    EXPECT_EQ(merge[0], path);
+    log.close();
+
+    const auto f = events::parseEventFile(path);
+    ASSERT_TRUE(f.ok);
+    std::size_t accepts = 0, enqueues = 0, connSpans = 0, runSpans = 0;
+    std::set<std::uint32_t> tids;
+    for (const auto &e : f.events) {
+        EXPECT_TRUE(events::isRegisteredEventName(e.name)) << e.name;
+        tids.insert(e.tid);
+        if (e.name == "server.accept")
+            ++accepts;
+        else if (e.name == "job.enqueue")
+            ++enqueues;
+        else if (e.name == "server.conn" && e.phase == 'B')
+            ++connSpans;
+        else if (e.name == "server.run" && e.phase == 'B')
+            ++runSpans;
+    }
+    EXPECT_EQ(runSpans, 1u);
+    EXPECT_GE(accepts, 1u);
+    EXPECT_GE(connSpans, 1u);
+    EXPECT_EQ(enqueues, jobs.size());
+    // Distinct threads are distinct trace lanes: at least the client
+    // sweep thread, the daemon accept thread, and the dispatch
+    // thread emitted something.
+    EXPECT_GE(tids.size(), 3u);
+
+    // And the merged render is a loadable harness trace carrying the
+    // daemon-side spans.
+    const std::string json = renderHarnessTrace({path});
+    EXPECT_TRUE(jsonValidate(json)) << json;
+    EXPECT_NE(json.find("\"name\":\"server.run\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"job.enqueue\""),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(ServiceTrace, StealInstantsNameThiefAndVictimWorkers)
+{
+    const std::string path = "test_observability_steal.events";
+    events::EventLog &log = events::EventLog::instance();
+    ASSERT_TRUE(log.open(path, "daemon"));
+    {
+        WorkerPool pool(2);
+        pool.start();
+        // Pin every task to worker 0: any progress on worker 1 is a
+        // steal, and each one must be traced with thief and victim.
+        for (int i = 0; i < 16; ++i)
+            pool.submitTo(0, {[] {
+                                  std::this_thread::sleep_for(
+                                      std::chrono::milliseconds(2));
+                              },
+                              nullptr, 0.0});
+        pool.drain();
+        EXPECT_GT(pool.steals(), 0u);
+        pool.stop();
+    }
+    log.close();
+
+    const auto f = events::parseEventFile(path);
+    ASSERT_TRUE(f.ok);
+    std::size_t steals = 0, pinned = 0;
+    for (const auto &e : f.events) {
+        if (e.name == "job.steal") {
+            ++steals;
+            EXPECT_EQ(e.detail, "thief=1 victim=0") << e.detail;
+        } else if (e.name == "job.enqueue") {
+            ++pinned;
+            EXPECT_NE(e.detail.find("pinned=1"), std::string::npos)
+                << e.detail;
+        }
+    }
+    EXPECT_GT(steals, 0u);
+    EXPECT_EQ(pinned, 16u);
+    std::remove(path.c_str());
 }
 
 } // namespace

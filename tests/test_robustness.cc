@@ -21,12 +21,16 @@
 #include <stdexcept>
 #include <thread>
 
+#include <dirent.h>
+#include <sys/wait.h>
+
 #include "common/config.hh"
 #include "common/error.hh"
 #include "common/fault.hh"
 #include "common/fileio.hh"
 #include "common/shutdown.hh"
 #include "common/strutil.hh"
+#include "common/subprocess.hh"
 #include "compiler/compile_cache.hh"
 #include "harness/journal.hh"
 #include "harness/sweep.hh"
@@ -753,6 +757,71 @@ TEST(FileIo, AtomicWriteTouchAndAgePrimitivesWork)
     EXPECT_LT(*age, 60.0);
     std::remove(path.c_str());
     std::remove(hb.c_str());
+}
+
+/** Open fds of this process, from /proc/self/fd. */
+std::size_t
+countOpenFds()
+{
+    std::size_t n = 0;
+    DIR *dir = ::opendir("/proc/self/fd");
+    EXPECT_NE(dir, nullptr);
+    if (!dir)
+        return 0;
+    while (struct dirent *e = ::readdir(dir)) {
+        if (e->d_name[0] != '.')
+            ++n;
+    }
+    ::closedir(dir);
+    return n; // includes the opendir fd itself, same on every call
+}
+
+TEST(Subprocess, SpawnFailurePathsLeakNoFds)
+{
+    // A shard coordinator spawns workers in a loop for hours; a
+    // leaked errno-pipe end per failed spawn would exhaust the fd
+    // table. Exercise every failure path many times and require the
+    // process fd count to come back to its baseline.
+    const std::size_t baseline = countOpenFds();
+
+    for (int i = 0; i < 64; ++i) {
+        // exec failure: the binary does not exist (child-side report
+        // routed to /dev/null; the parent warn() is what matters).
+        EXPECT_EQ(spawnProcess({"/nonexistent/manna-no-such-bin"}, "",
+                               "/dev/null"),
+                  -1);
+        // injected fork/exec failure (the proc.spawn fault site).
+        fault::configure(strformat("%s:once@1",
+                                   fault::siteName(
+                                       fault::Site::ProcSpawn)),
+                         0);
+        EXPECT_EQ(spawnProcess({"/bin/true"}), -1);
+        fault::reset();
+        // empty argv early return.
+        EXPECT_EQ(spawnProcess({}), -1);
+    }
+    EXPECT_EQ(countOpenFds(), baseline);
+
+    // The success path must not leak either (pipe ends are CLOEXEC
+    // child-side and closed parent-side after the EOF read).
+    for (int i = 0; i < 16; ++i) {
+        const pid_t pid = spawnProcess({"/bin/true"});
+        ASSERT_GT(pid, 0);
+        const ProcessStatus st = waitProcess(pid);
+        EXPECT_TRUE(st.cleanExit());
+    }
+    EXPECT_EQ(countOpenFds(), baseline);
+}
+
+TEST(Subprocess, ExecFailureIsReportedAndReaped)
+{
+    // The errno travels back through the CLOEXEC pipe: the parent
+    // learns the spawn failed immediately (no 127-corpse to poll).
+    EXPECT_EQ(spawnProcess({"/nonexistent/manna-no-such-bin"}, "",
+                           "/dev/null"),
+              -1);
+    // And no zombie child is left behind: nothing to reap.
+    EXPECT_LT(::waitpid(-1, nullptr, WNOHANG), 0);
 }
 
 } // namespace

@@ -33,6 +33,7 @@
 
 #include "arch/manna_config.hh"
 #include "common/config.hh"
+#include "common/error.hh"
 #include "common/strutil.hh"
 #include "common/subprocess.hh"
 #include "harness/observe.hh"
@@ -257,6 +258,46 @@ TEST(ShardOptions, ParsesCoordinatorAndWorkerSpecs)
         const ShardOptions o = shardOptionsFromConfig(cfg);
         EXPECT_FALSE(o.isWorker());
         EXPECT_FALSE(o.isCoordinator());
+    }
+}
+
+TEST(ShardOptions, RejectsMalformedSpawnTemplates)
+{
+    ::unsetenv("MANNA_SHARDS");
+    ::unsetenv("MANNA_SHARD_SPAWN");
+
+    // The quoting contract (docs/DISTRIBUTED.md): {cmd} expands to a
+    // shell-quoted word list, so a template must splice it in bare.
+    EXPECT_NO_THROW(validateSpawnTemplate("", false));
+    EXPECT_NO_THROW(validateSpawnTemplate("ssh {host} {cmd}", true));
+    EXPECT_NO_THROW(
+        validateSpawnTemplate("env FOO=1 {cmd} 2>>/tmp/log", false));
+
+    // No {cmd}: the worker command line would never run.
+    EXPECT_THROW(validateSpawnTemplate("ssh {host}", false),
+                 ConfigError);
+    // Quoted {cmd}: the expansion collapses into one shell word and
+    // the remote shell execs a binary named like the whole command.
+    EXPECT_THROW(validateSpawnTemplate("ssh {host} '{cmd}'", false),
+                 ConfigError);
+    EXPECT_THROW(validateSpawnTemplate("ssh {host} \"{cmd}\"", false),
+                 ConfigError);
+    // Host list without {host}: every worker lands on one machine.
+    EXPECT_THROW(validateSpawnTemplate("ssh buildhost {cmd}", true),
+                 ConfigError);
+
+    // The same contract holds at the knob-parsing layer.
+    {
+        Config cfg;
+        cfg.set("shards", "hostA,hostB");
+        cfg.set("shard_spawn", "ssh {host} '{cmd}'");
+        EXPECT_THROW(shardOptionsFromConfig(cfg), ConfigError);
+    }
+    {
+        Config cfg;
+        cfg.set("shards", "2");
+        cfg.set("shard_spawn", "srun --nodes=1");
+        EXPECT_THROW(shardOptionsFromConfig(cfg), ConfigError);
     }
 }
 
